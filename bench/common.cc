@@ -1,0 +1,61 @@
+#include "common.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "topo/machine.hh"
+
+namespace microscale::benchx
+{
+
+bool
+fastMode()
+{
+    const char *v = std::getenv("MICROSCALE_BENCH_FAST");
+    return v && v[0] == '1';
+}
+
+core::DemandShares
+calibratedDemand()
+{
+    core::DemandShares d;
+    d.webui = 0.45;
+    d.auth = 0.03;
+    d.persistence = 0.065;
+    d.recommender = 0.045;
+    d.image = 0.41;
+    return d;
+}
+
+core::ExperimentConfig
+paperConfig(unsigned users)
+{
+    core::ExperimentConfig c;
+    c.machine = topo::rome128();
+    c.load.users = users;
+    c.demand = calibratedDemand();
+    if (fastMode()) {
+        c.warmup = 300 * kMillisecond;
+        c.measure = 500 * kMillisecond;
+    } else {
+        c.warmup = 600 * kMillisecond;
+        c.measure = 1500 * kMillisecond;
+    }
+    return c;
+}
+
+void
+printHeader(const std::string &artifact, const std::string &caption,
+            const core::ExperimentConfig &config)
+{
+    topo::Machine machine(config.machine);
+    std::cout << "==============================================\n"
+              << artifact << ": " << caption << "\n"
+              << "machine: " << machine.describe() << "\n"
+              << "load: " << config.load.users << " closed-loop users, "
+              << ticksToMillis(config.load.meanThink) << "ms think, "
+              << ticksToSeconds(config.measure) << "s window\n"
+              << "==============================================\n";
+}
+
+} // namespace microscale::benchx

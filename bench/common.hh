@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared configuration for the benchmark harness.
+ *
+ * Every figNN/tabNN binary reproduces one artifact of the paper's
+ * evaluation on the rome128 machine model. Binaries run with no
+ * arguments and print the table/series the paper reports. Set
+ * MICROSCALE_BENCH_FAST=1 to shrink windows for smoke runs.
+ */
+
+#ifndef MICROSCALE_BENCH_COMMON_HH
+#define MICROSCALE_BENCH_COMMON_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace microscale::benchx
+{
+
+/** True when MICROSCALE_BENCH_FAST=1 is set. */
+bool fastMode();
+
+/**
+ * Demand shares for partitioning, measured on the browse profile at
+ * saturation and refined under the pinned placement (runRefined), so
+ * they reflect pinned-regime IPC. Kept fixed here so every bench
+ * partitions identically; fig05 re-derives them live to demonstrate
+ * the workflow.
+ */
+core::DemandShares calibratedDemand();
+
+/**
+ * The paper's operating point: rome128, tuned baseline sizing,
+ * closed-loop browse-profile load at saturation.
+ */
+core::ExperimentConfig paperConfig(unsigned users = 3000);
+
+/** Print the bench banner: id, caption, machine, load. */
+void printHeader(const std::string &artifact, const std::string &caption,
+                 const core::ExperimentConfig &config);
+
+} // namespace microscale::benchx
+
+#endif // MICROSCALE_BENCH_COMMON_HH

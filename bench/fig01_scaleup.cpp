@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FIG-1: end-to-end throughput scale-up vs logical CPU count, for the
+ * tuned OS-default baseline and the CCX-aware placement. Reproduces
+ * the paper's headline scaling curve on the 128-logical-CPU machine.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace microscale;
+
+namespace
+{
+
+struct Budget
+{
+    unsigned logical;
+    unsigned cores;
+    bool smt;
+};
+
+} // namespace
+
+int
+main()
+{
+    // Logical-CPU budgets: cores first (SMT off), then SMT pairs.
+    const std::vector<Budget> budgets = {
+        {8, 8, false},   {16, 16, false}, {32, 32, false},
+        {64, 64, false}, {96, 48, true},  {128, 64, true},
+    };
+
+    core::ExperimentConfig base = benchx::paperConfig();
+    benchx::printHeader(
+        "FIG-1",
+        "throughput and p50 latency vs logical CPUs (scale-up curve)",
+        base);
+
+    TextTable t({"logical CPUs", "placement", "tput (req/s)", "p50 (ms)",
+                 "p99 (ms)", "util", "GHz", "speedup vs 8"});
+    for (core::PlacementKind kind :
+         {core::PlacementKind::OsDefault, core::PlacementKind::CcxAware}) {
+        double tput_at_8 = 0.0;
+        for (const Budget &b : budgets) {
+            core::ExperimentConfig c = base;
+            c.placement = kind;
+            c.cores = b.cores;
+            c.smt = b.smt;
+            // Offered load scales with the budget so every point is
+            // at (or past) saturation.
+            c.load.users = 30 * b.logical;
+            const core::RunResult r = core::runExperiment(c);
+            if (tput_at_8 == 0.0)
+                tput_at_8 = r.throughputRps;
+            t.row()
+                .cell(b.logical)
+                .cell(core::placementName(kind))
+                .cell(r.throughputRps, 0)
+                .cell(r.latency.p50Ms, 1)
+                .cell(r.latency.p99Ms, 1)
+                .cell(r.cpuUtilization, 2)
+                .cell(r.avgFreqGhz, 2)
+                .cell(r.throughputRps / tput_at_8, 2);
+            std::cout << "  " << b.logical << " cpus "
+                      << core::placementName(kind) << ": "
+                      << core::summarize(r) << "\n";
+        }
+    }
+    t.printWithCaption(
+        "FIG-1 | Scale-up of the microservice application "
+        "(throughput normalized to 8 logical CPUs)");
+    return 0;
+}

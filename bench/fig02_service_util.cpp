@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FIG-2: per-service CPU utilization breakdown at saturation - which
+ * services the machine's cycles actually go to under the browse
+ * profile (WebUI and ImageProvider dominate).
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig c = benchx::paperConfig();
+    c.placement = core::PlacementKind::OsDefault;
+    benchx::printHeader("FIG-2",
+                        "per-service CPU utilization at saturation", c);
+
+    const core::RunResult r = core::runExperiment(c);
+
+    double total_cpus = 0.0;
+    for (const auto &[name, row] : r.servicePerf)
+        total_cpus += row.utilizationCpus;
+
+    TextTable t({"service", "CPUs busy", "share", "MIPS", "IPC",
+                 "kernel%", "CS/s"});
+    for (const auto &[name, row] : r.servicePerf) {
+        t.row()
+            .cell(name)
+            .cell(row.utilizationCpus, 2)
+            .cell(formatDouble(row.utilizationCpus / total_cpus * 100.0,
+                               1) +
+                  "%")
+            .cell(row.mips, 0)
+            .cell(row.ipc, 2)
+            .cell(row.kernelShare * 100.0, 1)
+            .cell(row.csPerSec, 0);
+    }
+    t.row()
+        .cell("TOTAL")
+        .cell(total_cpus, 2)
+        .cell("100.0%")
+        .cell(r.total.mips, 0)
+        .cell(r.total.ipc, 2)
+        .cell(r.total.kernelShare * 100.0, 1)
+        .cell(r.total.csPerSec, 0);
+
+    t.printWithCaption(
+        "FIG-2 | Per-service CPU demand under the browse profile "
+        "(tput=" + formatDouble(r.throughputRps, 0) + " req/s)");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * FIG-4: SMT sensitivity - the same physical core counts with SMT
+ * siblings disabled vs enabled. SMT adds real capacity for this
+ * memory- and frontend-bound workload, but well under 2x, and the
+ * benefit shrinks when heterogeneous services share cores.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig base = benchx::paperConfig();
+    benchx::printHeader("FIG-4",
+                        "SMT off vs on at fixed physical core counts",
+                        base);
+
+    TextTable t({"cores", "SMT", "logical", "tput (req/s)", "p99 (ms)",
+                 "IPC", "GHz", "SMT gain"});
+    for (unsigned cores : {32u, 64u}) {
+        double tput_off = 0.0;
+        for (bool smt : {false, true}) {
+            core::ExperimentConfig c = base;
+            c.cores = cores;
+            c.smt = smt;
+            c.load.users = 30 * cores * (smt ? 2 : 1);
+            const core::RunResult r = core::runExperiment(c);
+            if (!smt)
+                tput_off = r.throughputRps;
+            t.row()
+                .cell(cores)
+                .cell(smt ? "on" : "off")
+                .cell(r.budgetCpus)
+                .cell(r.throughputRps, 0)
+                .cell(r.latency.p99Ms, 1)
+                .cell(r.total.ipc, 2)
+                .cell(r.avgFreqGhz, 2)
+                .cell(smt ? formatPercent(r.throughputRps / tput_off - 1.0)
+                          : std::string("-"));
+            std::cout << "  " << cores << " cores SMT "
+                      << (smt ? "on" : "off") << ": "
+                      << core::summarize(r) << "\n";
+        }
+    }
+    t.printWithCaption("FIG-4 | SMT contribution to scale-up");
+    return 0;
+}

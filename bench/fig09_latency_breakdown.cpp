@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FIG-9: where request time goes. For each WebUI operation at
+ * saturation, splits mean service time into queue wait (waiting for a
+ * worker), compute (CPU) and stall (blocked on downstream calls or
+ * preempted) - for the baseline and the CCX-aware placement. The
+ * optimized placement cuts both compute (better IPC) and stall
+ * (faster downstream services).
+ */
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig base = benchx::paperConfig();
+    benchx::printHeader(
+        "FIG-9", "per-op latency breakdown (queue / compute / stall)",
+        base);
+
+    std::vector<std::pair<core::PlacementKind, core::RunResult>> runs;
+    for (core::PlacementKind kind :
+         {core::PlacementKind::OsDefault, core::PlacementKind::CcxAware}) {
+        core::ExperimentConfig c = base;
+        c.placement = kind;
+        runs.emplace_back(kind, core::runExperiment(c));
+        std::cout << "  " << core::placementName(kind) << ": "
+                  << core::summarize(runs.back().second) << "\n";
+    }
+
+    TextTable t({"op", "placement", "requests", "mean (ms)",
+                 "queue (ms)", "compute (ms)", "stall (ms)",
+                 "p99 (ms)"});
+    for (const auto &[kind, r] : runs) {
+        const auto &webui = r.breakdown.at(teastore::names::kWebui);
+        for (teastore::OpType op : teastore::allOps()) {
+            auto it = webui.find(teastore::opName(op));
+            if (it == webui.end())
+                continue;
+            const core::OpBreakdown &b = it->second;
+            t.row()
+                .cell(teastore::opName(op))
+                .cell(core::placementName(kind))
+                .cell(b.count)
+                .cell(b.serviceTimeMeanMs, 1)
+                .cell(b.queueWaitMeanMs, 1)
+                .cell(b.computeMeanMs, 2)
+                .cell(b.stallMeanMs, 1)
+                .cell(b.serviceTimeP99Ms, 1);
+        }
+    }
+    t.printWithCaption("FIG-9 | WebUI op time breakdown at saturation");
+
+    // Downstream view: request-weighted means per internal service.
+    TextTable q({"service", "placement", "queue wait (ms)",
+                 "compute (ms)", "stall (ms)"});
+    for (const auto &[kind, r] : runs) {
+        for (const auto &[svc_name, ops] : r.breakdown) {
+            if (svc_name == teastore::names::kWebui ||
+                svc_name == teastore::names::kRegistry) {
+                continue;
+            }
+            double wait = 0.0, comp = 0.0, stall = 0.0;
+            std::uint64_t n = 0;
+            for (const auto &[op, b] : ops) {
+                wait += b.queueWaitMeanMs * b.count;
+                comp += b.computeMeanMs * b.count;
+                stall += b.stallMeanMs * b.count;
+                n += b.count;
+            }
+            if (n == 0)
+                continue;
+            q.row()
+                .cell(svc_name)
+                .cell(core::placementName(kind))
+                .cell(wait / n, 2)
+                .cell(comp / n, 2)
+                .cell(stall / n, 2);
+        }
+    }
+    q.printWithCaption(
+        "FIG-9 (cont.) | Internal services: request-weighted means");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * FIG-10: sensitivity to the shared-L3 domain size. Same 64 cores /
+ * 128 threads, but organized as 2-, 4- or 8-core CCXs (L3 scaled at
+ * 4 MB/core). Bigger cache domains reduce the penalty of the default
+ * scheduler's service mixing, shrinking the benefit of explicit CCX
+ * placement - the design-point discussion behind the paper's CCX
+ * analysis (and the milan128 preset).
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig base = benchx::paperConfig();
+    benchx::printHeader("FIG-10",
+                        "scale-up vs shared-L3 (CCX) domain size", base);
+
+    TextTable t({"cores/CCX", "L3/CCX (MB)", "placement",
+                 "tput (req/s)", "p99 (ms)", "IPC", "ccx-aware gain"});
+    for (unsigned cores_per_ccx : {2u, 4u, 8u}) {
+        topo::MachineParams machine = topo::rome128();
+        machine.name = "rome128-ccx" + std::to_string(cores_per_ccx);
+        machine.coresPerCcx = cores_per_ccx;
+        machine.ccxsPerNode = 16 / cores_per_ccx; // keep 16 cores/node
+        machine.cache.l3BytesPerCcx =
+            4ull * 1024 * 1024 * cores_per_ccx; // 4 MB per core
+
+        double base_tput = 0.0;
+        for (core::PlacementKind kind :
+             {core::PlacementKind::OsDefault,
+              core::PlacementKind::CcxAware}) {
+            core::ExperimentConfig c = base;
+            c.machine = machine;
+            c.placement = kind;
+            const core::RunResult r = core::runExperiment(c);
+            if (kind == core::PlacementKind::OsDefault)
+                base_tput = r.throughputRps;
+            t.row()
+                .cell(cores_per_ccx)
+                .cell(machine.cache.l3BytesPerCcx / (1024 * 1024))
+                .cell(core::placementName(kind))
+                .cell(r.throughputRps, 0)
+                .cell(r.latency.p99Ms, 1)
+                .cell(r.total.ipc, 2)
+                .cell(kind == core::PlacementKind::CcxAware
+                          ? formatPercent(r.throughputRps / base_tput -
+                                          1.0)
+                          : std::string("-"));
+            std::cout << "  ccx" << cores_per_ccx << " "
+                      << core::placementName(kind) << ": "
+                      << core::summarize(r) << "\n";
+        }
+    }
+    t.printWithCaption(
+        "FIG-10 | Placement benefit vs cache-domain granularity");
+    return 0;
+}

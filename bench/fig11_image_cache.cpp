@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FIG-11: image-cache sensitivity. The ImageProvider dominates CPU
+ * demand; its cache hit ratio decides how much rescaling work the
+ * machine does per page. Sweeping the hit ratio moves the demand
+ * balance and the saturation throughput, and shifts how many CCXs the
+ * planner hands to the image service.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig base = benchx::paperConfig();
+    benchx::printHeader("FIG-11",
+                        "sensitivity to the image cache hit ratio",
+                        base);
+
+    TextTable t({"hit ratio", "placement", "tput (req/s)", "p99 (ms)",
+                 "image CPUs", "image CCXs"});
+    for (double hit : {0.70, 0.88, 0.98}) {
+        for (core::PlacementKind kind :
+             {core::PlacementKind::OsDefault,
+              core::PlacementKind::CcxAware}) {
+            core::ExperimentConfig c = base;
+            c.app.imageCacheHitRatio = hit;
+            c.placement = kind;
+            const core::RunResult r =
+                kind == core::PlacementKind::CcxAware
+                    ? core::runRefined(c, 1)
+                    : core::runExperiment(c);
+            t.row()
+                .cell(hit, 2)
+                .cell(core::placementName(kind))
+                .cell(r.throughputRps, 0)
+                .cell(r.latency.p99Ms, 1)
+                .cell(r.servicePerf.at(teastore::names::kImage)
+                          .utilizationCpus,
+                      1)
+                .cell(r.plan.services.at(teastore::names::kImage)
+                          .replicas);
+            std::cout << "  hit=" << hit << " "
+                      << core::placementName(kind) << ": "
+                      << core::summarize(r) << "\n";
+        }
+    }
+    t.printWithCaption(
+        "FIG-11 | Cache effectiveness moves demand and the partition");
+    return 0;
+}

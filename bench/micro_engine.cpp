@@ -1,0 +1,168 @@
+/**
+ * @file
+ * MICRO: google-benchmark microbenchmarks of the simulation engine
+ * itself - event queue throughput, CpuMask algebra, histogram insert
+ * and quantile queries, scheduler dispatch and execution-engine churn.
+ * These bound how much simulated time per wall second the harness can
+ * deliver.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/cpumask.hh"
+#include "base/stats.hh"
+#include "cpu/exec.hh"
+#include "os/kernel.hh"
+#include "sim/simulation.hh"
+#include "topo/presets.hh"
+
+using namespace microscale;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulation sim;
+        long sink = 0;
+        for (int i = 0; i < batch; ++i)
+            sim.scheduleAt(static_cast<Tick>(i % 97) + 1,
+                           [&sink] { ++sink; });
+        sim.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void
+BM_EventCancellation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        std::vector<sim::EventHandle> handles;
+        handles.reserve(1000);
+        for (int i = 0; i < 1000; ++i)
+            handles.push_back(sim.scheduleAt(i + 1, [] {}));
+        for (auto &h : handles)
+            h.cancel();
+        sim.run();
+        benchmark::DoNotOptimize(sim.eventsProcessed());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventCancellation);
+
+void
+BM_CpuMaskAlgebra(benchmark::State &state)
+{
+    const CpuMask a = CpuMask::range(0, 127);
+    const CpuMask b = CpuMask::range(64, 255);
+    for (auto _ : state) {
+        CpuMask c = (a & b) | (a - b);
+        benchmark::DoNotOptimize(c.count());
+        benchmark::DoNotOptimize(c.first());
+    }
+}
+BENCHMARK(BM_CpuMaskAlgebra);
+
+void
+BM_CpuMaskIterate(benchmark::State &state)
+{
+    const CpuMask m = CpuMask::range(0, 255);
+    for (auto _ : state) {
+        unsigned sum = 0;
+        for (CpuId c : m)
+            sum += c;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CpuMaskIterate);
+
+void
+BM_HistogramAdd(benchmark::State &state)
+{
+    QuantileHistogram h;
+    double v = 1.0;
+    for (auto _ : state) {
+        h.add(v);
+        v = v * 1.37 + 3.0;
+        if (v > 1e12)
+            v = 1.0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void
+BM_HistogramQuantile(benchmark::State &state)
+{
+    QuantileHistogram h;
+    Rng rng(1);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.lognormal(1e6, 1.0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.p99());
+    }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void
+BM_SchedulerDispatchCycle(benchmark::State &state)
+{
+    // One full wake -> dispatch -> complete cycle per item.
+    sim::Simulation sim;
+    topo::Machine machine(topo::small8());
+    cpu::ExecEngine engine(sim, machine);
+    os::SchedParams sp;
+    sp.switchCost = 0;
+    os::Kernel kernel(sim, machine, engine, sp, 1);
+    os::Thread *t = kernel.createThread("bm", machine.allCpus());
+    cpu::WorkProfile p;
+    p.l3Apki = 0.0;
+    p.branchMpki = 0.0;
+    p.icacheMpki = 0.0;
+
+    for (auto _ : state) {
+        bool done = false;
+        t->run(p, 1000.0, [&done] { done = true; });
+        sim.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerDispatchCycle);
+
+void
+BM_ExecEngineChurn(benchmark::State &state)
+{
+    // Start/stop churn across CCXs exercises reprice paths.
+    sim::Simulation sim;
+    topo::Machine machine(topo::rome128());
+    cpu::ExecEngine engine(sim, machine);
+    cpu::WorkProfile p;
+    p.wssBytes = 8.0 * 1024 * 1024;
+    std::vector<std::unique_ptr<cpu::ExecContext>> ctxs;
+    for (int i = 0; i < 16; ++i) {
+        ctxs.push_back(std::make_unique<cpu::ExecContext>(
+            "bm" + std::to_string(i), kInvalidNode));
+        engine.setWork(*ctxs.back(), p, 1e15, [] {});
+    }
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i)
+            engine.startRun(*ctxs[i], static_cast<CpuId>(i * 8));
+        sim.runUntil(sim.now() + kMicrosecond);
+        for (int i = 0; i < 16; ++i)
+            engine.stopRun(*ctxs[i]);
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ExecEngineChurn);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * TAB-1: microarchitectural characterization of each service at
+ * saturation - IPC, cache and branch MPKIs, kernel share, SMT
+ * exposure and context-switch rates, as measured by the modeled
+ * performance counters.
+ */
+
+#include <vector>
+
+#include "common.hh"
+#include "perf/report.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig c = benchx::paperConfig();
+    c.placement = core::PlacementKind::OsDefault;
+    benchx::printHeader(
+        "TAB-1", "per-service microarchitectural characterization", c);
+
+    const core::RunResult r = core::runExperiment(c);
+
+    std::vector<perf::PerfRow> rows;
+    for (const auto &[name, row] : r.servicePerf)
+        rows.push_back(row);
+    rows.push_back(r.total);
+
+    perf::microarchTable(rows).printWithCaption(
+        "TAB-1 | Service microarchitecture under the browse profile "
+        "(os-default, saturation)");
+    perf::activityTable(rows).printWithCaption(
+        "TAB-1 (cont.) | Scheduling activity per service");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * TAB-2: microservices vs conventional server workloads. Contrasts
+ * the TeaStore services (measured at saturation) against SPEC-CPU-
+ * style synthetic kernels run rate-style on the same machine - the
+ * paper's argument that microservices look nothing like the workloads
+ * that usually drive server-CPU design.
+ */
+
+#include <vector>
+
+#include "common.hh"
+#include "perf/report.hh"
+#include "perf/synth.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig c = benchx::paperConfig();
+    c.placement = core::PlacementKind::OsDefault;
+    benchx::printHeader(
+        "TAB-2", "microservices vs SPEC-like conventional workloads", c);
+
+    const core::RunResult r = core::runExperiment(c);
+
+    std::vector<perf::PerfRow> rows;
+    for (const auto &[name, row] : r.servicePerf) {
+        perf::PerfRow labeled = row;
+        labeled.name = "uS/" + labeled.name;
+        rows.push_back(labeled);
+    }
+
+    perf::SynthRunParams sp;
+    sp.threads = 64; // one copy per core, SPEC-rate style
+    sp.warmup = benchx::fastMode() ? 20 * kMillisecond
+                                   : 50 * kMillisecond;
+    sp.measure = benchx::fastMode() ? 50 * kMillisecond
+                                    : 200 * kMillisecond;
+    for (const perf::SynthKernel &k : perf::specLikeSuite()) {
+        perf::PerfRow row = perf::runSynthKernel(c.machine, k, sp);
+        row.name = "spec/" + row.name;
+        rows.push_back(row);
+    }
+
+    perf::microarchTable(rows).printWithCaption(
+        "TAB-2 | Microservices (uS/*) vs conventional kernels (spec/*): "
+        "IPC, footprints, kernel time and switch rates");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * TAB-3: optimization ablation. Separates the contribution of each
+ * technique stacked on the tuned baseline: soft NUMA-node affinity,
+ * CCX pinning without memory homing, and the full CCX + local-memory
+ * placement.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig base = benchx::paperConfig(5000);
+    benchx::printHeader("TAB-3",
+                        "ablation of the placement optimizations", base);
+
+    struct Step
+    {
+        core::PlacementKind kind;
+        const char *what;
+    };
+    const Step steps[] = {
+        {core::PlacementKind::OsDefault,
+         "tuned baseline (scheduler free, first-touch)"},
+        {core::PlacementKind::NodeAware,
+         "+ NUMA-node affinity per replica"},
+        {core::PlacementKind::CcxStripedMem,
+         "+ CCX pinning (memory striped)"},
+        {core::PlacementKind::CcxAware,
+         "+ CCX pinning + local memory (full optimization)"},
+    };
+
+    TextTable t({"configuration", "tput (req/s)", "d tput", "p99 (ms)",
+                 "d p99", "ccx-migr/s"});
+    double base_tput = 0.0, base_p99 = 0.0;
+    for (const Step &s : steps) {
+        core::ExperimentConfig c = base;
+        c.placement = s.kind;
+        const core::RunResult r = core::runExperiment(c);
+        if (s.kind == core::PlacementKind::OsDefault) {
+            base_tput = r.throughputRps;
+            base_p99 = r.latency.p99Ms;
+        }
+        const double win_s = ticksToSeconds(c.measure);
+        t.row()
+            .cell(s.what)
+            .cell(r.throughputRps, 0)
+            .cell(formatPercent(r.throughputRps / base_tput - 1.0))
+            .cell(r.latency.p99Ms, 1)
+            .cell(formatPercent(r.latency.p99Ms / base_p99 - 1.0))
+            .cell(static_cast<double>(r.sched.ccxMigrations) / win_s, 0);
+        std::cout << "  " << core::placementName(s.kind) << ": "
+                  << core::summarize(r) << "\n";
+    }
+    t.printWithCaption("TAB-3 | What each optimization layer buys");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * TAB-4: sensitivity of the baseline to OS scheduler parameters -
+ * context-switch cost, preemption timeslice, and the load balancer.
+ * Quantifies how much of the baseline's behaviour is scheduler policy
+ * vs hardware topology.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig base = benchx::paperConfig();
+    base.placement = core::PlacementKind::OsDefault;
+    benchx::printHeader("TAB-4",
+                        "baseline sensitivity to scheduler parameters",
+                        base);
+
+    struct Variant
+    {
+        const char *what;
+        os::SchedParams sched;
+    };
+    std::vector<Variant> variants;
+    {
+        Variant v{"default (2us switch, 1ms slice, balance on)", {}};
+        variants.push_back(v);
+    }
+    {
+        Variant v{"free context switches", {}};
+        v.sched.switchCost = 0;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"expensive switches (5us)", {}};
+        v.sched.switchCost = 5 * kMicrosecond;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"short timeslice (0.5ms)", {}};
+        v.sched.timeslice = 500 * kMicrosecond;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"long timeslice (4ms)", {}};
+        v.sched.timeslice = 4 * kMillisecond;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"no periodic load balancing", {}};
+        v.sched.loadBalance = false;
+        variants.push_back(v);
+    }
+
+    TextTable t({"scheduler variant", "tput (req/s)", "d tput",
+                 "p99 (ms)", "CS/s", "migr/s"});
+    double base_tput = 0.0;
+    for (const Variant &v : variants) {
+        core::ExperimentConfig c = base;
+        c.sched = v.sched;
+        const core::RunResult r = core::runExperiment(c);
+        if (base_tput == 0.0)
+            base_tput = r.throughputRps;
+        const double win_s = ticksToSeconds(c.measure);
+        t.row()
+            .cell(v.what)
+            .cell(r.throughputRps, 0)
+            .cell(formatPercent(r.throughputRps / base_tput - 1.0))
+            .cell(r.latency.p99Ms, 1)
+            .cell(r.total.csPerSec, 0)
+            .cell(static_cast<double>(r.sched.migrations) / win_s, 0);
+        std::cout << "  " << v.what << ": " << core::summarize(r)
+                  << "\n";
+    }
+    t.printWithCaption("TAB-4 | Scheduler-parameter sensitivity");
+    return 0;
+}

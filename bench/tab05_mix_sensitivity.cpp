@@ -1,0 +1,111 @@
+/**
+ * @file
+ * TAB-5: request-mix sensitivity. The placement gains are a property
+ * of the topology, not of one particular user-behaviour mix: the
+ * browse-heavy default, a buy-heavy mix, and a read-only mix all see
+ * a CCX-aware benefit (with magnitude following how cache-bound the
+ * dominant services are).
+ */
+
+#include <array>
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+#include "loadgen/mix.hh"
+
+using namespace microscale;
+
+namespace
+{
+
+using Matrix = std::array<std::array<double, teastore::kNumOps>,
+                          teastore::kNumOps>;
+
+/** Shoppers that actually buy: carts and checkouts dominate. */
+Matrix
+buyHeavy()
+{
+    // Order: Home, Login, Category, Product, AddToCart, Checkout,
+    // Profile.
+    return {{
+        /* Home      */ {{0.00, 0.60, 0.40, 0.00, 0.00, 0.00, 0.00}},
+        /* Login     */ {{0.00, 0.00, 0.80, 0.20, 0.00, 0.00, 0.00}},
+        /* Category  */ {{0.05, 0.00, 0.15, 0.80, 0.00, 0.00, 0.00}},
+        /* Product   */ {{0.00, 0.00, 0.20, 0.00, 0.80, 0.00, 0.00}},
+        /* AddToCart */ {{0.00, 0.00, 0.15, 0.15, 0.00, 0.70, 0.00}},
+        /* Checkout  */ {{0.70, 0.00, 0.20, 0.00, 0.00, 0.00, 0.10}},
+        /* Profile   */ {{0.50, 0.00, 0.50, 0.00, 0.00, 0.00, 0.00}},
+    }};
+}
+
+/** Anonymous browsing: no login, cart or checkout traffic. */
+Matrix
+readOnly()
+{
+    return {{
+        /* Home      */ {{0.10, 0.00, 0.90, 0.00, 0.00, 0.00, 0.00}},
+        /* Login     */ {{0.50, 0.00, 0.50, 0.00, 0.00, 0.00, 0.00}},
+        /* Category  */ {{0.10, 0.00, 0.30, 0.60, 0.00, 0.00, 0.00}},
+        /* Product   */ {{0.10, 0.00, 0.55, 0.35, 0.00, 0.00, 0.00}},
+        /* AddToCart */ {{1.00, 0.00, 0.00, 0.00, 0.00, 0.00, 0.00}},
+        /* Checkout  */ {{1.00, 0.00, 0.00, 0.00, 0.00, 0.00, 0.00}},
+        /* Profile   */ {{1.00, 0.00, 0.00, 0.00, 0.00, 0.00, 0.00}},
+    }};
+}
+
+} // namespace
+
+int
+main()
+{
+    core::ExperimentConfig base = benchx::paperConfig();
+    benchx::printHeader("TAB-5",
+                        "placement gains across request mixes", base);
+
+    struct MixCase
+    {
+        const char *name;
+        loadgen::BrowseMix mix;
+    };
+    const MixCase cases[] = {
+        {"browse (default)", loadgen::BrowseMix{}},
+        {"buy-heavy", loadgen::BrowseMix{buyHeavy()}},
+        {"read-only", loadgen::BrowseMix{readOnly()}},
+    };
+
+    TextTable t({"mix", "placement", "tput (req/s)", "p99 (ms)",
+                 "gain"});
+    for (const MixCase &mc : cases) {
+        double base_tput = 0.0;
+        for (core::PlacementKind kind :
+             {core::PlacementKind::OsDefault,
+              core::PlacementKind::CcxAware}) {
+            core::ExperimentConfig c = base;
+            c.mix = mc.mix;
+            c.placement = kind;
+            // Each mix shifts demand; refine the pinned partition.
+            const core::RunResult r =
+                kind == core::PlacementKind::CcxAware
+                    ? core::runRefined(c, 1)
+                    : core::runExperiment(c);
+            if (kind == core::PlacementKind::OsDefault)
+                base_tput = r.throughputRps;
+            t.row()
+                .cell(mc.name)
+                .cell(core::placementName(kind))
+                .cell(r.throughputRps, 0)
+                .cell(r.latency.p99Ms, 1)
+                .cell(kind == core::PlacementKind::CcxAware
+                          ? formatPercent(r.throughputRps / base_tput -
+                                          1.0)
+                          : std::string("-"));
+            std::cout << "  " << mc.name << " "
+                      << core::placementName(kind) << ": "
+                      << core::summarize(r) << "\n";
+        }
+    }
+    t.printWithCaption(
+        "TAB-5 | CCX-aware gains hold across user-behaviour mixes");
+    return 0;
+}

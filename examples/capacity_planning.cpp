@@ -1,0 +1,71 @@
+/**
+ * @file
+ * capacity_planning: a downstream-user scenario - "how many cores do
+ * I need to serve a target load within a p99 SLO?" Sweeps core
+ * budgets under open-loop load for the OS-default baseline and the
+ * CCX-aware placement. At high targets, topology-aware placement
+ * buys back a sizeable chunk of the machine; note that at small
+ * budgets the static partition can be *worse* than the free
+ * scheduler (too few CCXs to split among services) - placement is a
+ * scale-up technique.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "base/table.hh"
+#include "core/experiment.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    constexpr double kTargetRps = 6500.0;
+    constexpr double kSloP99Ms = 60.0;
+
+    std::cout << "goal: " << kTargetRps << " req/s with p99 <= "
+              << kSloP99Ms << " ms on a rome128 server\n\n";
+
+    TextTable t({"cores (SMT on)", "placement", "tput (req/s)",
+                 "p99 (ms)", "meets SLO"});
+    for (core::PlacementKind kind :
+         {core::PlacementKind::OsDefault, core::PlacementKind::CcxAware}) {
+        unsigned first_ok = 0;
+        for (unsigned cores : {40u, 48u, 56u, 64u}) {
+            core::ExperimentConfig c;
+            c.machine = topo::rome128();
+            c.cores = cores;
+            c.smt = true;
+            c.placement = kind;
+            c.openLoopRps = kTargetRps;
+            c.warmup = 500 * kMillisecond;
+            c.measure = kSecond;
+            c.demand.webui = 0.45;
+            c.demand.auth = 0.03;
+            c.demand.persistence = 0.065;
+            c.demand.recommender = 0.045;
+            c.demand.image = 0.41;
+            const core::RunResult r = core::runExperiment(c);
+            const bool ok = r.throughputRps >= kTargetRps * 0.98 &&
+                            r.latency.p99Ms <= kSloP99Ms;
+            if (ok && first_ok == 0)
+                first_ok = cores;
+            t.row()
+                .cell(cores)
+                .cell(core::placementName(kind))
+                .cell(r.throughputRps, 0)
+                .cell(r.latency.p99Ms, 1)
+                .cell(ok ? "yes" : "no");
+        }
+        if (first_ok) {
+            std::cout << core::placementName(kind) << ": "
+                      << first_ok << " cores suffice\n";
+        } else {
+            std::cout << core::placementName(kind)
+                      << ": SLO not met within 64 cores\n";
+        }
+    }
+    t.printWithCaption("Capacity needed to meet the SLO");
+    return 0;
+}

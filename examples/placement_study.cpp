@@ -1,0 +1,72 @@
+/**
+ * @file
+ * placement_study: the paper's methodology end to end.
+ *
+ *  1. Profile the tuned baseline to get per-service CPU demand.
+ *  2. Partition the machine's CCXs among services by demand.
+ *  3. Run every placement policy and compare.
+ *  4. Refine the partition from the pinned run's measured costs.
+ *
+ * This is the programmatic version of what bench/fig05_placement
+ * prints; use it as a template for studying your own service mixes.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig config;
+    config.machine = topo::rome128();
+    config.load.users = 4000;
+    config.warmup = 500 * kMillisecond;
+    config.measure = kSecond;
+
+    std::cout << "step 1: profiling the baseline for demand shares...\n";
+    const core::DemandShares measured = core::measureDemand(config);
+    std::cout << "  measured: webui=" << formatDouble(measured.webui, 3)
+              << " auth=" << formatDouble(measured.auth, 3)
+              << " persistence=" << formatDouble(measured.persistence, 3)
+              << " recommender=" << formatDouble(measured.recommender, 3)
+              << " image=" << formatDouble(measured.image, 3) << "\n\n";
+    config.demand = measured;
+
+    std::cout << "step 2: the CCX partition this demand implies:\n";
+    topo::Machine machine(config.machine);
+    const core::PlacementPlan plan = core::buildPlacement(
+        core::PlacementKind::CcxAware, machine,
+        core::budgetMask(machine, 0, true), measured,
+        core::BaselineSizing{});
+    std::cout << plan.describe() << "\n";
+
+    std::cout << "step 3: comparing policies...\n";
+    double base_tput = 0.0;
+    for (core::PlacementKind kind : core::allPlacements()) {
+        config.placement = kind;
+        const core::RunResult r = core::runExperiment(config);
+        if (kind == core::PlacementKind::OsDefault)
+            base_tput = r.throughputRps;
+        std::cout << "  " << core::placementName(kind) << ": "
+                  << core::summarize(r) << "  ("
+                  << formatPercent(r.throughputRps / base_tput - 1.0)
+                  << " vs baseline)\n";
+    }
+
+    std::cout << "\nstep 4: refining the ccx-aware partition...\n";
+    config.placement = core::PlacementKind::CcxAware;
+    core::DemandShares refined;
+    const core::RunResult best = core::runRefined(config, 2, &refined);
+    std::cout << "  refined: webui=" << formatDouble(refined.webui, 3)
+              << " auth=" << formatDouble(refined.auth, 3)
+              << " persistence=" << formatDouble(refined.persistence, 3)
+              << " recommender=" << formatDouble(refined.recommender, 3)
+              << " image=" << formatDouble(refined.image, 3) << "\n";
+    std::cout << "  final: " << core::summarize(best) << "  ("
+              << formatPercent(best.throughputRps / base_tput - 1.0)
+              << " vs baseline)\n";
+    return 0;
+}

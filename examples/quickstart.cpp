@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Quickstart: run the TeaStore model once on the 128-logical-CPU
+ * machine with the OS-default baseline and once with the paper's
+ * CCX-aware placement, and print the comparison.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    core::ExperimentConfig config;
+    config.machine = topo::rome128();
+    config.warmup = 400 * kMillisecond;
+    config.measure = kSecond;
+    // Enough closed-loop users to saturate the machine, so the
+    // comparison shows both the throughput and the latency win.
+    config.load.users = 4000;
+    config.demand.webui = 0.45;
+    config.demand.auth = 0.03;
+    config.demand.persistence = 0.065;
+    config.demand.recommender = 0.045;
+    config.demand.image = 0.41;
+
+    topo::Machine machine(config.machine);
+    std::cout << "machine: " << machine.describe() << "\n\n";
+
+    std::cout << "running os-default baseline...\n";
+    config.placement = core::PlacementKind::OsDefault;
+    const core::RunResult base = core::runExperiment(config);
+    std::cout << "  " << core::summarize(base) << "\n\n";
+
+    std::cout << "running ccx-aware placement...\n";
+    config.placement = core::PlacementKind::CcxAware;
+    const core::RunResult ccx = core::runExperiment(config);
+    std::cout << "  " << core::summarize(ccx) << "\n\n";
+
+    const double tput_gain =
+        ccx.throughputRps / base.throughputRps - 1.0;
+    const double lat_gain = 1.0 - ccx.latency.p99Ms / base.latency.p99Ms;
+    std::cout << "ccx-aware vs baseline: throughput "
+              << formatPercent(tput_gain) << ", p99 latency "
+              << formatPercent(-lat_gain) << "\n";
+
+    std::cout << "\nplan used:\n" << ccx.plan.describe();
+    return 0;
+}

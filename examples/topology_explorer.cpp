@@ -1,0 +1,112 @@
+/**
+ * @file
+ * topology_explorer: inspect the machine presets - structure, cache
+ * layout, NUMA distance matrix and the frequency boost curve - and
+ * probe the execution engine's what-if rates (e.g. how much slower a
+ * thread gets when its SMT sibling or CCX neighbours wake up).
+ *
+ * Usage: topology_explorer [preset-name]   (default: rome128)
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "cpu/exec.hh"
+#include "sim/simulation.hh"
+#include "teastore/profiles.hh"
+#include "topo/presets.hh"
+
+using namespace microscale;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "rome128";
+    const topo::MachineParams params = topo::presetByName(name);
+    topo::Machine machine(params);
+
+    std::cout << machine.describe() << "\n\n";
+
+    // Structure table: one row per CCX.
+    TextTable structure({"ccx", "node", "socket", "cores", "cpus"});
+    for (CcxId x = 0; x < machine.numCcxs(); ++x) {
+        const CpuMask cpus = machine.cpusOfCcx(x);
+        std::string cores;
+        for (CpuId c : cpus) {
+            if (machine.isPrimaryThread(c)) {
+                if (!cores.empty())
+                    cores += ",";
+                cores += std::to_string(machine.coreOf(c));
+            }
+        }
+        structure.row()
+            .cell(x)
+            .cell(machine.nodeOfCcx(x))
+            .cell(machine.socketOfNode(machine.nodeOfCcx(x)))
+            .cell(cores)
+            .cell(cpus.toString());
+    }
+    structure.printWithCaption("CCX layout");
+
+    // NUMA distance matrix.
+    std::vector<std::string> headers = {"from\\to"};
+    for (NodeId n = 0; n < machine.numNodes(); ++n)
+        headers.push_back("node" + std::to_string(n));
+    TextTable numa(headers);
+    for (NodeId from = 0; from < machine.numNodes(); ++from) {
+        auto row = numa.row();
+        row.cell("node" + std::to_string(from));
+        for (NodeId to = 0; to < machine.numNodes(); ++to)
+            row.cell(machine.memLatencyNs(from, to), 0);
+    }
+    numa.printWithCaption("DRAM latency (ns) by NUMA distance");
+
+    // Frequency curve.
+    TextTable freq({"active cores", "GHz"});
+    const unsigned cores_per_socket =
+        machine.numCores() / machine.numSockets();
+    for (unsigned n = 0; n <= cores_per_socket;
+         n += std::max(1u, cores_per_socket / 8)) {
+        freq.row().cell(n).cell(
+            params.freq.freqGhz(n, cores_per_socket), 2);
+    }
+    freq.printWithCaption("Socket frequency vs active cores");
+
+    // What-if retire rates for the webui profile.
+    sim::Simulation sim;
+    cpu::ExecEngine engine(sim, machine);
+    const cpu::WorkProfile &webui = teastore::webuiProfile();
+    const cpu::WorkProfile &image = teastore::imageProfile();
+
+    cpu::ExecContext solo("solo", 0);
+    cpu::ExecContext sib("sibling", 0);
+    cpu::ExecContext neighbor("neighbor", 0);
+    engine.setWork(solo, webui, 1e9, [] {});
+    engine.setWork(sib, webui, 1e9, [] {});
+    engine.setWork(neighbor, image, 1e9, [] {});
+
+    TextTable rates({"scenario", "instr/ns", "relative"});
+    const double alone = engine.rateOn(solo, 0);
+    rates.row().cell("webui thread alone on CCX 0").cell(alone, 3).cell(
+        "1.00");
+    if (machine.threadsPerCore() == 2) {
+        engine.startRun(sib, machine.siblingOf(0));
+        const double with_sib = engine.rateOn(solo, 0);
+        rates.row()
+            .cell("+ same-service SMT sibling")
+            .cell(with_sib, 3)
+            .cell(with_sib / alone, 2);
+        engine.stopRun(sib);
+    }
+    engine.startRun(neighbor, 1);
+    const double with_neighbor = engine.rateOn(solo, 0);
+    rates.row()
+        .cell("+ image service on the same CCX")
+        .cell(with_neighbor, 3)
+        .cell(with_neighbor / alone, 2);
+    engine.stopRun(neighbor);
+    rates.printWithCaption(
+        "What-if retire rates (webui profile, idle machine)");
+
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * utilization_timeline: attach a TimeSeriesSampler to a live run and
+ * emit a CSV timeline (busy CPUs, frequency, queue depths, completed
+ * requests per interval) - the raw material for warmup/stability
+ * plots. Demonstrates composing the library's layers manually instead
+ * of going through core::runExperiment.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "core/placement.hh"
+#include "loadgen/driver.hh"
+#include "perf/sampler.hh"
+#include "topo/presets.hh"
+
+using namespace microscale;
+
+int
+main()
+{
+    sim::Simulation sim;
+    topo::Machine machine(topo::rome128());
+    cpu::ExecEngine engine(sim, machine);
+    os::Kernel kernel(sim, machine, engine, os::SchedParams{}, 42);
+    net::Network network(sim, net::NetParams{}, 42);
+    svc::Mesh mesh(kernel, network, svc::RpcCostParams{}, 42);
+
+    // Tuned baseline sizing, OS-default placement.
+    core::BaselineSizing sizing;
+    core::PlacementPlan plan = core::buildPlacement(
+        core::PlacementKind::OsDefault, machine,
+        core::budgetMask(machine, 0, true), core::DemandShares{},
+        sizing);
+    teastore::AppParams app_params;
+    core::sizeAppFromPlan(app_params, plan);
+    teastore::App app(mesh, app_params, 42);
+    core::applyPlacement(app, plan);
+
+    loadgen::ClosedLoopParams load;
+    load.users = 3000;
+    loadgen::ClosedLoopDriver driver(app, loadgen::BrowseMix{}, load,
+                                     42);
+    driver.measurement().setWindow(0, 3 * kSecond);
+
+    perf::TimeSeriesSampler sampler(sim, engine, kernel, mesh,
+                                    50 * kMillisecond);
+
+    kernel.start();
+    app.start();
+    driver.start();
+    sampler.start();
+
+    sim.runUntil(3 * kSecond);
+    sampler.stop();
+    driver.stopIssuing();
+
+    std::cerr << "sampled " << sampler.samples().size()
+              << " points; mean busy CPUs = "
+              << formatDouble(sampler.meanBusyCpus(), 1) << "\n";
+    sampler.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,200 @@
+#include "base/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace microscale
+{
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description))
+{
+}
+
+void
+ArgParser::addString(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    if (!options_.emplace(name, Option{Kind::String, def, help, def})
+             .second) {
+        MS_PANIC("duplicate option --", name);
+    }
+    order_.push_back(name);
+}
+
+void
+ArgParser::addInt(const std::string &name, std::int64_t def,
+                  const std::string &help)
+{
+    const std::string d = std::to_string(def);
+    if (!options_.emplace(name, Option{Kind::Int, d, help, d}).second)
+        MS_PANIC("duplicate option --", name);
+    order_.push_back(name);
+}
+
+void
+ArgParser::addDouble(const std::string &name, double def,
+                     const std::string &help)
+{
+    std::ostringstream os;
+    os << def;
+    if (!options_
+             .emplace(name, Option{Kind::Double, os.str(), help, os.str()})
+             .second) {
+        MS_PANIC("duplicate option --", name);
+    }
+    order_.push_back(name);
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    if (!options_.emplace(name, Option{Kind::Flag, "false", help, "false"})
+             .second) {
+        MS_PANIC("duplicate option --", name);
+    }
+    order_.push_back(name);
+}
+
+bool
+ArgParser::parse(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "unexpected argument '%s'\n%s",
+                         arg.c_str(), usage().c_str());
+            return false;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+        auto it = options_.find(arg);
+        if (it == options_.end()) {
+            std::fprintf(stderr, "unknown option '--%s'\n%s",
+                         arg.c_str(), usage().c_str());
+            return false;
+        }
+        Option &opt = it->second;
+        if (opt.kind == Kind::Flag) {
+            if (has_value) {
+                std::fprintf(stderr, "--%s takes no value\n",
+                             arg.c_str());
+                return false;
+            }
+            opt.value = "true";
+            opt.set = true;
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--%s needs a value\n", arg.c_str());
+                return false;
+            }
+            value = argv[++i];
+        }
+        if (opt.kind == Kind::Int) {
+            char *end = nullptr;
+            (void)std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0') {
+                std::fprintf(stderr, "--%s expects an integer, got '%s'\n",
+                             arg.c_str(), value.c_str());
+                return false;
+            }
+        } else if (opt.kind == Kind::Double) {
+            char *end = nullptr;
+            (void)std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0') {
+                std::fprintf(stderr, "--%s expects a number, got '%s'\n",
+                             arg.c_str(), value.c_str());
+                return false;
+            }
+        }
+        opt.value = value;
+        opt.set = true;
+    }
+    return true;
+}
+
+const ArgParser::Option &
+ArgParser::lookup(const std::string &name, Kind kind) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        MS_PANIC("undeclared option --", name);
+    if (it->second.kind != kind)
+        MS_PANIC("option --", name, " read with the wrong type");
+    return it->second;
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    return lookup(name, Kind::String).value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    return std::strtoll(lookup(name, Kind::Int).value.c_str(), nullptr,
+                        10);
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    return std::strtod(lookup(name, Kind::Double).value.c_str(),
+                       nullptr);
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return lookup(name, Kind::Flag).value == "true";
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream os;
+    os << description_ << "\n\nusage: " << program_ << " [options]\n";
+    for (const std::string &name : order_) {
+        const Option &opt = options_.at(name);
+        os << "  --" << name;
+        switch (opt.kind) {
+          case Kind::String:
+            os << " <string>";
+            break;
+          case Kind::Int:
+            os << " <int>";
+            break;
+          case Kind::Double:
+            os << " <number>";
+            break;
+          case Kind::Flag:
+            break;
+        }
+        os << "  " << opt.help;
+        if (opt.kind != Kind::Flag)
+            os << " (default: " << opt.def << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace microscale

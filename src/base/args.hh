@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A small command-line flag parser for the tools and examples:
+ * --name value / --name=value / --flag, with typed accessors,
+ * defaults, and an auto-generated usage text.
+ */
+
+#ifndef MICROSCALE_BASE_ARGS_HH
+#define MICROSCALE_BASE_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace microscale
+{
+
+/**
+ * Declarative flag set. Declare options, parse argv, read values.
+ */
+class ArgParser
+{
+  public:
+    explicit ArgParser(std::string program_description);
+
+    /** Declare a string option. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    /** Declare an integer option. */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+    /** Declare a floating-point option. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+    /** Declare a boolean switch (false unless given). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv.
+     * @return true on success; false (with a message on stderr) on
+     *         unknown options, missing values, or bad numbers. A
+     *         `--help` request prints usage and also returns false.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** Usage text assembled from the declarations. */
+    std::string usage() const;
+
+  private:
+    enum class Kind
+    {
+        String,
+        Int,
+        Double,
+        Flag,
+    };
+
+    struct Option
+    {
+        Kind kind;
+        std::string def;
+        std::string help;
+        std::string value;
+        bool set = false;
+    };
+
+    const Option &lookup(const std::string &name, Kind kind) const;
+
+    std::string description_;
+    std::string program_ = "prog";
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+};
+
+} // namespace microscale
+
+#endif // MICROSCALE_BASE_ARGS_HH

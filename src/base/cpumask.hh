@@ -1,0 +1,108 @@
+/**
+ * @file
+ * CpuMask: an affinity set over logical CPUs, like Linux cpumask_t.
+ *
+ * Fixed capacity of kMaxCpus (512) covers any topology this library
+ * builds (the paper's machine has 128 logical CPUs per socket).
+ */
+
+#ifndef MICROSCALE_BASE_CPUMASK_HH
+#define MICROSCALE_BASE_CPUMASK_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace microscale
+{
+
+/** Upper bound on logical CPUs in any modeled machine. */
+constexpr CpuId kMaxCpus = 512;
+
+/**
+ * A set of logical CPU ids with the usual set algebra, used for thread
+ * affinity, scheduling domains, and placement policies.
+ */
+class CpuMask
+{
+  public:
+    /** The empty mask. */
+    CpuMask() : words_{} {}
+
+    /** Mask containing the single CPU `cpu`. */
+    static CpuMask single(CpuId cpu);
+
+    /** Mask containing CPUs [first, last] inclusive. */
+    static CpuMask range(CpuId first, CpuId last);
+
+    /** Mask containing all CPUs in [0, count). */
+    static CpuMask firstN(CpuId count);
+
+    /** Add a CPU. */
+    void set(CpuId cpu);
+    /** Remove a CPU. */
+    void clear(CpuId cpu);
+    /** Membership test. */
+    bool test(CpuId cpu) const;
+
+    /** True when no CPU is set. */
+    bool empty() const;
+    /** Number of CPUs set. */
+    unsigned count() const;
+
+    /** Lowest CPU set, or kInvalidCpu when empty. */
+    CpuId first() const;
+    /** Lowest CPU set that is > `cpu`, or kInvalidCpu. */
+    CpuId next(CpuId cpu) const;
+
+    /** Set union. */
+    CpuMask operator|(const CpuMask &o) const;
+    /** Set intersection. */
+    CpuMask operator&(const CpuMask &o) const;
+    /** Set difference (this minus o). */
+    CpuMask operator-(const CpuMask &o) const;
+    CpuMask &operator|=(const CpuMask &o);
+    CpuMask &operator&=(const CpuMask &o);
+
+    bool operator==(const CpuMask &o) const { return words_ == o.words_; }
+    bool operator!=(const CpuMask &o) const { return !(*this == o); }
+
+    /** True when every CPU in this mask is also in `o`. */
+    bool subsetOf(const CpuMask &o) const;
+    /** True when the two masks share at least one CPU. */
+    bool intersects(const CpuMask &o) const;
+
+    /** Compact human-readable form, e.g. "0-3,8,12-15". */
+    std::string toString() const;
+
+    /** Iteration support: for (CpuId c : mask). */
+    class Iterator
+    {
+      public:
+        Iterator(const CpuMask *mask, CpuId cpu) : mask_(mask), cpu_(cpu) {}
+        CpuId operator*() const { return cpu_; }
+        Iterator &operator++()
+        {
+            cpu_ = mask_->next(cpu_);
+            return *this;
+        }
+        bool operator!=(const Iterator &o) const { return cpu_ != o.cpu_; }
+
+      private:
+        const CpuMask *mask_;
+        CpuId cpu_;
+    };
+
+    Iterator begin() const { return Iterator(this, first()); }
+    Iterator end() const { return Iterator(this, kInvalidCpu); }
+
+  private:
+    static constexpr unsigned kWords = kMaxCpus / 64;
+    std::array<std::uint64_t, kWords> words_;
+};
+
+} // namespace microscale
+
+#endif // MICROSCALE_BASE_CPUMASK_HH

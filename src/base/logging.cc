@@ -1,0 +1,67 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace microscale
+{
+
+namespace
+{
+LogLevel gLevel = LogLevel::Normal;
+} // namespace
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    LogLevel prev = gLevel;
+    gLevel = level;
+    return prev;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (gLevel != LogLevel::Quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (gLevel != LogLevel::Quiet)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+verboseImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "debug: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace microscale

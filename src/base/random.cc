@@ -1,0 +1,138 @@
+#include "base/random.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace microscale
+{
+
+std::uint64_t
+hashLabel(std::string_view label)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : label) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+namespace
+{
+
+// splitmix64: decorrelates nearby seeds before feeding mt19937_64.
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mixSeed(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    return splitmix64(s);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : engine_(mixSeed(seed))
+{
+}
+
+Rng::Rng(std::uint64_t master_seed, std::string_view stream_label)
+    : engine_(mixSeed(master_seed ^ hashLabel(stream_label)))
+{
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        MS_PANIC("uniformInt with lo > hi: ", lo, " > ", hi);
+    std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0.0)
+        MS_PANIC("exponential with non-positive mean: ", mean);
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double
+Rng::lognormal(double mean, double cv)
+{
+    if (mean <= 0.0)
+        MS_PANIC("lognormal with non-positive mean: ", mean);
+    if (cv <= 0.0)
+        return mean;
+    // For LogNormal(mu, sigma): mean = exp(mu + sigma^2/2),
+    // cv^2 = exp(sigma^2) - 1.
+    const double sigma2 = std::log1p(cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    std::lognormal_distribution<double> dist(mu, std::sqrt(sigma2));
+    return dist(engine_);
+}
+
+bool
+Rng::chance(double probability)
+{
+    if (probability <= 0.0)
+        return false;
+    if (probability >= 1.0)
+        return true;
+    return uniform01() < probability;
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            MS_PANIC("negative weight in weightedIndex");
+        total += w;
+    }
+    if (total <= 0.0)
+        MS_PANIC("weightedIndex with zero total weight");
+    double x = uniformReal(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (x < weights[i])
+            return i;
+        x -= weights[i];
+    }
+    return weights.size() - 1;
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    if (n == 0)
+        MS_PANIC("index() over empty range");
+    return static_cast<std::size_t>(uniformInt(0, n - 1));
+}
+
+} // namespace microscale

@@ -1,0 +1,207 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace microscale
+{
+
+void
+SampleStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+SampleStats::merge(const SampleStats &o)
+{
+    if (o.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = o;
+        return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(o.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += o.m2_ + delta * delta * n1 * n2 / n;
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
+void
+SampleStats::reset()
+{
+    *this = SampleStats();
+}
+
+double
+SampleStats::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+SampleStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+SampleStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+SampleStats::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+SampleStats::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+QuantileHistogram::QuantileHistogram() : buckets_(kBuckets, 0)
+{
+}
+
+unsigned
+QuantileHistogram::bucketFor(double value)
+{
+    if (value < 1.0)
+        return 0;
+    int exp;
+    double frac = std::frexp(value, &exp); // value = frac * 2^exp
+    // frac in [0.5, 1): sub-bucket index from its fractional position.
+    unsigned octave = static_cast<unsigned>(exp - 1);
+    if (octave >= kOctaves)
+        return kBuckets - 1;
+    auto sub = static_cast<unsigned>((frac - 0.5) * 2.0 * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    return 1 + octave * kSubBuckets + sub;
+}
+
+double
+QuantileHistogram::bucketLow(unsigned b)
+{
+    if (b == 0)
+        return 0.0;
+    const unsigned idx = b - 1;
+    const unsigned octave = idx / kSubBuckets;
+    const unsigned sub = idx % kSubBuckets;
+    const double base = std::ldexp(1.0, static_cast<int>(octave));
+    return base * (1.0 + static_cast<double>(sub) / kSubBuckets);
+}
+
+double
+QuantileHistogram::bucketHigh(unsigned b)
+{
+    if (b == 0)
+        return 1.0;
+    const unsigned idx = b - 1;
+    const unsigned octave = idx / kSubBuckets;
+    const unsigned sub = idx % kSubBuckets;
+    const double base = std::ldexp(1.0, static_cast<int>(octave));
+    return base * (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+}
+
+void
+QuantileHistogram::add(double value)
+{
+    if (value < 0.0)
+        value = 0.0;
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    ++buckets_[bucketFor(value)];
+}
+
+void
+QuantileHistogram::merge(const QuantileHistogram &o)
+{
+    if (o.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = o.min_;
+        max_ = o.max_;
+    } else {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets_[i] += o.buckets_[i];
+}
+
+void
+QuantileHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = max_ = 0.0;
+}
+
+double
+QuantileHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+QuantileHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n = buckets_[b];
+        if (n == 0)
+            continue;
+        if (static_cast<double>(seen + n) >= target) {
+            // Interpolate within the bucket, clamped to observed extrema.
+            const double within =
+                n ? (target - static_cast<double>(seen)) /
+                        static_cast<double>(n)
+                  : 0.0;
+            const double lo = bucketLow(b);
+            const double hi = bucketHigh(b);
+            double v = lo + within * (hi - lo);
+            return std::clamp(v, min_, max_);
+        }
+        seen += n;
+    }
+    return max_;
+}
+
+} // namespace microscale

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Lightweight statistics containers used throughout the simulator.
+ *
+ * SampleStats accumulates streaming moments; QuantileHistogram is a
+ * log-linear (HDR-style) histogram giving bounded-error percentiles
+ * without retaining samples, suitable for millions of latency points.
+ */
+
+#ifndef MICROSCALE_BASE_STATS_HH
+#define MICROSCALE_BASE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace microscale
+{
+
+/**
+ * Streaming mean / variance / extrema over double-valued samples
+ * (Welford's algorithm; numerically stable).
+ */
+class SampleStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const SampleStats &o);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    /** Sample variance (n-1 denominator); 0 with fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Log-linear histogram over non-negative values with relative bucket
+ * error of about 1/kSubBuckets. Percentile queries interpolate inside
+ * the matched bucket.
+ */
+class QuantileHistogram
+{
+  public:
+    QuantileHistogram();
+
+    /** Record one non-negative value (negatives clamp to zero). */
+    void add(double value);
+
+    /** Merge another histogram into this one. */
+    void merge(const QuantileHistogram &o);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Value at the given quantile.
+     * @param q in [0, 1]; q=0.5 is the median.
+     */
+    double quantile(double q) const;
+
+    /** Shorthand: quantile(0.50). */
+    double p50() const { return quantile(0.50); }
+    /** Shorthand: quantile(0.95). */
+    double p95() const { return quantile(0.95); }
+    /** Shorthand: quantile(0.99). */
+    double p99() const { return quantile(0.99); }
+
+  private:
+    static constexpr unsigned kSubBucketBits = 5; // 32 sub-buckets/octave
+    static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+    static constexpr unsigned kOctaves = 40; // covers ~1e12 range
+    static constexpr unsigned kBuckets = kOctaves * kSubBuckets + 1;
+
+    static unsigned bucketFor(double value);
+    static double bucketLow(unsigned b);
+    static double bucketHigh(unsigned b);
+
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace microscale
+
+#endif // MICROSCALE_BASE_STATS_HH

@@ -1,0 +1,151 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace microscale
+{
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+formatPercent(double ratio, int precision)
+{
+    std::ostringstream os;
+    os << (ratio >= 0 ? "+" : "") << std::fixed
+       << std::setprecision(precision) << ratio * 100.0 << "%";
+    return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        MS_PANIC("TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        MS_PANIC("TextTable row width ", cells.size(),
+                 " != header width ", headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+TextTable::Row::~Row()
+{
+    table_.addRow(std::move(cells_));
+}
+
+TextTable::Row &
+TextTable::Row::cell(const std::string &s)
+{
+    cells_.push_back(s);
+    return *this;
+}
+
+TextTable::Row &
+TextTable::Row::cell(const char *s)
+{
+    cells_.emplace_back(s);
+    return *this;
+}
+
+TextTable::Row &
+TextTable::Row::cell(double v, int precision)
+{
+    cells_.push_back(formatDouble(v, precision));
+    return *this;
+}
+
+TextTable::Row &
+TextTable::Row::cell(std::uint64_t v)
+{
+    cells_.push_back(std::to_string(v));
+    return *this;
+}
+
+TextTable::Row &
+TextTable::Row::cell(int v)
+{
+    cells_.push_back(std::to_string(v));
+    return *this;
+}
+
+TextTable::Row &
+TextTable::Row::cell(unsigned v)
+{
+    cells_.push_back(std::to_string(v));
+    return *this;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << "  " << std::left << std::setw(static_cast<int>(widths[i]))
+               << cells[i];
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ",";
+            // Quote cells that contain commas.
+            if (cells[i].find(',') != std::string::npos)
+                os << '"' << cells[i] << '"';
+            else
+                os << cells[i];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+TextTable::printWithCaption(const std::string &caption) const
+{
+    std::cout << "\n" << caption << "\n";
+    print(std::cout);
+    std::cout.flush();
+}
+
+} // namespace microscale

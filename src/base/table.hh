@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TextTable: aligned, paper-style tabular output for the benchmark
+ * harness, with optional CSV emission for plotting.
+ */
+
+#ifndef MICROSCALE_BASE_TABLE_HH
+#define MICROSCALE_BASE_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace microscale
+{
+
+/**
+ * Builds a table row by row and renders it either as an aligned text
+ * table (for terminal output) or CSV (for plotting scripts).
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a pre-stringified row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Row builder collecting heterogenous cells. */
+    class Row
+    {
+      public:
+        explicit Row(TextTable &table) : table_(table) {}
+        ~Row();
+        Row(const Row &) = delete;
+        Row &operator=(const Row &) = delete;
+
+        Row &cell(const std::string &s);
+        Row &cell(const char *s);
+        /** Format a double with the given precision. */
+        Row &cell(double v, int precision = 2);
+        Row &cell(std::uint64_t v);
+        Row &cell(int v);
+        Row &cell(unsigned v);
+
+      private:
+        TextTable &table_;
+        std::vector<std::string> cells_;
+    };
+
+    /** Start a new row; the row is committed when it goes out of scope. */
+    Row row() { return Row(*this); }
+
+    /** Number of committed data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** Render to stdout with a caption line above. */
+    void printWithCaption(const std::string &caption) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string formatDouble(double v, int precision);
+
+/** Format a ratio as a signed percentage, e.g. "+22.1%". */
+std::string formatPercent(double ratio, int precision = 1);
+
+} // namespace microscale
+
+#endif // MICROSCALE_BASE_TABLE_HH

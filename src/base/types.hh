@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fundamental scalar types and time units shared by every module.
+ *
+ * Simulated time is an integer tick count; one tick is one nanosecond.
+ * Integer ticks keep event ordering exact and make the event queue
+ * deterministic across platforms.
+ */
+
+#ifndef MICROSCALE_BASE_TYPES_HH
+#define MICROSCALE_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace microscale
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed tick difference. */
+using TickDelta = std::int64_t;
+
+/** One nanosecond, the base resolution. */
+constexpr Tick kNanosecond = 1;
+/** One microsecond in ticks. */
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+/** One millisecond in ticks. */
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+/** One second in ticks. */
+constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** A tick value that compares greater than any reachable time. */
+constexpr Tick kTickNever = ~Tick(0);
+
+/** Convert ticks to (floating point) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert ticks to (floating point) milliseconds. */
+constexpr double
+ticksToMillis(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/** Convert ticks to (floating point) microseconds. */
+constexpr double
+ticksToMicros(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/** Convert (floating point) seconds to ticks, rounding to nearest. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+/** Identifier of a hardware thread (logical CPU). */
+using CpuId = std::uint32_t;
+/** Identifier of a physical core. */
+using CoreId = std::uint32_t;
+/** Identifier of a core complex (CCX, shared-L3 cluster). */
+using CcxId = std::uint32_t;
+/** Identifier of a NUMA node. */
+using NodeId = std::uint32_t;
+/** Identifier of a socket. */
+using SocketId = std::uint32_t;
+
+/** Sentinel for "no CPU / unplaced". */
+constexpr CpuId kInvalidCpu = ~CpuId(0);
+/** Sentinel for "no NUMA node". */
+constexpr NodeId kInvalidNode = ~NodeId(0);
+
+} // namespace microscale
+
+#endif // MICROSCALE_BASE_TYPES_HH

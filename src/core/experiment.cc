@@ -1,0 +1,225 @@
+#include "core/experiment.hh"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+#include "cpu/exec.hh"
+#include "sim/simulation.hh"
+
+namespace microscale::core
+{
+
+namespace
+{
+
+OpLatency
+summarizeHistogram(const QuantileHistogram &h)
+{
+    OpLatency l;
+    l.count = h.count();
+    l.meanMs = h.mean() / static_cast<double>(kMillisecond);
+    l.p50Ms = h.p50() / static_cast<double>(kMillisecond);
+    l.p95Ms = h.p95() / static_cast<double>(kMillisecond);
+    l.p99Ms = h.p99() / static_cast<double>(kMillisecond);
+    return l;
+}
+
+os::SchedStats
+schedDelta(const os::SchedStats &end, const os::SchedStats &start)
+{
+    os::SchedStats d;
+    d.wakeups = end.wakeups - start.wakeups;
+    d.contextSwitches = end.contextSwitches - start.contextSwitches;
+    d.preemptions = end.preemptions - start.preemptions;
+    d.migrations = end.migrations - start.migrations;
+    d.ccxMigrations = end.ccxMigrations - start.ccxMigrations;
+    d.balancePulls = end.balancePulls - start.balancePulls;
+    d.newIdlePulls = end.newIdlePulls - start.newIdlePulls;
+    return d;
+}
+
+} // namespace
+
+RunResult
+runExperiment(const ExperimentConfig &config)
+{
+    sim::Simulation sim;
+    topo::Machine machine(config.machine);
+    cpu::ExecEngine engine(sim, machine);
+    os::Kernel kernel(sim, machine, engine, config.sched, config.seed);
+    net::Network network(sim, config.net, config.seed);
+    svc::Mesh mesh(kernel, network, config.rpc, config.seed);
+
+    const CpuMask budget = budgetMask(machine, config.cores, config.smt);
+    PlacementPlan plan = buildPlacement(config.placement, machine, budget,
+                                        config.demand, config.sizing);
+
+    teastore::AppParams app_params = config.app;
+    sizeAppFromPlan(app_params, plan);
+    teastore::App app(mesh, app_params, config.seed);
+    applyPlacement(app, plan);
+
+    const loadgen::BrowseMix &mix = config.mix;
+    std::unique_ptr<loadgen::ClosedLoopDriver> closed;
+    std::unique_ptr<loadgen::OpenLoopDriver> open;
+    loadgen::Measurement *measurement = nullptr;
+    if (config.openLoopRps > 0.0) {
+        loadgen::OpenLoopParams p;
+        p.arrivalRps = config.openLoopRps;
+        open = std::make_unique<loadgen::OpenLoopDriver>(app, mix, p,
+                                                         config.seed);
+        measurement = &open->measurement();
+    } else {
+        closed = std::make_unique<loadgen::ClosedLoopDriver>(
+            app, mix, config.load, config.seed);
+        measurement = &closed->measurement();
+    }
+    measurement->setWindow(config.warmup, config.warmup + config.measure);
+
+    kernel.start();
+    app.start();
+    if (closed)
+        closed->start();
+    else
+        open->start();
+
+    // Warmup, then snapshot everything.
+    sim.runUntil(config.warmup);
+    engine.bankAll();
+    std::map<std::string, cpu::PerfCounters> at_warmup;
+    for (svc::Service *s : app.services())
+        at_warmup[s->name()] = s->aggregateCounters();
+    const os::SchedStats sched_at_warmup = kernel.stats();
+    const std::vector<double> busy_at_warmup = engine.cpuBusySnapshot();
+    // Per-op histograms restart at the window so breakdowns are clean.
+    for (svc::Service *s : app.services())
+        s->resetStats();
+
+    // Measurement window.
+    sim.runUntil(config.warmup + config.measure);
+    engine.bankAll();
+
+    RunResult result;
+    result.plan = plan;
+    result.budgetCpus = budget.count();
+    result.eventsProcessed = sim.eventsProcessed();
+
+    result.throughputRps = measurement->throughputRps();
+    result.latency = summarizeHistogram(measurement->latencyNs());
+    for (teastore::OpType op : teastore::allOps()) {
+        result.perOp[teastore::opName(op)] =
+            summarizeHistogram(measurement->latencyNsFor(op));
+    }
+
+    cpu::PerfCounters total;
+    for (svc::Service *s : app.services()) {
+        const cpu::PerfCounters delta =
+            s->aggregateCounters().delta(at_warmup[s->name()]);
+        result.servicePerf[s->name()] =
+            perf::makeRow(s->name(), delta, config.measure);
+        total.merge(delta);
+    }
+    result.total = perf::makeRow("total", total, config.measure);
+    result.sched = schedDelta(kernel.stats(), sched_at_warmup);
+    result.avgFreqGhz = total.ghz();
+
+    constexpr double kMs = static_cast<double>(kMillisecond);
+    for (svc::Service *s : app.services()) {
+        for (const auto &[op, stats] : s->opStats()) {
+            OpBreakdown b;
+            b.count = stats.requests;
+            b.serviceTimeMeanMs = stats.serviceTimeNs.mean() / kMs;
+            b.queueWaitMeanMs = stats.queueWaitNs.mean() / kMs;
+            b.computeMeanMs = stats.computeNs.mean() / kMs;
+            b.stallMeanMs = stats.stallNs.mean() / kMs;
+            b.serviceTimeP99Ms = stats.serviceTimeNs.p99() / kMs;
+            result.breakdown[s->name()][op] = b;
+        }
+    }
+
+    const std::vector<double> busy_at_end = engine.cpuBusySnapshot();
+    double busy = 0.0;
+    for (CpuId c : budget)
+        busy += busy_at_end[c] - busy_at_warmup[c];
+    result.cpuUtilization =
+        busy / (static_cast<double>(budget.count()) *
+                static_cast<double>(config.measure));
+
+    // Orderly teardown: stop sources before the world is destroyed.
+    if (closed)
+        closed->stopIssuing();
+    if (open)
+        open->stopIssuing();
+    app.stop();
+    kernel.stop();
+    return result;
+}
+
+DemandShares
+measureDemand(ExperimentConfig config)
+{
+    config.placement = PlacementKind::OsDefault;
+    config.warmup = 300 * kMillisecond;
+    config.measure = 700 * kMillisecond;
+    const RunResult r = runExperiment(config);
+
+    DemandShares d;
+    d.webui = r.servicePerf.at(teastore::names::kWebui).utilizationCpus;
+    d.auth = r.servicePerf.at(teastore::names::kAuth).utilizationCpus;
+    d.persistence =
+        r.servicePerf.at(teastore::names::kPersistence).utilizationCpus;
+    d.recommender =
+        r.servicePerf.at(teastore::names::kRecommender).utilizationCpus;
+    d.image = r.servicePerf.at(teastore::names::kImage).utilizationCpus;
+    d.normalize();
+    return d;
+}
+
+DemandShares
+demandFromRun(const RunResult &result)
+{
+    DemandShares d;
+    d.webui =
+        result.servicePerf.at(teastore::names::kWebui).utilizationCpus;
+    d.auth =
+        result.servicePerf.at(teastore::names::kAuth).utilizationCpus;
+    d.persistence = result.servicePerf.at(teastore::names::kPersistence)
+                        .utilizationCpus;
+    d.recommender = result.servicePerf.at(teastore::names::kRecommender)
+                        .utilizationCpus;
+    d.image =
+        result.servicePerf.at(teastore::names::kImage).utilizationCpus;
+    d.normalize();
+    return d;
+}
+
+RunResult
+runRefined(ExperimentConfig config, unsigned rounds,
+           DemandShares *refined_out)
+{
+    RunResult result = runExperiment(config);
+    for (unsigned i = 0; i < rounds; ++i) {
+        config.demand = demandFromRun(result);
+        result = runExperiment(config);
+    }
+    if (refined_out)
+        *refined_out = demandFromRun(result);
+    return result;
+}
+
+std::string
+summarize(const RunResult &r)
+{
+    std::ostringstream os;
+    os << "tput=" << formatDouble(r.throughputRps, 0) << " req/s"
+       << "  p50=" << formatDouble(r.latency.p50Ms, 2) << "ms"
+       << "  p95=" << formatDouble(r.latency.p95Ms, 2) << "ms"
+       << "  p99=" << formatDouble(r.latency.p99Ms, 2) << "ms"
+       << "  util=" << formatDouble(r.cpuUtilization * 100.0, 1) << "%"
+       << "  freq=" << formatDouble(r.avgFreqGhz, 2) << "GHz";
+    return os.str();
+}
+
+} // namespace microscale::core

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The scale-up experiment runner: assembles machine + OS + application
+ * + load, runs warmup and measurement windows, and returns the metrics
+ * the paper reports (throughput, latency percentiles, per-service
+ * microarchitectural counters, scheduler activity, utilization).
+ */
+
+#ifndef MICROSCALE_CORE_EXPERIMENT_HH
+#define MICROSCALE_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "base/types.hh"
+#include "core/placement.hh"
+#include "loadgen/driver.hh"
+#include "net/network.hh"
+#include "os/kernel.hh"
+#include "perf/report.hh"
+#include "svc/mesh.hh"
+#include "teastore/app.hh"
+#include "topo/presets.hh"
+
+namespace microscale::core
+{
+
+/** Everything one run needs. */
+struct ExperimentConfig
+{
+    topo::MachineParams machine = topo::rome128();
+
+    /** Physical cores in the budget; 0 = all. */
+    unsigned cores = 0;
+    /** Include SMT siblings of the budget cores. */
+    bool smt = true;
+
+    PlacementKind placement = PlacementKind::OsDefault;
+    DemandShares demand;
+    BaselineSizing sizing;
+
+    teastore::AppParams app;
+
+    /** Request mix driving either load generator. */
+    loadgen::BrowseMix mix{};
+
+    /** Closed-loop load (the default). */
+    loadgen::ClosedLoopParams load{/*users=*/768,
+                                   /*meanThink=*/250 * kMillisecond,
+                                   /*rampTime=*/100 * kMillisecond};
+
+    /** When > 0, use an open-loop driver at this arrival rate instead. */
+    double openLoopRps = 0.0;
+
+    Tick warmup = 500 * kMillisecond;
+    Tick measure = 2 * kSecond;
+
+    os::SchedParams sched;
+    net::NetParams net;
+    svc::RpcCostParams rpc;
+
+    std::uint64_t seed = 42;
+};
+
+/** Per-op latency summary in milliseconds. */
+struct OpLatency
+{
+    std::uint64_t count = 0;
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+/**
+ * Where one service op's time goes (means over the window, ms):
+ * waiting for a worker, computing on a CPU, or stalled (blocked on
+ * downstream calls / preempted).
+ */
+struct OpBreakdown
+{
+    std::uint64_t count = 0;
+    double serviceTimeMeanMs = 0.0;
+    double queueWaitMeanMs = 0.0;
+    double computeMeanMs = 0.0;
+    double stallMeanMs = 0.0;
+    double serviceTimeP99Ms = 0.0;
+};
+
+/** Results of one run. */
+struct RunResult
+{
+    double throughputRps = 0.0;
+    OpLatency latency; ///< over all ops
+    std::map<std::string, OpLatency> perOp;
+
+    std::map<std::string, perf::PerfRow> servicePerf;
+    perf::PerfRow total; ///< aggregate over all services
+
+    /** Per service, per op: where the time goes (window only). */
+    std::map<std::string, std::map<std::string, OpBreakdown>> breakdown;
+
+    os::SchedStats sched;
+    /** Busy fraction of the CPU budget during the window. */
+    double cpuUtilization = 0.0;
+    double avgFreqGhz = 0.0;
+    unsigned budgetCpus = 0;
+    std::uint64_t eventsProcessed = 0;
+    PlacementPlan plan;
+};
+
+/** Run one experiment end to end. */
+RunResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Measure per-service demand shares with a short OsDefault run of the
+ * given configuration (placement/duration overridden internally).
+ */
+DemandShares measureDemand(ExperimentConfig config);
+
+/**
+ * Demand shares implied by a finished run: each service's CPU time
+ * per completed request, normalized. Taken from a *pinned* run these
+ * reflect pinned-regime IPC, which differs per service (cache-bound
+ * services speed up more under CCX affinity than frontend-bound ones).
+ */
+DemandShares demandFromRun(const RunResult &result);
+
+/**
+ * Run a pinned placement with iterative partition refinement: run,
+ * re-derive demand from the observed per-service CPU cost, re-
+ * partition, repeat. `rounds` extra runs (1-2 is enough to converge).
+ * The returned result is the final run; config.demand seeds round 0.
+ */
+RunResult runRefined(ExperimentConfig config, unsigned rounds = 2,
+                     DemandShares *refined_out = nullptr);
+
+/** One-line summary: "tput=... p50=... p99=...". */
+std::string summarize(const RunResult &r);
+
+} // namespace microscale::core
+
+#endif // MICROSCALE_CORE_EXPERIMENT_HH

@@ -1,0 +1,232 @@
+#include "core/json.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace microscale::core
+{
+
+namespace
+{
+
+/** Minimal JSON writer: objects/arrays with correct comma placement. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os)
+    {
+        os_ << std::setprecision(10);
+    }
+
+    void
+    beginObject()
+    {
+        comma();
+        os_ << "{";
+        first_ = true;
+    }
+
+    void
+    endObject()
+    {
+        os_ << "}";
+        first_ = false;
+    }
+
+    void
+    beginArray(const std::string &key)
+    {
+        this->key(key);
+        os_ << "[";
+        first_ = true;
+    }
+
+    void
+    endArray()
+    {
+        os_ << "]";
+        first_ = false;
+    }
+
+    void
+    key(const std::string &k)
+    {
+        comma();
+        os_ << '"' << k << "\":";
+        first_ = true; // value follows without comma
+    }
+
+    void
+    value(double v)
+    {
+        comma();
+        os_ << v;
+    }
+
+    void
+    value(std::uint64_t v)
+    {
+        comma();
+        os_ << v;
+    }
+
+    void
+    value(const std::string &v)
+    {
+        comma();
+        os_ << '"' << v << '"';
+    }
+
+    void
+    field(const std::string &k, double v)
+    {
+        key(k);
+        value(v);
+    }
+
+    void
+    field(const std::string &k, std::uint64_t v)
+    {
+        key(k);
+        value(v);
+    }
+
+    void
+    field(const std::string &k, unsigned v)
+    {
+        key(k);
+        value(static_cast<std::uint64_t>(v));
+    }
+
+    void
+    field(const std::string &k, const std::string &v)
+    {
+        key(k);
+        value(v);
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (!first_)
+            os_ << ",";
+        first_ = false;
+    }
+
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+void
+writeOpLatency(JsonWriter &w, const OpLatency &l)
+{
+    w.beginObject();
+    w.field("count", l.count);
+    w.field("mean_ms", l.meanMs);
+    w.field("p50_ms", l.p50Ms);
+    w.field("p95_ms", l.p95Ms);
+    w.field("p99_ms", l.p99Ms);
+    w.endObject();
+}
+
+void
+writePerfRow(JsonWriter &w, const perf::PerfRow &r)
+{
+    w.beginObject();
+    w.field("cpus_busy", r.utilizationCpus);
+    w.field("ipc", r.ipc);
+    w.field("ghz", r.ghz);
+    w.field("l3_mpki", r.l3Mpki);
+    w.field("l3_miss_ratio", r.l3MissRatio);
+    w.field("branch_mpki", r.branchMpki);
+    w.field("icache_mpki", r.icacheMpki);
+    w.field("kernel_share", r.kernelShare);
+    w.field("smt_share", r.smtShare);
+    w.field("cs_per_sec", r.csPerSec);
+    w.field("migrations_per_sec", r.migrationsPerSec);
+    w.field("ccx_migrations_per_sec", r.ccxMigrationsPerSec);
+    w.field("mips", r.mips);
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeJson(std::ostream &os, const RunResult &result)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("placement", std::string(placementName(result.plan.kind)));
+    w.field("throughput_rps", result.throughputRps);
+    w.field("budget_cpus", result.budgetCpus);
+    w.field("cpu_utilization", result.cpuUtilization);
+    w.field("avg_freq_ghz", result.avgFreqGhz);
+    w.field("events_processed", result.eventsProcessed);
+
+    w.key("latency");
+    writeOpLatency(w, result.latency);
+
+    w.key("per_op");
+    w.beginObject();
+    for (const auto &[name, lat] : result.perOp) {
+        w.key(name);
+        writeOpLatency(w, lat);
+    }
+    w.endObject();
+
+    w.key("services");
+    w.beginObject();
+    for (const auto &[name, row] : result.servicePerf) {
+        w.key(name);
+        writePerfRow(w, row);
+    }
+    w.endObject();
+
+    w.key("total");
+    writePerfRow(w, result.total);
+
+    w.key("sched");
+    w.beginObject();
+    w.field("wakeups", result.sched.wakeups);
+    w.field("context_switches", result.sched.contextSwitches);
+    w.field("preemptions", result.sched.preemptions);
+    w.field("migrations", result.sched.migrations);
+    w.field("ccx_migrations", result.sched.ccxMigrations);
+    w.field("balance_pulls", result.sched.balancePulls);
+    w.field("new_idle_pulls", result.sched.newIdlePulls);
+    w.endObject();
+
+    w.key("breakdown");
+    w.beginObject();
+    for (const auto &[svc_name, ops] : result.breakdown) {
+        w.key(svc_name);
+        w.beginObject();
+        for (const auto &[op, b] : ops) {
+            w.key(op);
+            w.beginObject();
+            w.field("count", b.count);
+            w.field("service_time_mean_ms", b.serviceTimeMeanMs);
+            w.field("queue_wait_mean_ms", b.queueWaitMeanMs);
+            w.field("compute_mean_ms", b.computeMeanMs);
+            w.field("stall_mean_ms", b.stallMeanMs);
+            w.field("service_time_p99_ms", b.serviceTimeP99Ms);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+    os << "\n";
+}
+
+std::string
+toJson(const RunResult &result)
+{
+    std::ostringstream os;
+    writeJson(os, result);
+    return os.str();
+}
+
+} // namespace microscale::core

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * JSON export of experiment results, for scripting and plotting
+ * pipelines (msim --json, notebooks, CI dashboards).
+ */
+
+#ifndef MICROSCALE_CORE_JSON_HH
+#define MICROSCALE_CORE_JSON_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace microscale::core
+{
+
+/**
+ * Serialize a RunResult as a single JSON object: headline metrics,
+ * per-op latency, per-service counters, scheduler stats, and the
+ * per-op breakdowns. Deterministic key order (maps are sorted).
+ */
+void writeJson(std::ostream &os, const RunResult &result);
+
+/** Convenience: writeJson into a string. */
+std::string toJson(const RunResult &result);
+
+} // namespace microscale::core
+
+#endif // MICROSCALE_CORE_JSON_HH

@@ -1,0 +1,399 @@
+#include "core/placement.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace microscale::core
+{
+
+namespace ts = teastore;
+
+const char *
+placementName(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::OsDefault:
+        return "os-default";
+      case PlacementKind::NodeAware:
+        return "node-aware";
+      case PlacementKind::CcxAware:
+        return "ccx-aware";
+      case PlacementKind::CcxStripedMem:
+        return "ccx-striped-mem";
+    }
+    MS_PANIC("invalid PlacementKind");
+}
+
+std::vector<PlacementKind>
+allPlacements()
+{
+    return {PlacementKind::OsDefault, PlacementKind::NodeAware,
+            PlacementKind::CcxAware, PlacementKind::CcxStripedMem};
+}
+
+void
+DemandShares::normalize()
+{
+    const double sum = webui + auth + persistence + recommender + image;
+    if (sum <= 0.0)
+        fatal("demand shares sum to zero");
+    webui /= sum;
+    auth /= sum;
+    persistence /= sum;
+    recommender /= sum;
+    image /= sum;
+}
+
+double
+DemandShares::of(const std::string &service) const
+{
+    if (service == ts::names::kWebui)
+        return webui;
+    if (service == ts::names::kAuth)
+        return auth;
+    if (service == ts::names::kPersistence)
+        return persistence;
+    if (service == ts::names::kRecommender)
+        return recommender;
+    if (service == ts::names::kImage)
+        return image;
+    fatal("no demand share for service '", service, "'");
+}
+
+teastore::ServiceConfig &
+BaselineSizing::byName(const std::string &service)
+{
+    if (service == ts::names::kWebui)
+        return webui;
+    if (service == ts::names::kAuth)
+        return auth;
+    if (service == ts::names::kPersistence)
+        return persistence;
+    if (service == ts::names::kRecommender)
+        return recommender;
+    if (service == ts::names::kImage)
+        return image;
+    if (service == ts::names::kRegistry)
+        return registry;
+    fatal("no sizing for service '", service, "'");
+}
+
+const teastore::ServiceConfig &
+BaselineSizing::byName(const std::string &service) const
+{
+    return const_cast<BaselineSizing *>(this)->byName(service);
+}
+
+std::string
+PlacementPlan::describe() const
+{
+    std::ostringstream os;
+    os << "placement: " << placementName(kind) << "\n";
+    for (const auto &[name, plan] : services) {
+        os << "  " << name << ": " << plan.replicas << " replica(s) x "
+           << plan.workers << " workers\n";
+        for (unsigned r = 0; r < plan.replicas; ++r) {
+            os << "    r" << r << " cpus " << plan.masks[r].toString();
+            if (plan.homes[r] != kInvalidNode)
+                os << " mem-node " << plan.homes[r];
+            else
+                os << " mem first-touch";
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+CpuMask
+budgetMask(const topo::Machine &machine, unsigned cores, bool smt)
+{
+    if (cores == 0 || cores > machine.numCores())
+        cores = machine.numCores();
+    CpuMask m = CpuMask::firstN(cores);
+    if (smt && machine.threadsPerCore() == 2) {
+        for (CpuId c = 0; c < cores; ++c)
+            m.set(c + machine.numCores());
+    }
+    return m;
+}
+
+namespace
+{
+
+/** The five worker services in canonical planning order. */
+const std::vector<std::string> &
+workerServices()
+{
+    static const std::vector<std::string> names = {
+        ts::names::kWebui, ts::names::kAuth, ts::names::kPersistence,
+        ts::names::kRecommender, ts::names::kImage};
+    return names;
+}
+
+/**
+ * Allocate `total` group slots to the given demand shares so that the
+ * worst per-slot load (share_i / count_i) is minimized: everyone gets
+ * one slot, then each further slot goes to the service with the
+ * highest remaining per-slot load. Proportional rounding (largest
+ * remainder) can starve a mid-sized service by one slot and turn its
+ * partition into the end-to-end bottleneck; this greedy rule cannot.
+ */
+std::vector<unsigned>
+allocateCounts(const std::vector<double> &shares, unsigned total)
+{
+    const std::size_t n = shares.size();
+    std::vector<unsigned> counts(n, 0);
+    if (total >= n) {
+        for (std::size_t i = 0; i < n; ++i)
+            counts[i] = 1;
+        for (unsigned granted = static_cast<unsigned>(n);
+             granted < total; ++granted) {
+            std::size_t best = 0;
+            double best_ratio = -1.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double ratio = shares[i] / counts[i];
+                if (ratio > best_ratio) {
+                    best_ratio = ratio;
+                    best = i;
+                }
+            }
+            ++counts[best];
+        }
+    } else {
+        // Fewer slots than services: dedicate them to the largest
+        // shares; the rest will share (handled by the caller).
+        std::vector<std::size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return shares[a] > shares[b];
+                  });
+        for (unsigned k = 0; k < total; ++k)
+            counts[order[k]] = 1;
+    }
+    return counts;
+}
+
+/** Groups of CPUs to partition: one entry per CCX or node in budget. */
+struct Group
+{
+    CpuMask mask;
+    NodeId node = kInvalidNode;
+};
+
+std::vector<Group>
+ccxGroups(const topo::Machine &machine, const CpuMask &budget)
+{
+    std::vector<Group> groups;
+    for (CcxId x = 0; x < machine.numCcxs(); ++x) {
+        const CpuMask m = machine.cpusOfCcx(x) & budget;
+        if (!m.empty())
+            groups.push_back(Group{m, machine.nodeOfCcx(x)});
+    }
+    return groups;
+}
+
+std::vector<Group>
+nodeGroups(const topo::Machine &machine, const CpuMask &budget)
+{
+    std::vector<Group> groups;
+    for (NodeId n = 0; n < machine.numNodes(); ++n) {
+        const CpuMask m = machine.cpusOfNode(n) & budget;
+        if (!m.empty())
+            groups.push_back(Group{m, n});
+    }
+    return groups;
+}
+
+/**
+ * Partition `groups` among the worker services by demand and emit the
+ * pinned plan. Services that receive no dedicated group share the
+ * group of the smallest-demand owning service.
+ */
+void
+planPinned(PlacementPlan &plan, const std::vector<Group> &groups,
+           const DemandShares &demand, const BaselineSizing &sizing,
+           bool striped_memory, unsigned num_nodes)
+{
+    const auto &names = workerServices();
+    std::vector<double> shares;
+    shares.reserve(names.size());
+    for (const auto &n : names)
+        shares.push_back(demand.of(n));
+
+    const auto counts =
+        allocateCounts(shares, static_cast<unsigned>(groups.size()));
+
+    // Hand groups out in id order, largest demand first, so each
+    // service's groups are contiguous (and thus NUMA-compact).
+    std::vector<std::size_t> order(names.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        return shares[a] > shares[b];
+    });
+
+    std::size_t next_group = 0;
+    std::vector<std::vector<const Group *>> assigned(names.size());
+    for (std::size_t oi : order) {
+        for (unsigned k = 0; k < counts[oi] && next_group < groups.size();
+             ++k) {
+            assigned[oi].push_back(&groups[next_group++]);
+        }
+    }
+    // Zero-count services (possible when groups < services even after
+    // lifting) share the group of the smallest owning service.
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (assigned[i].empty()) {
+            const Group *fallback = nullptr;
+            for (auto it = order.rbegin(); it != order.rend(); ++it) {
+                if (!assigned[*it].empty()) {
+                    fallback = assigned[*it].back();
+                    break;
+                }
+            }
+            if (!fallback)
+                fatal("placement: no CPU groups available");
+            assigned[i].push_back(fallback);
+        }
+    }
+
+    unsigned replica_seq = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        ServicePlan sp;
+        sp.replicas = static_cast<unsigned>(assigned[i].size());
+        sp.workers = sizing.byName(names[i]).workers;
+        for (const Group *g : assigned[i]) {
+            sp.masks.push_back(g->mask);
+            NodeId home = g->node;
+            if (striped_memory && num_nodes > 1)
+                home = replica_seq % num_nodes;
+            sp.homes.push_back(home);
+            ++replica_seq;
+        }
+        plan.services[names[i]] = std::move(sp);
+    }
+
+    // The registry is tiny: co-locate it with auth's first replica.
+    const ServicePlan &auth_plan = plan.services[ts::names::kAuth];
+    ServicePlan reg;
+    reg.replicas = 1;
+    reg.workers = sizing.registry.workers;
+    reg.masks.push_back(auth_plan.masks.front());
+    reg.homes.push_back(auth_plan.homes.front());
+    plan.services[ts::names::kRegistry] = std::move(reg);
+}
+
+} // namespace
+
+PlacementPlan
+buildPlacement(PlacementKind kind, const topo::Machine &machine,
+               const CpuMask &budget, const DemandShares &demand,
+               const BaselineSizing &sizing)
+{
+    if (budget.empty())
+        fatal("placement with empty CPU budget");
+    if (!budget.subsetOf(machine.allCpus()))
+        fatal("placement budget exceeds the machine");
+
+    DemandShares norm = demand;
+    norm.normalize();
+
+    PlacementPlan plan;
+    plan.kind = kind;
+
+    switch (kind) {
+      case PlacementKind::OsDefault: {
+        auto add = [&](const std::string &name) {
+            const auto &cfg = sizing.byName(name);
+            ServicePlan sp;
+            sp.replicas = cfg.replicas;
+            sp.workers = cfg.workers;
+            sp.masks.assign(cfg.replicas, budget);
+            sp.homes.assign(cfg.replicas, kInvalidNode);
+            plan.services[name] = std::move(sp);
+        };
+        for (const auto &n : workerServices())
+            add(n);
+        add(ts::names::kRegistry);
+        break;
+      }
+      case PlacementKind::NodeAware: {
+        // Soft NUMA affinity (numactl-per-instance style): baseline
+        // replica counts, each replica confined to one node with local
+        // memory; the scheduler stays free within the node. Replicas
+        // round-robin over nodes so load stays balanced.
+        const auto groups = nodeGroups(machine, budget);
+        if (groups.empty())
+            fatal("placement: budget covers no NUMA node");
+        unsigned next = 0;
+        auto add = [&](const std::string &name) {
+            const auto &cfg = sizing.byName(name);
+            ServicePlan sp;
+            sp.replicas = cfg.replicas;
+            sp.workers = cfg.workers;
+            for (unsigned r = 0; r < cfg.replicas; ++r) {
+                const Group &g = groups[next++ % groups.size()];
+                sp.masks.push_back(g.mask);
+                sp.homes.push_back(g.node);
+            }
+            plan.services[name] = std::move(sp);
+        };
+        for (const auto &n : workerServices())
+            add(n);
+        add(ts::names::kRegistry);
+        break;
+      }
+      case PlacementKind::CcxAware:
+        planPinned(plan, ccxGroups(machine, budget), norm, sizing,
+                   false, machine.numNodes());
+        break;
+      case PlacementKind::CcxStripedMem:
+        planPinned(plan, ccxGroups(machine, budget), norm, sizing,
+                   true, machine.numNodes());
+        break;
+    }
+    return plan;
+}
+
+void
+sizeAppFromPlan(teastore::AppParams &params, const PlacementPlan &plan)
+{
+    auto apply = [&](const std::string &name,
+                     teastore::ServiceConfig &cfg) {
+        auto it = plan.services.find(name);
+        if (it == plan.services.end())
+            fatal("plan has no service '", name, "'");
+        cfg.replicas = it->second.replicas;
+        cfg.workers = it->second.workers;
+    };
+    apply(ts::names::kWebui, params.webui);
+    apply(ts::names::kAuth, params.auth);
+    apply(ts::names::kPersistence, params.persistence);
+    apply(ts::names::kRecommender, params.recommender);
+    apply(ts::names::kImage, params.image);
+    apply(ts::names::kRegistry, params.registry);
+}
+
+void
+applyPlacement(teastore::App &app, const PlacementPlan &plan)
+{
+    for (svc::Service *svc : app.services()) {
+        auto it = plan.services.find(svc->name());
+        if (it == plan.services.end())
+            fatal("plan has no service '", svc->name(), "'");
+        const ServicePlan &sp = it->second;
+        if (sp.replicas != svc->replicaCount()) {
+            fatal("plan/app replica mismatch for '", svc->name(), "': ",
+                  sp.replicas, " vs ", svc->replicaCount());
+        }
+        for (unsigned r = 0; r < sp.replicas; ++r)
+            svc->setReplicaPlacement(r, sp.masks[r], sp.homes[r]);
+    }
+}
+
+} // namespace microscale::core

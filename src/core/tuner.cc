@@ -1,0 +1,77 @@
+#include "core/tuner.hh"
+
+#include "base/logging.hh"
+
+namespace microscale::core
+{
+
+namespace
+{
+
+const std::vector<std::string> &
+tunableServices()
+{
+    static const std::vector<std::string> names = {
+        teastore::names::kWebui, teastore::names::kAuth,
+        teastore::names::kPersistence, teastore::names::kRecommender,
+        teastore::names::kImage};
+    return names;
+}
+
+} // namespace
+
+TunerResult
+tuneReplicas(ExperimentConfig config, TunerParams params)
+{
+    TunerResult result;
+    result.best = config.sizing;
+
+    auto evaluate = [&](const BaselineSizing &sizing) {
+        ExperimentConfig c = config;
+        c.sizing = sizing;
+        return runExperiment(c).throughputRps;
+    };
+
+    result.throughputRps = evaluate(result.best);
+    result.steps.push_back(
+        TunerStep{"", 0, result.throughputRps, true});
+
+    for (unsigned round = 0; round < params.maxRounds; ++round) {
+        std::string best_service;
+        double best_tput = result.throughputRps;
+        for (const auto &name : tunableServices()) {
+            BaselineSizing candidate = result.best;
+            auto &cfg = candidate.byName(name);
+            if (cfg.replicas >= params.maxReplicasPerService)
+                continue;
+            ++cfg.replicas;
+            const double tput = evaluate(candidate);
+            result.steps.push_back(TunerStep{
+                name, cfg.replicas, tput, false});
+            if (tput > best_tput) {
+                best_tput = tput;
+                best_service = name;
+            }
+        }
+        const double gain =
+            (best_tput - result.throughputRps) /
+            std::max(result.throughputRps, 1.0);
+        if (best_service.empty() || gain < params.minGain)
+            break;
+        ++result.best.byName(best_service).replicas;
+        result.throughputRps = best_tput;
+        result.steps.back().accepted = false; // marker fixed below
+        for (auto it = result.steps.rbegin(); it != result.steps.rend();
+             ++it) {
+            if (it->changedService == best_service &&
+                it->replicas ==
+                    result.best.byName(best_service).replicas) {
+                it->accepted = true;
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace microscale::core

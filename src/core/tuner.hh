@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Greedy per-service replica tuner: the "performance-tuned baseline"
+ * in the paper is obtained by tuning replica counts before applying
+ * topology-aware placement. The tuner hill-climbs on throughput,
+ * adding one replica at a time to the service whose addition helps
+ * most.
+ */
+
+#ifndef MICROSCALE_CORE_TUNER_HH
+#define MICROSCALE_CORE_TUNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace microscale::core
+{
+
+/** One tuner evaluation. */
+struct TunerStep
+{
+    std::string changedService; ///< empty for the initial point
+    unsigned replicas = 0;      ///< new replica count of that service
+    double throughputRps = 0.0;
+    bool accepted = false;
+};
+
+/** Tuner output. */
+struct TunerResult
+{
+    BaselineSizing best;
+    double throughputRps = 0.0;
+    std::vector<TunerStep> steps;
+};
+
+/** Tuner options. */
+struct TunerParams
+{
+    unsigned maxReplicasPerService = 8;
+    unsigned maxRounds = 8;
+    /** Minimum relative improvement to accept a step. */
+    double minGain = 0.01;
+};
+
+/**
+ * Tune replica counts starting from config.sizing. Every evaluation is
+ * a full runExperiment of `config` (shorten its windows for speed).
+ */
+TunerResult tuneReplicas(ExperimentConfig config, TunerParams params);
+
+} // namespace microscale::core
+
+#endif // MICROSCALE_CORE_TUNER_HH

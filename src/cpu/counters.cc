@@ -1,0 +1,46 @@
+#include "cpu/counters.hh"
+
+namespace microscale::cpu
+{
+
+void
+PerfCounters::merge(const PerfCounters &o)
+{
+    instructions += o.instructions;
+    cycles += o.cycles;
+    busyNs += o.busyNs;
+    l3Accesses += o.l3Accesses;
+    l3Misses += o.l3Misses;
+    branchMisses += o.branchMisses;
+    icacheMisses += o.icacheMisses;
+    kernelInstructions += o.kernelInstructions;
+    smtBusyNs += o.smtBusyNs;
+    coldNs += o.coldNs;
+    contextSwitches += o.contextSwitches;
+    migrations += o.migrations;
+    ccxMigrations += o.ccxMigrations;
+    wakeups += o.wakeups;
+}
+
+PerfCounters
+PerfCounters::delta(const PerfCounters &earlier) const
+{
+    PerfCounters d;
+    d.instructions = instructions - earlier.instructions;
+    d.cycles = cycles - earlier.cycles;
+    d.busyNs = busyNs - earlier.busyNs;
+    d.l3Accesses = l3Accesses - earlier.l3Accesses;
+    d.l3Misses = l3Misses - earlier.l3Misses;
+    d.branchMisses = branchMisses - earlier.branchMisses;
+    d.icacheMisses = icacheMisses - earlier.icacheMisses;
+    d.kernelInstructions = kernelInstructions - earlier.kernelInstructions;
+    d.smtBusyNs = smtBusyNs - earlier.smtBusyNs;
+    d.coldNs = coldNs - earlier.coldNs;
+    d.contextSwitches = contextSwitches - earlier.contextSwitches;
+    d.migrations = migrations - earlier.migrations;
+    d.ccxMigrations = ccxMigrations - earlier.ccxMigrations;
+    d.wakeups = wakeups - earlier.wakeups;
+    return d;
+}
+
+} // namespace microscale::cpu

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * PerfCounters: the hardware-performance-counter analogue. Filled by
+ * the execution engine (instructions, cycles, cache/branch events) and
+ * by the OS layer (context switches, migrations), then aggregated per
+ * thread, per service, or per CPU by the perf module.
+ */
+
+#ifndef MICROSCALE_CPU_COUNTERS_HH
+#define MICROSCALE_CPU_COUNTERS_HH
+
+#include <cstdint>
+
+namespace microscale::cpu
+{
+
+/**
+ * Accumulated event counts for one measurement interval.
+ * Instruction-derived values are doubles because the model retires
+ * fractional instruction quantities when banking partial execution.
+ */
+struct PerfCounters
+{
+    double instructions = 0;
+    /** Core cycles spent while scheduled (busy cycles). */
+    double cycles = 0;
+    /** Wall-clock nanoseconds spent scheduled on a CPU. */
+    double busyNs = 0;
+    double l3Accesses = 0;
+    double l3Misses = 0;
+    double branchMisses = 0;
+    double icacheMisses = 0;
+    double kernelInstructions = 0;
+    /** Busy time during which the SMT sibling was also busy. */
+    double smtBusyNs = 0;
+    /** Busy time spent with a cold (post-migration) cache. */
+    double coldNs = 0;
+
+    std::uint64_t contextSwitches = 0;
+    /** Cross-CPU moves; `ccxMigrations` counts the cross-CCX subset. */
+    std::uint64_t migrations = 0;
+    std::uint64_t ccxMigrations = 0;
+    std::uint64_t wakeups = 0;
+
+    /** Instructions per cycle over the interval. */
+    double ipc() const { return cycles > 0 ? instructions / cycles : 0.0; }
+
+    /** Average frequency in GHz (cycles per busy nanosecond). */
+    double ghz() const { return busyNs > 0 ? cycles / busyNs : 0.0; }
+
+    /** L3 misses per kilo-instruction. */
+    double l3Mpki() const
+    {
+        return instructions > 0 ? l3Misses / instructions * 1000.0 : 0.0;
+    }
+
+    /** Fraction of L3 accesses that miss to DRAM. */
+    double l3MissRatio() const
+    {
+        return l3Accesses > 0 ? l3Misses / l3Accesses : 0.0;
+    }
+
+    /** Branch mispredictions per kilo-instruction. */
+    double branchMpki() const
+    {
+        return instructions > 0 ? branchMisses / instructions * 1000.0
+                                : 0.0;
+    }
+
+    /** I-cache misses per kilo-instruction. */
+    double icacheMpki() const
+    {
+        return instructions > 0 ? icacheMisses / instructions * 1000.0
+                                : 0.0;
+    }
+
+    /** Fraction of instructions retired in kernel mode. */
+    double kernelShare() const
+    {
+        return instructions > 0 ? kernelInstructions / instructions : 0.0;
+    }
+
+    /** Fraction of busy time with the SMT sibling active. */
+    double smtShare() const
+    {
+        return busyNs > 0 ? smtBusyNs / busyNs : 0.0;
+    }
+
+    /** Add another interval's events into this one. */
+    void merge(const PerfCounters &o);
+
+    /** Per-field difference (this minus `earlier`), for window deltas. */
+    PerfCounters delta(const PerfCounters &earlier) const;
+
+    /** Zero everything. */
+    void reset() { *this = PerfCounters(); }
+};
+
+} // namespace microscale::cpu
+
+#endif // MICROSCALE_CPU_COUNTERS_HH

@@ -1,0 +1,54 @@
+#include "cpu/work.hh"
+
+#include "base/logging.hh"
+
+namespace microscale::cpu
+{
+
+void
+WorkProfile::validate() const
+{
+    if (ipcBase <= 0.0 || ipcBase > 8.0)
+        MS_PANIC("profile '", name, "': ipcBase ", ipcBase, " out of range");
+    if (branchMpki < 0.0 || icacheMpki < 0.0 || l3Apki < 0.0)
+        MS_PANIC("profile '", name, "': negative per-kinstr rate");
+    if (wssBytes < 0.0)
+        MS_PANIC("profile '", name, "': negative working set");
+    if (smtYield < 0.5 || smtYield > 1.0)
+        MS_PANIC("profile '", name, "': smtYield ", smtYield,
+                 " outside [0.5, 1]");
+    if (kernelShare < 0.0 || kernelShare > 1.0)
+        MS_PANIC("profile '", name, "': kernelShare outside [0, 1]");
+}
+
+WorkProfile
+computeBoundProfile()
+{
+    WorkProfile p;
+    p.name = "compute-bound";
+    p.ipcBase = 2.2;
+    p.branchMpki = 1.0;
+    p.icacheMpki = 0.3;
+    p.l3Apki = 0.4;
+    p.wssBytes = 1.0 * 1024 * 1024;
+    p.smtYield = 0.55;
+    p.kernelShare = 0.01;
+    return p;
+}
+
+WorkProfile
+memoryBoundProfile()
+{
+    WorkProfile p;
+    p.name = "memory-bound";
+    p.ipcBase = 1.4;
+    p.branchMpki = 2.0;
+    p.icacheMpki = 0.5;
+    p.l3Apki = 22.0;
+    p.wssBytes = 64.0 * 1024 * 1024;
+    p.smtYield = 0.75;
+    p.kernelShare = 0.01;
+    return p;
+}
+
+} // namespace microscale::cpu

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * WorkProfile: the microarchitectural fingerprint of a class of
+ * computation, expressed in counter-space quantities (base IPC, miss
+ * rates per kilo-instruction, working-set size). The execution engine
+ * turns a profile plus dynamic conditions (SMT sibling activity, L3
+ * occupancy, NUMA distance, frequency) into an instruction retire rate.
+ */
+
+#ifndef MICROSCALE_CPU_WORK_HH
+#define MICROSCALE_CPU_WORK_HH
+
+#include <string>
+
+namespace microscale::cpu
+{
+
+/**
+ * Static description of a computation class. Values are per-thread.
+ */
+struct WorkProfile
+{
+    std::string name = "generic";
+
+    /** IPC with warm private caches and no contention. */
+    double ipcBase = 1.0;
+
+    /** Mispredicted branches per kilo-instruction. */
+    double branchMpki = 4.0;
+
+    /** Instruction-cache misses (to L2) per kilo-instruction. */
+    double icacheMpki = 8.0;
+
+    /**
+     * Data accesses that miss L2 and reach the L3 per kilo-instruction;
+     * the L3 occupancy model decides how many continue to DRAM.
+     */
+    double l3Apki = 4.0;
+
+    /** Per-thread working set competing for the shared L3 slice. */
+    double wssBytes = 8.0 * 1024 * 1024;
+
+    /**
+     * Per-thread throughput multiplier when the SMT sibling is busy.
+     * 0.5 means SMT adds nothing; ~0.62 is typical of mixed server
+     * code (two threads yield ~1.24x a single thread).
+     */
+    double smtYield = 0.62;
+
+    /** Fraction of instructions retired in kernel mode (reported). */
+    double kernelShare = 0.15;
+
+    /** Validate ranges; panics on nonsensical values. */
+    void validate() const;
+};
+
+/** A compute-bound profile for calibration tests and SPEC-like kernels. */
+WorkProfile computeBoundProfile();
+
+/** A memory-bound profile for calibration tests. */
+WorkProfile memoryBoundProfile();
+
+} // namespace microscale::cpu
+
+#endif // MICROSCALE_CPU_WORK_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Relational schema of the store backing the Persistence service,
+ * mirroring TeaStore's entities: categories, products, users, orders
+ * and order items.
+ */
+
+#ifndef MICROSCALE_DB_SCHEMA_HH
+#define MICROSCALE_DB_SCHEMA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace microscale::db
+{
+
+using CategoryId = std::uint32_t;
+using ProductId = std::uint32_t;
+using UserId = std::uint32_t;
+using OrderId = std::uint64_t;
+
+struct Category
+{
+    CategoryId id = 0;
+    std::string name;
+};
+
+struct Product
+{
+    ProductId id = 0;
+    CategoryId category = 0;
+    std::string name;
+    /** List price in cents. */
+    std::uint32_t priceCents = 0;
+    /** Size of the associated full-resolution image in bytes. */
+    std::uint32_t imageBytes = 0;
+};
+
+struct User
+{
+    UserId id = 0;
+    std::string name;
+    /** Stored password hash (model value, not a real hash). */
+    std::uint64_t passwordHash = 0;
+};
+
+struct OrderItem
+{
+    ProductId product = 0;
+    std::uint16_t quantity = 0;
+    std::uint32_t unitPriceCents = 0;
+};
+
+struct Order
+{
+    OrderId id = 0;
+    UserId user = 0;
+    std::uint64_t placedAtTick = 0;
+    std::vector<OrderItem> items;
+    std::uint64_t totalCents = 0;
+};
+
+} // namespace microscale::db
+
+#endif // MICROSCALE_DB_SCHEMA_HH

@@ -1,0 +1,227 @@
+#include "db/store.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace microscale::db
+{
+
+namespace
+{
+
+/** log2-ish index descent cost for a map of the given size. */
+std::uint64_t
+descentCost(std::size_t size)
+{
+    std::uint64_t c = 1;
+    while (size > 1) {
+        size >>= 1;
+        ++c;
+    }
+    return c;
+}
+
+} // namespace
+
+Store::Store(StoreParams params, std::uint64_t seed) : params_(params)
+{
+    if (params_.categories == 0 || params_.productsPerCategory == 0)
+        fatal("store needs at least one category and product");
+    if (params_.users == 0)
+        fatal("store needs at least one user");
+
+    Rng rng(seed, "db.seed");
+
+    ProductId next_product = 1;
+    for (CategoryId c = 1; c <= params_.categories; ++c) {
+        Category cat;
+        cat.id = c;
+        cat.name = "category-" + std::to_string(c);
+        categories_.emplace(c, std::move(cat));
+
+        auto &index = products_by_category_[c];
+        for (unsigned i = 0; i < params_.productsPerCategory; ++i) {
+            Product p;
+            p.id = next_product++;
+            p.category = c;
+            p.name = "product-" + std::to_string(p.id);
+            p.priceCents =
+                static_cast<std::uint32_t>(rng.uniformInt(199, 9999));
+            const double img =
+                rng.lognormal(params_.meanImageBytes, 0.5);
+            p.imageBytes = static_cast<std::uint32_t>(
+                std::clamp(img, 8.0 * 1024, 2.0 * 1024 * 1024));
+            index.push_back(p.id);
+            products_.emplace(p.id, std::move(p));
+        }
+    }
+
+    for (UserId u = 1; u <= params_.users; ++u) {
+        User usr;
+        usr.id = u;
+        usr.name = "user-" + std::to_string(u);
+        usr.passwordHash = rng.uniformInt(1, ~std::uint64_t(0) - 1);
+        users_by_name_.emplace(usr.name, u);
+        users_.emplace(u, std::move(usr));
+    }
+}
+
+std::vector<CategoryId>
+Store::listCategories(QueryCost &cost) const
+{
+    cost.indexDescents += 1;
+    cost.rowsTouched += categories_.size();
+    std::vector<CategoryId> out;
+    out.reserve(categories_.size());
+    for (const auto &[id, cat] : categories_)
+        out.push_back(id);
+    return out;
+}
+
+std::vector<ProductId>
+Store::productsInCategory(CategoryId cat, unsigned offset, unsigned limit,
+                          QueryCost &cost) const
+{
+    cost.indexDescents += descentCost(products_by_category_.size());
+    auto it = products_by_category_.find(cat);
+    if (it == products_by_category_.end())
+        return {};
+    const auto &ids = it->second;
+    std::vector<ProductId> out;
+    // An OFFSET/LIMIT scan touches offset + page rows, like SQL does.
+    const std::size_t end =
+        std::min<std::size_t>(ids.size(),
+                              static_cast<std::size_t>(offset) + limit);
+    cost.rowsTouched += end;
+    for (std::size_t i = offset; i < end; ++i)
+        out.push_back(ids[i]);
+    return out;
+}
+
+const Product *
+Store::product(ProductId id, QueryCost &cost) const
+{
+    cost.indexDescents += descentCost(products_.size());
+    auto it = products_.find(id);
+    if (it == products_.end())
+        return nullptr;
+    cost.rowsTouched += 1;
+    return &it->second;
+}
+
+const Category *
+Store::category(CategoryId id, QueryCost &cost) const
+{
+    cost.indexDescents += descentCost(categories_.size());
+    auto it = categories_.find(id);
+    if (it == categories_.end())
+        return nullptr;
+    cost.rowsTouched += 1;
+    return &it->second;
+}
+
+const User *
+Store::userByName(const std::string &name, QueryCost &cost) const
+{
+    cost.indexDescents += descentCost(users_by_name_.size());
+    auto it = users_by_name_.find(name);
+    if (it == users_by_name_.end())
+        return nullptr;
+    return user(it->second, cost);
+}
+
+const User *
+Store::user(UserId id, QueryCost &cost) const
+{
+    cost.indexDescents += descentCost(users_.size());
+    auto it = users_.find(id);
+    if (it == users_.end())
+        return nullptr;
+    cost.rowsTouched += 1;
+    return &it->second;
+}
+
+std::vector<OrderId>
+Store::ordersOfUser(UserId user, unsigned limit, QueryCost &cost) const
+{
+    cost.indexDescents += descentCost(orders_by_user_.size());
+    auto it = orders_by_user_.find(user);
+    if (it == orders_by_user_.end())
+        return {};
+    const auto &ids = it->second;
+    std::vector<OrderId> out;
+    const std::size_t n = std::min<std::size_t>(ids.size(), limit);
+    cost.rowsTouched += n;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(ids[ids.size() - 1 - i]);
+    return out;
+}
+
+const Order *
+Store::order(OrderId id, QueryCost &cost) const
+{
+    cost.indexDescents += descentCost(orders_.size());
+    auto it = orders_.find(id);
+    if (it == orders_.end())
+        return nullptr;
+    cost.rowsTouched += 1;
+    return &it->second;
+}
+
+OrderId
+Store::placeOrder(UserId user, const std::vector<OrderItem> &items,
+                  std::uint64_t tick, QueryCost &cost)
+{
+    if (items.empty())
+        MS_PANIC("placeOrder with no items");
+    Order o;
+    o.id = next_order_++;
+    o.user = user;
+    o.placedAtTick = tick;
+    o.items = items;
+    for (const auto &item : items) {
+        o.totalCents +=
+            static_cast<std::uint64_t>(item.quantity) * item.unitPriceCents;
+    }
+    // Insert into the order table plus the per-user secondary index;
+    // each item row is written as well.
+    cost.indexDescents +=
+        descentCost(orders_.size()) + descentCost(orders_by_user_.size());
+    cost.rowsTouched += 1 + items.size();
+    orders_by_user_[user].push_back(o.id);
+    const OrderId id = o.id;
+    orders_.emplace(id, std::move(o));
+    return id;
+}
+
+ProductId
+Store::sampleProduct(Rng &rng) const
+{
+    return static_cast<ProductId>(rng.uniformInt(1, products_.size()));
+}
+
+CategoryId
+Store::sampleCategory(Rng &rng) const
+{
+    return static_cast<CategoryId>(rng.uniformInt(1, categories_.size()));
+}
+
+UserId
+Store::sampleUser(Rng &rng) const
+{
+    return static_cast<UserId>(rng.uniformInt(1, users_.size()));
+}
+
+std::uint64_t
+Store::passwordHashOf(UserId id) const
+{
+    auto it = users_.find(id);
+    if (it == users_.end())
+        MS_PANIC("passwordHashOf: unknown user ", id);
+    return it->second.passwordHash;
+}
+
+} // namespace microscale::db

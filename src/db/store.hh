@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Store: the in-memory relational database behind the Persistence
+ * service (standing in for TeaStore's MariaDB).
+ *
+ * Queries execute against real ordered indexes and report a QueryCost
+ * (rows touched, index descents) from which the Persistence service
+ * derives the CPU work to charge; the data volume therefore shapes the
+ * service's compute demand the same way the SQL layer does in the
+ * original application.
+ */
+
+#ifndef MICROSCALE_DB_STORE_HH
+#define MICROSCALE_DB_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "db/schema.hh"
+
+namespace microscale::db
+{
+
+/** Size of the seeded catalog. */
+struct StoreParams
+{
+    unsigned categories = 15;
+    unsigned productsPerCategory = 100;
+    unsigned users = 500;
+    /** Mean product image size (drives image-service work). */
+    std::uint32_t meanImageBytes = 160 * 1024;
+};
+
+/** Execution cost of one query, in logical database operations. */
+struct QueryCost
+{
+    std::uint64_t rowsTouched = 0;
+    std::uint64_t indexDescents = 0;
+
+    void merge(const QueryCost &o)
+    {
+        rowsTouched += o.rowsTouched;
+        indexDescents += o.indexDescents;
+    }
+};
+
+/**
+ * The in-memory store. All reads are const; order placement mutates.
+ */
+class Store
+{
+  public:
+    Store(StoreParams params, std::uint64_t seed);
+
+    const StoreParams &params() const { return params_; }
+
+    /** Number of products across all categories. */
+    std::size_t productCount() const { return products_.size(); }
+    std::size_t categoryCount() const { return categories_.size(); }
+    std::size_t userCount() const { return users_.size(); }
+    std::size_t orderCount() const { return orders_.size(); }
+
+    /** All categories (catalog front page). */
+    std::vector<CategoryId> listCategories(QueryCost &cost) const;
+
+    /**
+     * Page of products in one category.
+     * @param offset first product index within the category.
+     * @param limit page size.
+     */
+    std::vector<ProductId> productsInCategory(CategoryId cat,
+                                              unsigned offset,
+                                              unsigned limit,
+                                              QueryCost &cost) const;
+
+    /** Single product lookup; nullptr when absent. */
+    const Product *product(ProductId id, QueryCost &cost) const;
+
+    /** Single category lookup; nullptr when absent. */
+    const Category *category(CategoryId id, QueryCost &cost) const;
+
+    /** Look a user up by name; nullptr when absent. */
+    const User *userByName(const std::string &name, QueryCost &cost) const;
+
+    /** User lookup by id. */
+    const User *user(UserId id, QueryCost &cost) const;
+
+    /** Recent orders of a user, newest first, up to `limit`. */
+    std::vector<OrderId> ordersOfUser(UserId user, unsigned limit,
+                                      QueryCost &cost) const;
+
+    /** Order lookup by id. */
+    const Order *order(OrderId id, QueryCost &cost) const;
+
+    /** Insert a new order; returns its id. */
+    OrderId placeOrder(UserId user, const std::vector<OrderItem> &items,
+                       std::uint64_t tick, QueryCost &cost);
+
+    /** A deterministic pseudo-random valid product id. */
+    ProductId sampleProduct(Rng &rng) const;
+    /** A deterministic pseudo-random valid category id. */
+    CategoryId sampleCategory(Rng &rng) const;
+    /** A deterministic pseudo-random valid user id. */
+    UserId sampleUser(Rng &rng) const;
+
+    /** Password hash that authenticates the given user (for tests). */
+    std::uint64_t passwordHashOf(UserId id) const;
+
+  private:
+    StoreParams params_;
+    std::map<CategoryId, Category> categories_;
+    std::map<ProductId, Product> products_;
+    // Secondary index: category -> ordered product ids.
+    std::map<CategoryId, std::vector<ProductId>> products_by_category_;
+    std::map<UserId, User> users_;
+    std::map<std::string, UserId> users_by_name_;
+    std::map<OrderId, Order> orders_;
+    std::map<UserId, std::vector<OrderId>> orders_by_user_;
+    OrderId next_order_ = 1;
+};
+
+} // namespace microscale::db
+
+#endif // MICROSCALE_DB_STORE_HH

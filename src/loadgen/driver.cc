@@ -1,0 +1,163 @@
+#include "loadgen/driver.hh"
+
+#include <cmath>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace microscale::loadgen
+{
+
+using teastore::OpType;
+
+void
+Measurement::setWindow(Tick start, Tick end)
+{
+    if (end <= start)
+        MS_PANIC("measurement window end <= start");
+    start_ = start;
+    end_ = end;
+}
+
+void
+Measurement::record(OpType op, Tick issued, Tick completed)
+{
+    if (completed < start_ || completed >= end_)
+        return;
+    ++completed_;
+    const double lat = static_cast<double>(completed - issued);
+    latency_.add(lat);
+    per_op_[static_cast<unsigned>(op)].add(lat);
+    ++per_op_count_[static_cast<unsigned>(op)];
+}
+
+double
+Measurement::throughputRps() const
+{
+    if (end_ == kTickNever || end_ <= start_)
+        return 0.0;
+    const double window_s = ticksToSeconds(end_ - start_);
+    return static_cast<double>(completed_) / window_s;
+}
+
+ClosedLoopDriver::ClosedLoopDriver(teastore::App &app, BrowseMix mix,
+                                   ClosedLoopParams params,
+                                   std::uint64_t seed)
+    : app_(app), mix_(std::move(mix)), params_(params)
+{
+    if (params_.users == 0)
+        fatal("closed-loop driver needs at least one user");
+    users_.reserve(params_.users);
+    for (unsigned u = 0; u < params_.users; ++u) {
+        users_.push_back(std::make_unique<User>(
+            Rng(seed, "loadgen.user." + std::to_string(u)),
+            mix_.initialOp()));
+    }
+}
+
+void
+ClosedLoopDriver::start()
+{
+    if (started_)
+        MS_PANIC("ClosedLoopDriver started twice");
+    started_ = true;
+    auto &sim = app_.mesh().kernel().sim();
+    for (std::size_t u = 0; u < users_.size(); ++u) {
+        const Tick ramp =
+            params_.rampTime > 0
+                ? static_cast<Tick>(users_[u]->rng.uniformReal(
+                      0.0, static_cast<double>(params_.rampTime)))
+                : 0;
+        sim.scheduleAfter(std::max<Tick>(1, ramp),
+                          [this, u] { issue(u); });
+    }
+}
+
+void
+ClosedLoopDriver::issue(std::size_t user_index)
+{
+    if (stopped_)
+        return;
+    User &user = *users_[user_index];
+    const OpType op = user.current;
+    const Tick issued_at = app_.mesh().kernel().sim().now();
+    ++issued_;
+    svc::Payload req = app_.sampleRequest(op, user.rng);
+    app_.mesh().callExternal(
+        teastore::names::kWebui, teastore::opName(op), req,
+        [this, user_index, op, issued_at](const svc::Payload &) {
+            onResponse(user_index, op, issued_at);
+        });
+}
+
+void
+ClosedLoopDriver::onResponse(std::size_t user_index, OpType op,
+                             Tick issued_at)
+{
+    auto &sim = app_.mesh().kernel().sim();
+    measurement_.record(op, issued_at, sim.now());
+    if (stopped_)
+        return;
+    User &user = *users_[user_index];
+    user.current = mix_.next(op, user.rng);
+    const double think = user.rng.exponential(
+        static_cast<double>(params_.meanThink));
+    sim.scheduleAfter(
+        std::max<Tick>(1, static_cast<Tick>(std::llround(think))),
+        [this, user_index] { issue(user_index); });
+}
+
+OpenLoopDriver::OpenLoopDriver(teastore::App &app, BrowseMix mix,
+                               OpenLoopParams params, std::uint64_t seed)
+    : app_(app),
+      mix_(std::move(mix)),
+      params_(params),
+      rng_(seed, "loadgen.openloop")
+{
+    if (params_.arrivalRps <= 0.0)
+        fatal("open-loop driver needs a positive arrival rate");
+}
+
+void
+OpenLoopDriver::start()
+{
+    if (started_)
+        MS_PANIC("OpenLoopDriver started twice");
+    started_ = true;
+    scheduleNext();
+}
+
+void
+OpenLoopDriver::scheduleNext()
+{
+    if (stopped_)
+        return;
+    const double mean_gap_ns =
+        static_cast<double>(kSecond) / params_.arrivalRps;
+    const double gap = rng_.exponential(mean_gap_ns);
+    app_.mesh().kernel().sim().scheduleAfter(
+        std::max<Tick>(1, static_cast<Tick>(std::llround(gap))),
+        [this] { arrival(); });
+}
+
+void
+OpenLoopDriver::arrival()
+{
+    if (stopped_)
+        return;
+    const OpType op = mix_.sampleStationary(rng_);
+    const Tick issued_at = app_.mesh().kernel().sim().now();
+    ++issued_;
+    ++in_flight_;
+    svc::Payload req = app_.sampleRequest(op, rng_);
+    app_.mesh().callExternal(
+        teastore::names::kWebui, teastore::opName(op), req,
+        [this, op, issued_at](const svc::Payload &) {
+            --in_flight_;
+            measurement_.record(op, issued_at,
+                                app_.mesh().kernel().sim().now());
+        });
+    scheduleNext();
+}
+
+} // namespace microscale::loadgen

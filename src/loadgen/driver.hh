@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Load drivers for the TeaStore application model.
+ *
+ * ClosedLoopDriver models N concurrent users (issue, wait, think,
+ * repeat) - the saturation-style load the paper's throughput numbers
+ * come from. OpenLoopDriver issues Poisson arrivals at a fixed rate -
+ * used for throughput-latency curves. Both record latencies only
+ * inside a configurable measurement window.
+ */
+
+#ifndef MICROSCALE_LOADGEN_DRIVER_HH
+#define MICROSCALE_LOADGEN_DRIVER_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "loadgen/mix.hh"
+#include "teastore/app.hh"
+
+namespace microscale::loadgen
+{
+
+/** Latency/throughput results collected in the measurement window. */
+class Measurement
+{
+  public:
+    /** Define the window [start, end). */
+    void setWindow(Tick start, Tick end);
+
+    Tick windowStart() const { return start_; }
+    Tick windowEnd() const { return end_; }
+
+    /** Record one completed request. */
+    void record(teastore::OpType op, Tick issued, Tick completed);
+
+    /** Completions inside the window. */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Completed requests per second of window time. */
+    double throughputRps() const;
+
+    /** End-to-end latency distribution over all ops, in ns. */
+    const QuantileHistogram &latencyNs() const { return latency_; }
+
+    /** Per-op latency distribution, in ns. */
+    const QuantileHistogram &latencyNsFor(teastore::OpType op) const
+    {
+        return per_op_[static_cast<unsigned>(op)];
+    }
+
+    /** Per-op completion count. */
+    std::uint64_t completedFor(teastore::OpType op) const
+    {
+        return per_op_count_[static_cast<unsigned>(op)];
+    }
+
+  private:
+    Tick start_ = 0;
+    Tick end_ = kTickNever;
+    std::uint64_t completed_ = 0;
+    QuantileHistogram latency_;
+    std::array<QuantileHistogram, teastore::kNumOps> per_op_;
+    std::array<std::uint64_t, teastore::kNumOps> per_op_count_{};
+};
+
+/** Closed-loop driver parameters. */
+struct ClosedLoopParams
+{
+    unsigned users = 128;
+    /** Mean exponential think time between a response and the next
+     * request of the same user. */
+    Tick meanThink = 250 * kMillisecond;
+    /** Users ramp in uniformly over this interval after start(). */
+    Tick rampTime = 100 * kMillisecond;
+};
+
+/**
+ * N simulated users walking the browse-profile Markov chain.
+ */
+class ClosedLoopDriver
+{
+  public:
+    ClosedLoopDriver(teastore::App &app, BrowseMix mix,
+                     ClosedLoopParams params, std::uint64_t seed);
+
+    /** Begin all user sessions. */
+    void start();
+
+    /** Stop issuing new requests (in-flight ones still complete). */
+    void stopIssuing() { stopped_ = true; }
+
+    Measurement &measurement() { return measurement_; }
+    const Measurement &measurement() const { return measurement_; }
+
+    /** Requests issued (any time). */
+    std::uint64_t issued() const { return issued_; }
+
+  private:
+    struct User
+    {
+        Rng rng;
+        teastore::OpType current;
+        explicit User(Rng r, teastore::OpType op)
+            : rng(std::move(r)), current(op)
+        {
+        }
+    };
+
+    void issue(std::size_t user_index);
+    void onResponse(std::size_t user_index, teastore::OpType op,
+                    Tick issued_at);
+
+    teastore::App &app_;
+    BrowseMix mix_;
+    ClosedLoopParams params_;
+    std::vector<std::unique_ptr<User>> users_;
+    Measurement measurement_;
+    std::uint64_t issued_ = 0;
+    bool stopped_ = false;
+    bool started_ = false;
+};
+
+/** Open-loop driver parameters. */
+struct OpenLoopParams
+{
+    /** Mean arrival rate, requests per second. */
+    double arrivalRps = 1000.0;
+};
+
+/**
+ * Poisson arrivals sampled from the stationary mix.
+ */
+class OpenLoopDriver
+{
+  public:
+    OpenLoopDriver(teastore::App &app, BrowseMix mix,
+                   OpenLoopParams params, std::uint64_t seed);
+
+    /** Begin the arrival process. */
+    void start();
+
+    /** Stop generating new arrivals. */
+    void stopIssuing() { stopped_ = true; }
+
+    Measurement &measurement() { return measurement_; }
+    const Measurement &measurement() const { return measurement_; }
+
+    std::uint64_t issued() const { return issued_; }
+    /** Requests issued but not yet answered. */
+    std::uint64_t inFlight() const { return in_flight_; }
+
+  private:
+    void scheduleNext();
+    void arrival();
+
+    teastore::App &app_;
+    BrowseMix mix_;
+    OpenLoopParams params_;
+    Rng rng_;
+    Measurement measurement_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t in_flight_ = 0;
+    bool stopped_ = false;
+    bool started_ = false;
+};
+
+} // namespace microscale::loadgen
+
+#endif // MICROSCALE_LOADGEN_DRIVER_HH

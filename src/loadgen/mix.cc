@@ -1,0 +1,85 @@
+#include "loadgen/mix.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace microscale::loadgen
+{
+
+using teastore::kNumOps;
+using teastore::OpType;
+
+BrowseMix::BrowseMix()
+{
+    // Rows: from-op; columns: to-op, in OpType order
+    // (Home, Login, Category, Product, AddToCart, Checkout, Profile).
+    transitions_ = {{
+        /* Home      */ {{0.05, 0.25, 0.60, 0.00, 0.00, 0.00, 0.10}},
+        /* Login     */ {{0.30, 0.00, 0.70, 0.00, 0.00, 0.00, 0.00}},
+        /* Category  */ {{0.10, 0.00, 0.35, 0.55, 0.00, 0.00, 0.00}},
+        /* Product   */ {{0.10, 0.00, 0.45, 0.15, 0.30, 0.00, 0.00}},
+        /* AddToCart */ {{0.00, 0.00, 0.40, 0.20, 0.00, 0.40, 0.00}},
+        /* Checkout  */ {{0.60, 0.00, 0.40, 0.00, 0.00, 0.00, 0.00}},
+        /* Profile   */ {{0.40, 0.00, 0.60, 0.00, 0.00, 0.00, 0.00}},
+    }};
+    computeStationary();
+}
+
+BrowseMix::BrowseMix(
+    std::array<std::array<double, kNumOps>, kNumOps> transitions)
+    : transitions_(transitions)
+{
+    for (unsigned r = 0; r < kNumOps; ++r) {
+        double sum = 0.0;
+        for (unsigned c = 0; c < kNumOps; ++c) {
+            if (transitions_[r][c] < 0.0)
+                fatal("negative transition probability in mix row ", r);
+            sum += transitions_[r][c];
+        }
+        if (std::abs(sum - 1.0) > 1e-6)
+            fatal("mix row ", r, " sums to ", sum, ", expected 1");
+    }
+    computeStationary();
+}
+
+void
+BrowseMix::computeStationary()
+{
+    // Power iteration; the chain is small, irreducible and aperiodic.
+    std::array<double, kNumOps> v{};
+    v.fill(1.0 / kNumOps);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::array<double, kNumOps> n{};
+        for (unsigned r = 0; r < kNumOps; ++r) {
+            for (unsigned c = 0; c < kNumOps; ++c)
+                n[c] += v[r] * transitions_[r][c];
+        }
+        v = n;
+    }
+    stationary_ = v;
+}
+
+OpType
+BrowseMix::next(OpType current, Rng &rng) const
+{
+    const auto &row = transitions_[static_cast<unsigned>(current)];
+    const std::vector<double> weights(row.begin(), row.end());
+    return static_cast<OpType>(rng.weightedIndex(weights));
+}
+
+OpType
+BrowseMix::sampleStationary(Rng &rng) const
+{
+    const std::vector<double> weights(stationary_.begin(),
+                                      stationary_.end());
+    return static_cast<OpType>(rng.weightedIndex(weights));
+}
+
+double
+BrowseMix::stationaryWeight(OpType op) const
+{
+    return stationary_[static_cast<unsigned>(op)];
+}
+
+} // namespace microscale::loadgen

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The "browse profile" request mix: a Markov chain over the WebUI
+ * operations approximating the user behaviour model shipped with
+ * TeaStore's load driver (browse, view products, occasionally buy).
+ */
+
+#ifndef MICROSCALE_LOADGEN_MIX_HH
+#define MICROSCALE_LOADGEN_MIX_HH
+
+#include <array>
+#include <vector>
+
+#include "base/random.hh"
+#include "teastore/app.hh"
+
+namespace microscale::loadgen
+{
+
+/**
+ * Markov transition model over OpType with a precomputed stationary
+ * distribution (for open-loop sampling).
+ */
+class BrowseMix
+{
+  public:
+    /** The default browse profile. */
+    BrowseMix();
+
+    /** Construct from an explicit row-stochastic transition matrix. */
+    explicit BrowseMix(
+        std::array<std::array<double, teastore::kNumOps>,
+                   teastore::kNumOps>
+            transitions);
+
+    /** The op a fresh session starts with. */
+    teastore::OpType initialOp() const { return teastore::OpType::Home; }
+
+    /** Sample the op following `current`. */
+    teastore::OpType next(teastore::OpType current, Rng &rng) const;
+
+    /** Sample from the stationary distribution. */
+    teastore::OpType sampleStationary(Rng &rng) const;
+
+    /** Stationary probability of an op. */
+    double stationaryWeight(teastore::OpType op) const;
+
+  private:
+    void computeStationary();
+
+    std::array<std::array<double, teastore::kNumOps>, teastore::kNumOps>
+        transitions_;
+    std::array<double, teastore::kNumOps> stationary_{};
+};
+
+} // namespace microscale::loadgen
+
+#endif // MICROSCALE_LOADGEN_MIX_HH

@@ -1,0 +1,38 @@
+#include "net/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace microscale::net
+{
+
+Network::Network(sim::Simulation &sim, NetParams params,
+                 std::uint64_t seed)
+    : sim_(sim), params_(params), rng_(seed, "net.loopback")
+{
+    if (params_.baseLatencyNs == 0)
+        fatal("network base latency must be positive");
+}
+
+Tick
+Network::sampleLatency(std::uint32_t payload_bytes)
+{
+    const double kib = static_cast<double>(payload_bytes) / 1024.0;
+    double lat = static_cast<double>(params_.baseLatencyNs) +
+                 kib * static_cast<double>(params_.perKibNs);
+    if (params_.jitterCv > 0.0)
+        lat = rng_.lognormal(lat, params_.jitterCv);
+    return std::max<Tick>(1, static_cast<Tick>(std::llround(lat)));
+}
+
+void
+Network::send(std::uint32_t payload_bytes, std::function<void()> deliver)
+{
+    ++stats_.messages;
+    stats_.bytes += payload_bytes;
+    sim_.scheduleAfter(sampleLatency(payload_bytes), std::move(deliver));
+}
+
+} // namespace microscale::net

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Loopback network model.
+ *
+ * In the paper's deployment every service runs on the same host and
+ * communicates over loopback TCP, so "network" cost is a small, mostly
+ * constant delivery latency plus a per-byte component; the CPU cost of
+ * the protocol stack (serialization, copies, syscalls) is charged to
+ * the communicating threads as work, not here.
+ */
+
+#ifndef MICROSCALE_NET_NETWORK_HH
+#define MICROSCALE_NET_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "sim/simulation.hh"
+
+namespace microscale::net
+{
+
+/** Loopback transport parameters. */
+struct NetParams
+{
+    /** Fixed one-way delivery latency (kernel loopback path). */
+    Tick baseLatencyNs = 20 * kMicrosecond;
+    /** Additional latency per KiB of payload. */
+    Tick perKibNs = 500;
+    /** Coefficient of variation of lognormal latency jitter. */
+    double jitterCv = 0.10;
+};
+
+/** Traffic counters. */
+struct NetStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Message transport: delivers callbacks after a modeled latency.
+ */
+class Network
+{
+  public:
+    Network(sim::Simulation &sim, NetParams params, std::uint64_t seed);
+
+    /**
+     * Send a message of `payload_bytes`; `deliver` runs at the receiver
+     * after the modeled latency.
+     */
+    void send(std::uint32_t payload_bytes, std::function<void()> deliver);
+
+    /** One-way latency sample for a payload (exposed for tests). */
+    Tick sampleLatency(std::uint32_t payload_bytes);
+
+    const NetParams &params() const { return params_; }
+    const NetStats &stats() const { return stats_; }
+
+  private:
+    sim::Simulation &sim_;
+    NetParams params_;
+    Rng rng_;
+    NetStats stats_;
+};
+
+} // namespace microscale::net
+
+#endif // MICROSCALE_NET_NETWORK_HH

@@ -1,0 +1,72 @@
+#include "perf/report.hh"
+
+#include "base/logging.hh"
+
+namespace microscale::perf
+{
+
+PerfRow
+makeRow(std::string name, const cpu::PerfCounters &delta, Tick window_ns)
+{
+    if (window_ns == 0)
+        MS_PANIC("makeRow with zero window");
+    PerfRow r;
+    r.name = std::move(name);
+    const double w = static_cast<double>(window_ns);
+    const double w_s = ticksToSeconds(window_ns);
+    r.utilizationCpus = delta.busyNs / w;
+    r.ipc = delta.ipc();
+    r.ghz = delta.ghz();
+    r.l3Mpki = delta.l3Mpki();
+    r.l3MissRatio = delta.l3MissRatio();
+    r.branchMpki = delta.branchMpki();
+    r.icacheMpki = delta.icacheMpki();
+    r.kernelShare = delta.kernelShare();
+    r.smtShare = delta.smtShare();
+    r.csPerSec = static_cast<double>(delta.contextSwitches) / w_s;
+    r.migrationsPerSec = static_cast<double>(delta.migrations) / w_s;
+    r.ccxMigrationsPerSec =
+        static_cast<double>(delta.ccxMigrations) / w_s;
+    r.mips = delta.instructions / 1e6 / w_s;
+    return r;
+}
+
+TextTable
+microarchTable(const std::vector<PerfRow> &rows)
+{
+    TextTable t({"workload", "IPC", "GHz", "L3 MPKI", "L3 miss%",
+                 "br MPKI", "ic MPKI", "kernel%", "SMT%", "CS/s"});
+    for (const auto &r : rows) {
+        t.row()
+            .cell(r.name)
+            .cell(r.ipc, 2)
+            .cell(r.ghz, 2)
+            .cell(r.l3Mpki, 2)
+            .cell(r.l3MissRatio * 100.0, 1)
+            .cell(r.branchMpki, 1)
+            .cell(r.icacheMpki, 1)
+            .cell(r.kernelShare * 100.0, 1)
+            .cell(r.smtShare * 100.0, 1)
+            .cell(r.csPerSec, 0);
+    }
+    return t;
+}
+
+TextTable
+activityTable(const std::vector<PerfRow> &rows)
+{
+    TextTable t({"workload", "CPUs busy", "MIPS", "CS/s", "migr/s",
+                 "ccx-migr/s"});
+    for (const auto &r : rows) {
+        t.row()
+            .cell(r.name)
+            .cell(r.utilizationCpus, 2)
+            .cell(r.mips, 0)
+            .cell(r.csPerSec, 0)
+            .cell(r.migrationsPerSec, 0)
+            .cell(r.ccxMigrationsPerSec, 0);
+    }
+    return t;
+}
+
+} // namespace microscale::perf

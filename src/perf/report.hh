@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Derived performance-report rows: turns raw PerfCounters deltas into
+ * the microarchitectural metrics the paper tabulates (IPC, MPKIs,
+ * context-switch rates, kernel share, utilization).
+ */
+
+#ifndef MICROSCALE_PERF_REPORT_HH
+#define MICROSCALE_PERF_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "base/table.hh"
+#include "base/types.hh"
+#include "cpu/counters.hh"
+
+namespace microscale::perf
+{
+
+/** One subject's (service, kernel, ...) metrics over a window. */
+struct PerfRow
+{
+    std::string name;
+    /** Average CPUs' worth of busy time (busyNs / windowNs). */
+    double utilizationCpus = 0.0;
+    double ipc = 0.0;
+    double ghz = 0.0;
+    double l3Mpki = 0.0;
+    double l3MissRatio = 0.0;
+    double branchMpki = 0.0;
+    double icacheMpki = 0.0;
+    double kernelShare = 0.0;
+    double smtShare = 0.0;
+    double csPerSec = 0.0;
+    double migrationsPerSec = 0.0;
+    double ccxMigrationsPerSec = 0.0;
+    /** Million instructions per second of wall time. */
+    double mips = 0.0;
+};
+
+/** Build a row from a counter delta over a window of `window_ns`. */
+PerfRow makeRow(std::string name, const cpu::PerfCounters &delta,
+                Tick window_ns);
+
+/** Standard microarchitecture table over a set of rows. */
+TextTable microarchTable(const std::vector<PerfRow> &rows);
+
+/** Utilization-focused table (CPUs, CS/s, migrations). */
+TextTable activityTable(const std::vector<PerfRow> &rows);
+
+} // namespace microscale::perf
+
+#endif // MICROSCALE_PERF_REPORT_HH

@@ -1,0 +1,91 @@
+#include "perf/sampler.hh"
+
+#include "base/logging.hh"
+
+namespace microscale::perf
+{
+
+TimeSeriesSampler::TimeSeriesSampler(sim::Simulation &sim,
+                                     cpu::ExecEngine &engine,
+                                     os::Kernel &kernel, svc::Mesh &mesh,
+                                     Tick period)
+    : sim_(sim),
+      engine_(engine),
+      kernel_(kernel),
+      mesh_(mesh),
+      period_(period)
+{
+    if (period_ == 0)
+        fatal("sampler period must be positive");
+}
+
+void
+TimeSeriesSampler::start()
+{
+    // Establish the baseline for interval deltas.
+    engine_.bankAll();
+    last_busy_total_ = 0.0;
+    for (CpuId c = 0; c < engine_.machine().numCpus(); ++c)
+        last_busy_total_ += engine_.cpuBusyNs(c);
+    last_completed_ = 0;
+    for (const auto &svc : mesh_.services())
+        last_completed_ += svc->requestsProcessed();
+    periodic_.start(sim_, period_, [this] { takeSample(); });
+}
+
+void
+TimeSeriesSampler::takeSample()
+{
+    engine_.bankAll();
+    Sample s;
+    s.at = sim_.now();
+
+    double busy_total = 0.0;
+    for (CpuId c = 0; c < engine_.machine().numCpus(); ++c)
+        busy_total += engine_.cpuBusyNs(c);
+    s.busyCpus =
+        (busy_total - last_busy_total_) / static_cast<double>(period_);
+    last_busy_total_ = busy_total;
+
+    s.freqGhz = engine_.socketFreqGhz(0);
+
+    for (CpuId c = 0; c < engine_.machine().numCpus(); ++c)
+        s.runnableQueued += kernel_.queueDepth(c);
+
+    std::uint64_t completed = 0;
+    for (const auto &svc : mesh_.services()) {
+        completed += svc->requestsProcessed();
+        s.busyWorkers += svc->busyWorkers();
+        s.serviceQueued += svc->queuedRequests();
+    }
+
+    s.completedDelta = completed - last_completed_;
+    last_completed_ = completed;
+
+    samples_.push_back(s);
+}
+
+double
+TimeSeriesSampler::meanBusyCpus() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const Sample &s : samples_)
+        sum += s.busyCpus;
+    return sum / static_cast<double>(samples_.size());
+}
+
+void
+TimeSeriesSampler::printCsv(std::ostream &os) const
+{
+    os << "time_ms,busy_cpus,freq_ghz,runnable_queued,service_queued,"
+          "busy_workers,completed\n";
+    for (const Sample &s : samples_) {
+        os << ticksToMillis(s.at) << "," << s.busyCpus << "," << s.freqGhz
+           << "," << s.runnableQueued << "," << s.serviceQueued << ","
+           << s.busyWorkers << "," << s.completedDelta << "\n";
+    }
+}
+
+} // namespace microscale::perf

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * TimeSeriesSampler: periodic snapshots of machine and application
+ * state (utilization, frequency, run-queue depth, service queue
+ * depth, instantaneous throughput) for stability analysis and
+ * timeline plots.
+ */
+
+#ifndef MICROSCALE_PERF_SAMPLER_HH
+#define MICROSCALE_PERF_SAMPLER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "base/types.hh"
+#include "cpu/exec.hh"
+#include "os/kernel.hh"
+#include "sim/simulation.hh"
+#include "svc/mesh.hh"
+
+namespace microscale::perf
+{
+
+/** One snapshot. */
+struct Sample
+{
+    Tick at = 0;
+    /** CPUs' worth of busy time during the last interval. */
+    double busyCpus = 0.0;
+    /** Socket-0 frequency at sampling time, GHz. */
+    double freqGhz = 0.0;
+    /** Runnable-but-queued threads across all run queues. */
+    std::uint64_t runnableQueued = 0;
+    /** Requests waiting in service queues across all services. */
+    std::uint64_t serviceQueued = 0;
+    /** Busy workers across all services. */
+    std::uint64_t busyWorkers = 0;
+    /** Requests completed by all services in the last interval. */
+    std::uint64_t completedDelta = 0;
+};
+
+/**
+ * Samples every `period` once started; stop() or destruction ends the
+ * series. Sampling is a background activity: it never keeps the
+ * simulation alive.
+ */
+class TimeSeriesSampler
+{
+  public:
+    TimeSeriesSampler(sim::Simulation &sim, cpu::ExecEngine &engine,
+                      os::Kernel &kernel, svc::Mesh &mesh, Tick period);
+
+    /** Begin sampling (first sample after one period). */
+    void start();
+
+    /** Stop sampling. */
+    void stop() { periodic_.stop(); }
+
+    const std::vector<Sample> &samples() const { return samples_; }
+    Tick period() const { return period_; }
+
+    /** Mean busy CPUs over the recorded samples. */
+    double meanBusyCpus() const;
+
+    /** Emit the series as CSV with a header row. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    void takeSample();
+
+    sim::Simulation &sim_;
+    cpu::ExecEngine &engine_;
+    os::Kernel &kernel_;
+    svc::Mesh &mesh_;
+    Tick period_;
+    sim::PeriodicEvent periodic_;
+    std::vector<Sample> samples_;
+    double last_busy_total_ = 0.0;
+    std::uint64_t last_completed_ = 0;
+};
+
+} // namespace microscale::perf
+
+#endif // MICROSCALE_PERF_SAMPLER_HH

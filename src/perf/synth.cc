@@ -1,0 +1,150 @@
+#include "perf/synth.hh"
+
+#include "base/logging.hh"
+#include "os/kernel.hh"
+#include "sim/simulation.hh"
+#include "topo/machine.hh"
+
+namespace microscale::perf
+{
+
+std::vector<SynthKernel>
+specLikeSuite()
+{
+    std::vector<SynthKernel> suite;
+
+    {
+        SynthKernel k;
+        k.name = "int-compute";
+        k.profile.name = "int-compute";
+        k.profile.ipcBase = 2.4;
+        k.profile.branchMpki = 1.2;
+        k.profile.icacheMpki = 0.2;
+        k.profile.l3Apki = 0.3;
+        k.profile.wssBytes = 0.8 * 1024 * 1024;
+        k.profile.smtYield = 0.55;
+        k.profile.kernelShare = 0.01;
+        suite.push_back(k);
+    }
+    {
+        SynthKernel k;
+        k.name = "fp-compute";
+        k.profile.name = "fp-compute";
+        k.profile.ipcBase = 2.0;
+        k.profile.branchMpki = 0.4;
+        k.profile.icacheMpki = 0.1;
+        k.profile.l3Apki = 1.5;
+        k.profile.wssBytes = 4.0 * 1024 * 1024;
+        k.profile.smtYield = 0.55;
+        k.profile.kernelShare = 0.01;
+        suite.push_back(k);
+    }
+    {
+        SynthKernel k;
+        k.name = "pointer-chase";
+        k.profile.name = "pointer-chase";
+        k.profile.ipcBase = 1.0;
+        k.profile.branchMpki = 4.0;
+        k.profile.icacheMpki = 0.3;
+        k.profile.l3Apki = 18.0;
+        k.profile.wssBytes = 48.0 * 1024 * 1024;
+        k.profile.smtYield = 0.78;
+        k.profile.kernelShare = 0.01;
+        suite.push_back(k);
+    }
+    {
+        SynthKernel k;
+        k.name = "stream";
+        k.profile.name = "stream";
+        k.profile.ipcBase = 1.6;
+        k.profile.branchMpki = 0.3;
+        k.profile.icacheMpki = 0.1;
+        k.profile.l3Apki = 25.0;
+        k.profile.wssBytes = 96.0 * 1024 * 1024;
+        k.profile.smtYield = 0.80;
+        k.profile.kernelShare = 0.01;
+        suite.push_back(k);
+    }
+    {
+        SynthKernel k;
+        k.name = "branchy-search";
+        k.profile.name = "branchy-search";
+        k.profile.ipcBase = 1.4;
+        k.profile.branchMpki = 9.0;
+        k.profile.icacheMpki = 0.8;
+        k.profile.l3Apki = 5.0;
+        k.profile.wssBytes = 12.0 * 1024 * 1024;
+        k.profile.smtYield = 0.62;
+        k.profile.kernelShare = 0.01;
+        suite.push_back(k);
+    }
+    return suite;
+}
+
+PerfRow
+runSynthKernel(const topo::MachineParams &machine_params,
+               const SynthKernel &kernel, const SynthRunParams &params)
+{
+    if (params.threads == 0)
+        fatal("synthetic run needs at least one thread");
+
+    sim::Simulation sim;
+    topo::Machine machine(machine_params);
+    cpu::ExecEngine engine(sim, machine);
+    os::SchedParams sched;
+    sched.loadBalance = false; // pinned rate run
+    os::Kernel kernel_os(sim, machine, engine, sched, params.seed);
+
+    if (params.threads > machine.numCores()) {
+        fatal("synthetic run wants ", params.threads,
+              " threads but the machine has ", machine.numCores(),
+              " cores");
+    }
+
+    // Pin one copy per physical core, SPEC-rate style; keep each
+    // thread perpetually runnable by resubmitting large work chunks.
+    struct Loop
+    {
+        os::Thread *thread;
+        const cpu::WorkProfile *profile;
+        double chunk;
+        void
+        go()
+        {
+            thread->run(*profile, chunk, [this] { go(); });
+        }
+    };
+    std::vector<Loop> loops(params.threads);
+    for (unsigned i = 0; i < params.threads; ++i) {
+        os::Thread *t = kernel_os.createThread(
+            kernel.name + "." + std::to_string(i),
+            CpuMask::single(static_cast<CpuId>(i)),
+            machine.nodeOf(static_cast<CpuId>(i)));
+        loops[i] = Loop{t, &kernel.profile, 500e6};
+    }
+    kernel_os.start();
+    for (auto &l : loops)
+        l.go();
+
+    sim.runUntil(params.warmup);
+    engine.bankAll();
+    cpu::PerfCounters at_warmup;
+    for (const auto &l : loops)
+        at_warmup.merge(l.thread->ec().counters());
+
+    sim.runUntil(params.warmup + params.measure);
+    engine.bankAll();
+    cpu::PerfCounters at_end;
+    for (const auto &l : loops)
+        at_end.merge(l.thread->ec().counters());
+
+    kernel_os.stop();
+    // Per-thread metrics: divide the aggregate over thread count so the
+    // row reads like a single-copy measurement.
+    cpu::PerfCounters delta = at_end.delta(at_warmup);
+    PerfRow row = makeRow(kernel.name, delta, params.measure);
+    row.utilizationCpus /= params.threads;
+    return row;
+}
+
+} // namespace microscale::perf

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SPEC-CPU-like synthetic kernels: always-runnable compute loops with
+ * conventional-workload microarchitectural profiles. Used for the
+ * paper's contrast between microservices and the workloads that
+ * typically drive server-CPU design.
+ */
+
+#ifndef MICROSCALE_PERF_SYNTH_HH
+#define MICROSCALE_PERF_SYNTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "cpu/counters.hh"
+#include "cpu/work.hh"
+#include "perf/report.hh"
+#include "topo/params.hh"
+
+namespace microscale::perf
+{
+
+/** One synthetic kernel. */
+struct SynthKernel
+{
+    std::string name;
+    cpu::WorkProfile profile;
+};
+
+/**
+ * A small SPEC-CPU-flavoured suite: integer compute, floating-point
+ * compute, pointer-chasing, streaming, and branchy search kernels.
+ */
+std::vector<SynthKernel> specLikeSuite();
+
+/** Options for a synthetic run. */
+struct SynthRunParams
+{
+    /** Copies of the kernel, pinned one per core (rate-run style). */
+    unsigned threads = 16;
+    Tick warmup = 50 * kMillisecond;
+    Tick measure = 200 * kMillisecond;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Run `kernel` on a fresh machine instance and return its metrics.
+ * Threads are pinned one per physical core in id order, as SPEC rate
+ * runs are.
+ */
+PerfRow runSynthKernel(const topo::MachineParams &machine_params,
+                       const SynthKernel &kernel,
+                       const SynthRunParams &params);
+
+} // namespace microscale::perf
+
+#endif // MICROSCALE_PERF_SYNTH_HH

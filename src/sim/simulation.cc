@@ -1,0 +1,124 @@
+#include "sim/simulation.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace microscale::sim
+{
+
+EventHandle
+Simulation::scheduleAt(Tick when, std::function<void()> fn,
+                       bool background)
+{
+    if (when < now_)
+        MS_PANIC("scheduling event in the past: ", when, " < ", now_);
+    if (!fn)
+        MS_PANIC("scheduling empty callback");
+    auto rec = std::make_shared<EventRecord>();
+    rec->when = when;
+    rec->seq = next_seq_++;
+    rec->fn = std::move(fn);
+    rec->background = background;
+    if (!background)
+        ++foreground_pending_;
+    queue_.push(QueueEntry{rec->when, rec->seq, rec});
+    return EventHandle(rec);
+}
+
+EventHandle
+Simulation::scheduleAfter(Tick delay, std::function<void()> fn,
+                          bool background)
+{
+    return scheduleAt(now_ + delay, std::move(fn), background);
+}
+
+bool
+Simulation::step()
+{
+    while (!queue_.empty()) {
+        QueueEntry top = queue_.top();
+        queue_.pop();
+        if (!top.rec->background)
+            --foreground_pending_;
+        if (top.rec->cancelled)
+            continue;
+        now_ = top.when;
+        ++events_processed_;
+        // Move the callback out so captured state dies with the event.
+        auto fn = std::move(top.rec->fn);
+        top.rec->fn = nullptr;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+Tick
+Simulation::run()
+{
+    stopping_ = false;
+    while (!stopping_ && foreground_pending_ > 0 && step()) {
+    }
+    return now_;
+}
+
+Tick
+Simulation::runUntil(Tick until)
+{
+    if (until < now_)
+        MS_PANIC("runUntil into the past: ", until, " < ", now_);
+    stopping_ = false;
+    while (!stopping_) {
+        // Peek: skip cancelled shells without advancing time.
+        bool ran = false;
+        while (!queue_.empty() && queue_.top().rec->cancelled)
+            queue_.pop();
+        if (queue_.empty() || queue_.top().when > until)
+            break;
+        ran = step();
+        if (!ran)
+            break;
+    }
+    if (!stopping_)
+        now_ = until;
+    return now_;
+}
+
+void
+PeriodicEvent::start(Simulation &sim, Tick period, std::function<void()> fn,
+                     Tick phase)
+{
+    if (period == 0)
+        MS_PANIC("PeriodicEvent with zero period");
+    stop();
+    sim_ = &sim;
+    period_ = period;
+    fn_ = std::move(fn);
+    active_ = true;
+    if (phase == 0)
+        phase = period;
+    handle_ = sim_->scheduleAfter(phase, [this] { arm(); },
+                                  /*background=*/true);
+}
+
+void
+PeriodicEvent::arm()
+{
+    if (!active_)
+        return;
+    fn_();
+    if (active_) {
+        handle_ = sim_->scheduleAfter(period_, [this] { arm(); },
+                                      /*background=*/true);
+    }
+}
+
+void
+PeriodicEvent::stop()
+{
+    active_ = false;
+    handle_.cancel();
+}
+
+} // namespace microscale::sim

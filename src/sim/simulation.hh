@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The discrete-event simulation engine.
+ *
+ * A Simulation owns a time-ordered event queue. Events are arbitrary
+ * callbacks scheduled at absolute ticks; ties are broken by insertion
+ * order (FIFO), which makes runs fully deterministic. Events can be
+ * cancelled through the handle returned at scheduling time.
+ */
+
+#ifndef MICROSCALE_SIM_SIMULATION_HH
+#define MICROSCALE_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace microscale::sim
+{
+
+/** Internal record for one scheduled event. */
+struct EventRecord
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    bool cancelled = false;
+    /** Background events do not keep run() alive (periodic ticks). */
+    bool background = false;
+};
+
+/**
+ * Handle to a scheduled event; allows cancellation and liveness query.
+ * Copies share the underlying event. A default-constructed handle is
+ * inert.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+    explicit EventHandle(std::shared_ptr<EventRecord> rec)
+        : rec_(std::move(rec))
+    {
+    }
+
+    /** Cancel the event if it has not fired yet. */
+    void cancel()
+    {
+        if (rec_)
+            rec_->cancelled = true;
+        rec_.reset();
+    }
+
+    /** True while the event is scheduled and not cancelled. */
+    bool pending() const { return rec_ && !rec_->cancelled && rec_->fn; }
+
+    /** Scheduled tick (only meaningful while pending). */
+    Tick when() const { return rec_ ? rec_->when : 0; }
+
+  private:
+    std::shared_ptr<EventRecord> rec_;
+};
+
+/**
+ * The event-driven simulation kernel.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule `fn` at absolute time `when` (must be >= now).
+     * @param background background events (periodic ticks, samplers)
+     *        do not keep run() alive: run() returns once only
+     *        background events remain.
+     */
+    EventHandle scheduleAt(Tick when, std::function<void()> fn,
+                           bool background = false);
+
+    /** Schedule `fn` after `delay` ticks from now. */
+    EventHandle scheduleAfter(Tick delay, std::function<void()> fn,
+                              bool background = false);
+
+    /**
+     * Run until no foreground events remain or stop() is called.
+     * Pending background events (periodic ticks) do not keep the
+     * simulation alive.
+     * @return the final simulated time.
+     */
+    Tick run();
+
+    /**
+     * Process all events with tick <= `until`, then set now to `until`.
+     * @return the final simulated time (== until unless stopped).
+     */
+    Tick runUntil(Tick until);
+
+    /** Request that run()/runUntil() return after the current event. */
+    void stop() { stopping_ = true; }
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsProcessed() const { return events_processed_; }
+
+    /** Number of events currently pending (including cancelled shells). */
+    std::size_t queuedEvents() const { return queue_.size(); }
+
+  private:
+    struct QueueEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::shared_ptr<EventRecord> rec;
+    };
+
+    struct Later
+    {
+        bool operator()(const QueueEntry &a, const QueueEntry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop and run a single event. @return false if queue was empty. */
+    bool step();
+
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t events_processed_ = 0;
+    std::uint64_t foreground_pending_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Utility that reschedules a callback at a fixed period until stopped.
+ * Used for scheduler ticks, load-balancing passes and samplers.
+ */
+class PeriodicEvent
+{
+  public:
+    PeriodicEvent() = default;
+
+    /**
+     * Start firing `fn` every `period`, with the first firing at
+     * now + phase (phase defaults to one full period). Periodic
+     * events are background: they do not keep Simulation::run()
+     * alive on their own.
+     */
+    void start(Simulation &sim, Tick period, std::function<void()> fn,
+               Tick phase = 0);
+
+    /** Stop firing. Safe to call when not started. */
+    void stop();
+
+    /** True while active. */
+    bool active() const { return active_; }
+
+  private:
+    void arm();
+
+    Simulation *sim_ = nullptr;
+    Tick period_ = 0;
+    std::function<void()> fn_;
+    EventHandle handle_;
+    bool active_ = false;
+};
+
+} // namespace microscale::sim
+
+#endif // MICROSCALE_SIM_SIMULATION_HH

@@ -1,0 +1,75 @@
+#include "svc/mesh.hh"
+
+#include "base/logging.hh"
+
+namespace microscale::svc
+{
+
+Mesh::Mesh(os::Kernel &kernel, net::Network &network,
+           RpcCostParams rpc_params, std::uint64_t seed)
+    : kernel_(kernel),
+      network_(network),
+      rpc_params_(rpc_params),
+      seed_(seed)
+{
+    netstack_.name = "netstack";
+    netstack_.ipcBase = 0.9;
+    netstack_.branchMpki = 6.0;
+    netstack_.icacheMpki = 14.0;
+    netstack_.l3Apki = 2.2;
+    netstack_.wssBytes = 1.0 * 1024 * 1024;
+    netstack_.smtYield = 0.65;
+    netstack_.kernelShare = 0.85;
+}
+
+Service *
+Mesh::createService(ServiceParams params)
+{
+    if (by_name_.count(params.name))
+        fatal("duplicate service name '", params.name, "'");
+    services_.push_back(std::make_unique<Service>(*this, params));
+    Service *svc = services_.back().get();
+    by_name_[svc->name()] = svc;
+    return svc;
+}
+
+Service &
+Mesh::service(const std::string &name)
+{
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        fatal("unknown service '", name, "'");
+    return *it->second;
+}
+
+bool
+Mesh::hasService(const std::string &name) const
+{
+    return by_name_.count(name) != 0;
+}
+
+void
+Mesh::callExternal(const std::string &service, const std::string &op,
+                   Payload payload, ResponseFn respond)
+{
+    Service &target = this->service(service);
+    network_.send(payload.bytes, [this, &target, op, payload,
+                                  respond = std::move(respond)]() mutable {
+        Envelope env;
+        env.op = op;
+        env.request = payload;
+        env.respond = std::move(respond);
+        env.arrived = kernel_.sim().now();
+        target.submit(std::move(env));
+    });
+}
+
+double
+Mesh::rpcInstructions(std::uint32_t bytes) const
+{
+    return rpc_params_.fixedInstructions +
+           rpc_params_.perKibInstructions *
+               (static_cast<double>(bytes) / 1024.0);
+}
+
+} // namespace microscale::svc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Mesh: the service registry, transport glue and RPC cost model.
+ *
+ * Plays the role of TeaStore's registry plus client-side load
+ * balancing: services look each other up by name and every message
+ * crosses the loopback Network. The CPU cost of the protocol stack is
+ * charged to the calling/serving worker threads via a dedicated
+ * "netstack" work profile.
+ */
+
+#ifndef MICROSCALE_SVC_MESH_HH
+#define MICROSCALE_SVC_MESH_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/work.hh"
+#include "net/network.hh"
+#include "os/kernel.hh"
+#include "svc/payload.hh"
+#include "svc/service.hh"
+
+namespace microscale::svc
+{
+
+/** RPC stack cost model. */
+struct RpcCostParams
+{
+    /** Instructions to serialize/deserialize a message, fixed part. */
+    double fixedInstructions = 25e3;
+    /** Additional instructions per KiB of payload. */
+    double perKibInstructions = 6e3;
+};
+
+/**
+ * The mesh. Owns the services and the netstack profile.
+ */
+class Mesh
+{
+  public:
+    Mesh(os::Kernel &kernel, net::Network &network,
+         RpcCostParams rpc_params = {}, std::uint64_t seed = 1);
+
+    Mesh(const Mesh &) = delete;
+    Mesh &operator=(const Mesh &) = delete;
+
+    os::Kernel &kernel() { return kernel_; }
+    net::Network &network() { return network_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** Create and register a service. */
+    Service *createService(ServiceParams params);
+
+    /** Lookup by name; fatal() when absent. */
+    Service &service(const std::string &name);
+
+    /** True when a service with this name exists. */
+    bool hasService(const std::string &name) const;
+
+    /** All services in registration order. */
+    const std::vector<std::unique_ptr<Service>> &services() const
+    {
+        return services_;
+    }
+
+    /**
+     * Client entry point: sends `payload` to `service`/`op` over the
+     * transport; `respond` fires at the client when the response
+     * arrives. No CPU is charged to any worker for the client side.
+     */
+    void callExternal(const std::string &service, const std::string &op,
+                      Payload payload, ResponseFn respond);
+
+    /** The profile used for (de)serialization work. */
+    const cpu::WorkProfile &netstackProfile() const { return netstack_; }
+
+    /** Serialization instruction count for a payload size. */
+    double rpcInstructions(std::uint32_t bytes) const;
+
+  private:
+    os::Kernel &kernel_;
+    net::Network &network_;
+    RpcCostParams rpc_params_;
+    std::uint64_t seed_;
+    cpu::WorkProfile netstack_;
+    std::vector<std::unique_ptr<Service>> services_;
+    std::map<std::string, Service *> by_name_;
+};
+
+} // namespace microscale::svc
+
+#endif // MICROSCALE_SVC_MESH_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Payload and request envelope types exchanged between services.
+ */
+
+#ifndef MICROSCALE_SVC_PAYLOAD_HH
+#define MICROSCALE_SVC_PAYLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/types.hh"
+
+namespace microscale::svc
+{
+
+/**
+ * An RPC payload: a modeled size plus up to three integer arguments
+ * (entity ids and the like). The size drives network and serialization
+ * cost; the arguments drive handler logic.
+ */
+struct Payload
+{
+    std::uint32_t bytes = 512;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    std::uint64_t arg2 = 0;
+};
+
+/** Callback type through which a response payload is returned. */
+using ResponseFn = std::function<void(const Payload &)>;
+
+/**
+ * A request as queued inside a service replica.
+ */
+struct Envelope
+{
+    std::string op;
+    Payload request;
+    ResponseFn respond;
+    /** Arrival tick at the replica (queue-wait accounting). */
+    Tick arrived = 0;
+};
+
+} // namespace microscale::svc
+
+#endif // MICROSCALE_SVC_PAYLOAD_HH

@@ -1,0 +1,360 @@
+#include "svc/service.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "svc/mesh.hh"
+
+namespace microscale::svc
+{
+
+HandlerCtx::HandlerCtx(Service &service, Worker &worker, Envelope envelope)
+    : service_(service), worker_(worker), envelope_(std::move(envelope))
+{
+}
+
+Rng &
+HandlerCtx::rng()
+{
+    return service_.rng_;
+}
+
+Tick
+HandlerCtx::now() const
+{
+    return service_.mesh_.kernel().sim().now();
+}
+
+void
+HandlerCtx::compute(double instructions, std::function<void()> next)
+{
+    computeProfile(service_.params_.profile, instructions,
+                   std::move(next));
+}
+
+void
+HandlerCtx::computeProfile(const cpu::WorkProfile &profile,
+                           double instructions,
+                           std::function<void()> next)
+{
+    if (finished_)
+        MS_PANIC("compute after done() in ", service_.name());
+    double actual = instructions;
+    if (service_.params_.computeCv > 0.0 && instructions > 0.0)
+        actual = rng().lognormal(instructions, service_.params_.computeCv);
+    if (actual <= 0.0) {
+        // Degenerate budget: continue without occupying a CPU.
+        service_.mesh_.kernel().sim().scheduleAfter(1, std::move(next));
+        return;
+    }
+    worker_.thread->run(profile, actual, std::move(next));
+}
+
+void
+HandlerCtx::call(const std::string &service, const std::string &op,
+                 Payload request_payload,
+                 std::function<void(const Payload &)> next)
+{
+    if (finished_)
+        MS_PANIC("call after done() in ", service_.name());
+    Mesh &mesh = service_.mesh_;
+    Service &target = mesh.service(service);
+    Worker &worker = worker_;
+
+    // Serialize on this worker, ship the request, and when the response
+    // arrives deserialize on this worker before continuing.
+    const double ser = mesh.rpcInstructions(request_payload.bytes);
+    auto after_response = [&mesh, &worker,
+                           next = std::move(next)](const Payload &resp) {
+        const double deser = mesh.rpcInstructions(resp.bytes);
+        // Copy the payload so the continuation owns it.
+        Payload resp_copy = resp;
+        worker.thread->run(
+            mesh.netstackProfile(), deser,
+            [next, resp_copy] { next(resp_copy); });
+    };
+    worker_.thread->run(
+        mesh.netstackProfile(), ser,
+        [&mesh, &target, op, request_payload,
+         after_response = std::move(after_response)]() mutable {
+            net::Network &net = mesh.network();
+            net.send(request_payload.bytes,
+                     [&target, op, request_payload,
+                      after_response = std::move(after_response),
+                      &mesh]() mutable {
+                         Envelope env;
+                         env.op = op;
+                         env.request = request_payload;
+                         env.respond = std::move(after_response);
+                         env.arrived = mesh.kernel().sim().now();
+                         target.submit(std::move(env));
+                     });
+        });
+}
+
+void
+HandlerCtx::callAll(std::vector<CallSpec> calls,
+                    std::function<void(const std::vector<Payload> &)> next)
+{
+    if (finished_)
+        MS_PANIC("callAll after done() in ", service_.name());
+    Mesh &mesh = service_.mesh_;
+    if (calls.empty()) {
+        mesh.kernel().sim().scheduleAfter(
+            1, [next = std::move(next)] { next({}); });
+        return;
+    }
+
+    struct FanOut
+    {
+        std::vector<Payload> responses;
+        std::size_t pending = 0;
+        std::function<void(const std::vector<Payload> &)> next;
+        Worker *worker = nullptr;
+        Mesh *mesh = nullptr;
+    };
+    auto state = std::make_shared<FanOut>();
+    state->responses.resize(calls.size());
+    state->pending = calls.size();
+    state->next = std::move(next);
+    state->worker = &worker_;
+    state->mesh = &mesh;
+
+    double ser = 0.0;
+    for (const CallSpec &c : calls)
+        ser += mesh.rpcInstructions(c.request.bytes);
+
+    worker_.thread->run(
+        mesh.netstackProfile(), ser,
+        [calls = std::move(calls), state, &mesh] {
+            for (std::size_t i = 0; i < calls.size(); ++i) {
+                const CallSpec &spec = calls[i];
+                Service &target = mesh.service(spec.service);
+                auto on_response = [state, i](const Payload &resp) {
+                    state->responses[i] = resp;
+                    if (--state->pending > 0)
+                        return;
+                    // All responses in: one deserialization batch on
+                    // the (blocked) worker, then the continuation.
+                    double deser = 0.0;
+                    for (const Payload &r : state->responses)
+                        deser += state->mesh->rpcInstructions(r.bytes);
+                    state->worker->thread->run(
+                        state->mesh->netstackProfile(), deser, [state] {
+                            state->next(state->responses);
+                        });
+                };
+                mesh.network().send(
+                    spec.request.bytes,
+                    [&mesh, &target, spec,
+                     on_response = std::move(on_response)]() mutable {
+                        Envelope env;
+                        env.op = spec.op;
+                        env.request = spec.request;
+                        env.respond = std::move(on_response);
+                        env.arrived = mesh.kernel().sim().now();
+                        target.submit(std::move(env));
+                    });
+            }
+        });
+}
+
+void
+HandlerCtx::done()
+{
+    if (finished_)
+        MS_PANIC("double done() in ", service_.name());
+    finished_ = true;
+
+    Mesh &mesh = service_.mesh_;
+    const double ser = mesh.rpcInstructions(response_.bytes);
+    worker_.thread->run(mesh.netstackProfile(), ser, [this, &mesh] {
+        // Copy everything we need out of the context before it dies.
+        Service &svc = service_;
+        Worker &worker = worker_;
+        ResponseFn respond = std::move(envelope_.respond);
+        const Payload resp = response_;
+        const Tick arrived = envelope_.arrived;
+        const std::string op = envelope_.op;
+
+        const Tick now = mesh.kernel().sim().now();
+        auto &stats = svc.op_stats_[op];
+        const double service_time = static_cast<double>(now - arrived);
+        const double queue_wait =
+            static_cast<double>(dispatched_ - arrived);
+        const double compute =
+            worker.thread->ec().counters().busyNs - busy_at_dispatch_;
+        stats.serviceTimeNs.add(service_time);
+        stats.queueWaitNs.add(queue_wait);
+        stats.computeNs.add(compute);
+        stats.stallNs.add(
+            std::max(0.0, service_time - queue_wait - compute));
+
+        if (respond) {
+            mesh.network().send(resp.bytes, [respond = std::move(respond),
+                                             resp] { respond(resp); });
+        }
+        // This destroys the HandlerCtx (and this lambda's captures were
+        // already copied to locals); do not touch members afterwards.
+        svc.workerDone(worker);
+    });
+}
+
+Service::Service(Mesh &mesh, ServiceParams params)
+    : mesh_(mesh),
+      params_(std::move(params)),
+      rng_(mesh.seed(), "svc." + params_.name)
+{
+    if (params_.name.empty())
+        fatal("service with empty name");
+    if (params_.replicas == 0 || params_.workersPerReplica == 0)
+        fatal("service '", params_.name,
+              "' needs at least one replica and worker");
+    params_.profile.validate();
+
+    os::Kernel &kernel = mesh_.kernel();
+    const CpuMask everywhere = kernel.machine().allCpus();
+    replicas_.resize(params_.replicas);
+    workers_.reserve(static_cast<std::size_t>(params_.replicas) *
+                     params_.workersPerReplica);
+    for (unsigned r = 0; r < params_.replicas; ++r) {
+        for (unsigned w = 0; w < params_.workersPerReplica; ++w) {
+            Worker worker;
+            worker.replica = r;
+            worker.thread = kernel.createThread(
+                params_.name + ".r" + std::to_string(r) + ".w" +
+                    std::to_string(w),
+                everywhere, kInvalidNode);
+            replicas_[r].workerIndexes.push_back(workers_.size());
+            workers_.push_back(std::move(worker));
+        }
+    }
+}
+
+void
+Service::addOp(const std::string &op,
+               std::function<void(HandlerCtx &)> handler)
+{
+    if (!handler)
+        MS_PANIC("empty handler for ", params_.name, ".", op);
+    if (!ops_.emplace(op, std::move(handler)).second)
+        MS_PANIC("duplicate op ", params_.name, ".", op);
+}
+
+void
+Service::submit(Envelope envelope)
+{
+    if (envelope.arrived == 0)
+        envelope.arrived = mesh_.kernel().sim().now();
+    const unsigned r = rr_next_++ % params_.replicas;
+    Replica &rep = replicas_[r];
+    rep.queue.push_back(std::move(envelope));
+    rep.maxQueueDepth = std::max(rep.maxQueueDepth, rep.queue.size());
+    pump(r);
+}
+
+void
+Service::pump(unsigned replica)
+{
+    Replica &rep = replicas_[replica];
+    while (!rep.queue.empty()) {
+        Worker *idle = nullptr;
+        for (std::size_t idx : rep.workerIndexes) {
+            if (!workers_[idx].current) {
+                idle = &workers_[idx];
+                break;
+            }
+        }
+        if (!idle)
+            return;
+        Envelope env = std::move(rep.queue.front());
+        rep.queue.pop_front();
+        dispatch(*idle, std::move(env));
+    }
+}
+
+void
+Service::dispatch(Worker &worker, Envelope envelope)
+{
+    auto it = ops_.find(envelope.op);
+    if (it == ops_.end())
+        fatal("service '", params_.name, "' has no op '", envelope.op,
+              "'");
+    ++requests_;
+    ++op_stats_[envelope.op].requests;
+    const Tick now = mesh_.kernel().sim().now();
+    queue_wait_ns_.add(static_cast<double>(now - envelope.arrived));
+
+    const double deser = mesh_.rpcInstructions(envelope.request.bytes);
+    worker.current.reset(
+        new HandlerCtx(*this, worker, std::move(envelope)));
+    HandlerCtx *ctx = worker.current.get();
+    ctx->dispatched_ = now;
+    ctx->busy_at_dispatch_ = worker.thread->ec().counters().busyNs;
+    auto &handler = it->second;
+    worker.thread->run(mesh_.netstackProfile(), deser,
+                       [&handler, ctx] { handler(*ctx); });
+}
+
+void
+Service::workerDone(Worker &worker)
+{
+    const unsigned r = worker.replica;
+    worker.current.reset();
+    pump(r);
+}
+
+void
+Service::setReplicaPlacement(unsigned replica, const CpuMask &affinity,
+                             NodeId home_node)
+{
+    if (replica >= params_.replicas)
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    for (std::size_t idx : replicas_[replica].workerIndexes) {
+        Worker &w = workers_[idx];
+        w.thread->ec().setHomeNode(home_node);
+        w.thread->setAffinity(affinity);
+    }
+}
+
+cpu::PerfCounters
+Service::aggregateCounters() const
+{
+    cpu::PerfCounters total;
+    for (const Worker &w : workers_)
+        total.merge(w.thread->ec().counters());
+    return total;
+}
+
+unsigned
+Service::busyWorkers() const
+{
+    unsigned n = 0;
+    for (const Worker &w : workers_) {
+        if (w.current)
+            ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+Service::queuedRequests() const
+{
+    std::uint64_t n = 0;
+    for (const Replica &r : replicas_)
+        n += r.queue.size();
+    return n;
+}
+
+void
+Service::resetStats()
+{
+    op_stats_.clear();
+    queue_wait_ns_.reset();
+    requests_ = 0;
+    for (Replica &r : replicas_)
+        r.maxQueueDepth = r.queue.size();
+}
+
+} // namespace microscale::svc

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Service: a named microservice with replicas, worker threads and
+ * string-keyed operation handlers written in continuation-passing
+ * style against a HandlerCtx.
+ *
+ * Concurrency model mirrors a servlet container: each replica owns a
+ * pool of worker threads; a worker processes one request at a time and
+ * blocks (holding no CPU) while waiting on downstream calls. Requests
+ * beyond the worker count wait in the replica's queue.
+ */
+
+#ifndef MICROSCALE_SVC_SERVICE_HH
+#define MICROSCALE_SVC_SERVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/cpumask.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "cpu/counters.hh"
+#include "cpu/work.hh"
+#include "os/thread.hh"
+#include "svc/payload.hh"
+
+namespace microscale::svc
+{
+
+class Mesh;
+class Service;
+struct Worker;
+
+/** Static configuration of one service. */
+struct ServiceParams
+{
+    std::string name;
+    /** Default compute profile for HandlerCtx::compute. */
+    cpu::WorkProfile profile;
+    unsigned replicas = 1;
+    unsigned workersPerReplica = 16;
+    /** Coefficient of variation applied to compute() budgets. */
+    double computeCv = 0.15;
+};
+
+/**
+ * Per-invocation context handed to operation handlers. All async
+ * primitives run their continuation from event context; a handler
+ * chain must terminate with done().
+ */
+class HandlerCtx
+{
+  public:
+    /** The request payload. */
+    const Payload &request() const { return envelope_.request; }
+
+    /** Response payload; mutate before calling done(). */
+    Payload &response() { return response_; }
+
+    /** Deterministic per-service RNG stream. */
+    Rng &rng();
+
+    /** Current simulated time. */
+    Tick now() const;
+
+    /** The service executing this handler. */
+    Service &service() { return service_; }
+
+    /**
+     * Execute `instructions` of the service's default profile on the
+     * worker thread, then continue.
+     */
+    void compute(double instructions, std::function<void()> next);
+
+    /** Execute work under an explicit profile. */
+    void computeProfile(const cpu::WorkProfile &profile,
+                        double instructions, std::function<void()> next);
+
+    /**
+     * Issue a downstream RPC; `next` receives the response payload.
+     * Serialization work is charged to this worker before the message
+     * leaves and after the response arrives.
+     */
+    void call(const std::string &service, const std::string &op,
+              Payload request_payload,
+              std::function<void(const Payload &)> next);
+
+    /** One leg of a parallel fan-out. */
+    struct CallSpec
+    {
+        std::string service;
+        std::string op;
+        Payload request;
+    };
+
+    /**
+     * Issue several downstream RPCs concurrently; `next` receives the
+     * responses in the order the calls were given, once all have
+     * arrived. Serialization of all requests is charged up front,
+     * deserialization of all responses before `next`.
+     */
+    void callAll(std::vector<CallSpec> calls,
+                 std::function<void(const std::vector<Payload> &)> next);
+
+    /** Finish: serialize and send the response, release the worker. */
+    void done();
+
+  private:
+    friend class Service;
+
+    HandlerCtx(Service &service, Worker &worker, Envelope envelope);
+
+    Service &service_;
+    Worker &worker_;
+    Envelope envelope_;
+    Payload response_;
+    bool finished_ = false;
+    /** When the handler was dispatched to the worker. */
+    Tick dispatched_ = 0;
+    /** Worker busy-ns counter at dispatch (for compute attribution). */
+    double busy_at_dispatch_ = 0.0;
+};
+
+/** One worker thread of a replica. */
+struct Worker
+{
+    os::Thread *thread = nullptr;
+    unsigned replica = 0;
+    std::unique_ptr<HandlerCtx> current;
+};
+
+/** A replica: a queue plus its workers. */
+struct Replica
+{
+    std::deque<Envelope> queue;
+    std::vector<std::size_t> workerIndexes;
+    std::size_t maxQueueDepth = 0;
+};
+
+/** Operation-level statistics. */
+struct OpStats
+{
+    std::uint64_t requests = 0;
+    /** Arrival at replica to response handed to transport, in ns. */
+    QuantileHistogram serviceTimeNs;
+    /** Time the envelope waited for a free worker, in ns. */
+    QuantileHistogram queueWaitNs;
+    /**
+     * CPU time the worker spent on this request (handler compute plus
+     * RPC serialization), in ns.
+     */
+    QuantileHistogram computeNs;
+    /**
+     * Non-CPU time inside the handler: blocked on downstream calls or
+     * preempted off-CPU (serviceTime - queueWait - compute), in ns.
+     */
+    QuantileHistogram stallNs;
+};
+
+/**
+ * A microservice.
+ */
+class Service
+{
+  public:
+    /**
+     * Construct and register worker threads with the kernel. Workers
+     * start with machine-wide affinity and first-touch memory; use
+     * setReplicaPlacement to pin.
+     */
+    Service(Mesh &mesh, ServiceParams params);
+
+    Service(const Service &) = delete;
+    Service &operator=(const Service &) = delete;
+
+    const std::string &name() const { return params_.name; }
+    const ServiceParams &params() const { return params_; }
+    Mesh &mesh() { return mesh_; }
+    unsigned replicaCount() const { return params_.replicas; }
+
+    /** Register an operation handler. */
+    void addOp(const std::string &op,
+               std::function<void(HandlerCtx &)> handler);
+
+    /**
+     * Enqueue a request (round-robin over replicas). Called by the
+     * Mesh after transport delivery.
+     */
+    void submit(Envelope envelope);
+
+    /**
+     * Pin one replica's workers to a CPU set and home their memory on
+     * `home_node` (kInvalidNode keeps first-touch).
+     */
+    void setReplicaPlacement(unsigned replica, const CpuMask &affinity,
+                             NodeId home_node);
+
+    /** Sum of all worker thread counters. */
+    cpu::PerfCounters aggregateCounters() const;
+
+    /** Per-op statistics. */
+    const std::map<std::string, OpStats> &opStats() const
+    {
+        return op_stats_;
+    }
+
+    /** Queue-wait distribution across all replicas. */
+    const QuantileHistogram &queueWaitNs() const { return queue_wait_ns_; }
+
+    /** Total requests processed. */
+    std::uint64_t requestsProcessed() const { return requests_; }
+
+    /** Worker threads (for perf attribution and tests). */
+    const std::vector<Worker> &workers() const { return workers_; }
+
+    /** Busy workers right now (for utilization probes). */
+    unsigned busyWorkers() const;
+
+    /** Requests waiting in replica queues right now. */
+    std::uint64_t queuedRequests() const;
+
+    /** Reset per-op and queue statistics (not thread counters). */
+    void resetStats();
+
+  private:
+    friend class HandlerCtx;
+
+    /** Hand the next queued envelope to an idle worker, if any. */
+    void pump(unsigned replica);
+
+    /** Worker finished its envelope. */
+    void workerDone(Worker &worker);
+
+    /** Begin handler execution on a worker. */
+    void dispatch(Worker &worker, Envelope envelope);
+
+    Mesh &mesh_;
+    ServiceParams params_;
+    Rng rng_;
+    std::map<std::string, std::function<void(HandlerCtx &)>> ops_;
+    std::vector<Worker> workers_;
+    std::vector<Replica> replicas_;
+    unsigned rr_next_ = 0;
+    std::map<std::string, OpStats> op_stats_;
+    QuantileHistogram queue_wait_ns_;
+    std::uint64_t requests_ = 0;
+};
+
+} // namespace microscale::svc
+
+#endif // MICROSCALE_SVC_SERVICE_HH

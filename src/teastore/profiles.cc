@@ -1,0 +1,114 @@
+#include "teastore/profiles.hh"
+
+namespace microscale::teastore
+{
+
+const cpu::WorkProfile &
+webuiProfile()
+{
+    static const cpu::WorkProfile p = [] {
+        cpu::WorkProfile q;
+        q.name = "webui";
+        q.ipcBase = 0.75;
+        q.branchMpki = 7.0;
+        q.icacheMpki = 18.0;
+        q.l3Apki = 3.8;
+        q.wssBytes = 10.0 * 1024 * 1024;
+        q.smtYield = 0.68;
+        q.kernelShare = 0.25;
+        return q;
+    }();
+    return p;
+}
+
+const cpu::WorkProfile &
+authProfile()
+{
+    static const cpu::WorkProfile p = [] {
+        cpu::WorkProfile q;
+        q.name = "auth";
+        q.ipcBase = 1.70;
+        q.branchMpki = 2.0;
+        q.icacheMpki = 3.0;
+        q.l3Apki = 0.6;
+        q.wssBytes = 1.5 * 1024 * 1024;
+        q.smtYield = 0.55;
+        q.kernelShare = 0.08;
+        return q;
+    }();
+    return p;
+}
+
+const cpu::WorkProfile &
+persistenceProfile()
+{
+    static const cpu::WorkProfile p = [] {
+        cpu::WorkProfile q;
+        q.name = "persistence";
+        q.ipcBase = 0.85;
+        q.branchMpki = 6.0;
+        q.icacheMpki = 12.0;
+        q.l3Apki = 6.0;
+        q.wssBytes = 12.0 * 1024 * 1024;
+        q.smtYield = 0.70;
+        q.kernelShare = 0.30;
+        return q;
+    }();
+    return p;
+}
+
+const cpu::WorkProfile &
+recommenderProfile()
+{
+    static const cpu::WorkProfile p = [] {
+        cpu::WorkProfile q;
+        q.name = "recommender";
+        q.ipcBase = 1.30;
+        q.branchMpki = 3.0;
+        q.icacheMpki = 5.0;
+        q.l3Apki = 4.5;
+        q.wssBytes = 8.0 * 1024 * 1024;
+        q.smtYield = 0.62;
+        q.kernelShare = 0.10;
+        return q;
+    }();
+    return p;
+}
+
+const cpu::WorkProfile &
+imageProfile()
+{
+    static const cpu::WorkProfile p = [] {
+        cpu::WorkProfile q;
+        q.name = "image";
+        q.ipcBase = 1.10;
+        q.branchMpki = 3.0;
+        q.icacheMpki = 6.0;
+        q.l3Apki = 7.5;
+        q.wssBytes = 14.0 * 1024 * 1024;
+        q.smtYield = 0.72;
+        q.kernelShare = 0.20;
+        return q;
+    }();
+    return p;
+}
+
+const cpu::WorkProfile &
+registryProfile()
+{
+    static const cpu::WorkProfile p = [] {
+        cpu::WorkProfile q;
+        q.name = "registry";
+        q.ipcBase = 0.90;
+        q.branchMpki = 5.0;
+        q.icacheMpki = 10.0;
+        q.l3Apki = 1.5;
+        q.wssBytes = 1.0 * 1024 * 1024;
+        q.smtYield = 0.65;
+        q.kernelShare = 0.40;
+        return q;
+    }();
+    return p;
+}
+
+} // namespace microscale::teastore

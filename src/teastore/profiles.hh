@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Calibrated work profiles for the six TeaStore services.
+ *
+ * Values are chosen to match the paper's qualitative characterization
+ * of microservice code on big x86 servers: low IPC (0.7-1.3), large
+ * instruction footprints (high icache MPKI), moderate-to-high L3
+ * traffic, working sets of a few to tens of MB per thread, significant
+ * kernel-mode share from the network stack, and good SMT yield for the
+ * memory-bound services.
+ *
+ * Every accessor returns a reference with static storage duration:
+ * work profiles must outlive the work items that reference them.
+ */
+
+#ifndef MICROSCALE_TEASTORE_PROFILES_HH
+#define MICROSCALE_TEASTORE_PROFILES_HH
+
+#include "cpu/work.hh"
+
+namespace microscale::teastore
+{
+
+/** JSP/template rendering in the WebUI front end. */
+const cpu::WorkProfile &webuiProfile();
+
+/** Password hashing and session validation (compute-bound). */
+const cpu::WorkProfile &authProfile();
+
+/** ORM + database engine work in the Persistence service. */
+const cpu::WorkProfile &persistenceProfile();
+
+/** In-memory recommendation model scoring. */
+const cpu::WorkProfile &recommenderProfile();
+
+/** Image cache lookups and (on miss) rescaling. */
+const cpu::WorkProfile &imageProfile();
+
+/** Registry bookkeeping (heartbeats, lookups). */
+const cpu::WorkProfile &registryProfile();
+
+} // namespace microscale::teastore
+
+#endif // MICROSCALE_TEASTORE_PROFILES_HH

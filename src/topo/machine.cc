@@ -1,0 +1,163 @@
+#include "topo/machine.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace microscale::topo
+{
+
+Machine::Machine(MachineParams params) : params_(std::move(params))
+{
+    params_.validate();
+    all_cpus_ = CpuMask::firstN(numCpus());
+    primary_threads_ = CpuMask::firstN(numCores());
+
+    const unsigned nodes = numNodes();
+    mem_latency_.resize(static_cast<std::size_t>(nodes) * nodes);
+    for (NodeId from = 0; from < nodes; ++from) {
+        for (NodeId to = 0; to < nodes; ++to) {
+            double lat = params_.mem.localLatencyNs;
+            if (from != to) {
+                lat *= socketOfNode(from) == socketOfNode(to)
+                           ? params_.mem.intraSocketFactor
+                           : params_.mem.interSocketFactor;
+            }
+            mem_latency_[static_cast<std::size_t>(from) * nodes + to] = lat;
+        }
+    }
+}
+
+CoreId
+Machine::coreOf(CpuId cpu) const
+{
+    if (cpu >= numCpus())
+        MS_PANIC("coreOf: cpu ", cpu, " out of range");
+    return cpu % numCores();
+}
+
+CcxId
+Machine::ccxOf(CpuId cpu) const
+{
+    return coreOf(cpu) / params_.coresPerCcx;
+}
+
+NodeId
+Machine::nodeOf(CpuId cpu) const
+{
+    return ccxOf(cpu) / params_.ccxsPerNode;
+}
+
+SocketId
+Machine::socketOf(CpuId cpu) const
+{
+    return nodeOf(cpu) / params_.nodesPerSocket;
+}
+
+CpuId
+Machine::siblingOf(CpuId cpu) const
+{
+    if (params_.threadsPerCore < 2)
+        return kInvalidCpu;
+    const unsigned cores = numCores();
+    return cpu < cores ? cpu + cores : cpu - cores;
+}
+
+CpuMask
+Machine::cpusOfCore(CoreId core) const
+{
+    if (core >= numCores())
+        MS_PANIC("cpusOfCore: core ", core, " out of range");
+    CpuMask m = CpuMask::single(core);
+    if (params_.threadsPerCore == 2)
+        m.set(core + numCores());
+    return m;
+}
+
+CpuMask
+Machine::cpusOfCcx(CcxId ccx) const
+{
+    if (ccx >= numCcxs())
+        MS_PANIC("cpusOfCcx: ccx ", ccx, " out of range");
+    const CoreId first = ccx * params_.coresPerCcx;
+    CpuMask m;
+    for (CoreId c = first; c < first + params_.coresPerCcx; ++c)
+        m |= cpusOfCore(c);
+    return m;
+}
+
+CpuMask
+Machine::cpusOfNode(NodeId node) const
+{
+    if (node >= numNodes())
+        MS_PANIC("cpusOfNode: node ", node, " out of range");
+    CpuMask m;
+    for (CcxId x : ccxsOfNode(node))
+        m |= cpusOfCcx(x);
+    return m;
+}
+
+CpuMask
+Machine::cpusOfSocket(SocketId socket) const
+{
+    if (socket >= numSockets())
+        MS_PANIC("cpusOfSocket: socket ", socket, " out of range");
+    CpuMask m;
+    const NodeId first = socket * params_.nodesPerSocket;
+    for (NodeId n = first; n < first + params_.nodesPerSocket; ++n)
+        m |= cpusOfNode(n);
+    return m;
+}
+
+NodeId
+Machine::nodeOfCcx(CcxId ccx) const
+{
+    if (ccx >= numCcxs())
+        MS_PANIC("nodeOfCcx: ccx ", ccx, " out of range");
+    return ccx / params_.ccxsPerNode;
+}
+
+SocketId
+Machine::socketOfNode(NodeId node) const
+{
+    if (node >= numNodes())
+        MS_PANIC("socketOfNode: node ", node, " out of range");
+    return node / params_.nodesPerSocket;
+}
+
+std::vector<CcxId>
+Machine::ccxsOfNode(NodeId node) const
+{
+    if (node >= numNodes())
+        MS_PANIC("ccxsOfNode: node ", node, " out of range");
+    std::vector<CcxId> out;
+    const CcxId first = node * params_.ccxsPerNode;
+    for (CcxId x = first; x < first + params_.ccxsPerNode; ++x)
+        out.push_back(x);
+    return out;
+}
+
+double
+Machine::memLatencyNs(NodeId from, NodeId to) const
+{
+    const unsigned nodes = numNodes();
+    if (from >= nodes || to >= nodes)
+        MS_PANIC("memLatencyNs: node out of range: ", from, ", ", to);
+    return mem_latency_[static_cast<std::size_t>(from) * nodes + to];
+}
+
+std::string
+Machine::describe() const
+{
+    std::ostringstream os;
+    os << params_.name << ": " << params_.sockets << "S x "
+       << params_.nodesPerSocket << "N x " << params_.ccxsPerNode
+       << "CCX x " << params_.coresPerCcx << "C x SMT"
+       << params_.threadsPerCore << " = " << numCpus() << " logical CPUs, "
+       << params_.cache.l3BytesPerCcx / (1024 * 1024) << "MB L3/CCX, "
+       << params_.freq.boostGhz << "-" << params_.freq.allCoreGhz
+       << " GHz";
+    return os.str();
+}
+
+} // namespace microscale::topo

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Machine: the immutable topology object every other module consults.
+ *
+ * Logical CPU numbering follows the Linux convention on SMT x86
+ * servers: CPUs [0, cores) are the first hardware thread of each core,
+ * CPUs [cores, 2*cores) are the SMT siblings, i.e. CPU c and CPU
+ * c + numCores() share a core. Cores are numbered contiguously within
+ * a CCX, CCXs within a node, nodes within a socket.
+ */
+
+#ifndef MICROSCALE_TOPO_MACHINE_HH
+#define MICROSCALE_TOPO_MACHINE_HH
+
+#include <vector>
+
+#include "base/cpumask.hh"
+#include "base/types.hh"
+#include "topo/params.hh"
+
+namespace microscale::topo
+{
+
+/**
+ * Immutable machine topology with O(1) structural lookups.
+ */
+class Machine
+{
+  public:
+    /** Build from validated parameters (validate() is called here). */
+    explicit Machine(MachineParams params);
+
+    const MachineParams &params() const { return params_; }
+    const std::string &name() const { return params_.name; }
+
+    unsigned numCpus() const { return params_.totalCpus(); }
+    unsigned numCores() const { return params_.totalCores(); }
+    unsigned numCcxs() const
+    {
+        return params_.sockets * params_.nodesPerSocket *
+               params_.ccxsPerNode;
+    }
+    unsigned numNodes() const
+    {
+        return params_.sockets * params_.nodesPerSocket;
+    }
+    unsigned numSockets() const { return params_.sockets; }
+    unsigned threadsPerCore() const { return params_.threadsPerCore; }
+    unsigned coresPerCcx() const { return params_.coresPerCcx; }
+
+    /** Physical core of a logical CPU. */
+    CoreId coreOf(CpuId cpu) const;
+    /** CCX (shared-L3 domain) of a logical CPU. */
+    CcxId ccxOf(CpuId cpu) const;
+    /** NUMA node of a logical CPU. */
+    NodeId nodeOf(CpuId cpu) const;
+    /** Socket of a logical CPU. */
+    SocketId socketOf(CpuId cpu) const;
+
+    /** SMT sibling CPU, or kInvalidCpu when SMT is off. */
+    CpuId siblingOf(CpuId cpu) const;
+    /** True when `cpu` is the first hardware thread of its core. */
+    bool isPrimaryThread(CpuId cpu) const { return cpu < numCores(); }
+
+    /** All logical CPUs of one core. */
+    CpuMask cpusOfCore(CoreId core) const;
+    /** All logical CPUs of one CCX. */
+    CpuMask cpusOfCcx(CcxId ccx) const;
+    /** All logical CPUs of one NUMA node. */
+    CpuMask cpusOfNode(NodeId node) const;
+    /** All logical CPUs of one socket. */
+    CpuMask cpusOfSocket(SocketId socket) const;
+    /** Every logical CPU in the machine. */
+    CpuMask allCpus() const { return all_cpus_; }
+    /** The first hardware thread of every core (the SMT-off view). */
+    CpuMask primaryThreads() const { return primary_threads_; }
+
+    /** NUMA node a CCX belongs to. */
+    NodeId nodeOfCcx(CcxId ccx) const;
+    /** Socket a NUMA node belongs to. */
+    SocketId socketOfNode(NodeId node) const;
+    /** CCX ids belonging to a node. */
+    std::vector<CcxId> ccxsOfNode(NodeId node) const;
+
+    /**
+     * DRAM access latency in nanoseconds for a core on node `from`
+     * touching memory homed on node `to`.
+     */
+    double memLatencyNs(NodeId from, NodeId to) const;
+
+    /** One-line summary, e.g. "rome128: 1S x 4N x 4CCX x 4C x SMT2". */
+    std::string describe() const;
+
+  private:
+    MachineParams params_;
+    CpuMask all_cpus_;
+    CpuMask primary_threads_;
+    std::vector<double> mem_latency_; // numNodes x numNodes
+};
+
+} // namespace microscale::topo
+
+#endif // MICROSCALE_TOPO_MACHINE_HH

@@ -1,0 +1,59 @@
+#include "topo/params.hh"
+
+#include <algorithm>
+
+#include "base/cpumask.hh"
+#include "base/logging.hh"
+
+namespace microscale::topo
+{
+
+double
+FreqCurve::freqGhz(unsigned active_cores, unsigned total_cores) const
+{
+    if (active_cores == 0)
+        return boostGhz;
+    // Quantize to governor buckets: round active count up.
+    const unsigned step = std::max(1u, bucketCores);
+    unsigned quant = ((active_cores + step - 1) / step) * step;
+    quant = std::min(quant, total_cores);
+    if (quant <= boostCores)
+        return boostGhz;
+    if (quant >= total_cores)
+        return allCoreGhz;
+    const double span = static_cast<double>(total_cores - boostCores);
+    const double over = static_cast<double>(quant - boostCores);
+    return boostGhz - (boostGhz - allCoreGhz) * (over / span);
+}
+
+unsigned
+FreqCurve::bucketOf(unsigned active_cores) const
+{
+    const unsigned step = std::max(1u, bucketCores);
+    return (active_cores + step - 1) / step;
+}
+
+void
+MachineParams::validate() const
+{
+    if (sockets == 0 || nodesPerSocket == 0 || ccxsPerNode == 0 ||
+        coresPerCcx == 0) {
+        fatal("machine '", name, "': all topology counts must be >= 1");
+    }
+    if (threadsPerCore < 1 || threadsPerCore > 2)
+        fatal("machine '", name, "': threadsPerCore must be 1 or 2");
+    if (totalCpus() > kMaxCpus) {
+        fatal("machine '", name, "': ", totalCpus(),
+              " logical CPUs exceeds the kMaxCpus limit of ", kMaxCpus);
+    }
+    if (freq.boostGhz < freq.allCoreGhz)
+        fatal("machine '", name, "': boost frequency below all-core");
+    if (freq.allCoreGhz <= 0.0)
+        fatal("machine '", name, "': non-positive frequency");
+    if (mem.localLatencyNs <= 0.0)
+        fatal("machine '", name, "': non-positive memory latency");
+    if (mem.intraSocketFactor < 1.0 || mem.interSocketFactor < 1.0)
+        fatal("machine '", name, "': NUMA factors must be >= 1");
+}
+
+} // namespace microscale::topo

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Parameter structures describing a server processor topology:
+ * cache sizes and latencies, the socket frequency (boost) curve, and
+ * memory latency as a function of NUMA distance.
+ *
+ * The default values approximate the class of machine the paper uses:
+ * a 1-socket x86 server CPU with 64 cores / 128 SMT threads organized
+ * as 16 four-core CCXs, each CCX sharing an L3 slice, and four NUMA
+ * domains per socket (NPS4).
+ */
+
+#ifndef MICROSCALE_TOPO_PARAMS_HH
+#define MICROSCALE_TOPO_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace microscale::topo
+{
+
+/** Cache hierarchy parameters (per-core L1/L2, per-CCX shared L3). */
+struct CacheParams
+{
+    std::uint64_t l1dBytes = 32 * 1024;
+    std::uint64_t l1iBytes = 32 * 1024;
+    std::uint64_t l2Bytes = 512 * 1024;
+    /** Shared L3 slice per CCX. */
+    std::uint64_t l3BytesPerCcx = 16ull * 1024 * 1024;
+
+    /** L2 hit latency in core cycles (charged for icache misses). */
+    double l2LatencyCycles = 12.0;
+    /** L3 hit latency in core cycles. */
+    double l3LatencyCycles = 39.0;
+};
+
+/**
+ * Socket-level frequency behaviour: full boost while few cores are
+ * active, declining linearly to the all-core frequency. Quantized into
+ * buckets so the performance model only reacts to bucket crossings.
+ */
+struct FreqCurve
+{
+    /** Peak single/few-core boost frequency. */
+    double boostGhz = 3.4;
+    /** Sustained all-core frequency. */
+    double allCoreGhz = 2.25;
+    /** Active-core count up to which full boost is sustained. */
+    unsigned boostCores = 8;
+    /** Active-core quantization step for the governor. */
+    unsigned bucketCores = 8;
+
+    /**
+     * Frequency in GHz given the number of active cores in the socket.
+     * Frequency is evaluated at bucket granularity: the active count is
+     * rounded up to the next bucket boundary before the curve is
+     * applied, so small occupancy jitter does not change frequency.
+     */
+    double freqGhz(unsigned active_cores, unsigned total_cores) const;
+
+    /** Governor bucket index for an active-core count. */
+    unsigned bucketOf(unsigned active_cores) const;
+};
+
+/** Memory subsystem parameters. */
+struct MemParams
+{
+    /** DRAM access latency from a core to its local NUMA node (ns). */
+    double localLatencyNs = 104.0;
+    /** Multiplier for a different NUMA node on the same socket. */
+    double intraSocketFactor = 1.35;
+    /** Multiplier for a node on another socket. */
+    double interSocketFactor = 1.95;
+};
+
+/** Complete description of a machine, consumed by topo::Machine. */
+struct MachineParams
+{
+    std::string name = "generic";
+    unsigned sockets = 1;
+    /** NUMA nodes per socket (NPS setting). */
+    unsigned nodesPerSocket = 4;
+    /** Shared-L3 core complexes per NUMA node. */
+    unsigned ccxsPerNode = 4;
+    unsigned coresPerCcx = 4;
+    /** 1 = SMT off, 2 = SMT on. */
+    unsigned threadsPerCore = 2;
+
+    CacheParams cache;
+    FreqCurve freq;
+    MemParams mem;
+
+    unsigned totalCores() const
+    {
+        return sockets * nodesPerSocket * ccxsPerNode * coresPerCcx;
+    }
+
+    unsigned totalCpus() const { return totalCores() * threadsPerCore; }
+
+    /** Validate ranges; calls fatal() on impossible configurations. */
+    void validate() const;
+};
+
+} // namespace microscale::topo
+
+#endif // MICROSCALE_TOPO_PARAMS_HH

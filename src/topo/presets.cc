@@ -1,0 +1,146 @@
+#include "topo/presets.hh"
+
+#include "base/logging.hh"
+
+namespace microscale::topo
+{
+
+MachineParams
+rome128()
+{
+    MachineParams p;
+    p.name = "rome128";
+    p.sockets = 1;
+    p.nodesPerSocket = 4;
+    p.ccxsPerNode = 4;
+    p.coresPerCcx = 4;
+    p.threadsPerCore = 2;
+    p.cache.l3BytesPerCcx = 16ull * 1024 * 1024;
+    p.freq.boostGhz = 3.4;
+    p.freq.allCoreGhz = 2.25;
+    p.freq.boostCores = 8;
+    p.freq.bucketCores = 8;
+    p.mem.localLatencyNs = 104.0;
+    p.mem.intraSocketFactor = 1.35;
+    p.mem.interSocketFactor = 1.95;
+    return p;
+}
+
+MachineParams
+rome64smtOff()
+{
+    MachineParams p = rome128();
+    p.name = "rome64-smt-off";
+    p.threadsPerCore = 1;
+    return p;
+}
+
+MachineParams
+rome128x2()
+{
+    MachineParams p = rome128();
+    p.name = "rome128x2";
+    p.sockets = 2;
+    return p;
+}
+
+MachineParams
+milan128()
+{
+    MachineParams p = rome128();
+    p.name = "milan128";
+    p.ccxsPerNode = 2;
+    p.coresPerCcx = 8;
+    p.cache.l3BytesPerCcx = 32ull * 1024 * 1024;
+    p.freq.boostGhz = 3.5;
+    p.freq.allCoreGhz = 2.45;
+    return p;
+}
+
+MachineParams
+genoa192()
+{
+    MachineParams p;
+    p.name = "genoa192";
+    p.sockets = 1;
+    p.nodesPerSocket = 4;
+    p.ccxsPerNode = 3;
+    p.coresPerCcx = 8;
+    p.threadsPerCore = 2;
+    p.cache.l3BytesPerCcx = 32ull * 1024 * 1024;
+    p.freq.boostGhz = 3.7;
+    p.freq.allCoreGhz = 2.4;
+    p.freq.boostCores = 12;
+    p.freq.bucketCores = 12;
+    p.mem.localLatencyNs = 98.0;
+    p.mem.intraSocketFactor = 1.3;
+    p.mem.interSocketFactor = 1.9;
+    return p;
+}
+
+MachineParams
+server32()
+{
+    MachineParams p;
+    p.name = "server32";
+    p.sockets = 1;
+    p.nodesPerSocket = 1;
+    p.ccxsPerNode = 4;
+    p.coresPerCcx = 4;
+    p.threadsPerCore = 2;
+    p.cache.l3BytesPerCcx = 16ull * 1024 * 1024;
+    p.freq.boostGhz = 3.7;
+    p.freq.allCoreGhz = 2.9;
+    p.freq.boostCores = 4;
+    p.freq.bucketCores = 4;
+    p.mem.localLatencyNs = 96.0;
+    return p;
+}
+
+MachineParams
+small8()
+{
+    MachineParams p;
+    p.name = "small8";
+    p.sockets = 1;
+    p.nodesPerSocket = 1;
+    p.ccxsPerNode = 2;
+    p.coresPerCcx = 2;
+    p.threadsPerCore = 2;
+    p.cache.l3BytesPerCcx = 8ull * 1024 * 1024;
+    p.freq.boostGhz = 3.0;
+    p.freq.allCoreGhz = 2.5;
+    p.freq.boostCores = 2;
+    p.freq.bucketCores = 2;
+    p.mem.localLatencyNs = 90.0;
+    return p;
+}
+
+MachineParams
+presetByName(const std::string &name)
+{
+    if (name == "rome128")
+        return rome128();
+    if (name == "rome64-smt-off")
+        return rome64smtOff();
+    if (name == "rome128x2")
+        return rome128x2();
+    if (name == "milan128")
+        return milan128();
+    if (name == "genoa192")
+        return genoa192();
+    if (name == "server32")
+        return server32();
+    if (name == "small8")
+        return small8();
+    fatal("unknown machine preset '", name, "'");
+}
+
+std::vector<std::string>
+presetNames()
+{
+    return {"rome128", "rome64-smt-off", "rome128x2", "milan128",
+            "genoa192", "server32", "small8"};
+}
+
+} // namespace microscale::topo

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Named machine presets used across experiments, examples and tests.
+ */
+
+#ifndef MICROSCALE_TOPO_PRESETS_HH
+#define MICROSCALE_TOPO_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "topo/params.hh"
+
+namespace microscale::topo
+{
+
+/**
+ * The paper's server class: 1 socket, 64 cores / 128 SMT threads,
+ * 16 CCXs with 16 MB L3 each, NPS4, 3.4 GHz boost / 2.25 GHz all-core.
+ */
+MachineParams rome128();
+
+/** Same silicon with SMT disabled in firmware: 64 logical CPUs. */
+MachineParams rome64smtOff();
+
+/** A two-socket build of the rome128 package (256 logical CPUs). */
+MachineParams rome128x2();
+
+/**
+ * A newer-generation part with unified 8-core CCDs: 64 cores / 128
+ * threads in 8 CCXs of 8 cores sharing 32 MB L3 each (the "bigger L3
+ * domain" design point the paper's CCX analysis anticipates).
+ */
+MachineParams milan128();
+
+/** A 96-core / 192-thread part: 12 eight-core 32 MB-L3 CCXs, NPS4. */
+MachineParams genoa192();
+
+/**
+ * A mid-range 32-thread server part: 1 socket, 16 cores, 4 CCXs, NPS1.
+ */
+MachineParams server32();
+
+/** A small 8-CPU machine for fast tests: 2 CCXs x 2 cores x SMT2. */
+MachineParams small8();
+
+/** Look a preset up by name; fatal() on unknown names. */
+MachineParams presetByName(const std::string &name);
+
+/** Names accepted by presetByName. */
+std::vector<std::string> presetNames();
+
+} // namespace microscale::topo
+
+#endif // MICROSCALE_TOPO_PRESETS_HH

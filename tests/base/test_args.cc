@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/args.hh"
+
+namespace microscale
+{
+namespace
+{
+
+ArgParser
+makeParser()
+{
+    ArgParser p("test program");
+    p.addString("name", "default-name", "a string");
+    p.addInt("count", 7, "an integer");
+    p.addDouble("ratio", 0.5, "a number");
+    p.addFlag("verbose", "a switch");
+    return p;
+}
+
+bool
+parse(ArgParser &p, std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, DefaultsWhenNothingGiven)
+{
+    ArgParser p = makeParser();
+    EXPECT_TRUE(parse(p, {}));
+    EXPECT_EQ(p.getString("name"), "default-name");
+    EXPECT_EQ(p.getInt("count"), 7);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.5);
+    EXPECT_FALSE(p.getFlag("verbose"));
+}
+
+TEST(Args, SpaceSeparatedValues)
+{
+    ArgParser p = makeParser();
+    EXPECT_TRUE(parse(p, {"--name", "abc", "--count", "42", "--ratio",
+                          "1.25", "--verbose"}));
+    EXPECT_EQ(p.getString("name"), "abc");
+    EXPECT_EQ(p.getInt("count"), 42);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 1.25);
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(Args, EqualsSyntax)
+{
+    ArgParser p = makeParser();
+    EXPECT_TRUE(parse(p, {"--name=xyz", "--count=-3"}));
+    EXPECT_EQ(p.getString("name"), "xyz");
+    EXPECT_EQ(p.getInt("count"), -3);
+}
+
+TEST(Args, UnknownOptionFails)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"--bogus", "1"}));
+}
+
+TEST(Args, MissingValueFails)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"--count"}));
+}
+
+TEST(Args, BadIntegerFails)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"--count", "seven"}));
+    EXPECT_FALSE(parse(p, {"--count", "3x"}));
+}
+
+TEST(Args, BadDoubleFails)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"--ratio", "abc"}));
+}
+
+TEST(Args, FlagWithValueFails)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"--verbose=yes"}));
+}
+
+TEST(Args, PositionalArgumentFails)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"stray"}));
+}
+
+TEST(Args, HelpReturnsFalse)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parse(p, {"--help"}));
+}
+
+TEST(Args, UsageMentionsEveryOption)
+{
+    ArgParser p = makeParser();
+    const std::string u = p.usage();
+    for (const char *s : {"--name", "--count", "--ratio", "--verbose",
+                          "default-name", "test program"}) {
+        EXPECT_NE(u.find(s), std::string::npos) << s;
+    }
+}
+
+TEST(ArgsDeathTest, WrongTypeAccessPanics)
+{
+    ArgParser p = makeParser();
+    parse(p, {});
+    EXPECT_DEATH((void)p.getInt("name"), "wrong type");
+    EXPECT_DEATH((void)p.getString("missing"), "undeclared");
+}
+
+TEST(ArgsDeathTest, DuplicateDeclarationPanics)
+{
+    ArgParser p("x");
+    p.addInt("a", 1, "h");
+    EXPECT_DEATH(p.addFlag("a", "h"), "duplicate");
+}
+
+} // namespace
+} // namespace microscale

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for the logging level machinery (output routing is exercised
+ * implicitly everywhere; here we verify level switching and death on
+ * panic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+
+namespace microscale
+{
+namespace
+{
+
+TEST(Logging, SetLevelReturnsPrevious)
+{
+    const LogLevel prev = setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    const LogLevel quiet = setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(quiet, LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(prev);
+}
+
+TEST(Logging, ConcatFormatsMixedArgs)
+{
+    EXPECT_EQ(detail::concat("a=", 1, " b=", 2.5), "a=1 b=2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH({ MS_PANIC("boom ", 42); }, "boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT({ fatal("bad config ", 7); },
+                ::testing::ExitedWithCode(1), "bad config 7");
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    const LogLevel prev = setLogLevel(LogLevel::Quiet);
+    warn("suppressed warning");
+    inform("suppressed info");
+    verbose("suppressed debug");
+    setLogLevel(prev);
+}
+
+} // namespace
+} // namespace microscale

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for base/random: determinism, stream independence and
+ * distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+
+namespace microscale
+{
+namespace
+{
+
+TEST(Random, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(42);
+    Rng b(43);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000))
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Random, NamedStreamsAreIndependent)
+{
+    Rng a(42, "stream-a");
+    Rng b(42, "stream-b");
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniformInt(0, 1000000) == b.uniformInt(0, 1000000))
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Random, SameLabelSameStream)
+{
+    Rng a(42, "stream");
+    Rng b(42, "stream");
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1u << 30), b.uniformInt(0, 1u << 30));
+}
+
+TEST(Random, UniformIntBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Random, UniformIntDegenerate)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5u);
+}
+
+TEST(Random, UniformRealBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Random, ExponentialMean)
+{
+    Rng rng(7);
+    SampleStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.exponential(5.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.1);
+    EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Random, LognormalMeanAndCv)
+{
+    Rng rng(7);
+    SampleStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.lognormal(10.0, 0.3));
+    EXPECT_NEAR(s.mean(), 10.0, 0.15);
+    EXPECT_NEAR(s.stddev() / s.mean(), 0.3, 0.02);
+}
+
+TEST(Random, LognormalZeroCvIsDeterministic)
+{
+    Rng rng(7);
+    EXPECT_DOUBLE_EQ(rng.lognormal(8.0, 0.0), 8.0);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, ChanceFrequency)
+{
+    Rng rng(7);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Random, WeightedIndexRespectsWeights)
+{
+    Rng rng(7);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.weightedIndex(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[0] / 100000.0, 0.25, 0.01);
+    EXPECT_NEAR(counts[2] / 100000.0, 0.75, 0.01);
+}
+
+TEST(Random, WeightedIndexSingleElement)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.weightedIndex({2.5}), 0u);
+}
+
+TEST(Random, IndexCoversRange)
+{
+    Rng rng(7);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.index(4));
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_EQ(*seen.rbegin(), 3u);
+}
+
+TEST(Random, HashLabelStable)
+{
+    EXPECT_EQ(hashLabel("abc"), hashLabel("abc"));
+    EXPECT_NE(hashLabel("abc"), hashLabel("abd"));
+    EXPECT_NE(hashLabel(""), hashLabel("a"));
+}
+
+} // namespace
+} // namespace microscale

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for SampleStats and QuantileHistogram, including property
+ * tests comparing histogram quantiles against exact sorted-sample
+ * quantiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+
+namespace microscale
+{
+namespace
+{
+
+TEST(SampleStats, EmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SampleStats, BasicMoments)
+{
+    SampleStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SampleStats, SingleSampleVarianceZero)
+{
+    SampleStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(SampleStats, MergeMatchesCombined)
+{
+    Rng rng(11);
+    SampleStats a, b, all;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(10.0, 3.0);
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SampleStats, MergeWithEmpty)
+{
+    SampleStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(SampleStats, Reset)
+{
+    SampleStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(QuantileHistogram, EmptyIsZero)
+{
+    QuantileHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(QuantileHistogram, SingleValue)
+{
+    QuantileHistogram h;
+    h.add(1234.5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 1234.5);
+    EXPECT_DOUBLE_EQ(h.max(), 1234.5);
+    EXPECT_DOUBLE_EQ(h.p50(), 1234.5); // clamped to extrema
+}
+
+TEST(QuantileHistogram, NegativeClampsToZero)
+{
+    QuantileHistogram h;
+    h.add(-5.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(QuantileHistogram, MeanExact)
+{
+    QuantileHistogram h;
+    for (double v : {10.0, 20.0, 30.0})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(QuantileHistogram, QuantilesOrdered)
+{
+    QuantileHistogram h;
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.lognormal(1e6, 0.8));
+    EXPECT_LE(h.quantile(0.1), h.p50());
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+    EXPECT_LE(h.p99(), h.max());
+    EXPECT_GE(h.quantile(0.0), h.min());
+}
+
+TEST(QuantileHistogram, MergeAddsCounts)
+{
+    QuantileHistogram a, b;
+    for (int i = 0; i < 100; ++i) {
+        a.add(100.0);
+        b.add(200.0);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_DOUBLE_EQ(a.min(), 100.0);
+    EXPECT_DOUBLE_EQ(a.max(), 200.0);
+    EXPECT_NEAR(a.mean(), 150.0, 1e-9);
+}
+
+TEST(QuantileHistogram, Reset)
+{
+    QuantileHistogram h;
+    h.add(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+/**
+ * Property: histogram quantiles stay within the log-linear bucket
+ * error (~3%) of exact sample quantiles, across distributions.
+ */
+class HistogramAccuracy
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(HistogramAccuracy, CloseToExactQuantiles)
+{
+    const auto [seed, cv] = GetParam();
+    Rng rng(seed);
+    QuantileHistogram h;
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i) {
+        const double v = rng.lognormal(5e6, cv);
+        h.add(v);
+        samples.push_back(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        const double exact =
+            samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+        EXPECT_NEAR(h.quantile(q) / exact, 1.0, 0.05)
+            << "q=" << q << " cv=" << cv;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, HistogramAccuracy,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.2, 0.8, 2.0)));
+
+} // namespace
+} // namespace microscale

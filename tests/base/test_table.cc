@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the TextTable report writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/table.hh"
+
+namespace microscale
+{
+namespace
+{
+
+TEST(Table, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(3.0, 0), "3");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(Table, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.221), "+22.1%");
+    EXPECT_EQ(formatPercent(-0.18), "-18.0%");
+    EXPECT_EQ(formatPercent(0.0), "+0.0%");
+}
+
+TEST(Table, RowBuilderAndAlignment)
+{
+    TextTable t({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 1);
+    t.row().cell("b").cell(std::uint64_t(12345));
+    EXPECT_EQ(t.rowCount(), 2u);
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    // Header separator line exists.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, Csv)
+{
+    TextTable t({"a", "b"});
+    t.row().cell("x,y").cell(1);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n\"x,y\",1\n");
+}
+
+TEST(TableDeathTest, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TableDeathTest, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(TextTable(std::vector<std::string>{}), "at least one");
+}
+
+TEST(Table, IntCellTypes)
+{
+    TextTable t({"i", "u", "d"});
+    t.row().cell(-3).cell(7u).cell(2.25, 2);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "i,u,d\n-3,7,2.25\n");
+}
+
+} // namespace
+} // namespace microscale

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the experiment runner and demand measurement (fast
+ * configurations on small machines).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/tuner.hh"
+
+namespace microscale::core
+{
+namespace
+{
+
+/** A fast config on the small machine. */
+ExperimentConfig
+fastConfig()
+{
+    ExperimentConfig c;
+    c.machine = topo::small8();
+    c.app.store.categories = 4;
+    c.app.store.productsPerCategory = 10;
+    c.app.store.users = 20;
+    c.sizing.webui = {1, 8};
+    c.sizing.auth = {1, 4};
+    c.sizing.persistence = {1, 8};
+    c.sizing.recommender = {1, 2};
+    c.sizing.image = {1, 8};
+    c.sizing.registry = {1, 1};
+    c.load.users = 40;
+    c.load.meanThink = 50 * kMillisecond;
+    c.warmup = 200 * kMillisecond;
+    c.measure = 400 * kMillisecond;
+    return c;
+}
+
+TEST(Experiment, ProducesCompleteResult)
+{
+    const RunResult r = runExperiment(fastConfig());
+    EXPECT_GT(r.throughputRps, 0.0);
+    EXPECT_GT(r.latency.count, 0u);
+    EXPECT_GT(r.latency.p99Ms, r.latency.p50Ms * 0.99);
+    EXPECT_EQ(r.perOp.size(), teastore::kNumOps);
+    EXPECT_EQ(r.servicePerf.size(), 6u);
+    EXPECT_GT(r.cpuUtilization, 0.0);
+    EXPECT_LE(r.cpuUtilization, 1.0 + 1e-9);
+    EXPECT_EQ(r.budgetCpus, 8u);
+    EXPECT_GT(r.eventsProcessed, 0u);
+    EXPECT_GT(r.avgFreqGhz, 0.0);
+    EXPECT_GT(r.total.ipc, 0.0);
+}
+
+TEST(Experiment, DeterministicForSameSeed)
+{
+    const RunResult a = runExperiment(fastConfig());
+    const RunResult b = runExperiment(fastConfig());
+    EXPECT_DOUBLE_EQ(a.throughputRps, b.throughputRps);
+    EXPECT_DOUBLE_EQ(a.latency.p99Ms, b.latency.p99Ms);
+    EXPECT_EQ(a.sched.contextSwitches, b.sched.contextSwitches);
+}
+
+TEST(Experiment, SeedChangesOutcome)
+{
+    ExperimentConfig c = fastConfig();
+    const RunResult a = runExperiment(c);
+    c.seed = 99;
+    const RunResult b = runExperiment(c);
+    EXPECT_NE(a.throughputRps, b.throughputRps);
+}
+
+TEST(Experiment, MoreCoresMoreThroughputAtSaturation)
+{
+    ExperimentConfig c = fastConfig();
+    c.load.users = 200;
+    c.load.meanThink = 10 * kMillisecond;
+    c.cores = 2;
+    const RunResult small = runExperiment(c);
+    c.cores = 4;
+    const RunResult big = runExperiment(c);
+    EXPECT_EQ(small.budgetCpus, 4u);
+    EXPECT_EQ(big.budgetCpus, 8u);
+    EXPECT_GT(big.throughputRps, small.throughputRps * 1.2);
+}
+
+TEST(Experiment, SmtBudgetAddsCapacity)
+{
+    ExperimentConfig c = fastConfig();
+    c.load.users = 200;
+    c.load.meanThink = 10 * kMillisecond;
+    c.smt = false;
+    const RunResult off = runExperiment(c);
+    c.smt = true;
+    const RunResult on = runExperiment(c);
+    EXPECT_EQ(off.budgetCpus, 4u);
+    EXPECT_EQ(on.budgetCpus, 8u);
+    // SMT adds capacity, but far less than 2x.
+    EXPECT_GT(on.throughputRps, off.throughputRps * 1.05);
+    EXPECT_LT(on.throughputRps, off.throughputRps * 1.8);
+}
+
+TEST(Experiment, OpenLoopModeRuns)
+{
+    ExperimentConfig c = fastConfig();
+    c.openLoopRps = 100.0;
+    const RunResult r = runExperiment(c);
+    EXPECT_GT(r.throughputRps, 50.0);
+    EXPECT_LT(r.throughputRps, 150.0);
+}
+
+TEST(Experiment, MeasureDemandNormalized)
+{
+    const DemandShares d = measureDemand(fastConfig());
+    const double sum =
+        d.webui + d.auth + d.persistence + d.recommender + d.image;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // WebUI and image dominate the browse profile's CPU demand.
+    EXPECT_GT(d.webui, d.auth);
+    EXPECT_GT(d.image, d.recommender);
+}
+
+TEST(Experiment, SummarizeMentionsKeyFields)
+{
+    const RunResult r = runExperiment(fastConfig());
+    const std::string s = summarize(r);
+    EXPECT_NE(s.find("tput="), std::string::npos);
+    EXPECT_NE(s.find("p99="), std::string::npos);
+    EXPECT_NE(s.find("util="), std::string::npos);
+}
+
+TEST(Experiment, PerOpCountsSumToTotal)
+{
+    const RunResult r = runExperiment(fastConfig());
+    std::uint64_t sum = 0;
+    for (const auto &[name, lat] : r.perOp)
+        sum += lat.count;
+    EXPECT_EQ(sum, r.latency.count);
+}
+
+TEST(Experiment, PlacementPoliciesAllRun)
+{
+    ExperimentConfig c = fastConfig();
+    for (PlacementKind k : allPlacements()) {
+        c.placement = k;
+        const RunResult r = runExperiment(c);
+        EXPECT_GT(r.throughputRps, 0.0) << placementName(k);
+        EXPECT_EQ(r.plan.kind, k);
+    }
+}
+
+TEST(Experiment, BreakdownCoversWebuiOps)
+{
+    const RunResult r = runExperiment(fastConfig());
+    const auto &webui = r.breakdown.at(teastore::names::kWebui);
+    EXPECT_FALSE(webui.empty());
+    for (const auto &[op, b] : webui) {
+        EXPECT_GT(b.count, 0u) << op;
+        EXPECT_GT(b.serviceTimeMeanMs, 0.0) << op;
+        EXPECT_GT(b.computeMeanMs, 0.0) << op;
+        // Components never exceed the total.
+        EXPECT_LE(b.queueWaitMeanMs + b.computeMeanMs + b.stallMeanMs,
+                  b.serviceTimeMeanMs * 1.01)
+            << op;
+    }
+}
+
+TEST(Experiment, DemandFromRunIsNormalized)
+{
+    const RunResult r = runExperiment(fastConfig());
+    const DemandShares d = demandFromRun(r);
+    EXPECT_NEAR(d.webui + d.auth + d.persistence + d.recommender +
+                    d.image,
+                1.0, 1e-9);
+}
+
+TEST(Experiment, RunRefinedIsDeterministic)
+{
+    ExperimentConfig c = fastConfig();
+    c.placement = PlacementKind::CcxAware;
+    DemandShares d1, d2;
+    const RunResult a = runRefined(c, 1, &d1);
+    const RunResult b = runRefined(c, 1, &d2);
+    EXPECT_DOUBLE_EQ(a.throughputRps, b.throughputRps);
+    EXPECT_DOUBLE_EQ(d1.webui, d2.webui);
+}
+
+TEST(Experiment, CustomMixShiftsOpCounts)
+{
+    // A mix that never leaves Home.
+    std::array<std::array<double, teastore::kNumOps>, teastore::kNumOps>
+        t{};
+    for (auto &row : t)
+        row[0] = 1.0;
+    ExperimentConfig c = fastConfig();
+    c.mix = loadgen::BrowseMix(t);
+    const RunResult r = runExperiment(c);
+    EXPECT_GT(r.perOp.at("home").count, 0u);
+    EXPECT_EQ(r.perOp.at("product").count, 0u);
+    EXPECT_EQ(r.perOp.at("checkout").count, 0u);
+}
+
+TEST(Tuner, AcceptsOnlyImprovingSteps)
+{
+    ExperimentConfig c = fastConfig();
+    c.warmup = 100 * kMillisecond;
+    c.measure = 200 * kMillisecond;
+    c.load.users = 100;
+    c.load.meanThink = 20 * kMillisecond;
+    TunerParams tp;
+    tp.maxRounds = 1;
+    tp.maxReplicasPerService = 2;
+    const TunerResult r = tuneReplicas(c, tp);
+    EXPECT_GE(r.steps.size(), 1u);
+    EXPECT_GT(r.throughputRps, 0.0);
+    // The reported best throughput is the max over accepted steps.
+    for (const TunerStep &s : r.steps) {
+        if (s.accepted)
+            EXPECT_LE(s.throughputRps, r.throughputRps + 1e-9);
+    }
+    // Replica counts never exceed the cap.
+    EXPECT_LE(r.best.webui.replicas, 2u);
+}
+
+} // namespace
+} // namespace microscale::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the JSON export of RunResult.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/json.hh"
+
+namespace microscale::core
+{
+namespace
+{
+
+ExperimentConfig
+fastConfig()
+{
+    ExperimentConfig c;
+    c.machine = topo::small8();
+    c.app.store.categories = 4;
+    c.app.store.productsPerCategory = 10;
+    c.app.store.users = 20;
+    c.sizing.webui = {1, 8};
+    c.sizing.auth = {1, 4};
+    c.sizing.persistence = {1, 8};
+    c.sizing.recommender = {1, 2};
+    c.sizing.image = {1, 8};
+    c.sizing.registry = {1, 1};
+    c.load.users = 40;
+    c.load.meanThink = 50 * kMillisecond;
+    c.warmup = 150 * kMillisecond;
+    c.measure = 300 * kMillisecond;
+    return c;
+}
+
+/** Count balanced braces/brackets and validate basic wellformedness. */
+bool
+balanced(const std::string &s)
+{
+    int braces = 0, brackets = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '"' && (i == 0 || s[i - 1] != '\\'))
+            in_string = !in_string;
+        if (in_string)
+            continue;
+        if (c == '{')
+            ++braces;
+        if (c == '}')
+            --braces;
+        if (c == '[')
+            ++brackets;
+        if (c == ']')
+            --brackets;
+        if (braces < 0 || brackets < 0)
+            return false;
+    }
+    return braces == 0 && brackets == 0 && !in_string;
+}
+
+TEST(Json, WellFormedAndComplete)
+{
+    const RunResult r = runExperiment(fastConfig());
+    const std::string j = toJson(r);
+    EXPECT_TRUE(balanced(j)) << j.substr(0, 400);
+    for (const char *key :
+         {"\"throughput_rps\"", "\"latency\"", "\"per_op\"",
+          "\"services\"", "\"total\"", "\"sched\"", "\"breakdown\"",
+          "\"webui\"", "\"placement\"", "\"p99_ms\"",
+          "\"context_switches\""}) {
+        EXPECT_NE(j.find(key), std::string::npos) << key;
+    }
+    // No trailing commas (",}" or ",]") anywhere.
+    EXPECT_EQ(j.find(",}"), std::string::npos);
+    EXPECT_EQ(j.find(",]"), std::string::npos);
+}
+
+TEST(Json, DeterministicForSameRun)
+{
+    const RunResult r = runExperiment(fastConfig());
+    EXPECT_EQ(toJson(r), toJson(r));
+}
+
+TEST(Json, ReflectsResultValues)
+{
+    RunResult r = runExperiment(fastConfig());
+    const std::string j = toJson(r);
+    // The throughput value appears verbatim (setprecision(10)).
+    std::ostringstream expect;
+    expect << std::setprecision(10) << r.throughputRps;
+    EXPECT_NE(j.find(expect.str()), std::string::npos);
+}
+
+} // namespace
+} // namespace microscale::core

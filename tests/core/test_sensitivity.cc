@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Sensitivity properties of the experiment runner: making the machine
+ * or workload strictly worse must never improve the measured results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace microscale::core
+{
+namespace
+{
+
+ExperimentConfig
+fastConfig()
+{
+    ExperimentConfig c;
+    c.machine = topo::small8();
+    c.app.store.categories = 4;
+    c.app.store.productsPerCategory = 10;
+    c.app.store.users = 20;
+    c.sizing.webui = {1, 8};
+    c.sizing.auth = {1, 4};
+    c.sizing.persistence = {1, 8};
+    c.sizing.recommender = {1, 2};
+    c.sizing.image = {1, 8};
+    c.sizing.registry = {1, 1};
+    c.load.users = 150;
+    c.load.meanThink = 20 * kMillisecond;
+    c.warmup = 200 * kMillisecond;
+    c.measure = 400 * kMillisecond;
+    return c;
+}
+
+TEST(Sensitivity, HigherWorkScaleLowersThroughput)
+{
+    ExperimentConfig c = fastConfig();
+    const double t1 = runExperiment(c).throughputRps;
+    c.app.workScale = 2.0;
+    const double t2 = runExperiment(c).throughputRps;
+    EXPECT_LT(t2, t1 * 0.75);
+}
+
+TEST(Sensitivity, HigherRpcCostLowersThroughput)
+{
+    ExperimentConfig c = fastConfig();
+    const double t1 = runExperiment(c).throughputRps;
+    c.rpc.fixedInstructions *= 6.0;
+    c.rpc.perKibInstructions *= 6.0;
+    const double t2 = runExperiment(c).throughputRps;
+    EXPECT_LT(t2, t1);
+}
+
+TEST(Sensitivity, HigherNetworkLatencyRaisesLatency)
+{
+    ExperimentConfig c = fastConfig();
+    c.load.users = 30; // below saturation: latency-dominated regime
+    const double l1 = runExperiment(c).latency.p50Ms;
+    c.net.baseLatencyNs = 400 * kMicrosecond;
+    const double l2 = runExperiment(c).latency.p50Ms;
+    // Requests cross the loopback ~10 times; +380us per hop must show
+    // up as several added milliseconds end to end.
+    EXPECT_GT(l2, l1 + 2.0);
+}
+
+TEST(Sensitivity, SlowerMemoryNeverHelps)
+{
+    ExperimentConfig c = fastConfig();
+    const double t1 = runExperiment(c).throughputRps;
+    c.machine.mem.localLatencyNs *= 2.0;
+    const double t2 = runExperiment(c).throughputRps;
+    EXPECT_LE(t2, t1 * 1.02);
+}
+
+TEST(Sensitivity, LowerFrequencyLowersThroughput)
+{
+    ExperimentConfig c = fastConfig();
+    const double t1 = runExperiment(c).throughputRps;
+    c.machine.freq.boostGhz *= 0.6;
+    c.machine.freq.allCoreGhz *= 0.6;
+    const double t2 = runExperiment(c).throughputRps;
+    EXPECT_LT(t2, t1 * 0.85);
+}
+
+TEST(Sensitivity, SmallerL3IncreasesMissRatio)
+{
+    ExperimentConfig c = fastConfig();
+    const double m1 = runExperiment(c).total.l3MissRatio;
+    c.machine.cache.l3BytesPerCcx /= 8;
+    const double m2 = runExperiment(c).total.l3MissRatio;
+    EXPECT_GT(m2, m1);
+}
+
+TEST(Sensitivity, MoreUsersNeverLowerSaturatedThroughputMuch)
+{
+    // Past saturation, throughput stays within a narrow band.
+    ExperimentConfig c = fastConfig();
+    c.load.users = 300;
+    const double t1 = runExperiment(c).throughputRps;
+    c.load.users = 600;
+    const double t2 = runExperiment(c).throughputRps;
+    // Deep overload costs some capacity to scheduling overhead, but
+    // throughput must not collapse.
+    EXPECT_NEAR(t2 / t1, 1.0, 0.3);
+}
+
+} // namespace
+} // namespace microscale::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for PerfCounters arithmetic and derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/counters.hh"
+#include "cpu/work.hh"
+
+namespace microscale::cpu
+{
+namespace
+{
+
+PerfCounters
+sample()
+{
+    PerfCounters c;
+    c.instructions = 1e9;
+    c.cycles = 2e9;
+    c.busyNs = 8e8;
+    c.l3Accesses = 5e6;
+    c.l3Misses = 2e6;
+    c.branchMisses = 4e6;
+    c.icacheMisses = 8e6;
+    c.kernelInstructions = 2.5e8;
+    c.smtBusyNs = 4e8;
+    c.contextSwitches = 1000;
+    c.migrations = 100;
+    c.ccxMigrations = 10;
+    c.wakeups = 2000;
+    return c;
+}
+
+TEST(Counters, DerivedMetrics)
+{
+    const PerfCounters c = sample();
+    EXPECT_DOUBLE_EQ(c.ipc(), 0.5);
+    EXPECT_DOUBLE_EQ(c.ghz(), 2.5);
+    EXPECT_DOUBLE_EQ(c.l3Mpki(), 2.0);
+    EXPECT_DOUBLE_EQ(c.l3MissRatio(), 0.4);
+    EXPECT_DOUBLE_EQ(c.branchMpki(), 4.0);
+    EXPECT_DOUBLE_EQ(c.icacheMpki(), 8.0);
+    EXPECT_DOUBLE_EQ(c.kernelShare(), 0.25);
+    EXPECT_DOUBLE_EQ(c.smtShare(), 0.5);
+}
+
+TEST(Counters, EmptyDerivedAreZero)
+{
+    const PerfCounters c;
+    EXPECT_DOUBLE_EQ(c.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(c.ghz(), 0.0);
+    EXPECT_DOUBLE_EQ(c.l3Mpki(), 0.0);
+    EXPECT_DOUBLE_EQ(c.l3MissRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(c.kernelShare(), 0.0);
+}
+
+TEST(Counters, MergeAddsEverything)
+{
+    PerfCounters a = sample();
+    a.merge(sample());
+    EXPECT_DOUBLE_EQ(a.instructions, 2e9);
+    EXPECT_DOUBLE_EQ(a.cycles, 4e9);
+    EXPECT_EQ(a.contextSwitches, 2000u);
+    EXPECT_EQ(a.wakeups, 4000u);
+    // Ratios are invariant under self-merge.
+    EXPECT_DOUBLE_EQ(a.ipc(), 0.5);
+}
+
+TEST(Counters, DeltaInvertsMerge)
+{
+    PerfCounters a = sample();
+    PerfCounters b = sample();
+    b.merge(sample());
+    const PerfCounters d = b.delta(a);
+    EXPECT_DOUBLE_EQ(d.instructions, 1e9);
+    EXPECT_EQ(d.contextSwitches, 1000u);
+    EXPECT_EQ(d.ccxMigrations, 10u);
+}
+
+TEST(Counters, Reset)
+{
+    PerfCounters c = sample();
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.instructions, 0.0);
+    EXPECT_EQ(c.migrations, 0u);
+}
+
+TEST(WorkProfile, DefaultsValidate)
+{
+    WorkProfile p;
+    p.validate(); // must not panic
+    computeBoundProfile().validate();
+    memoryBoundProfile().validate();
+    SUCCEED();
+}
+
+TEST(WorkProfileDeathTest, RejectsBadIpc)
+{
+    WorkProfile p;
+    p.ipcBase = 0.0;
+    EXPECT_DEATH(p.validate(), "ipcBase");
+    p.ipcBase = 9.0;
+    EXPECT_DEATH(p.validate(), "ipcBase");
+}
+
+TEST(WorkProfileDeathTest, RejectsBadSmtYield)
+{
+    WorkProfile p;
+    p.smtYield = 0.3;
+    EXPECT_DEATH(p.validate(), "smtYield");
+    p.smtYield = 1.2;
+    EXPECT_DEATH(p.validate(), "smtYield");
+}
+
+TEST(WorkProfileDeathTest, RejectsNegativeRates)
+{
+    WorkProfile p;
+    p.l3Apki = -1.0;
+    EXPECT_DEATH(p.validate(), "negative");
+}
+
+TEST(WorkProfile, ComputeVsMemoryBoundContrast)
+{
+    const WorkProfile c = computeBoundProfile();
+    const WorkProfile m = memoryBoundProfile();
+    EXPECT_GT(c.ipcBase, m.ipcBase);
+    EXPECT_LT(c.l3Apki, m.l3Apki);
+    EXPECT_LT(c.wssBytes, m.wssBytes);
+    // Memory-bound code overlaps better under SMT.
+    EXPECT_LT(c.smtYield, m.smtYield);
+}
+
+} // namespace
+} // namespace microscale::cpu

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the in-memory relational store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "db/store.hh"
+
+namespace microscale::db
+{
+namespace
+{
+
+StoreParams
+smallParams()
+{
+    StoreParams p;
+    p.categories = 5;
+    p.productsPerCategory = 10;
+    p.users = 20;
+    return p;
+}
+
+TEST(Store, SeededSizes)
+{
+    Store s(smallParams(), 1);
+    EXPECT_EQ(s.categoryCount(), 5u);
+    EXPECT_EQ(s.productCount(), 50u);
+    EXPECT_EQ(s.userCount(), 20u);
+    EXPECT_EQ(s.orderCount(), 0u);
+}
+
+TEST(Store, DeterministicSeeding)
+{
+    Store a(smallParams(), 7);
+    Store b(smallParams(), 7);
+    QueryCost ca, cb;
+    EXPECT_EQ(a.product(3, ca)->priceCents, b.product(3, cb)->priceCents);
+    EXPECT_EQ(a.product(3, ca)->imageBytes, b.product(3, cb)->imageBytes);
+}
+
+TEST(Store, ListCategoriesTouchesAllRows)
+{
+    Store s(smallParams(), 1);
+    QueryCost c;
+    const auto ids = s.listCategories(c);
+    EXPECT_EQ(ids.size(), 5u);
+    EXPECT_EQ(c.rowsTouched, 5u);
+    EXPECT_GE(c.indexDescents, 1u);
+}
+
+TEST(Store, ProductsInCategoryPaging)
+{
+    Store s(smallParams(), 1);
+    QueryCost c;
+    const auto page0 = s.productsInCategory(1, 0, 4, c);
+    EXPECT_EQ(page0.size(), 4u);
+    const auto page2 = s.productsInCategory(1, 8, 4, c);
+    EXPECT_EQ(page2.size(), 2u); // only 10 products in the category
+    const auto beyond = s.productsInCategory(1, 100, 4, c);
+    EXPECT_TRUE(beyond.empty());
+}
+
+TEST(Store, PagingCostGrowsWithOffset)
+{
+    Store s(smallParams(), 1);
+    QueryCost first, deep;
+    s.productsInCategory(1, 0, 4, first);
+    s.productsInCategory(1, 6, 4, deep);
+    EXPECT_GT(deep.rowsTouched, first.rowsTouched);
+}
+
+TEST(Store, UnknownCategoryIsEmpty)
+{
+    Store s(smallParams(), 1);
+    QueryCost c;
+    EXPECT_TRUE(s.productsInCategory(99, 0, 4, c).empty());
+}
+
+TEST(Store, ProductLookup)
+{
+    Store s(smallParams(), 1);
+    QueryCost c;
+    const Product *p = s.product(1, c);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->id, 1u);
+    EXPECT_EQ(p->category, 1u);
+    EXPECT_GE(p->priceCents, 199u);
+    EXPECT_GE(p->imageBytes, 8u * 1024);
+    EXPECT_EQ(s.product(9999, c), nullptr);
+}
+
+TEST(Store, UserLookupByIdAndName)
+{
+    Store s(smallParams(), 1);
+    QueryCost c;
+    const User *u = s.user(5, c);
+    ASSERT_NE(u, nullptr);
+    EXPECT_EQ(u->name, "user-5");
+    const User *by_name = s.userByName("user-5", c);
+    ASSERT_NE(by_name, nullptr);
+    EXPECT_EQ(by_name->id, 5u);
+    EXPECT_EQ(s.userByName("nobody", c), nullptr);
+    EXPECT_EQ(u->passwordHash, s.passwordHashOf(5));
+}
+
+TEST(Store, PlaceAndReadOrders)
+{
+    Store s(smallParams(), 1);
+    QueryCost c;
+    std::vector<OrderItem> items = {{1, 2, 500}, {3, 1, 750}};
+    const OrderId id = s.placeOrder(4, items, 12345, c);
+    EXPECT_EQ(s.orderCount(), 1u);
+    EXPECT_GT(c.rowsTouched, 0u);
+
+    const Order *o = s.order(id, c);
+    ASSERT_NE(o, nullptr);
+    EXPECT_EQ(o->user, 4u);
+    EXPECT_EQ(o->items.size(), 2u);
+    EXPECT_EQ(o->totalCents, 2u * 500 + 750u);
+    EXPECT_EQ(o->placedAtTick, 12345u);
+}
+
+TEST(Store, OrdersOfUserNewestFirst)
+{
+    Store s(smallParams(), 1);
+    QueryCost c;
+    std::vector<OrderItem> items = {{1, 1, 100}};
+    const OrderId first = s.placeOrder(2, items, 1, c);
+    const OrderId second = s.placeOrder(2, items, 2, c);
+    const auto ids = s.ordersOfUser(2, 10, c);
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], second);
+    EXPECT_EQ(ids[1], first);
+    // Limit respected.
+    EXPECT_EQ(s.ordersOfUser(2, 1, c).size(), 1u);
+    // Other users unaffected.
+    EXPECT_TRUE(s.ordersOfUser(3, 10, c).empty());
+}
+
+TEST(Store, SamplersReturnValidIds)
+{
+    Store s(smallParams(), 1);
+    Rng rng(3);
+    QueryCost c;
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_NE(s.product(s.sampleProduct(rng), c), nullptr);
+        EXPECT_NE(s.category(s.sampleCategory(rng), c), nullptr);
+        EXPECT_NE(s.user(s.sampleUser(rng), c), nullptr);
+    }
+}
+
+TEST(Store, QueryCostMerge)
+{
+    QueryCost a{10, 2};
+    QueryCost b{5, 1};
+    a.merge(b);
+    EXPECT_EQ(a.rowsTouched, 15u);
+    EXPECT_EQ(a.indexDescents, 3u);
+}
+
+TEST(StoreDeathTest, EmptyOrderPanics)
+{
+    Store s(smallParams(), 1);
+    QueryCost c;
+    EXPECT_DEATH(s.placeOrder(1, {}, 0, c), "no items");
+}
+
+TEST(StoreDeathTest, ZeroUsersFatal)
+{
+    StoreParams p = smallParams();
+    p.users = 0;
+    EXPECT_EXIT(Store(p, 1), ::testing::ExitedWithCode(1), "user");
+}
+
+} // namespace
+} // namespace microscale::db

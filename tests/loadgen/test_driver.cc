@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the load drivers and the measurement window.
+ */
+
+#include <gtest/gtest.h>
+
+#include "loadgen/driver.hh"
+#include "net/network.hh"
+#include "os/kernel.hh"
+#include "sim/simulation.hh"
+#include "topo/presets.hh"
+
+namespace microscale::loadgen
+{
+namespace
+{
+
+using teastore::OpType;
+
+TEST(Measurement, WindowFilters)
+{
+    Measurement m;
+    m.setWindow(100, 200);
+    m.record(OpType::Home, 50, 99);   // before window
+    m.record(OpType::Home, 90, 100);  // at start: counted
+    m.record(OpType::Home, 150, 199); // inside
+    m.record(OpType::Home, 150, 200); // at end: excluded
+    EXPECT_EQ(m.completed(), 2u);
+    EXPECT_EQ(m.completedFor(OpType::Home), 2u);
+    EXPECT_EQ(m.completedFor(OpType::Product), 0u);
+}
+
+TEST(Measurement, ThroughputUsesWindowLength)
+{
+    Measurement m;
+    m.setWindow(0, kSecond);
+    for (int i = 0; i < 500; ++i)
+        m.record(OpType::Home, 0, kMillisecond);
+    EXPECT_DOUBLE_EQ(m.throughputRps(), 500.0);
+}
+
+TEST(Measurement, LatencyDistributionPerOp)
+{
+    Measurement m;
+    m.setWindow(0, kSecond);
+    m.record(OpType::Home, 0, 10 * kMillisecond);
+    m.record(OpType::Product, 0, 30 * kMillisecond);
+    EXPECT_NEAR(m.latencyNsFor(OpType::Home).mean(),
+                10.0 * kMillisecond, 1.0);
+    EXPECT_NEAR(m.latencyNsFor(OpType::Product).mean(),
+                30.0 * kMillisecond, 1.0);
+    EXPECT_EQ(m.latencyNs().count(), 2u);
+}
+
+TEST(MeasurementDeathTest, BadWindowPanics)
+{
+    Measurement m;
+    EXPECT_DEATH(m.setWindow(100, 100), "window");
+}
+
+/** Full-stack fixture on the small machine. */
+class DriverTest : public ::testing::Test
+{
+  protected:
+    DriverTest()
+        : machine_(topo::small8()),
+          engine_(sim_, machine_),
+          kernel_(sim_, machine_, engine_, os::SchedParams{}, 1),
+          network_(sim_, net::NetParams{}, 1),
+          mesh_(kernel_, network_, svc::RpcCostParams{}, 1),
+          app_(mesh_, appParams(), 1)
+    {
+        kernel_.start();
+    }
+
+    static teastore::AppParams
+    appParams()
+    {
+        teastore::AppParams p;
+        p.store.categories = 4;
+        p.store.productsPerCategory = 10;
+        p.store.users = 10;
+        p.webui = {1, 8};
+        p.auth = {1, 4};
+        p.persistence = {1, 8};
+        p.recommender = {1, 2};
+        p.image = {1, 8};
+        p.registry = {1, 1};
+        p.heartbeats = false;
+        return p;
+    }
+
+    sim::Simulation sim_;
+    topo::Machine machine_;
+    cpu::ExecEngine engine_;
+    os::Kernel kernel_;
+    net::Network network_;
+    svc::Mesh mesh_;
+    teastore::App app_;
+};
+
+TEST_F(DriverTest, ClosedLoopCompletesRequests)
+{
+    ClosedLoopParams p;
+    p.users = 4;
+    p.meanThink = 20 * kMillisecond;
+    ClosedLoopDriver driver(app_, BrowseMix{}, p, 7);
+    driver.measurement().setWindow(100 * kMillisecond, kSecond);
+    driver.start();
+    sim_.runUntil(kSecond);
+    EXPECT_GT(driver.issued(), 10u);
+    EXPECT_GT(driver.measurement().completed(), 10u);
+    EXPECT_GT(driver.measurement().throughputRps(), 0.0);
+    EXPECT_GT(driver.measurement().latencyNs().p50(), 0.0);
+    driver.stopIssuing();
+}
+
+TEST_F(DriverTest, ClosedLoopBoundsInFlight)
+{
+    ClosedLoopParams p;
+    p.users = 3;
+    p.meanThink = kMillisecond;
+    ClosedLoopDriver driver(app_, BrowseMix{}, p, 7);
+    driver.measurement().setWindow(0, kSecond);
+    driver.start();
+    sim_.runUntil(500 * kMillisecond);
+    // In a closed loop, completions can never exceed issues, and the
+    // gap is bounded by the user count.
+    EXPECT_LE(driver.measurement().completed(), driver.issued());
+    EXPECT_LE(driver.issued() - driver.measurement().completed(),
+              3u + 3u); // in-flight + think-time slack
+    driver.stopIssuing();
+}
+
+TEST_F(DriverTest, ClosedLoopDeterministicAcrossRuns)
+{
+    auto run_once = [](std::uint64_t seed) {
+        sim::Simulation sim;
+        topo::Machine machine(topo::small8());
+        cpu::ExecEngine engine(sim, machine);
+        os::Kernel kernel(sim, machine, engine, os::SchedParams{}, 1);
+        net::Network network(sim, net::NetParams{}, 1);
+        svc::Mesh mesh(kernel, network, svc::RpcCostParams{}, 1);
+        teastore::App app(mesh, appParams(), 1);
+        kernel.start();
+        ClosedLoopParams p;
+        p.users = 4;
+        p.meanThink = 20 * kMillisecond;
+        ClosedLoopDriver driver(app, BrowseMix{}, p, seed);
+        driver.measurement().setWindow(0, kSecond);
+        driver.start();
+        sim.runUntil(kSecond);
+        return driver.measurement().completed();
+    };
+    EXPECT_EQ(run_once(7), run_once(7));
+    EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST_F(DriverTest, OpenLoopIssuesAtConfiguredRate)
+{
+    OpenLoopParams p;
+    p.arrivalRps = 200.0;
+    OpenLoopDriver driver(app_, BrowseMix{}, p, 7);
+    driver.measurement().setWindow(0, 2 * kSecond);
+    driver.start();
+    sim_.runUntil(2 * kSecond);
+    // Poisson(400) arrivals over 2s.
+    EXPECT_NEAR(static_cast<double>(driver.issued()), 400.0, 60.0);
+    EXPECT_GT(driver.measurement().completed(), 300u);
+    driver.stopIssuing();
+}
+
+TEST_F(DriverTest, OpenLoopStopCeasesArrivals)
+{
+    OpenLoopParams p;
+    p.arrivalRps = 500.0;
+    OpenLoopDriver driver(app_, BrowseMix{}, p, 7);
+    driver.measurement().setWindow(0, kSecond);
+    driver.start();
+    sim_.runUntil(200 * kMillisecond);
+    driver.stopIssuing();
+    const auto issued = driver.issued();
+    sim_.runUntil(kSecond);
+    EXPECT_EQ(driver.issued(), issued);
+    // In-flight requests drained.
+    EXPECT_EQ(driver.inFlight(), 0u);
+}
+
+TEST_F(DriverTest, DeathOnDoubleStart)
+{
+    ClosedLoopParams p;
+    p.users = 1;
+    ClosedLoopDriver driver(app_, BrowseMix{}, p, 7);
+    driver.start();
+    EXPECT_DEATH(driver.start(), "twice");
+}
+
+TEST_F(DriverTest, DeathOnZeroUsers)
+{
+    ClosedLoopParams p;
+    p.users = 0;
+    EXPECT_EXIT(ClosedLoopDriver(app_, BrowseMix{}, p, 7),
+                ::testing::ExitedWithCode(1), "user");
+}
+
+} // namespace
+} // namespace microscale::loadgen

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the browse-profile Markov mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/random.hh"
+#include "loadgen/mix.hh"
+
+namespace microscale::loadgen
+{
+namespace
+{
+
+using teastore::OpType;
+
+TEST(BrowseMix, StationarySumsToOne)
+{
+    BrowseMix mix;
+    double sum = 0.0;
+    for (OpType op : teastore::allOps())
+        sum += mix.stationaryWeight(op);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BrowseMix, BrowsingOpsDominate)
+{
+    BrowseMix mix;
+    // Category and product views dominate the browse profile.
+    EXPECT_GT(mix.stationaryWeight(OpType::Category), 0.25);
+    EXPECT_GT(mix.stationaryWeight(OpType::Product), 0.10);
+    EXPECT_LT(mix.stationaryWeight(OpType::Checkout), 0.10);
+    EXPECT_LT(mix.stationaryWeight(OpType::Login), 0.10);
+}
+
+TEST(BrowseMix, NextFollowsTransitionRow)
+{
+    BrowseMix mix;
+    Rng rng(1);
+    // From Checkout only Home (0.6) and Category (0.4) are reachable.
+    std::map<OpType, int> seen;
+    for (int i = 0; i < 10000; ++i)
+        ++seen[mix.next(OpType::Checkout, rng)];
+    EXPECT_EQ(seen.size(), 2u);
+    EXPECT_NEAR(seen[OpType::Home] / 10000.0, 0.6, 0.02);
+    EXPECT_NEAR(seen[OpType::Category] / 10000.0, 0.4, 0.02);
+}
+
+TEST(BrowseMix, StationaryMatchesLongWalk)
+{
+    BrowseMix mix;
+    Rng rng(2);
+    std::map<OpType, int> seen;
+    OpType cur = mix.initialOp();
+    constexpr int kSteps = 200000;
+    for (int i = 0; i < kSteps; ++i) {
+        cur = mix.next(cur, rng);
+        ++seen[cur];
+    }
+    for (OpType op : teastore::allOps()) {
+        EXPECT_NEAR(seen[op] / static_cast<double>(kSteps),
+                    mix.stationaryWeight(op), 0.01)
+            << teastore::opName(op);
+    }
+}
+
+TEST(BrowseMix, SampleStationaryMatchesWeights)
+{
+    BrowseMix mix;
+    Rng rng(3);
+    std::map<OpType, int> seen;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i)
+        ++seen[mix.sampleStationary(rng)];
+    for (OpType op : teastore::allOps()) {
+        EXPECT_NEAR(seen[op] / static_cast<double>(kDraws),
+                    mix.stationaryWeight(op), 0.01);
+    }
+}
+
+TEST(BrowseMix, CustomMatrixAccepted)
+{
+    std::array<std::array<double, teastore::kNumOps>, teastore::kNumOps>
+        t{};
+    for (auto &row : t)
+        row[0] = 1.0; // everything goes Home
+    BrowseMix mix(t);
+    EXPECT_NEAR(mix.stationaryWeight(OpType::Home), 1.0, 1e-9);
+}
+
+TEST(BrowseMixDeathTest, RejectsNonStochasticRow)
+{
+    std::array<std::array<double, teastore::kNumOps>, teastore::kNumOps>
+        t{};
+    t[0][0] = 0.5; // row sums to 0.5
+    for (unsigned r = 1; r < teastore::kNumOps; ++r)
+        t[r][0] = 1.0;
+    EXPECT_EXIT(BrowseMix{t}, ::testing::ExitedWithCode(1), "sums to");
+}
+
+} // namespace
+} // namespace microscale::loadgen

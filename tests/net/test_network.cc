@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the loopback network model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "net/network.hh"
+#include "sim/simulation.hh"
+
+namespace microscale::net
+{
+namespace
+{
+
+TEST(Network, DeliversAfterLatency)
+{
+    sim::Simulation sim;
+    NetParams p;
+    p.jitterCv = 0.0;
+    Network net(sim, p, 1);
+    Tick delivered = 0;
+    net.send(0, [&] { delivered = sim.now(); });
+    sim.run();
+    EXPECT_EQ(delivered, p.baseLatencyNs);
+}
+
+TEST(Network, PayloadAddsPerKibLatency)
+{
+    sim::Simulation sim;
+    NetParams p;
+    p.jitterCv = 0.0;
+    Network net(sim, p, 1);
+    EXPECT_EQ(net.sampleLatency(0), p.baseLatencyNs);
+    EXPECT_EQ(net.sampleLatency(2048), p.baseLatencyNs + 2 * p.perKibNs);
+}
+
+TEST(Network, JitterVariesLatency)
+{
+    sim::Simulation sim;
+    NetParams p;
+    p.jitterCv = 0.2;
+    Network net(sim, p, 1);
+    SampleStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(static_cast<double>(net.sampleLatency(1024)));
+    const double nominal =
+        static_cast<double>(p.baseLatencyNs + p.perKibNs);
+    EXPECT_NEAR(s.mean(), nominal, nominal * 0.02);
+    EXPECT_GT(s.stddev(), 0.0);
+    EXPECT_NEAR(s.stddev() / s.mean(), 0.2, 0.03);
+}
+
+TEST(Network, CountsTraffic)
+{
+    sim::Simulation sim;
+    Network net(sim, NetParams{}, 1);
+    net.send(100, [] {});
+    net.send(200, [] {});
+    EXPECT_EQ(net.stats().messages, 2u);
+    EXPECT_EQ(net.stats().bytes, 300u);
+    sim.run();
+}
+
+TEST(Network, InFlightMessagesAreIndependent)
+{
+    sim::Simulation sim;
+    NetParams p;
+    p.jitterCv = 0.0;
+    Network net(sim, p, 1);
+    int delivered = 0;
+    for (int i = 0; i < 10; ++i)
+        net.send(0, [&] { ++delivered; });
+    sim.run();
+    EXPECT_EQ(delivered, 10);
+}
+
+TEST(NetworkDeathTest, ZeroLatencyFatal)
+{
+    sim::Simulation sim;
+    NetParams p;
+    p.baseLatencyNs = 0;
+    EXPECT_EXIT(Network(sim, p, 1), ::testing::ExitedWithCode(1),
+                "latency");
+}
+
+} // namespace
+} // namespace microscale::net

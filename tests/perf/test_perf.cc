@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the perf reporting module and the SPEC-like synthetic
+ * kernel runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "perf/report.hh"
+#include "perf/synth.hh"
+#include "topo/presets.hh"
+
+namespace microscale::perf
+{
+namespace
+{
+
+cpu::PerfCounters
+sampleDelta()
+{
+    cpu::PerfCounters c;
+    c.instructions = 2e9;
+    c.cycles = 4e9;
+    c.busyNs = 1.6e9;
+    c.l3Accesses = 1e7;
+    c.l3Misses = 4e6;
+    c.branchMisses = 8e6;
+    c.icacheMisses = 1.6e7;
+    c.kernelInstructions = 5e8;
+    c.smtBusyNs = 8e8;
+    c.contextSwitches = 2000;
+    c.migrations = 200;
+    c.ccxMigrations = 20;
+    return c;
+}
+
+TEST(Report, MakeRowDerivesMetrics)
+{
+    const PerfRow r = makeRow("svc", sampleDelta(), 2 * kSecond);
+    EXPECT_EQ(r.name, "svc");
+    EXPECT_DOUBLE_EQ(r.utilizationCpus, 0.8);
+    EXPECT_DOUBLE_EQ(r.ipc, 0.5);
+    EXPECT_DOUBLE_EQ(r.ghz, 2.5);
+    EXPECT_DOUBLE_EQ(r.l3Mpki, 2.0);
+    EXPECT_DOUBLE_EQ(r.l3MissRatio, 0.4);
+    EXPECT_DOUBLE_EQ(r.branchMpki, 4.0);
+    EXPECT_DOUBLE_EQ(r.icacheMpki, 8.0);
+    EXPECT_DOUBLE_EQ(r.kernelShare, 0.25);
+    EXPECT_DOUBLE_EQ(r.smtShare, 0.5);
+    EXPECT_DOUBLE_EQ(r.csPerSec, 1000.0);
+    EXPECT_DOUBLE_EQ(r.migrationsPerSec, 100.0);
+    EXPECT_DOUBLE_EQ(r.ccxMigrationsPerSec, 10.0);
+    EXPECT_DOUBLE_EQ(r.mips, 1000.0);
+}
+
+TEST(ReportDeathTest, ZeroWindowPanics)
+{
+    EXPECT_DEATH(makeRow("x", sampleDelta(), 0), "zero window");
+}
+
+TEST(Report, TablesRenderEveryRow)
+{
+    const std::vector<PerfRow> rows = {
+        makeRow("alpha", sampleDelta(), kSecond),
+        makeRow("beta", sampleDelta(), kSecond),
+    };
+    std::ostringstream os;
+    microarchTable(rows).print(os);
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+    EXPECT_NE(os.str().find("beta"), std::string::npos);
+    std::ostringstream os2;
+    activityTable(rows).print(os2);
+    EXPECT_NE(os2.str().find("alpha"), std::string::npos);
+}
+
+TEST(Synth, SuiteIsSpecLike)
+{
+    const auto suite = specLikeSuite();
+    ASSERT_GE(suite.size(), 4u);
+    for (const auto &k : suite) {
+        k.profile.validate();
+        // Conventional workloads: negligible kernel time.
+        EXPECT_LT(k.profile.kernelShare, 0.05) << k.name;
+    }
+}
+
+TEST(Synth, ComputeKernelHasHighIpcAndNoSwitches)
+{
+    SynthRunParams p;
+    p.threads = 4;
+    p.warmup = 20 * kMillisecond;
+    p.measure = 50 * kMillisecond;
+    const auto suite = specLikeSuite();
+    const PerfRow r = runSynthKernel(topo::small8(), suite[0], p);
+    EXPECT_GT(r.ipc, 1.5);
+    EXPECT_NEAR(r.utilizationCpus, 1.0, 0.05);
+    EXPECT_LT(r.csPerSec, 500.0);
+    EXPECT_LT(r.kernelShare, 0.05);
+}
+
+TEST(Synth, MemoryKernelHasLowerIpcThanCompute)
+{
+    SynthRunParams p;
+    p.threads = 4;
+    p.warmup = 20 * kMillisecond;
+    p.measure = 50 * kMillisecond;
+    const auto suite = specLikeSuite();
+    const SynthKernel *compute = nullptr;
+    const SynthKernel *chase = nullptr;
+    for (const auto &k : suite) {
+        if (k.name == "int-compute")
+            compute = &k;
+        if (k.name == "pointer-chase")
+            chase = &k;
+    }
+    ASSERT_NE(compute, nullptr);
+    ASSERT_NE(chase, nullptr);
+    const PerfRow rc = runSynthKernel(topo::small8(), *compute, p);
+    const PerfRow rm = runSynthKernel(topo::small8(), *chase, p);
+    EXPECT_GT(rc.ipc, rm.ipc * 1.5);
+    EXPECT_GT(rm.l3Mpki, rc.l3Mpki);
+}
+
+TEST(Synth, DeterministicAcrossRuns)
+{
+    SynthRunParams p;
+    p.threads = 2;
+    p.warmup = 10 * kMillisecond;
+    p.measure = 20 * kMillisecond;
+    const auto suite = specLikeSuite();
+    const PerfRow a = runSynthKernel(topo::small8(), suite[0], p);
+    const PerfRow b = runSynthKernel(topo::small8(), suite[0], p);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_DOUBLE_EQ(a.mips, b.mips);
+}
+
+TEST(SynthDeathTest, TooManyThreadsFatal)
+{
+    SynthRunParams p;
+    p.threads = 99;
+    EXPECT_EXIT(runSynthKernel(topo::small8(), specLikeSuite()[0], p),
+                ::testing::ExitedWithCode(1), "cores");
+}
+
+} // namespace
+} // namespace microscale::perf

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the TimeSeriesSampler on a small live world.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "loadgen/driver.hh"
+#include "perf/sampler.hh"
+#include "topo/presets.hh"
+
+namespace microscale::perf
+{
+namespace
+{
+
+class SamplerTest : public ::testing::Test
+{
+  protected:
+    SamplerTest()
+        : machine_(topo::small8()),
+          engine_(sim_, machine_),
+          kernel_(sim_, machine_, engine_, os::SchedParams{}, 1),
+          network_(sim_, net::NetParams{}, 1),
+          mesh_(kernel_, network_, svc::RpcCostParams{}, 1),
+          app_(mesh_, appParams(), 1)
+    {
+        kernel_.start();
+    }
+
+    static teastore::AppParams
+    appParams()
+    {
+        teastore::AppParams p;
+        p.store.categories = 4;
+        p.store.productsPerCategory = 10;
+        p.store.users = 10;
+        p.webui = {1, 8};
+        p.auth = {1, 4};
+        p.persistence = {1, 8};
+        p.recommender = {1, 2};
+        p.image = {1, 8};
+        p.registry = {1, 1};
+        p.heartbeats = false;
+        return p;
+    }
+
+    sim::Simulation sim_;
+    topo::Machine machine_;
+    cpu::ExecEngine engine_;
+    os::Kernel kernel_;
+    net::Network network_;
+    svc::Mesh mesh_;
+    teastore::App app_;
+};
+
+TEST_F(SamplerTest, CollectsOneSamplePerPeriod)
+{
+    TimeSeriesSampler sampler(sim_, engine_, kernel_, mesh_,
+                              10 * kMillisecond);
+    sampler.start();
+    sim_.runUntil(105 * kMillisecond);
+    sampler.stop();
+    EXPECT_EQ(sampler.samples().size(), 10u);
+    EXPECT_EQ(sampler.samples().front().at, 10 * kMillisecond);
+}
+
+TEST_F(SamplerTest, IdleMachineShowsZeroBusy)
+{
+    TimeSeriesSampler sampler(sim_, engine_, kernel_, mesh_,
+                              10 * kMillisecond);
+    sampler.start();
+    sim_.runUntil(50 * kMillisecond);
+    sampler.stop();
+    EXPECT_DOUBLE_EQ(sampler.meanBusyCpus(), 0.0);
+    for (const Sample &s : sampler.samples()) {
+        EXPECT_EQ(s.completedDelta, 0u);
+        EXPECT_EQ(s.busyWorkers, 0u);
+    }
+}
+
+TEST_F(SamplerTest, BusyUnderLoadAndBounded)
+{
+    loadgen::ClosedLoopParams load;
+    load.users = 20;
+    load.meanThink = 5 * kMillisecond;
+    loadgen::ClosedLoopDriver driver(app_, loadgen::BrowseMix{}, load,
+                                     3);
+    driver.measurement().setWindow(0, kSecond);
+    driver.start();
+
+    TimeSeriesSampler sampler(sim_, engine_, kernel_, mesh_,
+                              20 * kMillisecond);
+    sampler.start();
+    sim_.runUntil(500 * kMillisecond);
+    sampler.stop();
+    driver.stopIssuing();
+
+    EXPECT_GT(sampler.meanBusyCpus(), 0.5);
+    std::uint64_t completed = 0;
+    for (const Sample &s : sampler.samples()) {
+        EXPECT_LE(s.busyCpus, machine_.numCpus() + 1e-9);
+        EXPECT_GE(s.busyCpus, 0.0);
+        EXPECT_GT(s.freqGhz, 0.0);
+        completed += s.completedDelta;
+    }
+    EXPECT_GT(completed, 0u);
+}
+
+TEST_F(SamplerTest, CsvHasHeaderAndRows)
+{
+    TimeSeriesSampler sampler(sim_, engine_, kernel_, mesh_,
+                              10 * kMillisecond);
+    sampler.start();
+    sim_.runUntil(30 * kMillisecond);
+    sampler.stop();
+    std::ostringstream os;
+    sampler.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_EQ(out.find("time_ms,busy_cpus"), 0u);
+    // Header + 3 samples = 4 lines.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST_F(SamplerTest, SamplingDoesNotKeepSimulationAlive)
+{
+    TimeSeriesSampler sampler(sim_, engine_, kernel_, mesh_,
+                              10 * kMillisecond);
+    sampler.start();
+    // run() must return even though the sampler is armed.
+    sim_.run();
+    SUCCEED();
+}
+
+TEST_F(SamplerTest, DeathOnZeroPeriod)
+{
+    EXPECT_EXIT(
+        TimeSeriesSampler(sim_, engine_, kernel_, mesh_, 0),
+        ::testing::ExitedWithCode(1), "period");
+}
+
+} // namespace
+} // namespace microscale::perf

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the discrete-event engine: ordering, cancellation,
+ * time-bounded runs and periodic events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/simulation.hh"
+
+namespace microscale::sim
+{
+namespace
+{
+
+TEST(Simulation, StartsAtZero)
+{
+    Simulation sim;
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(sim.eventsProcessed(), 0u);
+}
+
+TEST(Simulation, EventsRunInTimeOrder)
+{
+    Simulation sim;
+    std::vector<int> order;
+    sim.scheduleAt(30, [&] { order.push_back(3); });
+    sim.scheduleAt(10, [&] { order.push_back(1); });
+    sim.scheduleAt(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+    EXPECT_EQ(sim.eventsProcessed(), 3u);
+}
+
+TEST(Simulation, TiesAreFifo)
+{
+    Simulation sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.scheduleAt(100, [&order, i] { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleAfterIsRelative)
+{
+    Simulation sim;
+    Tick seen = 0;
+    sim.scheduleAt(50, [&] {
+        sim.scheduleAfter(25, [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, 75u);
+}
+
+TEST(Simulation, CancelledEventDoesNotRun)
+{
+    Simulation sim;
+    bool ran = false;
+    EventHandle h = sim.scheduleAt(10, [&] { ran = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    sim.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(sim.eventsProcessed(), 0u);
+}
+
+TEST(Simulation, CancelFromAnotherEvent)
+{
+    Simulation sim;
+    bool ran = false;
+    EventHandle h = sim.scheduleAt(20, [&] { ran = true; });
+    sim.scheduleAt(10, [&] { h.cancel(); });
+    sim.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, RunUntilAdvancesToBoundary)
+{
+    Simulation sim;
+    int count = 0;
+    sim.scheduleAt(10, [&] { ++count; });
+    sim.scheduleAt(20, [&] { ++count; });
+    sim.scheduleAt(30, [&] { ++count; });
+    sim.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sim.now(), 20u);
+    sim.runUntil(100);
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulation, RunUntilWithEmptyQueueAdvancesTime)
+{
+    Simulation sim;
+    sim.runUntil(500);
+    EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Simulation, StopHaltsProcessing)
+{
+    Simulation sim;
+    int count = 0;
+    sim.scheduleAt(10, [&] {
+        ++count;
+        sim.stop();
+    });
+    sim.scheduleAt(20, [&] { ++count; });
+    sim.run();
+    EXPECT_EQ(count, 1);
+    // A subsequent run resumes.
+    sim.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, EventsCanScheduleAtSameTick)
+{
+    Simulation sim;
+    std::vector<int> order;
+    sim.scheduleAt(10, [&] {
+        order.push_back(1);
+        sim.scheduleAfter(0, [&] { order.push_back(2); });
+    });
+    sim.scheduleAt(10, [&] { order.push_back(3); });
+    sim.run();
+    // The zero-delay event runs after already-queued same-tick events.
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SimulationDeathTest, SchedulingInPastPanics)
+{
+    Simulation sim;
+    sim.scheduleAt(10, [] {});
+    sim.run();
+    EXPECT_DEATH(sim.scheduleAt(5, [] {}), "past");
+}
+
+TEST(SimulationDeathTest, EmptyCallbackPanics)
+{
+    Simulation sim;
+    EXPECT_DEATH(sim.scheduleAt(1, std::function<void()>()), "empty");
+}
+
+TEST(PeriodicEvent, FiresAtPeriod)
+{
+    Simulation sim;
+    PeriodicEvent p;
+    std::vector<Tick> fires;
+    p.start(sim, 100, [&] { fires.push_back(sim.now()); });
+    sim.runUntil(350);
+    EXPECT_EQ(fires, (std::vector<Tick>{100, 200, 300}));
+}
+
+TEST(PeriodicEvent, PhaseOffset)
+{
+    Simulation sim;
+    PeriodicEvent p;
+    std::vector<Tick> fires;
+    p.start(sim, 100, [&] { fires.push_back(sim.now()); }, 30);
+    sim.runUntil(250);
+    EXPECT_EQ(fires, (std::vector<Tick>{30, 130, 230}));
+}
+
+TEST(PeriodicEvent, StopFromCallback)
+{
+    Simulation sim;
+    PeriodicEvent p;
+    int count = 0;
+    p.start(sim, 10, [&] {
+        if (++count == 3)
+            p.stop();
+    });
+    sim.runUntil(1000);
+    EXPECT_EQ(count, 3);
+    EXPECT_FALSE(p.active());
+}
+
+TEST(PeriodicEvent, RestartReplacesSchedule)
+{
+    Simulation sim;
+    PeriodicEvent p;
+    int a = 0, b = 0;
+    p.start(sim, 10, [&] { ++a; });
+    sim.runUntil(25);
+    p.start(sim, 10, [&] { ++b; });
+    sim.runUntil(55);
+    EXPECT_EQ(a, 2);
+    EXPECT_EQ(b, 3);
+}
+
+} // namespace
+} // namespace microscale::sim

@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Tests for the microservice framework: mesh registry, handler
+ * chains, worker pools, queueing, replicas and placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hh"
+#include "os/kernel.hh"
+#include "sim/simulation.hh"
+#include "svc/mesh.hh"
+#include "topo/presets.hh"
+
+namespace microscale::svc
+{
+namespace
+{
+
+class SvcTest : public ::testing::Test
+{
+  protected:
+    SvcTest()
+        : machine_(topo::small8()),
+          engine_(sim_, machine_),
+          kernel_(sim_, machine_, engine_, os::SchedParams{}, 1),
+          network_(sim_, quietNet(), 1),
+          mesh_(kernel_, network_, RpcCostParams{}, 1)
+    {
+        kernel_.start();
+        profile_.name = "svc-test";
+        profile_.ipcBase = 1.0;
+        profile_.l3Apki = 1.0;
+        profile_.wssBytes = 1024 * 1024;
+    }
+
+    static net::NetParams
+    quietNet()
+    {
+        net::NetParams p;
+        p.jitterCv = 0.0;
+        return p;
+    }
+
+    Service *
+    makeService(const std::string &name, unsigned replicas = 1,
+                unsigned workers = 2)
+    {
+        ServiceParams p;
+        p.name = name;
+        p.profile = profile_;
+        p.replicas = replicas;
+        p.workersPerReplica = workers;
+        p.computeCv = 0.0;
+        return mesh_.createService(p);
+    }
+
+    sim::Simulation sim_;
+    topo::Machine machine_;
+    cpu::ExecEngine engine_;
+    os::Kernel kernel_;
+    net::Network network_;
+    Mesh mesh_;
+    cpu::WorkProfile profile_;
+};
+
+TEST_F(SvcTest, RegistryLookup)
+{
+    Service *s = makeService("alpha");
+    EXPECT_EQ(&mesh_.service("alpha"), s);
+    EXPECT_TRUE(mesh_.hasService("alpha"));
+    EXPECT_FALSE(mesh_.hasService("beta"));
+    EXPECT_EQ(mesh_.services().size(), 1u);
+}
+
+TEST_F(SvcTest, DeathOnDuplicateService)
+{
+    makeService("alpha");
+    ServiceParams p;
+    p.name = "alpha";
+    p.profile = profile_;
+    EXPECT_EXIT(mesh_.createService(p), ::testing::ExitedWithCode(1),
+                "duplicate");
+}
+
+TEST_F(SvcTest, DeathOnUnknownService)
+{
+    EXPECT_EXIT(mesh_.service("ghost"), ::testing::ExitedWithCode(1),
+                "unknown service");
+}
+
+TEST_F(SvcTest, SimpleOpRoundTrip)
+{
+    Service *s = makeService("echo");
+    s->addOp("ping", [](HandlerCtx &ctx) {
+        ctx.response().arg0 = ctx.request().arg0 + 1;
+        ctx.response().bytes = 256;
+        ctx.done();
+    });
+    Payload req;
+    req.arg0 = 41;
+    bool got = false;
+    Tick completed = 0;
+    mesh_.callExternal("echo", "ping", req, [&](const Payload &resp) {
+        got = true;
+        completed = sim_.now();
+        EXPECT_EQ(resp.arg0, 42u);
+        EXPECT_EQ(resp.bytes, 256u);
+    });
+    sim_.run();
+    EXPECT_TRUE(got);
+    // Two network hops plus serialization work.
+    EXPECT_GE(completed, 2 * quietNet().baseLatencyNs);
+    EXPECT_EQ(s->requestsProcessed(), 1u);
+    EXPECT_EQ(s->opStats().at("ping").requests, 1u);
+    EXPECT_GT(s->opStats().at("ping").serviceTimeNs.mean(), 0.0);
+}
+
+TEST_F(SvcTest, ComputeRunsOnWorkerThread)
+{
+    Service *s = makeService("worker");
+    s->addOp("crunch", [](HandlerCtx &ctx) {
+        ctx.compute(5e6, [&ctx] { ctx.done(); });
+    });
+    bool got = false;
+    mesh_.callExternal("worker", "crunch", Payload{},
+                       [&](const Payload &) { got = true; });
+    sim_.run();
+    EXPECT_TRUE(got);
+    const cpu::PerfCounters agg = s->aggregateCounters();
+    // Handler work plus deserialize/serialize netstack work.
+    EXPECT_GT(agg.instructions, 5e6);
+}
+
+TEST_F(SvcTest, DownstreamCallChains)
+{
+    Service *front = makeService("front");
+    Service *back = makeService("back");
+    back->addOp("inner", [](HandlerCtx &ctx) {
+        ctx.response().arg0 = 7;
+        ctx.done();
+    });
+    front->addOp("outer", [](HandlerCtx &ctx) {
+        ctx.call("back", "inner", Payload{},
+                 [&ctx](const Payload &resp) {
+                     ctx.response().arg0 = resp.arg0 * 2;
+                     ctx.done();
+                 });
+    });
+    std::uint64_t result = 0;
+    mesh_.callExternal("front", "outer", Payload{},
+                       [&](const Payload &resp) { result = resp.arg0; });
+    sim_.run();
+    EXPECT_EQ(result, 14u);
+    EXPECT_EQ(front->requestsProcessed(), 1u);
+    EXPECT_EQ(back->requestsProcessed(), 1u);
+}
+
+TEST_F(SvcTest, WorkerPoolLimitsConcurrencyAndQueues)
+{
+    Service *s = makeService("narrow", 1, 1); // one worker
+    s->addOp("slow", [](HandlerCtx &ctx) {
+        ctx.compute(10e6, [&ctx] { ctx.done(); });
+    });
+    int got = 0;
+    for (int i = 0; i < 3; ++i) {
+        mesh_.callExternal("narrow", "slow", Payload{},
+                           [&](const Payload &) { ++got; });
+    }
+    sim_.run();
+    EXPECT_EQ(got, 3);
+    // The 2nd and 3rd request waited for the single worker.
+    EXPECT_GT(s->queueWaitNs().max(), 0.0);
+}
+
+TEST_F(SvcTest, RoundRobinSpreadsAcrossReplicas)
+{
+    Service *s = makeService("pair", 2, 2);
+    s->addOp("work", [](HandlerCtx &ctx) {
+        ctx.compute(2e6, [&ctx] { ctx.done(); });
+    });
+    int got = 0;
+    for (int i = 0; i < 6; ++i) {
+        mesh_.callExternal("pair", "work", Payload{},
+                           [&](const Payload &) { ++got; });
+    }
+    sim_.run();
+    EXPECT_EQ(got, 6);
+    // Both replicas' workers retired instructions.
+    const auto &workers = s->workers();
+    double r0 = 0.0, r1 = 0.0;
+    for (const Worker &w : workers) {
+        (w.replica == 0 ? r0 : r1) +=
+            w.thread->ec().counters().instructions;
+    }
+    EXPECT_GT(r0, 0.0);
+    EXPECT_GT(r1, 0.0);
+}
+
+TEST_F(SvcTest, PlacementPinsWorkers)
+{
+    Service *s = makeService("pinned", 1, 2);
+    s->addOp("work", [](HandlerCtx &ctx) {
+        ctx.compute(3e6, [&ctx] { ctx.done(); });
+    });
+    const CpuMask mask = machine_.cpusOfCcx(1);
+    s->setReplicaPlacement(0, mask, machine_.nodeOfCcx(1));
+
+    int got = 0;
+    for (int i = 0; i < 8; ++i) {
+        mesh_.callExternal("pinned", "work", Payload{},
+                           [&](const Payload &) { ++got; });
+    }
+    sim_.run();
+    EXPECT_EQ(got, 8);
+    for (const Worker &w : s->workers()) {
+        EXPECT_TRUE(mask.test(w.thread->ec().lastCpu()))
+            << w.thread->name();
+        EXPECT_EQ(w.thread->ec().homeNode(), machine_.nodeOfCcx(1));
+    }
+}
+
+TEST_F(SvcTest, ComputeProfileUsesCustomProfile)
+{
+    Service *s = makeService("custom");
+    cpu::WorkProfile heavy = profile_;
+    heavy.name = "heavy";
+    static cpu::WorkProfile static_heavy;
+    static_heavy = heavy;
+    s->addOp("work", [](HandlerCtx &ctx) {
+        ctx.computeProfile(static_heavy, 1e6, [&ctx] { ctx.done(); });
+    });
+    bool got = false;
+    mesh_.callExternal("custom", "work", Payload{},
+                       [&](const Payload &) { got = true; });
+    sim_.run();
+    EXPECT_TRUE(got);
+}
+
+TEST_F(SvcTest, ZeroComputeContinuesWithoutCpu)
+{
+    Service *s = makeService("zero");
+    s->addOp("noop", [](HandlerCtx &ctx) {
+        ctx.compute(0.0, [&ctx] { ctx.done(); });
+    });
+    bool got = false;
+    mesh_.callExternal("zero", "noop", Payload{},
+                       [&](const Payload &) { got = true; });
+    sim_.run();
+    EXPECT_TRUE(got);
+}
+
+TEST_F(SvcTest, ResetStatsClearsOpStats)
+{
+    Service *s = makeService("resettable");
+    s->addOp("work", [](HandlerCtx &ctx) { ctx.done(); });
+    mesh_.callExternal("resettable", "work", Payload{},
+                       [](const Payload &) {});
+    sim_.run();
+    EXPECT_EQ(s->requestsProcessed(), 1u);
+    s->resetStats();
+    EXPECT_EQ(s->requestsProcessed(), 0u);
+    EXPECT_TRUE(s->opStats().empty());
+}
+
+TEST_F(SvcTest, RpcInstructionsScaleWithBytes)
+{
+    const double small = mesh_.rpcInstructions(512);
+    const double large = mesh_.rpcInstructions(64 * 1024);
+    EXPECT_GT(large, small);
+    RpcCostParams p;
+    EXPECT_DOUBLE_EQ(mesh_.rpcInstructions(1024),
+                     p.fixedInstructions + p.perKibInstructions);
+}
+
+TEST_F(SvcTest, DeathOnUnknownOp)
+{
+    makeService("svc");
+    mesh_.callExternal("svc", "missing", Payload{}, nullptr);
+    EXPECT_EXIT(sim_.run(), ::testing::ExitedWithCode(1), "no op");
+}
+
+TEST_F(SvcTest, DeathOnDuplicateOp)
+{
+    Service *s = makeService("svc");
+    s->addOp("x", [](HandlerCtx &ctx) { ctx.done(); });
+    EXPECT_DEATH(s->addOp("x", [](HandlerCtx &ctx) { ctx.done(); }),
+                 "duplicate op");
+}
+
+TEST_F(SvcTest, CallAllFansOutAndJoins)
+{
+    Service *front = makeService("fan-front");
+    Service *a = makeService("fan-a");
+    Service *b = makeService("fan-b", 1, 4);
+    a->addOp("x", [](HandlerCtx &ctx) {
+        ctx.compute(8e6, [&ctx] {
+            ctx.response().arg0 = 1;
+            ctx.done();
+        });
+    });
+    b->addOp("y", [](HandlerCtx &ctx) {
+        ctx.compute(8e6, [&ctx] {
+            ctx.response().arg0 = 2;
+            ctx.done();
+        });
+    });
+    front->addOp("both", [](HandlerCtx &ctx) {
+        std::vector<HandlerCtx::CallSpec> calls;
+        calls.push_back({"fan-a", "x", Payload{}});
+        calls.push_back({"fan-b", "y", Payload{}});
+        ctx.callAll(std::move(calls),
+                    [&ctx](const std::vector<Payload> &resps) {
+                        // Responses arrive in call order.
+                        ctx.response().arg0 =
+                            resps[0].arg0 * 10 + resps[1].arg0;
+                        ctx.done();
+                    });
+    });
+    std::uint64_t result = 0;
+    Tick completed = 0;
+    mesh_.callExternal("fan-front", "both", Payload{},
+                       [&](const Payload &resp) {
+                           result = resp.arg0;
+                           completed = sim_.now();
+                       });
+    sim_.run();
+    EXPECT_EQ(result, 12u);
+    EXPECT_EQ(a->requestsProcessed(), 1u);
+    EXPECT_EQ(b->requestsProcessed(), 1u);
+    // Parallel legs: the fan-out takes about one leg's time, not two.
+    // (Each leg is ~3ms of compute; sequential would be >6ms.)
+    EXPECT_LT(completed, 6 * kMillisecond);
+}
+
+TEST_F(SvcTest, CallAllEmptyListContinues)
+{
+    Service *s = makeService("fan-empty");
+    s->addOp("none", [](HandlerCtx &ctx) {
+        ctx.callAll({}, [&ctx](const std::vector<Payload> &resps) {
+            EXPECT_TRUE(resps.empty());
+            ctx.done();
+        });
+    });
+    bool got = false;
+    mesh_.callExternal("fan-empty", "none", Payload{},
+                       [&](const Payload &) { got = true; });
+    sim_.run();
+    EXPECT_TRUE(got);
+}
+
+TEST_F(SvcTest, CallAllManyLegs)
+{
+    Service *front = makeService("fan-wide");
+    Service *leaf = makeService("fan-leaf", 1, 8);
+    leaf->addOp("n", [](HandlerCtx &ctx) {
+        ctx.compute(1e6, [&ctx] { ctx.done(); });
+    });
+    front->addOp("wide", [](HandlerCtx &ctx) {
+        std::vector<HandlerCtx::CallSpec> calls;
+        for (int i = 0; i < 8; ++i)
+            calls.push_back({"fan-leaf", "n", Payload{}});
+        ctx.callAll(std::move(calls),
+                    [&ctx](const std::vector<Payload> &resps) {
+                        EXPECT_EQ(resps.size(), 8u);
+                        ctx.done();
+                    });
+    });
+    bool got = false;
+    mesh_.callExternal("fan-wide", "wide", Payload{},
+                       [&](const Payload &) { got = true; });
+    sim_.run();
+    EXPECT_TRUE(got);
+    EXPECT_EQ(leaf->requestsProcessed(), 8u);
+}
+
+TEST_F(SvcTest, BreakdownAccountsForAllTime)
+{
+    Service *front = makeService("bd-front");
+    Service *back = makeService("bd-back");
+    back->addOp("inner", [](HandlerCtx &ctx) {
+        ctx.compute(4e6, [&ctx] { ctx.done(); });
+    });
+    front->addOp("outer", [](HandlerCtx &ctx) {
+        ctx.compute(2e6, [&ctx] {
+            ctx.call("bd-back", "inner", Payload{},
+                     [&ctx](const Payload &) { ctx.done(); });
+        });
+    });
+    bool got = false;
+    mesh_.callExternal("bd-front", "outer", Payload{},
+                       [&](const Payload &) { got = true; });
+    sim_.run();
+    ASSERT_TRUE(got);
+
+    const OpStats &stats = front->opStats().at("outer");
+    ASSERT_EQ(stats.requests, 1u);
+    const double service = stats.serviceTimeNs.mean();
+    const double queue = stats.queueWaitNs.mean();
+    const double compute = stats.computeNs.mean();
+    const double stall = stats.stallNs.mean();
+    EXPECT_GT(compute, 0.0);
+    // The downstream call shows up as stall, not compute.
+    EXPECT_GT(stall, 0.0);
+    EXPECT_NEAR(queue + compute + stall, service, service * 0.01);
+    // The idle pipeline has no queue wait.
+    EXPECT_LT(queue, kMicrosecond);
+    // The back service has no downstream calls: its stall is tiny
+    // (only off-CPU scheduling time).
+    const OpStats &inner = back->opStats().at("inner");
+    EXPECT_LT(inner.stallNs.mean(), inner.computeNs.mean() * 0.2);
+}
+
+TEST_F(SvcTest, QueuedRequestsVisible)
+{
+    Service *s = makeService("queued", 1, 1);
+    s->addOp("slow", [](HandlerCtx &ctx) {
+        ctx.compute(20e6, [&ctx] { ctx.done(); });
+    });
+    for (int i = 0; i < 4; ++i) {
+        mesh_.callExternal("queued", "slow", Payload{},
+                           [](const Payload &) {});
+    }
+    // Let the transport deliver all four.
+    sim_.runUntil(kMillisecond);
+    EXPECT_GE(s->queuedRequests(), 2u);
+    sim_.run();
+    EXPECT_EQ(s->queuedRequests(), 0u);
+}
+
+TEST_F(SvcTest, ManyConcurrentRequestsAllComplete)
+{
+    Service *s = makeService("bulk", 2, 4);
+    s->addOp("work", [](HandlerCtx &ctx) {
+        ctx.compute(1e6, [&ctx] { ctx.done(); });
+    });
+    int got = 0;
+    for (int i = 0; i < 100; ++i) {
+        mesh_.callExternal("bulk", "work", Payload{},
+                           [&](const Payload &) { ++got; });
+    }
+    sim_.run();
+    EXPECT_EQ(got, 100);
+    EXPECT_EQ(s->requestsProcessed(), 100u);
+}
+
+} // namespace
+} // namespace microscale::svc

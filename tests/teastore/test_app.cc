@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the assembled TeaStore application model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network.hh"
+#include "os/kernel.hh"
+#include "sim/simulation.hh"
+#include "teastore/app.hh"
+#include "teastore/profiles.hh"
+#include "topo/presets.hh"
+
+namespace microscale::teastore
+{
+namespace
+{
+
+AppParams
+tinyApp()
+{
+    AppParams p;
+    p.store.categories = 4;
+    p.store.productsPerCategory = 12;
+    p.store.users = 10;
+    p.webui = {1, 4};
+    p.auth = {1, 4};
+    p.persistence = {1, 4};
+    p.recommender = {1, 2};
+    p.image = {1, 4};
+    p.registry = {1, 1};
+    p.heartbeats = false;
+    return p;
+}
+
+class AppTest : public ::testing::Test
+{
+  protected:
+    AppTest()
+        : machine_(topo::small8()),
+          engine_(sim_, machine_),
+          kernel_(sim_, machine_, engine_, os::SchedParams{}, 1),
+          network_(sim_, net::NetParams{}, 1),
+          mesh_(kernel_, network_, svc::RpcCostParams{}, 1),
+          app_(mesh_, tinyApp(), 1),
+          rng_(99, "test")
+    {
+        kernel_.start();
+    }
+
+    /** Issue one op and run to completion; returns e2e latency. */
+    Tick
+    runOp(OpType op)
+    {
+        bool got = false;
+        const Tick start = sim_.now();
+        Tick end = 0;
+        svc::Payload req = app_.sampleRequest(op, rng_);
+        mesh_.callExternal(names::kWebui, opName(op), req,
+                           [&](const svc::Payload &) {
+                               got = true;
+                               end = sim_.now();
+                           });
+        sim_.run();
+        EXPECT_TRUE(got) << opName(op);
+        return end - start;
+    }
+
+    sim::Simulation sim_;
+    topo::Machine machine_;
+    cpu::ExecEngine engine_;
+    os::Kernel kernel_;
+    net::Network network_;
+    svc::Mesh mesh_;
+    App app_;
+    Rng rng_;
+};
+
+TEST_F(AppTest, RegistersSixServices)
+{
+    EXPECT_EQ(app_.services().size(), 6u);
+    EXPECT_TRUE(mesh_.hasService(names::kWebui));
+    EXPECT_TRUE(mesh_.hasService(names::kAuth));
+    EXPECT_TRUE(mesh_.hasService(names::kPersistence));
+    EXPECT_TRUE(mesh_.hasService(names::kRecommender));
+    EXPECT_TRUE(mesh_.hasService(names::kImage));
+    EXPECT_TRUE(mesh_.hasService(names::kRegistry));
+}
+
+TEST_F(AppTest, OpNamesRoundTrip)
+{
+    std::set<std::string> names;
+    for (OpType op : allOps())
+        names.insert(opName(op));
+    EXPECT_EQ(names.size(), kNumOps);
+}
+
+TEST_F(AppTest, HomeTouchesPersistenceAndImage)
+{
+    runOp(OpType::Home);
+    EXPECT_EQ(app_.persistence().requestsProcessed(), 1u);
+    EXPECT_EQ(app_.image().requestsProcessed(), 1u);
+    EXPECT_EQ(app_.webui().requestsProcessed(), 1u);
+}
+
+TEST_F(AppTest, LoginGoesThroughAuthAndPersistence)
+{
+    runOp(OpType::Login);
+    EXPECT_EQ(app_.auth().requestsProcessed(), 1u);
+    EXPECT_EQ(app_.persistence().requestsProcessed(), 1u);
+    EXPECT_EQ(app_.auth().opStats().at("login").requests, 1u);
+}
+
+TEST_F(AppTest, ProductFansOutToFourServices)
+{
+    runOp(OpType::Product);
+    EXPECT_EQ(app_.auth().requestsProcessed(), 1u);
+    EXPECT_EQ(app_.persistence().requestsProcessed(), 1u);
+    EXPECT_EQ(app_.recommender().requestsProcessed(), 1u);
+    EXPECT_EQ(app_.image().requestsProcessed(), 2u); // full + previews
+}
+
+TEST_F(AppTest, CheckoutWritesAnOrder)
+{
+    EXPECT_EQ(app_.store().orderCount(), 0u);
+    runOp(OpType::Checkout);
+    EXPECT_EQ(app_.store().orderCount(), 1u);
+}
+
+TEST_F(AppTest, AllOpsComplete)
+{
+    for (OpType op : allOps()) {
+        const Tick lat = runOp(op);
+        EXPECT_GT(lat, 0u) << opName(op);
+        // Sub-100ms on an idle machine.
+        EXPECT_LT(lat, 100 * kMillisecond) << opName(op);
+    }
+}
+
+TEST_F(AppTest, CategoryIsHeavierThanLoginForImages)
+{
+    runOp(OpType::Category);
+    const auto img = app_.image().aggregateCounters().instructions;
+    EXPECT_GT(img, 0.0);
+    // 20 previews dominate a single auth hash.
+    EXPECT_GT(img, app_.auth().aggregateCounters().instructions);
+}
+
+TEST_F(AppTest, SampleRequestProducesValidIds)
+{
+    for (int i = 0; i < 50; ++i) {
+        const svc::Payload cat =
+            app_.sampleRequest(OpType::Category, rng_);
+        EXPECT_GE(cat.arg0, 1u);
+        EXPECT_LE(cat.arg0, app_.store().categoryCount());
+        const svc::Payload prod =
+            app_.sampleRequest(OpType::Product, rng_);
+        EXPECT_GE(prod.arg0, 1u);
+        EXPECT_LE(prod.arg0, app_.store().productCount());
+        const svc::Payload login =
+            app_.sampleRequest(OpType::Login, rng_);
+        EXPECT_GE(login.arg0, 1u);
+        EXPECT_LE(login.arg0, app_.store().userCount());
+    }
+}
+
+TEST_F(AppTest, HeartbeatsReachRegistry)
+{
+    AppParams p = tinyApp();
+    p.heartbeats = true;
+    p.heartbeatPeriod = 100 * kMillisecond;
+    // Fresh world with heartbeats on.
+    sim::Simulation sim;
+    topo::Machine machine(topo::small8());
+    cpu::ExecEngine engine(sim, machine);
+    os::Kernel kernel(sim, machine, engine, os::SchedParams{}, 1);
+    net::Network network(sim, net::NetParams{}, 1);
+    svc::Mesh mesh(kernel, network, svc::RpcCostParams{}, 1);
+    App app(mesh, p, 1);
+    kernel.start();
+    app.start();
+    sim.runUntil(kSecond);
+    // 5 senders x ~9-10 beats each.
+    EXPECT_GT(app.registry().requestsProcessed(), 30u);
+    app.stop();
+    const auto count = app.registry().requestsProcessed();
+    sim.runUntil(2 * kSecond);
+    EXPECT_EQ(app.registry().requestsProcessed(), count);
+}
+
+TEST_F(AppTest, WorkScaleIncreasesCpuDemand)
+{
+    auto run_with_scale = [](double scale) {
+        sim::Simulation sim;
+        topo::Machine machine(topo::small8());
+        cpu::ExecEngine engine(sim, machine);
+        os::Kernel kernel(sim, machine, engine, os::SchedParams{}, 1);
+        net::Network network(sim, net::NetParams{}, 1);
+        svc::Mesh mesh(kernel, network, svc::RpcCostParams{}, 1);
+        AppParams p = tinyApp();
+        p.workScale = scale;
+        App app(mesh, p, 1);
+        kernel.start();
+        Rng rng(5, "x");
+        bool got = false;
+        mesh.callExternal(names::kWebui, "home",
+                          app.sampleRequest(OpType::Home, rng),
+                          [&](const svc::Payload &) { got = true; });
+        sim.run();
+        EXPECT_TRUE(got);
+        double total = 0.0;
+        for (auto *s : app.services())
+            total += s->aggregateCounters().instructions;
+        return total;
+    };
+    EXPECT_GT(run_with_scale(2.0), run_with_scale(1.0) * 1.3);
+}
+
+TEST(Profiles, MicroserviceCharacteristics)
+{
+    // The paper's contrast: front-end services have low IPC and big
+    // instruction footprints; auth (crypto) is the compute outlier.
+    EXPECT_LT(webuiProfile().ipcBase, 1.0);
+    EXPECT_GT(authProfile().ipcBase, 1.5);
+    EXPECT_GT(webuiProfile().icacheMpki, 10.0);
+    EXPECT_LT(authProfile().icacheMpki, 5.0);
+    for (const auto *p :
+         {&webuiProfile(), &authProfile(), &persistenceProfile(),
+          &recommenderProfile(), &imageProfile(), &registryProfile()}) {
+        p->validate();
+    }
+    // Accessors return stable storage.
+    EXPECT_EQ(&webuiProfile(), &webuiProfile());
+}
+
+} // namespace
+} // namespace microscale::teastore

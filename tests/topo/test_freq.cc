@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the socket frequency (boost) curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topo/params.hh"
+#include "topo/presets.hh"
+
+namespace microscale::topo
+{
+namespace
+{
+
+TEST(FreqCurve, IdleGivesBoost)
+{
+    const FreqCurve f = rome128().freq;
+    EXPECT_DOUBLE_EQ(f.freqGhz(0, 64), f.boostGhz);
+}
+
+TEST(FreqCurve, FewCoresGiveFullBoost)
+{
+    const FreqCurve f = rome128().freq;
+    for (unsigned n : {1u, 4u, 8u})
+        EXPECT_DOUBLE_EQ(f.freqGhz(n, 64), f.boostGhz) << n;
+}
+
+TEST(FreqCurve, AllCoresGiveBaseline)
+{
+    const FreqCurve f = rome128().freq;
+    EXPECT_DOUBLE_EQ(f.freqGhz(64, 64), f.allCoreGhz);
+    EXPECT_DOUBLE_EQ(f.freqGhz(63, 64), f.allCoreGhz); // quantized up
+}
+
+TEST(FreqCurve, MonotonicallyNonIncreasing)
+{
+    const FreqCurve f = rome128().freq;
+    double prev = f.freqGhz(1, 64);
+    for (unsigned n = 2; n <= 64; ++n) {
+        const double cur = f.freqGhz(n, 64);
+        EXPECT_LE(cur, prev) << "at " << n << " cores";
+        prev = cur;
+    }
+}
+
+TEST(FreqCurve, QuantizedWithinBucket)
+{
+    const FreqCurve f = rome128().freq; // bucket of 8
+    EXPECT_DOUBLE_EQ(f.freqGhz(9, 64), f.freqGhz(16, 64));
+    EXPECT_DOUBLE_EQ(f.freqGhz(17, 64), f.freqGhz(24, 64));
+    EXPECT_NE(f.freqGhz(16, 64), f.freqGhz(17, 64));
+}
+
+TEST(FreqCurve, BucketOf)
+{
+    FreqCurve f;
+    f.bucketCores = 8;
+    EXPECT_EQ(f.bucketOf(0), 0u);
+    EXPECT_EQ(f.bucketOf(1), 1u);
+    EXPECT_EQ(f.bucketOf(8), 1u);
+    EXPECT_EQ(f.bucketOf(9), 2u);
+}
+
+TEST(FreqCurve, BetweenBoostAndBase)
+{
+    const FreqCurve f = rome128().freq;
+    for (unsigned n = 1; n <= 64; ++n) {
+        const double ghz = f.freqGhz(n, 64);
+        EXPECT_GE(ghz, f.allCoreGhz);
+        EXPECT_LE(ghz, f.boostGhz);
+    }
+}
+
+TEST(MachineParams, ValidateAcceptsAllPresets)
+{
+    for (const auto &name : presetNames())
+        presetByName(name).validate(); // must not exit
+    SUCCEED();
+}
+
+TEST(MachineParamsDeathTest, RejectsTooManyCpus)
+{
+    MachineParams p = rome128();
+    p.sockets = 8; // 1024 logical CPUs > kMaxCpus
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "exceeds");
+}
+
+TEST(MachineParamsDeathTest, RejectsInvertedFrequencies)
+{
+    MachineParams p = rome128();
+    p.freq.boostGhz = 1.0; // below allCore
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
+                "boost frequency");
+}
+
+} // namespace
+} // namespace microscale::topo

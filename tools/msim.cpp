@@ -1,0 +1,122 @@
+/**
+ * @file
+ * msim: command-line front end to the scale-up experiment runner.
+ *
+ *   msim --machine rome128 --placement ccx-aware --users 4000
+ *   msim --cores 32 --no-smt... (see --help)
+ *
+ * Prints a one-line summary plus per-service and per-op tables;
+ * --csv switches the tables to CSV for scripting.
+ */
+
+#include <iostream>
+
+#include "base/args.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "core/experiment.hh"
+#include "core/json.hh"
+#include "perf/report.hh"
+#include "topo/presets.hh"
+
+using namespace microscale;
+
+namespace
+{
+
+core::PlacementKind
+placementByName(const std::string &name)
+{
+    for (core::PlacementKind k : core::allPlacements()) {
+        if (name == core::placementName(k))
+            return k;
+    }
+    fatal("unknown placement '", name,
+          "' (try os-default, node-aware, ccx-aware, ccx-striped-mem)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(
+        "msim - microservice scale-up experiments on modeled servers");
+    args.addString("machine", "rome128",
+                   "machine preset (see topology_explorer)");
+    args.addString("placement", "os-default", "placement policy");
+    args.addInt("users", 3000, "closed-loop users");
+    args.addDouble("open-loop-rps", 0.0,
+                   "use open-loop arrivals at this rate instead");
+    args.addInt("cores", 0, "physical-core budget (0 = all)");
+    args.addFlag("no-smt", "exclude SMT siblings from the budget");
+    args.addDouble("warmup-s", 0.6, "warmup window, seconds");
+    args.addDouble("measure-s", 1.5, "measurement window, seconds");
+    args.addInt("refine", 0,
+                "partition-refinement rounds (pinned placements)");
+    args.addInt("seed", 42, "random seed");
+    args.addFlag("csv", "emit tables as CSV");
+    args.addFlag("json", "emit the full result as JSON and exit");
+    args.addFlag("plan", "print the placement plan");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    core::ExperimentConfig config;
+    config.machine = topo::presetByName(args.getString("machine"));
+    config.placement = placementByName(args.getString("placement"));
+    config.load.users = static_cast<unsigned>(args.getInt("users"));
+    config.openLoopRps = args.getDouble("open-loop-rps");
+    config.cores = static_cast<unsigned>(args.getInt("cores"));
+    config.smt = !args.getFlag("no-smt");
+    config.warmup = secondsToTicks(args.getDouble("warmup-s"));
+    config.measure = secondsToTicks(args.getDouble("measure-s"));
+    config.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    // Pinned-regime demand shares calibrated for the browse profile.
+    config.demand.webui = 0.45;
+    config.demand.auth = 0.03;
+    config.demand.persistence = 0.065;
+    config.demand.recommender = 0.045;
+    config.demand.image = 0.41;
+
+    const auto rounds = static_cast<unsigned>(args.getInt("refine"));
+    const core::RunResult r = rounds > 0
+                                  ? core::runRefined(config, rounds)
+                                  : core::runExperiment(config);
+
+    if (args.getFlag("json")) {
+        core::writeJson(std::cout, r);
+        return 0;
+    }
+
+    std::cout << core::summarize(r) << "\n";
+    if (args.getFlag("plan"))
+        std::cout << "\n" << r.plan.describe();
+
+    std::vector<perf::PerfRow> rows;
+    for (const auto &[name, row] : r.servicePerf)
+        rows.push_back(row);
+    rows.push_back(r.total);
+    TextTable services = perf::microarchTable(rows);
+
+    TextTable ops({"op", "count", "mean (ms)", "p50 (ms)", "p95 (ms)",
+                   "p99 (ms)"});
+    for (const auto &[name, lat] : r.perOp) {
+        ops.row()
+            .cell(name)
+            .cell(lat.count)
+            .cell(lat.meanMs, 2)
+            .cell(lat.p50Ms, 2)
+            .cell(lat.p95Ms, 2)
+            .cell(lat.p99Ms, 2);
+    }
+
+    if (args.getFlag("csv")) {
+        services.printCsv(std::cout);
+        std::cout << "\n";
+        ops.printCsv(std::cout);
+    } else {
+        services.printWithCaption("per-service counters");
+        ops.printWithCaption("per-op end-to-end latency");
+    }
+    return 0;
+}
