@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_scaleup.dir/fig01_scaleup.cpp.o"
+  "CMakeFiles/fig01_scaleup.dir/fig01_scaleup.cpp.o.d"
+  "fig01_scaleup"
+  "fig01_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

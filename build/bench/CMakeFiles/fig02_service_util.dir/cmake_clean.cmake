@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_service_util.dir/fig02_service_util.cpp.o"
+  "CMakeFiles/fig02_service_util.dir/fig02_service_util.cpp.o.d"
+  "fig02_service_util"
+  "fig02_service_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_service_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

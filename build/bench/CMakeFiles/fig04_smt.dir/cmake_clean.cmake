@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_smt.dir/fig04_smt.cpp.o"
+  "CMakeFiles/fig04_smt.dir/fig04_smt.cpp.o.d"
+  "fig04_smt"
+  "fig04_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_placement.dir/fig05_placement.cpp.o"
+  "CMakeFiles/fig05_placement.dir/fig05_placement.cpp.o.d"
+  "fig05_placement"
+  "fig05_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

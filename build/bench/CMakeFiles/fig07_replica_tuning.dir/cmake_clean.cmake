@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_replica_tuning.dir/fig07_replica_tuning.cpp.o"
+  "CMakeFiles/fig07_replica_tuning.dir/fig07_replica_tuning.cpp.o.d"
+  "fig07_replica_tuning"
+  "fig07_replica_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_replica_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

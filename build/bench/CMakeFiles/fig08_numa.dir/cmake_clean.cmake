@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_numa.dir/fig08_numa.cpp.o"
+  "CMakeFiles/fig08_numa.dir/fig08_numa.cpp.o.d"
+  "fig08_numa"
+  "fig08_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

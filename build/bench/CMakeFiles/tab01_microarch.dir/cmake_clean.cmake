@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_microarch.dir/tab01_microarch.cpp.o"
+  "CMakeFiles/tab01_microarch.dir/tab01_microarch.cpp.o.d"
+  "tab01_microarch"
+  "tab01_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_spec_compare.dir/tab02_spec_compare.cpp.o"
+  "CMakeFiles/tab02_spec_compare.dir/tab02_spec_compare.cpp.o.d"
+  "tab02_spec_compare"
+  "tab02_spec_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_spec_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

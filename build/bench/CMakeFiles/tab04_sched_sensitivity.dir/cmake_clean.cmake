@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_sched_sensitivity.dir/tab04_sched_sensitivity.cpp.o"
+  "CMakeFiles/tab04_sched_sensitivity.dir/tab04_sched_sensitivity.cpp.o.d"
+  "tab04_sched_sensitivity"
+  "tab04_sched_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_sched_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

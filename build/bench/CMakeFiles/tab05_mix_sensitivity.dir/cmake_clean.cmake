@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_mix_sensitivity.dir/tab05_mix_sensitivity.cpp.o"
+  "CMakeFiles/tab05_mix_sensitivity.dir/tab05_mix_sensitivity.cpp.o.d"
+  "tab05_mix_sensitivity"
+  "tab05_mix_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_mix_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

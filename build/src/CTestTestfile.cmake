@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("topo")
+subdirs("cpu")
+subdirs("os")
+subdirs("net")
+subdirs("db")
+subdirs("svc")
+subdirs("teastore")
+subdirs("loadgen")
+subdirs("perf")
+subdirs("core")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_base.dir/args.cc.o"
+  "CMakeFiles/microscale_base.dir/args.cc.o.d"
+  "CMakeFiles/microscale_base.dir/cpumask.cc.o"
+  "CMakeFiles/microscale_base.dir/cpumask.cc.o.d"
+  "CMakeFiles/microscale_base.dir/logging.cc.o"
+  "CMakeFiles/microscale_base.dir/logging.cc.o.d"
+  "CMakeFiles/microscale_base.dir/random.cc.o"
+  "CMakeFiles/microscale_base.dir/random.cc.o.d"
+  "CMakeFiles/microscale_base.dir/stats.cc.o"
+  "CMakeFiles/microscale_base.dir/stats.cc.o.d"
+  "CMakeFiles/microscale_base.dir/table.cc.o"
+  "CMakeFiles/microscale_base.dir/table.cc.o.d"
+  "libmicroscale_base.a"
+  "libmicroscale_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_core.dir/experiment.cc.o"
+  "CMakeFiles/microscale_core.dir/experiment.cc.o.d"
+  "CMakeFiles/microscale_core.dir/json.cc.o"
+  "CMakeFiles/microscale_core.dir/json.cc.o.d"
+  "CMakeFiles/microscale_core.dir/placement.cc.o"
+  "CMakeFiles/microscale_core.dir/placement.cc.o.d"
+  "CMakeFiles/microscale_core.dir/tuner.cc.o"
+  "CMakeFiles/microscale_core.dir/tuner.cc.o.d"
+  "libmicroscale_core.a"
+  "libmicroscale_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_cpu.dir/counters.cc.o"
+  "CMakeFiles/microscale_cpu.dir/counters.cc.o.d"
+  "CMakeFiles/microscale_cpu.dir/exec.cc.o"
+  "CMakeFiles/microscale_cpu.dir/exec.cc.o.d"
+  "CMakeFiles/microscale_cpu.dir/work.cc.o"
+  "CMakeFiles/microscale_cpu.dir/work.cc.o.d"
+  "libmicroscale_cpu.a"
+  "libmicroscale_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

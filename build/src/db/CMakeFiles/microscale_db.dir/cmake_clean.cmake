@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_db.dir/store.cc.o"
+  "CMakeFiles/microscale_db.dir/store.cc.o.d"
+  "libmicroscale_db.a"
+  "libmicroscale_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_loadgen.dir/driver.cc.o"
+  "CMakeFiles/microscale_loadgen.dir/driver.cc.o.d"
+  "CMakeFiles/microscale_loadgen.dir/mix.cc.o"
+  "CMakeFiles/microscale_loadgen.dir/mix.cc.o.d"
+  "libmicroscale_loadgen.a"
+  "libmicroscale_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

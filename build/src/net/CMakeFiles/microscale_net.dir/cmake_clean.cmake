@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_net.dir/network.cc.o"
+  "CMakeFiles/microscale_net.dir/network.cc.o.d"
+  "libmicroscale_net.a"
+  "libmicroscale_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

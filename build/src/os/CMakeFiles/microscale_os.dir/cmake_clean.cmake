@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_os.dir/kernel.cc.o"
+  "CMakeFiles/microscale_os.dir/kernel.cc.o.d"
+  "CMakeFiles/microscale_os.dir/thread.cc.o"
+  "CMakeFiles/microscale_os.dir/thread.cc.o.d"
+  "libmicroscale_os.a"
+  "libmicroscale_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

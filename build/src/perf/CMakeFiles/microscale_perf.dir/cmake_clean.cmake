@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_perf.dir/report.cc.o"
+  "CMakeFiles/microscale_perf.dir/report.cc.o.d"
+  "CMakeFiles/microscale_perf.dir/sampler.cc.o"
+  "CMakeFiles/microscale_perf.dir/sampler.cc.o.d"
+  "CMakeFiles/microscale_perf.dir/synth.cc.o"
+  "CMakeFiles/microscale_perf.dir/synth.cc.o.d"
+  "libmicroscale_perf.a"
+  "libmicroscale_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_sim.dir/simulation.cc.o"
+  "CMakeFiles/microscale_sim.dir/simulation.cc.o.d"
+  "libmicroscale_sim.a"
+  "libmicroscale_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

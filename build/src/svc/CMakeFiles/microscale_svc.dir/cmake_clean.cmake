@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_svc.dir/mesh.cc.o"
+  "CMakeFiles/microscale_svc.dir/mesh.cc.o.d"
+  "CMakeFiles/microscale_svc.dir/service.cc.o"
+  "CMakeFiles/microscale_svc.dir/service.cc.o.d"
+  "libmicroscale_svc.a"
+  "libmicroscale_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

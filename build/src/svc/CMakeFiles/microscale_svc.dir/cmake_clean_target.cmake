@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmicroscale_svc.a"
+)

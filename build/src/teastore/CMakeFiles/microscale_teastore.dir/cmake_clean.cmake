@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_teastore.dir/app.cc.o"
+  "CMakeFiles/microscale_teastore.dir/app.cc.o.d"
+  "CMakeFiles/microscale_teastore.dir/profiles.cc.o"
+  "CMakeFiles/microscale_teastore.dir/profiles.cc.o.d"
+  "libmicroscale_teastore.a"
+  "libmicroscale_teastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_teastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/machine.cc" "src/topo/CMakeFiles/microscale_topo.dir/machine.cc.o" "gcc" "src/topo/CMakeFiles/microscale_topo.dir/machine.cc.o.d"
+  "/root/repo/src/topo/params.cc" "src/topo/CMakeFiles/microscale_topo.dir/params.cc.o" "gcc" "src/topo/CMakeFiles/microscale_topo.dir/params.cc.o.d"
+  "/root/repo/src/topo/presets.cc" "src/topo/CMakeFiles/microscale_topo.dir/presets.cc.o" "gcc" "src/topo/CMakeFiles/microscale_topo.dir/presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/microscale_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

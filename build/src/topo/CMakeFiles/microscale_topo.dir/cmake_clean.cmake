@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscale_topo.dir/machine.cc.o"
+  "CMakeFiles/microscale_topo.dir/machine.cc.o.d"
+  "CMakeFiles/microscale_topo.dir/params.cc.o"
+  "CMakeFiles/microscale_topo.dir/params.cc.o.d"
+  "CMakeFiles/microscale_topo.dir/presets.cc.o"
+  "CMakeFiles/microscale_topo.dir/presets.cc.o.d"
+  "libmicroscale_topo.a"
+  "libmicroscale_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscale_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/test_args.cc.o"
+  "CMakeFiles/test_base.dir/base/test_args.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_cpumask.cc.o"
+  "CMakeFiles/test_base.dir/base/test_cpumask.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_logging.cc.o"
+  "CMakeFiles/test_base.dir/base/test_logging.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_random.cc.o"
+  "CMakeFiles/test_base.dir/base/test_random.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_stats.cc.o"
+  "CMakeFiles/test_base.dir/base/test_stats.cc.o.d"
+  "CMakeFiles/test_base.dir/base/test_table.cc.o"
+  "CMakeFiles/test_base.dir/base/test_table.cc.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_experiment.cc" "tests/CMakeFiles/test_core.dir/core/test_experiment.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_experiment.cc.o.d"
+  "/root/repo/tests/core/test_json.cc" "tests/CMakeFiles/test_core.dir/core/test_json.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_json.cc.o.d"
+  "/root/repo/tests/core/test_placement.cc" "tests/CMakeFiles/test_core.dir/core/test_placement.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_placement.cc.o.d"
+  "/root/repo/tests/core/test_sensitivity.cc" "tests/CMakeFiles/test_core.dir/core/test_sensitivity.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/microscale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/microscale_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadgen/CMakeFiles/microscale_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/teastore/CMakeFiles/microscale_teastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/microscale_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/microscale_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/microscale_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/microscale_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/microscale_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/microscale_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/microscale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/microscale_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

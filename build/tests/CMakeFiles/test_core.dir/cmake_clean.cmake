@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_experiment.cc.o"
+  "CMakeFiles/test_core.dir/core/test_experiment.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_json.cc.o"
+  "CMakeFiles/test_core.dir/core/test_json.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_placement.cc.o"
+  "CMakeFiles/test_core.dir/core/test_placement.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_sensitivity.cc.o"
+  "CMakeFiles/test_core.dir/core/test_sensitivity.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

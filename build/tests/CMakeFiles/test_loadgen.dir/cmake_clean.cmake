@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loadgen.dir/loadgen/test_driver.cc.o"
+  "CMakeFiles/test_loadgen.dir/loadgen/test_driver.cc.o.d"
+  "CMakeFiles/test_loadgen.dir/loadgen/test_mix.cc.o"
+  "CMakeFiles/test_loadgen.dir/loadgen/test_mix.cc.o.d"
+  "test_loadgen"
+  "test_loadgen.pdb"
+  "test_loadgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

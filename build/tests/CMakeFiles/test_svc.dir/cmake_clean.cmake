@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svc.dir/svc/test_service.cc.o"
+  "CMakeFiles/test_svc.dir/svc/test_service.cc.o.d"
+  "test_svc"
+  "test_svc.pdb"
+  "test_svc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

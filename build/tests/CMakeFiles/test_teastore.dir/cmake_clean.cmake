@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_teastore.dir/teastore/test_app.cc.o"
+  "CMakeFiles/test_teastore.dir/teastore/test_app.cc.o.d"
+  "CMakeFiles/test_teastore.dir/teastore/test_app2.cc.o"
+  "CMakeFiles/test_teastore.dir/teastore/test_app2.cc.o.d"
+  "test_teastore"
+  "test_teastore.pdb"
+  "test_teastore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_teastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

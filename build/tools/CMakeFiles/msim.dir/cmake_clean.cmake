@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim.dir/msim.cpp.o"
+  "CMakeFiles/msim.dir/msim.cpp.o.d"
+  "msim"
+  "msim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
