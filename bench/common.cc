@@ -1,12 +1,41 @@
 #include "common.hh"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
+#include "base/args.hh"
+#include "base/logging.hh"
+#include "core/json.hh"
 #include "topo/machine.hh"
 
 namespace microscale::benchx
 {
+
+namespace
+{
+
+unsigned gJobs = 0;        // 0 until init(); resolved lazily
+std::string gOutDir;       // --out-dir override
+
+void
+printHeader(const std::string &artifact, const std::string &caption,
+            const std::string &machine,
+            const core::ExperimentConfig *config)
+{
+    std::cout << "==============================================\n"
+              << artifact << ": " << caption << "\n";
+    if (config) {
+        std::cout << "machine: " << machine << "\n"
+                  << "load: " << config->load.users
+                  << " closed-loop users, "
+                  << ticksToMillis(config->load.meanThink) << "ms think, "
+                  << ticksToSeconds(config->measure) << "s window\n";
+    }
+    std::cout << "==============================================\n";
+}
+
+} // namespace
 
 bool
 fastMode()
@@ -45,17 +74,157 @@ paperConfig(unsigned users)
 }
 
 void
-printHeader(const std::string &artifact, const std::string &caption,
-            const core::ExperimentConfig &config)
+init(int argc, char **argv)
 {
-    topo::Machine machine(config.machine);
-    std::cout << "==============================================\n"
-              << artifact << ": " << caption << "\n"
-              << "machine: " << machine.describe() << "\n"
-              << "load: " << config.load.users << " closed-loop users, "
-              << ticksToMillis(config.load.meanThink) << "ms think, "
-              << ticksToSeconds(config.measure) << "s window\n"
-              << "==============================================\n";
+    ArgParser args("microscale benchmark (paper artifact reproduction)");
+    args.addInt("jobs", 0,
+                "sweep worker threads (0 = MICROSCALE_BENCH_JOBS or all "
+                "hardware threads)");
+    args.addString("out-dir", "",
+                   "directory for BENCH_*.json results (default: "
+                   "MICROSCALE_BENCH_OUT_DIR or the current directory)");
+    if (!args.parse(argc, argv))
+        std::exit(1);
+    gJobs = static_cast<unsigned>(args.getInt("jobs"));
+    gOutDir = args.getString("out-dir");
+}
+
+unsigned
+jobs()
+{
+    return core::resolveJobs(gJobs);
+}
+
+std::string
+outDir()
+{
+    if (!gOutDir.empty())
+        return gOutDir;
+    if (const char *env = std::getenv("MICROSCALE_BENCH_OUT_DIR")) {
+        if (env[0] != '\0')
+            return env;
+    }
+    return ".";
+}
+
+SeriesReporter::SeriesReporter(std::string artifact, std::string stem,
+                               std::string caption,
+                               const core::ExperimentConfig &reference)
+    : artifact_(std::move(artifact)), stem_(std::move(stem)),
+      caption_(std::move(caption))
+{
+    machine_ = topo::Machine(reference.machine).describe();
+    printHeader(artifact_, caption_, machine_, &reference);
+}
+
+SeriesReporter::SeriesReporter(std::string artifact, std::string stem,
+                               std::string caption)
+    : artifact_(std::move(artifact)), stem_(std::move(stem)),
+      caption_(std::move(caption))
+{
+    printHeader(artifact_, caption_, machine_, nullptr);
+}
+
+void
+SeriesReporter::add(const std::string &label,
+                    const core::RunResult &result)
+{
+    points_.emplace_back(label, result);
+}
+
+void
+SeriesReporter::printSummaries() const
+{
+    for (const auto &[label, result] : points_)
+        std::cout << "  " << label << ": " << core::summarize(result)
+                  << "\n";
+}
+
+void
+SeriesReporter::table(const TextTable &t, const std::string &caption)
+{
+    t.printWithCaption(caption);
+    tables_.push_back(StoredTable{caption, t.headers(), t.rows()});
+}
+
+void
+SeriesReporter::finish()
+{
+    const std::string path =
+        outDir() + "/BENCH_" + stem_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write ", path, "; skipping JSON emission");
+        return;
+    }
+
+    os << "{\"artifact\":\"" << core::jsonEscape(artifact_) << "\"";
+    os << ",\"caption\":\"" << core::jsonEscape(caption_) << "\"";
+    os << ",\"machine\":\"" << core::jsonEscape(machine_) << "\"";
+    os << ",\"fast_mode\":" << (fastMode() ? "true" : "false");
+    os << ",\"jobs\":" << jobs();
+
+    os << ",\"points\":[";
+    bool first = true;
+    for (const auto &[label, result] : points_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"label\":\"" << core::jsonEscape(label)
+           << "\",\"result\":";
+        std::ostringstream buf;
+        core::writeJson(buf, result);
+        std::string body = buf.str();
+        // writeJson appends a newline; strip it for embedding.
+        while (!body.empty() && body.back() == '\n')
+            body.pop_back();
+        os << body << "}";
+    }
+    os << "]";
+
+    os << ",\"tables\":[";
+    first = true;
+    for (const StoredTable &t : tables_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"caption\":\"" << core::jsonEscape(t.caption)
+           << "\",\"headers\":[";
+        for (std::size_t i = 0; i < t.headers.size(); ++i) {
+            os << (i ? "," : "") << "\"" << core::jsonEscape(t.headers[i])
+               << "\"";
+        }
+        os << "],\"rows\":[";
+        for (std::size_t r = 0; r < t.rows.size(); ++r) {
+            os << (r ? "," : "") << "[";
+            for (std::size_t i = 0; i < t.rows[r].size(); ++i) {
+                os << (i ? "," : "") << "\""
+                   << core::jsonEscape(t.rows[r][i]) << "\"";
+            }
+            os << "]";
+        }
+        os << "]}";
+    }
+    os << "]}\n";
+    os.close();
+    inform("wrote ", path);
+}
+
+std::vector<core::SweepOutcome>
+runSweep(const std::vector<core::SweepPoint> &points,
+         SeriesReporter &reporter)
+{
+    core::SweepOptions so;
+    so.jobs = jobs();
+    const core::SweepRunner runner(so);
+    std::vector<core::SweepOutcome> outcomes = runner.run(points);
+    for (const core::SweepOutcome &o : outcomes) {
+        if (!o.ok)
+            fatal("sweep point '", o.label, "' failed: ", o.error);
+        reporter.add(o.label, o.result);
+    }
+    reporter.printSummaries();
+    return outcomes;
 }
 
 } // namespace microscale::benchx

@@ -1,19 +1,24 @@
 /**
  * @file
- * Shared configuration for the benchmark harness.
+ * Shared harness for the benchmark binaries.
  *
  * Every figNN/tabNN binary reproduces one artifact of the paper's
- * evaluation on the rome128 machine model. Binaries run with no
- * arguments and print the table/series the paper reports. Set
- * MICROSCALE_BENCH_FAST=1 to shrink windows for smoke runs.
+ * evaluation on the rome128 machine model. Binaries accept the shared
+ * flags (--jobs N, --out-dir PATH), run their sweep on the parallel
+ * core::SweepRunner, print the table/series the paper reports, and
+ * write a machine-readable BENCH_<stem>.json next to it. Set
+ * MICROSCALE_BENCH_FAST=1 to shrink windows for smoke runs and
+ * MICROSCALE_BENCH_JOBS to set the default worker count.
  */
 
 #ifndef MICROSCALE_BENCH_COMMON_HH
 #define MICROSCALE_BENCH_COMMON_HH
 
 #include <string>
+#include <vector>
 
-#include "core/experiment.hh"
+#include "base/table.hh"
+#include "core/sweep.hh"
 
 namespace microscale::benchx
 {
@@ -36,9 +41,75 @@ core::DemandShares calibratedDemand();
  */
 core::ExperimentConfig paperConfig(unsigned users = 3000);
 
-/** Print the bench banner: id, caption, machine, load. */
-void printHeader(const std::string &artifact, const std::string &caption,
-                 const core::ExperimentConfig &config);
+/**
+ * Parse the shared harness flags (--jobs, --out-dir). Call first in
+ * every bench main; exits on --help or unknown flags.
+ */
+void init(int argc, char **argv);
+
+/** Worker threads for runSweep: --jobs, else core::resolveJobs(0). */
+unsigned jobs();
+
+/**
+ * Directory that receives BENCH_<stem>.json: --out-dir, else the
+ * MICROSCALE_BENCH_OUT_DIR environment variable, else the current
+ * directory.
+ */
+std::string outDir();
+
+/**
+ * Collects one artifact's labeled results and tables, prints the
+ * banner/summaries/tables the paper-style output needs, and writes
+ * BENCH_<stem>.json (see EXPERIMENTS.md for the schema) on finish().
+ */
+class SeriesReporter
+{
+  public:
+    /** Artifact with a reference config: prints the full banner. */
+    SeriesReporter(std::string artifact, std::string stem,
+                   std::string caption,
+                   const core::ExperimentConfig &reference);
+
+    /** Artifact without a single reference config (e.g. FIG-3). */
+    SeriesReporter(std::string artifact, std::string stem,
+                   std::string caption);
+
+    /** Record one labeled point for the JSON series. */
+    void add(const std::string &label, const core::RunResult &result);
+
+    /** Print "  <label>: <summary>" for every recorded point. */
+    void printSummaries() const;
+
+    /** Print a table with its caption and record it for the JSON. */
+    void table(const TextTable &t, const std::string &caption);
+
+    /** Write BENCH_<stem>.json; prints the path. */
+    void finish();
+
+  private:
+    struct StoredTable
+    {
+        std::string caption;
+        std::vector<std::string> headers;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    std::string artifact_;
+    std::string stem_;
+    std::string caption_;
+    std::string machine_;
+    std::vector<std::pair<std::string, core::RunResult>> points_;
+    std::vector<StoredTable> tables_;
+};
+
+/**
+ * Run the labeled points on a core::SweepRunner (jobs()) and record
+ * every result with the reporter in submission order. fatal()s if any
+ * point fails: bench artifacts need every point.
+ */
+std::vector<core::SweepOutcome>
+runSweep(const std::vector<core::SweepPoint> &points,
+         SeriesReporter &reporter);
 
 } // namespace microscale::benchx
 

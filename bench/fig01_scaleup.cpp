@@ -5,10 +5,9 @@
  * the paper's headline scaling curve on the 128-logical-CPU machine.
  */
 
-#include <iostream>
+#include <string>
 #include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
@@ -26,34 +25,50 @@ struct Budget
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     // Logical-CPU budgets: cores first (SMT off), then SMT pairs.
     const std::vector<Budget> budgets = {
         {8, 8, false},   {16, 16, false}, {32, 32, false},
         {64, 64, false}, {96, 48, true},  {128, 64, true},
     };
+    const std::vector<core::PlacementKind> kinds = {
+        core::PlacementKind::OsDefault, core::PlacementKind::CcxAware};
 
     core::ExperimentConfig base = benchx::paperConfig();
-    benchx::printHeader(
-        "FIG-1",
+    benchx::SeriesReporter rep(
+        "FIG-1", "fig01_scaleup",
         "throughput and p50 latency vs logical CPUs (scale-up curve)",
         base);
 
-    TextTable t({"logical CPUs", "placement", "tput (req/s)", "p50 (ms)",
-                 "p99 (ms)", "util", "GHz", "speedup vs 8"});
-    for (core::PlacementKind kind :
-         {core::PlacementKind::OsDefault, core::PlacementKind::CcxAware}) {
-        double tput_at_8 = 0.0;
+    std::vector<core::SweepPoint> points;
+    for (core::PlacementKind kind : kinds) {
         for (const Budget &b : budgets) {
-            core::ExperimentConfig c = base;
-            c.placement = kind;
-            c.cores = b.cores;
-            c.smt = b.smt;
+            core::SweepPoint p;
+            p.label = std::string(core::placementName(kind)) + "/" +
+                      std::to_string(b.logical) + "cpu";
+            p.config = base;
+            p.config.placement = kind;
+            p.config.cores = b.cores;
+            p.config.smt = b.smt;
             // Offered load scales with the budget so every point is
             // at (or past) saturation.
-            c.load.users = 30 * b.logical;
-            const core::RunResult r = core::runExperiment(c);
+            p.config.load.users = 30 * b.logical;
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
+
+    TextTable t({"logical CPUs", "placement", "tput (req/s)", "p50 (ms)",
+                 "p99 (ms)", "util", "GHz", "speedup vs 8"});
+    std::size_t i = 0;
+    for (core::PlacementKind kind : kinds) {
+        double tput_at_8 = 0.0;
+        for (const Budget &b : budgets) {
+            const core::RunResult &r = runs[i++].result;
             if (tput_at_8 == 0.0)
                 tput_at_8 = r.throughputRps;
             t.row()
@@ -65,13 +80,10 @@ main()
                 .cell(r.cpuUtilization, 2)
                 .cell(r.avgFreqGhz, 2)
                 .cell(r.throughputRps / tput_at_8, 2);
-            std::cout << "  " << b.logical << " cpus "
-                      << core::placementName(kind) << ": "
-                      << core::summarize(r) << "\n";
         }
     }
-    t.printWithCaption(
-        "FIG-1 | Scale-up of the microservice application "
-        "(throughput normalized to 8 logical CPUs)");
+    rep.table(t, "FIG-1 | Scale-up of the microservice application "
+                 "(throughput normalized to 8 logical CPUs)");
+    rep.finish();
     return 0;
 }

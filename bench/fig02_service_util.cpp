@@ -5,22 +5,25 @@
  * profile (WebUI and ImageProvider dominate).
  */
 
-#include <iostream>
-
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig c = benchx::paperConfig();
     c.placement = core::PlacementKind::OsDefault;
-    benchx::printHeader("FIG-2",
-                        "per-service CPU utilization at saturation", c);
+    benchx::SeriesReporter rep(
+        "FIG-2", "fig02_service_util",
+        "per-service CPU utilization at saturation", c);
 
-    const core::RunResult r = core::runExperiment(c);
+    core::SweepPoint p;
+    p.label = "os-default/saturation";
+    p.config = c;
+    const core::RunResult r = benchx::runSweep({p}, rep)[0].result;
 
     double total_cpus = 0.0;
     for (const auto &[name, row] : r.servicePerf)
@@ -49,8 +52,9 @@ main()
         .cell(r.total.kernelShare * 100.0, 1)
         .cell(r.total.csPerSec, 0);
 
-    t.printWithCaption(
-        "FIG-2 | Per-service CPU demand under the browse profile "
-        "(tput=" + formatDouble(r.throughputRps, 0) + " req/s)");
+    rep.table(t, "FIG-2 | Per-service CPU demand under the browse "
+                 "profile (tput=" +
+                     formatDouble(r.throughputRps, 0) + " req/s)");
+    rep.finish();
     return 0;
 }

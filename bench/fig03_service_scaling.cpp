@@ -7,11 +7,10 @@
  * CCX allocation.
  */
 
-#include <iostream>
+#include <functional>
 #include <string>
 #include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 #include "loadgen/driver.hh"
 
@@ -88,8 +87,10 @@ leafThroughput(const Target &target, unsigned cores, Tick warmup,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     const Tick warmup =
         benchx::fastMode() ? 150 * kMillisecond : 300 * kMillisecond;
     const Tick measure =
@@ -103,20 +104,41 @@ main()
     };
     const std::vector<unsigned> core_counts = {2, 4, 8, 16, 32};
 
-    std::cout << "FIG-3: individual service scale-up "
-                 "(ops/s, service pinned to N cores, SMT on)\n";
+    benchx::SeriesReporter rep(
+        "FIG-3", "fig03_service_scaling",
+        "individual service scale-up (ops/s, service pinned to N "
+        "cores, SMT on)");
+
+    // Sweep points with a custom runner: each drives one leaf op in
+    // its own isolated simulation, so they parallelize like any
+    // runExperiment point.
+    std::vector<core::SweepPoint> points;
+    for (const Target &target : targets) {
+        for (unsigned cores : core_counts) {
+            core::SweepPoint p;
+            p.label = std::string(target.service) + "." + target.op +
+                      "@" + std::to_string(cores) + "c";
+            p.runner = [target, cores, warmup,
+                        measure](const core::ExperimentConfig &) {
+                core::RunResult r;
+                r.throughputRps =
+                    leafThroughput(target, cores, warmup, measure);
+                return r;
+            };
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
 
     TextTable t({"service/op", "2c", "4c", "8c", "16c", "32c",
                  "32c/2c speedup"});
+    std::size_t i = 0;
     for (const Target &target : targets) {
         std::vector<double> tputs;
         for (unsigned cores : core_counts) {
-            tputs.push_back(
-                leafThroughput(target, cores, warmup, measure));
-            std::cout << "  " << target.service << "." << target.op
-                      << " @" << cores
-                      << " cores: " << formatDouble(tputs.back(), 0)
-                      << " ops/s\n";
+            (void)cores;
+            tputs.push_back(runs[i++].result.throughputRps);
         }
         auto row = t.row();
         row.cell(std::string(target.service) + "." + target.op);
@@ -124,7 +146,9 @@ main()
             row.cell(v, 0);
         row.cell(tputs.back() / tputs.front(), 2);
     }
-    t.printWithCaption(
-        "FIG-3 | Per-service throughput scaling with allocated cores");
+    rep.table(t,
+              "FIG-3 | Per-service throughput scaling with allocated "
+              "cores");
+    rep.finish();
     return 0;
 }

@@ -6,31 +6,47 @@
  * benefit shrinks when heterogeneous services share cores.
  */
 
-#include <iostream>
+#include <string>
+#include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig base = benchx::paperConfig();
-    benchx::printHeader("FIG-4",
-                        "SMT off vs on at fixed physical core counts",
-                        base);
+    benchx::SeriesReporter rep(
+        "FIG-4", "fig04_smt",
+        "SMT off vs on at fixed physical core counts", base);
+
+    const std::vector<unsigned> core_counts = {32u, 64u};
+    std::vector<core::SweepPoint> points;
+    for (unsigned cores : core_counts) {
+        for (bool smt : {false, true}) {
+            core::SweepPoint p;
+            p.label = std::to_string(cores) + "c/smt-" +
+                      (smt ? "on" : "off");
+            p.config = base;
+            p.config.cores = cores;
+            p.config.smt = smt;
+            p.config.load.users = 30 * cores * (smt ? 2 : 1);
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
 
     TextTable t({"cores", "SMT", "logical", "tput (req/s)", "p99 (ms)",
                  "IPC", "GHz", "SMT gain"});
-    for (unsigned cores : {32u, 64u}) {
+    std::size_t i = 0;
+    for (unsigned cores : core_counts) {
         double tput_off = 0.0;
         for (bool smt : {false, true}) {
-            core::ExperimentConfig c = base;
-            c.cores = cores;
-            c.smt = smt;
-            c.load.users = 30 * cores * (smt ? 2 : 1);
-            const core::RunResult r = core::runExperiment(c);
+            const core::RunResult &r = runs[i++].result;
             if (!smt)
                 tput_off = r.throughputRps;
             t.row()
@@ -41,13 +57,12 @@ main()
                 .cell(r.latency.p99Ms, 1)
                 .cell(r.total.ipc, 2)
                 .cell(r.avgFreqGhz, 2)
-                .cell(smt ? formatPercent(r.throughputRps / tput_off - 1.0)
+                .cell(smt ? formatPercent(r.throughputRps / tput_off -
+                                          1.0)
                           : std::string("-"));
-            std::cout << "  " << cores << " cores SMT "
-                      << (smt ? "on" : "off") << ": "
-                      << core::summarize(r) << "\n";
         }
     }
-    t.printWithCaption("FIG-4 | SMT contribution to scale-up");
+    rep.table(t, "FIG-4 | SMT contribution to scale-up");
+    rep.finish();
     return 0;
 }

@@ -11,18 +11,21 @@
  */
 
 #include <iostream>
+#include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig base = benchx::paperConfig(5000);
-    benchx::printHeader(
-        "FIG-5", "placement policies on the full 128-CPU machine", base);
+    benchx::SeriesReporter rep(
+        "FIG-5", "fig05_placement",
+        "placement policies on the full 128-CPU machine", base);
 
     std::cout << "measuring per-service demand shares...\n";
     const core::DemandShares demand = core::measureDemand(base);
@@ -34,28 +37,32 @@ main()
     base.demand = demand;
     const unsigned refine_rounds = benchx::fastMode() ? 1 : 2;
 
-    TextTable t({"placement", "tput (req/s)", "d tput", "p50 (ms)",
-                 "p99 (ms)", "d p99", "IPC", "L3 miss%", "migr/s"});
-    double base_tput = 0.0;
-    double base_p99 = 0.0;
+    std::vector<core::SweepPoint> points;
     for (core::PlacementKind kind : core::allPlacements()) {
-        core::ExperimentConfig c = base;
-        c.placement = kind;
+        core::SweepPoint p;
+        p.label = core::placementName(kind);
+        p.config = base;
+        p.config.placement = kind;
         // Pinned policies get the iterative partition refinement the
         // methodology prescribes (re-measure CPU cost per service
         // under the new placement, re-partition).
         const bool pinned = kind != core::PlacementKind::OsDefault &&
                             kind != core::PlacementKind::NodeAware;
-        const core::RunResult r =
-            pinned ? core::runRefined(c, refine_rounds)
-                   : core::runExperiment(c);
-        if (kind == core::PlacementKind::OsDefault) {
-            base_tput = r.throughputRps;
-            base_p99 = r.latency.p99Ms;
-        }
-        const double win_s = ticksToSeconds(c.measure);
+        p.refineRounds = pinned ? refine_rounds : 0;
+        points.push_back(std::move(p));
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
+
+    TextTable t({"placement", "tput (req/s)", "d tput", "p50 (ms)",
+                 "p99 (ms)", "d p99", "IPC", "L3 miss%", "migr/s"});
+    const double base_tput = runs[0].result.throughputRps;
+    const double base_p99 = runs[0].result.latency.p99Ms;
+    for (const core::SweepOutcome &o : runs) {
+        const core::RunResult &r = o.result;
+        const double win_s = ticksToSeconds(base.measure);
         t.row()
-            .cell(core::placementName(kind))
+            .cell(o.label)
             .cell(r.throughputRps, 0)
             .cell(formatPercent(r.throughputRps / base_tput - 1.0))
             .cell(r.latency.p50Ms, 1)
@@ -64,11 +71,9 @@ main()
             .cell(r.total.ipc, 2)
             .cell(r.total.l3MissRatio * 100.0, 1)
             .cell(static_cast<double>(r.sched.migrations) / win_s, 0);
-        std::cout << "  " << core::placementName(kind) << ": "
-                  << core::summarize(r) << "\n";
     }
-    t.printWithCaption(
-        "FIG-5 | Topology-aware placement vs tuned baseline "
-        "(paper: +22% throughput, -18% latency)");
+    rep.table(t, "FIG-5 | Topology-aware placement vs tuned baseline "
+                 "(paper: +22% throughput, -18% latency)");
+    rep.finish();
     return 0;
 }

@@ -5,33 +5,48 @@
  * sustains higher arrival rates before the latency knee.
  */
 
-#include <iostream>
+#include <string>
 #include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig base = benchx::paperConfig();
-    benchx::printHeader("FIG-6",
-                        "latency vs offered load (open-loop arrivals)",
-                        base);
+    benchx::SeriesReporter rep(
+        "FIG-6", "fig06_latency_load",
+        "latency vs offered load (open-loop arrivals)", base);
 
     const std::vector<double> rates = {1000, 2500, 4000, 5500, 7000};
+    const std::vector<core::PlacementKind> kinds = {
+        core::PlacementKind::OsDefault, core::PlacementKind::CcxAware};
+
+    std::vector<core::SweepPoint> points;
+    for (core::PlacementKind kind : kinds) {
+        for (double rate : rates) {
+            core::SweepPoint p;
+            p.label = std::string(core::placementName(kind)) + "@" +
+                      formatDouble(rate, 0) + "rps";
+            p.config = base;
+            p.config.placement = kind;
+            p.config.openLoopRps = rate;
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
 
     TextTable t({"offered (req/s)", "placement", "completed (req/s)",
                  "p50 (ms)", "p95 (ms)", "p99 (ms)", "util"});
-    for (core::PlacementKind kind :
-         {core::PlacementKind::OsDefault, core::PlacementKind::CcxAware}) {
+    std::size_t i = 0;
+    for (core::PlacementKind kind : kinds) {
         for (double rate : rates) {
-            core::ExperimentConfig c = base;
-            c.placement = kind;
-            c.openLoopRps = rate;
-            const core::RunResult r = core::runExperiment(c);
+            const core::RunResult &r = runs[i++].result;
             t.row()
                 .cell(rate, 0)
                 .cell(core::placementName(kind))
@@ -40,12 +55,10 @@ main()
                 .cell(r.latency.p95Ms, 1)
                 .cell(r.latency.p99Ms, 1)
                 .cell(r.cpuUtilization, 2);
-            std::cout << "  " << core::placementName(kind) << " @"
-                      << rate << " req/s: " << core::summarize(r) << "\n";
         }
     }
-    t.printWithCaption(
-        "FIG-6 | Throughput-latency behaviour; the optimized placement "
-        "moves the knee right");
+    rep.table(t, "FIG-6 | Throughput-latency behaviour; the optimized "
+                 "placement moves the knee right");
+    rep.finish();
     return 0;
 }

@@ -3,20 +3,21 @@
  * FIG-7: per-service replica tuning - the greedy search that produces
  * the "performance-tuned baseline" the paper compares against.
  * Starting from one replica per service, capacity is added where it
- * helps most; the trace shows which services need scale-out.
+ * helps most; the trace shows which services need scale-out. The
+ * tuner evaluates each round's candidates in parallel on the sweep
+ * runner.
  */
 
-#include <iostream>
-
-#include "base/table.hh"
 #include "common.hh"
 #include "core/tuner.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig c = benchx::paperConfig();
     // Tune at half scale to keep the search affordable; the result
     // transfers (replica ratios follow demand shares).
@@ -32,12 +33,14 @@ main()
     c.sizing.persistence = {1, 48};
     c.sizing.recommender = {1, 24};
     c.sizing.image = {1, 64};
-    benchx::printHeader("FIG-7",
-                        "greedy replica tuning toward the baseline", c);
+    benchx::SeriesReporter rep(
+        "FIG-7", "fig07_replica_tuning",
+        "greedy replica tuning toward the baseline", c);
 
     core::TunerParams tp;
     tp.maxRounds = benchx::fastMode() ? 2 : 4;
     tp.maxReplicasPerService = 4;
+    tp.jobs = benchx::jobs();
     const core::TunerResult result = core::tuneReplicas(c, tp);
 
     TextTable t({"step", "service", "replicas", "tput (req/s)",
@@ -52,7 +55,7 @@ main()
             .cell(s.throughputRps, 0)
             .cell(s.accepted ? "yes" : "no");
     }
-    t.printWithCaption("FIG-7 | Replica-tuning trace");
+    rep.table(t, "FIG-7 | Replica-tuning trace");
 
     TextTable best({"service", "tuned replicas"});
     best.row().cell("webui").cell(result.best.webui.replicas);
@@ -60,8 +63,9 @@ main()
     best.row().cell("persistence").cell(result.best.persistence.replicas);
     best.row().cell("recommender").cell(result.best.recommender.replicas);
     best.row().cell("image").cell(result.best.image.replicas);
-    best.printWithCaption(
-        "FIG-7 | Tuned sizing (final tput = " +
-        formatDouble(result.throughputRps, 0) + " req/s)");
+    rep.table(best, "FIG-7 | Tuned sizing (final tput = " +
+                        formatDouble(result.throughputRps, 0) +
+                        " req/s)");
+    rep.finish();
     return 0;
 }

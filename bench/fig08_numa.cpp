@@ -6,32 +6,49 @@
  * stressed factor, showing when memory homing matters.
  */
 
-#include <iostream>
+#include <string>
+#include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig base = benchx::paperConfig();
-    benchx::printHeader(
-        "FIG-8", "NUMA locality sensitivity (memory homing ablation)",
-        base);
+    benchx::SeriesReporter rep(
+        "FIG-8", "fig08_numa",
+        "NUMA locality sensitivity (memory homing ablation)", base);
+
+    const std::vector<double> factors = {1.35, 2.2};
+    const std::vector<core::PlacementKind> kinds = {
+        core::PlacementKind::OsDefault, core::PlacementKind::CcxAware,
+        core::PlacementKind::CcxStripedMem};
+
+    std::vector<core::SweepPoint> points;
+    for (double factor : factors) {
+        for (core::PlacementKind kind : kinds) {
+            core::SweepPoint p;
+            p.label = "numa" + formatDouble(factor, 2) + "/" +
+                      core::placementName(kind);
+            p.config = base;
+            p.config.machine.mem.intraSocketFactor = factor;
+            p.config.placement = kind;
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
 
     TextTable t({"NUMA factor", "placement", "tput (req/s)", "p99 (ms)",
                  "L3 miss%", "IPC"});
-    for (double factor : {1.35, 2.2}) {
-        for (core::PlacementKind kind :
-             {core::PlacementKind::OsDefault,
-              core::PlacementKind::CcxAware,
-              core::PlacementKind::CcxStripedMem}) {
-            core::ExperimentConfig c = base;
-            c.machine.mem.intraSocketFactor = factor;
-            c.placement = kind;
-            const core::RunResult r = core::runExperiment(c);
+    std::size_t i = 0;
+    for (double factor : factors) {
+        for (core::PlacementKind kind : kinds) {
+            const core::RunResult &r = runs[i++].result;
             t.row()
                 .cell(factor, 2)
                 .cell(core::placementName(kind))
@@ -39,13 +56,10 @@ main()
                 .cell(r.latency.p99Ms, 1)
                 .cell(r.total.l3MissRatio * 100.0, 1)
                 .cell(r.total.ipc, 2);
-            std::cout << "  factor " << factor << " "
-                      << core::placementName(kind) << ": "
-                      << core::summarize(r) << "\n";
         }
     }
-    t.printWithCaption(
-        "FIG-8 | Memory homing matters most when misses are frequent "
-        "(baseline) or remote latency is high");
+    rep.table(t, "FIG-8 | Memory homing matters most when misses are "
+                 "frequent (baseline) or remote latency is high");
+    rep.finish();
     return 0;
 }

@@ -8,38 +8,40 @@
  * (faster downstream services).
  */
 
-#include <iostream>
-#include <utility>
 #include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
-    core::ExperimentConfig base = benchx::paperConfig();
-    benchx::printHeader(
-        "FIG-9", "per-op latency breakdown (queue / compute / stall)",
-        base);
+    benchx::init(argc, argv);
 
-    std::vector<std::pair<core::PlacementKind, core::RunResult>> runs;
-    for (core::PlacementKind kind :
-         {core::PlacementKind::OsDefault, core::PlacementKind::CcxAware}) {
-        core::ExperimentConfig c = base;
-        c.placement = kind;
-        runs.emplace_back(kind, core::runExperiment(c));
-        std::cout << "  " << core::placementName(kind) << ": "
-                  << core::summarize(runs.back().second) << "\n";
+    core::ExperimentConfig base = benchx::paperConfig();
+    benchx::SeriesReporter rep(
+        "FIG-9", "fig09_latency_breakdown",
+        "per-op latency breakdown (queue / compute / stall)", base);
+
+    const std::vector<core::PlacementKind> kinds = {
+        core::PlacementKind::OsDefault, core::PlacementKind::CcxAware};
+    std::vector<core::SweepPoint> points;
+    for (core::PlacementKind kind : kinds) {
+        core::SweepPoint p;
+        p.label = core::placementName(kind);
+        p.config = base;
+        p.config.placement = kind;
+        points.push_back(std::move(p));
     }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
 
     TextTable t({"op", "placement", "requests", "mean (ms)",
                  "queue (ms)", "compute (ms)", "stall (ms)",
                  "p99 (ms)"});
-    for (const auto &[kind, r] : runs) {
-        const auto &webui = r.breakdown.at(teastore::names::kWebui);
+    for (const core::SweepOutcome &o : runs) {
+        const auto &webui = o.result.breakdown.at(teastore::names::kWebui);
         for (teastore::OpType op : teastore::allOps()) {
             auto it = webui.find(teastore::opName(op));
             if (it == webui.end())
@@ -47,7 +49,7 @@ main()
             const core::OpBreakdown &b = it->second;
             t.row()
                 .cell(teastore::opName(op))
-                .cell(core::placementName(kind))
+                .cell(o.label)
                 .cell(b.count)
                 .cell(b.serviceTimeMeanMs, 1)
                 .cell(b.queueWaitMeanMs, 1)
@@ -56,13 +58,13 @@ main()
                 .cell(b.serviceTimeP99Ms, 1);
         }
     }
-    t.printWithCaption("FIG-9 | WebUI op time breakdown at saturation");
+    rep.table(t, "FIG-9 | WebUI op time breakdown at saturation");
 
     // Downstream view: request-weighted means per internal service.
     TextTable q({"service", "placement", "queue wait (ms)",
                  "compute (ms)", "stall (ms)"});
-    for (const auto &[kind, r] : runs) {
-        for (const auto &[svc_name, ops] : r.breakdown) {
+    for (const core::SweepOutcome &o : runs) {
+        for (const auto &[svc_name, ops] : o.result.breakdown) {
             if (svc_name == teastore::names::kWebui ||
                 svc_name == teastore::names::kRegistry) {
                 continue;
@@ -79,13 +81,14 @@ main()
                 continue;
             q.row()
                 .cell(svc_name)
-                .cell(core::placementName(kind))
+                .cell(o.label)
                 .cell(wait / n, 2)
                 .cell(comp / n, 2)
                 .cell(stall / n, 2);
         }
     }
-    q.printWithCaption(
-        "FIG-9 (cont.) | Internal services: request-weighted means");
+    rep.table(q, "FIG-9 (cont.) | Internal services: request-weighted "
+                 "means");
+    rep.finish();
     return 0;
 }

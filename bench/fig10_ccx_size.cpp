@@ -8,43 +8,71 @@
  * analysis (and the milan128 preset).
  */
 
-#include <iostream>
+#include <string>
+#include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
-int
-main()
+namespace
 {
+
+topo::MachineParams
+ccxMachine(unsigned cores_per_ccx)
+{
+    topo::MachineParams machine = topo::rome128();
+    machine.name = "rome128-ccx" + std::to_string(cores_per_ccx);
+    machine.coresPerCcx = cores_per_ccx;
+    machine.ccxsPerNode = 16 / cores_per_ccx; // keep 16 cores/node
+    machine.cache.l3BytesPerCcx =
+        4ull * 1024 * 1024 * cores_per_ccx; // 4 MB per core
+    return machine;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchx::init(argc, argv);
+
     core::ExperimentConfig base = benchx::paperConfig();
-    benchx::printHeader("FIG-10",
-                        "scale-up vs shared-L3 (CCX) domain size", base);
+    benchx::SeriesReporter rep(
+        "FIG-10", "fig10_ccx_size",
+        "scale-up vs shared-L3 (CCX) domain size", base);
+
+    const std::vector<unsigned> ccx_sizes = {2u, 4u, 8u};
+    const std::vector<core::PlacementKind> kinds = {
+        core::PlacementKind::OsDefault, core::PlacementKind::CcxAware};
+
+    std::vector<core::SweepPoint> points;
+    for (unsigned cores_per_ccx : ccx_sizes) {
+        for (core::PlacementKind kind : kinds) {
+            core::SweepPoint p;
+            p.label = "ccx" + std::to_string(cores_per_ccx) + "/" +
+                      core::placementName(kind);
+            p.config = base;
+            p.config.machine = ccxMachine(cores_per_ccx);
+            p.config.placement = kind;
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
 
     TextTable t({"cores/CCX", "L3/CCX (MB)", "placement",
                  "tput (req/s)", "p99 (ms)", "IPC", "ccx-aware gain"});
-    for (unsigned cores_per_ccx : {2u, 4u, 8u}) {
-        topo::MachineParams machine = topo::rome128();
-        machine.name = "rome128-ccx" + std::to_string(cores_per_ccx);
-        machine.coresPerCcx = cores_per_ccx;
-        machine.ccxsPerNode = 16 / cores_per_ccx; // keep 16 cores/node
-        machine.cache.l3BytesPerCcx =
-            4ull * 1024 * 1024 * cores_per_ccx; // 4 MB per core
-
+    std::size_t i = 0;
+    for (unsigned cores_per_ccx : ccx_sizes) {
         double base_tput = 0.0;
-        for (core::PlacementKind kind :
-             {core::PlacementKind::OsDefault,
-              core::PlacementKind::CcxAware}) {
-            core::ExperimentConfig c = base;
-            c.machine = machine;
-            c.placement = kind;
-            const core::RunResult r = core::runExperiment(c);
+        for (core::PlacementKind kind : kinds) {
+            const core::RunResult &r = runs[i++].result;
             if (kind == core::PlacementKind::OsDefault)
                 base_tput = r.throughputRps;
             t.row()
                 .cell(cores_per_ccx)
-                .cell(machine.cache.l3BytesPerCcx / (1024 * 1024))
+                .cell(static_cast<std::uint64_t>(4) * cores_per_ccx)
                 .cell(core::placementName(kind))
                 .cell(r.throughputRps, 0)
                 .cell(r.latency.p99Ms, 1)
@@ -53,12 +81,10 @@ main()
                           ? formatPercent(r.throughputRps / base_tput -
                                           1.0)
                           : std::string("-"));
-            std::cout << "  ccx" << cores_per_ccx << " "
-                      << core::placementName(kind) << ": "
-                      << core::summarize(r) << "\n";
         }
     }
-    t.printWithCaption(
-        "FIG-10 | Placement benefit vs cache-domain granularity");
+    rep.table(t,
+              "FIG-10 | Placement benefit vs cache-domain granularity");
+    rep.finish();
     return 0;
 }

@@ -7,34 +7,50 @@
  * planner hands to the image service.
  */
 
-#include <iostream>
+#include <string>
+#include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig base = benchx::paperConfig();
-    benchx::printHeader("FIG-11",
-                        "sensitivity to the image cache hit ratio",
-                        base);
+    benchx::SeriesReporter rep(
+        "FIG-11", "fig11_image_cache",
+        "sensitivity to the image cache hit ratio", base);
+
+    const std::vector<double> hits = {0.70, 0.88, 0.98};
+    const std::vector<core::PlacementKind> kinds = {
+        core::PlacementKind::OsDefault, core::PlacementKind::CcxAware};
+
+    std::vector<core::SweepPoint> points;
+    for (double hit : hits) {
+        for (core::PlacementKind kind : kinds) {
+            core::SweepPoint p;
+            p.label = "hit" + formatDouble(hit, 2) + "/" +
+                      core::placementName(kind);
+            p.config = base;
+            p.config.app.imageCacheHitRatio = hit;
+            p.config.placement = kind;
+            p.refineRounds =
+                kind == core::PlacementKind::CcxAware ? 1 : 0;
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
 
     TextTable t({"hit ratio", "placement", "tput (req/s)", "p99 (ms)",
                  "image CPUs", "image CCXs"});
-    for (double hit : {0.70, 0.88, 0.98}) {
-        for (core::PlacementKind kind :
-             {core::PlacementKind::OsDefault,
-              core::PlacementKind::CcxAware}) {
-            core::ExperimentConfig c = base;
-            c.app.imageCacheHitRatio = hit;
-            c.placement = kind;
-            const core::RunResult r =
-                kind == core::PlacementKind::CcxAware
-                    ? core::runRefined(c, 1)
-                    : core::runExperiment(c);
+    std::size_t i = 0;
+    for (double hit : hits) {
+        for (core::PlacementKind kind : kinds) {
+            const core::RunResult &r = runs[i++].result;
             t.row()
                 .cell(hit, 2)
                 .cell(core::placementName(kind))
@@ -45,12 +61,10 @@ main()
                       1)
                 .cell(r.plan.services.at(teastore::names::kImage)
                           .replicas);
-            std::cout << "  hit=" << hit << " "
-                      << core::placementName(kind) << ": "
-                      << core::summarize(r) << "\n";
         }
     }
-    t.printWithCaption(
-        "FIG-11 | Cache effectiveness moves demand and the partition");
+    rep.table(t, "FIG-11 | Cache effectiveness moves demand and the "
+                 "partition");
+    rep.finish();
     return 0;
 }

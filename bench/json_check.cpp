@@ -1,0 +1,112 @@
+/**
+ * @file
+ * json_check: CI validator for emitted BENCH_*.json artifacts.
+ *
+ *   json_check FILE MIN_POINTS [LABEL...]
+ *
+ * Parses FILE with core::parseJson and requires the sweep-harness
+ * schema: artifact/caption/machine strings, a points array of at
+ * least MIN_POINTS entries each carrying a label and a result with a
+ * numeric throughput_rps, and a non-empty tables array. Any LABEL
+ * arguments must appear among the point labels. Exits non-zero with a
+ * diagnostic on the first violation.
+ */
+
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/json.hh"
+
+using namespace microscale;
+
+namespace
+{
+
+[[noreturn]] void
+die(const std::string &what)
+{
+    std::cerr << "json_check: " << what << "\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        die("usage: json_check FILE MIN_POINTS [LABEL...]");
+    const std::string path = argv[1];
+    const unsigned long min_points = std::stoul(argv[2]);
+
+    std::ifstream is(path);
+    if (!is)
+        die("cannot open " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    core::JsonValue v;
+    try {
+        v = core::parseJson(buf.str());
+    } catch (const std::exception &e) {
+        die(path + ": " + e.what());
+    }
+
+    if (!v.isObject())
+        die(path + ": top level is not an object");
+    for (const char *key : {"artifact", "caption", "machine"}) {
+        const core::JsonValue *s = v.find(key);
+        if (!s || !s->isString() || s->stringValue.empty())
+            die(path + ": missing or empty '" + key + "'");
+    }
+    const core::JsonValue *jobs = v.find("jobs");
+    if (!jobs || !jobs->isNumber() || jobs->numberValue < 1)
+        die(path + ": missing or bad 'jobs'");
+
+    const core::JsonValue *points = v.find("points");
+    if (!points || !points->isArray())
+        die(path + ": missing 'points' array");
+    if (points->elements.size() < min_points) {
+        die(path + ": expected >= " + std::to_string(min_points) +
+            " points, got " + std::to_string(points->elements.size()));
+    }
+    for (const core::JsonValue &p : points->elements) {
+        const core::JsonValue *label = p.find("label");
+        if (!label || !label->isString() || label->stringValue.empty())
+            die(path + ": point without a label");
+        const core::JsonValue *result = p.find("result");
+        if (!result || !result->isObject())
+            die(path + ": point '" + label->stringValue +
+                "' without a result");
+        const core::JsonValue *tput = result->find("throughput_rps");
+        if (!tput || !tput->isNumber() || !(tput->numberValue > 0))
+            die(path + ": point '" + label->stringValue +
+                "' without a positive throughput_rps");
+    }
+
+    const core::JsonValue *tables = v.find("tables");
+    if (!tables || !tables->isArray() || tables->elements.empty())
+        die(path + ": missing or empty 'tables' array");
+
+    for (int i = 3; i < argc; ++i) {
+        const std::string want = argv[i];
+        bool found = false;
+        for (const core::JsonValue &p : points->elements) {
+            if (p.at("label").stringValue == want) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            die(path + ": no point labeled '" + want + "'");
+    }
+
+    std::cout << "json_check: " << path << " ok ("
+              << points->elements.size() << " points, "
+              << tables->elements.size() << " tables)\n";
+    return 0;
+}

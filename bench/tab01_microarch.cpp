@@ -14,24 +14,31 @@
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig c = benchx::paperConfig();
     c.placement = core::PlacementKind::OsDefault;
-    benchx::printHeader(
-        "TAB-1", "per-service microarchitectural characterization", c);
+    benchx::SeriesReporter rep(
+        "TAB-1", "tab01_microarch",
+        "per-service microarchitectural characterization", c);
 
-    const core::RunResult r = core::runExperiment(c);
+    core::SweepPoint p;
+    p.label = "os-default/saturation";
+    p.config = c;
+    const core::RunResult r = benchx::runSweep({p}, rep)[0].result;
 
     std::vector<perf::PerfRow> rows;
     for (const auto &[name, row] : r.servicePerf)
         rows.push_back(row);
     rows.push_back(r.total);
 
-    perf::microarchTable(rows).printWithCaption(
-        "TAB-1 | Service microarchitecture under the browse profile "
-        "(os-default, saturation)");
-    perf::activityTable(rows).printWithCaption(
-        "TAB-1 (cont.) | Scheduling activity per service");
+    rep.table(perf::microarchTable(rows),
+              "TAB-1 | Service microarchitecture under the browse "
+              "profile (os-default, saturation)");
+    rep.table(perf::activityTable(rows),
+              "TAB-1 (cont.) | Scheduling activity per service");
+    rep.finish();
     return 0;
 }

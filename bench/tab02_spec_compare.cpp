@@ -16,14 +16,20 @@
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig c = benchx::paperConfig();
     c.placement = core::PlacementKind::OsDefault;
-    benchx::printHeader(
-        "TAB-2", "microservices vs SPEC-like conventional workloads", c);
+    benchx::SeriesReporter rep(
+        "TAB-2", "tab02_spec_compare",
+        "microservices vs SPEC-like conventional workloads", c);
 
-    const core::RunResult r = core::runExperiment(c);
+    core::SweepPoint p;
+    p.label = "os-default/saturation";
+    p.config = c;
+    const core::RunResult r = benchx::runSweep({p}, rep)[0].result;
 
     std::vector<perf::PerfRow> rows;
     for (const auto &[name, row] : r.servicePerf) {
@@ -44,8 +50,9 @@ main()
         rows.push_back(row);
     }
 
-    perf::microarchTable(rows).printWithCaption(
-        "TAB-2 | Microservices (uS/*) vs conventional kernels (spec/*): "
-        "IPC, footprints, kernel time and switch rates");
+    rep.table(perf::microarchTable(rows),
+              "TAB-2 | Microservices (uS/*) vs conventional kernels "
+              "(spec/*): IPC, footprints, kernel time and switch rates");
+    rep.finish();
     return 0;
 }

@@ -6,26 +6,28 @@
  * placement.
  */
 
-#include <iostream>
+#include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig base = benchx::paperConfig(5000);
-    benchx::printHeader("TAB-3",
-                        "ablation of the placement optimizations", base);
+    benchx::SeriesReporter rep(
+        "TAB-3", "tab03_ablation",
+        "ablation of the placement optimizations", base);
 
     struct Step
     {
         core::PlacementKind kind;
         const char *what;
     };
-    const Step steps[] = {
+    const std::vector<Step> steps = {
         {core::PlacementKind::OsDefault,
          "tuned baseline (scheduler free, first-touch)"},
         {core::PlacementKind::NodeAware,
@@ -36,28 +38,33 @@ main()
          "+ CCX pinning + local memory (full optimization)"},
     };
 
+    std::vector<core::SweepPoint> points;
+    for (const Step &s : steps) {
+        core::SweepPoint p;
+        p.label = core::placementName(s.kind);
+        p.config = base;
+        p.config.placement = s.kind;
+        points.push_back(std::move(p));
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
+
     TextTable t({"configuration", "tput (req/s)", "d tput", "p99 (ms)",
                  "d p99", "ccx-migr/s"});
-    double base_tput = 0.0, base_p99 = 0.0;
-    for (const Step &s : steps) {
-        core::ExperimentConfig c = base;
-        c.placement = s.kind;
-        const core::RunResult r = core::runExperiment(c);
-        if (s.kind == core::PlacementKind::OsDefault) {
-            base_tput = r.throughputRps;
-            base_p99 = r.latency.p99Ms;
-        }
-        const double win_s = ticksToSeconds(c.measure);
+    const double base_tput = runs[0].result.throughputRps;
+    const double base_p99 = runs[0].result.latency.p99Ms;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        const core::RunResult &r = runs[i].result;
+        const double win_s = ticksToSeconds(base.measure);
         t.row()
-            .cell(s.what)
+            .cell(steps[i].what)
             .cell(r.throughputRps, 0)
             .cell(formatPercent(r.throughputRps / base_tput - 1.0))
             .cell(r.latency.p99Ms, 1)
             .cell(formatPercent(r.latency.p99Ms / base_p99 - 1.0))
             .cell(static_cast<double>(r.sched.ccxMigrations) / win_s, 0);
-        std::cout << "  " << core::placementName(s.kind) << ": "
-                  << core::summarize(r) << "\n";
     }
-    t.printWithCaption("TAB-3 | What each optimization layer buys");
+    rep.table(t, "TAB-3 | What each optimization layer buys");
+    rep.finish();
     return 0;
 }

@@ -6,21 +6,22 @@
  * vs hardware topology.
  */
 
-#include <iostream>
+#include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 
 using namespace microscale;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig base = benchx::paperConfig();
     base.placement = core::PlacementKind::OsDefault;
-    benchx::printHeader("TAB-4",
-                        "baseline sensitivity to scheduler parameters",
-                        base);
+    benchx::SeriesReporter rep(
+        "TAB-4", "tab04_sched_sensitivity",
+        "baseline sensitivity to scheduler parameters", base);
 
     struct Variant
     {
@@ -58,26 +59,32 @@ main()
         variants.push_back(v);
     }
 
+    std::vector<core::SweepPoint> points;
+    for (const Variant &v : variants) {
+        core::SweepPoint p;
+        p.label = v.what;
+        p.config = base;
+        p.config.sched = v.sched;
+        points.push_back(std::move(p));
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
+
     TextTable t({"scheduler variant", "tput (req/s)", "d tput",
                  "p99 (ms)", "CS/s", "migr/s"});
-    double base_tput = 0.0;
-    for (const Variant &v : variants) {
-        core::ExperimentConfig c = base;
-        c.sched = v.sched;
-        const core::RunResult r = core::runExperiment(c);
-        if (base_tput == 0.0)
-            base_tput = r.throughputRps;
-        const double win_s = ticksToSeconds(c.measure);
+    const double base_tput = runs[0].result.throughputRps;
+    for (const core::SweepOutcome &o : runs) {
+        const core::RunResult &r = o.result;
+        const double win_s = ticksToSeconds(base.measure);
         t.row()
-            .cell(v.what)
+            .cell(o.label)
             .cell(r.throughputRps, 0)
             .cell(formatPercent(r.throughputRps / base_tput - 1.0))
             .cell(r.latency.p99Ms, 1)
             .cell(r.total.csPerSec, 0)
             .cell(static_cast<double>(r.sched.migrations) / win_s, 0);
-        std::cout << "  " << v.what << ": " << core::summarize(r)
-                  << "\n";
     }
-    t.printWithCaption("TAB-4 | Scheduler-parameter sensitivity");
+    rep.table(t, "TAB-4 | Scheduler-parameter sensitivity");
+    rep.finish();
     return 0;
 }

@@ -8,9 +8,8 @@
  */
 
 #include <array>
-#include <iostream>
+#include <vector>
 
-#include "base/table.hh"
 #include "common.hh"
 #include "loadgen/mix.hh"
 
@@ -57,11 +56,14 @@ readOnly()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchx::init(argc, argv);
+
     core::ExperimentConfig base = benchx::paperConfig();
-    benchx::printHeader("TAB-5",
-                        "placement gains across request mixes", base);
+    benchx::SeriesReporter rep(
+        "TAB-5", "tab05_mix_sensitivity",
+        "placement gains across request mixes", base);
 
     struct MixCase
     {
@@ -73,22 +75,34 @@ main()
         {"buy-heavy", loadgen::BrowseMix{buyHeavy()}},
         {"read-only", loadgen::BrowseMix{readOnly()}},
     };
+    const std::vector<core::PlacementKind> kinds = {
+        core::PlacementKind::OsDefault, core::PlacementKind::CcxAware};
+
+    std::vector<core::SweepPoint> points;
+    for (const MixCase &mc : cases) {
+        for (core::PlacementKind kind : kinds) {
+            core::SweepPoint p;
+            p.label = std::string(mc.name) + "/" +
+                      core::placementName(kind);
+            p.config = base;
+            p.config.mix = mc.mix;
+            p.config.placement = kind;
+            // Each mix shifts demand; refine the pinned partition.
+            p.refineRounds =
+                kind == core::PlacementKind::CcxAware ? 1 : 0;
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<core::SweepOutcome> runs =
+        benchx::runSweep(points, rep);
 
     TextTable t({"mix", "placement", "tput (req/s)", "p99 (ms)",
                  "gain"});
+    std::size_t i = 0;
     for (const MixCase &mc : cases) {
         double base_tput = 0.0;
-        for (core::PlacementKind kind :
-             {core::PlacementKind::OsDefault,
-              core::PlacementKind::CcxAware}) {
-            core::ExperimentConfig c = base;
-            c.mix = mc.mix;
-            c.placement = kind;
-            // Each mix shifts demand; refine the pinned partition.
-            const core::RunResult r =
-                kind == core::PlacementKind::CcxAware
-                    ? core::runRefined(c, 1)
-                    : core::runExperiment(c);
+        for (core::PlacementKind kind : kinds) {
+            const core::RunResult &r = runs[i++].result;
             if (kind == core::PlacementKind::OsDefault)
                 base_tput = r.throughputRps;
             t.row()
@@ -100,12 +114,10 @@ main()
                           ? formatPercent(r.throughputRps / base_tput -
                                           1.0)
                           : std::string("-"));
-            std::cout << "  " << mc.name << " "
-                      << core::placementName(kind) << ": "
-                      << core::summarize(r) << "\n";
         }
     }
-    t.printWithCaption(
-        "TAB-5 | CCX-aware gains hold across user-behaviour mixes");
+    rep.table(t,
+              "TAB-5 | CCX-aware gains hold across user-behaviour mixes");
+    rep.finish();
     return 0;
 }

@@ -11,10 +11,12 @@
  */
 
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "base/table.hh"
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 
 using namespace microscale;
 
@@ -27,12 +29,16 @@ main()
     std::cout << "goal: " << kTargetRps << " req/s with p99 <= "
               << kSloP99Ms << " ms on a rome128 server\n\n";
 
-    TextTable t({"cores (SMT on)", "placement", "tput (req/s)",
-                 "p99 (ms)", "meets SLO"});
-    for (core::PlacementKind kind :
-         {core::PlacementKind::OsDefault, core::PlacementKind::CcxAware}) {
-        unsigned first_ok = 0;
-        for (unsigned cores : {40u, 48u, 56u, 64u}) {
+    const std::vector<core::PlacementKind> kinds = {
+        core::PlacementKind::OsDefault, core::PlacementKind::CcxAware};
+    const std::vector<unsigned> budgets = {40u, 48u, 56u, 64u};
+
+    std::vector<core::SweepPoint> points;
+    for (core::PlacementKind kind : kinds) {
+        for (unsigned cores : budgets) {
+            core::SweepPoint p;
+            p.label = std::string(core::placementName(kind)) + "/" +
+                      std::to_string(cores) + "c";
             core::ExperimentConfig c;
             c.machine = topo::rome128();
             c.cores = cores;
@@ -46,7 +52,23 @@ main()
             c.demand.persistence = 0.065;
             c.demand.recommender = 0.045;
             c.demand.image = 0.41;
-            const core::RunResult r = core::runExperiment(c);
+            p.config = c;
+            points.push_back(std::move(p));
+        }
+    }
+
+    core::SweepOptions so;
+    so.progress = false;
+    const core::SweepRunner runner(so);
+    const std::vector<core::SweepOutcome> runs = runner.run(points);
+
+    TextTable t({"cores (SMT on)", "placement", "tput (req/s)",
+                 "p99 (ms)", "meets SLO"});
+    std::size_t i = 0;
+    for (core::PlacementKind kind : kinds) {
+        unsigned first_ok = 0;
+        for (unsigned cores : budgets) {
+            const core::RunResult &r = runs[i++].result;
             const bool ok = r.throughputRps >= kTargetRps * 0.98 &&
                             r.latency.p99Ms <= kSloP99Ms;
             if (ok && first_ok == 0)

@@ -12,8 +12,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 
 using namespace microscale;
 
@@ -43,23 +45,42 @@ main()
         core::BaselineSizing{});
     std::cout << plan.describe() << "\n";
 
-    std::cout << "step 3: comparing policies...\n";
-    double base_tput = 0.0;
+    std::cout << "step 3: comparing policies (parallel sweep)...\n";
+    std::vector<core::SweepPoint> points;
     for (core::PlacementKind kind : core::allPlacements()) {
-        config.placement = kind;
-        const core::RunResult r = core::runExperiment(config);
-        if (kind == core::PlacementKind::OsDefault)
-            base_tput = r.throughputRps;
-        std::cout << "  " << core::placementName(kind) << ": "
-                  << core::summarize(r) << "  ("
-                  << formatPercent(r.throughputRps / base_tput - 1.0)
+        core::SweepPoint p;
+        p.label = core::placementName(kind);
+        p.config = config;
+        p.config.placement = kind;
+        points.push_back(std::move(p));
+    }
+    core::SweepOptions so;
+    so.progress = false;
+    const core::SweepRunner runner(so);
+    const std::vector<core::SweepOutcome> runs = runner.run(points);
+    const double base_tput = runs[0].result.throughputRps;
+    for (const core::SweepOutcome &o : runs) {
+        std::cout << "  " << o.label << ": "
+                  << core::summarize(o.result) << "  ("
+                  << formatPercent(o.result.throughputRps / base_tput -
+                                   1.0)
                   << " vs baseline)\n";
     }
 
     std::cout << "\nstep 4: refining the ccx-aware partition...\n";
     config.placement = core::PlacementKind::CcxAware;
-    core::DemandShares refined;
-    const core::RunResult best = core::runRefined(config, 2, &refined);
+    core::RefineTrace trace;
+    const core::RunResult best = core::runRefined(config, 2, &trace);
+    for (std::size_t round = 0; round < trace.perRound.size(); ++round) {
+        const core::DemandShares &d = trace.perRound[round];
+        std::cout << "  round " << round << " shares: webui="
+                  << formatDouble(d.webui, 3)
+                  << " auth=" << formatDouble(d.auth, 3)
+                  << " persistence=" << formatDouble(d.persistence, 3)
+                  << " recommender=" << formatDouble(d.recommender, 3)
+                  << " image=" << formatDouble(d.image, 3) << "\n";
+    }
+    const core::DemandShares &refined = trace.final;
     std::cout << "  refined: webui=" << formatDouble(refined.webui, 3)
               << " auth=" << formatDouble(refined.auth, 3)
               << " persistence=" << formatDouble(refined.persistence, 3)

@@ -1,28 +1,71 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace microscale
 {
 
 namespace
 {
-LogLevel gLevel = LogLevel::Normal;
+
+std::atomic<LogLevel> gLevel{LogLevel::Normal};
+
+/**
+ * One mutex serializes every emitted line so parallel sweep points
+ * never interleave characters within a line. Each *Impl below formats
+ * the whole line first and performs a single guarded write.
+ */
+std::mutex gWriteMutex;
+
+thread_local std::string tTag;
+
+void
+writeLine(std::FILE *stream, const char *prefix, const std::string &msg)
+{
+    std::string line(prefix);
+    if (!tTag.empty()) {
+        line += '[';
+        line += tTag;
+        line += "] ";
+    }
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(gWriteMutex);
+    std::fwrite(line.data(), 1, line.size(), stream);
+    std::fflush(stream);
+}
+
 } // namespace
+
+LogScope::LogScope(std::string label) : prev_(std::move(tTag))
+{
+    tTag = std::move(label);
+}
+
+LogScope::~LogScope()
+{
+    tTag = std::move(prev_);
+}
+
+const std::string &
+logTag()
+{
+    return tTag;
+}
 
 LogLevel
 setLogLevel(LogLevel level)
 {
-    LogLevel prev = gLevel;
-    gLevel = level;
-    return prev;
+    return gLevel.exchange(level);
 }
 
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return gLevel.load();
 }
 
 namespace detail
@@ -31,35 +74,36 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    writeLine(stderr, "panic: ",
+              msg + " (" + file + ":" + std::to_string(line) + ")");
     std::abort();
 }
 
 void
 fatalImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    writeLine(stderr, "fatal: ", msg);
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (gLevel != LogLevel::Quiet)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() != LogLevel::Quiet)
+        writeLine(stderr, "warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (gLevel != LogLevel::Quiet)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (logLevel() != LogLevel::Quiet)
+        writeLine(stdout, "info: ", msg);
 }
 
 void
 verboseImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "debug: %s\n", msg.c_str());
+    writeLine(stdout, "debug: ", msg);
 }
 
 } // namespace detail

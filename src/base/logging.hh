@@ -23,6 +23,27 @@
 namespace microscale
 {
 
+/**
+ * Tag every log line emitted by the current thread with "[label]"
+ * until the scope ends (the previous tag is restored). Used by
+ * core::SweepRunner so that interleaved output from parallel sweep
+ * points stays attributable to its point.
+ */
+class LogScope
+{
+  public:
+    explicit LogScope(std::string label);
+    ~LogScope();
+    LogScope(const LogScope &) = delete;
+    LogScope &operator=(const LogScope &) = delete;
+
+  private:
+    std::string prev_;
+};
+
+/** The current thread's log tag; empty when no LogScope is active. */
+const std::string &logTag();
+
 /** Verbosity levels for runtime log filtering. */
 enum class LogLevel
 {

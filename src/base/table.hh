@@ -56,6 +56,15 @@ class TextTable
     /** Number of committed data rows. */
     std::size_t rowCount() const { return rows_.size(); }
 
+    /** Column headers (for machine-readable re-emission). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Committed rows, pre-stringified. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Render as an aligned text table. */
     void print(std::ostream &os) const;
 

@@ -196,16 +196,25 @@ demandFromRun(const RunResult &result)
 }
 
 RunResult
-runRefined(ExperimentConfig config, unsigned rounds,
-           DemandShares *refined_out)
+runRefined(const ExperimentConfig &config, unsigned rounds,
+           RefineTrace *trace)
 {
-    RunResult result = runExperiment(config);
-    for (unsigned i = 0; i < rounds; ++i) {
-        config.demand = demandFromRun(result);
-        result = runExperiment(config);
+    // One working copy for all rounds; only the demand shares change
+    // between runs.
+    ExperimentConfig work = config;
+    if (trace) {
+        trace->perRound.clear();
+        trace->perRound.push_back(work.demand);
     }
-    if (refined_out)
-        *refined_out = demandFromRun(result);
+    RunResult result = runExperiment(work);
+    for (unsigned i = 0; i < rounds; ++i) {
+        work.demand = demandFromRun(result);
+        if (trace)
+            trace->perRound.push_back(work.demand);
+        result = runExperiment(work);
+    }
+    if (trace)
+        trace->final = demandFromRun(result);
     return result;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "base/types.hh"
 #include "core/placement.hh"
@@ -128,13 +129,27 @@ DemandShares measureDemand(ExperimentConfig config);
 DemandShares demandFromRun(const RunResult &result);
 
 /**
+ * What runRefined learned: the demand shares each refinement round
+ * partitioned with, and the shares implied by the final run.
+ */
+struct RefineTrace
+{
+    /** Shares used to build round i's partition (round 0 = seed). */
+    std::vector<DemandShares> perRound;
+    /** Shares implied by the final run (demandFromRun of it). */
+    DemandShares final;
+};
+
+/**
  * Run a pinned placement with iterative partition refinement: run,
  * re-derive demand from the observed per-service CPU cost, re-
  * partition, repeat. `rounds` extra runs (1-2 is enough to converge).
  * The returned result is the final run; config.demand seeds round 0.
+ * One working copy of the config is built up front and reused across
+ * rounds; only its demand shares change between runs.
  */
-RunResult runRefined(ExperimentConfig config, unsigned rounds = 2,
-                     DemandShares *refined_out = nullptr);
+RunResult runRefined(const ExperimentConfig &config, unsigned rounds = 2,
+                     RefineTrace *trace = nullptr);
 
 /** One-line summary: "tput=... p50=... p99=...". */
 std::string summarize(const RunResult &r);

@@ -1,7 +1,10 @@
 #include "core/json.hh"
 
+#include <cctype>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 namespace microscale::core
 {
@@ -227,6 +230,276 @@ toJson(const RunResult &result)
     std::ostringstream os;
     writeJson(os, result);
     return os.str();
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    if (const JsonValue *v = find(key))
+        return *v;
+    throw std::out_of_range("no JSON member '" + key + "'");
+}
+
+namespace
+{
+
+/** Recursive-descent parser over the full supported grammar. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            fail("bad literal");
+        pos_ += word.size();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("bad \\u escape");
+                const unsigned code = static_cast<unsigned>(std::strtoul(
+                    std::string(text_.substr(pos_, 4)).c_str(), nullptr,
+                    16));
+                pos_ += 4;
+                // Only the codepoints jsonEscape emits (< 0x80).
+                out += static_cast<char>(code & 0x7f);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            fail("bad number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.numberValue =
+            std::strtod(std::string(text_.substr(start, pos_ - start))
+                            .c_str(),
+                        nullptr);
+        return v;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        const char c = peek();
+        JsonValue v;
+        switch (c) {
+          case '{': {
+            ++pos_;
+            v.kind = JsonValue::Kind::Object;
+            if (consume('}'))
+                return v;
+            do {
+                std::string key = (skipSpace(), parseString());
+                expect(':');
+                v.members.emplace_back(std::move(key), parseValue());
+            } while (consume(','));
+            expect('}');
+            return v;
+          }
+          case '[': {
+            ++pos_;
+            v.kind = JsonValue::Kind::Array;
+            if (consume(']'))
+                return v;
+            do {
+                v.elements.push_back(parseValue());
+            } while (consume(','));
+            expect(']');
+            return v;
+          }
+          case '"':
+            v.kind = JsonValue::Kind::String;
+            v.stringValue = parseString();
+            return v;
+          case 't':
+            literal("true");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolValue = true;
+            return v;
+          case 'f':
+            literal("false");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolValue = false;
+            return v;
+          case 'n':
+            literal("null");
+            v.kind = JsonValue::Kind::Null;
+            return v;
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return JsonParser(text).parse();
 }
 
 } // namespace microscale::core

@@ -9,6 +9,9 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hh"
 
@@ -24,6 +27,52 @@ void writeJson(std::ostream &os, const RunResult &result);
 
 /** Convenience: writeJson into a string. */
 std::string toJson(const RunResult &result);
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * A parsed JSON document node, for validating and consuming the
+ * harness's own emissions (round-trip tests, bench_smoke checks).
+ * Object member order is preserved.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolValue = false;
+    double numberValue = 0.0;
+    std::string stringValue;
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+    std::vector<JsonValue> elements;                        ///< Array
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member access; throws std::out_of_range when absent. */
+    const JsonValue &at(const std::string &key) const;
+};
+
+/**
+ * Parse a complete JSON document (trailing whitespace allowed).
+ * Throws std::runtime_error with a position message on malformed
+ * input.
+ */
+JsonValue parseJson(std::string_view text);
 
 } // namespace microscale::core
 

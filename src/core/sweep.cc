@@ -1,0 +1,126 @@
+#include "core/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <thread>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace microscale::core
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("MICROSCALE_BENCH_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+namespace
+{
+
+SweepOutcome
+runPoint(const SweepPoint &point)
+{
+    SweepOutcome out;
+    out.label = point.label;
+    LogScope scope(point.label);
+    try {
+        if (point.runner)
+            out.result = point.runner(point.config);
+        else if (point.refineRounds > 0)
+            out.result = runRefined(point.config, point.refineRounds,
+                                    &out.refine);
+        else
+            out.result = runExperiment(point.config);
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    return out;
+}
+
+/**
+ * Progress goes to stderr in completion order (which is scheduling-
+ * dependent); stdout stays bit-identical between serial and parallel
+ * runs.
+ */
+void
+progressLine(std::size_t done, std::size_t total,
+             const SweepOutcome &out, double wall_s)
+{
+    std::ostringstream os;
+    os << "sweep: [" << done << "/" << total << "] " << out.label;
+    if (out.ok) {
+        os << " tput=" << formatDouble(out.result.throughputRps, 0)
+           << " req/s";
+    } else {
+        os << " FAILED: " << out.error;
+    }
+    os << " (" << formatDouble(wall_s, 1) << "s)\n";
+    const std::string line = os.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(options), jobs_(resolveJobs(options.jobs))
+{
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepPoint> &points) const
+{
+    std::vector<SweepOutcome> outcomes(points.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            const auto start = std::chrono::steady_clock::now();
+            outcomes[i] = runPoint(points[i]);
+            const double wall_s =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const std::size_t n = done.fetch_add(1) + 1;
+            if (options_.progress)
+                progressLine(n, points.size(), outcomes[i], wall_s);
+        }
+    };
+
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        jobs_, std::max<std::size_t>(points.size(), 1)));
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    return outcomes;
+}
+
+} // namespace microscale::core

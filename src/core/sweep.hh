@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SweepRunner: the shared multi-threaded core every experiment sweep
+ * (bench binaries, msim, examples, the replica tuner) runs on.
+ *
+ * A sweep is a list of labeled, independent ExperimentConfig points.
+ * The runner executes them on a host thread pool and returns results
+ * in submission order, so parallel output is bit-identical to a
+ * serial run: every point is an isolated, deterministic simulation
+ * whose seed comes only from its config, and no model layer shares
+ * mutable state between Simulation instances (base/logging is the one
+ * global, and it is mutex-guarded and tagged per point).
+ */
+
+#ifndef MICROSCALE_CORE_SWEEP_HH
+#define MICROSCALE_CORE_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace microscale::core
+{
+
+/** One labeled point of a sweep. */
+struct SweepPoint
+{
+    /** Display label; also tags log lines emitted while it runs. */
+    std::string label;
+    ExperimentConfig config;
+    /** Partition-refinement rounds (runRefined); 0 = plain run. */
+    unsigned refineRounds = 0;
+    /**
+     * Optional custom runner replacing runExperiment/runRefined, for
+     * sweeps over non-standard experiments (e.g. fig03's leaf-service
+     * driver). Must be callable concurrently with other points.
+     */
+    std::function<RunResult(const ExperimentConfig &)> runner;
+};
+
+/** Outcome of one point. `ok` is false when the runner threw. */
+struct SweepOutcome
+{
+    std::string label;
+    bool ok = false;
+    /** Exception text when !ok; other points are unaffected. */
+    std::string error;
+    RunResult result;
+    /** Refinement history when refineRounds > 0. */
+    RefineTrace refine;
+};
+
+/** Runner options. */
+struct SweepOptions
+{
+    /**
+     * Worker threads; 0 resolves MICROSCALE_BENCH_JOBS, then
+     * hardware_concurrency (see resolveJobs).
+     */
+    unsigned jobs = 0;
+    /** Emit a progress line on stderr as each point completes. */
+    bool progress = true;
+};
+
+/**
+ * Resolve a job-count request: an explicit value wins, else the
+ * MICROSCALE_BENCH_JOBS environment variable, else the host's
+ * hardware_concurrency (at least 1).
+ */
+unsigned resolveJobs(unsigned requested);
+
+/**
+ * Executes sweeps on a host thread pool. Stateless between run()
+ * calls; one runner can serve several sweeps.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = {});
+
+    /** The resolved worker-thread count. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run all points, returning outcomes in submission order. An
+     * exception in one point is captured in its outcome and does not
+     * poison the others.
+     */
+    std::vector<SweepOutcome>
+    run(const std::vector<SweepPoint> &points) const;
+
+  private:
+    SweepOptions options_;
+    unsigned jobs_;
+};
+
+} // namespace microscale::core
+
+#endif // MICROSCALE_CORE_SWEEP_HH

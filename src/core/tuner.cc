@@ -1,6 +1,9 @@
 #include "core/tuner.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
+#include "core/sweep.hh"
 
 namespace microscale::core
 {
@@ -26,50 +29,74 @@ tuneReplicas(ExperimentConfig config, TunerParams params)
     TunerResult result;
     result.best = config.sizing;
 
-    auto evaluate = [&](const BaselineSizing &sizing) {
-        ExperimentConfig c = config;
-        c.sizing = sizing;
-        return runExperiment(c).throughputRps;
+    SweepOptions so;
+    so.jobs = params.jobs;
+    so.progress = false;
+    const SweepRunner runner(so);
+
+    auto pointFor = [&](const std::string &label,
+                        const BaselineSizing &sizing) {
+        SweepPoint p;
+        p.label = label;
+        p.config = config;
+        p.config.sizing = sizing;
+        return p;
     };
 
-    result.throughputRps = evaluate(result.best);
-    result.steps.push_back(
-        TunerStep{"", 0, result.throughputRps, true});
+    {
+        const std::vector<SweepOutcome> initial =
+            runner.run({pointFor("tuner/initial", result.best)});
+        if (!initial[0].ok)
+            fatal("tuner: initial run failed: ", initial[0].error);
+        result.throughputRps = initial[0].result.throughputRps;
+    }
+    result.steps.push_back(TunerStep{"", 0, result.throughputRps, true});
 
     for (unsigned round = 0; round < params.maxRounds; ++round) {
-        std::string best_service;
-        double best_tput = result.throughputRps;
-        for (const auto &name : tunableServices()) {
+        // All +1-replica candidates of a round are independent: build
+        // them up front and evaluate the batch on the thread pool.
+        std::vector<SweepPoint> points;
+        std::vector<std::pair<std::string, unsigned>> candidates;
+        for (const std::string &name : tunableServices()) {
             BaselineSizing candidate = result.best;
             auto &cfg = candidate.byName(name);
             if (cfg.replicas >= params.maxReplicasPerService)
                 continue;
             ++cfg.replicas;
-            const double tput = evaluate(candidate);
-            result.steps.push_back(TunerStep{
-                name, cfg.replicas, tput, false});
+            points.push_back(pointFor(
+                "tuner/" + name + "x" + std::to_string(cfg.replicas),
+                candidate));
+            candidates.emplace_back(name, cfg.replicas);
+        }
+        if (points.empty())
+            break;
+        const std::vector<SweepOutcome> outcomes = runner.run(points);
+
+        std::string best_service;
+        double best_tput = result.throughputRps;
+        std::size_t best_step = 0;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (!outcomes[i].ok) {
+                fatal("tuner: candidate ", points[i].label,
+                      " failed: ", outcomes[i].error);
+            }
+            const double tput = outcomes[i].result.throughputRps;
+            result.steps.push_back(TunerStep{candidates[i].first,
+                                             candidates[i].second, tput,
+                                             false});
             if (tput > best_tput) {
                 best_tput = tput;
-                best_service = name;
+                best_service = candidates[i].first;
+                best_step = result.steps.size() - 1;
             }
         }
-        const double gain =
-            (best_tput - result.throughputRps) /
-            std::max(result.throughputRps, 1.0);
+        const double gain = (best_tput - result.throughputRps) /
+                            std::max(result.throughputRps, 1.0);
         if (best_service.empty() || gain < params.minGain)
             break;
         ++result.best.byName(best_service).replicas;
         result.throughputRps = best_tput;
-        result.steps.back().accepted = false; // marker fixed below
-        for (auto it = result.steps.rbegin(); it != result.steps.rend();
-             ++it) {
-            if (it->changedService == best_service &&
-                it->replicas ==
-                    result.best.byName(best_service).replicas) {
-                it->accepted = true;
-                break;
-            }
-        }
+        result.steps[best_step].accepted = true;
     }
     return result;
 }

@@ -42,11 +42,16 @@ struct TunerParams
     unsigned maxRounds = 8;
     /** Minimum relative improvement to accept a step. */
     double minGain = 0.01;
+    /** Worker threads for candidate evaluation (core::resolveJobs). */
+    unsigned jobs = 0;
 };
 
 /**
  * Tune replica counts starting from config.sizing. Every evaluation is
  * a full runExperiment of `config` (shorten its windows for speed).
+ * Each round's candidate evaluations are independent and run in
+ * parallel on a core::SweepRunner; the search trajectory is identical
+ * to the serial greedy search.
  */
 TunerResult tuneReplicas(ExperimentConfig config, TunerParams params);
 

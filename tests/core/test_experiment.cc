@@ -178,11 +178,27 @@ TEST(Experiment, RunRefinedIsDeterministic)
 {
     ExperimentConfig c = fastConfig();
     c.placement = PlacementKind::CcxAware;
-    DemandShares d1, d2;
-    const RunResult a = runRefined(c, 1, &d1);
-    const RunResult b = runRefined(c, 1, &d2);
+    RefineTrace t1, t2;
+    const RunResult a = runRefined(c, 1, &t1);
+    const RunResult b = runRefined(c, 1, &t2);
     EXPECT_DOUBLE_EQ(a.throughputRps, b.throughputRps);
-    EXPECT_DOUBLE_EQ(d1.webui, d2.webui);
+    EXPECT_DOUBLE_EQ(t1.final.webui, t2.final.webui);
+}
+
+TEST(Experiment, RunRefinedTraceRecordsPerRoundShares)
+{
+    ExperimentConfig c = fastConfig();
+    c.placement = PlacementKind::CcxAware;
+    RefineTrace trace;
+    runRefined(c, 2, &trace);
+    // Round 0 is the seed demand; rounds 1..N the refined partitions.
+    ASSERT_EQ(trace.perRound.size(), 3u);
+    EXPECT_DOUBLE_EQ(trace.perRound[0].webui, c.demand.webui);
+    for (const DemandShares &d : trace.perRound) {
+        EXPECT_NEAR(d.webui + d.auth + d.persistence + d.recommender +
+                        d.image,
+                    1.0, 1e-9);
+    }
 }
 
 TEST(Experiment, CustomMixShiftsOpCounts)

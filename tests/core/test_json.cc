@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
 #include <string>
 
 #include "core/json.hh"
@@ -92,6 +94,60 @@ TEST(Json, ReflectsResultValues)
     std::ostringstream expect;
     expect << std::setprecision(10) << r.throughputRps;
     EXPECT_NE(j.find(expect.str()), std::string::npos);
+}
+
+TEST(Json, ParseRoundTripsRunResult)
+{
+    const RunResult r = runExperiment(fastConfig());
+    const JsonValue v = parseJson(toJson(r));
+    ASSERT_TRUE(v.isObject());
+    const JsonValue &tput = v.at("throughput_rps");
+    ASSERT_TRUE(tput.isNumber());
+    // The writer emits 10 significant digits.
+    EXPECT_NEAR(tput.numberValue, r.throughputRps,
+                1e-9 * std::abs(r.throughputRps) + 1e-12);
+    const JsonValue &p99 = v.at("latency").at("p99_ms");
+    ASSERT_TRUE(p99.isNumber());
+    EXPECT_NEAR(p99.numberValue, r.latency.p99Ms,
+                1e-9 * std::abs(r.latency.p99Ms) + 1e-12);
+    // Service map keys survive the trip.
+    const JsonValue &services = v.at("services");
+    ASSERT_TRUE(services.isObject());
+    EXPECT_NE(services.find("webui"), nullptr);
+}
+
+TEST(Json, ParseHandlesEscapesAndLiterals)
+{
+    const JsonValue v = parseJson(
+        "{\"s\": \"a\\\"b\\\\c\\n\", \"t\": true, \"f\": false,"
+        " \"n\": null, \"a\": [1, -2.5, 3e2]}");
+    EXPECT_EQ(v.at("s").stringValue, "a\"b\\c\n");
+    EXPECT_TRUE(v.at("t").boolValue);
+    EXPECT_FALSE(v.at("f").boolValue);
+    EXPECT_EQ(v.at("n").kind, JsonValue::Kind::Null);
+    ASSERT_EQ(v.at("a").elements.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("a").elements[1].numberValue, -2.5);
+    EXPECT_DOUBLE_EQ(v.at("a").elements[2].numberValue, 300.0);
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\": 1,}"), std::runtime_error);
+    EXPECT_THROW(parseJson("[1, 2"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\": 1} trailing"), std::runtime_error);
+    EXPECT_THROW(parseJson("\"unterminated"), std::runtime_error);
+}
+
+TEST(Json, EscapeProducesValidStrings)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    const JsonValue v =
+        parseJson("\"" + jsonEscape("mix: \"q\" \\ \n\t\x01") + "\"");
+    EXPECT_EQ(v.stringValue, "mix: \"q\" \\ \n\t\x01");
 }
 
 } // namespace

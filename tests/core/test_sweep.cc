@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the parallel sweep harness: parallel execution must be
+ * bit-identical to serial, per-point seeding deterministic, and a
+ * failing point must not poison the rest of the sweep.
+ */
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/sweep.hh"
+
+namespace microscale::core
+{
+namespace
+{
+
+/** A fast config on the small machine. */
+ExperimentConfig
+fastConfig()
+{
+    ExperimentConfig c;
+    c.machine = topo::small8();
+    c.app.store.categories = 4;
+    c.app.store.productsPerCategory = 10;
+    c.app.store.users = 20;
+    c.sizing.webui = {1, 8};
+    c.sizing.auth = {1, 4};
+    c.sizing.persistence = {1, 8};
+    c.sizing.recommender = {1, 2};
+    c.sizing.image = {1, 8};
+    c.sizing.registry = {1, 1};
+    c.load.users = 40;
+    c.load.meanThink = 50 * kMillisecond;
+    c.warmup = 100 * kMillisecond;
+    c.measure = 200 * kMillisecond;
+    return c;
+}
+
+/** A fig01-style sweep: two placements crossed with three budgets. */
+std::vector<SweepPoint>
+scaleupPoints()
+{
+    std::vector<SweepPoint> points;
+    for (PlacementKind kind :
+         {PlacementKind::OsDefault, PlacementKind::CcxAware}) {
+        for (unsigned cores : {2u, 4u, 8u}) {
+            SweepPoint p;
+            p.label = std::string(placementName(kind)) + "/" +
+                      std::to_string(cores) + "c";
+            p.config = fastConfig();
+            p.config.placement = kind;
+            p.config.cores = cores;
+            p.config.load.users = 10 * cores;
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+std::vector<SweepOutcome>
+runWithJobs(const std::vector<SweepPoint> &points, unsigned jobs)
+{
+    SweepOptions so;
+    so.jobs = jobs;
+    so.progress = false;
+    return SweepRunner(so).run(points);
+}
+
+TEST(Sweep, ParallelMatchesSerialBitwise)
+{
+    const std::vector<SweepPoint> points = scaleupPoints();
+    const std::vector<SweepOutcome> serial = runWithJobs(points, 1);
+    const std::vector<SweepOutcome> parallel = runWithJobs(points, 4);
+    ASSERT_EQ(serial.size(), points.size());
+    ASSERT_EQ(parallel.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_TRUE(serial[i].ok) << serial[i].error;
+        EXPECT_TRUE(parallel[i].ok) << parallel[i].error;
+        EXPECT_EQ(serial[i].label, points[i].label);
+        EXPECT_EQ(parallel[i].label, points[i].label);
+        const RunResult &a = serial[i].result;
+        const RunResult &b = parallel[i].result;
+        EXPECT_DOUBLE_EQ(a.throughputRps, b.throughputRps);
+        EXPECT_DOUBLE_EQ(a.latency.p99Ms, b.latency.p99Ms);
+        EXPECT_DOUBLE_EQ(a.cpuUtilization, b.cpuUtilization);
+        EXPECT_DOUBLE_EQ(a.total.csPerSec, b.total.csPerSec);
+        EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
+    }
+}
+
+TEST(Sweep, MatchesDirectRunExperiment)
+{
+    // The harness must not perturb the simulation: a sweep point is
+    // exactly runExperiment on its config.
+    SweepPoint p;
+    p.label = "direct";
+    p.config = fastConfig();
+    const std::vector<SweepOutcome> runs = runWithJobs({p}, 2);
+    const RunResult direct = runExperiment(p.config);
+    ASSERT_TRUE(runs[0].ok);
+    EXPECT_DOUBLE_EQ(runs[0].result.throughputRps,
+                     direct.throughputRps);
+    EXPECT_DOUBLE_EQ(runs[0].result.latency.p99Ms,
+                     direct.latency.p99Ms);
+}
+
+TEST(Sweep, RepeatRunsAreDeterministic)
+{
+    const std::vector<SweepPoint> points = scaleupPoints();
+    const std::vector<SweepOutcome> a = runWithJobs(points, 4);
+    const std::vector<SweepOutcome> b = runWithJobs(points, 4);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].result.throughputRps,
+                         b[i].result.throughputRps);
+        EXPECT_DOUBLE_EQ(a[i].result.latency.p99Ms,
+                         b[i].result.latency.p99Ms);
+    }
+}
+
+TEST(Sweep, FailedPointDoesNotPoisonOthers)
+{
+    std::vector<SweepPoint> points;
+    for (int i = 0; i < 4; ++i) {
+        SweepPoint p;
+        p.label = "p" + std::to_string(i);
+        p.config = fastConfig();
+        if (i == 1) {
+            p.runner = [](const ExperimentConfig &) -> RunResult {
+                throw std::runtime_error("synthetic failure");
+            };
+        } else {
+            const double tput = 100.0 * (i + 1);
+            p.runner = [tput](const ExperimentConfig &) {
+                RunResult r;
+                r.throughputRps = tput;
+                return r;
+            };
+        }
+        points.push_back(std::move(p));
+    }
+    const std::vector<SweepOutcome> runs = runWithJobs(points, 2);
+    ASSERT_EQ(runs.size(), 4u);
+    EXPECT_TRUE(runs[0].ok);
+    EXPECT_FALSE(runs[1].ok);
+    EXPECT_NE(runs[1].error.find("synthetic failure"),
+              std::string::npos);
+    EXPECT_TRUE(runs[2].ok);
+    EXPECT_TRUE(runs[3].ok);
+    EXPECT_DOUBLE_EQ(runs[0].result.throughputRps, 100.0);
+    EXPECT_DOUBLE_EQ(runs[2].result.throughputRps, 300.0);
+    EXPECT_DOUBLE_EQ(runs[3].result.throughputRps, 400.0);
+}
+
+TEST(Sweep, RefineRoundsRecordTrace)
+{
+    SweepPoint p;
+    p.label = "refined";
+    p.config = fastConfig();
+    p.config.placement = PlacementKind::CcxAware;
+    p.refineRounds = 1;
+    const std::vector<SweepOutcome> runs = runWithJobs({p}, 1);
+    ASSERT_TRUE(runs[0].ok);
+    // Seed round plus one refinement.
+    EXPECT_EQ(runs[0].refine.perRound.size(), 2u);
+    const DemandShares &d = runs[0].refine.final;
+    EXPECT_NEAR(d.webui + d.auth + d.persistence + d.recommender +
+                    d.image,
+                1.0, 1e-9);
+}
+
+TEST(Sweep, ResolveJobsHonorsEnvAndFloor)
+{
+    // Explicit request wins.
+    EXPECT_EQ(resolveJobs(3), 3u);
+    // Environment supplies the default when no explicit request.
+    ASSERT_EQ(setenv("MICROSCALE_BENCH_JOBS", "5", 1), 0);
+    EXPECT_EQ(resolveJobs(0), 5u);
+    ASSERT_EQ(setenv("MICROSCALE_BENCH_JOBS", "bogus", 1), 0);
+    EXPECT_GE(resolveJobs(0), 1u);
+    ASSERT_EQ(unsetenv("MICROSCALE_BENCH_JOBS"), 0);
+    // Hardware fallback is always at least one worker.
+    EXPECT_GE(resolveJobs(0), 1u);
+}
+
+} // namespace
+} // namespace microscale::core

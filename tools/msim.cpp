@@ -16,6 +16,7 @@
 #include "base/table.hh"
 #include "core/experiment.hh"
 #include "core/json.hh"
+#include "core/sweep.hh"
 #include "perf/report.hh"
 #include "topo/presets.hh"
 
@@ -54,6 +55,9 @@ main(int argc, char **argv)
     args.addDouble("measure-s", 1.5, "measurement window, seconds");
     args.addInt("refine", 0,
                 "partition-refinement rounds (pinned placements)");
+    args.addInt("jobs", 0,
+                "sweep worker threads (0 = MICROSCALE_BENCH_JOBS or "
+                "hardware)");
     args.addInt("seed", 42, "random seed");
     args.addFlag("csv", "emit tables as CSV");
     args.addFlag("json", "emit the full result as JSON and exit");
@@ -78,10 +82,22 @@ main(int argc, char **argv)
     config.demand.recommender = 0.045;
     config.demand.image = 0.41;
 
-    const auto rounds = static_cast<unsigned>(args.getInt("refine"));
-    const core::RunResult r = rounds > 0
-                                  ? core::runRefined(config, rounds)
-                                  : core::runExperiment(config);
+    // Run through the sweep harness so msim shares the thread pool,
+    // per-point logging tags and error handling with the bench suite.
+    core::SweepPoint point;
+    point.label = args.getString("machine") + "/" +
+                  args.getString("placement");
+    point.config = config;
+    point.refineRounds = static_cast<unsigned>(args.getInt("refine"));
+
+    core::SweepOptions so;
+    so.jobs = static_cast<unsigned>(args.getInt("jobs"));
+    so.progress = false;
+    const core::SweepRunner runner(so);
+    const core::SweepOutcome out = runner.run({point})[0];
+    if (!out.ok)
+        fatal("run failed: ", out.error);
+    const core::RunResult &r = out.result;
 
     if (args.getFlag("json")) {
         core::writeJson(std::cout, r);
