@@ -129,15 +129,28 @@ void
 SeriesReporter::add(const std::string &label,
                     const core::RunResult &result)
 {
-    points_.emplace_back(label, result);
+    points_.push_back(StoredPoint{label, result, ""});
+}
+
+void
+SeriesReporter::addError(const std::string &label,
+                         const std::string &message)
+{
+    points_.push_back(StoredPoint{
+        label, core::RunResult{},
+        message.empty() ? std::string("unknown error") : message});
 }
 
 void
 SeriesReporter::printSummaries() const
 {
-    for (const auto &[label, result] : points_)
-        std::cout << "  " << label << ": " << core::summarize(result)
-                  << "\n";
+    for (const StoredPoint &p : points_) {
+        if (p.error.empty())
+            std::cout << "  " << p.label << ": " << core::summarize(p.result)
+                      << "\n";
+        else
+            std::cout << "  " << p.label << ": ERROR: " << p.error << "\n";
+    }
 }
 
 void
@@ -166,14 +179,18 @@ SeriesReporter::finish()
 
     os << ",\"points\":[";
     bool first = true;
-    for (const auto &[label, result] : points_) {
+    for (const StoredPoint &p : points_) {
         if (!first)
             os << ",";
         first = false;
-        os << "{\"label\":\"" << core::jsonEscape(label)
-           << "\",\"result\":";
+        os << "{\"label\":\"" << core::jsonEscape(p.label) << "\"";
+        if (!p.error.empty()) {
+            os << ",\"error\":\"" << core::jsonEscape(p.error) << "\"}";
+            continue;
+        }
+        os << ",\"result\":";
         std::ostringstream buf;
-        core::writeJson(buf, result);
+        core::writeJson(buf, p.result);
         std::string body = buf.str();
         // writeJson appends a newline; strip it for embedding.
         while (!body.empty() && body.back() == '\n')
@@ -218,12 +235,23 @@ runSweep(const std::vector<core::SweepPoint> &points,
     so.jobs = jobs();
     const core::SweepRunner runner(so);
     std::vector<core::SweepOutcome> outcomes = runner.run(points);
+    std::string first_failure;
     for (const core::SweepOutcome &o : outcomes) {
-        if (!o.ok)
-            fatal("sweep point '", o.label, "' failed: ", o.error);
-        reporter.add(o.label, o.result);
+        if (o.ok) {
+            reporter.add(o.label, o.result);
+            continue;
+        }
+        reporter.addError(o.label, o.error);
+        if (first_failure.empty())
+            first_failure = "'" + o.label + "': " + o.error;
     }
     reporter.printSummaries();
+    if (!first_failure.empty()) {
+        // Persist what we have (failed points carry "error" fields, so
+        // json_check still flags the artifact) before bailing out.
+        reporter.finish();
+        fatal("sweep point ", first_failure);
+    }
     return outcomes;
 }
 

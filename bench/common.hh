@@ -77,6 +77,12 @@ class SeriesReporter
     /** Record one labeled point for the JSON series. */
     void add(const std::string &label, const core::RunResult &result);
 
+    /**
+     * Record a failed point: the JSON gets {"label", "error"} instead
+     * of a result, which json_check treats as a hard failure.
+     */
+    void addError(const std::string &label, const std::string &message);
+
     /** Print "  <label>: <summary>" for every recorded point. */
     void printSummaries() const;
 
@@ -94,18 +100,28 @@ class SeriesReporter
         std::vector<std::vector<std::string>> rows;
     };
 
+    struct StoredPoint
+    {
+        std::string label;
+        core::RunResult result;
+        /** Non-empty when the point failed (no valid result). */
+        std::string error;
+    };
+
     std::string artifact_;
     std::string stem_;
     std::string caption_;
     std::string machine_;
-    std::vector<std::pair<std::string, core::RunResult>> points_;
+    std::vector<StoredPoint> points_;
     std::vector<StoredTable> tables_;
 };
 
 /**
  * Run the labeled points on a core::SweepRunner (jobs()) and record
- * every result with the reporter in submission order. fatal()s if any
- * point fails: bench artifacts need every point.
+ * every result with the reporter in submission order. If any point
+ * fails, its error is recorded for the JSON ("error" field, which
+ * json_check rejects), the JSON is written, and the bench fatal()s:
+ * bench artifacts need every point, but a partial JSON beats none.
  */
 std::vector<core::SweepOutcome>
 runSweep(const std::vector<core::SweepPoint> &points,

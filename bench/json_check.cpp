@@ -78,6 +78,11 @@ main(int argc, char **argv)
         const core::JsonValue *label = p.find("label");
         if (!label || !label->isString() || label->stringValue.empty())
             die(path + ": point without a label");
+        // A failed sweep point carries an "error" instead of a result;
+        // an artifact with one is never valid.
+        if (const core::JsonValue *err = p.find("error"))
+            die(path + ": point '" + label->stringValue + "' failed: " +
+                (err->isString() ? err->stringValue : "unknown error"));
         const core::JsonValue *result = p.find("result");
         if (!result || !result->isObject())
             die(path + ": point '" + label->stringValue +

@@ -86,9 +86,13 @@ ArgParser::parse(int argc, const char *const *argv)
         }
         auto it = options_.find(arg);
         if (it == options_.end()) {
-            std::fprintf(stderr, "unknown option '--%s'\n%s",
-                         arg.c_str(), usage().c_str());
-            return false;
+            // A mistyped flag silently falling back to a default has
+            // burned enough benchmark runs; make it unmissable.
+            std::string valid = "--help";
+            for (const std::string &name : order_)
+                valid += ", --" + name;
+            fatal("unknown option '--", arg, "' (valid options: ", valid,
+                  ")");
         }
         Option &opt = it->second;
         if (opt.kind == Kind::Flag) {

@@ -39,8 +39,10 @@ class ArgParser
     /**
      * Parse argv.
      * @return true on success; false (with a message on stderr) on
-     *         unknown options, missing values, or bad numbers. A
-     *         `--help` request prints usage and also returns false.
+     *         missing values or bad numbers. A `--help` request prints
+     *         usage and also returns false. An unknown option is a
+     *         fatal() error listing the valid options: tools must not
+     *         run with a mistyped flag silently ignored.
      */
     bool parse(int argc, const char *const *argv);
 

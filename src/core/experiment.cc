@@ -51,6 +51,7 @@ runExperiment(const ExperimentConfig &config)
     os::Kernel kernel(sim, machine, engine, config.sched, config.seed);
     net::Network network(sim, config.net, config.seed);
     svc::Mesh mesh(kernel, network, config.rpc, config.seed);
+    mesh.setResilience(config.resilience);
 
     const CpuMask budget = budgetMask(machine, config.cores, config.smt);
     PlacementPlan plan = buildPlacement(config.placement, machine, budget,
@@ -60,6 +61,13 @@ runExperiment(const ExperimentConfig &config)
     sizeAppFromPlan(app_params, plan);
     teastore::App app(mesh, app_params, config.seed);
     applyPlacement(app, plan);
+
+    std::unique_ptr<svc::FaultInjector> injector;
+    if (!config.faults.empty()) {
+        injector =
+            std::make_unique<svc::FaultInjector>(mesh, config.faults);
+        injector->arm();
+    }
 
     const loadgen::BrowseMix &mix = config.mix;
     std::unique_ptr<loadgen::ClosedLoopDriver> closed;
@@ -135,7 +143,45 @@ runExperiment(const ExperimentConfig &config)
             b.computeMeanMs = stats.computeNs.mean() / kMs;
             b.stallMeanMs = stats.stallNs.mean() / kMs;
             b.serviceTimeP99Ms = stats.serviceTimeNs.p99() / kMs;
+            b.okCount = stats.statusCounts[svc::statusIndex(svc::Status::Ok)];
+            b.timeoutCount =
+                stats.statusCounts[svc::statusIndex(svc::Status::Timeout)];
+            b.overloadCount =
+                stats.statusCounts[svc::statusIndex(svc::Status::Overload)];
+            b.unavailableCount = stats.statusCounts[svc::statusIndex(
+                svc::Status::Unavailable)];
             result.breakdown[s->name()][op] = b;
+        }
+    }
+
+    {
+        ResilienceSummary &rs = result.resilience;
+        rs.active = config.resilience.active() || !config.faults.empty() ||
+                    app_params.degradedFallbacks;
+        rs.goodputRps = measurement->goodputRps();
+        const std::uint64_t completed = measurement->completed();
+        rs.okCount = measurement->statusCount(svc::Status::Ok);
+        rs.timeoutCount = measurement->statusCount(svc::Status::Timeout);
+        rs.overloadCount = measurement->statusCount(svc::Status::Overload);
+        rs.unavailableCount =
+            measurement->statusCount(svc::Status::Unavailable);
+        rs.degradedCount = measurement->degradedCount();
+        rs.errorRate =
+            completed > 0 ? static_cast<double>(measurement->errorCount()) /
+                                static_cast<double>(completed)
+                          : 0.0;
+        rs.degradedShare =
+            rs.okCount > 0 ? static_cast<double>(rs.degradedCount) /
+                                 static_cast<double>(rs.okCount)
+                           : 0.0;
+        rs.retries = mesh.retryStats().retries;
+        rs.retriesDenied = mesh.retryStats().budgetDenied;
+        rs.clientTimeouts = mesh.retryStats().clientTimeouts;
+        for (svc::Service *s : app.services()) {
+            const svc::ResilienceCounters &c = s->resilienceCounters();
+            rs.shed += c.shed;
+            rs.deadlineDrops += c.deadlineDrops;
+            rs.breakerOpens += c.breakerOpens;
         }
     }
 

@@ -20,7 +20,9 @@
 #include "net/network.hh"
 #include "os/kernel.hh"
 #include "perf/report.hh"
+#include "svc/fault.hh"
 #include "svc/mesh.hh"
+#include "svc/resilience.hh"
 #include "teastore/app.hh"
 #include "topo/presets.hh"
 
@@ -61,6 +63,12 @@ struct ExperimentConfig
     net::NetParams net;
     svc::RpcCostParams rpc;
 
+    /** Resilience policy for the mesh (inactive by default). */
+    svc::ResilienceConfig resilience;
+
+    /** Scripted faults applied during the run (empty = none). */
+    svc::FaultScript faults;
+
     std::uint64_t seed = 42;
 };
 
@@ -87,6 +95,41 @@ struct OpBreakdown
     double computeMeanMs = 0.0;
     double stallMeanMs = 0.0;
     double serviceTimeP99Ms = 0.0;
+    /** Outcomes by status (counts shed/dropped/rejected requests too). */
+    std::uint64_t okCount = 0;
+    std::uint64_t timeoutCount = 0;
+    std::uint64_t overloadCount = 0;
+    std::uint64_t unavailableCount = 0;
+};
+
+/**
+ * Resilience outcome of one run. `active` only when the run used a
+ * resilience policy, a fault script or degraded fallbacks; inactive
+ * summaries are elided from reports so healthy-baseline output is
+ * unchanged.
+ */
+struct ResilienceSummary
+{
+    bool active = false;
+    /** OK responses per second of window time. */
+    double goodputRps = 0.0;
+    /** Non-OK share of all window responses. */
+    double errorRate = 0.0;
+    /** Degraded share of OK window responses. */
+    double degradedShare = 0.0;
+    std::uint64_t okCount = 0;
+    std::uint64_t timeoutCount = 0;
+    std::uint64_t overloadCount = 0;
+    std::uint64_t unavailableCount = 0;
+    std::uint64_t degradedCount = 0;
+    /** Mesh-level retry accounting (whole run). */
+    std::uint64_t retries = 0;
+    std::uint64_t retriesDenied = 0;
+    std::uint64_t clientTimeouts = 0;
+    /** Service-level shedding/drop accounting summed over services. */
+    std::uint64_t shed = 0;
+    std::uint64_t deadlineDrops = 0;
+    std::uint64_t breakerOpens = 0;
 };
 
 /** Results of one run. */
@@ -101,6 +144,8 @@ struct RunResult
 
     /** Per service, per op: where the time goes (window only). */
     std::map<std::string, std::map<std::string, OpBreakdown>> breakdown;
+
+    ResilienceSummary resilience;
 
     os::SchedStats sched;
     /** Busy fraction of the CPU budget during the window. */

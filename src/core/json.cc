@@ -214,11 +214,41 @@ writeJson(std::ostream &os, const RunResult &result)
             w.field("compute_mean_ms", b.computeMeanMs);
             w.field("stall_mean_ms", b.stallMeanMs);
             w.field("service_time_p99_ms", b.serviceTimeP99Ms);
+            if (result.resilience.active) {
+                w.field("ok", b.okCount);
+                w.field("timeout", b.timeoutCount);
+                w.field("overload", b.overloadCount);
+                w.field("unavailable", b.unavailableCount);
+            }
             w.endObject();
         }
         w.endObject();
     }
     w.endObject();
+
+    // Only runs that exercised the resilience layer (policy, fault
+    // script, or degraded fallbacks) carry the block, so healthy
+    // baseline JSON stays byte-identical.
+    if (result.resilience.active) {
+        const ResilienceSummary &rs = result.resilience;
+        w.key("resilience");
+        w.beginObject();
+        w.field("goodput_rps", rs.goodputRps);
+        w.field("error_rate", rs.errorRate);
+        w.field("degraded_share", rs.degradedShare);
+        w.field("ok", rs.okCount);
+        w.field("timeout", rs.timeoutCount);
+        w.field("overload", rs.overloadCount);
+        w.field("unavailable", rs.unavailableCount);
+        w.field("degraded", rs.degradedCount);
+        w.field("retries", rs.retries);
+        w.field("retries_denied", rs.retriesDenied);
+        w.field("client_timeouts", rs.clientTimeouts);
+        w.field("shed", rs.shed);
+        w.field("deadline_drops", rs.deadlineDrops);
+        w.field("breaker_opens", rs.breakerOpens);
+        w.endObject();
+    }
 
     w.endObject();
     os << "\n";

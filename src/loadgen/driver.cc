@@ -22,9 +22,21 @@ Measurement::setWindow(Tick start, Tick end)
 void
 Measurement::record(OpType op, Tick issued, Tick completed)
 {
+    record(op, issued, completed, svc::Status::Ok, false);
+}
+
+void
+Measurement::record(OpType op, Tick issued, Tick completed,
+                    svc::Status status, bool degraded)
+{
     if (completed < start_ || completed >= end_)
         return;
     ++completed_;
+    ++status_counts_[static_cast<unsigned>(status)];
+    if (status != svc::Status::Ok)
+        return;
+    if (degraded)
+        ++degraded_;
     const double lat = static_cast<double>(completed - issued);
     latency_.add(lat);
     per_op_[static_cast<unsigned>(op)].add(lat);
@@ -38,6 +50,21 @@ Measurement::throughputRps() const
         return 0.0;
     const double window_s = ticksToSeconds(end_ - start_);
     return static_cast<double>(completed_) / window_s;
+}
+
+double
+Measurement::goodputRps() const
+{
+    if (end_ == kTickNever || end_ <= start_)
+        return 0.0;
+    const double window_s = ticksToSeconds(end_ - start_);
+    return static_cast<double>(statusCount(svc::Status::Ok)) / window_s;
+}
+
+std::uint64_t
+Measurement::errorCount() const
+{
+    return completed_ - statusCount(svc::Status::Ok);
 }
 
 ClosedLoopDriver::ClosedLoopDriver(teastore::App &app, BrowseMix mix,
@@ -83,19 +110,22 @@ ClosedLoopDriver::issue(std::size_t user_index)
     const Tick issued_at = app_.mesh().kernel().sim().now();
     ++issued_;
     svc::Payload req = app_.sampleRequest(op, user.rng);
-    app_.mesh().callExternal(
+    app_.mesh().callExternalS(
         teastore::names::kWebui, teastore::opName(op), req,
-        [this, user_index, op, issued_at](const svc::Payload &) {
-            onResponse(user_index, op, issued_at);
+        [this, user_index, op, issued_at](const svc::Payload &resp,
+                                          svc::Status status) {
+            onResponse(user_index, op, issued_at, status,
+                       resp.degraded);
         });
 }
 
 void
 ClosedLoopDriver::onResponse(std::size_t user_index, OpType op,
-                             Tick issued_at)
+                             Tick issued_at, svc::Status status,
+                             bool degraded)
 {
     auto &sim = app_.mesh().kernel().sim();
-    measurement_.record(op, issued_at, sim.now());
+    measurement_.record(op, issued_at, sim.now(), status, degraded);
     if (stopped_)
         return;
     User &user = *users_[user_index];
@@ -150,12 +180,14 @@ OpenLoopDriver::arrival()
     ++issued_;
     ++in_flight_;
     svc::Payload req = app_.sampleRequest(op, rng_);
-    app_.mesh().callExternal(
+    app_.mesh().callExternalS(
         teastore::names::kWebui, teastore::opName(op), req,
-        [this, op, issued_at](const svc::Payload &) {
+        [this, op, issued_at](const svc::Payload &resp,
+                              svc::Status status) {
             --in_flight_;
             measurement_.record(op, issued_at,
-                                app_.mesh().kernel().sim().now());
+                                app_.mesh().kernel().sim().now(),
+                                status, resp.degraded);
         });
     scheduleNext();
 }

@@ -21,6 +21,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "loadgen/mix.hh"
+#include "svc/resilience.hh"
 #include "teastore/app.hh"
 
 namespace microscale::loadgen
@@ -36,14 +37,37 @@ class Measurement
     Tick windowStart() const { return start_; }
     Tick windowEnd() const { return end_; }
 
-    /** Record one completed request. */
+    /** Record one successful completed request. */
     void record(teastore::OpType op, Tick issued, Tick completed);
 
-    /** Completions inside the window. */
+    /**
+     * Record one response with its outcome. Latency histograms and
+     * per-op counts cover OK responses only; failures contribute to
+     * completed() and the status counters.
+     */
+    void record(teastore::OpType op, Tick issued, Tick completed,
+                svc::Status status, bool degraded);
+
+    /** Responses inside the window (any status). */
     std::uint64_t completed() const { return completed_; }
 
-    /** Completed requests per second of window time. */
+    /** Responses per second of window time (any status). */
     double throughputRps() const;
+
+    /** OK responses per second of window time. */
+    double goodputRps() const;
+
+    /** Window responses that finished with `status`. */
+    std::uint64_t statusCount(svc::Status status) const
+    {
+        return status_counts_[static_cast<unsigned>(status)];
+    }
+
+    /** Non-OK window responses. */
+    std::uint64_t errorCount() const;
+
+    /** OK window responses served from a degraded fallback. */
+    std::uint64_t degradedCount() const { return degraded_; }
 
     /** End-to-end latency distribution over all ops, in ns. */
     const QuantileHistogram &latencyNs() const { return latency_; }
@@ -67,6 +91,8 @@ class Measurement
     QuantileHistogram latency_;
     std::array<QuantileHistogram, teastore::kNumOps> per_op_;
     std::array<std::uint64_t, teastore::kNumOps> per_op_count_{};
+    std::array<std::uint64_t, svc::kNumStatuses> status_counts_{};
+    std::uint64_t degraded_ = 0;
 };
 
 /** Closed-loop driver parameters. */
@@ -114,7 +140,7 @@ class ClosedLoopDriver
 
     void issue(std::size_t user_index);
     void onResponse(std::size_t user_index, teastore::OpType op,
-                    Tick issued_at);
+                    Tick issued_at, svc::Status status, bool degraded);
 
     teastore::App &app_;
     BrowseMix mix_;

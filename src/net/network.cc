@@ -22,9 +22,20 @@ Network::sampleLatency(std::uint32_t payload_bytes)
     const double kib = static_cast<double>(payload_bytes) / 1024.0;
     double lat = static_cast<double>(params_.baseLatencyNs) +
                  kib * static_cast<double>(params_.perKibNs);
+    // Applied before the jitter draw; at the default 1.0 this is an
+    // exact identity and the draw is unchanged.
+    lat *= latency_factor_;
     if (params_.jitterCv > 0.0)
         lat = rng_.lognormal(lat, params_.jitterCv);
     return std::max<Tick>(1, static_cast<Tick>(std::llround(lat)));
+}
+
+void
+Network::setLatencyFactor(double factor)
+{
+    if (factor <= 0.0)
+        fatal("network latency factor must be positive");
+    latency_factor_ = factor;
 }
 
 void

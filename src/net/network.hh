@@ -57,6 +57,14 @@ class Network
     /** One-way latency sample for a payload (exposed for tests). */
     Tick sampleLatency(std::uint32_t payload_bytes);
 
+    /**
+     * Fault hook: multiply all latencies by `factor` (link-latency
+     * spike). 1.0 restores nominal latency and is an exact identity.
+     */
+    void setLatencyFactor(double factor);
+
+    double latencyFactor() const { return latency_factor_; }
+
     const NetParams &params() const { return params_; }
     const NetStats &stats() const { return stats_; }
 
@@ -65,6 +73,7 @@ class Network
     NetParams params_;
     Rng rng_;
     NetStats stats_;
+    double latency_factor_ = 1.0;
 };
 
 } // namespace microscale::net

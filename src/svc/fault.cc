@@ -1,0 +1,82 @@
+#include "svc/fault.hh"
+
+#include "base/logging.hh"
+#include "svc/mesh.hh"
+
+namespace microscale::svc
+{
+
+const char *
+faultKindName(FaultEvent::Kind kind)
+{
+    switch (kind) {
+    case FaultEvent::Kind::ReplicaDown:
+        return "replica-down";
+    case FaultEvent::Kind::ReplicaUp:
+        return "replica-up";
+    case FaultEvent::Kind::Slowdown:
+        return "slowdown";
+    case FaultEvent::Kind::LatencyFactor:
+        return "latency-factor";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(Mesh &mesh, FaultScript script)
+    : mesh_(mesh), script_(std::move(script))
+{
+}
+
+void
+FaultInjector::arm()
+{
+    if (armed_)
+        MS_PANIC("fault injector armed twice");
+    armed_ = true;
+    for (const FaultEvent &e : script_.events) {
+        // Validate the target now so a bad script fails at arm() time,
+        // not mid-run.
+        if (e.kind != FaultEvent::Kind::LatencyFactor) {
+            Service &svc = mesh_.service(e.service);
+            if ((e.kind == FaultEvent::Kind::ReplicaDown ||
+                 e.kind == FaultEvent::Kind::ReplicaUp) &&
+                e.replica >= svc.replicaCount()) {
+                fatal("fault script: service '", e.service,
+                      "' has no replica ", e.replica);
+            }
+        }
+        if (e.factor <= 0.0)
+            fatal("fault script: factor must be positive");
+        // Background: a pending fault must not keep the simulation
+        // alive once the workload has drained.
+        mesh_.kernel().sim().scheduleAt(
+            e.at, [this, &e] { apply(e); }, /*background=*/true);
+    }
+}
+
+void
+FaultInjector::apply(const FaultEvent &event)
+{
+    ++applied_;
+    verbose("fault: ", faultKindName(event.kind), " ", event.service,
+            event.kind == FaultEvent::Kind::ReplicaDown ||
+                    event.kind == FaultEvent::Kind::ReplicaUp
+                ? "#" + std::to_string(event.replica)
+                : "x" + std::to_string(event.factor));
+    switch (event.kind) {
+    case FaultEvent::Kind::ReplicaDown:
+        mesh_.service(event.service).setReplicaDown(event.replica, true);
+        break;
+    case FaultEvent::Kind::ReplicaUp:
+        mesh_.service(event.service).setReplicaDown(event.replica, false);
+        break;
+    case FaultEvent::Kind::Slowdown:
+        mesh_.service(event.service).setSlowdown(event.factor);
+        break;
+    case FaultEvent::Kind::LatencyFactor:
+        mesh_.network().setLatencyFactor(event.factor);
+        break;
+    }
+}
+
+} // namespace microscale::svc

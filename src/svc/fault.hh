@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic fault injection: a script of timed fault events applied
+ * to the mesh from the simulation clock. Supported faults are replica
+ * crash/restart, service-wide compute slowdown (brownout) and
+ * link-latency inflation. Scripts are plain data so they ride inside
+ * ExperimentConfig and hash/compare trivially; the injector schedules
+ * one background sim event per script entry, so an empty script adds
+ * nothing to the event stream.
+ */
+
+#ifndef MICROSCALE_SVC_FAULT_HH
+#define MICROSCALE_SVC_FAULT_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace microscale::svc
+{
+
+class Mesh;
+
+/** One scripted fault transition. */
+struct FaultEvent
+{
+    enum class Kind
+    {
+        /** Mark `service` replica `replica` down (fails its queue). */
+        ReplicaDown,
+        /** Bring the replica back (breaker state reset). */
+        ReplicaUp,
+        /** Multiply `service` compute budgets by `factor` (1 = end). */
+        Slowdown,
+        /** Multiply network latency by `factor` (1 = end). */
+        LatencyFactor,
+    };
+
+    Kind kind = Kind::ReplicaDown;
+    /** Absolute simulation tick at which the fault applies. */
+    Tick at = 0;
+    /** Target service (unused for LatencyFactor). */
+    std::string service;
+    /** Target replica (ReplicaDown/ReplicaUp only). */
+    unsigned replica = 0;
+    /** Multiplier (Slowdown/LatencyFactor only). */
+    double factor = 1.0;
+};
+
+/** A full fault script: events applied in `at` order. */
+struct FaultScript
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+};
+
+/** Human-readable name of a fault kind (logging/tests). */
+const char *faultKindName(FaultEvent::Kind kind);
+
+/**
+ * Applies a FaultScript to a mesh. Construct after the services exist,
+ * then arm() once before the simulation runs; arming validates every
+ * target and schedules one background event per script entry.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(Mesh &mesh, FaultScript script);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Validate targets and schedule the script. Call exactly once. */
+    void arm();
+
+    const FaultScript &script() const { return script_; }
+
+    /** Number of events already applied (tests/diagnostics). */
+    unsigned applied() const { return applied_; }
+
+  private:
+    void apply(const FaultEvent &event);
+
+    Mesh &mesh_;
+    FaultScript script_;
+    bool armed_ = false;
+    unsigned applied_ = 0;
+};
+
+} // namespace microscale::svc
+
+#endif // MICROSCALE_SVC_FAULT_HH

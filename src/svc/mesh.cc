@@ -1,16 +1,38 @@
 #include "svc/mesh.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "base/logging.hh"
+#include "sim/simulation.hh"
 
 namespace microscale::svc
 {
+
+/**
+ * State of one logical RPC across its attempts. Kept alive by the
+ * shared_ptr captured in the transport/timer closures.
+ */
+struct Mesh::RpcCall
+{
+    Service *target = nullptr;
+    std::string op;
+    Payload payload;
+    /** Propagated absolute deadline (kTickNever = none). */
+    Tick deadline = kTickNever;
+    EdgePolicy policy;
+    RespondFn respond;
+    /** Timeout timer of the attempt in flight (cancelled on settle). */
+    sim::EventHandle timer;
+};
 
 Mesh::Mesh(os::Kernel &kernel, net::Network &network,
            RpcCostParams rpc_params, std::uint64_t seed)
     : kernel_(kernel),
       network_(network),
       rpc_params_(rpc_params),
-      seed_(seed)
+      seed_(seed),
+      retry_rng_(seed, "mesh.retry")
 {
     netstack_.name = "netstack";
     netstack_.ipcBase = 0.9;
@@ -49,19 +71,172 @@ Mesh::hasService(const std::string &name) const
 }
 
 void
+Mesh::setResilience(ResilienceConfig config)
+{
+    resilience_ = std::move(config);
+}
+
+void
 Mesh::callExternal(const std::string &service, const std::string &op,
                    Payload payload, ResponseFn respond)
 {
+    RespondFn wrapped;
+    if (respond) {
+        wrapped = [respond = std::move(respond)](const Payload &resp,
+                                                 Status) { respond(resp); };
+    }
+    callExternalS(service, op, std::move(payload), std::move(wrapped));
+}
+
+void
+Mesh::callExternalS(const std::string &service, const std::string &op,
+                    Payload payload, RespondFn respond)
+{
+    sendRpc(kExternalClient, service, op, std::move(payload), kTickNever,
+            std::move(respond));
+}
+
+void
+Mesh::sendRpc(const std::string &client, const std::string &service,
+              const std::string &op, Payload payload, Tick deadline,
+              RespondFn respond)
+{
     Service &target = this->service(service);
-    network_.send(payload.bytes, [this, &target, op, payload,
-                                  respond = std::move(respond)]() mutable {
-        Envelope env;
-        env.op = op;
-        env.request = payload;
-        env.respond = std::move(respond);
-        env.arrived = kernel_.sim().now();
-        target.submit(std::move(env));
+    const EdgePolicy &pol = resilience_.policyFor(client, service);
+
+    if (!pol.hasTimeout() && !pol.canRetry() && deadline == kTickNever) {
+        // No policy, no inherited deadline: the legacy transport path
+        // (identical events, no timers, no per-call allocation).
+        network_.send(payload.bytes,
+                      [this, &target, op, payload,
+                       respond = std::move(respond)]() mutable {
+                          Envelope env;
+                          env.op = op;
+                          env.request = payload;
+                          env.respond = std::move(respond);
+                          env.arrived = kernel_.sim().now();
+                          target.submit(std::move(env));
+                      });
+        return;
+    }
+
+    // Retry tokens accrue on first attempts of retry-capable edges and
+    // are spent one per retry; the cap bounds burst retries after idle.
+    if (pol.canRetry()) {
+        retry_tokens_ = std::min(
+            retry_tokens_ + resilience_.retryBudgetRatio, 50.0);
+    }
+
+    auto call = std::make_shared<RpcCall>();
+    call->target = &target;
+    call->op = op;
+    call->payload = std::move(payload);
+    call->deadline = deadline;
+    call->policy = pol;
+    call->respond = std::move(respond);
+    attempt(call, 1);
+}
+
+void
+Mesh::attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no)
+{
+    const Tick now = kernel_.sim().now();
+    // Effective deadline of this attempt: the propagated deadline
+    // capped by the per-attempt edge timeout.
+    Tick eff = call->deadline;
+    if (call->policy.hasTimeout())
+        eff = std::min(eff, now + call->policy.timeout);
+    if (eff != kTickNever && now >= eff) {
+        if (call->respond)
+            call->respond(Payload{}, Status::Timeout);
+        return;
+    }
+
+    // Both the response and the timer race to settle the attempt; the
+    // flag makes whichever fires second a no-op.
+    auto settled = std::make_shared<bool>(false);
+    if (eff != kTickNever) {
+        call->timer = kernel_.sim().scheduleAt(
+            eff, [this, call, attempt_no, settled] {
+                if (*settled)
+                    return;
+                *settled = true;
+                ++retry_stats_.clientTimeouts;
+                finishAttempt(call, attempt_no, Payload{},
+                              Status::Timeout);
+            });
+    }
+    RespondFn on_response = [this, call, attempt_no, settled,
+                             eff](const Payload &resp, Status status) {
+        if (*settled)
+            return;
+        *settled = true;
+        if (eff != kTickNever)
+            call->timer.cancel();
+        finishAttempt(call, attempt_no, resp, status);
+    };
+
+    network_.send(call->payload.bytes,
+                  [this, call, eff,
+                   on_response = std::move(on_response)]() mutable {
+                      Envelope env;
+                      env.op = call->op;
+                      env.request = call->payload;
+                      env.respond = std::move(on_response);
+                      env.arrived = kernel_.sim().now();
+                      env.deadline = eff;
+                      call->target->submit(std::move(env));
+                  });
+}
+
+void
+Mesh::finishAttempt(std::shared_ptr<RpcCall> call, unsigned attempt_no,
+                    const Payload &response, Status status)
+{
+    if (status == Status::Ok) {
+        if (call->respond)
+            call->respond(response, status);
+        return;
+    }
+    const Tick now = kernel_.sim().now();
+    const bool deadline_open =
+        call->deadline == kTickNever || now < call->deadline;
+    if (attempt_no >= call->policy.maxAttempts || !deadline_open) {
+        if (call->respond)
+            call->respond(response, status);
+        return;
+    }
+    if (!takeRetryToken()) {
+        ++retry_stats_.budgetDenied;
+        if (call->respond)
+            call->respond(response, status);
+        return;
+    }
+    ++retry_stats_.retries;
+    double backoff =
+        static_cast<double>(call->policy.backoffBase) *
+        std::pow(call->policy.backoffMult,
+                 static_cast<double>(attempt_no - 1));
+    if (call->policy.jitterFrac > 0.0) {
+        // Deterministic jitter from a dedicated stream: healthy runs
+        // never draw from it, so adding it cannot perturb them.
+        const double f = call->policy.jitterFrac;
+        backoff *= (1.0 - f) + 2.0 * f * retry_rng_.uniform01();
+    }
+    const Tick delay =
+        std::max<Tick>(1, static_cast<Tick>(std::llround(backoff)));
+    kernel_.sim().scheduleAfter(delay, [this, call, attempt_no] {
+        attempt(call, attempt_no + 1);
     });
+}
+
+bool
+Mesh::takeRetryToken()
+{
+    if (retry_tokens_ < 1.0)
+        return false;
+    retry_tokens_ -= 1.0;
+    return true;
 }
 
 double

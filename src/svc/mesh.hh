@@ -7,6 +7,12 @@
  * crosses the loopback Network. The CPU cost of the protocol stack is
  * charged to the calling/serving worker threads via a dedicated
  * "netstack" work profile.
+ *
+ * The mesh also owns the resilience layer: per-edge timeout/retry
+ * policies (sendRpc), the retry budget, and the ResilienceConfig that
+ * services consult for queue bounds, breaker parameters and balancing
+ * mode. With the default (inactive) config every call takes the legacy
+ * fast path — identical event stream, identical RNG draws.
  */
 
 #ifndef MICROSCALE_SVC_MESH_HH
@@ -18,10 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "base/random.hh"
 #include "cpu/work.hh"
 #include "net/network.hh"
 #include "os/kernel.hh"
 #include "svc/payload.hh"
+#include "svc/resilience.hh"
 #include "svc/service.hh"
 
 namespace microscale::svc
@@ -67,13 +75,37 @@ class Mesh
         return services_;
     }
 
+    /** Install the resilience configuration (before traffic starts). */
+    void setResilience(ResilienceConfig config);
+
+    const ResilienceConfig &resilience() const { return resilience_; }
+
+    const RetryStats &retryStats() const { return retry_stats_; }
+
     /**
      * Client entry point: sends `payload` to `service`/`op` over the
      * transport; `respond` fires at the client when the response
      * arrives. No CPU is charged to any worker for the client side.
+     * Failures are swallowed (legacy interface); use callExternalS to
+     * observe the Status.
      */
     void callExternal(const std::string &service, const std::string &op,
                       Payload payload, ResponseFn respond);
+
+    /** Status-aware client entry point. */
+    void callExternalS(const std::string &service, const std::string &op,
+                       Payload payload, RespondFn respond);
+
+    /**
+     * Issue one RPC on the `client`→`service` edge, applying that
+     * edge's timeout/retry policy and the propagated `deadline`
+     * (kTickNever = none). `respond` fires exactly once with the final
+     * outcome. When the edge has no policy and no deadline this is
+     * exactly the legacy transport path.
+     */
+    void sendRpc(const std::string &client, const std::string &service,
+                 const std::string &op, Payload payload, Tick deadline,
+                 RespondFn respond);
 
     /** The profile used for (de)serialization work. */
     const cpu::WorkProfile &netstackProfile() const { return netstack_; }
@@ -82,6 +114,18 @@ class Mesh
     double rpcInstructions(std::uint32_t bytes) const;
 
   private:
+    struct RpcCall;
+
+    /** Transport + submit for one attempt of a call. */
+    void attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no);
+
+    /** Attempt finished; retry or deliver the final outcome. */
+    void finishAttempt(std::shared_ptr<RpcCall> call, unsigned attempt_no,
+                       const Payload &response, Status status);
+
+    /** Spend one retry token if the budget allows. */
+    bool takeRetryToken();
+
     os::Kernel &kernel_;
     net::Network &network_;
     RpcCostParams rpc_params_;
@@ -89,6 +133,12 @@ class Mesh
     cpu::WorkProfile netstack_;
     std::vector<std::unique_ptr<Service>> services_;
     std::map<std::string, Service *> by_name_;
+    ResilienceConfig resilience_;
+    /** Jitter for retry backoff; only drawn from when a retry fires. */
+    Rng retry_rng_;
+    /** Token-bucket retry budget (tokens accrue per first attempt). */
+    double retry_tokens_ = 0.0;
+    RetryStats retry_stats_;
 };
 
 } // namespace microscale::svc

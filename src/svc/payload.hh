@@ -11,6 +11,7 @@
 #include <string>
 
 #include "base/types.hh"
+#include "svc/resilience.hh"
 
 namespace microscale::svc
 {
@@ -26,10 +27,18 @@ struct Payload
     std::uint64_t arg0 = 0;
     std::uint64_t arg1 = 0;
     std::uint64_t arg2 = 0;
+    /**
+     * Set on responses assembled from a degraded fallback (e.g. a page
+     * rendered without recommendations after a downstream failure).
+     */
+    bool degraded = false;
 };
 
 /** Callback type through which a response payload is returned. */
 using ResponseFn = std::function<void(const Payload &)>;
+
+/** Status-aware response callback (resilience-enabled paths). */
+using RespondFn = std::function<void(const Payload &, Status)>;
 
 /**
  * A request as queued inside a service replica.
@@ -38,9 +47,13 @@ struct Envelope
 {
     std::string op;
     Payload request;
-    ResponseFn respond;
+    RespondFn respond;
     /** Arrival tick at the replica (queue-wait accounting). */
     Tick arrived = 0;
+    /** Absolute deadline propagated from the caller; kTickNever = none. */
+    Tick deadline = kTickNever;
+    /** This request is a circuit-breaker half-open probe. */
+    bool probe = false;
 };
 
 } // namespace microscale::svc

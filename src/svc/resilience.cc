@@ -1,0 +1,38 @@
+#include "svc/resilience.hh"
+
+namespace microscale::svc
+{
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+    case Status::Ok:
+        return "ok";
+    case Status::Timeout:
+        return "timeout";
+    case Status::Overload:
+        return "overload";
+    case Status::Unavailable:
+        return "unavailable";
+    }
+    return "?";
+}
+
+const EdgePolicy &
+ResilienceConfig::policyFor(const std::string &client,
+                            const std::string &server) const
+{
+    static const EdgePolicy none;
+    for (const EdgeRule &rule : edges) {
+        const bool client_ok =
+            rule.client == "*" || rule.client == client;
+        const bool server_ok =
+            rule.server == "*" || rule.server == server;
+        if (client_ok && server_ok)
+            return rule.policy;
+    }
+    return none;
+}
+
+} // namespace microscale::svc

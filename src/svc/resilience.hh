@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Resilience policy types: RPC status codes, per-edge timeout/retry
+ * policies, circuit-breaker parameters and the mesh-wide configuration
+ * that bundles them.
+ *
+ * Everything here defaults to "off": a default-constructed
+ * ResilienceConfig leaves the mesh behavior-identical to a build
+ * without the resilience layer (no deadlines, single attempts,
+ * unbounded queues, round-robin balancing).
+ */
+
+#ifndef MICROSCALE_SVC_RESILIENCE_HH
+#define MICROSCALE_SVC_RESILIENCE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace microscale::svc
+{
+
+/** Outcome of an RPC as seen by the caller. */
+enum class Status : unsigned
+{
+    Ok = 0,
+    /** Deadline expired before a response arrived. */
+    Timeout,
+    /** Shed by a bounded replica queue. */
+    Overload,
+    /** No live replica (crashed, breaker-open, or handler failure). */
+    Unavailable,
+};
+
+/** Number of distinct Status values (for counter arrays). */
+constexpr unsigned kNumStatuses = 4;
+
+/** Index of a status in a kNumStatuses-sized counter array. */
+constexpr unsigned
+statusIndex(Status status)
+{
+    return static_cast<unsigned>(status);
+}
+
+/** Short lowercase name of a status ("ok", "timeout", ...). */
+const char *statusName(Status status);
+
+/**
+ * Timeout/retry policy for one client→service edge. The defaults mean
+ * "no policy": no deadline is attached and the call is attempted once.
+ */
+struct EdgePolicy
+{
+    /** Per-attempt timeout; 0 means no client-side deadline. */
+    Tick timeout = 0;
+    /** Total attempts including the first; 1 means never retry. */
+    unsigned maxAttempts = 1;
+    /** Backoff before retry n is backoffBase * backoffMult^(n-1). */
+    Tick backoffBase = 1 * kMillisecond;
+    double backoffMult = 2.0;
+    /**
+     * Uniform jitter applied to the backoff, as a fraction (0.2 means
+     * ±20 %), drawn from the mesh's dedicated retry RNG stream.
+     */
+    double jitterFrac = 0.2;
+
+    bool hasTimeout() const { return timeout != 0; }
+    bool canRetry() const { return maxAttempts > 1; }
+};
+
+/**
+ * One policy rule. `client`/`server` name the edge; "*" matches any.
+ * The external client (loadgen) is named by kExternalClient.
+ */
+struct EdgeRule
+{
+    std::string client;
+    std::string server;
+    EdgePolicy policy;
+};
+
+/** Client name used for calls that enter the mesh from outside. */
+inline const char *const kExternalClient = "external";
+
+/** Per-replica circuit breaker parameters. */
+struct BreakerParams
+{
+    bool enabled = false;
+    /** Trip after this many consecutive failures. */
+    unsigned consecutiveFailures = 8;
+    /** ... or when the rolling-window error rate crosses this. */
+    double errorRateThreshold = 0.5;
+    /** Rolling window length (outcomes) and minimum fill to judge. */
+    unsigned windowSize = 32;
+    unsigned windowMin = 16;
+    /** How long an open breaker rejects before probing (half-open). */
+    Tick openFor = 100 * kMillisecond;
+};
+
+/**
+ * Mesh-wide resilience configuration. Default-constructed = disabled.
+ */
+struct ResilienceConfig
+{
+    /** Edge policies; first match wins, "*" wildcards allowed. */
+    std::vector<EdgeRule> edges;
+    BreakerParams breaker;
+    /**
+     * Bound on each replica's queue (requests beyond it are shed with
+     * OVERLOAD when no worker is idle); 0 = unbounded.
+     */
+    std::size_t maxQueueDepth = 0;
+    /**
+     * Retry tokens accrued per first attempt; a retry spends one whole
+     * token. 0.2 caps retries at ~20 % of traffic (retry budget).
+     */
+    double retryBudgetRatio = 0.2;
+    /** Skip down/open replicas when picking one (vs blind RR). */
+    bool healthAwareBalancing = false;
+
+    /** True when any mechanism above deviates from the defaults. */
+    bool active() const
+    {
+        return !edges.empty() || breaker.enabled || maxQueueDepth > 0 ||
+               healthAwareBalancing;
+    }
+
+    /**
+     * Policy for a client→server edge: first rule whose client and
+     * server fields match (exactly or via "*"), else the no-op policy.
+     */
+    const EdgePolicy &policyFor(const std::string &client,
+                                const std::string &server) const;
+};
+
+/** Mesh-level retry accounting. */
+struct RetryStats
+{
+    std::uint64_t retries = 0;
+    /** Retries suppressed because the budget was exhausted. */
+    std::uint64_t budgetDenied = 0;
+    /** Client-side deadline expirations observed. */
+    std::uint64_t clientTimeouts = 0;
+};
+
+/** Service-level resilience accounting (whole run, never reset). */
+struct ResilienceCounters
+{
+    /** Requests shed by a full bounded queue. */
+    std::uint64_t shed = 0;
+    /** Requests dropped at dequeue because their deadline passed. */
+    std::uint64_t deadlineDrops = 0;
+    /** Requests rejected because the picked replica was down. */
+    std::uint64_t downRejects = 0;
+    /** Requests rejected because no replica was admissible. */
+    std::uint64_t noReplica = 0;
+    /** Closed/half-open → open transitions. */
+    std::uint64_t breakerOpens = 0;
+};
+
+} // namespace microscale::svc
+
+#endif // MICROSCALE_SVC_RESILIENCE_HH

@@ -39,9 +39,11 @@ HandlerCtx::computeProfile(const cpu::WorkProfile &profile,
 {
     if (finished_)
         MS_PANIC("compute after done() in ", service_.name());
-    double actual = instructions;
-    if (service_.params_.computeCv > 0.0 && instructions > 0.0)
-        actual = rng().lognormal(instructions, service_.params_.computeCv);
+    // Brownout faults scale the budget; at the default 1.0 the multiply
+    // is an exact identity and the draw below is unchanged.
+    double actual = instructions * service_.slowdown_;
+    if (service_.params_.computeCv > 0.0 && actual > 0.0)
+        actual = rng().lognormal(actual, service_.params_.computeCv);
     if (actual <= 0.0) {
         // Degenerate budget: continue without occupying a CPU.
         service_.mesh_.kernel().sim().scheduleAfter(1, std::move(next));
@@ -55,40 +57,53 @@ HandlerCtx::call(const std::string &service, const std::string &op,
                  Payload request_payload,
                  std::function<void(const Payload &)> next)
 {
+    call(service, op, std::move(request_payload),
+         [this, next = std::move(next)](const Payload &resp,
+                                        Status status) {
+             if (status != Status::Ok) {
+                 fail(status);
+                 return;
+             }
+             next(resp);
+         });
+}
+
+void
+HandlerCtx::call(const std::string &service, const std::string &op,
+                 Payload request_payload,
+                 std::function<void(const Payload &, Status)> next)
+{
     if (finished_)
         MS_PANIC("call after done() in ", service_.name());
     Mesh &mesh = service_.mesh_;
-    Service &target = mesh.service(service);
     Worker &worker = worker_;
 
     // Serialize on this worker, ship the request, and when the response
-    // arrives deserialize on this worker before continuing.
+    // arrives deserialize on this worker before continuing. A failure
+    // outcome skips the deserialization charge (no body arrived).
     const double ser = mesh.rpcInstructions(request_payload.bytes);
-    auto after_response = [&mesh, &worker,
-                           next = std::move(next)](const Payload &resp) {
+    RespondFn after = [&mesh, &worker, next = std::move(next)](
+                          const Payload &resp, Status status) {
+        if (status != Status::Ok) {
+            next(resp, status);
+            return;
+        }
         const double deser = mesh.rpcInstructions(resp.bytes);
         // Copy the payload so the continuation owns it.
         Payload resp_copy = resp;
         worker.thread->run(
             mesh.netstackProfile(), deser,
-            [next, resp_copy] { next(resp_copy); });
+            [next, resp_copy] { next(resp_copy, Status::Ok); });
     };
+    const std::string client = service_.name();
+    const Tick deadline = envelope_.deadline;
     worker_.thread->run(
         mesh.netstackProfile(), ser,
-        [&mesh, &target, op, request_payload,
-         after_response = std::move(after_response)]() mutable {
-            net::Network &net = mesh.network();
-            net.send(request_payload.bytes,
-                     [&target, op, request_payload,
-                      after_response = std::move(after_response),
-                      &mesh]() mutable {
-                         Envelope env;
-                         env.op = op;
-                         env.request = request_payload;
-                         env.respond = std::move(after_response);
-                         env.arrived = mesh.kernel().sim().now();
-                         target.submit(std::move(env));
-                     });
+        [&mesh, client, service, op,
+         request_payload = std::move(request_payload), deadline,
+         after = std::move(after)]() mutable {
+            mesh.sendRpc(client, service, op, std::move(request_payload),
+                         deadline, std::move(after));
         });
 }
 
@@ -96,25 +111,49 @@ void
 HandlerCtx::callAll(std::vector<CallSpec> calls,
                     std::function<void(const std::vector<Payload> &)> next)
 {
+    callAll(std::move(calls),
+            [this, next = std::move(next)](
+                const std::vector<Payload> &responses,
+                const std::vector<Status> &statuses) {
+                for (Status status : statuses) {
+                    if (status != Status::Ok) {
+                        fail(status);
+                        return;
+                    }
+                }
+                next(responses);
+            });
+}
+
+void
+HandlerCtx::callAll(std::vector<CallSpec> calls,
+                    std::function<void(const std::vector<Payload> &,
+                                       const std::vector<Status> &)>
+                        next)
+{
     if (finished_)
         MS_PANIC("callAll after done() in ", service_.name());
     Mesh &mesh = service_.mesh_;
     if (calls.empty()) {
         mesh.kernel().sim().scheduleAfter(
-            1, [next = std::move(next)] { next({}); });
+            1, [next = std::move(next)] { next({}, {}); });
         return;
     }
 
     struct FanOut
     {
         std::vector<Payload> responses;
+        std::vector<Status> statuses;
         std::size_t pending = 0;
-        std::function<void(const std::vector<Payload> &)> next;
+        std::function<void(const std::vector<Payload> &,
+                           const std::vector<Status> &)>
+            next;
         Worker *worker = nullptr;
         Mesh *mesh = nullptr;
     };
     auto state = std::make_shared<FanOut>();
     state->responses.resize(calls.size());
+    state->statuses.assign(calls.size(), Status::Ok);
     state->pending = calls.size();
     state->next = std::move(next);
     state->worker = &worker_;
@@ -124,39 +163,57 @@ HandlerCtx::callAll(std::vector<CallSpec> calls,
     for (const CallSpec &c : calls)
         ser += mesh.rpcInstructions(c.request.bytes);
 
+    const std::string client = service_.name();
+    const Tick deadline = envelope_.deadline;
     worker_.thread->run(
         mesh.netstackProfile(), ser,
-        [calls = std::move(calls), state, &mesh] {
+        [calls = std::move(calls), state, client, deadline] {
             for (std::size_t i = 0; i < calls.size(); ++i) {
                 const CallSpec &spec = calls[i];
-                Service &target = mesh.service(spec.service);
-                auto on_response = [state, i](const Payload &resp) {
+                RespondFn on_response = [state, i](const Payload &resp,
+                                                   Status status) {
                     state->responses[i] = resp;
+                    state->statuses[i] = status;
                     if (--state->pending > 0)
                         return;
-                    // All responses in: one deserialization batch on
-                    // the (blocked) worker, then the continuation.
+                    // All legs in: one deserialization batch on the
+                    // (blocked) worker, then the continuation. Failed
+                    // legs delivered no body, so they charge nothing.
                     double deser = 0.0;
-                    for (const Payload &r : state->responses)
-                        deser += state->mesh->rpcInstructions(r.bytes);
-                    state->worker->thread->run(
-                        state->mesh->netstackProfile(), deser, [state] {
-                            state->next(state->responses);
-                        });
+                    for (std::size_t j = 0; j < state->responses.size();
+                         ++j) {
+                        if (state->statuses[j] == Status::Ok)
+                            deser += state->mesh->rpcInstructions(
+                                state->responses[j].bytes);
+                    }
+                    auto fire = [state] {
+                        state->next(state->responses, state->statuses);
+                    };
+                    if (deser > 0.0) {
+                        state->worker->thread->run(
+                            state->mesh->netstackProfile(), deser,
+                            std::move(fire));
+                    } else {
+                        state->mesh->kernel().sim().scheduleAfter(
+                            1, std::move(fire));
+                    }
                 };
-                mesh.network().send(
-                    spec.request.bytes,
-                    [&mesh, &target, spec,
-                     on_response = std::move(on_response)]() mutable {
-                        Envelope env;
-                        env.op = spec.op;
-                        env.request = spec.request;
-                        env.respond = std::move(on_response);
-                        env.arrived = mesh.kernel().sim().now();
-                        target.submit(std::move(env));
-                    });
+                state->mesh->sendRpc(client, spec.service, spec.op,
+                                     spec.request, deadline,
+                                     std::move(on_response));
             }
         });
+}
+
+void
+HandlerCtx::fail(Status status)
+{
+    if (status == Status::Ok)
+        MS_PANIC("fail(Ok) in ", service_.name());
+    status_ = status;
+    response_ = Payload{};
+    response_.bytes = 64; // minimal error body
+    done();
 }
 
 void
@@ -172,8 +229,10 @@ HandlerCtx::done()
         // Copy everything we need out of the context before it dies.
         Service &svc = service_;
         Worker &worker = worker_;
-        ResponseFn respond = std::move(envelope_.respond);
+        RespondFn respond = std::move(envelope_.respond);
         const Payload resp = response_;
+        const Status status = status_;
+        const bool probe = envelope_.probe;
         const Tick arrived = envelope_.arrived;
         const std::string op = envelope_.op;
 
@@ -189,10 +248,13 @@ HandlerCtx::done()
         stats.computeNs.add(compute);
         stats.stallNs.add(
             std::max(0.0, service_time - queue_wait - compute));
+        stats.statusCounts[statusIndex(status)]++;
+        svc.breakerRecord(worker.replica, status == Status::Ok, probe);
 
         if (respond) {
-            mesh.network().send(resp.bytes, [respond = std::move(respond),
-                                             resp] { respond(resp); });
+            mesh.network().send(
+                resp.bytes, [respond = std::move(respond), resp,
+                             status] { respond(resp, status); });
         }
         // This destroys the HandlerCtx (and this lambda's captures were
         // already copied to locals); do not touch members afterwards.
@@ -246,18 +308,184 @@ Service::submit(Envelope envelope)
 {
     if (envelope.arrived == 0)
         envelope.arrived = mesh_.kernel().sim().now();
-    const unsigned r = rr_next_++ % params_.replicas;
+    bool probe = false;
+    const int picked = pickReplica(probe);
+    if (picked < 0) {
+        ++resilience_counters_.noReplica;
+        op_stats_[envelope.op]
+            .statusCounts[statusIndex(Status::Unavailable)]++;
+        rejectEnvelope(envelope, Status::Unavailable);
+        return;
+    }
+    const unsigned r = static_cast<unsigned>(picked);
     Replica &rep = replicas_[r];
+    if (rep.down) {
+        // Blind round-robin routed onto a crashed replica: connection
+        // refused, no worker consumed.
+        ++resilience_counters_.downRejects;
+        op_stats_[envelope.op]
+            .statusCounts[statusIndex(Status::Unavailable)]++;
+        rejectEnvelope(envelope, Status::Unavailable);
+        return;
+    }
+    const std::size_t cap = mesh_.resilience().maxQueueDepth;
+    if (cap > 0 && rep.queue.size() >= cap && !hasIdleWorker(rep)) {
+        // Bounded queue: shed at the door. The request never occupies
+        // a worker and costs the replica nothing but this bookkeeping.
+        ++resilience_counters_.shed;
+        op_stats_[envelope.op]
+            .statusCounts[statusIndex(Status::Overload)]++;
+        breakerRecord(r, false, probe);
+        rejectEnvelope(envelope, Status::Overload);
+        return;
+    }
+    envelope.probe = probe;
     rep.queue.push_back(std::move(envelope));
     rep.maxQueueDepth = std::max(rep.maxQueueDepth, rep.queue.size());
     pump(r);
+}
+
+int
+Service::pickReplica(bool &probe)
+{
+    probe = false;
+    const ResilienceConfig &rc = mesh_.resilience();
+    if (!rc.healthAwareBalancing)
+        return static_cast<int>(rr_next_++ % params_.replicas);
+    const Tick now = mesh_.kernel().sim().now();
+    for (unsigned i = 0; i < params_.replicas; ++i) {
+        const unsigned r = (rr_next_ + i) % params_.replicas;
+        Replica &rep = replicas_[r];
+        if (rep.down)
+            continue;
+        if (rc.breaker.enabled && !breakerAdmits(rep.breaker, now, probe))
+            continue;
+        rr_next_ = r + 1;
+        return static_cast<int>(r);
+    }
+    return -1;
+}
+
+bool
+Service::breakerAdmits(BreakerState &breaker, Tick now, bool &probe)
+{
+    switch (breaker.state) {
+    case BreakerState::State::Closed:
+        return true;
+    case BreakerState::State::Open:
+        if (now >= breaker.openedAt + mesh_.resilience().breaker.openFor) {
+            breaker.state = BreakerState::State::HalfOpen;
+            breaker.probeInFlight = true;
+            probe = true;
+            return true;
+        }
+        return false;
+    case BreakerState::State::HalfOpen:
+        if (!breaker.probeInFlight) {
+            breaker.probeInFlight = true;
+            probe = true;
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+void
+Service::breakerRecord(unsigned replica, bool ok, bool probe)
+{
+    const BreakerParams &bp = mesh_.resilience().breaker;
+    if (!bp.enabled)
+        return;
+    BreakerState &b = replicas_[replica].breaker;
+    const Tick now = mesh_.kernel().sim().now();
+    switch (b.state) {
+    case BreakerState::State::Open:
+        // Outcome of a request dispatched before the breaker opened;
+        // it carries no information about recovery.
+        return;
+    case BreakerState::State::HalfOpen:
+        if (!probe)
+            return; // stale pre-open outcome; only the probe decides
+        b.probeInFlight = false;
+        if (ok) {
+            b = BreakerState{}; // close with a fresh window
+        } else {
+            b.state = BreakerState::State::Open;
+            b.openedAt = now;
+            ++resilience_counters_.breakerOpens;
+        }
+        return;
+    case BreakerState::State::Closed:
+        break;
+    }
+    if (ok)
+        b.consecutiveFailures = 0;
+    else
+        ++b.consecutiveFailures;
+    b.window.push_back(!ok);
+    if (!ok)
+        ++b.windowFailures;
+    if (b.window.size() > bp.windowSize) {
+        if (b.window.front())
+            --b.windowFailures;
+        b.window.pop_front();
+    }
+    const bool tripped =
+        b.consecutiveFailures >= bp.consecutiveFailures ||
+        (b.window.size() >= bp.windowMin &&
+         static_cast<double>(b.windowFailures) /
+                 static_cast<double>(b.window.size()) >=
+             bp.errorRateThreshold);
+    if (tripped) {
+        b = BreakerState{};
+        b.state = BreakerState::State::Open;
+        b.openedAt = now;
+        ++resilience_counters_.breakerOpens;
+    }
+}
+
+void
+Service::rejectEnvelope(Envelope &envelope, Status status)
+{
+    if (!envelope.respond)
+        return;
+    // Fail-fast: rejections are synchronous (no response network hop),
+    // modeling a refused connection rather than a served error.
+    Payload resp;
+    resp.bytes = 64;
+    RespondFn respond = std::move(envelope.respond);
+    respond(resp, status);
+}
+
+bool
+Service::hasIdleWorker(const Replica &replica) const
+{
+    for (std::size_t idx : replica.workerIndexes) {
+        if (!workers_[idx].current)
+            return true;
+    }
+    return false;
 }
 
 void
 Service::pump(unsigned replica)
 {
     Replica &rep = replicas_[replica];
+    const Tick now = mesh_.kernel().sim().now();
     while (!rep.queue.empty()) {
+        Envelope &front = rep.queue.front();
+        if (front.deadline != kTickNever && now >= front.deadline) {
+            // The caller has already given up on this request; don't
+            // waste a worker on it.
+            ++resilience_counters_.deadlineDrops;
+            op_stats_[front.op]
+                .statusCounts[statusIndex(Status::Timeout)]++;
+            breakerRecord(replica, false, front.probe);
+            rejectEnvelope(front, Status::Timeout);
+            rep.queue.pop_front();
+            continue;
+        }
         Worker *idle = nullptr;
         for (std::size_t idx : rep.workerIndexes) {
             if (!workers_[idx].current) {
@@ -316,6 +544,55 @@ Service::setReplicaPlacement(unsigned replica, const CpuMask &affinity,
         w.thread->ec().setHomeNode(home_node);
         w.thread->setAffinity(affinity);
     }
+}
+
+void
+Service::setReplicaDown(unsigned replica, bool down)
+{
+    if (replica >= params_.replicas)
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    Replica &rep = replicas_[replica];
+    if (rep.down == down)
+        return;
+    rep.down = down;
+    rep.breaker = BreakerState{};
+    if (!down)
+        return;
+    // Crash: everything queued dies with the replica. Handlers already
+    // on workers run to completion (no mid-handler abort is modeled).
+    std::deque<Envelope> doomed;
+    doomed.swap(rep.queue);
+    for (Envelope &e : doomed) {
+        op_stats_[e.op].statusCounts[statusIndex(Status::Unavailable)]++;
+        rejectEnvelope(e, Status::Unavailable);
+    }
+}
+
+bool
+Service::replicaDown(unsigned replica) const
+{
+    if (replica >= params_.replicas)
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    return replicas_[replica].down;
+}
+
+void
+Service::setSlowdown(double factor)
+{
+    if (factor <= 0.0)
+        fatal("service '", params_.name, "': slowdown must be positive");
+    slowdown_ = factor;
+}
+
+const BreakerState &
+Service::breakerState(unsigned replica) const
+{
+    if (replica >= params_.replicas)
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    return replicas_[replica].breaker;
 }
 
 cpu::PerfCounters

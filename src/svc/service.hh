@@ -8,11 +8,18 @@
  * pool of worker threads; a worker processes one request at a time and
  * blocks (holding no CPU) while waiting on downstream calls. Requests
  * beyond the worker count wait in the replica's queue.
+ *
+ * The resilience layer adds (all off by default, see
+ * svc/resilience.hh): bounded queues with OVERLOAD shedding, deadline
+ * drops at dequeue, per-replica circuit breakers with half-open
+ * probes, health-aware replica selection, scripted crash/restart
+ * (setReplicaDown) and compute brownouts (setSlowdown).
  */
 
 #ifndef MICROSCALE_SVC_SERVICE_HH
 #define MICROSCALE_SVC_SERVICE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -29,6 +36,7 @@
 #include "cpu/work.hh"
 #include "os/thread.hh"
 #include "svc/payload.hh"
+#include "svc/resilience.hh"
 
 namespace microscale::svc
 {
@@ -52,7 +60,8 @@ struct ServiceParams
 /**
  * Per-invocation context handed to operation handlers. All async
  * primitives run their continuation from event context; a handler
- * chain must terminate with done().
+ * chain must terminate with done() (fail() is done() with a non-OK
+ * status).
  */
 class HandlerCtx
 {
@@ -72,6 +81,9 @@ class HandlerCtx
     /** The service executing this handler. */
     Service &service() { return service_; }
 
+    /** Absolute deadline propagated with this request (kTickNever = none). */
+    Tick deadline() const { return envelope_.deadline; }
+
     /**
      * Execute `instructions` of the service's default profile on the
      * worker thread, then continue.
@@ -85,11 +97,19 @@ class HandlerCtx
     /**
      * Issue a downstream RPC; `next` receives the response payload.
      * Serialization work is charged to this worker before the message
-     * leaves and after the response arrives.
+     * leaves and after the response arrives. The caller's deadline and
+     * the mesh's edge policy apply. On a non-OK outcome the handler
+     * fails with that status (the continuation never runs); use the
+     * status-aware overload to handle failures (e.g. degrade).
      */
     void call(const std::string &service, const std::string &op,
               Payload request_payload,
               std::function<void(const Payload &)> next);
+
+    /** Status-aware variant: `next` always runs, with the outcome. */
+    void call(const std::string &service, const std::string &op,
+              Payload request_payload,
+              std::function<void(const Payload &, Status)> next);
 
     /** One leg of a parallel fan-out. */
     struct CallSpec
@@ -103,13 +123,26 @@ class HandlerCtx
      * Issue several downstream RPCs concurrently; `next` receives the
      * responses in the order the calls were given, once all have
      * arrived. Serialization of all requests is charged up front,
-     * deserialization of all responses before `next`.
+     * deserialization of all responses before `next`. Any non-OK leg
+     * fails the handler with the first failing status.
      */
     void callAll(std::vector<CallSpec> calls,
                  std::function<void(const std::vector<Payload> &)> next);
 
+    /** Status-aware variant: `next` always runs, with per-leg status. */
+    void callAll(std::vector<CallSpec> calls,
+                 std::function<void(const std::vector<Payload> &,
+                                    const std::vector<Status> &)>
+                     next);
+
     /** Finish: serialize and send the response, release the worker. */
     void done();
+
+    /**
+     * Finish with a non-OK status: the caller's continuation sees
+     * `status` and a minimal response payload.
+     */
+    void fail(Status status);
 
   private:
     friend class Service;
@@ -120,6 +153,7 @@ class HandlerCtx
     Worker &worker_;
     Envelope envelope_;
     Payload response_;
+    Status status_ = Status::Ok;
     bool finished_ = false;
     /** When the handler was dispatched to the worker. */
     Tick dispatched_ = 0;
@@ -135,12 +169,35 @@ struct Worker
     std::unique_ptr<HandlerCtx> current;
 };
 
+/** Circuit-breaker state of one replica. */
+struct BreakerState
+{
+    enum class State
+    {
+        Closed,
+        Open,
+        HalfOpen,
+    };
+
+    State state = State::Closed;
+    unsigned consecutiveFailures = 0;
+    /** Rolling outcome window (true = failure). */
+    std::deque<bool> window;
+    unsigned windowFailures = 0;
+    Tick openedAt = 0;
+    /** A half-open probe has been admitted and has not resolved. */
+    bool probeInFlight = false;
+};
+
 /** A replica: a queue plus its workers. */
 struct Replica
 {
     std::deque<Envelope> queue;
     std::vector<std::size_t> workerIndexes;
     std::size_t maxQueueDepth = 0;
+    /** Crashed (scripted fault); rejects all traffic. */
+    bool down = false;
+    BreakerState breaker;
 };
 
 /** Operation-level statistics. */
@@ -161,6 +218,8 @@ struct OpStats
      * preempted off-CPU (serviceTime - queueWait - compute), in ns.
      */
     QuantileHistogram stallNs;
+    /** Outcomes by Status (includes shed/dropped/rejected requests). */
+    std::array<std::uint64_t, kNumStatuses> statusCounts{};
 };
 
 /**
@@ -189,8 +248,10 @@ class Service
                std::function<void(HandlerCtx &)> handler);
 
     /**
-     * Enqueue a request (round-robin over replicas). Called by the
-     * Mesh after transport delivery.
+     * Enqueue a request (round-robin over replicas; health-aware when
+     * the mesh's resilience config enables it). Called by the Mesh
+     * after transport delivery. May reject immediately with OVERLOAD
+     * (bounded queue) or UNAVAILABLE (replica down / breaker open).
      */
     void submit(Envelope envelope);
 
@@ -200,6 +261,25 @@ class Service
      */
     void setReplicaPlacement(unsigned replica, const CpuMask &affinity,
                              NodeId home_node);
+
+    /**
+     * Crash or restart a replica. Crashing fails every queued request
+     * with UNAVAILABLE; handlers already on workers run to completion
+     * (the sim has no mid-handler abort). Restarting resets the
+     * replica's breaker.
+     */
+    void setReplicaDown(unsigned replica, bool down);
+
+    /** True when the replica is scripted down. */
+    bool replicaDown(unsigned replica) const;
+
+    /**
+     * Brownout: multiply every compute() budget by `factor` (applied
+     * before the lognormal draw). 1.0 restores nominal speed.
+     */
+    void setSlowdown(double factor);
+
+    double slowdown() const { return slowdown_; }
 
     /** Sum of all worker thread counters. */
     cpu::PerfCounters aggregateCounters() const;
@@ -215,6 +295,15 @@ class Service
 
     /** Total requests processed. */
     std::uint64_t requestsProcessed() const { return requests_; }
+
+    /** Resilience accounting (whole run; not reset by resetStats). */
+    const ResilienceCounters &resilienceCounters() const
+    {
+        return resilience_counters_;
+    }
+
+    /** Breaker state of one replica (tests/diagnostics). */
+    const BreakerState &breakerState(unsigned replica) const;
 
     /** Worker threads (for perf attribution and tests). */
     const std::vector<Worker> &workers() const { return workers_; }
@@ -240,6 +329,30 @@ class Service
     /** Begin handler execution on a worker. */
     void dispatch(Worker &worker, Envelope envelope);
 
+    /**
+     * Choose a replica for a new request. Plain round-robin unless
+     * health-aware balancing is on, in which case down and
+     * breaker-open replicas are skipped (half-open replicas admit one
+     * probe). Returns -1 when no replica is admissible; `probe` is set
+     * when the chosen replica admitted this as its half-open probe.
+     */
+    int pickReplica(bool &probe);
+
+    /**
+     * True when the breaker admits traffic to the replica now; sets
+     * `probe` when the admission is the half-open probe.
+     */
+    bool breakerAdmits(BreakerState &breaker, Tick now, bool &probe);
+
+    /** Record a request outcome against the replica's breaker. */
+    void breakerRecord(unsigned replica, bool ok, bool probe);
+
+    /** Respond to an envelope with a failure status (no worker). */
+    void rejectEnvelope(Envelope &envelope, Status status);
+
+    /** True when the replica has an idle worker. */
+    bool hasIdleWorker(const Replica &replica) const;
+
     Mesh &mesh_;
     ServiceParams params_;
     Rng rng_;
@@ -250,6 +363,8 @@ class Service
     std::map<std::string, OpStats> op_stats_;
     QuantileHistogram queue_wait_ns_;
     std::uint64_t requests_ = 0;
+    double slowdown_ = 1.0;
+    ResilienceCounters resilience_counters_;
 };
 
 } // namespace microscale::svc

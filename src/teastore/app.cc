@@ -232,12 +232,24 @@ App::installWebui()
         std::vector<HandlerCtx::CallSpec> calls;
         calls.push_back({names::kPersistence, "categories", small()});
         calls.push_back({names::kImage, "previews", img});
-        ctx.callAll(std::move(calls),
-                    [this, &ctx](const std::vector<Payload> &) {
-                        ctx.response().bytes = kHomeBytes;
-                        ctx.compute(scaled(kHomeRender),
-                                    [&ctx] { ctx.done(); });
-                    });
+        ctx.callAll(
+            std::move(calls),
+            [this, &ctx](const std::vector<Payload> &,
+                         const std::vector<svc::Status> &statuses) {
+                // The category list is the page; imagery is optional.
+                if (statuses[0] != svc::Status::Ok) {
+                    ctx.fail(statuses[0]);
+                    return;
+                }
+                const bool degraded = statuses[1] != svc::Status::Ok;
+                if (degraded && !params_.degradedFallbacks) {
+                    ctx.fail(statuses[1]);
+                    return;
+                }
+                ctx.response().bytes = kHomeBytes;
+                ctx.response().degraded = degraded;
+                ctx.compute(scaled(kHomeRender), [&ctx] { ctx.done(); });
+            });
     });
 
     webui_->addOp("login", [this, small](HandlerCtx &ctx) {
@@ -264,17 +276,28 @@ App::installWebui()
                         Payload img = small();
                         img.arg0 = resp.arg0; // first product id
                         img.arg1 = resp.arg1; // count
-                        ctx.call(names::kImage, "previews", img,
-                                 [this, &ctx](const Payload &) {
-                                     ctx.response().bytes = kCategoryBytes;
-                                     ctx.compute(scaled(kCategoryRender),
-                                                 [&ctx] { ctx.done(); });
-                                 });
+                        ctx.call(
+                            names::kImage, "previews", img,
+                            [this, &ctx](const Payload &,
+                                         svc::Status status) {
+                                const bool ok =
+                                    status == svc::Status::Ok;
+                                if (!ok && !params_.degradedFallbacks) {
+                                    ctx.fail(status);
+                                    return;
+                                }
+                                ctx.response().bytes = kCategoryBytes;
+                                ctx.response().degraded = !ok;
+                                ctx.compute(scaled(kCategoryRender),
+                                            [&ctx] { ctx.done(); });
+                            });
                     });
             });
     });
 
     webui_->addOp("product", [this, small](HandlerCtx &ctx) {
+        // Auth and the product row are the page; recommendations and
+        // imagery degrade gracefully when fallbacks are enabled.
         ctx.call(
             names::kAuth, "validate", small(),
             [this, &ctx, small](const Payload &) {
@@ -288,30 +311,71 @@ App::installWebui()
                         rec.arg1 = ctx.request().arg0; // product
                         ctx.call(
                             names::kRecommender, "recommend", rec,
-                            [this, &ctx, small,
-                             prod](const Payload &ads) {
+                            [this, &ctx, small, prod](
+                                const Payload &ads,
+                                svc::Status rec_status) {
+                                const bool rec_ok =
+                                    rec_status == svc::Status::Ok;
+                                if (!rec_ok &&
+                                    !params_.degradedFallbacks) {
+                                    ctx.fail(rec_status);
+                                    return;
+                                }
                                 Payload full = small();
                                 full.arg0 = prod.arg0;
                                 ctx.call(
                                     names::kImage, "full", full,
-                                    [this, &ctx, small,
-                                     ads](const Payload &) {
+                                    [this, &ctx, small, ads, rec_ok](
+                                        const Payload &,
+                                        svc::Status full_status) {
+                                        const bool full_ok =
+                                            full_status ==
+                                            svc::Status::Ok;
+                                        if (!full_ok &&
+                                            !params_
+                                                 .degradedFallbacks) {
+                                            ctx.fail(full_status);
+                                            return;
+                                        }
+                                        auto render = [this, &ctx,
+                                                       rec_ok, full_ok](
+                                                          bool pre_ok) {
+                                            ctx.response().bytes =
+                                                kProductBytes;
+                                            ctx.response().degraded =
+                                                !rec_ok || !full_ok ||
+                                                !pre_ok;
+                                            ctx.compute(
+                                                scaled(kProductRender),
+                                                [&ctx] { ctx.done(); });
+                                        };
+                                        if (!rec_ok) {
+                                            // No recommendations, so
+                                            // no ad strip to fetch.
+                                            render(true);
+                                            return;
+                                        }
                                         Payload pre = small();
                                         pre.arg0 = ads.arg0;
                                         pre.arg1 = 3; // ad previews
                                         ctx.call(
                                             names::kImage, "previews",
                                             pre,
-                                            [this,
-                                             &ctx](const Payload &) {
-                                                ctx.response().bytes =
-                                                    kProductBytes;
-                                                ctx.compute(
-                                                    scaled(
-                                                        kProductRender),
-                                                    [&ctx] {
-                                                        ctx.done();
-                                                    });
+                                            [this, &ctx, render](
+                                                const Payload &,
+                                                svc::Status
+                                                    pre_status) {
+                                                const bool pre_ok =
+                                                    pre_status ==
+                                                    svc::Status::Ok;
+                                                if (!pre_ok &&
+                                                    !params_
+                                                         .degradedFallbacks) {
+                                                    ctx.fail(
+                                                        pre_status);
+                                                    return;
+                                                }
+                                                render(pre_ok);
                                             });
                                     });
                             });
@@ -331,12 +395,21 @@ App::installWebui()
                         Payload rec = small();
                         rec.arg0 = ctx.request().arg1; // user
                         rec.arg1 = ctx.request().arg0;
-                        ctx.call(names::kRecommender, "recommend", rec,
-                                 [this, &ctx](const Payload &) {
-                                     ctx.response().bytes = kPlainBytes;
-                                     ctx.compute(scaled(kCartRender),
-                                                 [&ctx] { ctx.done(); });
-                                 });
+                        ctx.call(
+                            names::kRecommender, "recommend", rec,
+                            [this, &ctx](const Payload &,
+                                         svc::Status status) {
+                                const bool ok =
+                                    status == svc::Status::Ok;
+                                if (!ok && !params_.degradedFallbacks) {
+                                    ctx.fail(status);
+                                    return;
+                                }
+                                ctx.response().bytes = kPlainBytes;
+                                ctx.response().degraded = !ok;
+                                ctx.compute(scaled(kCartRender),
+                                            [&ctx] { ctx.done(); });
+                            });
                     });
             });
     });

@@ -83,6 +83,14 @@ struct AppParams
     /** Emit per-service heartbeats to the registry. */
     bool heartbeats = true;
     Tick heartbeatPeriod = kSecond;
+
+    /**
+     * Graceful degradation (mirrors real TeaStore): when a
+     * Recommender or ImageProvider call fails, serve the page without
+     * that content (response marked degraded) instead of failing it.
+     * Auth/Persistence failures always fail the page.
+     */
+    bool degradedFallbacks = false;
 };
 
 /** Canonical service names. */

@@ -1,0 +1,122 @@
+#include "teastore/chaos.hh"
+
+#include "base/logging.hh"
+#include "teastore/app.hh"
+
+namespace microscale::teastore
+{
+
+const char *
+chaosName(ChaosScenario scenario)
+{
+    switch (scenario) {
+    case ChaosScenario::None:
+        return "healthy";
+    case ChaosScenario::ReplicaCrash:
+        return "crash";
+    case ChaosScenario::Brownout:
+        return "brownout";
+    case ChaosScenario::LatencySpike:
+        return "spike";
+    }
+    MS_PANIC("invalid ChaosScenario");
+}
+
+ChaosScenario
+chaosByName(const std::string &name)
+{
+    for (ChaosScenario s : allChaosScenarios()) {
+        if (name == chaosName(s))
+            return s;
+    }
+    fatal("unknown fault scenario '", name,
+          "' (try healthy, crash, brownout, spike)");
+}
+
+std::vector<ChaosScenario>
+allChaosScenarios()
+{
+    return {ChaosScenario::None, ChaosScenario::ReplicaCrash,
+            ChaosScenario::Brownout, ChaosScenario::LatencySpike};
+}
+
+svc::FaultScript
+makeChaosScript(ChaosScenario scenario, Tick warmup, Tick measure)
+{
+    svc::FaultScript script;
+    const Tick onset = warmup + measure / 6;
+    const Tick recovery = warmup + 2 * measure / 3;
+
+    using Kind = svc::FaultEvent::Kind;
+    auto add = [&script](Kind kind, Tick at, const std::string &service,
+                         unsigned replica, double factor) {
+        svc::FaultEvent e;
+        e.kind = kind;
+        e.at = at;
+        e.service = service;
+        e.replica = replica;
+        e.factor = factor;
+        script.events.push_back(std::move(e));
+    };
+
+    switch (scenario) {
+    case ChaosScenario::None:
+        break;
+    case ChaosScenario::ReplicaCrash:
+        add(Kind::ReplicaDown, onset, names::kImage, 0, 1.0);
+        add(Kind::ReplicaUp, recovery, names::kImage, 0, 1.0);
+        break;
+    case ChaosScenario::Brownout:
+        add(Kind::Slowdown, onset, names::kRecommender, 0, 12.0);
+        add(Kind::Slowdown, recovery, names::kRecommender, 0, 1.0);
+        break;
+    case ChaosScenario::LatencySpike:
+        add(Kind::LatencyFactor, onset, "", 0, 1500.0);
+        add(Kind::LatencyFactor, recovery, "", 0, 1.0);
+        break;
+    }
+    return script;
+}
+
+svc::ResilienceConfig
+resilientPolicy()
+{
+    svc::ResilienceConfig rc;
+    rc.healthAwareBalancing = true;
+    rc.maxQueueDepth = 400;
+    rc.retryBudgetRatio = 0.2;
+
+    rc.breaker.enabled = true;
+    rc.breaker.consecutiveFailures = 12;
+    rc.breaker.errorRateThreshold = 0.6;
+    rc.breaker.windowSize = 40;
+    rc.breaker.windowMin = 20;
+    rc.breaker.openFor = 150 * kMillisecond;
+
+    auto edge = [&rc](const char *client, const char *server,
+                      Tick timeout, unsigned attempts, Tick backoff) {
+        svc::EdgeRule rule;
+        rule.client = client;
+        rule.server = server;
+        rule.policy.timeout = timeout;
+        rule.policy.maxAttempts = attempts;
+        rule.policy.backoffBase = backoff;
+        rc.edges.push_back(std::move(rule));
+    };
+
+    // Optional page content fails fast so fallbacks keep the page
+    // latency bounded; the critical auth/persistence path gets
+    // generous deadlines plus one retry.
+    edge(names::kWebui, names::kRecommender, 30 * kMillisecond, 1, 0);
+    edge(names::kWebui, names::kImage, 60 * kMillisecond, 2,
+         1 * kMillisecond);
+    edge(names::kWebui, names::kAuth, 250 * kMillisecond, 2,
+         2 * kMillisecond);
+    edge(names::kWebui, names::kPersistence, 250 * kMillisecond, 2,
+         2 * kMillisecond);
+    edge(names::kAuth, names::kPersistence, 250 * kMillisecond, 2,
+         2 * kMillisecond);
+    return rc;
+}
+
+} // namespace microscale::teastore

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Chaos experiment suite for the TeaStore model: canonical fault
+ * scenarios (replica crash, recommender brownout, link-latency spike)
+ * and the reference resilient policy (timeouts + retries + breaker +
+ * shedding + health-aware balancing). Shared between
+ * bench/fig12_resilience and the tools/msim --faults/--resilience
+ * flags so both run exactly the same scripts.
+ */
+
+#ifndef MICROSCALE_TEASTORE_CHAOS_HH
+#define MICROSCALE_TEASTORE_CHAOS_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "svc/fault.hh"
+#include "svc/resilience.hh"
+
+namespace microscale::teastore
+{
+
+/** The canonical fault scenarios. */
+enum class ChaosScenario
+{
+    None = 0,
+    /** Crash one ImageProvider replica mid-window, restart later. */
+    ReplicaCrash,
+    /** Recommender compute slows down sharply (brownout). */
+    Brownout,
+    /** Loopback latency inflates (network contention spike). */
+    LatencySpike,
+};
+
+/** Scenario name ("healthy", "crash", "brownout", "spike"). */
+const char *chaosName(ChaosScenario scenario);
+
+/** Inverse of chaosName; fatal() on an unknown name. */
+ChaosScenario chaosByName(const std::string &name);
+
+/** All scenarios, healthy first. */
+std::vector<ChaosScenario> allChaosScenarios();
+
+/**
+ * Build the scenario's fault script for a run with the given windows.
+ * The fault strikes at warmup + measure/6 and recovers at
+ * warmup + 2*measure/3, so the measurement window sees healthy,
+ * faulted and recovering phases.
+ */
+svc::FaultScript makeChaosScript(ChaosScenario scenario, Tick warmup,
+                                 Tick measure);
+
+/**
+ * The reference resilient policy: per-edge timeouts (tight on the
+ * optional recommender/image legs, generous on auth/persistence),
+ * retries with budget, per-replica breaker, bounded queues and
+ * health-aware balancing. Pair with AppParams::degradedFallbacks.
+ */
+svc::ResilienceConfig resilientPolicy();
+
+} // namespace microscale::teastore
+
+#endif // MICROSCALE_TEASTORE_CHAOS_HH

@@ -61,10 +61,15 @@ TEST(Args, EqualsSyntax)
     EXPECT_EQ(p.getInt("count"), -3);
 }
 
-TEST(Args, UnknownOptionFails)
+TEST(Args, UnknownOptionIsFatal)
 {
+    // An unknown option must abort the process (fatal), not fall back
+    // to defaults — and the message must list every valid option.
     ArgParser p = makeParser();
-    EXPECT_FALSE(parse(p, {"--bogus", "1"}));
+    EXPECT_EXIT(parse(p, {"--bogus", "1"}),
+                testing::ExitedWithCode(1),
+                "unknown option '--bogus'.*--name.*--count.*--ratio.*"
+                "--verbose");
 }
 
 TEST(Args, MissingValueFails)

@@ -95,6 +95,61 @@ TEST(BenchReporter, EmitsParsableJsonWithPointsAndTables)
               "2.5");
 }
 
+TEST(BenchReporter, FailedPointsCarryErrorField)
+{
+    const std::string dir = ::testing::TempDir();
+    ASSERT_EQ(setenv("MICROSCALE_BENCH_OUT_DIR", dir.c_str(), 1), 0);
+
+    {
+        benchx::SeriesReporter rep("TEST-2", "test_reporter_err",
+                                   "error round trip");
+        core::RunResult ok;
+        ok.throughputRps = 10.0;
+        rep.add("good", ok);
+        rep.addError("bad", "worker died: \"oops\"");
+        rep.addError("worse", "");
+        rep.finish();
+    }
+    ASSERT_EQ(unsetenv("MICROSCALE_BENCH_OUT_DIR"), 0);
+
+    const std::string path = dir + "/BENCH_test_reporter_err.json";
+    const core::JsonValue v = core::parseJson(slurp(path));
+    const core::JsonValue &points = v.at("points");
+    ASSERT_EQ(points.elements.size(), 3u);
+
+    // The good point has a result and no error.
+    EXPECT_EQ(points.elements[0].find("error"), nullptr);
+    EXPECT_TRUE(points.elements[0].at("result").isObject());
+
+    // Failed points carry only label + error (no result to trust).
+    EXPECT_EQ(points.elements[1].at("label").stringValue, "bad");
+    EXPECT_EQ(points.elements[1].at("error").stringValue,
+              "worker died: \"oops\"");
+    EXPECT_EQ(points.elements[1].find("result"), nullptr);
+    // An empty message is normalized so json_check can always print it.
+    EXPECT_EQ(points.elements[2].at("error").stringValue,
+              "unknown error");
+}
+
+TEST(BenchReporter, ResilienceBlockOnlyWhenActive)
+{
+    core::RunResult healthy;
+    healthy.throughputRps = 5.0;
+    const std::string plain = core::toJson(healthy);
+    EXPECT_EQ(plain.find("\"resilience\""), std::string::npos);
+    EXPECT_EQ(plain.find("\"unavailable\""), std::string::npos);
+
+    core::RunResult chaotic = healthy;
+    chaotic.resilience.active = true;
+    chaotic.resilience.goodputRps = 4.5;
+    chaotic.resilience.timeoutCount = 7;
+    const std::string rich = core::toJson(chaotic);
+    const core::JsonValue v = core::parseJson(rich);
+    EXPECT_DOUBLE_EQ(v.at("resilience").at("goodput_rps").numberValue,
+                     4.5);
+    EXPECT_DOUBLE_EQ(v.at("resilience").at("timeout").numberValue, 7.0);
+}
+
 TEST(BenchReporter, OutDirFallsBackToCwd)
 {
     ASSERT_EQ(unsetenv("MICROSCALE_BENCH_OUT_DIR"), 0);

@@ -14,6 +14,7 @@
 
 #include "core/experiment.hh"
 #include "core/sweep.hh"
+#include "teastore/chaos.hh"
 
 namespace microscale::core
 {
@@ -121,6 +122,92 @@ TEST(Sweep, RepeatRunsAreDeterministic)
         EXPECT_DOUBLE_EQ(a[i].result.latency.p99Ms,
                          b[i].result.latency.p99Ms);
     }
+}
+
+/** The fig12-style chaos grid on the fast config. */
+std::vector<SweepPoint>
+chaosPoints()
+{
+    std::vector<SweepPoint> points;
+    const ExperimentConfig base = fastConfig();
+    for (teastore::ChaosScenario s : teastore::allChaosScenarios()) {
+        for (bool resilient : {false, true}) {
+            SweepPoint p;
+            p.label = std::string(teastore::chaosName(s)) + "/" +
+                      (resilient ? "resilient" : "none");
+            p.config = base;
+            p.config.faults =
+                teastore::makeChaosScript(s, base.warmup, base.measure);
+            if (resilient) {
+                p.config.resilience = teastore::resilientPolicy();
+                p.config.app.degradedFallbacks = true;
+            }
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+TEST(Sweep, FaultScriptsDeterministicAcrossJobsAndRepeats)
+{
+    // Scripted faults + resilience must preserve the harness's core
+    // guarantee: identical seeds and scripts give bit-identical
+    // results whether points run serially, in parallel, or again.
+    const std::vector<SweepPoint> points = chaosPoints();
+    const std::vector<SweepOutcome> serial = runWithJobs(points, 1);
+    const std::vector<SweepOutcome> parallel = runWithJobs(points, 4);
+    const std::vector<SweepOutcome> repeat = runWithJobs(points, 4);
+    ASSERT_EQ(serial.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        const RunResult &a = serial[i].result;
+        for (const RunResult *b :
+             {&parallel[i].result, &repeat[i].result}) {
+            EXPECT_DOUBLE_EQ(a.throughputRps, b->throughputRps);
+            EXPECT_DOUBLE_EQ(a.latency.p99Ms, b->latency.p99Ms);
+            EXPECT_EQ(a.eventsProcessed, b->eventsProcessed);
+            EXPECT_DOUBLE_EQ(a.resilience.goodputRps,
+                             b->resilience.goodputRps);
+            EXPECT_EQ(a.resilience.timeoutCount, b->resilience.timeoutCount);
+            EXPECT_EQ(a.resilience.unavailableCount,
+                      b->resilience.unavailableCount);
+            EXPECT_EQ(a.resilience.degradedCount, b->resilience.degradedCount);
+            EXPECT_EQ(a.resilience.retries, b->resilience.retries);
+            EXPECT_EQ(a.resilience.shed, b->resilience.shed);
+            EXPECT_EQ(a.resilience.deadlineDrops, b->resilience.deadlineDrops);
+        }
+    }
+    // The crash scenario actually bites: blind round-robin sees
+    // failures, the resilient policy routes around them.
+    const RunResult &crash_none = serial[2].result;
+    const RunResult &crash_res = serial[3].result;
+    EXPECT_GT(crash_none.resilience.unavailableCount, 0u);
+    EXPECT_GT(crash_res.resilience.goodputRps,
+              crash_none.resilience.goodputRps);
+}
+
+TEST(Sweep, HealthyResilienceDefaultsAreFreeOfSideEffects)
+{
+    // A healthy run with the resilience knobs at their defaults must
+    // be event-identical to one that never heard of them.
+    SweepPoint plain;
+    plain.label = "plain";
+    plain.config = fastConfig();
+    SweepPoint wired;
+    wired.label = "wired";
+    wired.config = fastConfig();
+    wired.config.resilience = svc::ResilienceConfig{};
+    wired.config.faults = svc::FaultScript{};
+    const std::vector<SweepOutcome> runs =
+        runWithJobs({plain, wired}, 2);
+    ASSERT_TRUE(runs[0].ok);
+    ASSERT_TRUE(runs[1].ok);
+    EXPECT_EQ(runs[0].result.eventsProcessed,
+              runs[1].result.eventsProcessed);
+    EXPECT_DOUBLE_EQ(runs[0].result.throughputRps,
+                     runs[1].result.throughputRps);
+    EXPECT_FALSE(runs[1].result.resilience.active);
 }
 
 TEST(Sweep, FailedPointDoesNotPoisonOthers)

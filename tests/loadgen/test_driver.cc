@@ -53,6 +53,40 @@ TEST(Measurement, LatencyDistributionPerOp)
     EXPECT_EQ(m.latencyNs().count(), 2u);
 }
 
+TEST(Measurement, StatusAccountingSplitsGoodputFromErrors)
+{
+    Measurement m;
+    m.setWindow(0, kSecond);
+    m.record(OpType::Home, 0, kMillisecond, svc::Status::Ok, false);
+    m.record(OpType::Home, 0, 2 * kMillisecond, svc::Status::Ok,
+             /*degraded=*/true);
+    m.record(OpType::Home, 0, 3 * kMillisecond, svc::Status::Timeout,
+             false);
+    m.record(OpType::Product, 0, 4 * kMillisecond,
+             svc::Status::Unavailable, false);
+    m.record(OpType::Product, 0, 5 * kMillisecond, svc::Status::Overload,
+             false);
+
+    // Every response counts toward throughput; only OK ones toward
+    // goodput, latency and per-op counts.
+    EXPECT_EQ(m.completed(), 5u);
+    EXPECT_DOUBLE_EQ(m.throughputRps(), 5.0);
+    EXPECT_DOUBLE_EQ(m.goodputRps(), 2.0);
+    EXPECT_EQ(m.errorCount(), 3u);
+    EXPECT_EQ(m.statusCount(svc::Status::Ok), 2u);
+    EXPECT_EQ(m.statusCount(svc::Status::Timeout), 1u);
+    EXPECT_EQ(m.statusCount(svc::Status::Overload), 1u);
+    EXPECT_EQ(m.statusCount(svc::Status::Unavailable), 1u);
+    EXPECT_EQ(m.degradedCount(), 1u);
+    EXPECT_EQ(m.latencyNs().count(), 2u);
+    EXPECT_EQ(m.completedFor(OpType::Home), 2u);
+    EXPECT_EQ(m.completedFor(OpType::Product), 0u);
+    // The legacy 3-arg overload means OK and undegraded.
+    m.record(OpType::Home, 0, 6 * kMillisecond);
+    EXPECT_EQ(m.statusCount(svc::Status::Ok), 3u);
+    EXPECT_EQ(m.degradedCount(), 1u);
+}
+
 TEST(MeasurementDeathTest, BadWindowPanics)
 {
     Measurement m;

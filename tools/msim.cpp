@@ -18,6 +18,7 @@
 #include "core/json.hh"
 #include "core/sweep.hh"
 #include "perf/report.hh"
+#include "teastore/chaos.hh"
 #include "topo/presets.hh"
 
 using namespace microscale;
@@ -59,6 +60,11 @@ main(int argc, char **argv)
                 "sweep worker threads (0 = MICROSCALE_BENCH_JOBS or "
                 "hardware)");
     args.addInt("seed", 42, "random seed");
+    args.addString("faults", "healthy",
+                   "fault scenario: healthy, crash, brownout, spike");
+    args.addFlag("resilience",
+                 "enable the resilient mesh policy (timeouts, retries, "
+                 "breaker, shedding) plus degraded page fallbacks");
     args.addFlag("csv", "emit tables as CSV");
     args.addFlag("json", "emit the full result as JSON and exit");
     args.addFlag("plan", "print the placement plan");
@@ -81,6 +87,15 @@ main(int argc, char **argv)
     config.demand.persistence = 0.065;
     config.demand.recommender = 0.045;
     config.demand.image = 0.41;
+
+    const teastore::ChaosScenario scenario =
+        teastore::chaosByName(args.getString("faults"));
+    config.faults = teastore::makeChaosScript(scenario, config.warmup,
+                                              config.measure);
+    if (args.getFlag("resilience")) {
+        config.resilience = teastore::resilientPolicy();
+        config.app.degradedFallbacks = true;
+    }
 
     // Run through the sweep harness so msim shares the thread pool,
     // per-point logging tags and error handling with the bench suite.
@@ -105,6 +120,18 @@ main(int argc, char **argv)
     }
 
     std::cout << core::summarize(r) << "\n";
+    if (r.resilience.active) {
+        const core::ResilienceSummary &rs = r.resilience;
+        std::cout << "resilience: goodput="
+                  << formatDouble(rs.goodputRps, 0) << " req/s"
+                  << "  errors="
+                  << formatDouble(rs.errorRate * 100.0, 2) << "%"
+                  << "  degraded="
+                  << formatDouble(rs.degradedShare * 100.0, 2) << "%"
+                  << "  retries=" << rs.retries << "  shed=" << rs.shed
+                  << "  deadline_drops=" << rs.deadlineDrops
+                  << "  breaker_opens=" << rs.breakerOpens << "\n";
+    }
     if (args.getFlag("plan"))
         std::cout << "\n" << r.plan.describe();
 
