@@ -172,6 +172,7 @@ SeriesReporter::finish()
     }
 
     os << "{\"artifact\":\"" << core::jsonEscape(artifact_) << "\"";
+    os << ",\"schema_version\":" << kBenchSchemaVersion;
     os << ",\"caption\":\"" << core::jsonEscape(caption_) << "\"";
     os << ",\"machine\":\"" << core::jsonEscape(machine_) << "\"";
     os << ",\"fast_mode\":" << (fastMode() ? "true" : "false");

@@ -23,6 +23,16 @@
 namespace microscale::benchx
 {
 
+/**
+ * Version of the BENCH_*.json layout, stamped into every artifact as
+ * "schema_version" (json_check requires it). Bump when the top-level
+ * layout or the meaning of an existing field changes; purely additive
+ * per-point result fields do not bump it. Version 2 = the original
+ * (unstamped) layout plus the stamp itself and the optional per-point
+ * "elastic" block.
+ */
+inline constexpr int kBenchSchemaVersion = 2;
+
 /** True when MICROSCALE_BENCH_FAST=1 is set. */
 bool fastMode();
 

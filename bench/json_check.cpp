@@ -2,16 +2,21 @@
  * @file
  * json_check: CI validator for emitted BENCH_*.json artifacts.
  *
- *   json_check FILE MIN_POINTS [LABEL...]
+ *   json_check [--elastic] FILE MIN_POINTS [LABEL...]
  *
  * Parses FILE with core::parseJson and requires the sweep-harness
- * schema: artifact/caption/machine strings, a points array of at
- * least MIN_POINTS entries each carrying a label and a result with a
- * numeric throughput_rps, and a non-empty tables array. Any LABEL
- * arguments must appear among the point labels. Exits non-zero with a
- * diagnostic on the first violation.
+ * schema: artifact/caption/machine strings, the expected
+ * schema_version, a points array of at least MIN_POINTS entries each
+ * carrying a label and a result with a numeric throughput_rps, and a
+ * non-empty tables array. Any LABEL arguments must appear among the
+ * point labels. Points carrying an "elastic" block (FIG-13) have it
+ * validated - non-empty schedule/policy/placer names, finite
+ * non-negative SLO-violation seconds, core-seconds and steady-state
+ * CPUs - and --elastic additionally requires every point to carry
+ * one. Exits non-zero with a diagnostic on the first violation.
  */
 
+#include <cmath>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
@@ -19,6 +24,7 @@
 #include <sstream>
 #include <string>
 
+#include "common.hh"
 #include "core/json.hh"
 
 using namespace microscale;
@@ -33,15 +39,51 @@ die(const std::string &what)
     std::exit(1);
 }
 
+/**
+ * Validate one point's "elastic" block: the FIG-13 metrics must be
+ * present, the right type, and finite (a NaN means an accounting
+ * window never saw a sample - a broken run, not a quiet one).
+ */
+void
+checkElastic(const std::string &path, const std::string &label,
+             const core::JsonValue &elastic)
+{
+    const std::string where = path + ": point '" + label + "' elastic: ";
+    for (const char *key : {"schedule", "policy", "placer"}) {
+        const core::JsonValue *s = elastic.find(key);
+        if (!s || !s->isString() || s->stringValue.empty())
+            die(where + "missing or empty '" + key + "'");
+    }
+    for (const char *key :
+         {"offered_mean_rps", "offered_peak_rps", "slo_p99_ms",
+          "slo_violation_seconds", "core_seconds_granted",
+          "steady_state_cpus", "scale_out_lag_mean_ms", "scale_outs",
+          "scale_ins"}) {
+        const core::JsonValue *n = elastic.find(key);
+        if (!n || !n->isNumber())
+            die(where + "missing or non-numeric '" + key + "'");
+        if (!std::isfinite(n->numberValue))
+            die(where + "'" + key + "' is not finite");
+        if (n->numberValue < 0)
+            die(where + "'" + key + "' is negative");
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
-        die("usage: json_check FILE MIN_POINTS [LABEL...]");
-    const std::string path = argv[1];
-    const unsigned long min_points = std::stoul(argv[2]);
+    int arg = 1;
+    bool require_elastic = false;
+    if (arg < argc && std::string(argv[arg]) == "--elastic") {
+        require_elastic = true;
+        ++arg;
+    }
+    if (argc - arg < 2)
+        die("usage: json_check [--elastic] FILE MIN_POINTS [LABEL...]");
+    const std::string path = argv[arg++];
+    const unsigned long min_points = std::stoul(argv[arg++]);
 
     std::ifstream is(path);
     if (!is)
@@ -62,6 +104,14 @@ main(int argc, char **argv)
         const core::JsonValue *s = v.find(key);
         if (!s || !s->isString() || s->stringValue.empty())
             die(path + ": missing or empty '" + key + "'");
+    }
+    const core::JsonValue *schema = v.find("schema_version");
+    if (!schema || !schema->isNumber())
+        die(path + ": missing 'schema_version'");
+    if (schema->numberValue != benchx::kBenchSchemaVersion) {
+        die(path + ": schema_version " +
+            std::to_string(schema->numberValue) + " != expected " +
+            std::to_string(benchx::kBenchSchemaVersion));
     }
     const core::JsonValue *jobs = v.find("jobs");
     if (!jobs || !jobs->isNumber() || jobs->numberValue < 1)
@@ -91,13 +141,19 @@ main(int argc, char **argv)
         if (!tput || !tput->isNumber() || !(tput->numberValue > 0))
             die(path + ": point '" + label->stringValue +
                 "' without a positive throughput_rps");
+        const core::JsonValue *elastic = result->find("elastic");
+        if (elastic)
+            checkElastic(path, label->stringValue, *elastic);
+        else if (require_elastic)
+            die(path + ": point '" + label->stringValue +
+                "' without an elastic block (--elastic)");
     }
 
     const core::JsonValue *tables = v.find("tables");
     if (!tables || !tables->isArray() || tables->elements.empty())
         die(path + ": missing or empty 'tables' array");
 
-    for (int i = 3; i < argc; ++i) {
+    for (int i = arg; i < argc; ++i) {
         const std::string want = argv[i];
         bool found = false;
         for (const core::JsonValue &p : points->elements) {

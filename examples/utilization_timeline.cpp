@@ -4,11 +4,15 @@
  * emit a CSV timeline (busy CPUs, frequency, queue depths, completed
  * requests per interval) - the raw material for warmup/stability
  * plots. Demonstrates composing the library's layers manually instead
- * of going through core::runExperiment.
+ * of going through core::runExperiment. A second section rides the
+ * autoscaler through a flash-crowd spike and emits the control loop's
+ * own timeline: per-service replica counts, queue depths and
+ * utilization per control interval.
  */
 
 #include <iostream>
 
+#include "autoscale/elastic.hh"
 #include "base/table.hh"
 #include "core/placement.hh"
 #include "loadgen/driver.hh"
@@ -60,5 +64,50 @@ main()
               << " points; mean busy CPUs = "
               << formatDouble(sampler.meanBusyCpus(), 1) << "\n";
     sampler.printCsv(std::cout);
+
+    // Part 2: the autoscaler's own timeline. Ride a flash-crowd spike
+    // with the threshold policy and emit per-service replica counts,
+    // queue depths and utilization per control interval - the raw
+    // material for elasticity plots (FIG-13 companions).
+    autoscale::ElasticConfig ec;
+    ec.base.machine = topo::rome128();
+    ec.base.placement = core::PlacementKind::CcxAware;
+    ec.base.warmup = 1 * kSecond;
+    ec.base.measure = 11 * kSecond;
+    ec.schedule = autoscale::makeSchedule(
+        "spike", 600.0, 3000.0, ec.base.warmup, ec.base.measure);
+    ec.initialCores = 28; // 7 of rome128's 16 CCXs
+    ec.autoscaler.period = 250 * kMillisecond;
+    ec.autoscaler.warmup.registrationDelay = 500 * kMillisecond;
+    ec.autoscaler.warmup.coldWindow = 1 * kSecond;
+    ec.autoscaler.scaleOutCooldown = 500 * kMillisecond;
+    ec.autoscaler.scaleInCooldown = 1 * kSecond;
+    ec.autoscaler.maxReplicas = 6;
+    ec.recordTimeline = true;
+
+    autoscale::AutoscalerTelemetry telemetry;
+    autoscale::runElastic(ec, &telemetry);
+
+    std::cerr << "\nautoscaler timeline: " << telemetry.timeline.size()
+              << " control intervals, " << telemetry.scaleOuts
+              << " scale-outs, " << telemetry.scaleIns
+              << " scale-ins\n";
+    if (telemetry.timeline.empty())
+        return 0;
+
+    std::cout << "\ntime_s";
+    for (const autoscale::ServiceSample &s : telemetry.timeline.front())
+        std::cout << "," << s.service << "_replicas," << s.service
+                  << "_queue," << s.service << "_util";
+    std::cout << "\n";
+    for (const auto &interval : telemetry.timeline) {
+        std::cout << formatDouble(ticksToSeconds(interval.front().at), 2);
+        for (const autoscale::ServiceSample &s : interval) {
+            std::cout << "," << (s.activeReplicas + s.warmingReplicas)
+                      << "," << s.queueDepth << ","
+                      << formatDouble(s.utilization, 3);
+        }
+        std::cout << "\n";
+    }
     return 0;
 }

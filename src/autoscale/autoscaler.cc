@@ -1,0 +1,250 @@
+#include "autoscale/autoscaler.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "svc/service.hh"
+
+namespace microscale::autoscale
+{
+
+Autoscaler::Autoscaler(teastore::App &app, const topo::Machine &machine,
+                       const CpuMask &budget,
+                       const core::PlacementPlan &plan,
+                       AutoscalerParams params)
+    : app_(app),
+      params_(std::move(params)),
+      bus_(app),
+      placer_(machine, budget, params_.placer)
+{
+    if (params_.period == 0)
+        fatal("autoscaler needs a positive control period");
+    if (params_.minReplicas == 0)
+        fatal("autoscaler: minReplicas must be >= 1");
+    if (params_.maxReplicas < params_.minReplicas)
+        fatal("autoscaler: maxReplicas < minReplicas");
+
+    // Utilization is CPU busy time against the placer's grant quantum,
+    // the one capacity unit both placement flavors are billed in.
+    bus_.setCpusPerReplica(placer_.quantumCpus());
+
+    for (svc::Service *svc : bus_.services()) {
+        ScaledService ss;
+        ss.service = svc;
+        ss.policy = makePolicy(params_.policy, params_.policyParams);
+        ss.target = svc->replicaCount();
+        auto it = plan.services.find(svc->name());
+        if (it == plan.services.end())
+            fatal("autoscaler: plan has no service '", svc->name(), "'");
+        const core::ServicePlan &sp = it->second;
+        if (sp.replicas != svc->replicaCount())
+            fatal("autoscaler: plan/app replica mismatch for '",
+                  svc->name(), "'");
+        ss.initialReplicas = svc->replicaCount();
+        for (unsigned r = 0; r < sp.replicas; ++r)
+            ss.grantOf[r] = placer_.adopt(sp.masks[r], sp.homes[r]);
+        telemetry_.peakReplicas[svc->name()] = svc->replicaCount();
+        scaled_.push_back(std::move(ss));
+    }
+}
+
+void
+Autoscaler::start()
+{
+    event_.start(app_.mesh().kernel().sim(), params_.period,
+                 [this] { tick(); });
+}
+
+void
+Autoscaler::stop()
+{
+    event_.stop();
+}
+
+void
+Autoscaler::setAccountingWindow(Tick start, Tick end)
+{
+    if (end <= start)
+        fatal("autoscaler: accounting window end <= start");
+    window_start_ = start;
+    window_end_ = end;
+}
+
+void
+Autoscaler::observeLifecycle(ScaledService &ss, Tick now)
+{
+    // Warming replicas that became Active: record the scale-out lag
+    // (decision to capacity-serving, as observed by the control loop).
+    for (auto it = ss.spawnedAt.begin(); it != ss.spawnedAt.end();) {
+        if (ss.service->replicaState(it->first) ==
+            svc::ReplicaState::Active) {
+            telemetry_.scaleOutLagMs.push_back(
+                static_cast<double>(now - it->second) /
+                static_cast<double>(kMillisecond));
+            it = ss.spawnedAt.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Draining replicas that emptied out: hand their capacity back.
+    for (auto it = ss.draining.begin(); it != ss.draining.end();) {
+        const unsigned r = *it;
+        if (ss.service->replicaState(r) == svc::ReplicaState::Retired) {
+            auto g = ss.grantOf.find(r);
+            if (g != ss.grantOf.end()) {
+                placer_.release(g->second);
+                ss.grantOf.erase(g);
+            }
+            it = ss.draining.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Autoscaler::tick()
+{
+    const Tick now = app_.mesh().kernel().sim().now();
+    const double interval_sec =
+        ticksToSeconds(now > last_tick_at_ ? now - last_tick_at_ : 0);
+    last_tick_at_ = now;
+
+    for (ScaledService &ss : scaled_)
+        observeLifecycle(ss, now);
+
+    std::vector<ServiceSample> samples = bus_.sample(now);
+
+    const bool in_window = now > window_start_ && now <= window_end_;
+    if (in_window) {
+        telemetry_.coreSecondsGranted +=
+            placer_.grantedCpus() * interval_sec;
+        if (telemetry_.steadyStateCpus == 0.0 ||
+            placer_.grantedCpus() < telemetry_.steadyStateCpus)
+            telemetry_.steadyStateCpus = placer_.grantedCpus();
+        double completions = 0.0;
+        double failures = 0.0;
+        double front_p99_ms = 0.0;
+        for (const ServiceSample &s : samples) {
+            completions += s.completionsPerSec;
+            failures += s.failuresPerSec;
+            if (s.service == teastore::names::kWebui)
+                front_p99_ms = s.p99ServiceMs;
+        }
+        const double total = completions + failures;
+        const double error_rate = total > 0.0 ? failures / total : 0.0;
+        if (front_p99_ms > params_.sloP99Ms ||
+            error_rate > params_.sloMaxErrorRate)
+            telemetry_.sloViolationSeconds += interval_sec;
+    }
+
+    for (const ServiceSample &s : samples) {
+        unsigned &peak = telemetry_.peakReplicas[s.service];
+        peak = std::max(peak, s.activeReplicas + s.warmingReplicas);
+    }
+    if (telemetry_.recordTimeline)
+        telemetry_.timeline.push_back(samples);
+
+    if (params_.policy == PolicyKind::Static)
+        return;
+    for (std::size_t i = 0; i < scaled_.size(); ++i)
+        decide(scaled_[i], samples[i], now);
+    refreshOsPlacement();
+}
+
+void
+Autoscaler::refreshOsPlacement()
+{
+    // OS-default replicas roam the capacity the app owns; when grants
+    // come and go that footprint changes, so re-apply it to every
+    // replica this loop placed. The plan's original replicas keep
+    // their static placement in both flavors.
+    if (params_.placer != PlacerKind::OsDefault)
+        return;
+    const CpuMask owned = placer_.ownedMask();
+    if (owned == last_owned_)
+        return;
+    last_owned_ = owned;
+    for (ScaledService &ss : scaled_) {
+        const unsigned n = ss.service->replicaCount();
+        for (unsigned r = ss.initialReplicas; r < n; ++r) {
+            if (ss.service->replicaState(r) != svc::ReplicaState::Retired)
+                ss.service->setReplicaPlacement(r, owned, kInvalidNode);
+        }
+    }
+}
+
+void
+Autoscaler::decide(ScaledService &ss, const ServiceSample &sample,
+                   Tick now)
+{
+    unsigned desired = ss.policy->desiredReplicas(sample, ss.target);
+    desired = std::clamp(desired, params_.minReplicas,
+                         params_.maxReplicas);
+    if (desired > ss.target) {
+        if (now - ss.lastScaleOut < params_.scaleOutCooldown)
+            return;
+        scaleOut(ss, desired - ss.target, now);
+    } else if (desired < ss.target) {
+        // Let spawned capacity settle before shrinking again, and
+        // never shrink while replicas are still warming up.
+        if (now - ss.lastScaleIn < params_.scaleInCooldown ||
+            !ss.spawnedAt.empty())
+            return;
+        scaleIn(ss, ss.target - desired, now);
+    }
+}
+
+void
+Autoscaler::scaleOut(ScaledService &ss, unsigned count, Tick now)
+{
+    for (unsigned k = 0; k < count; ++k) {
+        const PlacerGrant g = placer_.grant();
+        const unsigned r = ss.service->addReplica(params_.warmup);
+        ss.service->setReplicaPlacement(r, g.mask, g.home);
+        ss.grantOf[r] = g.id;
+        ss.spawnedAt[r] = now;
+        ++telemetry_.scaleOuts;
+    }
+    ss.target += count;
+    ss.lastScaleOut = now;
+}
+
+void
+Autoscaler::scaleIn(ScaledService &ss, unsigned count, Tick now)
+{
+    for (unsigned k = 0; k < count && ss.target > params_.minReplicas;
+         ++k) {
+        // Prefer cancelling a still-warming replica (it has no work
+        // to finish), else drain the most recently added active one.
+        int victim = -1;
+        const unsigned n = ss.service->replicaCount();
+        for (unsigned r = n; r-- > 0;) {
+            if (ss.service->replicaState(r) ==
+                svc::ReplicaState::Warming) {
+                victim = static_cast<int>(r);
+                break;
+            }
+        }
+        if (victim < 0) {
+            for (unsigned r = n; r-- > 0;) {
+                if (ss.service->replicaState(r) ==
+                    svc::ReplicaState::Active) {
+                    victim = static_cast<int>(r);
+                    break;
+                }
+            }
+        }
+        if (victim < 0)
+            break;
+        const unsigned r = static_cast<unsigned>(victim);
+        ss.service->drainReplica(r);
+        ss.spawnedAt.erase(r);
+        ss.draining.push_back(r);
+        --ss.target;
+        ++telemetry_.scaleIns;
+    }
+    ss.lastScaleIn = now;
+}
+
+} // namespace microscale::autoscale

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Autoscaler: the simulated control loop tying it all together.
+ *
+ * Every control period it samples the MetricsBus, lets each scaled
+ * service's policy pick a desired replica count, clamps it to
+ * [min, max], applies per-direction cooldowns, and actuates through
+ * the Service elasticity hooks: scale-out spawns a replica via
+ * addReplica() (warm-up modeled: registration delay, then a decaying
+ * cold-cache compute penalty) placed through the ReplicaPlacer;
+ * scale-in drains the most recently added replica and releases its
+ * capacity grant when it retires.
+ *
+ * The loop also keeps the run's accounting: core-seconds of granted
+ * capacity (integral of outstanding grant weight over the accounting
+ * window), SLO-violation seconds (intervals where the front service's
+ * p99 or the aggregate error rate breaches the SLO), and per-event
+ * scale-out lag (decision to first observed Active sample).
+ */
+
+#ifndef MICROSCALE_AUTOSCALE_AUTOSCALER_HH
+#define MICROSCALE_AUTOSCALE_AUTOSCALER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autoscale/metrics.hh"
+#include "autoscale/placer.hh"
+#include "autoscale/policy.hh"
+#include "base/types.hh"
+#include "core/placement.hh"
+#include "sim/simulation.hh"
+#include "teastore/app.hh"
+
+namespace microscale::autoscale
+{
+
+/** Control-loop configuration. */
+struct AutoscalerParams
+{
+    /** Sampling / decision period. */
+    Tick period = 500 * kMillisecond;
+
+    PolicyKind policy = PolicyKind::Threshold;
+    PolicyParams policyParams;
+    PlacerKind placer = PlacerKind::TopologyAware;
+
+    /** Warm-up model for spawned replicas. */
+    svc::Service::WarmupParams warmup;
+
+    /** Per-service replica bounds (applied to every scaled service). */
+    unsigned minReplicas = 1;
+    unsigned maxReplicas = 12;
+
+    /** Minimum time between scale-outs of one service. */
+    Tick scaleOutCooldown = 1 * kSecond;
+    /** Minimum time between scale-ins of one service. */
+    Tick scaleInCooldown = 8 * kSecond;
+
+    /** SLO: front-service interval p99 must stay below this. */
+    double sloP99Ms = 50.0;
+    /** SLO: aggregate failure share must stay below this. */
+    double sloMaxErrorRate = 0.01;
+};
+
+/** What the control loop did and observed. */
+struct AutoscalerTelemetry
+{
+    std::uint64_t scaleOuts = 0;
+    std::uint64_t scaleIns = 0;
+    /** Decision -> first Active observation, per scale-out, ms. */
+    std::vector<double> scaleOutLagMs;
+    /** Seconds (inside the window) spent violating the SLO. */
+    double sloViolationSeconds = 0.0;
+    /** Integral of granted capacity over the window, CPU-seconds. */
+    double coreSecondsGranted = 0.0;
+    /**
+     * Lowest granted-capacity level observed inside the window, in
+     * CPUs: the steady-state operating point the loop settles to at
+     * base load (a static deployment holds its full grant forever).
+     */
+    double steadyStateCpus = 0.0;
+    /** Max active+warming replicas seen, per service. */
+    std::map<std::string, unsigned> peakReplicas;
+    /** Replica-count / queue-depth timeline (utilization examples). */
+    std::vector<std::vector<ServiceSample>> timeline;
+    /** Keep per-interval samples in `timeline` (off by default). */
+    bool recordTimeline = false;
+};
+
+class Autoscaler
+{
+  public:
+    /**
+     * @param plan the placement the app was built with; its replicas
+     *        are adopted into the capacity accounting.
+     */
+    Autoscaler(teastore::App &app, const topo::Machine &machine,
+               const CpuMask &budget, const core::PlacementPlan &plan,
+               AutoscalerParams params);
+
+    /** Arm the periodic control event. */
+    void start();
+    void stop();
+
+    /**
+     * Restrict SLO-violation and core-second accounting to samples in
+     * (start, end]; outside samples still drive scaling decisions.
+     */
+    void setAccountingWindow(Tick start, Tick end);
+
+    /** Enable the per-interval sample timeline. */
+    void recordTimeline(bool on) { telemetry_.recordTimeline = on; }
+
+    const AutoscalerTelemetry &telemetry() const { return telemetry_; }
+    const AutoscalerParams &params() const { return params_; }
+    ReplicaPlacer &placer() { return placer_; }
+
+    /** One control iteration (exposed for unit tests). */
+    void tick();
+
+  private:
+    struct ScaledService
+    {
+        svc::Service *service = nullptr;
+        std::unique_ptr<ScalingPolicy> policy;
+        /** Replicas we intend to keep (active + warming). */
+        unsigned target = 0;
+        /**
+         * Replicas that existed before the autoscaler started (their
+         * placement is the static plan's and is never touched);
+         * indexes >= this were placed by us.
+         */
+        unsigned initialReplicas = 0;
+        /** Grant id per non-retired replica index. */
+        std::map<unsigned, unsigned> grantOf;
+        /** Spawn tick per still-warming replica (lag tracking). */
+        std::map<unsigned, Tick> spawnedAt;
+        /** Replica indexes draining, grant not yet released. */
+        std::vector<unsigned> draining;
+        Tick lastScaleOut = 0;
+        Tick lastScaleIn = 0;
+    };
+
+    void observeLifecycle(ScaledService &ss, Tick now);
+    void decide(ScaledService &ss, const ServiceSample &sample, Tick now);
+    void scaleOut(ScaledService &ss, unsigned count, Tick now);
+    void scaleIn(ScaledService &ss, unsigned count, Tick now);
+    void refreshOsPlacement();
+
+    teastore::App &app_;
+    AutoscalerParams params_;
+    MetricsBus bus_;
+    ReplicaPlacer placer_;
+    std::vector<ScaledService> scaled_;
+    sim::PeriodicEvent event_;
+    AutoscalerTelemetry telemetry_;
+    Tick window_start_ = 0;
+    Tick window_end_ = kTickNever;
+    Tick last_tick_at_ = 0;
+    /** ownedMask at the last OS-default placement refresh. */
+    CpuMask last_owned_;
+};
+
+} // namespace microscale::autoscale
+
+#endif // MICROSCALE_AUTOSCALE_AUTOSCALER_HH

@@ -1,0 +1,262 @@
+#include "autoscale/elastic.hh"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "cpu/exec.hh"
+#include "sim/simulation.hh"
+
+namespace microscale::autoscale
+{
+
+namespace
+{
+
+core::OpLatency
+summarizeHistogram(const QuantileHistogram &h)
+{
+    core::OpLatency l;
+    l.count = h.count();
+    l.meanMs = h.mean() / static_cast<double>(kMillisecond);
+    l.p50Ms = h.p50() / static_cast<double>(kMillisecond);
+    l.p95Ms = h.p95() / static_cast<double>(kMillisecond);
+    l.p99Ms = h.p99() / static_cast<double>(kMillisecond);
+    return l;
+}
+
+os::SchedStats
+schedDelta(const os::SchedStats &end, const os::SchedStats &start)
+{
+    os::SchedStats d;
+    d.wakeups = end.wakeups - start.wakeups;
+    d.contextSwitches = end.contextSwitches - start.contextSwitches;
+    d.preemptions = end.preemptions - start.preemptions;
+    d.migrations = end.migrations - start.migrations;
+    d.ccxMigrations = end.ccxMigrations - start.ccxMigrations;
+    d.balancePulls = end.balancePulls - start.balancePulls;
+    d.newIdlePulls = end.newIdlePulls - start.newIdlePulls;
+    return d;
+}
+
+} // namespace
+
+loadgen::LoadSchedule
+makeSchedule(const std::string &name, double baseRps, double peakRps,
+             Tick warmup, Tick measure)
+{
+    if (name == "constant")
+        return loadgen::LoadSchedule::constant(baseRps);
+    if (name == "spike") {
+        return loadgen::LoadSchedule::spike(
+            baseRps, peakRps, warmup + measure / 3, measure / 12,
+            measure / 6, measure / 24);
+    }
+    if (name == "diurnal") {
+        return loadgen::LoadSchedule::diurnal(
+            baseRps, peakRps - baseRps, measure / 2,
+            warmup + 2 * measure);
+    }
+    fatal("unknown load schedule '", name,
+          "' (try constant, spike, diurnal)");
+}
+
+core::RunResult
+runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
+{
+    if (config.schedule.empty())
+        fatal("runElastic needs a non-empty load schedule");
+    const core::ExperimentConfig &base = config.base;
+
+    // World composition mirrors core::runExperiment.
+    sim::Simulation sim;
+    topo::Machine machine(base.machine);
+    cpu::ExecEngine engine(sim, machine);
+    os::Kernel kernel(sim, machine, engine, base.sched, base.seed);
+    net::Network network(sim, base.net, base.seed);
+    svc::Mesh mesh(kernel, network, base.rpc, base.seed);
+    mesh.setResilience(base.resilience);
+
+    const CpuMask budget =
+        core::budgetMask(machine, base.cores, base.smt);
+    CpuMask initial_budget = budget;
+    if (config.initialCores != 0)
+        initial_budget =
+            core::budgetMask(machine, config.initialCores, base.smt);
+    if (!initial_budget.subsetOf(budget))
+        fatal("runElastic: initialCores exceeds the CPU budget");
+    core::PlacementPlan plan = core::buildPlacement(
+        base.placement, machine, initial_budget, base.demand,
+        base.sizing);
+
+    teastore::AppParams app_params = base.app;
+    core::sizeAppFromPlan(app_params, plan);
+    teastore::App app(mesh, app_params, base.seed);
+    core::applyPlacement(app, plan);
+
+    std::unique_ptr<svc::FaultInjector> injector;
+    if (!base.faults.empty()) {
+        injector =
+            std::make_unique<svc::FaultInjector>(mesh, base.faults);
+        injector->arm();
+    }
+
+    AutoscalerParams as_params = config.autoscaler;
+    if (!config.autoscale)
+        as_params.policy = PolicyKind::Static;
+    Autoscaler autoscaler(app, machine, budget, plan, as_params);
+    autoscaler.setAccountingWindow(base.warmup,
+                                   base.warmup + base.measure);
+    autoscaler.recordTimeline(config.recordTimeline);
+
+    loadgen::OpenLoopParams lp;
+    lp.schedule = config.schedule;
+    loadgen::OpenLoopDriver driver(app, base.mix, lp, base.seed);
+    loadgen::Measurement &measurement = driver.measurement();
+    measurement.setWindow(base.warmup, base.warmup + base.measure);
+
+    kernel.start();
+    app.start();
+    autoscaler.start();
+    driver.start();
+
+    // Warmup, then snapshot everything (same sequence as
+    // runExperiment so results are comparable).
+    sim.runUntil(base.warmup);
+    engine.bankAll();
+    std::map<std::string, cpu::PerfCounters> at_warmup;
+    for (svc::Service *s : app.services())
+        at_warmup[s->name()] = s->aggregateCounters();
+    const os::SchedStats sched_at_warmup = kernel.stats();
+    const std::vector<double> busy_at_warmup = engine.cpuBusySnapshot();
+    for (svc::Service *s : app.services())
+        s->resetStats();
+
+    sim.runUntil(base.warmup + base.measure);
+    engine.bankAll();
+
+    core::RunResult result;
+    result.plan = plan;
+    result.budgetCpus = budget.count();
+    result.eventsProcessed = sim.eventsProcessed();
+
+    result.throughputRps = measurement.throughputRps();
+    result.latency = summarizeHistogram(measurement.latencyNs());
+    for (teastore::OpType op : teastore::allOps()) {
+        result.perOp[teastore::opName(op)] =
+            summarizeHistogram(measurement.latencyNsFor(op));
+    }
+
+    cpu::PerfCounters total;
+    for (svc::Service *s : app.services()) {
+        const cpu::PerfCounters delta =
+            s->aggregateCounters().delta(at_warmup[s->name()]);
+        result.servicePerf[s->name()] =
+            perf::makeRow(s->name(), delta, base.measure);
+        total.merge(delta);
+    }
+    result.total = perf::makeRow("total", total, base.measure);
+    result.sched = schedDelta(kernel.stats(), sched_at_warmup);
+    result.avgFreqGhz = total.ghz();
+
+    constexpr double kMs = static_cast<double>(kMillisecond);
+    for (svc::Service *s : app.services()) {
+        for (const auto &[op, stats] : s->opStats()) {
+            core::OpBreakdown b;
+            b.count = stats.requests;
+            b.serviceTimeMeanMs = stats.serviceTimeNs.mean() / kMs;
+            b.queueWaitMeanMs = stats.queueWaitNs.mean() / kMs;
+            b.computeMeanMs = stats.computeNs.mean() / kMs;
+            b.stallMeanMs = stats.stallNs.mean() / kMs;
+            b.serviceTimeP99Ms = stats.serviceTimeNs.p99() / kMs;
+            b.okCount =
+                stats.statusCounts[svc::statusIndex(svc::Status::Ok)];
+            b.timeoutCount = stats.statusCounts[svc::statusIndex(
+                svc::Status::Timeout)];
+            b.overloadCount = stats.statusCounts[svc::statusIndex(
+                svc::Status::Overload)];
+            b.unavailableCount = stats.statusCounts[svc::statusIndex(
+                svc::Status::Unavailable)];
+            result.breakdown[s->name()][op] = b;
+        }
+    }
+
+    {
+        core::ResilienceSummary &rs = result.resilience;
+        rs.active = base.resilience.active() || !base.faults.empty() ||
+                    app_params.degradedFallbacks;
+        rs.goodputRps = measurement.goodputRps();
+        const std::uint64_t completed = measurement.completed();
+        rs.okCount = measurement.statusCount(svc::Status::Ok);
+        rs.timeoutCount = measurement.statusCount(svc::Status::Timeout);
+        rs.overloadCount =
+            measurement.statusCount(svc::Status::Overload);
+        rs.unavailableCount =
+            measurement.statusCount(svc::Status::Unavailable);
+        rs.degradedCount = measurement.degradedCount();
+        rs.errorRate =
+            completed > 0
+                ? static_cast<double>(measurement.errorCount()) /
+                      static_cast<double>(completed)
+                : 0.0;
+        rs.degradedShare =
+            rs.okCount > 0 ? static_cast<double>(rs.degradedCount) /
+                                 static_cast<double>(rs.okCount)
+                           : 0.0;
+        rs.retries = mesh.retryStats().retries;
+        rs.retriesDenied = mesh.retryStats().budgetDenied;
+        rs.clientTimeouts = mesh.retryStats().clientTimeouts;
+        for (svc::Service *s : app.services()) {
+            const svc::ResilienceCounters &c = s->resilienceCounters();
+            rs.shed += c.shed;
+            rs.deadlineDrops += c.deadlineDrops;
+            rs.breakerOpens += c.breakerOpens;
+        }
+    }
+
+    const std::vector<double> busy_at_end = engine.cpuBusySnapshot();
+    double busy = 0.0;
+    for (CpuId c : budget)
+        busy += busy_at_end[c] - busy_at_warmup[c];
+    result.cpuUtilization =
+        busy / (static_cast<double>(budget.count()) *
+                static_cast<double>(base.measure));
+
+    // The elastic summary on top of the standard harvest.
+    {
+        const AutoscalerTelemetry &t = autoscaler.telemetry();
+        core::ElasticSummary &es = result.elastic;
+        es.active = true;
+        es.schedule = config.schedule.name();
+        es.policy = policyName(as_params.policy);
+        es.placer = placerName(as_params.placer);
+        es.offeredMeanRps = config.schedule.meanRate(
+            base.warmup, base.warmup + base.measure);
+        es.offeredPeakRps = config.schedule.peakRate();
+        es.sloP99Ms = as_params.sloP99Ms;
+        es.sloViolationSeconds = t.sloViolationSeconds;
+        es.coreSecondsGranted = t.coreSecondsGranted;
+        es.steadyStateCpus = t.steadyStateCpus;
+        es.scaleOuts = t.scaleOuts;
+        es.scaleIns = t.scaleIns;
+        if (!t.scaleOutLagMs.empty()) {
+            double sum = 0.0;
+            for (double v : t.scaleOutLagMs)
+                sum += v;
+            es.scaleOutLagMeanMs =
+                sum / static_cast<double>(t.scaleOutLagMs.size());
+        }
+        es.peakReplicas = t.peakReplicas;
+        if (telemetryOut)
+            *telemetryOut = t;
+    }
+
+    driver.stopIssuing();
+    autoscaler.stop();
+    app.stop();
+    kernel.stop();
+    return result;
+}
+
+} // namespace microscale::autoscale

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * runElastic: one end-to-end elasticity run.
+ *
+ * Composes the same world as core::runExperiment - machine, kernel,
+ * mesh, TeaStore app, placement - then adds the elasticity pieces: an
+ * open-loop driver following a LoadSchedule (non-homogeneous Poisson
+ * arrivals) and an Autoscaler control loop actuating the Service
+ * elasticity hooks. The harvest mirrors runExperiment so results are
+ * directly comparable; on top it fills RunResult::elastic with the
+ * FIG-13 metrics (SLO-violation seconds, core-seconds granted,
+ * scale-out lag, peak replicas).
+ *
+ * Lives in src/autoscale (not core) so core never depends on the
+ * autoscaler; the composition/harvest sequence intentionally mirrors
+ * core/experiment.cc - keep the two in sync.
+ */
+
+#ifndef MICROSCALE_AUTOSCALE_ELASTIC_HH
+#define MICROSCALE_AUTOSCALE_ELASTIC_HH
+
+#include "autoscale/autoscaler.hh"
+#include "core/experiment.hh"
+#include "loadgen/schedule.hh"
+
+namespace microscale::autoscale
+{
+
+/** Everything one elastic run needs. */
+struct ElasticConfig
+{
+    /**
+     * Base world configuration. The load schedule below replaces the
+     * closed-loop/openLoopRps drivers; placement/sizing describe the
+     * initial deployment the autoscaler starts from.
+     */
+    core::ExperimentConfig base;
+
+    /** Offered load over time (must be non-empty). */
+    loadgen::LoadSchedule schedule;
+
+    /**
+     * Physical cores the *initial* deployment is planned over
+     * (0 = the whole base.cores budget). The autoscaler always scales
+     * into the full budget; a smaller initial footprint is how a
+     * deployment tuned for nominal load leaves headroom to grow.
+     */
+    unsigned initialCores = 0;
+
+    /** Run the control loop (false = static deployment, but the
+     * accounting - core-seconds, SLO seconds - still runs via a
+     * Static-policy autoscaler). */
+    bool autoscale = true;
+
+    AutoscalerParams autoscaler;
+
+    /** Keep the per-interval sample timeline in the telemetry. */
+    bool recordTimeline = false;
+};
+
+/**
+ * Run one elastic experiment. Returns the standard RunResult with
+ * `elastic` filled; `telemetryOut`, when non-null, receives the raw
+ * control-loop telemetry (timelines, per-event lags).
+ */
+core::RunResult runElastic(const ElasticConfig &config,
+                           AutoscalerTelemetry *telemetryOut = nullptr);
+
+/**
+ * The canonical schedule shapes of the elasticity experiments, scaled
+ * to a run's windows so FIG-13, msim --schedule and the examples all
+ * agree: "constant" holds baseRps; "spike" ramps to peakRps a third
+ * into the measurement window (ramp measure/12, hold measure/6, ramp
+ * down measure/24); "diurnal" oscillates between baseRps and peakRps
+ * with period measure/2. fatal() on any other name.
+ */
+loadgen::LoadSchedule makeSchedule(const std::string &name,
+                                   double baseRps, double peakRps,
+                                   Tick warmup, Tick measure);
+
+} // namespace microscale::autoscale
+
+#endif // MICROSCALE_AUTOSCALE_ELASTIC_HH

@@ -1,0 +1,120 @@
+#include "autoscale/placer.hh"
+
+#include "base/logging.hh"
+
+namespace microscale::autoscale
+{
+
+const char *
+placerName(PlacerKind kind)
+{
+    switch (kind) {
+    case PlacerKind::TopologyAware:
+        return "topology-aware";
+    case PlacerKind::OsDefault:
+        return "os-default";
+    }
+    MS_PANIC("invalid PlacerKind");
+}
+
+PlacerKind
+placerByName(const std::string &name)
+{
+    for (PlacerKind k :
+         {PlacerKind::TopologyAware, PlacerKind::OsDefault}) {
+        if (name == placerName(k))
+            return k;
+    }
+    fatal("unknown placer '", name,
+          "' (try topology-aware, os-default)");
+}
+
+ReplicaPlacer::ReplicaPlacer(const topo::Machine &machine,
+                             const CpuMask &budget, PlacerKind kind)
+    : kind_(kind), budget_(budget)
+{
+    if (budget.empty())
+        fatal("replica placer with empty CPU budget");
+    groups_ = core::ccxPlacementGroups(machine, budget);
+    if (groups_.empty())
+        fatal("replica placer: budget covers no CCX");
+    load_.assign(groups_.size(), 0);
+    quantum_cpus_ = static_cast<double>(budget.count()) /
+                    static_cast<double>(groups_.size());
+}
+
+PlacerGrant
+ReplicaPlacer::grant()
+{
+    PlacerGrant g;
+    g.id = next_id_++;
+    // Both flavors reserve the least-loaded CCX group (ties break
+    // toward the lowest index, keeping the choice deterministic), so
+    // the capacity bill is identical; they differ only in where the
+    // replica's threads and memory may go.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < groups_.size(); ++i) {
+        if (load_[i] < load_[best])
+            best = i;
+    }
+    ++load_[best];
+    g.cpus = static_cast<double>(groups_[best].mask.count());
+    if (kind_ == PlacerKind::TopologyAware) {
+        g.mask = groups_[best].mask;
+        g.home = groups_[best].node;
+    } else {
+        // Unpinned across everything the app owns, first-touch memory:
+        // the scheduler decides where the replica actually runs.
+        g.mask = ownedMask();
+        g.home = kInvalidNode;
+    }
+    grants_[g.id] = GrantRecord{static_cast<int>(best), g.cpus};
+    granted_cpus_ += g.cpus;
+    return g;
+}
+
+CpuMask
+ReplicaPlacer::ownedMask() const
+{
+    CpuMask m;
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        if (load_[i] > 0)
+            m |= groups_[i].mask;
+    }
+    return m.empty() ? budget_ : m;
+}
+
+unsigned
+ReplicaPlacer::adopt(const CpuMask &mask, NodeId home)
+{
+    (void)home;
+    const unsigned id = next_id_++;
+    GrantRecord rec;
+    rec.group = -1;
+    rec.cpus = quantum_cpus_;
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        if (groups_[i].mask == mask) {
+            rec.group = static_cast<int>(i);
+            rec.cpus = static_cast<double>(groups_[i].mask.count());
+            ++load_[i];
+            break;
+        }
+    }
+    grants_[id] = rec;
+    granted_cpus_ += rec.cpus;
+    return id;
+}
+
+void
+ReplicaPlacer::release(unsigned id)
+{
+    auto it = grants_.find(id);
+    if (it == grants_.end())
+        fatal("replica placer: unknown grant ", id);
+    if (it->second.group >= 0)
+        --load_[static_cast<std::size_t>(it->second.group)];
+    granted_cpus_ -= it->second.cpus;
+    grants_.erase(it);
+}
+
+} // namespace microscale::autoscale

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * ReplicaPlacer: where a runtime-spawned replica's threads and memory
+ * go, and how much CPU capacity each replica is charged for.
+ *
+ * The machine is carved into CCX groups (core::ccxPlacementGroups).
+ * Both placement flavors reserve the least-loaded group, so a grant
+ * always bills the same capacity. Topology-aware placement pins the
+ * new replica's workers to the reserved CCX and homes its memory on
+ * the CCX's node - the runtime analogue of the paper's CcxAware
+ * static partitioning. OS-default placement leaves the replica
+ * unpinned across all the capacity the app owns (ownedMask) with
+ * first-touch memory, so the comparison isolates placement quality
+ * from capacity.
+ *
+ * Grants (including ones adopted for replicas that existed before the
+ * autoscaler started) carry a CPU weight; the sum of outstanding
+ * weights integrated over time is the run's core-seconds bill.
+ */
+
+#ifndef MICROSCALE_AUTOSCALE_PLACER_HH
+#define MICROSCALE_AUTOSCALE_PLACER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/cpumask.hh"
+#include "base/types.hh"
+#include "core/placement.hh"
+#include "topo/machine.hh"
+
+namespace microscale::autoscale
+{
+
+/** Placement flavors compared in FIG-13. */
+enum class PlacerKind
+{
+    TopologyAware,
+    OsDefault,
+};
+
+/** Short identifier, e.g. "topology-aware". */
+const char *placerName(PlacerKind kind);
+
+/** Inverse of placerName; fatal() on an unknown name. */
+PlacerKind placerByName(const std::string &name);
+
+/** One capacity grant backing one replica. */
+struct PlacerGrant
+{
+    unsigned id = 0;
+    /** Affinity for the replica's workers. */
+    CpuMask mask;
+    /** Memory home (kInvalidNode = first-touch). */
+    NodeId home = kInvalidNode;
+    /** CPUs this grant is charged for (core-seconds accounting). */
+    double cpus = 0.0;
+};
+
+class ReplicaPlacer
+{
+  public:
+    ReplicaPlacer(const topo::Machine &machine, const CpuMask &budget,
+                  PlacerKind kind);
+
+    /** Grant capacity for one new replica (deterministic). */
+    PlacerGrant grant();
+
+    /**
+     * Adopt an existing replica into the accounting: if its mask is
+     * exactly one CCX group, that group is marked loaded; otherwise
+     * (unpinned baseline) only the capacity quantum is charged.
+     * Returns the grant id for a later release().
+     */
+    unsigned adopt(const CpuMask &mask, NodeId home);
+
+    /** Return a grant's capacity (replica retired). */
+    void release(unsigned id);
+
+    /**
+     * Union of all reserved groups (the capacity the app owns right
+     * now); the whole budget when nothing is reserved. OS-default
+     * replicas roam this mask - re-apply it when grants change.
+     */
+    CpuMask ownedMask() const;
+
+    /** Sum of outstanding grant weights, in CPUs. */
+    double grantedCpus() const { return granted_cpus_; }
+
+    /** Outstanding grants. */
+    unsigned outstanding() const
+    {
+        return static_cast<unsigned>(grants_.size());
+    }
+
+    /** CCX groups inside the budget. */
+    std::size_t groupCount() const { return groups_.size(); }
+
+    /** Capacity charged per unpinned grant, in CPUs. */
+    double quantumCpus() const { return quantum_cpus_; }
+
+    PlacerKind kind() const { return kind_; }
+
+  private:
+    struct GrantRecord
+    {
+        /** Owning group index, or -1 for unpinned grants. */
+        int group = -1;
+        double cpus = 0.0;
+    };
+
+    PlacerKind kind_;
+    CpuMask budget_;
+    std::vector<core::PlacementGroup> groups_;
+    /** Outstanding grants per group. */
+    std::vector<unsigned> load_;
+    std::map<unsigned, GrantRecord> grants_;
+    double granted_cpus_ = 0.0;
+    double quantum_cpus_ = 0.0;
+    unsigned next_id_ = 0;
+};
+
+} // namespace microscale::autoscale
+
+#endif // MICROSCALE_AUTOSCALE_PLACER_HH

@@ -132,6 +132,40 @@ struct ResilienceSummary
     std::uint64_t breakerOpens = 0;
 };
 
+/**
+ * Elasticity outcome of one run (filled by autoscale::runElastic).
+ * `active` only when the run used a load schedule or an autoscaler;
+ * inactive summaries are elided from reports so fixed-rate baseline
+ * output is unchanged.
+ */
+struct ElasticSummary
+{
+    bool active = false;
+    /** Schedule driving the open-loop arrivals ("spike", ...). */
+    std::string schedule;
+    /** Scaling policy ("static", "threshold", "queue-law", ...). */
+    std::string policy;
+    /** Replica placement flavor ("topology-aware", "os-default"). */
+    std::string placer;
+    /** Mean / peak offered rate over the measurement window, rps. */
+    double offeredMeanRps = 0.0;
+    double offeredPeakRps = 0.0;
+    /** The p99 bound the SLO monitor enforced, ms. */
+    double sloP99Ms = 0.0;
+    /** Window seconds spent in SLO violation. */
+    double sloViolationSeconds = 0.0;
+    /** Integral of granted capacity over the window, CPU-seconds. */
+    double coreSecondsGranted = 0.0;
+    /** Lowest granted-capacity level in the window, CPUs. */
+    double steadyStateCpus = 0.0;
+    /** Mean decision-to-Active lag over all scale-outs, ms (0 = none). */
+    double scaleOutLagMeanMs = 0.0;
+    std::uint64_t scaleOuts = 0;
+    std::uint64_t scaleIns = 0;
+    /** Max concurrent (active + warming) replicas, per service. */
+    std::map<std::string, unsigned> peakReplicas;
+};
+
 /** Results of one run. */
 struct RunResult
 {
@@ -146,6 +180,7 @@ struct RunResult
     std::map<std::string, std::map<std::string, OpBreakdown>> breakdown;
 
     ResilienceSummary resilience;
+    ElasticSummary elastic;
 
     os::SchedStats sched;
     /** Busy fraction of the CPU budget during the window. */

@@ -250,6 +250,33 @@ writeJson(std::ostream &os, const RunResult &result)
         w.endObject();
     }
 
+    // Same gating as the resilience block: only elastic runs (load
+    // schedule or autoscaler) carry it, keeping FIG-1..12 output
+    // byte-identical.
+    if (result.elastic.active) {
+        const ElasticSummary &es = result.elastic;
+        w.key("elastic");
+        w.beginObject();
+        w.field("schedule", es.schedule);
+        w.field("policy", es.policy);
+        w.field("placer", es.placer);
+        w.field("offered_mean_rps", es.offeredMeanRps);
+        w.field("offered_peak_rps", es.offeredPeakRps);
+        w.field("slo_p99_ms", es.sloP99Ms);
+        w.field("slo_violation_seconds", es.sloViolationSeconds);
+        w.field("core_seconds_granted", es.coreSecondsGranted);
+        w.field("steady_state_cpus", es.steadyStateCpus);
+        w.field("scale_out_lag_mean_ms", es.scaleOutLagMeanMs);
+        w.field("scale_outs", es.scaleOuts);
+        w.field("scale_ins", es.scaleIns);
+        w.key("peak_replicas");
+        w.beginObject();
+        for (const auto &[name, peak] : es.peakReplicas)
+            w.field(name, peak);
+        w.endObject();
+        w.endObject();
+    }
+
     w.endObject();
     os << "\n";
 }

@@ -178,36 +178,7 @@ allocateCounts(const std::vector<double> &shares, unsigned total)
     return counts;
 }
 
-/** Groups of CPUs to partition: one entry per CCX or node in budget. */
-struct Group
-{
-    CpuMask mask;
-    NodeId node = kInvalidNode;
-};
-
-std::vector<Group>
-ccxGroups(const topo::Machine &machine, const CpuMask &budget)
-{
-    std::vector<Group> groups;
-    for (CcxId x = 0; x < machine.numCcxs(); ++x) {
-        const CpuMask m = machine.cpusOfCcx(x) & budget;
-        if (!m.empty())
-            groups.push_back(Group{m, machine.nodeOfCcx(x)});
-    }
-    return groups;
-}
-
-std::vector<Group>
-nodeGroups(const topo::Machine &machine, const CpuMask &budget)
-{
-    std::vector<Group> groups;
-    for (NodeId n = 0; n < machine.numNodes(); ++n) {
-        const CpuMask m = machine.cpusOfNode(n) & budget;
-        if (!m.empty())
-            groups.push_back(Group{m, n});
-    }
-    return groups;
-}
+using Group = PlacementGroup;
 
 /**
  * Partition `groups` among the worker services by demand and emit the
@@ -290,6 +261,30 @@ planPinned(PlacementPlan &plan, const std::vector<Group> &groups,
 
 } // namespace
 
+std::vector<PlacementGroup>
+ccxPlacementGroups(const topo::Machine &machine, const CpuMask &budget)
+{
+    std::vector<PlacementGroup> groups;
+    for (CcxId x = 0; x < machine.numCcxs(); ++x) {
+        const CpuMask m = machine.cpusOfCcx(x) & budget;
+        if (!m.empty())
+            groups.push_back(PlacementGroup{m, machine.nodeOfCcx(x)});
+    }
+    return groups;
+}
+
+std::vector<PlacementGroup>
+nodePlacementGroups(const topo::Machine &machine, const CpuMask &budget)
+{
+    std::vector<PlacementGroup> groups;
+    for (NodeId n = 0; n < machine.numNodes(); ++n) {
+        const CpuMask m = machine.cpusOfNode(n) & budget;
+        if (!m.empty())
+            groups.push_back(PlacementGroup{m, n});
+    }
+    return groups;
+}
+
 PlacementPlan
 buildPlacement(PlacementKind kind, const topo::Machine &machine,
                const CpuMask &budget, const DemandShares &demand,
@@ -327,7 +322,7 @@ buildPlacement(PlacementKind kind, const topo::Machine &machine,
         // replica counts, each replica confined to one node with local
         // memory; the scheduler stays free within the node. Replicas
         // round-robin over nodes so load stays balanced.
-        const auto groups = nodeGroups(machine, budget);
+        const auto groups = nodePlacementGroups(machine, budget);
         if (groups.empty())
             fatal("placement: budget covers no NUMA node");
         unsigned next = 0;
@@ -349,11 +344,11 @@ buildPlacement(PlacementKind kind, const topo::Machine &machine,
         break;
       }
       case PlacementKind::CcxAware:
-        planPinned(plan, ccxGroups(machine, budget), norm, sizing,
+        planPinned(plan, ccxPlacementGroups(machine, budget), norm, sizing,
                    false, machine.numNodes());
         break;
       case PlacementKind::CcxStripedMem:
-        planPinned(plan, ccxGroups(machine, budget), norm, sizing,
+        planPinned(plan, ccxPlacementGroups(machine, budget), norm, sizing,
                    true, machine.numNodes());
         break;
     }

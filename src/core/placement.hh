@@ -104,6 +104,26 @@ struct PlacementPlan
 };
 
 /**
+ * One partitionable unit of the machine: the CPUs of a CCX or NUMA
+ * node (intersected with a budget) plus the node its memory lives on.
+ * The planner partitions these statically; autoscale::ReplicaPlacer
+ * grants and releases them at runtime.
+ */
+struct PlacementGroup
+{
+    CpuMask mask;
+    NodeId node = kInvalidNode;
+};
+
+/** CCX-granularity groups inside `budget` (empty groups dropped). */
+std::vector<PlacementGroup> ccxPlacementGroups(const topo::Machine &machine,
+                                               const CpuMask &budget);
+
+/** NUMA-node-granularity groups inside `budget`. */
+std::vector<PlacementGroup> nodePlacementGroups(const topo::Machine &machine,
+                                                const CpuMask &budget);
+
+/**
  * The CPU budget for an experiment: the first `cores` physical cores
  * (0 = all), optionally including their SMT siblings.
  */

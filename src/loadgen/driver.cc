@@ -141,11 +141,15 @@ OpenLoopDriver::OpenLoopDriver(teastore::App &app, BrowseMix mix,
                                OpenLoopParams params, std::uint64_t seed)
     : app_(app),
       mix_(std::move(mix)),
-      params_(params),
+      params_(std::move(params)),
       rng_(seed, "loadgen.openloop")
 {
-    if (params_.arrivalRps <= 0.0)
-        fatal("open-loop driver needs a positive arrival rate");
+    if (params_.schedule.empty()) {
+        if (params_.arrivalRps <= 0.0)
+            fatal("open-loop driver needs a positive arrival rate");
+    } else if (params_.schedule.peakRate() <= 0.0) {
+        fatal("open-loop schedule needs a positive peak rate");
+    }
 }
 
 void
@@ -157,17 +161,46 @@ OpenLoopDriver::start()
     scheduleNext();
 }
 
+double
+OpenLoopDriver::currentRate() const
+{
+    if (params_.schedule.empty())
+        return params_.arrivalRps;
+    return params_.schedule.rateAt(app_.mesh().kernel().sim().now());
+}
+
 void
 OpenLoopDriver::scheduleNext()
 {
     if (stopped_)
         return;
-    const double mean_gap_ns =
-        static_cast<double>(kSecond) / params_.arrivalRps;
-    const double gap = rng_.exponential(mean_gap_ns);
-    app_.mesh().kernel().sim().scheduleAfter(
-        std::max<Tick>(1, static_cast<Tick>(std::llround(gap))),
-        [this] { arrival(); });
+    auto &sim = app_.mesh().kernel().sim();
+    if (params_.schedule.empty()) {
+        const double mean_gap_ns =
+            static_cast<double>(kSecond) / params_.arrivalRps;
+        const double gap = rng_.exponential(mean_gap_ns);
+        sim.scheduleAfter(
+            std::max<Tick>(1, static_cast<Tick>(std::llround(gap))),
+            [this] { arrival(); });
+        return;
+    }
+    // Non-homogeneous Poisson by thinning (Lewis-Shedler): draw
+    // candidate gaps at the schedule's peak rate and accept each
+    // candidate with probability rate(t)/peak. Rejected candidates
+    // advance time without scheduling an event.
+    const double peak = params_.schedule.peakRate();
+    const double mean_gap_ns = static_cast<double>(kSecond) / peak;
+    Tick t = sim.now();
+    for (unsigned draws = 0;; ++draws) {
+        if (draws > 10'000'000)
+            fatal("open-loop thinning failed to accept an arrival; "
+                  "does the schedule decay to zero?");
+        const double gap = rng_.exponential(mean_gap_ns);
+        t += std::max<Tick>(1, static_cast<Tick>(std::llround(gap)));
+        if (rng_.uniform01() * peak <= params_.schedule.rateAt(t))
+            break;
+    }
+    sim.scheduleAt(t, [this] { arrival(); });
 }
 
 void
@@ -177,6 +210,8 @@ OpenLoopDriver::arrival()
         return;
     const OpType op = mix_.sampleStationary(rng_);
     const Tick issued_at = app_.mesh().kernel().sim().now();
+    if (params_.arrivalLog)
+        params_.arrivalLog->push_back(issued_at);
     ++issued_;
     ++in_flight_;
     svc::Payload req = app_.sampleRequest(op, rng_);

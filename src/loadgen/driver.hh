@@ -21,6 +21,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "loadgen/mix.hh"
+#include "loadgen/schedule.hh"
 #include "svc/resilience.hh"
 #include "teastore/app.hh"
 
@@ -157,10 +158,19 @@ struct OpenLoopParams
 {
     /** Mean arrival rate, requests per second. */
     double arrivalRps = 1000.0;
+    /**
+     * Time-varying rate; when non-empty it overrides arrivalRps and
+     * arrivals follow a non-homogeneous Poisson process (thinning).
+     * Empty keeps the legacy fixed-rate arrival stream bit-identical.
+     */
+    LoadSchedule schedule;
+    /** When set, every arrival tick is appended (determinism tests). */
+    std::vector<Tick> *arrivalLog = nullptr;
 };
 
 /**
- * Poisson arrivals sampled from the stationary mix.
+ * Poisson arrivals sampled from the stationary mix, at a fixed rate or
+ * along a LoadSchedule.
  */
 class OpenLoopDriver
 {
@@ -180,6 +190,9 @@ class OpenLoopDriver
     std::uint64_t issued() const { return issued_; }
     /** Requests issued but not yet answered. */
     std::uint64_t inFlight() const { return in_flight_; }
+
+    /** The scheduled rate right now (fixed rate without a schedule). */
+    double currentRate() const;
 
   private:
     void scheduleNext();

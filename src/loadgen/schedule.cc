@@ -1,0 +1,171 @@
+#include "loadgen/schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace microscale::loadgen
+{
+
+LoadSchedule
+LoadSchedule::constant(double rps)
+{
+    if (rps <= 0.0)
+        fatal("constant schedule needs a positive rate");
+    LoadSchedule s;
+    s.addPoint(0, rps);
+    s.setName("constant");
+    return s;
+}
+
+LoadSchedule
+LoadSchedule::spike(double baseRps, double peakRps, Tick spikeAt,
+                    Tick rampUp, Tick hold, Tick rampDown)
+{
+    if (baseRps <= 0.0 || peakRps < baseRps)
+        fatal("spike schedule needs 0 < base <= peak");
+    LoadSchedule s;
+    s.addPoint(0, baseRps);
+    s.addPoint(spikeAt, baseRps);
+    s.addPoint(spikeAt + rampUp, peakRps);
+    s.addPoint(spikeAt + rampUp + hold, peakRps);
+    s.addPoint(spikeAt + rampUp + hold + rampDown, baseRps);
+    s.setName("spike");
+    return s;
+}
+
+LoadSchedule
+LoadSchedule::diurnal(double baseRps, double amplitude, Tick period,
+                      Tick horizon, unsigned segmentsPerPeriod)
+{
+    if (baseRps <= 0.0 || amplitude < 0.0)
+        fatal("diurnal schedule needs positive base and amplitude >= 0");
+    if (period == 0 || segmentsPerPeriod < 4)
+        fatal("diurnal schedule needs a period and >= 4 segments");
+    LoadSchedule s;
+    const double two_pi = 2.0 * 3.14159265358979323846;
+    const Tick seg = std::max<Tick>(1, period / segmentsPerPeriod);
+    for (Tick t = 0;; t += seg) {
+        const double phase =
+            two_pi * static_cast<double>(t) / static_cast<double>(period);
+        // Starts at the trough (base), crests at base + amplitude.
+        const double rate =
+            baseRps + amplitude * 0.5 * (1.0 - std::cos(phase));
+        s.addPoint(t, rate);
+        if (t >= horizon)
+            break;
+    }
+    s.setName("diurnal");
+    return s;
+}
+
+LoadSchedule &
+LoadSchedule::addPoint(Tick at, double rps)
+{
+    if (rps < 0.0)
+        fatal("schedule rate must be >= 0");
+    if (!points_.empty() && at < points_.back().at)
+        fatal("schedule points must not go back in time");
+    points_.push_back(RatePoint{at, rps, false});
+    return *this;
+}
+
+LoadSchedule &
+LoadSchedule::addStep(Tick at, double rps)
+{
+    if (rps < 0.0)
+        fatal("schedule rate must be >= 0");
+    if (!points_.empty() && at < points_.back().at)
+        fatal("schedule points must not go back in time");
+    points_.push_back(RatePoint{at, rps, true});
+    return *this;
+}
+
+double
+LoadSchedule::rateAt(Tick t) const
+{
+    if (points_.empty())
+        return 0.0;
+    if (t <= points_.front().at)
+        return points_.front().rps;
+    if (t >= points_.back().at)
+        return points_.back().rps;
+    // Find the segment [i, i+1) containing t.
+    std::size_t lo = 0, hi = points_.size() - 1;
+    while (lo + 1 < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (points_[mid].at <= t)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const RatePoint &a = points_[lo];
+    const RatePoint &b = points_[hi];
+    if (b.step || b.at == a.at)
+        return a.rps;
+    const double f = static_cast<double>(t - a.at) /
+                     static_cast<double>(b.at - a.at);
+    return a.rps + f * (b.rps - a.rps);
+}
+
+double
+LoadSchedule::peakRate() const
+{
+    double peak = 0.0;
+    for (const RatePoint &p : points_)
+        peak = std::max(peak, p.rps);
+    return peak;
+}
+
+double
+LoadSchedule::meanRate(Tick start, Tick end) const
+{
+    if (end <= start || points_.empty())
+        return 0.0;
+    // Integrate the piecewise function over [start, end): trapezoids
+    // for linear segments, rectangles for step holds and the flat
+    // regions before the first / after the last point.
+    double area = 0.0;
+    auto addLinear = [&](Tick a_at, double a_rps, Tick b_at,
+                         double b_rps) {
+        const Tick lo = std::max(a_at, start);
+        const Tick hi = std::min(b_at, end);
+        if (hi <= lo || b_at == a_at)
+            return;
+        const double span = static_cast<double>(b_at - a_at);
+        const double r_lo =
+            a_rps + (b_rps - a_rps) *
+                        static_cast<double>(lo - a_at) / span;
+        const double r_hi =
+            a_rps + (b_rps - a_rps) *
+                        static_cast<double>(hi - a_at) / span;
+        area += 0.5 * (r_lo + r_hi) * static_cast<double>(hi - lo);
+    };
+    // Flat head.
+    if (start < points_.front().at)
+        addLinear(start, points_.front().rps, points_.front().at,
+                  points_.front().rps);
+    for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+        const RatePoint &a = points_[i];
+        const RatePoint &b = points_[i + 1];
+        if (b.step)
+            addLinear(a.at, a.rps, b.at, a.rps);
+        else
+            addLinear(a.at, a.rps, b.at, b.rps);
+    }
+    // Flat tail.
+    if (end > points_.back().at)
+        addLinear(std::max(points_.back().at, start), points_.back().rps,
+                  end, points_.back().rps);
+    return area / static_cast<double>(end - start);
+}
+
+LoadSchedule &
+LoadSchedule::setName(std::string name)
+{
+    name_ = std::move(name);
+    return *this;
+}
+
+} // namespace microscale::loadgen

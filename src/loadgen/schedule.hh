@@ -1,0 +1,99 @@
+/**
+ * @file
+ * LoadSchedule: a deterministic, piecewise time-varying request rate.
+ *
+ * A schedule is a sorted list of control points; between two points the
+ * rate either interpolates linearly (ramps) or holds the previous value
+ * until the next point (steps). Factories build the canonical shapes
+ * the elasticity experiments use: constant, flash-crowd spike and
+ * diurnal sine. An empty schedule means "no schedule" - the open-loop
+ * driver then keeps its legacy fixed-rate arrival process, so every
+ * existing experiment is untouched.
+ */
+
+#ifndef MICROSCALE_LOADGEN_SCHEDULE_HH
+#define MICROSCALE_LOADGEN_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace microscale::loadgen
+{
+
+/** One control point of a schedule. */
+struct RatePoint
+{
+    Tick at = 0;
+    double rps = 0.0;
+    /**
+     * Hold the previous point's rate until `at` (discontinuous step)
+     * instead of interpolating linearly from the previous point.
+     */
+    bool step = false;
+};
+
+/**
+ * A piecewise rate function over simulated time. Before the first
+ * point the first rate applies; after the last point the last rate
+ * holds forever.
+ */
+class LoadSchedule
+{
+  public:
+    /** Empty schedule: "no schedule" (drivers use their fixed rate). */
+    LoadSchedule() = default;
+
+    /** A flat schedule at `rps` (useful as an explicit baseline). */
+    static LoadSchedule constant(double rps);
+
+    /**
+     * Flash crowd: `baseRps` until `spikeAt`, linear ramp to `peakRps`
+     * over `rampUp`, hold for `hold`, linear ramp back over `rampDown`.
+     */
+    static LoadSchedule spike(double baseRps, double peakRps, Tick spikeAt,
+                              Tick rampUp, Tick hold, Tick rampDown);
+
+    /**
+     * Diurnal sine: oscillates between `baseRps` (trough) and
+     * `baseRps + amplitude` (crest) with the given `period`, starting
+     * at the trough. The sine is sampled into `segmentsPerPeriod`
+     * linear segments per period out to `horizon`.
+     */
+    static LoadSchedule diurnal(double baseRps, double amplitude,
+                                Tick period, Tick horizon,
+                                unsigned segmentsPerPeriod = 48);
+
+    /** Append a linear-interpolation control point (at must not go back). */
+    LoadSchedule &addPoint(Tick at, double rps);
+
+    /** Append a step: hold the previous rate, jump to `rps` at `at`. */
+    LoadSchedule &addStep(Tick at, double rps);
+
+    /** True when no points were added ("no schedule"). */
+    bool empty() const { return points_.empty(); }
+
+    /** The rate at time `t`, requests per second. */
+    double rateAt(Tick t) const;
+
+    /** The maximum rate over all points (thinning envelope). */
+    double peakRate() const;
+
+    /** Exact mean rate over [start, end) by piecewise integration. */
+    double meanRate(Tick start, Tick end) const;
+
+    /** Schedule name for labels/reports ("spike", "diurnal", ...). */
+    const std::string &name() const { return name_; }
+    LoadSchedule &setName(std::string name);
+
+    const std::vector<RatePoint> &points() const { return points_; }
+
+  private:
+    std::vector<RatePoint> points_;
+    std::string name_ = "constant";
+};
+
+} // namespace microscale::loadgen
+
+#endif // MICROSCALE_LOADGEN_SCHEDULE_HH

@@ -42,6 +42,11 @@ HandlerCtx::computeProfile(const cpu::WorkProfile &profile,
     // Brownout faults scale the budget; at the default 1.0 the multiply
     // is an exact identity and the draw below is unchanged.
     double actual = instructions * service_.slowdown_;
+    // Replicas added at runtime run colder for a while; replicas from
+    // construction have coldUntil == 0 and skip this entirely.
+    const Replica &rep = service_.replicas_[worker_.replica];
+    if (rep.coldUntil != 0)
+        actual *= service_.coldComputeFactor(worker_.replica, now());
     if (service_.params_.computeCv > 0.0 && actual > 0.0)
         actual = rng().lognormal(actual, service_.params_.computeCv);
     if (actual <= 0.0) {
@@ -250,6 +255,8 @@ HandlerCtx::done()
             std::max(0.0, service_time - queue_wait - compute));
         stats.statusCounts[statusIndex(status)]++;
         svc.breakerRecord(worker.replica, status == Status::Ok, probe);
+        if (svc.completion_observer_)
+            svc.completion_observer_(op, service_time, status);
 
         if (respond) {
             mesh.network().send(
@@ -274,23 +281,139 @@ Service::Service(Mesh &mesh, ServiceParams params)
               "' needs at least one replica and worker");
     params_.profile.validate();
 
+    replicas_.resize(params_.replicas);
+    for (unsigned r = 0; r < params_.replicas; ++r)
+        spawnWorkers(r);
+}
+
+void
+Service::spawnWorkers(unsigned replica)
+{
     os::Kernel &kernel = mesh_.kernel();
     const CpuMask everywhere = kernel.machine().allCpus();
-    replicas_.resize(params_.replicas);
-    workers_.reserve(static_cast<std::size_t>(params_.replicas) *
-                     params_.workersPerReplica);
-    for (unsigned r = 0; r < params_.replicas; ++r) {
-        for (unsigned w = 0; w < params_.workersPerReplica; ++w) {
-            Worker worker;
-            worker.replica = r;
-            worker.thread = kernel.createThread(
-                params_.name + ".r" + std::to_string(r) + ".w" +
-                    std::to_string(w),
-                everywhere, kInvalidNode);
-            replicas_[r].workerIndexes.push_back(workers_.size());
-            workers_.push_back(std::move(worker));
-        }
+    for (unsigned w = 0; w < params_.workersPerReplica; ++w) {
+        Worker worker;
+        worker.replica = replica;
+        worker.thread = kernel.createThread(
+            params_.name + ".r" + std::to_string(replica) + ".w" +
+                std::to_string(w),
+            everywhere, kInvalidNode);
+        replicas_[replica].workerIndexes.push_back(workers_.size());
+        workers_.push_back(std::move(worker));
     }
+}
+
+const char *
+replicaStateName(ReplicaState state)
+{
+    switch (state) {
+    case ReplicaState::Active:
+        return "active";
+    case ReplicaState::Warming:
+        return "warming";
+    case ReplicaState::Draining:
+        return "draining";
+    case ReplicaState::Retired:
+        return "retired";
+    }
+    return "?";
+}
+
+unsigned
+Service::activeReplicaCount() const
+{
+    unsigned n = 0;
+    for (const Replica &r : replicas_) {
+        if (r.state == ReplicaState::Active)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+Service::addReplica(const WarmupParams &warmup)
+{
+    if (warmup.coldFactor < 1.0)
+        fatal("service '", params_.name, "': cold factor must be >= 1");
+    const unsigned r = replicaCount();
+    replicas_.emplace_back();
+    replicas_.back().state = ReplicaState::Warming;
+    spawnWorkers(r);
+    ++replicas_added_;
+    mesh_.kernel().sim().scheduleAfter(
+        std::max<Tick>(1, warmup.registrationDelay), [this, r, warmup] {
+            Replica &rep = replicas_[r];
+            if (rep.state != ReplicaState::Warming)
+                return; // drained before it ever registered
+            const Tick now = mesh_.kernel().sim().now();
+            rep.state = ReplicaState::Active;
+            rep.warmedAt = now;
+            rep.coldUntil =
+                warmup.coldWindow > 0 ? now + warmup.coldWindow : 0;
+            rep.coldFactor = warmup.coldFactor;
+        });
+    return r;
+}
+
+void
+Service::drainReplica(unsigned replica)
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    Replica &rep = replicas_[replica];
+    if (rep.state == ReplicaState::Retired)
+        fatal("service '", params_.name, "': replica ", replica,
+              " already retired");
+    if (rep.state == ReplicaState::Draining)
+        return;
+    unsigned routable = 0;
+    for (const Replica &other : replicas_) {
+        if (other.state == ReplicaState::Active ||
+            other.state == ReplicaState::Warming)
+            ++routable;
+    }
+    if (routable <= 1)
+        fatal("service '", params_.name,
+              "': refusing to drain the last replica");
+    rep.state = ReplicaState::Draining;
+    maybeRetire(replica);
+}
+
+void
+Service::maybeRetire(unsigned replica)
+{
+    Replica &rep = replicas_[replica];
+    if (rep.state != ReplicaState::Draining || !rep.queue.empty())
+        return;
+    for (std::size_t idx : rep.workerIndexes) {
+        if (workers_[idx].current)
+            return;
+    }
+    rep.state = ReplicaState::Retired;
+    ++replicas_retired_;
+}
+
+ReplicaState
+Service::replicaState(unsigned replica) const
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    return replicas_[replica].state;
+}
+
+double
+Service::coldComputeFactor(unsigned replica, Tick now) const
+{
+    const Replica &rep = replicas_[replica];
+    if (rep.coldUntil <= rep.warmedAt || now >= rep.coldUntil)
+        return 1.0;
+    if (now <= rep.warmedAt)
+        return rep.coldFactor;
+    const double f = static_cast<double>(now - rep.warmedAt) /
+                     static_cast<double>(rep.coldUntil - rep.warmedAt);
+    return rep.coldFactor + f * (1.0 - rep.coldFactor);
 }
 
 void
@@ -349,14 +472,25 @@ int
 Service::pickReplica(bool &probe)
 {
     probe = false;
+    const unsigned n = replicaCount();
     const ResilienceConfig &rc = mesh_.resilience();
-    if (!rc.healthAwareBalancing)
-        return static_cast<int>(rr_next_++ % params_.replicas);
+    if (!rc.healthAwareBalancing) {
+        // Blind round-robin over Active replicas. With every replica
+        // Active (no elasticity) the first iteration accepts, which is
+        // exactly the legacy rr_next_++ % n sequence. Down replicas
+        // stay eligible: connection-refused is modeled at submit.
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned r = rr_next_++ % n;
+            if (replicas_[r].state == ReplicaState::Active)
+                return static_cast<int>(r);
+        }
+        return -1;
+    }
     const Tick now = mesh_.kernel().sim().now();
-    for (unsigned i = 0; i < params_.replicas; ++i) {
-        const unsigned r = (rr_next_ + i) % params_.replicas;
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned r = (rr_next_ + i) % n;
         Replica &rep = replicas_[r];
-        if (rep.down)
+        if (rep.down || rep.state != ReplicaState::Active)
             continue;
         if (rc.breaker.enabled && !breakerAdmits(rep.breaker, now, probe))
             continue;
@@ -530,13 +664,15 @@ Service::workerDone(Worker &worker)
     const unsigned r = worker.replica;
     worker.current.reset();
     pump(r);
+    if (replicas_[r].state == ReplicaState::Draining)
+        maybeRetire(r);
 }
 
 void
 Service::setReplicaPlacement(unsigned replica, const CpuMask &affinity,
                              NodeId home_node)
 {
-    if (replica >= params_.replicas)
+    if (replica >= replicaCount())
         fatal("service '", params_.name, "': replica ", replica,
               " out of range");
     for (std::size_t idx : replicas_[replica].workerIndexes) {
@@ -549,7 +685,7 @@ Service::setReplicaPlacement(unsigned replica, const CpuMask &affinity,
 void
 Service::setReplicaDown(unsigned replica, bool down)
 {
-    if (replica >= params_.replicas)
+    if (replica >= replicaCount())
         fatal("service '", params_.name, "': replica ", replica,
               " out of range");
     Replica &rep = replicas_[replica];
@@ -572,7 +708,7 @@ Service::setReplicaDown(unsigned replica, bool down)
 bool
 Service::replicaDown(unsigned replica) const
 {
-    if (replica >= params_.replicas)
+    if (replica >= replicaCount())
         fatal("service '", params_.name, "': replica ", replica,
               " out of range");
     return replicas_[replica].down;
@@ -589,7 +725,7 @@ Service::setSlowdown(double factor)
 const BreakerState &
 Service::breakerState(unsigned replica) const
 {
-    if (replica >= params_.replicas)
+    if (replica >= replicaCount())
         fatal("service '", params_.name, "': replica ", replica,
               " out of range");
     return replicas_[replica].breaker;
@@ -622,6 +758,15 @@ Service::queuedRequests() const
     for (const Replica &r : replicas_)
         n += r.queue.size();
     return n;
+}
+
+std::uint64_t
+Service::queuedRequests(unsigned replica) const
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    return replicas_[replica].queue.size();
 }
 
 void

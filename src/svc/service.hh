@@ -14,6 +14,13 @@
  * drops at dequeue, per-replica circuit breakers with half-open
  * probes, health-aware replica selection, scripted crash/restart
  * (setReplicaDown) and compute brownouts (setSlowdown).
+ *
+ * The elasticity layer (src/autoscale) adds runtime scale-out and
+ * scale-in: addReplica() spawns a replica that warms up (registration
+ * delay, then a decaying cold-cache compute penalty) before taking
+ * traffic, and drainReplica() stops routing to a replica and retires
+ * it once its queue and workers empty. Services that never scale keep
+ * every replica Active and behave exactly as before.
  */
 
 #ifndef MICROSCALE_SVC_SERVICE_HH
@@ -189,6 +196,22 @@ struct BreakerState
     bool probeInFlight = false;
 };
 
+/** Lifecycle of a replica under elasticity. */
+enum class ReplicaState
+{
+    /** Serving traffic (the only state replicas reach without
+     * elasticity). */
+    Active,
+    /** Spawned but still registering; receives no traffic yet. */
+    Warming,
+    /** Removed from routing; finishes queued/in-flight work. */
+    Draining,
+    /** Drained to empty; permanently out of service. */
+    Retired,
+};
+
+const char *replicaStateName(ReplicaState state);
+
 /** A replica: a queue plus its workers. */
 struct Replica
 {
@@ -198,6 +221,13 @@ struct Replica
     /** Crashed (scripted fault); rejects all traffic. */
     bool down = false;
     BreakerState breaker;
+    ReplicaState state = ReplicaState::Active;
+    /** When a Warming replica became Active (cold window start). */
+    Tick warmedAt = 0;
+    /** End of the cold-cache window (<= warmedAt means never cold). */
+    Tick coldUntil = 0;
+    /** Compute multiplier at activation; decays linearly to 1. */
+    double coldFactor = 1.0;
 };
 
 /** Operation-level statistics. */
@@ -241,7 +271,15 @@ class Service
     const std::string &name() const { return params_.name; }
     const ServiceParams &params() const { return params_; }
     Mesh &mesh() { return mesh_; }
-    unsigned replicaCount() const { return params_.replicas; }
+
+    /** All replicas ever created, including warming/draining/retired. */
+    unsigned replicaCount() const
+    {
+        return static_cast<unsigned>(replicas_.size());
+    }
+
+    /** Replicas currently serving traffic. */
+    unsigned activeReplicaCount() const;
 
     /** Register an operation handler. */
     void addOp(const std::string &op,
@@ -272,6 +310,55 @@ class Service
 
     /** True when the replica is scripted down. */
     bool replicaDown(unsigned replica) const;
+
+    /** Warm-up model for replicas added at runtime. */
+    struct WarmupParams
+    {
+        /** Delay between spawn and first routed request (registry
+         * propagation, container start). */
+        Tick registrationDelay = 2 * kSecond;
+        /** After activation, compute budgets decay from coldFactor
+         * down to 1.0 over this window (cold caches, JIT, pools). */
+        Tick coldWindow = 5 * kSecond;
+        /** Compute multiplier at the moment of activation (>= 1). */
+        double coldFactor = 1.8;
+    };
+
+    /**
+     * Spawn one replica at runtime. It starts Warming (no traffic),
+     * becomes Active after the registration delay and then serves with
+     * a decaying cold-cache compute penalty. Workers start with
+     * machine-wide affinity; call setReplicaPlacement to pin them.
+     * Returns the new replica's index.
+     */
+    unsigned addReplica(const WarmupParams &warmup);
+
+    /**
+     * Take a replica out of the routing rotation. Queued and in-flight
+     * requests complete normally; once the replica is empty it retires
+     * for good. Draining the last routable replica is refused.
+     */
+    void drainReplica(unsigned replica);
+
+    ReplicaState replicaState(unsigned replica) const;
+
+    /** Runtime scale-out/scale-in event counts (whole run). */
+    std::uint64_t replicasAdded() const { return replicas_added_; }
+    std::uint64_t replicasRetired() const { return replicas_retired_; }
+
+    /**
+     * Observer invoked once per completed request (after stats are
+     * recorded) with the op, the replica-side service time in ns and
+     * the outcome. Unset by default; used by autoscale::MetricsBus for
+     * interval latency signals.
+     */
+    using CompletionObserver = std::function<void(
+        const std::string &op, double serviceTimeNs, Status status)>;
+
+    void setCompletionObserver(CompletionObserver observer)
+    {
+        completion_observer_ = std::move(observer);
+    }
 
     /**
      * Brownout: multiply every compute() budget by `factor` (applied
@@ -306,13 +393,16 @@ class Service
     const BreakerState &breakerState(unsigned replica) const;
 
     /** Worker threads (for perf attribution and tests). */
-    const std::vector<Worker> &workers() const { return workers_; }
+    const std::deque<Worker> &workers() const { return workers_; }
 
     /** Busy workers right now (for utilization probes). */
     unsigned busyWorkers() const;
 
     /** Requests waiting in replica queues right now. */
     std::uint64_t queuedRequests() const;
+
+    /** Requests waiting in one replica's queue right now. */
+    std::uint64_t queuedRequests(unsigned replica) const;
 
     /** Reset per-op and queue statistics (not thread counters). */
     void resetStats();
@@ -353,18 +443,32 @@ class Service
     /** True when the replica has an idle worker. */
     bool hasIdleWorker(const Replica &replica) const;
 
+    /** Create one replica's workers (construction and addReplica). */
+    void spawnWorkers(unsigned replica);
+
+    /** Retire a Draining replica once its queue and workers are empty. */
+    void maybeRetire(unsigned replica);
+
+    /** Cold-cache compute multiplier of a worker's replica right now. */
+    double coldComputeFactor(unsigned replica, Tick now) const;
+
     Mesh &mesh_;
     ServiceParams params_;
     Rng rng_;
     std::map<std::string, std::function<void(HandlerCtx &)>> ops_;
-    std::vector<Worker> workers_;
-    std::vector<Replica> replicas_;
+    /** Deque: HandlerCtx holds Worker&, so runtime scale-out must not
+     * relocate existing workers. */
+    std::deque<Worker> workers_;
+    std::deque<Replica> replicas_;
     unsigned rr_next_ = 0;
     std::map<std::string, OpStats> op_stats_;
     QuantileHistogram queue_wait_ns_;
     std::uint64_t requests_ = 0;
     double slowdown_ = 1.0;
     ResilienceCounters resilience_counters_;
+    std::uint64_t replicas_added_ = 0;
+    std::uint64_t replicas_retired_ = 0;
+    CompletionObserver completion_observer_;
 };
 
 } // namespace microscale::svc

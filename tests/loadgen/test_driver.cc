@@ -108,6 +108,7 @@ class DriverTest : public ::testing::Test
         kernel_.start();
     }
 
+  public:
     static teastore::AppParams
     appParams()
     {
@@ -125,6 +126,7 @@ class DriverTest : public ::testing::Test
         return p;
     }
 
+  protected:
     sim::Simulation sim_;
     topo::Machine machine_;
     cpu::ExecEngine engine_;
@@ -219,6 +221,82 @@ TEST_F(DriverTest, OpenLoopStopCeasesArrivals)
     EXPECT_EQ(driver.issued(), issued);
     // In-flight requests drained.
     EXPECT_EQ(driver.inFlight(), 0u);
+}
+
+/** Arrival ticks of one fresh-world open-loop run. */
+std::vector<Tick>
+openLoopArrivals(std::uint64_t seed, const LoadSchedule &schedule,
+                 Tick horizon)
+{
+    sim::Simulation sim;
+    topo::Machine machine(topo::small8());
+    cpu::ExecEngine engine(sim, machine);
+    os::Kernel kernel(sim, machine, engine, os::SchedParams{}, 1);
+    net::Network network(sim, net::NetParams{}, 1);
+    svc::Mesh mesh(kernel, network, svc::RpcCostParams{}, 1);
+    teastore::App app(mesh, DriverTest::appParams(), 1);
+    kernel.start();
+
+    std::vector<Tick> log;
+    OpenLoopParams p;
+    p.arrivalRps = 200.0;
+    p.schedule = schedule;
+    p.arrivalLog = &log;
+    OpenLoopDriver driver(app, BrowseMix{}, p, seed);
+    driver.measurement().setWindow(0, horizon);
+    driver.start();
+    sim.runUntil(horizon);
+    driver.stopIssuing();
+    return log;
+}
+
+TEST_F(DriverTest, OpenLoopArrivalsDeterministicPerSeed)
+{
+    const LoadSchedule none;
+    const auto a = openLoopArrivals(7, none, kSecond);
+    const auto b = openLoopArrivals(7, none, kSecond);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, openLoopArrivals(8, none, kSecond));
+}
+
+TEST_F(DriverTest, ScheduledArrivalsDeterministicPerSeed)
+{
+    const LoadSchedule spike = LoadSchedule::spike(
+        200.0, 1000.0, 200 * kMillisecond, 100 * kMillisecond,
+        200 * kMillisecond, 100 * kMillisecond);
+    const auto a = openLoopArrivals(7, spike, kSecond);
+    const auto b = openLoopArrivals(7, spike, kSecond);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, openLoopArrivals(8, spike, kSecond));
+}
+
+TEST_F(DriverTest, ScheduledArrivalRateTracksTheSchedule)
+{
+    // Step from 100 to 1000 req/s halfway through: the two halves
+    // must see arrival counts near their own rates, not the mean.
+    LoadSchedule sched;
+    sched.addPoint(0, 100.0).addStep(kSecond, 1000.0);
+    const auto log = openLoopArrivals(7, sched, 2 * kSecond);
+    std::size_t lo = 0, hi = 0;
+    for (Tick t : log)
+        (t < kSecond ? lo : hi)++;
+    EXPECT_NEAR(static_cast<double>(lo), 100.0, 40.0);
+    EXPECT_NEAR(static_cast<double>(hi), 1000.0, 120.0);
+}
+
+TEST_F(DriverTest, OpenLoopCurrentRateFollowsSchedule)
+{
+    OpenLoopParams p;
+    LoadSchedule sched;
+    sched.addPoint(0, 100.0).addPoint(kSecond, 300.0);
+    p.schedule = sched;
+    OpenLoopDriver driver(app_, BrowseMix{}, p, 7);
+    driver.start();
+    sim_.runUntil(kSecond / 2);
+    EXPECT_NEAR(driver.currentRate(), 200.0, 1e-6);
+    driver.stopIssuing();
 }
 
 TEST_F(DriverTest, DeathOnDoubleStart)

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for LoadSchedule: rate interpolation, step holds, the factory
+ * shapes and the piecewise mean-rate integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "loadgen/schedule.hh"
+
+namespace microscale::loadgen
+{
+namespace
+{
+
+TEST(LoadSchedule, EmptyMeansNoSchedule)
+{
+    LoadSchedule s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.rateAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.peakRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.meanRate(0, kSecond), 0.0);
+}
+
+TEST(LoadSchedule, ConstantHoldsEverywhere)
+{
+    LoadSchedule s = LoadSchedule::constant(250.0);
+    EXPECT_EQ(s.name(), "constant");
+    EXPECT_DOUBLE_EQ(s.rateAt(0), 250.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(100 * kSecond), 250.0);
+    EXPECT_DOUBLE_EQ(s.peakRate(), 250.0);
+    EXPECT_DOUBLE_EQ(s.meanRate(kSecond, 5 * kSecond), 250.0);
+}
+
+TEST(LoadSchedule, LinearInterpolationBetweenPoints)
+{
+    LoadSchedule s;
+    s.addPoint(0, 100.0).addPoint(kSecond, 300.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(0), 100.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(kSecond / 4), 150.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(kSecond / 2), 200.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(3 * kSecond / 4), 250.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(kSecond), 300.0);
+}
+
+TEST(LoadSchedule, ClampsBeforeFirstAndAfterLastPoint)
+{
+    LoadSchedule s;
+    s.addPoint(kSecond, 100.0).addPoint(2 * kSecond, 400.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(0), 100.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(10 * kSecond), 400.0);
+}
+
+TEST(LoadSchedule, StepHoldsPreviousRateUntilBoundary)
+{
+    LoadSchedule s;
+    s.addPoint(0, 100.0).addStep(kSecond, 400.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(kSecond - 1), 100.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(kSecond), 400.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(2 * kSecond), 400.0);
+    // The hold region integrates as a rectangle at the old rate.
+    EXPECT_DOUBLE_EQ(s.meanRate(0, kSecond), 100.0);
+}
+
+TEST(LoadSchedule, SpikeShape)
+{
+    const Tick at = 10 * kSecond;
+    LoadSchedule s = LoadSchedule::spike(500.0, 4000.0, at, 2 * kSecond,
+                                         4 * kSecond, kSecond);
+    EXPECT_EQ(s.name(), "spike");
+    EXPECT_DOUBLE_EQ(s.rateAt(0), 500.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(at), 500.0);
+    // Halfway up the ramp.
+    EXPECT_DOUBLE_EQ(s.rateAt(at + kSecond), 2250.0);
+    // On the plateau.
+    EXPECT_DOUBLE_EQ(s.rateAt(at + 3 * kSecond), 4000.0);
+    // Back at base after the down-ramp, forever.
+    EXPECT_DOUBLE_EQ(s.rateAt(at + 7 * kSecond), 500.0);
+    EXPECT_DOUBLE_EQ(s.rateAt(at + 100 * kSecond), 500.0);
+    EXPECT_DOUBLE_EQ(s.peakRate(), 4000.0);
+}
+
+TEST(LoadSchedule, DiurnalStartsAtTroughAndCrests)
+{
+    const Tick period = 8 * kSecond;
+    LoadSchedule s =
+        LoadSchedule::diurnal(600.0, 2400.0, period, 2 * period);
+    EXPECT_EQ(s.name(), "diurnal");
+    EXPECT_DOUBLE_EQ(s.rateAt(0), 600.0);
+    // Crest half a period in; the sine is sampled into linear
+    // segments, so allow a small discretization error.
+    EXPECT_NEAR(s.rateAt(period / 2), 3000.0, 30.0);
+    // Back near the trough after a full period.
+    EXPECT_NEAR(s.rateAt(period), 600.0, 30.0);
+    EXPECT_LE(s.peakRate(), 3000.0 + 1e-9);
+    // Mean over a whole period = base + amplitude/2.
+    EXPECT_NEAR(s.meanRate(0, period), 1800.0, 30.0);
+    for (Tick t = 0; t <= 2 * period; t += period / 16)
+        EXPECT_GE(s.rateAt(t), 600.0 - 1e-9);
+}
+
+TEST(LoadSchedule, MeanRateIntegratesPiecewise)
+{
+    LoadSchedule s;
+    s.addPoint(0, 100.0)
+        .addPoint(kSecond, 100.0)
+        .addPoint(2 * kSecond, 300.0);
+    // Flat second, then a ramp averaging 200.
+    EXPECT_DOUBLE_EQ(s.meanRate(0, kSecond), 100.0);
+    EXPECT_DOUBLE_EQ(s.meanRate(kSecond, 2 * kSecond), 200.0);
+    EXPECT_DOUBLE_EQ(s.meanRate(0, 2 * kSecond), 150.0);
+    // Partial ramp segment: rates 150..250 average 200.
+    EXPECT_DOUBLE_EQ(
+        s.meanRate(kSecond + kSecond / 4, kSecond + 3 * kSecond / 4),
+        200.0);
+    // Window extending past the last point picks up the flat tail.
+    EXPECT_DOUBLE_EQ(s.meanRate(2 * kSecond, 4 * kSecond), 300.0);
+    EXPECT_DOUBLE_EQ(s.meanRate(0, 4 * kSecond), 225.0);
+}
+
+TEST(LoadSchedule, MeanRateOfSpikeMatchesClosedForm)
+{
+    // base 1s, ramp 1s (avg 1500), hold 1s at 2500, ramp 1s, base 1s.
+    LoadSchedule s =
+        LoadSchedule::spike(500.0, 2500.0, kSecond, kSecond, kSecond,
+                            kSecond);
+    EXPECT_DOUBLE_EQ(s.meanRate(0, 5 * kSecond),
+                     (500.0 + 1500.0 + 2500.0 + 1500.0 + 500.0) / 5.0);
+}
+
+TEST(LoadScheduleDeathTest, RejectsBadInput)
+{
+    LoadSchedule s;
+    s.addPoint(kSecond, 100.0);
+    EXPECT_DEATH(s.addPoint(0, 200.0), "back in time");
+    EXPECT_DEATH(s.addPoint(2 * kSecond, -1.0), ">= 0");
+    EXPECT_DEATH(LoadSchedule::constant(0.0), "positive");
+    EXPECT_DEATH(LoadSchedule::spike(100.0, 50.0, 0, 0, 0, 0),
+                 "base <= peak");
+    EXPECT_DEATH(LoadSchedule::diurnal(100.0, 10.0, 0, kSecond),
+                 "period");
+}
+
+} // namespace
+} // namespace microscale::loadgen

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "autoscale/elastic.hh"
 #include "base/args.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
@@ -62,6 +63,22 @@ main(int argc, char **argv)
     args.addInt("seed", 42, "random seed");
     args.addString("faults", "healthy",
                    "fault scenario: healthy, crash, brownout, spike");
+    args.addString("schedule", "",
+                   "time-varying open-loop schedule: constant, spike, "
+                   "diurnal (empty = fixed-rate drivers; use windows of "
+                   "tens of seconds, e.g. --warmup-s 3 --measure-s 48)");
+    args.addDouble("base-rps", 600.0, "schedule base rate, req/s");
+    args.addDouble("peak-rps", 5000.0,
+                   "schedule peak rate (spike top / diurnal crest)");
+    args.addString("autoscale", "",
+                   "autoscaling policy for --schedule runs: threshold, "
+                   "queue-law, predictive (empty = static deployment)");
+    args.addString("placer", "topology-aware",
+                   "placement for scaled-out replicas: topology-aware, "
+                   "os-default");
+    args.addInt("initial-cores", 0,
+                "physical cores of the initial deployment for "
+                "--schedule runs (0 = the full budget)");
     args.addFlag("resilience",
                  "enable the resilient mesh policy (timeouts, retries, "
                  "breaker, shedding) plus degraded page fallbacks");
@@ -105,6 +122,30 @@ main(int argc, char **argv)
     point.config = config;
     point.refineRounds = static_cast<unsigned>(args.getInt("refine"));
 
+    const std::string schedule = args.getString("schedule");
+    if (!schedule.empty()) {
+        autoscale::ElasticConfig ec;
+        ec.base = config;
+        ec.schedule = autoscale::makeSchedule(
+            schedule, args.getDouble("base-rps"),
+            args.getDouble("peak-rps"), config.warmup, config.measure);
+        ec.initialCores =
+            static_cast<unsigned>(args.getInt("initial-cores"));
+        const std::string policy = args.getString("autoscale");
+        ec.autoscale = !policy.empty();
+        if (ec.autoscale)
+            ec.autoscaler.policy = autoscale::policyByName(policy);
+        ec.autoscaler.placer =
+            autoscale::placerByName(args.getString("placer"));
+        if (point.refineRounds != 0)
+            fatal("--refine does not apply to --schedule runs");
+        point.runner = [ec](const core::ExperimentConfig &) {
+            return autoscale::runElastic(ec);
+        };
+    } else if (!args.getString("autoscale").empty()) {
+        fatal("--autoscale needs --schedule");
+    }
+
     core::SweepOptions so;
     so.jobs = static_cast<unsigned>(args.getInt("jobs"));
     so.progress = false;
@@ -120,6 +161,22 @@ main(int argc, char **argv)
     }
 
     std::cout << core::summarize(r) << "\n";
+    if (r.elastic.active) {
+        const core::ElasticSummary &es = r.elastic;
+        std::cout << "elastic: schedule=" << es.schedule
+                  << " policy=" << es.policy << " placer=" << es.placer
+                  << "  offered=" << formatDouble(es.offeredMeanRps, 0)
+                  << "/" << formatDouble(es.offeredPeakRps, 0)
+                  << " req/s  slo_viol="
+                  << formatDouble(es.sloViolationSeconds, 2)
+                  << "s  core_s="
+                  << formatDouble(es.coreSecondsGranted, 0)
+                  << "  steady_cpus="
+                  << formatDouble(es.steadyStateCpus, 0)
+                  << "  outs=" << es.scaleOuts << " ins=" << es.scaleIns
+                  << "  lag=" << formatDouble(es.scaleOutLagMeanMs, 0)
+                  << "ms\n";
+    }
     if (r.resilience.active) {
         const core::ResilienceSummary &rs = r.resilience;
         std::cout << "resilience: goodput="
