@@ -2,7 +2,7 @@
  * @file
  * json_check: CI validator for emitted BENCH_*.json artifacts.
  *
- *   json_check [--elastic] FILE MIN_POINTS [LABEL...]
+ *   json_check [--elastic] [--overload] FILE MIN_POINTS [LABEL...]
  *
  * Parses FILE with core::parseJson and requires the sweep-harness
  * schema: artifact/caption/machine strings, the expected
@@ -13,7 +13,12 @@
  * validated - non-empty schedule/policy/placer names, finite
  * non-negative SLO-violation seconds, core-seconds and steady-state
  * CPUs - and --elastic additionally requires every point to carry
- * one. Exits non-zero with a diagnostic on the first violation.
+ * one. Points carrying an "overload" block (FIG-14) have its shed
+ * counts, limiter trajectory and brownout duty cycle validated
+ * (finite, non-negative, duty cycle and dimmer within [0, 1]);
+ * --overload requires at least one point to carry the block (the
+ * unprotected baseline arms legitimately lack it). Exits non-zero
+ * with a diagnostic on the first violation.
  */
 
 #include <cmath>
@@ -69,6 +74,42 @@ checkElastic(const std::string &path, const std::string &label,
     }
 }
 
+/**
+ * Validate one point's "overload" block (FIG-14): the admission name,
+ * the per-tier shed counters, the concurrency-limit trajectory and
+ * the brownout telemetry must be present, numeric, finite and
+ * non-negative, with the duty cycle and dimmers inside [0, 1].
+ */
+void
+checkOverload(const std::string &path, const std::string &label,
+              const core::JsonValue &overload)
+{
+    const std::string where = path + ": point '" + label + "' overload: ";
+    const core::JsonValue *adm = overload.find("admission");
+    if (!adm || !adm->isString() || adm->stringValue.empty())
+        die(where + "missing or empty 'admission'");
+    for (const char *key :
+         {"codel", "adaptive_lifo", "criticality_aware", "brownout",
+          "shed_critical", "shed_normal", "shed_sheddable",
+          "codel_drops", "lifo_dequeues", "rejected_total",
+          "limit_initial", "limit_min", "limit_max", "limit_final",
+          "brownout_duty_cycle", "dimmer_min", "dimmer_final",
+          "brownout_skips"}) {
+        const core::JsonValue *n = overload.find(key);
+        if (!n || !n->isNumber())
+            die(where + "missing or non-numeric '" + key + "'");
+        if (!std::isfinite(n->numberValue))
+            die(where + "'" + key + "' is not finite");
+        if (n->numberValue < 0)
+            die(where + "'" + key + "' is negative");
+    }
+    for (const char *key :
+         {"brownout_duty_cycle", "dimmer_min", "dimmer_final"}) {
+        if (overload.at(key).numberValue > 1.0)
+            die(where + "'" + std::string(key) + "' exceeds 1");
+    }
+}
+
 } // namespace
 
 int
@@ -76,12 +117,20 @@ main(int argc, char **argv)
 {
     int arg = 1;
     bool require_elastic = false;
-    if (arg < argc && std::string(argv[arg]) == "--elastic") {
-        require_elastic = true;
+    bool require_overload = false;
+    while (arg < argc) {
+        const std::string flag = argv[arg];
+        if (flag == "--elastic")
+            require_elastic = true;
+        else if (flag == "--overload")
+            require_overload = true;
+        else
+            break;
         ++arg;
     }
     if (argc - arg < 2)
-        die("usage: json_check [--elastic] FILE MIN_POINTS [LABEL...]");
+        die("usage: json_check [--elastic] [--overload] FILE MIN_POINTS "
+            "[LABEL...]");
     const std::string path = argv[arg++];
     const unsigned long min_points = std::stoul(argv[arg++]);
 
@@ -124,6 +173,7 @@ main(int argc, char **argv)
         die(path + ": expected >= " + std::to_string(min_points) +
             " points, got " + std::to_string(points->elements.size()));
     }
+    bool saw_overload = false;
     for (const core::JsonValue &p : points->elements) {
         const core::JsonValue *label = p.find("label");
         if (!label || !label->isString() || label->stringValue.empty())
@@ -147,7 +197,13 @@ main(int argc, char **argv)
         else if (require_elastic)
             die(path + ": point '" + label->stringValue +
                 "' without an elastic block (--elastic)");
+        if (const core::JsonValue *ov = result->find("overload")) {
+            checkOverload(path, label->stringValue, *ov);
+            saw_overload = true;
+        }
     }
+    if (require_overload && !saw_overload)
+        die(path + ": no point carries an overload block (--overload)");
 
     const core::JsonValue *tables = v.find("tables");
     if (!tables || !tables->isArray() || tables->elements.empty())

@@ -77,6 +77,7 @@ runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
     net::Network network(sim, base.net, base.seed);
     svc::Mesh mesh(kernel, network, base.rpc, base.seed);
     mesh.setResilience(base.resilience);
+    mesh.setOverload(base.overload);
 
     const CpuMask budget =
         core::budgetMask(machine, base.cores, base.smt);
@@ -94,6 +95,15 @@ runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
     core::sizeAppFromPlan(app_params, plan);
     teastore::App app(mesh, app_params, base.seed);
     core::applyPlacement(app, plan);
+
+    std::unique_ptr<svc::BrownoutController> brownout;
+    if (base.overload.brownout.enabled) {
+        brownout = std::make_unique<svc::BrownoutController>(
+            app.webui(), base.overload.brownout);
+        brownout->setAccountingWindow(base.warmup,
+                                      base.warmup + base.measure);
+        app.setBrownout(brownout.get());
+    }
 
     std::unique_ptr<svc::FaultInjector> injector;
     if (!base.faults.empty()) {
@@ -118,6 +128,8 @@ runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
 
     kernel.start();
     app.start();
+    if (brownout)
+        brownout->start();
     autoscaler.start();
     driver.start();
 
@@ -185,7 +197,8 @@ runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
     {
         core::ResilienceSummary &rs = result.resilience;
         rs.active = base.resilience.active() || !base.faults.empty() ||
-                    app_params.degradedFallbacks;
+                    app_params.degradedFallbacks ||
+                    base.overload.active();
         rs.goodputRps = measurement.goodputRps();
         const std::uint64_t completed = measurement.completed();
         rs.okCount = measurement.statusCount(svc::Status::Ok);
@@ -194,6 +207,7 @@ runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
             measurement.statusCount(svc::Status::Overload);
         rs.unavailableCount =
             measurement.statusCount(svc::Status::Unavailable);
+        rs.rejectedCount = measurement.statusCount(svc::Status::Rejected);
         rs.degradedCount = measurement.degradedCount();
         rs.errorRate =
             completed > 0
@@ -214,6 +228,9 @@ runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
             rs.breakerOpens += c.breakerOpens;
         }
     }
+
+    core::harvestOverload(base, app, measurement, brownout.get(),
+                          result);
 
     const std::vector<double> busy_at_end = engine.cpuBusySnapshot();
     double busy = 0.0;
@@ -254,6 +271,10 @@ runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
 
     driver.stopIssuing();
     autoscaler.stop();
+    if (brownout) {
+        app.setBrownout(nullptr);
+        brownout->stop();
+    }
     app.stop();
     kernel.stop();
     return result;

@@ -52,6 +52,7 @@ runExperiment(const ExperimentConfig &config)
     net::Network network(sim, config.net, config.seed);
     svc::Mesh mesh(kernel, network, config.rpc, config.seed);
     mesh.setResilience(config.resilience);
+    mesh.setOverload(config.overload);
 
     const CpuMask budget = budgetMask(machine, config.cores, config.smt);
     PlacementPlan plan = buildPlacement(config.placement, machine, budget,
@@ -61,6 +62,15 @@ runExperiment(const ExperimentConfig &config)
     sizeAppFromPlan(app_params, plan);
     teastore::App app(mesh, app_params, config.seed);
     applyPlacement(app, plan);
+
+    std::unique_ptr<svc::BrownoutController> brownout;
+    if (config.overload.brownout.enabled) {
+        brownout = std::make_unique<svc::BrownoutController>(
+            app.webui(), config.overload.brownout);
+        brownout->setAccountingWindow(config.warmup,
+                                      config.warmup + config.measure);
+        app.setBrownout(brownout.get());
+    }
 
     std::unique_ptr<svc::FaultInjector> injector;
     if (!config.faults.empty()) {
@@ -88,6 +98,8 @@ runExperiment(const ExperimentConfig &config)
 
     kernel.start();
     app.start();
+    if (brownout)
+        brownout->start();
     if (closed)
         closed->start();
     else
@@ -157,7 +169,8 @@ runExperiment(const ExperimentConfig &config)
     {
         ResilienceSummary &rs = result.resilience;
         rs.active = config.resilience.active() || !config.faults.empty() ||
-                    app_params.degradedFallbacks;
+                    app_params.degradedFallbacks ||
+                    config.overload.active();
         rs.goodputRps = measurement->goodputRps();
         const std::uint64_t completed = measurement->completed();
         rs.okCount = measurement->statusCount(svc::Status::Ok);
@@ -165,6 +178,7 @@ runExperiment(const ExperimentConfig &config)
         rs.overloadCount = measurement->statusCount(svc::Status::Overload);
         rs.unavailableCount =
             measurement->statusCount(svc::Status::Unavailable);
+        rs.rejectedCount = measurement->statusCount(svc::Status::Rejected);
         rs.degradedCount = measurement->degradedCount();
         rs.errorRate =
             completed > 0 ? static_cast<double>(measurement->errorCount()) /
@@ -185,6 +199,8 @@ runExperiment(const ExperimentConfig &config)
         }
     }
 
+    harvestOverload(config, app, *measurement, brownout.get(), result);
+
     const std::vector<double> busy_at_end = engine.cpuBusySnapshot();
     double busy = 0.0;
     for (CpuId c : budget)
@@ -198,9 +214,59 @@ runExperiment(const ExperimentConfig &config)
         closed->stopIssuing();
     if (open)
         open->stopIssuing();
+    if (brownout) {
+        app.setBrownout(nullptr);
+        brownout->stop();
+    }
     app.stop();
     kernel.stop();
     return result;
+}
+
+void
+harvestOverload(const ExperimentConfig &config, teastore::App &app,
+                const loadgen::Measurement &measurement,
+                const svc::BrownoutController *brownout,
+                RunResult &result)
+{
+    OverloadSummary &ov = result.overload;
+    ov.active = config.overload.active();
+    if (!ov.active)
+        return;
+    ov.admission = svc::admissionName(config.overload.admission.kind);
+    ov.codel = config.overload.codel.enabled;
+    ov.adaptiveLifo = config.overload.codel.lifoUnderOverload;
+    ov.criticalityAware = config.overload.criticalityAware;
+    ov.brownout = config.overload.brownout.enabled;
+    using svc::Criticality;
+    for (svc::Service *s : app.services()) {
+        const svc::OverloadCounters &c = s->overloadCounters();
+        ov.shedCritical +=
+            c.admissionRejects[svc::criticalityIndex(Criticality::Critical)];
+        ov.shedNormal +=
+            c.admissionRejects[svc::criticalityIndex(Criticality::Normal)];
+        ov.shedSheddable +=
+            c.admissionRejects[svc::criticalityIndex(Criticality::Sheddable)];
+        ov.codelDrops += c.codelDrops;
+        ov.lifoDequeues += c.lifoDequeues;
+    }
+    ov.rejectedTotal = measurement.statusCount(svc::Status::Rejected);
+    const svc::LimiterTrace trace = app.webui().limiterSummary();
+    if (trace.valid) {
+        ov.limitInitial = trace.initial;
+        ov.limitMin = trace.minSeen;
+        ov.limitMax = trace.maxSeen;
+        ov.limitFinal = trace.last;
+    }
+    if (brownout) {
+        const auto &t = brownout->telemetry();
+        ov.brownoutDutyCycle = t.windowSeconds > 0.0
+                                   ? t.dutyCycleSeconds / t.windowSeconds
+                                   : 0.0;
+        ov.dimmerMin = t.dimmerMin;
+        ov.dimmerFinal = t.dimmerLast;
+        ov.brownoutSkips = t.skips;
+    }
 }
 
 DemandShares

@@ -22,6 +22,7 @@
 #include "perf/report.hh"
 #include "svc/fault.hh"
 #include "svc/mesh.hh"
+#include "svc/overload.hh"
 #include "svc/resilience.hh"
 #include "teastore/app.hh"
 #include "topo/presets.hh"
@@ -65,6 +66,9 @@ struct ExperimentConfig
 
     /** Resilience policy for the mesh (inactive by default). */
     svc::ResilienceConfig resilience;
+
+    /** Overload-control layer (inactive by default). */
+    svc::OverloadConfig overload;
 
     /** Scripted faults applied during the run (empty = none). */
     svc::FaultScript faults;
@@ -121,6 +125,8 @@ struct ResilienceSummary
     std::uint64_t timeoutCount = 0;
     std::uint64_t overloadCount = 0;
     std::uint64_t unavailableCount = 0;
+    /** Admission/CoDel rejections seen by clients (overload layer). */
+    std::uint64_t rejectedCount = 0;
     std::uint64_t degradedCount = 0;
     /** Mesh-level retry accounting (whole run). */
     std::uint64_t retries = 0;
@@ -130,6 +136,44 @@ struct ResilienceSummary
     std::uint64_t shed = 0;
     std::uint64_t deadlineDrops = 0;
     std::uint64_t breakerOpens = 0;
+};
+
+/**
+ * Overload-control outcome of one run. `active` only when the run
+ * enabled any part of the overload layer (admission, CoDel,
+ * criticality-aware shedding or brownout); inactive summaries are
+ * elided from reports so pre-existing output is unchanged.
+ */
+struct OverloadSummary
+{
+    bool active = false;
+    /** Admission limiter family ("off", "aimd", "gradient"). */
+    std::string admission;
+    bool codel = false;
+    bool adaptiveLifo = false;
+    bool criticalityAware = false;
+    bool brownout = false;
+    /** Admission rejections by criticality tier, summed over services. */
+    std::uint64_t shedCritical = 0;
+    std::uint64_t shedNormal = 0;
+    std::uint64_t shedSheddable = 0;
+    /** CoDel head drops, summed over services. */
+    std::uint64_t codelDrops = 0;
+    /** Requests served newest-first while CoDel was dropping. */
+    std::uint64_t lifoDequeues = 0;
+    /** Client-visible Rejected responses in the window. */
+    std::uint64_t rejectedTotal = 0;
+    /** WebUI concurrency-limit trajectory (0 = limiter never built). */
+    double limitInitial = 0.0;
+    double limitMin = 0.0;
+    double limitMax = 0.0;
+    double limitFinal = 0.0;
+    /** Fraction of the window the dimmer spent below 1. */
+    double brownoutDutyCycle = 0.0;
+    double dimmerMin = 1.0;
+    double dimmerFinal = 1.0;
+    /** Optional page legs skipped by the dimmer (whole run). */
+    std::uint64_t brownoutSkips = 0;
 };
 
 /**
@@ -180,6 +224,7 @@ struct RunResult
     std::map<std::string, std::map<std::string, OpBreakdown>> breakdown;
 
     ResilienceSummary resilience;
+    OverloadSummary overload;
     ElasticSummary elastic;
 
     os::SchedStats sched;
@@ -193,6 +238,16 @@ struct RunResult
 
 /** Run one experiment end to end. */
 RunResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Fill result.overload (and the resilience summary's rejectedCount)
+ * from a finished run. Shared by runExperiment and
+ * autoscale::runElastic so the two runners stay in sync.
+ */
+void harvestOverload(const ExperimentConfig &config, teastore::App &app,
+                     const loadgen::Measurement &measurement,
+                     const svc::BrownoutController *brownout,
+                     RunResult &result);
 
 /**
  * Measure per-service demand shares with a short OsDefault run of the

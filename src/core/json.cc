@@ -240,6 +240,10 @@ writeJson(std::ostream &os, const RunResult &result)
         w.field("timeout", rs.timeoutCount);
         w.field("overload", rs.overloadCount);
         w.field("unavailable", rs.unavailableCount);
+        // Only overload-controlled runs shed with Rejected, so the
+        // field appears only for them (FIG-12 output is unchanged).
+        if (result.overload.active)
+            w.field("rejected", rs.rejectedCount);
         w.field("degraded", rs.degradedCount);
         w.field("retries", rs.retries);
         w.field("retries_denied", rs.retriesDenied);
@@ -247,6 +251,37 @@ writeJson(std::ostream &os, const RunResult &result)
         w.field("shed", rs.shed);
         w.field("deadline_drops", rs.deadlineDrops);
         w.field("breaker_opens", rs.breakerOpens);
+        w.endObject();
+    }
+
+    // Same gating again: only runs with an active overload layer
+    // carry the block, keeping pre-existing FIG output byte-identical.
+    if (result.overload.active) {
+        const OverloadSummary &ov = result.overload;
+        w.key("overload");
+        w.beginObject();
+        w.field("admission", ov.admission);
+        w.field("codel", static_cast<std::uint64_t>(ov.codel ? 1 : 0));
+        w.field("adaptive_lifo",
+                static_cast<std::uint64_t>(ov.adaptiveLifo ? 1 : 0));
+        w.field("criticality_aware",
+                static_cast<std::uint64_t>(ov.criticalityAware ? 1 : 0));
+        w.field("brownout",
+                static_cast<std::uint64_t>(ov.brownout ? 1 : 0));
+        w.field("shed_critical", ov.shedCritical);
+        w.field("shed_normal", ov.shedNormal);
+        w.field("shed_sheddable", ov.shedSheddable);
+        w.field("codel_drops", ov.codelDrops);
+        w.field("lifo_dequeues", ov.lifoDequeues);
+        w.field("rejected_total", ov.rejectedTotal);
+        w.field("limit_initial", ov.limitInitial);
+        w.field("limit_min", ov.limitMin);
+        w.field("limit_max", ov.limitMax);
+        w.field("limit_final", ov.limitFinal);
+        w.field("brownout_duty_cycle", ov.brownoutDutyCycle);
+        w.field("dimmer_min", ov.dimmerMin);
+        w.field("dimmer_final", ov.dimmerFinal);
+        w.field("brownout_skips", ov.brownoutSkips);
         w.endObject();
     }
 

@@ -1,5 +1,6 @@
 #include "loadgen/driver.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -130,6 +131,19 @@ ClosedLoopDriver::onResponse(std::size_t user_index, OpType op,
         return;
     User &user = *users_[user_index];
     user.current = mix_.next(op, user.rng);
+    if (params_.retreatBase > 0 && status != svc::Status::Ok) {
+        // Backpressure retreat: a shedding or failing server gets
+        // exponentially longer pauses, not immediate re-offers. The
+        // wait is deterministic so enabling the retreat never
+        // perturbs the user's RNG stream.
+        ++user.consecutiveFailures;
+        const unsigned shift =
+            std::min(user.consecutiveFailures - 1, 6u);
+        sim.scheduleAfter(params_.retreatBase << shift,
+                          [this, user_index] { issue(user_index); });
+        return;
+    }
+    user.consecutiveFailures = 0;
     const double think = user.rng.exponential(
         static_cast<double>(params_.meanThink));
     sim.scheduleAfter(

@@ -105,6 +105,14 @@ struct ClosedLoopParams
     Tick meanThink = 250 * kMillisecond;
     /** Users ramp in uniformly over this interval after start(). */
     Tick rampTime = 100 * kMillisecond;
+    /**
+     * Backpressure retreat: after a non-OK response the user waits
+     * retreatBase << min(consecutiveFailures - 1, 6) instead of a
+     * think time, backing away from a server that is shedding load
+     * (deterministic, no RNG draw). 0 (default) disables the retreat
+     * and keeps the legacy think-time behavior bit-identical.
+     */
+    Tick retreatBase = 0;
 };
 
 /**
@@ -133,6 +141,8 @@ class ClosedLoopDriver
     {
         Rng rng;
         teastore::OpType current;
+        /** Non-OK responses since the last OK (retreat backoff). */
+        unsigned consecutiveFailures = 0;
         explicit User(Rng r, teastore::OpType op)
             : rng(std::move(r)), current(op)
         {

@@ -21,6 +21,7 @@ struct Mesh::RpcCall
     /** Propagated absolute deadline (kTickNever = none). */
     Tick deadline = kTickNever;
     EdgePolicy policy;
+    Criticality criticality = Criticality::Normal;
     RespondFn respond;
     /** Timeout timer of the attempt in flight (cancelled on settle). */
     sim::EventHandle timer;
@@ -77,6 +78,12 @@ Mesh::setResilience(ResilienceConfig config)
 }
 
 void
+Mesh::setOverload(OverloadConfig config)
+{
+    overload_ = std::move(config);
+}
+
+void
 Mesh::callExternal(const std::string &service, const std::string &op,
                    Payload payload, ResponseFn respond)
 {
@@ -93,28 +100,37 @@ Mesh::callExternalS(const std::string &service, const std::string &op,
                     Payload payload, RespondFn respond)
 {
     sendRpc(kExternalClient, service, op, std::move(payload), kTickNever,
-            std::move(respond));
+            Criticality::Normal, std::move(respond));
 }
 
 void
 Mesh::sendRpc(const std::string &client, const std::string &service,
               const std::string &op, Payload payload, Tick deadline,
-              RespondFn respond)
+              Criticality inherited, RespondFn respond)
 {
     Service &target = this->service(service);
     const EdgePolicy &pol = resilience_.policyFor(client, service);
+
+    // Criticality-aware admission reclassifies the request at the
+    // server's door; otherwise the caller's tier rides along untouched
+    // (and is ignored downstream, keeping inactive runs identical).
+    const Criticality tier =
+        overload_.criticalityAware
+            ? overload_.classify(service, op, inherited)
+            : inherited;
 
     if (!pol.hasTimeout() && !pol.canRetry() && deadline == kTickNever) {
         // No policy, no inherited deadline: the legacy transport path
         // (identical events, no timers, no per-call allocation).
         network_.send(payload.bytes,
-                      [this, &target, op, payload,
+                      [this, &target, op, payload, tier,
                        respond = std::move(respond)]() mutable {
                           Envelope env;
                           env.op = op;
                           env.request = payload;
                           env.respond = std::move(respond);
                           env.arrived = kernel_.sim().now();
+                          env.criticality = tier;
                           target.submit(std::move(env));
                       });
         return;
@@ -133,6 +149,7 @@ Mesh::sendRpc(const std::string &client, const std::string &service,
     call->payload = std::move(payload);
     call->deadline = deadline;
     call->policy = pol;
+    call->criticality = tier;
     call->respond = std::move(respond);
     attempt(call, 1);
 }
@@ -185,6 +202,7 @@ Mesh::attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no)
                       env.respond = std::move(on_response);
                       env.arrived = kernel_.sim().now();
                       env.deadline = eff;
+                      env.criticality = call->criticality;
                       call->target->submit(std::move(env));
                   });
 }
@@ -194,6 +212,15 @@ Mesh::finishAttempt(std::shared_ptr<RpcCall> call, unsigned attempt_no,
                     const Payload &response, Status status)
 {
     if (status == Status::Ok) {
+        if (call->respond)
+            call->respond(response, status);
+        return;
+    }
+    if (status == Status::Rejected) {
+        // Admission rejection is a deliberate shed by the overload
+        // layer: retrying it would convert rejected work into
+        // amplified offered load (a retry storm). Fail fast instead.
+        ++retry_stats_.rejectedNoRetry;
         if (call->respond)
             call->respond(response, status);
         return;

@@ -28,6 +28,7 @@
 #include "cpu/work.hh"
 #include "net/network.hh"
 #include "os/kernel.hh"
+#include "svc/overload.hh"
 #include "svc/payload.hh"
 #include "svc/resilience.hh"
 #include "svc/service.hh"
@@ -80,6 +81,11 @@ class Mesh
 
     const ResilienceConfig &resilience() const { return resilience_; }
 
+    /** Install the overload-control configuration (before traffic). */
+    void setOverload(OverloadConfig config);
+
+    const OverloadConfig &overload() const { return overload_; }
+
     const RetryStats &retryStats() const { return retry_stats_; }
 
     /**
@@ -100,12 +106,14 @@ class Mesh
      * Issue one RPC on the `client`→`service` edge, applying that
      * edge's timeout/retry policy and the propagated `deadline`
      * (kTickNever = none). `respond` fires exactly once with the final
-     * outcome. When the edge has no policy and no deadline this is
-     * exactly the legacy transport path.
+     * outcome. `inherited` is the caller's criticality tier; when the
+     * overload layer is criticality-aware the request is reclassified
+     * through its rules before admission. When the edge has no policy
+     * and no deadline this is exactly the legacy transport path.
      */
     void sendRpc(const std::string &client, const std::string &service,
                  const std::string &op, Payload payload, Tick deadline,
-                 RespondFn respond);
+                 Criticality inherited, RespondFn respond);
 
     /** The profile used for (de)serialization work. */
     const cpu::WorkProfile &netstackProfile() const { return netstack_; }
@@ -134,6 +142,7 @@ class Mesh
     std::vector<std::unique_ptr<Service>> services_;
     std::map<std::string, Service *> by_name_;
     ResilienceConfig resilience_;
+    OverloadConfig overload_;
     /** Jitter for retry backoff; only drawn from when a retry fires. */
     Rng retry_rng_;
     /** Token-bucket retry budget (tokens accrue per first attempt). */

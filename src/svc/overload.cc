@@ -1,0 +1,305 @@
+#include "svc/overload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "os/kernel.hh"
+#include "svc/mesh.hh"
+#include "svc/service.hh"
+
+namespace microscale::svc
+{
+
+const char *
+admissionName(AdmissionKind kind)
+{
+    switch (kind) {
+    case AdmissionKind::Off:
+        return "off";
+    case AdmissionKind::Aimd:
+        return "aimd";
+    case AdmissionKind::Gradient:
+        return "gradient";
+    }
+    return "?";
+}
+
+AdmissionKind
+admissionByName(const std::string &name)
+{
+    if (name == "off")
+        return AdmissionKind::Off;
+    if (name == "aimd")
+        return AdmissionKind::Aimd;
+    if (name == "gradient")
+        return AdmissionKind::Gradient;
+    fatal("unknown admission kind '", name,
+                "' (expected off, aimd or gradient)");
+}
+
+namespace
+{
+
+/**
+ * AIMD limiter: every drop or above-target latency sample multiplies
+ * the limit by `aimdBackoff`; each in-target sample adds
+ * aimdIncrease / limit, i.e. roughly +aimdIncrease per limit's worth
+ * of completions (one "round trip" of the pipeline).
+ */
+class AimdLimiter : public ConcurrencyLimiter
+{
+  public:
+    explicit AimdLimiter(const AdmissionParams &p) : p_(p)
+    {
+        limit_ = std::clamp(p_.initialLimit, p_.minLimit, p_.maxLimit);
+    }
+
+    void onSample(double latency_ns, bool dropped) override
+    {
+        const bool breach =
+            dropped || latency_ns > static_cast<double>(p_.latencyTarget);
+        if (breach)
+            limit_ = std::max(p_.minLimit, limit_ * p_.aimdBackoff);
+        else
+            limit_ = std::min(p_.maxLimit, limit_ + p_.aimdIncrease / limit_);
+    }
+
+    double limit() const override { return limit_; }
+    AdmissionKind kind() const override { return AdmissionKind::Aimd; }
+
+  private:
+    AdmissionParams p_;
+    double limit_ = 0.0;
+};
+
+/**
+ * Gradient (Vegas-style) limiter: tracks the lowest latency ever seen
+ * as the no-queueing floor and steers the limit toward
+ * limit * min(1, tolerance * floor / sample) + sqrt(limit), smoothed.
+ * When samples sit at the floor the sqrt term probes upward; when
+ * latency inflates beyond `tolerance`, the ratio shrinks the limit to
+ * the fixed point where queueing stops growing. Drops act like a
+ * maximally-inflated sample.
+ */
+class GradientLimiter : public ConcurrencyLimiter
+{
+  public:
+    explicit GradientLimiter(const AdmissionParams &p) : p_(p)
+    {
+        limit_ = std::clamp(p_.initialLimit, p_.minLimit, p_.maxLimit);
+    }
+
+    void onSample(double latency_ns, bool dropped) override
+    {
+        double gradient = 0.5;
+        if (!dropped && latency_ns > 0.0) {
+            if (floor_ns_ == 0.0 || latency_ns < floor_ns_)
+                floor_ns_ = latency_ns;
+            gradient = std::clamp(
+                p_.gradientTolerance * floor_ns_ / latency_ns, 0.5, 1.0);
+        }
+        const double estimate = limit_ * gradient + std::sqrt(limit_);
+        limit_ = std::clamp((1.0 - p_.gradientSmoothing) * limit_ +
+                                p_.gradientSmoothing * estimate,
+                            p_.minLimit, p_.maxLimit);
+    }
+
+    double limit() const override { return limit_; }
+    AdmissionKind kind() const override { return AdmissionKind::Gradient; }
+
+  private:
+    AdmissionParams p_;
+    double limit_ = 0.0;
+    double floor_ns_ = 0.0;
+};
+
+/** Drop spacing while in the dropping state: interval / sqrt(count). */
+Tick
+controlLaw(Tick interval, unsigned count)
+{
+    const double spacing =
+        static_cast<double>(interval) / std::sqrt(static_cast<double>(count));
+    return std::max<Tick>(1, static_cast<Tick>(spacing));
+}
+
+} // namespace
+
+std::unique_ptr<ConcurrencyLimiter>
+makeLimiter(const AdmissionParams &p)
+{
+    switch (p.kind) {
+    case AdmissionKind::Aimd:
+        return std::make_unique<AimdLimiter>(p);
+    case AdmissionKind::Gradient:
+        return std::make_unique<GradientLimiter>(p);
+    case AdmissionKind::Off:
+        break;
+    }
+    fatal("makeLimiter: admission kind is off");
+}
+
+bool
+codelShouldDrop(CoDelState &state, const CoDelParams &params, Tick sojourn,
+                Tick now)
+{
+    if (sojourn < params.target) {
+        // Sojourn recovered: leave the dropping state and reset the
+        // excursion clock. dropNextAt is kept so a quick relapse
+        // resumes near the old drop rate instead of restarting.
+        state.firstAboveAt = 0;
+        state.dropping = false;
+        return false;
+    }
+    if (state.firstAboveAt == 0) {
+        // First sample above target: actionable one interval from now.
+        state.firstAboveAt = now + params.interval;
+        return false;
+    }
+    if (now < state.firstAboveAt)
+        return false;
+    if (!state.dropping) {
+        state.dropping = true;
+        const bool relapse = state.dropNextAt != 0 && state.dropCount > 2 &&
+                             now < state.dropNextAt + params.interval;
+        state.dropCount = relapse ? state.dropCount - 2 : 1;
+        state.dropNextAt = now + controlLaw(params.interval, state.dropCount);
+        return true;
+    }
+    if (now >= state.dropNextAt) {
+        ++state.dropCount;
+        state.dropNextAt = now + controlLaw(params.interval, state.dropCount);
+        return true;
+    }
+    return false;
+}
+
+Criticality
+OverloadConfig::classify(const std::string &server, const std::string &op,
+                         Criticality inherited) const
+{
+    for (const CriticalityRule &rule : rules) {
+        const bool server_ok = rule.server == "*" || rule.server == server;
+        const bool op_ok = rule.op == "*" || rule.op == op;
+        if (server_ok && op_ok)
+            return rule.tier;
+    }
+    return inherited;
+}
+
+void
+LimiterTrace::observe(double limit)
+{
+    if (!valid) {
+        initial = minSeen = maxSeen = last = limit;
+        valid = true;
+        return;
+    }
+    minSeen = std::min(minSeen, limit);
+    maxSeen = std::max(maxSeen, limit);
+    last = limit;
+}
+
+void
+LimiterTrace::merge(const LimiterTrace &other)
+{
+    if (!other.valid)
+        return;
+    if (!valid) {
+        *this = other;
+        return;
+    }
+    // Aggregating replicas: report the mean endpoints and the extreme
+    // excursions so the trajectory stays a single (initial, min, max,
+    // final) tuple.
+    initial = (initial + other.initial) / 2.0;
+    last = (last + other.last) / 2.0;
+    minSeen = std::min(minSeen, other.minSeen);
+    maxSeen = std::max(maxSeen, other.maxSeen);
+}
+
+BrownoutController::BrownoutController(Service &front, BrownoutParams params)
+    : front_(front),
+      params_(params),
+      rng_(front.mesh().seed(), "svc.brownout")
+{
+}
+
+void
+BrownoutController::start()
+{
+    front_.addCompletionObserver(
+        [this](const std::string &, double service_time_ns, Status status) {
+            if (status == Status::Ok)
+                latencies_ns_.push_back(service_time_ns);
+        });
+    timer_.start(front_.mesh().kernel().sim(), params_.period,
+                 [this] { tick(); });
+}
+
+void
+BrownoutController::stop()
+{
+    timer_.stop();
+}
+
+bool
+BrownoutController::shouldDegrade()
+{
+    if (dimmer_ >= 1.0)
+        return false;
+    const bool skip = !rng_.chance(dimmer_);
+    if (skip)
+        ++telemetry_.skips;
+    return skip;
+}
+
+void
+BrownoutController::setAccountingWindow(Tick start, Tick end)
+{
+    window_start_ = start;
+    window_end_ = end;
+}
+
+void
+BrownoutController::tick()
+{
+    sim::Simulation &sim = front_.mesh().kernel().sim();
+    const Tick now = sim.now();
+
+    // Duty-cycle accounting for the period that just elapsed, clipped
+    // to the measurement window.
+    const Tick begin = now > params_.period ? now - params_.period : 0;
+    const Tick lo = std::max(begin, window_start_);
+    const Tick hi = std::min(now, window_end_);
+    if (hi > lo && dimmer_ < 1.0)
+        telemetry_.dutyCycleSeconds += ticksToSeconds(hi - lo);
+
+    double p99_ms = 0.0;
+    if (!latencies_ns_.empty()) {
+        std::vector<double> &v = latencies_ns_;
+        const std::size_t idx =
+            std::min(v.size() - 1,
+                     static_cast<std::size_t>(0.99 * static_cast<double>(
+                                                         v.size())));
+        std::nth_element(v.begin(), v.begin() + static_cast<long>(idx),
+                         v.end());
+        p99_ms = v[idx] / 1e6;
+        v.clear();
+        // Control law: dimmer += gain * (1 - p99/slo). Above-SLO tails
+        // dim optional content; in-SLO tails restore it.
+        const double error = 1.0 - p99_ms / params_.sloP99Ms;
+        dimmer_ = std::clamp(dimmer_ + params_.gain * error,
+                             params_.minDimmer, 1.0);
+        ++telemetry_.adjustments;
+    }
+    // An idle period (no completions) leaves the dimmer where it is.
+
+    telemetry_.dimmerMin = std::min(telemetry_.dimmerMin, dimmer_);
+    telemetry_.dimmerLast = dimmer_;
+    if (now >= window_start_ && now <= window_end_)
+        telemetry_.windowSeconds = ticksToSeconds(
+            std::min(now, window_end_) - window_start_);
+}
+
+} // namespace microscale::svc

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Overload-control layer: adaptive per-replica concurrency limiters
+ * (AIMD and gradient), CoDel-style queue management with an optional
+ * adaptive-LIFO mode, criticality-aware admission, and a brownout
+ * controller that dims optional page content from measured p99 vs SLO.
+ *
+ * Everything here defaults to "off": a default-constructed
+ * OverloadConfig leaves the mesh behavior-identical (byte-identical
+ * results) to a build without the layer. Admission and CoDel
+ * rejections use Status::Rejected, which the mesh never retries.
+ */
+
+#ifndef MICROSCALE_SVC_OVERLOAD_HH
+#define MICROSCALE_SVC_OVERLOAD_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "sim/simulation.hh"
+#include "svc/resilience.hh"
+
+namespace microscale::svc
+{
+
+class Service;
+
+/** Which adaptive concurrency limiter runs at each replica. */
+enum class AdmissionKind
+{
+    /** No limiter: admission falls back to the static queue bound. */
+    Off = 0,
+    /** Additive-increase / multiplicative-decrease on a latency target. */
+    Aimd,
+    /** Gradient (Vegas-style): limit tracks minRtt/sampleRtt ratio. */
+    Gradient,
+};
+
+/** Short lowercase name of an admission kind ("off", "aimd", ...). */
+const char *admissionName(AdmissionKind kind);
+
+/** Parse an admission kind name; fatal on an unknown name. */
+AdmissionKind admissionByName(const std::string &name);
+
+/** Tuning for the adaptive concurrency limiters. */
+struct AdmissionParams
+{
+    AdmissionKind kind = AdmissionKind::Off;
+    /** Starting in-flight limit (queued + busy) per replica. */
+    double initialLimit = 64.0;
+    double minLimit = 4.0;
+    double maxLimit = 1024.0;
+    /**
+     * AIMD: service latency above this triggers a multiplicative
+     * decrease; below it the limit grows additively.
+     */
+    Tick latencyTarget = 80 * kMillisecond;
+    /** AIMD: additive growth per latency-target's worth of samples. */
+    double aimdIncrease = 2.0;
+    /** AIMD: multiplicative decrease factor on a breach or drop. */
+    double aimdBackoff = 0.95;
+    /** Gradient: EWMA smoothing applied to the new limit estimate. */
+    double gradientSmoothing = 0.2;
+    /** Gradient: tolerated latency inflation over the observed floor. */
+    double gradientTolerance = 2.0;
+};
+
+/**
+ * An adaptive concurrency limiter. One instance lives per replica;
+ * completed requests feed it their measured service latency and drops
+ * (deadline, CoDel) feed it a congestion signal.
+ */
+class ConcurrencyLimiter
+{
+  public:
+    virtual ~ConcurrencyLimiter() = default;
+    /** Feed one sample: measured latency, and whether it was a drop. */
+    virtual void onSample(double latencyNs, bool dropped) = 0;
+    /** Current in-flight (queued + busy) limit. */
+    virtual double limit() const = 0;
+    virtual AdmissionKind kind() const = 0;
+};
+
+/** Factory mirroring autoscale::makePolicy; fatal on Off. */
+std::unique_ptr<ConcurrencyLimiter> makeLimiter(const AdmissionParams &p);
+
+/**
+ * CoDel-style queue management parameters. When a dequeued request's
+ * sojourn time has stayed above `target` for a full `interval`, the
+ * queue enters a dropping state and sheds requests at an accelerating
+ * rate (interval / sqrt(dropCount)) until sojourn recovers.
+ */
+struct CoDelParams
+{
+    bool enabled = false;
+    /** Acceptable queue sojourn; sustained excess triggers drops. */
+    Tick target = 20 * kMillisecond;
+    /** How long sojourn must stay above target before dropping. */
+    Tick interval = 100 * kMillisecond;
+    /**
+     * Serve the newest request first while in the dropping state
+     * (adaptive LIFO): fresh requests still meet their deadlines while
+     * the stale backlog drains through CoDel drops.
+     */
+    bool lifoUnderOverload = false;
+};
+
+/** Per-queue CoDel controller state (one per replica). */
+struct CoDelState
+{
+    /** When the sojourn excursion becomes actionable; 0 = not above. */
+    Tick firstAboveAt = 0;
+    /** Next scheduled drop while in the dropping state. */
+    Tick dropNextAt = 0;
+    /** Drops in the current cycle (sets the acceleration). */
+    unsigned dropCount = 0;
+    bool dropping = false;
+};
+
+/**
+ * Decide whether the request being dequeued now with the given sojourn
+ * should be dropped, advancing the controller state. Called once per
+ * dequeue attempt (a worker is available).
+ */
+bool codelShouldDrop(CoDelState &state, const CoDelParams &params,
+                     Tick sojourn, Tick now);
+
+/**
+ * Brownout controller parameters: a periodic loop compares the front
+ * service's measured p99 against the SLO and adjusts a dimmer in
+ * [minDimmer, 1]; optional page legs (recommender, image) are served
+ * with probability dimmer.
+ */
+struct BrownoutParams
+{
+    bool enabled = false;
+    /** Latency SLO the dimmer defends (front-service p99). */
+    double sloP99Ms = 100.0;
+    /** Control period. */
+    Tick period = 50 * kMillisecond;
+    /** Dimmer step per unit of relative SLO error. */
+    double gain = 0.4;
+    /** Floor: never dim optional content out entirely. */
+    double minDimmer = 0.1;
+};
+
+/**
+ * One criticality rule: requests entering `server` for `op` ("*"
+ * matches any op) are reclassified to `tier`; first match wins,
+ * otherwise the caller's tier is inherited.
+ */
+struct CriticalityRule
+{
+    std::string server;
+    std::string op;
+    Criticality tier;
+};
+
+/**
+ * Mesh-wide overload-control configuration. Default-constructed =
+ * disabled; active() gates every code path so disabled runs stay
+ * byte-identical.
+ */
+struct OverloadConfig
+{
+    AdmissionParams admission;
+    CoDelParams codel;
+    BrownoutParams brownout;
+    /** Apply per-tier admission fractions and criticality rules. */
+    bool criticalityAware = false;
+    /**
+     * Fraction of the concurrency limit each tier may fill: sheddable
+     * work is turned away once the replica is half full, normal work
+     * at 85 %, critical work only at the full limit.
+     */
+    double sheddableFrac = 0.5;
+    double normalFrac = 0.85;
+    /** Reclassification rules, first match wins. */
+    std::vector<CriticalityRule> rules;
+
+    bool active() const
+    {
+        return admission.kind != AdmissionKind::Off || codel.enabled ||
+               brownout.enabled || criticalityAware;
+    }
+
+    /**
+     * Tier of a request entering `server` for `op`: the first matching
+     * rule's tier, else the inherited (caller's) tier.
+     */
+    Criticality classify(const std::string &server, const std::string &op,
+                         Criticality inherited) const;
+};
+
+/** Service-level overload accounting (whole run, never reset). */
+struct OverloadCounters
+{
+    /** Admission rejections by criticality tier. */
+    std::array<std::uint64_t, kNumCriticalities> admissionRejects{};
+    /** Requests shed by the CoDel controller at dequeue. */
+    std::uint64_t codelDrops = 0;
+    /** Dequeues served newest-first while in adaptive-LIFO mode. */
+    std::uint64_t lifoDequeues = 0;
+};
+
+/** Min/max/endpoint trajectory of a limiter over a run. */
+struct LimiterTrace
+{
+    double initial = 0.0;
+    double minSeen = 0.0;
+    double maxSeen = 0.0;
+    double last = 0.0;
+    bool valid = false;
+
+    void observe(double limit);
+    void merge(const LimiterTrace &other);
+};
+
+/**
+ * Brownout controller: a periodic control loop on the front service.
+ * Collects per-completion service latencies through a completion
+ * observer, computes p99 each period, and moves the dimmer by
+ * gain * (1 - p99/slo), clamped to [minDimmer, 1]. Handlers consult
+ * shouldDegrade() before issuing optional legs; the RNG is only drawn
+ * while the dimmer is engaged (< 1), so an idle controller leaves
+ * the simulation's random streams untouched.
+ */
+class BrownoutController
+{
+  public:
+    /** Aggregates harvested after a run. */
+    struct Telemetry
+    {
+        /** Seconds of the accounting window spent with dimmer < 1. */
+        double dutyCycleSeconds = 0.0;
+        double windowSeconds = 0.0;
+        double dimmerMin = 1.0;
+        double dimmerLast = 1.0;
+        /** Optional legs skipped by the dimmer. */
+        std::uint64_t skips = 0;
+        /** Control-loop adjustments executed. */
+        std::uint64_t adjustments = 0;
+    };
+
+    BrownoutController(Service &front, BrownoutParams params);
+
+    /** Begin the periodic control loop (registers the observer). */
+    void start();
+    void stop();
+
+    double dimmer() const { return dimmer_; }
+
+    /** Should this request's optional legs be skipped right now? */
+    bool shouldDegrade();
+
+    /** Restrict duty-cycle accounting to [start, end). */
+    void setAccountingWindow(Tick start, Tick end);
+
+    const Telemetry &telemetry() const { return telemetry_; }
+
+  private:
+    void tick();
+
+    Service &front_;
+    BrownoutParams params_;
+    Rng rng_;
+    std::vector<double> latencies_ns_;
+    double dimmer_ = 1.0;
+    sim::PeriodicEvent timer_;
+    Tick window_start_ = 0;
+    Tick window_end_ = kTickNever;
+    Telemetry telemetry_;
+};
+
+} // namespace microscale::svc
+
+#endif // MICROSCALE_SVC_OVERLOAD_HH

@@ -54,6 +54,12 @@ struct Envelope
     Tick deadline = kTickNever;
     /** This request is a circuit-breaker half-open probe. */
     bool probe = false;
+    /**
+     * Criticality tier for priority-aware admission. Inherited from
+     * the calling handler's request unless a criticality rule
+     * reclassifies the edge (see svc/overload.hh).
+     */
+    Criticality criticality = Criticality::Normal;
 };
 
 } // namespace microscale::svc

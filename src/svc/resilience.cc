@@ -15,6 +15,22 @@ statusName(Status status)
         return "overload";
     case Status::Unavailable:
         return "unavailable";
+    case Status::Rejected:
+        return "rejected";
+    }
+    return "?";
+}
+
+const char *
+criticalityName(Criticality tier)
+{
+    switch (tier) {
+    case Criticality::Critical:
+        return "critical";
+    case Criticality::Normal:
+        return "normal";
+    case Criticality::Sheddable:
+        return "sheddable";
     }
     return "?";
 }

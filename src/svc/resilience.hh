@@ -33,10 +33,18 @@ enum class Status : unsigned
     Overload,
     /** No live replica (crashed, breaker-open, or handler failure). */
     Unavailable,
+    /**
+     * Rejected at admission by the overload-control layer (adaptive
+     * limiter or CoDel drop) before occupying a worker. Unlike
+     * Overload, a Rejected response is a deliberate load-shedding
+     * decision and is never retried: retrying shed work would convert
+     * the rejection into amplified offered load (a retry storm).
+     */
+    Rejected,
 };
 
 /** Number of distinct Status values (for counter arrays). */
-constexpr unsigned kNumStatuses = 4;
+constexpr unsigned kNumStatuses = 5;
 
 /** Index of a status in a kNumStatuses-sized counter array. */
 constexpr unsigned
@@ -47,6 +55,33 @@ statusIndex(Status status)
 
 /** Short lowercase name of a status ("ok", "timeout", ...). */
 const char *statusName(Status status);
+
+/**
+ * Criticality tier of a request, used by the overload-control layer
+ * (svc/overload.hh) for priority-aware admission: under pressure,
+ * Sheddable work is rejected first and Critical work last. Requests
+ * default to Normal; the tier propagates to downstream calls unless a
+ * CriticalityRule overrides it for the callee.
+ */
+enum class Criticality : unsigned
+{
+    Critical = 0,
+    Normal,
+    Sheddable,
+};
+
+/** Number of distinct Criticality values (for counter arrays). */
+constexpr unsigned kNumCriticalities = 3;
+
+/** Index of a tier in a kNumCriticalities-sized counter array. */
+constexpr unsigned
+criticalityIndex(Criticality tier)
+{
+    return static_cast<unsigned>(tier);
+}
+
+/** Short lowercase name of a tier ("critical", "normal", "sheddable"). */
+const char *criticalityName(Criticality tier);
 
 /**
  * Timeout/retry policy for one client→service edge. The defaults mean
@@ -144,6 +179,11 @@ struct RetryStats
     std::uint64_t budgetDenied = 0;
     /** Client-side deadline expirations observed. */
     std::uint64_t clientTimeouts = 0;
+    /**
+     * Admission-rejected responses delivered without a retry (the
+     * retry-storm guard; see Status::Rejected).
+     */
+    std::uint64_t rejectedNoRetry = 0;
 };
 
 /** Service-level resilience accounting (whole run, never reset). */

@@ -102,13 +102,14 @@ HandlerCtx::call(const std::string &service, const std::string &op,
     };
     const std::string client = service_.name();
     const Tick deadline = envelope_.deadline;
+    const Criticality tier = envelope_.criticality;
     worker_.thread->run(
         mesh.netstackProfile(), ser,
         [&mesh, client, service, op,
-         request_payload = std::move(request_payload), deadline,
+         request_payload = std::move(request_payload), deadline, tier,
          after = std::move(after)]() mutable {
             mesh.sendRpc(client, service, op, std::move(request_payload),
-                         deadline, std::move(after));
+                         deadline, tier, std::move(after));
         });
 }
 
@@ -170,9 +171,10 @@ HandlerCtx::callAll(std::vector<CallSpec> calls,
 
     const std::string client = service_.name();
     const Tick deadline = envelope_.deadline;
+    const Criticality tier = envelope_.criticality;
     worker_.thread->run(
         mesh.netstackProfile(), ser,
-        [calls = std::move(calls), state, client, deadline] {
+        [calls = std::move(calls), state, client, deadline, tier] {
             for (std::size_t i = 0; i < calls.size(); ++i) {
                 const CallSpec &spec = calls[i];
                 RespondFn on_response = [state, i](const Payload &resp,
@@ -204,7 +206,7 @@ HandlerCtx::callAll(std::vector<CallSpec> calls,
                     }
                 };
                 state->mesh->sendRpc(client, spec.service, spec.op,
-                                     spec.request, deadline,
+                                     spec.request, deadline, tier,
                                      std::move(on_response));
             }
         });
@@ -255,8 +257,10 @@ HandlerCtx::done()
             std::max(0.0, service_time - queue_wait - compute));
         stats.statusCounts[statusIndex(status)]++;
         svc.breakerRecord(worker.replica, status == Status::Ok, probe);
-        if (svc.completion_observer_)
-            svc.completion_observer_(op, service_time, status);
+        svc.limiterObserve(worker.replica, service_time,
+                           status == Status::Timeout);
+        for (const auto &observer : svc.completion_observers_)
+            observer(op, service_time, status);
 
         if (respond) {
             mesh.network().send(
@@ -451,6 +455,18 @@ Service::submit(Envelope envelope)
         rejectEnvelope(envelope, Status::Unavailable);
         return;
     }
+    if (!admissionAdmits(rep, envelope)) {
+        // Adaptive admission: the limiter (scaled by the request's
+        // criticality tier) refused this request. A deliberate shed,
+        // not replica ill-health: no breaker outcome is recorded, and
+        // the mesh never retries a Rejected response.
+        ++overload_counters_
+              .admissionRejects[criticalityIndex(envelope.criticality)];
+        op_stats_[envelope.op]
+            .statusCounts[statusIndex(Status::Rejected)]++;
+        rejectEnvelope(envelope, Status::Rejected);
+        return;
+    }
     const std::size_t cap = mesh_.resilience().maxQueueDepth;
     if (cap > 0 && rep.queue.size() >= cap && !hasIdleWorker(rep)) {
         // Bounded queue: shed at the door. The request never occupies
@@ -602,22 +618,104 @@ Service::hasIdleWorker(const Replica &replica) const
     return false;
 }
 
+unsigned
+Service::busyWorkerCount(const Replica &replica) const
+{
+    unsigned n = 0;
+    for (std::size_t idx : replica.workerIndexes) {
+        if (workers_[idx].current)
+            ++n;
+    }
+    return n;
+}
+
+bool
+Service::admissionAdmits(Replica &replica, const Envelope &envelope)
+{
+    const OverloadConfig &oc = mesh_.overload();
+    if (oc.admission.kind == AdmissionKind::Off)
+        return true;
+    if (!replica.limiter) {
+        replica.limiter = makeLimiter(oc.admission);
+        replica.limiterTrace.observe(replica.limiter->limit());
+    }
+    // Each tier may fill only a fraction of the limit, so sheddable
+    // work hits the wall first and headroom survives for critical
+    // work as pressure builds.
+    double frac = 1.0;
+    if (oc.criticalityAware) {
+        switch (envelope.criticality) {
+        case Criticality::Critical:
+            break;
+        case Criticality::Normal:
+            frac = oc.normalFrac;
+            break;
+        case Criticality::Sheddable:
+            frac = oc.sheddableFrac;
+            break;
+        }
+    }
+    const double occupancy = static_cast<double>(
+        replica.queue.size() + busyWorkerCount(replica));
+    return occupancy < replica.limiter->limit() * frac;
+}
+
+void
+Service::limiterObserve(unsigned replica, double latency_ns, bool dropped)
+{
+    Replica &rep = replicas_[replica];
+    if (!rep.limiter)
+        return;
+    rep.limiter->onSample(latency_ns, dropped);
+    rep.limiterTrace.observe(rep.limiter->limit());
+}
+
+LimiterTrace
+Service::limiterSummary() const
+{
+    LimiterTrace total;
+    for (const Replica &r : replicas_)
+        total.merge(r.limiterTrace);
+    return total;
+}
+
+double
+Service::replicaLimit(unsigned replica) const
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    const Replica &rep = replicas_[replica];
+    return rep.limiter ? rep.limiter->limit() : 0.0;
+}
+
 void
 Service::pump(unsigned replica)
 {
     Replica &rep = replicas_[replica];
     const Tick now = mesh_.kernel().sim().now();
+    const CoDelParams &cd = mesh_.overload().codel;
     while (!rep.queue.empty()) {
-        Envelope &front = rep.queue.front();
-        if (front.deadline != kTickNever && now >= front.deadline) {
+        // Adaptive LIFO: while CoDel is in its dropping state, serve
+        // the newest request first so fresh work still meets its
+        // deadline while the stale backlog drains through drops.
+        const bool lifo =
+            cd.enabled && cd.lifoUnderOverload && rep.codel.dropping;
+        Envelope &next = lifo ? rep.queue.back() : rep.queue.front();
+        if (next.deadline != kTickNever && now >= next.deadline) {
             // The caller has already given up on this request; don't
             // waste a worker on it.
             ++resilience_counters_.deadlineDrops;
-            op_stats_[front.op]
+            op_stats_[next.op]
                 .statusCounts[statusIndex(Status::Timeout)]++;
-            breakerRecord(replica, false, front.probe);
-            rejectEnvelope(front, Status::Timeout);
-            rep.queue.pop_front();
+            breakerRecord(replica, false, next.probe);
+            limiterObserve(replica,
+                           static_cast<double>(now - next.arrived), true);
+            rejectEnvelope(next, Status::Timeout);
+            if (lifo)
+                rep.queue.pop_back();
+            else
+                rep.queue.pop_front();
             continue;
         }
         Worker *idle = nullptr;
@@ -629,8 +727,29 @@ Service::pump(unsigned replica)
         }
         if (!idle)
             return;
-        Envelope env = std::move(rep.queue.front());
-        rep.queue.pop_front();
+        if (cd.enabled) {
+            const Tick sojourn = now - next.arrived;
+            if (codelShouldDrop(rep.codel, cd, sojourn, now)) {
+                ++overload_counters_.codelDrops;
+                op_stats_[next.op]
+                    .statusCounts[statusIndex(Status::Rejected)]++;
+                limiterObserve(replica, static_cast<double>(sojourn),
+                               true);
+                rejectEnvelope(next, Status::Rejected);
+                if (lifo)
+                    rep.queue.pop_back();
+                else
+                    rep.queue.pop_front();
+                continue;
+            }
+        }
+        if (lifo)
+            ++overload_counters_.lifoDequeues;
+        Envelope env = std::move(next);
+        if (lifo)
+            rep.queue.pop_back();
+        else
+            rep.queue.pop_front();
         dispatch(*idle, std::move(env));
     }
 }

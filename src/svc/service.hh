@@ -42,6 +42,7 @@
 #include "cpu/counters.hh"
 #include "cpu/work.hh"
 #include "os/thread.hh"
+#include "svc/overload.hh"
 #include "svc/payload.hh"
 #include "svc/resilience.hh"
 
@@ -228,6 +229,15 @@ struct Replica
     Tick coldUntil = 0;
     /** Compute multiplier at activation; decays linearly to 1. */
     double coldFactor = 1.0;
+    /**
+     * Adaptive concurrency limiter (overload layer); created lazily on
+     * the first submit when admission control is configured.
+     */
+    std::unique_ptr<ConcurrencyLimiter> limiter;
+    /** Limit trajectory over the run (valid once the limiter exists). */
+    LimiterTrace limiterTrace;
+    /** CoDel controller state for this replica's queue. */
+    CoDelState codel;
 };
 
 /** Operation-level statistics. */
@@ -349,15 +359,16 @@ class Service
     /**
      * Observer invoked once per completed request (after stats are
      * recorded) with the op, the replica-side service time in ns and
-     * the outcome. Unset by default; used by autoscale::MetricsBus for
-     * interval latency signals.
+     * the outcome. None by default; observers stack, so
+     * autoscale::MetricsBus and svc::BrownoutController can listen to
+     * the same service independently.
      */
     using CompletionObserver = std::function<void(
         const std::string &op, double serviceTimeNs, Status status)>;
 
-    void setCompletionObserver(CompletionObserver observer)
+    void addCompletionObserver(CompletionObserver observer)
     {
-        completion_observer_ = std::move(observer);
+        completion_observers_.push_back(std::move(observer));
     }
 
     /**
@@ -388,6 +399,18 @@ class Service
     {
         return resilience_counters_;
     }
+
+    /** Overload-control accounting (whole run; not reset). */
+    const OverloadCounters &overloadCounters() const
+    {
+        return overload_counters_;
+    }
+
+    /** Concurrency-limit trajectory aggregated over all replicas. */
+    LimiterTrace limiterSummary() const;
+
+    /** Current limit of one replica's limiter (tests; 0 = no limiter). */
+    double replicaLimit(unsigned replica) const;
 
     /** Breaker state of one replica (tests/diagnostics). */
     const BreakerState &breakerState(unsigned replica) const;
@@ -443,6 +466,20 @@ class Service
     /** True when the replica has an idle worker. */
     bool hasIdleWorker(const Replica &replica) const;
 
+    /** Workers of this replica currently executing a handler. */
+    unsigned busyWorkerCount(const Replica &replica) const;
+
+    /**
+     * Overload-layer admission decision for a new request: true admits.
+     * False means the adaptive limiter (scaled by the request's
+     * criticality tier) refused it; the caller rejects with
+     * Status::Rejected and must not record a breaker outcome.
+     */
+    bool admissionAdmits(Replica &replica, const Envelope &envelope);
+
+    /** Feed the replica's limiter one latency/drop sample. */
+    void limiterObserve(unsigned replica, double latency_ns, bool dropped);
+
     /** Create one replica's workers (construction and addReplica). */
     void spawnWorkers(unsigned replica);
 
@@ -466,9 +503,10 @@ class Service
     std::uint64_t requests_ = 0;
     double slowdown_ = 1.0;
     ResilienceCounters resilience_counters_;
+    OverloadCounters overload_counters_;
     std::uint64_t replicas_added_ = 0;
     std::uint64_t replicas_retired_ = 0;
-    CompletionObserver completion_observer_;
+    std::vector<CompletionObserver> completion_observers_;
 };
 
 } // namespace microscale::svc

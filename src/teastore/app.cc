@@ -171,6 +171,12 @@ App::stop()
     started_ = false;
 }
 
+bool
+App::brownoutDegrades()
+{
+    return brownout_ != nullptr && brownout_->shouldDegrade();
+}
+
 svc::Payload
 App::sampleRequest(OpType op, Rng &rng) const
 {
@@ -224,6 +230,18 @@ App::installWebui()
     };
 
     webui_->addOp("home", [this, small](HandlerCtx &ctx) {
+        if (brownoutDegrades()) {
+            // Brownout: serve the dimmed page from the category list
+            // alone; the optional imagery call is never issued.
+            ctx.call(names::kPersistence, "categories", small(),
+                     [this, &ctx](const Payload &) {
+                         ctx.response().bytes = kHomeBytes;
+                         ctx.response().degraded = true;
+                         ctx.compute(scaled(kHomeRender),
+                                     [&ctx] { ctx.done(); });
+                     });
+            return;
+        }
         // The category list and the static imagery are independent:
         // fetch them in parallel, as the real front end does.
         Payload img = small();
@@ -264,15 +282,24 @@ App::installWebui()
     });
 
     webui_->addOp("category", [this, small](HandlerCtx &ctx) {
+        const bool dim = brownoutDegrades();
         ctx.call(
             names::kAuth, "validate", small(),
-            [this, &ctx, small](const Payload &) {
+            [this, &ctx, small, dim](const Payload &) {
                 Payload q = small();
                 q.arg0 = ctx.request().arg0; // category
                 q.arg1 = ctx.request().arg1; // page
                 ctx.call(
                     names::kPersistence, "products", q,
-                    [this, &ctx, small](const Payload &resp) {
+                    [this, &ctx, small, dim](const Payload &resp) {
+                        if (dim) {
+                            // Brownout: skip the preview strip.
+                            ctx.response().bytes = kCategoryBytes;
+                            ctx.response().degraded = true;
+                            ctx.compute(scaled(kCategoryRender),
+                                        [&ctx] { ctx.done(); });
+                            return;
+                        }
                         Payload img = small();
                         img.arg0 = resp.arg0; // first product id
                         img.arg1 = resp.arg1; // count
@@ -298,14 +325,25 @@ App::installWebui()
     webui_->addOp("product", [this, small](HandlerCtx &ctx) {
         // Auth and the product row are the page; recommendations and
         // imagery degrade gracefully when fallbacks are enabled.
+        const bool dim = brownoutDegrades();
         ctx.call(
             names::kAuth, "validate", small(),
-            [this, &ctx, small](const Payload &) {
+            [this, &ctx, small, dim](const Payload &) {
                 Payload q = small();
                 q.arg0 = ctx.request().arg0; // product
                 ctx.call(
                     names::kPersistence, "product", q,
-                    [this, &ctx, small](const Payload &prod) {
+                    [this, &ctx, small, dim](const Payload &prod) {
+                        if (dim) {
+                            // Brownout: the product row is the page;
+                            // the recommender and both imagery legs
+                            // are skipped as a unit.
+                            ctx.response().bytes = kProductBytes;
+                            ctx.response().degraded = true;
+                            ctx.compute(scaled(kProductRender),
+                                        [&ctx] { ctx.done(); });
+                            return;
+                        }
                         Payload rec = small();
                         rec.arg0 = ctx.request().arg1; // user
                         rec.arg1 = ctx.request().arg0; // product
@@ -384,14 +422,24 @@ App::installWebui()
     });
 
     webui_->addOp("addToCart", [this, small](HandlerCtx &ctx) {
+        const bool dim = brownoutDegrades();
         ctx.call(
             names::kAuth, "validate", small(),
-            [this, &ctx, small](const Payload &) {
+            [this, &ctx, small, dim](const Payload &) {
                 Payload q = small();
                 q.arg0 = ctx.request().arg0; // product
                 ctx.call(
                     names::kPersistence, "product", q,
-                    [this, &ctx, small](const Payload &) {
+                    [this, &ctx, small, dim](const Payload &) {
+                        if (dim) {
+                            // Brownout: cart math without the
+                            // recommender cross-sell.
+                            ctx.response().bytes = kPlainBytes;
+                            ctx.response().degraded = true;
+                            ctx.compute(scaled(kCartRender),
+                                        [&ctx] { ctx.done(); });
+                            return;
+                        }
                         Payload rec = small();
                         rec.arg0 = ctx.request().arg1; // user
                         rec.arg1 = ctx.request().arg0;

@@ -138,6 +138,19 @@ class App
     void stop();
 
     /**
+     * Attach a brownout controller (nullptr detaches). While attached
+     * and dimming, WebUI handlers skip the optional Recommender and
+     * ImageProvider legs of a page as a unit (the page renders
+     * degraded without issuing those calls), shedding downstream work
+     * before queues fill. Critical legs (Auth, Persistence) always
+     * run.
+     */
+    void setBrownout(svc::BrownoutController *controller)
+    {
+        brownout_ = controller;
+    }
+
+    /**
      * Build a request payload for a WebUI op, sampling entity ids from
      * the store with the supplied RNG (the load generator's stream).
      */
@@ -150,6 +163,9 @@ class App
     }
 
   private:
+    /** One dimmer decision per page (gates all its optional legs). */
+    bool brownoutDegrades();
+
     void installWebui();
     void installAuth();
     void installPersistence();
@@ -171,6 +187,7 @@ class App
 
     std::vector<sim::PeriodicEvent> heartbeats_;
     bool started_ = false;
+    svc::BrownoutController *brownout_ = nullptr;
 };
 
 } // namespace microscale::teastore

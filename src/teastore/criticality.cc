@@ -1,0 +1,87 @@
+#include "teastore/criticality.hh"
+
+#include "base/logging.hh"
+
+namespace microscale::teastore
+{
+
+svc::Criticality
+opCriticality(OpType op)
+{
+    switch (op) {
+      case OpType::Checkout:
+      case OpType::Login:
+        return svc::Criticality::Critical;
+      case OpType::Home:
+      case OpType::Category:
+      case OpType::Product:
+      case OpType::AddToCart:
+      case OpType::Profile:
+        return svc::Criticality::Normal;
+    }
+    MS_PANIC("invalid OpType");
+}
+
+std::vector<svc::CriticalityRule>
+criticalityRules()
+{
+    using svc::Criticality;
+    std::vector<svc::CriticalityRule> rules;
+    rules.push_back({names::kWebui, opName(OpType::Checkout),
+                     Criticality::Critical});
+    rules.push_back({names::kWebui, opName(OpType::Login),
+                     Criticality::Critical});
+    // Optional content: shed first anywhere in the call tree. Auth and
+    // Persistence carry no rule, so their requests inherit the tier of
+    // the page that issued them (a checkout's placeOrder stays
+    // Critical; a browse page's product query stays Normal).
+    rules.push_back({names::kRecommender, "*", Criticality::Sheddable});
+    rules.push_back({names::kImage, "*", Criticality::Sheddable});
+    return rules;
+}
+
+svc::OverloadConfig
+overloadAwarePolicy()
+{
+    svc::OverloadConfig oc;
+
+    // AIMD admission: start near one replica's worker pool, back off
+    // gently (0.95) so the limit tracks capacity instead of sawing
+    // through it, and treat queueing past ~60 ms as a breach.
+    oc.admission.kind = svc::AdmissionKind::Aimd;
+    oc.admission.initialLimit = 48;
+    oc.admission.minLimit = 4;
+    oc.admission.maxLimit = 512;
+    oc.admission.latencyTarget = 60 * kMillisecond;
+    oc.admission.aimdIncrease = 2.0;
+    oc.admission.aimdBackoff = 0.95;
+
+    // CoDel: drop from the queue head once sojourn stays above 20 ms
+    // for a 100 ms interval; serve newest-first while dropping so
+    // fresh requests meet their deadlines (adaptive LIFO).
+    oc.codel.enabled = true;
+    oc.codel.target = 20 * kMillisecond;
+    oc.codel.interval = 100 * kMillisecond;
+    oc.codel.lifoUnderOverload = true;
+
+    // Criticality-aware shedding with the TeaStore tier map.
+    oc.criticalityAware = true;
+    oc.sheddableFrac = 0.5;
+    oc.normalFrac = 0.85;
+    oc.rules = criticalityRules();
+
+    // Brownout: dim optional page content when even admission-
+    // controlled service cannot hold the latency target (the SLO
+    // matches it, so the dimmer engages exactly when the WebUI
+    // saturates and releases as soon as shedding work restores the
+    // tail).
+    oc.brownout.enabled = true;
+    oc.brownout.sloP99Ms = 60.0;
+    oc.brownout.period = 250 * kMillisecond;
+    oc.brownout.gain = 0.4;
+    oc.brownout.minDimmer = 0.1;
+
+    return oc;
+}
+
+} // namespace microscale::teastore

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Request criticality for the TeaStore mix, and the overload-aware
+ * preset that pairs with chaos.hh's resilientPolicy().
+ *
+ * The tiers encode what the shop can afford to lose under overload:
+ *
+ *  - Critical: checkout and login. Dropping a checkout loses revenue
+ *    and dropping a login locks the user out of everything behind it,
+ *    so these are shed last.
+ *  - Normal: the browse pages (home, category, product, addToCart,
+ *    profile). Shedding one loses a page view.
+ *  - Sheddable: everything served by the Recommender and the
+ *    ImageProvider. Both are optional page content with degraded
+ *    fallbacks, so shedding them costs fidelity, not function.
+ *
+ * Tiers attach to requests at the WebUI edge via opCriticality() and
+ * propagate down the call tree; criticalityRules() reclassifies the
+ * optional internal edges so downstream admission can shed them first.
+ */
+
+#ifndef MICROSCALE_TEASTORE_CRITICALITY_HH
+#define MICROSCALE_TEASTORE_CRITICALITY_HH
+
+#include <vector>
+
+#include "svc/overload.hh"
+#include "teastore/app.hh"
+
+namespace microscale::teastore
+{
+
+/** Criticality tier of a user-facing WebUI operation. */
+svc::Criticality opCriticality(OpType op);
+
+/**
+ * Server-side reclassification rules for the TeaStore topology:
+ * checkout/login stay Critical at the WebUI door, and anything asked
+ * of the Recommender or ImageProvider becomes Sheddable regardless of
+ * the page that asked.
+ */
+std::vector<svc::CriticalityRule> criticalityRules();
+
+/**
+ * The overload-aware preset used by FIG-14's third arm: AIMD
+ * admission with CoDel queue management (adaptive LIFO under
+ * sustained overload), criticality-aware shedding with the rules
+ * above, and a brownout dimmer on the WebUI driven by the FIG-14 SLO.
+ * Pair it with chaos.hh's resilientPolicy() and degraded fallbacks.
+ */
+svc::OverloadConfig overloadAwarePolicy();
+
+} // namespace microscale::teastore
+
+#endif // MICROSCALE_TEASTORE_CRITICALITY_HH

@@ -15,6 +15,7 @@
 #include "core/experiment.hh"
 #include "core/sweep.hh"
 #include "teastore/chaos.hh"
+#include "teastore/criticality.hh"
 
 namespace microscale::core
 {
@@ -185,6 +186,93 @@ TEST(Sweep, FaultScriptsDeterministicAcrossJobsAndRepeats)
     EXPECT_GT(crash_none.resilience.unavailableCount, 0u);
     EXPECT_GT(crash_res.resilience.goodputRps,
               crash_none.resilience.goodputRps);
+}
+
+/** An overloaded grid (open-loop past capacity) x overload arms. */
+std::vector<SweepPoint>
+overloadPoints()
+{
+    std::vector<SweepPoint> points;
+    ExperimentConfig base = fastConfig();
+    // Saturating open-loop arrivals so admission and shedding engage.
+    base.openLoopRps = 3000.0;
+    for (const char *arm : {"none", "aware"}) {
+        for (double rps : {1000.0, 3000.0}) {
+            SweepPoint p;
+            p.label = std::string(arm) + "/" +
+                      std::to_string(static_cast<int>(rps));
+            p.config = base;
+            p.config.openLoopRps = rps;
+            if (std::string(arm) == "aware")
+                p.config.overload = teastore::overloadAwarePolicy();
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+TEST(Sweep, OverloadLayerDeterministicAcrossJobsAndRepeats)
+{
+    // Admission, CoDel, criticality tiers and the brownout RNG must
+    // all preserve the harness's guarantee: bit-identical results
+    // whether points run serially, in parallel, or again.
+    const std::vector<SweepPoint> points = overloadPoints();
+    const std::vector<SweepOutcome> serial = runWithJobs(points, 1);
+    const std::vector<SweepOutcome> parallel = runWithJobs(points, 4);
+    const std::vector<SweepOutcome> repeat = runWithJobs(points, 4);
+    ASSERT_EQ(serial.size(), points.size());
+    bool saw_rejections = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        const RunResult &a = serial[i].result;
+        for (const RunResult *b :
+             {&parallel[i].result, &repeat[i].result}) {
+            EXPECT_DOUBLE_EQ(a.throughputRps, b->throughputRps);
+            EXPECT_DOUBLE_EQ(a.latency.p99Ms, b->latency.p99Ms);
+            EXPECT_EQ(a.eventsProcessed, b->eventsProcessed);
+            EXPECT_EQ(a.resilience.rejectedCount,
+                      b->resilience.rejectedCount);
+            EXPECT_EQ(a.overload.shedCritical, b->overload.shedCritical);
+            EXPECT_EQ(a.overload.shedNormal, b->overload.shedNormal);
+            EXPECT_EQ(a.overload.shedSheddable,
+                      b->overload.shedSheddable);
+            EXPECT_EQ(a.overload.codelDrops, b->overload.codelDrops);
+            EXPECT_EQ(a.overload.brownoutSkips,
+                      b->overload.brownoutSkips);
+            EXPECT_DOUBLE_EQ(a.overload.limitFinal,
+                             b->overload.limitFinal);
+            EXPECT_DOUBLE_EQ(a.overload.dimmerFinal,
+                             b->overload.dimmerFinal);
+        }
+        if (a.overload.active && a.overload.rejectedTotal > 0)
+            saw_rejections = true;
+    }
+    // The overloaded aware arm actually exercised the layer.
+    EXPECT_TRUE(saw_rejections);
+}
+
+TEST(Sweep, InactiveOverloadDefaultsAreFreeOfSideEffects)
+{
+    // A run with the overload knobs at their defaults must be
+    // event-identical to one that never heard of them.
+    SweepPoint plain;
+    plain.label = "plain";
+    plain.config = fastConfig();
+    SweepPoint wired;
+    wired.label = "wired";
+    wired.config = fastConfig();
+    wired.config.overload = svc::OverloadConfig{};
+    const std::vector<SweepOutcome> runs =
+        runWithJobs({plain, wired}, 2);
+    ASSERT_TRUE(runs[0].ok);
+    ASSERT_TRUE(runs[1].ok);
+    EXPECT_EQ(runs[0].result.eventsProcessed,
+              runs[1].result.eventsProcessed);
+    EXPECT_DOUBLE_EQ(runs[0].result.throughputRps,
+                     runs[1].result.throughputRps);
+    EXPECT_FALSE(runs[1].result.overload.active);
+    EXPECT_FALSE(runs[1].result.resilience.active);
 }
 
 TEST(Sweep, HealthyResilienceDefaultsAreFreeOfSideEffects)

@@ -1,0 +1,563 @@
+/**
+ * @file
+ * Tests for the overload-control layer: the CoDel drop state machine,
+ * AIMD and gradient limiter convergence, criticality classification
+ * and tier-ordered shedding, the retry-storm guard on rejected work,
+ * and the brownout dimmer's control loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hh"
+#include "os/kernel.hh"
+#include "sim/simulation.hh"
+#include "svc/mesh.hh"
+#include "svc/overload.hh"
+#include "topo/presets.hh"
+
+namespace microscale::svc
+{
+namespace
+{
+
+TEST(Overload, AdmissionNameRoundTrip)
+{
+    for (AdmissionKind kind : {AdmissionKind::Off, AdmissionKind::Aimd,
+                               AdmissionKind::Gradient})
+        EXPECT_EQ(admissionByName(admissionName(kind)), kind);
+    EXPECT_EXIT(admissionByName("vegas"), ::testing::ExitedWithCode(1),
+                "unknown admission kind");
+    EXPECT_EXIT(makeLimiter(AdmissionParams{}),
+                ::testing::ExitedWithCode(1), "admission kind is off");
+}
+
+TEST(Overload, ConfigActiveOnlyWhenSomethingEnabled)
+{
+    OverloadConfig oc;
+    EXPECT_FALSE(oc.active());
+    oc.admission.kind = AdmissionKind::Aimd;
+    EXPECT_TRUE(oc.active());
+    oc = OverloadConfig{};
+    oc.codel.enabled = true;
+    EXPECT_TRUE(oc.active());
+    oc = OverloadConfig{};
+    oc.brownout.enabled = true;
+    EXPECT_TRUE(oc.active());
+    oc = OverloadConfig{};
+    oc.criticalityAware = true;
+    EXPECT_TRUE(oc.active());
+}
+
+TEST(Overload, ClassifyFirstMatchWinsElseInherits)
+{
+    OverloadConfig oc;
+    oc.rules.push_back({"a", "x", Criticality::Critical});
+    oc.rules.push_back({"*", "x", Criticality::Sheddable});
+    oc.rules.push_back({"b", "*", Criticality::Sheddable});
+    EXPECT_EQ(oc.classify("a", "x", Criticality::Normal),
+              Criticality::Critical);
+    EXPECT_EQ(oc.classify("z", "x", Criticality::Normal),
+              Criticality::Sheddable);
+    EXPECT_EQ(oc.classify("b", "q", Criticality::Critical),
+              Criticality::Sheddable);
+    // No rule: the caller's tier rides along.
+    EXPECT_EQ(oc.classify("z", "q", Criticality::Critical),
+              Criticality::Critical);
+}
+
+TEST(Overload, AimdLimiterConvergesToBoundsAndBacksOff)
+{
+    AdmissionParams p;
+    p.kind = AdmissionKind::Aimd;
+    p.initialLimit = 10.0;
+    p.minLimit = 2.0;
+    p.maxLimit = 20.0;
+    p.latencyTarget = 10 * kMillisecond;
+    p.aimdIncrease = 2.0;
+    p.aimdBackoff = 0.5;
+    std::unique_ptr<ConcurrencyLimiter> lim = makeLimiter(p);
+    EXPECT_EQ(lim->kind(), AdmissionKind::Aimd);
+    EXPECT_DOUBLE_EQ(lim->limit(), 10.0);
+
+    // One in-target sample grows additively by increase/limit.
+    lim->onSample(1e6, false);
+    EXPECT_DOUBLE_EQ(lim->limit(), 10.2);
+
+    // Sustained in-target load converges to (and clamps at) the max.
+    for (int i = 0; i < 1000; ++i)
+        lim->onSample(1e6, false);
+    EXPECT_DOUBLE_EQ(lim->limit(), 20.0);
+
+    // A latency breach multiplies by the backoff factor...
+    lim->onSample(20e6, false); // 20ms > 10ms target
+    EXPECT_DOUBLE_EQ(lim->limit(), 10.0);
+    // ...and a drop counts as a breach regardless of latency.
+    lim->onSample(1e6, true);
+    EXPECT_DOUBLE_EQ(lim->limit(), 5.0);
+
+    // Sustained congestion converges to (and clamps at) the min.
+    for (int i = 0; i < 100; ++i)
+        lim->onSample(0.0, true);
+    EXPECT_DOUBLE_EQ(lim->limit(), 2.0);
+}
+
+TEST(Overload, GradientLimiterProbesAtFloorAndFindsFixedPoint)
+{
+    AdmissionParams p;
+    p.kind = AdmissionKind::Gradient;
+    p.initialLimit = 16.0;
+    p.minLimit = 1.0;
+    p.maxLimit = 100.0;
+    p.gradientSmoothing = 0.2;
+    p.gradientTolerance = 2.0;
+    std::unique_ptr<ConcurrencyLimiter> lim = makeLimiter(p);
+    EXPECT_EQ(lim->kind(), AdmissionKind::Gradient);
+
+    // At the latency floor the sqrt term probes upward: one sample
+    // moves 16 toward 16 + sqrt(16) with smoothing 0.2.
+    lim->onSample(1e6, false);
+    EXPECT_NEAR(lim->limit(), 16.8, 1e-9);
+
+    // Sustained floor-latency samples climb to (and clamp at) the max.
+    for (int i = 0; i < 2000; ++i)
+        lim->onSample(1e6, false);
+    EXPECT_DOUBLE_EQ(lim->limit(), 100.0);
+
+    // 10x latency inflation clamps the gradient at 0.5; the stable
+    // fixed point of L <- 0.5 L + sqrt(L) is L = 4.
+    for (int i = 0; i < 2000; ++i)
+        lim->onSample(10e6, false);
+    EXPECT_NEAR(lim->limit(), 4.0, 0.05);
+}
+
+TEST(Overload, CodelDropTimingFollowsControlLaw)
+{
+    CoDelParams p;
+    p.enabled = true;
+    p.target = 5 * kMillisecond;
+    p.interval = 100 * kMillisecond;
+    CoDelState st;
+    const Tick above = 10 * kMillisecond;
+    const Tick below = 1 * kMillisecond;
+
+    // Below target never drops.
+    EXPECT_FALSE(codelShouldDrop(st, p, below, 0));
+    EXPECT_FALSE(st.dropping);
+
+    // The first above-target sample arms the interval clock but does
+    // not drop; dropping begins only after a full sustained interval.
+    EXPECT_FALSE(codelShouldDrop(st, p, above, 0));
+    EXPECT_FALSE(codelShouldDrop(st, p, above, 50 * kMillisecond));
+    EXPECT_TRUE(codelShouldDrop(st, p, above, 100 * kMillisecond));
+    EXPECT_TRUE(st.dropping);
+    EXPECT_EQ(st.dropCount, 1u);
+    EXPECT_EQ(st.dropNextAt, 200 * kMillisecond);
+
+    // Drops are paced, not per-dequeue.
+    EXPECT_FALSE(codelShouldDrop(st, p, above, 150 * kMillisecond));
+    EXPECT_TRUE(codelShouldDrop(st, p, above, 200 * kMillisecond));
+    EXPECT_EQ(st.dropCount, 2u);
+
+    // Spacing accelerates as interval / sqrt(count): the third drop
+    // lands 100/sqrt(2) ~ 70.7ms after the second.
+    EXPECT_FALSE(codelShouldDrop(st, p, above, 270 * kMillisecond));
+    EXPECT_TRUE(codelShouldDrop(st, p, above, 271 * kMillisecond));
+    EXPECT_EQ(st.dropCount, 3u);
+    // Fourth: 100/sqrt(3) ~ 57.7ms later.
+    EXPECT_TRUE(codelShouldDrop(st, p, above, 329 * kMillisecond));
+    EXPECT_EQ(st.dropCount, 4u);
+
+    // Recovery exits the dropping state at once...
+    EXPECT_FALSE(codelShouldDrop(st, p, below, 340 * kMillisecond));
+    EXPECT_FALSE(st.dropping);
+
+    // ...but a quick relapse resumes near the old drop rate instead of
+    // restarting the cycle from one drop per interval.
+    EXPECT_FALSE(codelShouldDrop(st, p, above, 341 * kMillisecond));
+    EXPECT_TRUE(codelShouldDrop(st, p, above, 441 * kMillisecond));
+    EXPECT_EQ(st.dropCount, 2u);
+}
+
+TEST(Overload, LimiterTraceObservesAndMerges)
+{
+    LimiterTrace t;
+    EXPECT_FALSE(t.valid);
+    t.observe(5.0);
+    t.observe(3.0);
+    t.observe(7.0);
+    EXPECT_TRUE(t.valid);
+    EXPECT_DOUBLE_EQ(t.initial, 5.0);
+    EXPECT_DOUBLE_EQ(t.minSeen, 3.0);
+    EXPECT_DOUBLE_EQ(t.maxSeen, 7.0);
+    EXPECT_DOUBLE_EQ(t.last, 7.0);
+
+    // Merging an invalid trace is a no-op; merging into an invalid
+    // trace copies.
+    LimiterTrace copy = t;
+    copy.merge(LimiterTrace{});
+    EXPECT_DOUBLE_EQ(copy.last, 7.0);
+    LimiterTrace fresh;
+    fresh.merge(t);
+    EXPECT_DOUBLE_EQ(fresh.initial, 5.0);
+
+    // Two valid traces: mean endpoints, extreme excursions.
+    LimiterTrace other;
+    other.observe(9.0);
+    other.observe(1.0);
+    t.merge(other);
+    EXPECT_DOUBLE_EQ(t.initial, 7.0);
+    EXPECT_DOUBLE_EQ(t.minSeen, 1.0);
+    EXPECT_DOUBLE_EQ(t.maxSeen, 9.0);
+    EXPECT_DOUBLE_EQ(t.last, 4.0);
+}
+
+class OverloadTest : public ::testing::Test
+{
+  protected:
+    OverloadTest()
+        : machine_(topo::small8()),
+          engine_(sim_, machine_),
+          kernel_(sim_, machine_, engine_, os::SchedParams{}, 1),
+          network_(sim_, quietNet(), 1),
+          mesh_(kernel_, network_, RpcCostParams{}, 1)
+    {
+        kernel_.start();
+        profile_.name = "overload-test";
+        profile_.ipcBase = 1.0;
+        profile_.l3Apki = 1.0;
+        profile_.wssBytes = 1024 * 1024;
+    }
+
+    static net::NetParams
+    quietNet()
+    {
+        net::NetParams p;
+        p.jitterCv = 0.0;
+        return p;
+    }
+
+    Service *
+    makeService(const std::string &name, unsigned replicas = 1,
+                unsigned workers = 2)
+    {
+        ServiceParams p;
+        p.name = name;
+        p.profile = profile_;
+        p.replicas = replicas;
+        p.workersPerReplica = workers;
+        p.computeCv = 0.0;
+        return mesh_.createService(p);
+    }
+
+    /** A fixed concurrency limit: AIMD clamped to a single value. */
+    static AdmissionParams
+    fixedLimit(double limit)
+    {
+        AdmissionParams p;
+        p.kind = AdmissionKind::Aimd;
+        p.initialLimit = p.minLimit = p.maxLimit = limit;
+        return p;
+    }
+
+    sim::Simulation sim_;
+    topo::Machine machine_;
+    cpu::ExecEngine engine_;
+    os::Kernel kernel_;
+    net::Network network_;
+    Mesh mesh_;
+    cpu::WorkProfile profile_;
+};
+
+TEST_F(OverloadTest, AdmissionRejectsBeyondLimitAndFailsFast)
+{
+    OverloadConfig oc;
+    oc.admission = fixedLimit(4.0);
+    mesh_.setOverload(oc);
+
+    Service *s = makeService("gate", 1, 1);
+    s->addOp("slow", [](HandlerCtx &ctx) {
+        ctx.compute(50e6, [&ctx] { ctx.done(); });
+    });
+
+    std::vector<Status> statuses;
+    std::vector<int> completion_order;
+    for (int i = 0; i < 10; ++i) {
+        mesh_.callExternalS("gate", "slow", Payload{},
+                            [&, i](const Payload &, Status st) {
+                                statuses.push_back(st);
+                                completion_order.push_back(i);
+                            });
+    }
+    sim_.run();
+
+    // Occupancy (queued + busy) may fill the limit, nothing beyond.
+    ASSERT_EQ(statuses.size(), 10u);
+    int ok = 0, rejected = 0;
+    for (Status st : statuses) {
+        if (st == Status::Ok)
+            ++ok;
+        else if (st == Status::Rejected)
+            ++rejected;
+    }
+    EXPECT_EQ(ok, 4);
+    EXPECT_EQ(rejected, 6);
+    EXPECT_EQ(s->requestsProcessed(), 4u);
+    EXPECT_EQ(s->overloadCounters()
+                  .admissionRejects[criticalityIndex(Criticality::Normal)],
+              6u);
+    EXPECT_EQ(s->opStats().at("slow").statusCounts[statusIndex(
+                  Status::Rejected)],
+              6u);
+    // Rejections never occupy a worker: they complete first.
+    for (int i = 0; i < 6; ++i)
+        EXPECT_GE(completion_order[i], 4);
+
+    // The clamped limiter never moved, and the trace recorded it.
+    EXPECT_DOUBLE_EQ(s->replicaLimit(0), 4.0);
+    const LimiterTrace trace = s->limiterSummary();
+    EXPECT_TRUE(trace.valid);
+    EXPECT_DOUBLE_EQ(trace.minSeen, 4.0);
+    EXPECT_DOUBLE_EQ(trace.maxSeen, 4.0);
+}
+
+TEST_F(OverloadTest, TierOrderingShedsSheddableFirstCriticalLast)
+{
+    OverloadConfig oc;
+    oc.admission = fixedLimit(8.0);
+    oc.criticalityAware = true;
+    oc.sheddableFrac = 0.5;  // sheddable wall at occupancy 4
+    oc.normalFrac = 0.75;    // normal wall at occupancy 6
+    oc.rules.push_back({"store", "crit", Criticality::Critical});
+    oc.rules.push_back({"store", "shed", Criticality::Sheddable});
+    mesh_.setOverload(oc);
+
+    Service *s = makeService("store", 1, 1);
+    for (const char *op : {"crit", "norm", "shed"}) {
+        s->addOp(op, [](HandlerCtx &ctx) {
+            ctx.compute(50e6, [&ctx] { ctx.done(); });
+        });
+    }
+
+    // One deterministic burst; deliveries keep issue order. Expected
+    // admission against occupancy (busy + queued) at arrival:
+    struct Send
+    {
+        const char *op;
+        Status expect;
+    };
+    const std::vector<Send> sends = {
+        {"crit", Status::Ok},       // occ 0..4: critical fills freely
+        {"crit", Status::Ok},       {"crit", Status::Ok},
+        {"crit", Status::Ok},       {"crit", Status::Ok},
+        {"shed", Status::Rejected}, // occ 5 >= 4: sheddable wall
+        {"norm", Status::Ok},       // occ 5 < 6: normal still admitted
+        {"norm", Status::Rejected}, // occ 6 >= 6: normal wall
+        {"crit", Status::Ok},       // occ 6 < 8
+        {"crit", Status::Ok},       // occ 7 < 8
+        {"crit", Status::Rejected}, // occ 8 >= 8: hard limit
+        {"shed", Status::Rejected},
+    };
+    std::vector<Status> statuses(sends.size(), Status::Ok);
+    for (std::size_t i = 0; i < sends.size(); ++i) {
+        mesh_.callExternalS("store", sends[i].op, Payload{},
+                            [&statuses, i](const Payload &, Status st) {
+                                statuses[i] = st;
+                            });
+    }
+    sim_.run();
+
+    for (std::size_t i = 0; i < sends.size(); ++i)
+        EXPECT_EQ(statuses[i], sends[i].expect) << "send " << i;
+    const OverloadCounters &cnt = s->overloadCounters();
+    EXPECT_EQ(cnt.admissionRejects[criticalityIndex(
+                  Criticality::Sheddable)],
+              2u);
+    EXPECT_EQ(cnt.admissionRejects[criticalityIndex(Criticality::Normal)],
+              1u);
+    EXPECT_EQ(cnt.admissionRejects[criticalityIndex(
+                  Criticality::Critical)],
+              1u);
+    EXPECT_EQ(s->requestsProcessed(), 8u);
+}
+
+TEST_F(OverloadTest, RejectedResponsesAreNeverRetried)
+{
+    // A retry-capable edge with budget to spare...
+    ResilienceConfig rc;
+    rc.retryBudgetRatio = 1.0;
+    EdgeRule rule;
+    rule.client = kExternalClient;
+    rule.server = "guarded";
+    rule.policy.maxAttempts = 3;
+    rule.policy.backoffBase = 100 * kMicrosecond;
+    rc.edges.push_back(rule);
+    mesh_.setResilience(rc);
+
+    // ...against a tightly admission-limited service.
+    OverloadConfig oc;
+    oc.admission = fixedLimit(2.0);
+    mesh_.setOverload(oc);
+
+    Service *s = makeService("guarded", 1, 1);
+    s->addOp("work", [](HandlerCtx &ctx) {
+        ctx.compute(50e6, [&ctx] { ctx.done(); });
+    });
+
+    int ok = 0, rejected = 0;
+    for (int i = 0; i < 8; ++i) {
+        mesh_.callExternalS("guarded", "work", Payload{},
+                            [&](const Payload &, Status st) {
+                                if (st == Status::Ok)
+                                    ++ok;
+                                else if (st == Status::Rejected)
+                                    ++rejected;
+                            });
+    }
+    sim_.run();
+
+    // The shed work failed fast without a single retry: rejections are
+    // deliberate load shedding, and retrying them would amplify the
+    // very overload the limiter is relieving (a retry storm).
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(rejected, 6);
+    EXPECT_EQ(mesh_.retryStats().retries, 0u);
+    EXPECT_EQ(mesh_.retryStats().rejectedNoRetry, 6u);
+    EXPECT_EQ(s->requestsProcessed(), 2u);
+
+    // The same edge does retry genuine ill-health: a crashed replica
+    // yields Unavailable, which the policy is still allowed to retry.
+    s->setReplicaDown(0, true);
+    mesh_.callExternalS("guarded", "work", Payload{},
+                        [](const Payload &, Status) {});
+    sim_.run();
+    EXPECT_GT(mesh_.retryStats().retries, 0u);
+}
+
+TEST_F(OverloadTest, CodelShedsStaleBacklogAndServesNewestFirst)
+{
+    OverloadConfig oc;
+    oc.codel.enabled = true;
+    oc.codel.target = 1 * kMillisecond;
+    oc.codel.interval = 5 * kMillisecond;
+    oc.codel.lifoUnderOverload = true;
+    mesh_.setOverload(oc);
+
+    Service *s = makeService("backlog", 1, 1);
+    s->addOp("work", [](HandlerCtx &ctx) {
+        ctx.compute(10e6, [&ctx] { ctx.done(); });
+    });
+
+    // A burst far beyond one worker's capacity: sojourn climbs past
+    // the target within a few services, and CoDel starts draining the
+    // backlog while adaptive LIFO serves the freshest request first.
+    int ok = 0, rejected = 0;
+    for (int i = 0; i < 30; ++i) {
+        mesh_.callExternalS("backlog", "work", Payload{},
+                            [&](const Payload &, Status st) {
+                                if (st == Status::Ok)
+                                    ++ok;
+                                else if (st == Status::Rejected)
+                                    ++rejected;
+                            });
+    }
+    sim_.run();
+
+    const OverloadCounters &cnt = s->overloadCounters();
+    EXPECT_EQ(ok + rejected, 30);
+    EXPECT_GT(cnt.codelDrops, 0u);
+    EXPECT_EQ(cnt.codelDrops, static_cast<std::uint64_t>(rejected));
+    EXPECT_GT(cnt.lifoDequeues, 0u);
+    EXPECT_EQ(s->opStats().at("work").statusCounts[statusIndex(
+                  Status::Rejected)],
+              static_cast<std::uint64_t>(rejected));
+    // Without admission control no limiter ever materialized.
+    EXPECT_FALSE(s->limiterSummary().valid);
+}
+
+TEST_F(OverloadTest, BrownoutDimsToFloorUnderSloBreach)
+{
+    Service *front = makeService("front", 1, 2);
+    front->addOp("page", [](HandlerCtx &ctx) {
+        ctx.compute(20e6, [&ctx] { ctx.done(); }); // well past the SLO
+    });
+
+    BrownoutParams bp;
+    bp.enabled = true;
+    bp.sloP99Ms = 2.0;
+    bp.period = 10 * kMillisecond;
+    bp.gain = 0.5;
+    bp.minDimmer = 0.2;
+    BrownoutController ctrl(*front, bp);
+    ctrl.start();
+
+    for (Tick t = 0; t < 40 * kMillisecond; t += kMillisecond) {
+        sim_.scheduleAt(t, [&] {
+            mesh_.callExternalS("front", "page", Payload{},
+                                [](const Payload &, Status) {});
+        });
+    }
+    sim_.scheduleAt(80 * kMillisecond, [&] { ctrl.stop(); });
+    sim_.run();
+
+    // Far-above-SLO tails clamp the dimmer to its floor immediately.
+    EXPECT_DOUBLE_EQ(ctrl.dimmer(), bp.minDimmer);
+    const BrownoutController::Telemetry &tm = ctrl.telemetry();
+    EXPECT_GT(tm.adjustments, 0u);
+    EXPECT_DOUBLE_EQ(tm.dimmerMin, bp.minDimmer);
+    EXPECT_GT(tm.dutyCycleSeconds, 0.0);
+
+    // At dimmer d, shouldDegrade() skips with probability 1 - d.
+    int skips = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (ctrl.shouldDegrade())
+            ++skips;
+    }
+    EXPECT_GT(skips, 100);
+    EXPECT_LT(skips, 200);
+    EXPECT_EQ(tm.skips, static_cast<std::uint64_t>(skips));
+}
+
+TEST_F(OverloadTest, BrownoutRecoversOnceTailsReturnInSlo)
+{
+    Service *front = makeService("front", 1, 2);
+    bool slow = true;
+    front->addOp("page", [&slow](HandlerCtx &ctx) {
+        if (slow)
+            ctx.compute(20e6, [&ctx] { ctx.done(); });
+        else
+            ctx.done();
+    });
+
+    BrownoutParams bp;
+    bp.enabled = true;
+    bp.sloP99Ms = 2.0;
+    bp.period = 10 * kMillisecond;
+    bp.gain = 0.5;
+    bp.minDimmer = 0.2;
+    BrownoutController ctrl(*front, bp);
+    ctrl.start();
+
+    for (Tick t = 0; t < 80 * kMillisecond; t += kMillisecond) {
+        sim_.scheduleAt(t, [&] {
+            mesh_.callExternalS("front", "page", Payload{},
+                                [](const Payload &, Status) {});
+        });
+    }
+    // Half way through the run the overload lifts.
+    sim_.scheduleAt(40 * kMillisecond, [&slow] { slow = false; });
+    sim_.scheduleAt(120 * kMillisecond, [&] { ctrl.stop(); });
+    sim_.run();
+
+    // Dimmed to the floor while breaching, fully restored after the
+    // tails came back inside the SLO.
+    EXPECT_DOUBLE_EQ(ctrl.telemetry().dimmerMin, bp.minDimmer);
+    EXPECT_DOUBLE_EQ(ctrl.dimmer(), 1.0);
+    EXPECT_DOUBLE_EQ(ctrl.telemetry().dimmerLast, 1.0);
+    // A fully-restored dimmer never degrades (and draws no RNG).
+    EXPECT_FALSE(ctrl.shouldDegrade());
+}
+
+} // namespace
+} // namespace microscale::svc

@@ -20,6 +20,7 @@
 #include "core/sweep.hh"
 #include "perf/report.hh"
 #include "teastore/chaos.hh"
+#include "teastore/criticality.hh"
 #include "topo/presets.hh"
 
 using namespace microscale;
@@ -82,6 +83,15 @@ main(int argc, char **argv)
     args.addFlag("resilience",
                  "enable the resilient mesh policy (timeouts, retries, "
                  "breaker, shedding) plus degraded page fallbacks");
+    args.addString("admission", "off",
+                   "adaptive admission control with CoDel queues: aimd, "
+                   "gradient, off");
+    args.addFlag("criticality",
+                 "criticality-aware shedding (checkout/login last, "
+                 "recommender/image first)");
+    args.addFlag("brownout",
+                 "brownout dimmer on optional page content (implies "
+                 "degraded fallbacks)");
     args.addFlag("csv", "emit tables as CSV");
     args.addFlag("json", "emit the full result as JSON and exit");
     args.addFlag("plan", "print the placement plan");
@@ -112,6 +122,24 @@ main(int argc, char **argv)
     if (args.getFlag("resilience")) {
         config.resilience = teastore::resilientPolicy();
         config.app.degradedFallbacks = true;
+    }
+
+    // Overload layer: start from the tuned preset and keep only the
+    // parts the flags ask for, so each knob works on its own.
+    const svc::AdmissionKind admission =
+        svc::admissionByName(args.getString("admission"));
+    if (admission != svc::AdmissionKind::Off ||
+        args.getFlag("criticality") || args.getFlag("brownout")) {
+        svc::OverloadConfig oc = teastore::overloadAwarePolicy();
+        oc.admission.kind = admission;
+        oc.codel.enabled = admission != svc::AdmissionKind::Off;
+        oc.criticalityAware = args.getFlag("criticality");
+        if (!oc.criticalityAware)
+            oc.rules.clear();
+        oc.brownout.enabled = args.getFlag("brownout");
+        if (oc.brownout.enabled)
+            config.app.degradedFallbacks = true;
+        config.overload = oc;
     }
 
     // Run through the sweep harness so msim shares the thread pool,
@@ -188,6 +216,22 @@ main(int argc, char **argv)
                   << "  retries=" << rs.retries << "  shed=" << rs.shed
                   << "  deadline_drops=" << rs.deadlineDrops
                   << "  breaker_opens=" << rs.breakerOpens << "\n";
+    }
+    if (r.overload.active) {
+        const core::OverloadSummary &ov = r.overload;
+        std::cout << "overload: admission=" << ov.admission
+                  << " limit=" << formatDouble(ov.limitInitial, 0) << "->"
+                  << formatDouble(ov.limitFinal, 0) << " ["
+                  << formatDouble(ov.limitMin, 0) << ","
+                  << formatDouble(ov.limitMax, 0) << "]"
+                  << "  shed crit/norm/shed=" << ov.shedCritical << "/"
+                  << ov.shedNormal << "/" << ov.shedSheddable
+                  << "  codel_drops=" << ov.codelDrops
+                  << "  rejected=" << ov.rejectedTotal
+                  << "  brownout_duty="
+                  << formatDouble(ov.brownoutDutyCycle * 100.0, 1)
+                  << "%  dimmer="
+                  << formatDouble(ov.dimmerFinal, 2) << "\n";
     }
     if (args.getFlag("plan"))
         std::cout << "\n" << r.plan.describe();
