@@ -2,7 +2,8 @@
  * @file
  * json_check: CI validator for emitted BENCH_*.json artifacts.
  *
- *   json_check [--elastic] [--overload] FILE MIN_POINTS [LABEL...]
+ *   json_check [--elastic] [--overload] [--trace] FILE MIN_POINTS
+ *              [LABEL...]
  *
  * Parses FILE with core::parseJson and requires the sweep-harness
  * schema: artifact/caption/machine strings, the expected
@@ -17,8 +18,15 @@
  * counts, limiter trajectory and brownout duty cycle validated
  * (finite, non-negative, duty cycle and dimmer within [0, 1]);
  * --overload requires at least one point to carry the block (the
- * unprotected baseline arms legitimately lack it). Exits non-zero
- * with a diagnostic on the first violation.
+ * unprotected baseline arms legitimately lack it). Points carrying a
+ * "trace" block (FIG-15) have its attribution validated - every
+ * component finite and non-negative, and the per-service components
+ * plus the unattributed residue summing to the mean end-to-end
+ * latency within 0.1% - and --trace requires every point to carry
+ * one. Independently of any flag, every number in the document must
+ * be finite: the writer emits null for NaN/Inf, so a raw non-finite
+ * literal (or a null where a metric belongs) fails the check. Exits
+ * non-zero with a diagnostic on the first violation.
  */
 
 #include <cmath>
@@ -110,6 +118,91 @@ checkOverload(const std::string &path, const std::string &label,
     }
 }
 
+/**
+ * Validate one point's "trace" block (FIG-15): counters and the
+ * per-service attribution must be numeric, finite and non-negative,
+ * and the attribution must account for the end-to-end latency: the
+ * sum of every service component plus unattributed_ms must equal
+ * mean_e2e_ms within 0.1% (the partition is exact by construction;
+ * the tolerance only absorbs double rounding).
+ */
+void
+checkTrace(const std::string &path, const std::string &label,
+           const core::JsonValue &trace)
+{
+    const std::string where = path + ": point '" + label + "' trace: ";
+    for (const char *key :
+         {"sample_rate", "roots_seen", "traces_sampled",
+          "traces_analyzed", "spans", "mean_e2e_ms"}) {
+        const core::JsonValue *n = trace.find(key);
+        if (!n || !n->isNumber())
+            die(where + "missing or non-numeric '" + key + "'");
+        if (!std::isfinite(n->numberValue) || n->numberValue < 0)
+            die(where + "'" + key + "' is not finite/non-negative");
+    }
+    const core::JsonValue *un = trace.find("unattributed_ms");
+    if (!un || !un->isNumber() || !std::isfinite(un->numberValue))
+        die(where + "missing or non-finite 'unattributed_ms'");
+    const core::JsonValue *att = trace.find("attribution");
+    if (!att || !att->isObject())
+        die(where + "missing 'attribution' object");
+    if (trace.at("traces_analyzed").numberValue == 0)
+        return; // nothing completed in the window; sums are vacuous
+    double total = un->numberValue;
+    for (const auto &[svc_name, a] : att->members) {
+        for (const char *key :
+             {"queue_ms", "compute_ms", "stall_ms", "fanout_wait_ms",
+              "retry_backoff_ms", "shed_ms", "network_ms", "total_ms"}) {
+            const core::JsonValue *n = a.find(key);
+            if (!n || !n->isNumber())
+                die(where + "service '" + svc_name +
+                    "' missing or non-numeric '" + key + "'");
+            if (!std::isfinite(n->numberValue) || n->numberValue < 0)
+                die(where + "service '" + svc_name + "' '" + key +
+                    "' is not finite/non-negative");
+        }
+        total += a.at("queue_ms").numberValue +
+                 a.at("compute_ms").numberValue +
+                 a.at("stall_ms").numberValue +
+                 a.at("fanout_wait_ms").numberValue +
+                 a.at("retry_backoff_ms").numberValue +
+                 a.at("shed_ms").numberValue +
+                 a.at("network_ms").numberValue;
+    }
+    const double e2e = trace.at("mean_e2e_ms").numberValue;
+    const double tol = std::max(1e-6, e2e * 1e-3);
+    if (std::abs(total - e2e) > tol) {
+        die(where + "attribution sums to " + std::to_string(total) +
+            " ms but mean_e2e_ms is " + std::to_string(e2e));
+    }
+}
+
+/**
+ * Reject any non-finite number anywhere in the document. The writer
+ * turns NaN/Inf into null, and the parser accepts 1e999 as infinity;
+ * either way a non-finite value means a metric pipeline is broken.
+ */
+void
+rejectNonFinite(const std::string &path, const core::JsonValue &v)
+{
+    switch (v.kind) {
+    case core::JsonValue::Kind::Number:
+        if (!std::isfinite(v.numberValue))
+            die(path + ": non-finite number in document");
+        break;
+    case core::JsonValue::Kind::Object:
+        for (const auto &[key, member] : v.members)
+            rejectNonFinite(path, member);
+        break;
+    case core::JsonValue::Kind::Array:
+        for (const core::JsonValue &e : v.elements)
+            rejectNonFinite(path, e);
+        break;
+    default:
+        break;
+    }
+}
+
 } // namespace
 
 int
@@ -118,19 +211,22 @@ main(int argc, char **argv)
     int arg = 1;
     bool require_elastic = false;
     bool require_overload = false;
+    bool require_trace = false;
     while (arg < argc) {
         const std::string flag = argv[arg];
         if (flag == "--elastic")
             require_elastic = true;
         else if (flag == "--overload")
             require_overload = true;
+        else if (flag == "--trace")
+            require_trace = true;
         else
             break;
         ++arg;
     }
     if (argc - arg < 2)
-        die("usage: json_check [--elastic] [--overload] FILE MIN_POINTS "
-            "[LABEL...]");
+        die("usage: json_check [--elastic] [--overload] [--trace] FILE "
+            "MIN_POINTS [LABEL...]");
     const std::string path = argv[arg++];
     const unsigned long min_points = std::stoul(argv[arg++]);
 
@@ -201,9 +297,17 @@ main(int argc, char **argv)
             checkOverload(path, label->stringValue, *ov);
             saw_overload = true;
         }
+        const core::JsonValue *trace = result->find("trace");
+        if (trace)
+            checkTrace(path, label->stringValue, *trace);
+        else if (require_trace)
+            die(path + ": point '" + label->stringValue +
+                "' without a trace block (--trace)");
     }
     if (require_overload && !saw_overload)
         die(path + ": no point carries an overload block (--overload)");
+
+    rejectNonFinite(path, v);
 
     const core::JsonValue *tables = v.find("tables");
     if (!tables || !tables->isArray() || tables->elements.empty())

@@ -78,6 +78,7 @@ runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
     svc::Mesh mesh(kernel, network, base.rpc, base.seed);
     mesh.setResilience(base.resilience);
     mesh.setOverload(base.overload);
+    mesh.setTrace(base.trace);
 
     const CpuMask budget =
         core::budgetMask(machine, base.cores, base.smt);
@@ -231,6 +232,8 @@ runElastic(const ElasticConfig &config, AutoscalerTelemetry *telemetryOut)
 
     core::harvestOverload(base, app, measurement, brownout.get(),
                           result);
+    core::harvestTrace(base, mesh, base.warmup,
+                       base.warmup + base.measure, result);
 
     const std::vector<double> busy_at_end = engine.cpuBusySnapshot();
     double busy = 0.0;

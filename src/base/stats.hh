@@ -54,6 +54,11 @@ class SampleStats
  * Log-linear histogram over non-negative values with relative bucket
  * error of about 1/kSubBuckets. Percentile queries interpolate inside
  * the matched bucket.
+ *
+ * Resolution floor: bucket 0 spans [0, 1), so values below 1.0 all
+ * land there and are indistinguishable. Latencies are recorded in ns
+ * (integral ticks), which keeps every real sample at or above the
+ * floor; record in coarser units and sub-unit structure flattens.
  */
 class QuantileHistogram
 {
@@ -75,7 +80,9 @@ class QuantileHistogram
     double max() const { return count_ ? max_ : 0.0; }
 
     /**
-     * Value at the given quantile.
+     * Value at the given quantile, clamped to [min(), max()] so
+     * in-bucket interpolation can never report a value outside the
+     * observed range (bucket edges over- or undershoot at the tails).
      * @param q in [0, 1]; q=0.5 is the median.
      */
     double quantile(double q) const;

@@ -53,6 +53,7 @@ runExperiment(const ExperimentConfig &config)
     svc::Mesh mesh(kernel, network, config.rpc, config.seed);
     mesh.setResilience(config.resilience);
     mesh.setOverload(config.overload);
+    mesh.setTrace(config.trace);
 
     const CpuMask budget = budgetMask(machine, config.cores, config.smt);
     PlacementPlan plan = buildPlacement(config.placement, machine, budget,
@@ -200,6 +201,8 @@ runExperiment(const ExperimentConfig &config)
     }
 
     harvestOverload(config, app, *measurement, brownout.get(), result);
+    harvestTrace(config, mesh, config.warmup,
+                 config.warmup + config.measure, result);
 
     const std::vector<double> busy_at_end = engine.cpuBusySnapshot();
     double busy = 0.0;
@@ -267,6 +270,30 @@ harvestOverload(const ExperimentConfig &config, teastore::App &app,
         ov.dimmerFinal = t.dimmerLast;
         ov.brownoutSkips = t.skips;
     }
+}
+
+void
+harvestTrace(const ExperimentConfig &config, const svc::Mesh &mesh,
+             Tick windowStart, Tick windowEnd, RunResult &result)
+{
+    TraceSummary &tr = result.trace;
+    const std::shared_ptr<trace::TraceStore> &store = mesh.traceStore();
+    tr.active = static_cast<bool>(store);
+    if (!tr.active)
+        return;
+    tr.sampleRate = config.trace.sampleRate;
+    tr.rootsSeen = store->rootsSeen();
+    tr.tracesSampled = store->traces().size();
+    tr.spanCount = store->spanCount();
+    tr.attribution = trace::attributeTraces(
+        *store, teastore::names::kWebui, windowStart, windowEnd);
+    tr.tracesAnalyzed = tr.attribution.traces;
+    tr.meanE2eMs = tr.tracesAnalyzed
+                       ? tr.attribution.e2eNs /
+                             (static_cast<double>(tr.tracesAnalyzed) *
+                              static_cast<double>(kMillisecond))
+                       : 0.0;
+    tr.store = store;
 }
 
 DemandShares

@@ -26,6 +26,8 @@
 #include "svc/resilience.hh"
 #include "teastore/app.hh"
 #include "topo/presets.hh"
+#include "trace/critical_path.hh"
+#include "trace/trace.hh"
 
 namespace microscale::core
 {
@@ -72,6 +74,9 @@ struct ExperimentConfig
 
     /** Scripted faults applied during the run (empty = none). */
     svc::FaultScript faults;
+
+    /** Per-request tracing (off by default; off = byte-identical). */
+    trace::TraceParams trace;
 
     std::uint64_t seed = 42;
 };
@@ -210,6 +215,34 @@ struct ElasticSummary
     std::map<std::string, unsigned> peakReplicas;
 };
 
+/**
+ * Tracing outcome of one run. `active` only when the run enabled
+ * tracing; inactive summaries are elided from reports so untraced
+ * output is unchanged. The attribution covers root requests that
+ * completed inside the measurement window; its per-service components
+ * plus `unattributedNs` sum exactly to `e2eNs` (see
+ * trace/critical_path.hh for the partition).
+ */
+struct TraceSummary
+{
+    bool active = false;
+    double sampleRate = 0.0;
+    /** External requests seen while tracing was installed. */
+    std::uint64_t rootsSeen = 0;
+    /** Traces actually sampled (≤ rootsSeen). */
+    std::uint64_t tracesSampled = 0;
+    /** Sampled traces whose root completed inside the window. */
+    std::uint64_t tracesAnalyzed = 0;
+    /** Spans recorded across all sampled traces. */
+    std::uint64_t spanCount = 0;
+    /** Mean end-to-end latency of the analyzed traces, ms. */
+    double meanE2eMs = 0.0;
+    /** Critical-path attribution totals (ns, summed over traces). */
+    trace::Attribution attribution;
+    /** The raw store, for exporters (Chrome trace). */
+    std::shared_ptr<const trace::TraceStore> store;
+};
+
 /** Results of one run. */
 struct RunResult
 {
@@ -226,6 +259,7 @@ struct RunResult
     ResilienceSummary resilience;
     OverloadSummary overload;
     ElasticSummary elastic;
+    TraceSummary trace;
 
     os::SchedStats sched;
     /** Busy fraction of the CPU budget during the window. */
@@ -248,6 +282,14 @@ void harvestOverload(const ExperimentConfig &config, teastore::App &app,
                      const loadgen::Measurement &measurement,
                      const svc::BrownoutController *brownout,
                      RunResult &result);
+
+/**
+ * Fill result.trace from a finished run's mesh: critical-path
+ * attribution of sampled root requests completing inside
+ * [windowStart, windowEnd). No-op when tracing was off.
+ */
+void harvestTrace(const ExperimentConfig &config, const svc::Mesh &mesh,
+                  Tick windowStart, Tick windowEnd, RunResult &result);
 
 /**
  * Measure per-service demand shares with a short OsDefault run of the

@@ -1,6 +1,7 @@
 #include "core/json.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <iomanip>
 #include <sstream>
@@ -63,6 +64,13 @@ class JsonWriter
     value(double v)
     {
         comma();
+        // JSON has no NaN/Inf literals; a raw `os_ << v` would print
+        // "nan"/"inf" and corrupt the document. Emit null so parsers
+        // survive and validators can flag the broken metric.
+        if (!std::isfinite(v)) {
+            os_ << "null";
+            return;
+        }
         os_ << v;
     }
 
@@ -308,6 +316,45 @@ writeJson(std::ostream &os, const RunResult &result)
         w.beginObject();
         for (const auto &[name, peak] : es.peakReplicas)
             w.field(name, peak);
+        w.endObject();
+        w.endObject();
+    }
+
+    // Same gating once more: only traced runs carry the block, so
+    // FIG-01..14 output with tracing off stays byte-identical.
+    if (result.trace.active) {
+        const TraceSummary &tr = result.trace;
+        // Per-trace means in ms; with nothing analyzed everything
+        // below is zero and the divisor is moot.
+        const double toMs =
+            tr.attribution.traces
+                ? 1.0 / (static_cast<double>(tr.attribution.traces) *
+                         1e6)
+                : 0.0;
+        w.key("trace");
+        w.beginObject();
+        w.field("sample_rate", tr.sampleRate);
+        w.field("roots_seen", tr.rootsSeen);
+        w.field("traces_sampled", tr.tracesSampled);
+        w.field("traces_analyzed", tr.tracesAnalyzed);
+        w.field("spans", tr.spanCount);
+        w.field("mean_e2e_ms", tr.attribution.e2eNs * toMs);
+        w.field("unattributed_ms", tr.attribution.unattributedNs * toMs);
+        w.key("attribution");
+        w.beginObject();
+        for (const auto &[name, a] : tr.attribution.services) {
+            w.key(name);
+            w.beginObject();
+            w.field("queue_ms", a.queueNs * toMs);
+            w.field("compute_ms", a.computeNs * toMs);
+            w.field("stall_ms", a.stallNs * toMs);
+            w.field("fanout_wait_ms", a.fanoutNs * toMs);
+            w.field("retry_backoff_ms", a.backoffNs * toMs);
+            w.field("shed_ms", a.shedNs * toMs);
+            w.field("network_ms", a.networkNs * toMs);
+            w.field("total_ms", a.totalNs() * toMs);
+            w.endObject();
+        }
         w.endObject();
         w.endObject();
     }

@@ -137,10 +137,9 @@ ClosedLoopDriver::onResponse(std::size_t user_index, OpType op,
         // wait is deterministic so enabling the retreat never
         // perturbs the user's RNG stream.
         ++user.consecutiveFailures;
-        const unsigned shift =
-            std::min(user.consecutiveFailures - 1, 6u);
-        sim.scheduleAfter(params_.retreatBase << shift,
-                          [this, user_index] { issue(user_index); });
+        sim.scheduleAfter(
+            retreatBackoff(params_.retreatBase, user.consecutiveFailures),
+            [this, user_index] { issue(user_index); });
         return;
     }
     user.consecutiveFailures = 0;

@@ -12,6 +12,7 @@
 #ifndef MICROSCALE_LOADGEN_DRIVER_HH
 #define MICROSCALE_LOADGEN_DRIVER_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -96,6 +97,26 @@ class Measurement
     std::uint64_t degraded_ = 0;
 };
 
+/**
+ * Retreat wait after `consecutiveFailures` (≥ 1) straight non-OK
+ * responses: base << min(failures - 1, 6), saturating at kTickNever/2
+ * instead of overflowing Tick for huge bases. Values that fit are
+ * returned exactly, so enabling the cap changed no in-range schedule.
+ * Deterministic (no RNG draw) by design; see ClosedLoopParams.
+ */
+inline Tick
+retreatBackoff(Tick base, unsigned consecutiveFailures)
+{
+    const unsigned shift = std::min(
+        consecutiveFailures > 0 ? consecutiveFailures - 1 : 0u, 6u);
+    // kTickNever is the "no deadline" sentinel; saturate safely below
+    // it so a pathological base can never alias into it or wrap.
+    constexpr Tick kCap = kTickNever / 2;
+    if (base > (kCap >> shift))
+        return kCap;
+    return base << shift;
+}
+
 /** Closed-loop driver parameters. */
 struct ClosedLoopParams
 {
@@ -107,7 +128,7 @@ struct ClosedLoopParams
     Tick rampTime = 100 * kMillisecond;
     /**
      * Backpressure retreat: after a non-OK response the user waits
-     * retreatBase << min(consecutiveFailures - 1, 6) instead of a
+     * retreatBackoff(retreatBase, consecutiveFailures) instead of a
      * think time, backing away from a server that is shedding load
      * (deterministic, no RNG draw). 0 (default) disables the retreat
      * and keeps the legacy think-time behavior bit-identical.

@@ -25,6 +25,17 @@ struct Mesh::RpcCall
     RespondFn respond;
     /** Timeout timer of the attempt in flight (cancelled on settle). */
     sim::EventHandle timer;
+    /** Caller's name (span labeling; kExternalClient for roots). */
+    std::string client;
+    /** Trace link of the logical call; null when untraced. */
+    trace::TraceLink link;
+    /** Span of the first attempt (retry lineage). */
+    trace::SpanId firstSpan = trace::kNoSpan;
+    /** Span of the attempt currently in flight. */
+    trace::SpanId currentSpan = trace::kNoSpan;
+    /** Backoff delay preceding the next attempt (recorded into its
+     * span, then cleared). */
+    Tick pendingBackoff = 0;
 };
 
 Mesh::Mesh(os::Kernel &kernel, net::Network &network,
@@ -33,7 +44,8 @@ Mesh::Mesh(os::Kernel &kernel, net::Network &network,
       network_(network),
       rpc_params_(rpc_params),
       seed_(seed),
-      retry_rng_(seed, "mesh.retry")
+      retry_rng_(seed, "mesh.retry"),
+      trace_rng_(seed, "mesh.trace")
 {
     netstack_.name = "netstack";
     netstack_.ipcBase = 0.9;
@@ -84,6 +96,62 @@ Mesh::setOverload(OverloadConfig config)
 }
 
 void
+Mesh::setTrace(const trace::TraceParams &params)
+{
+    trace_store_ =
+        params.enabled ? std::make_shared<trace::TraceStore>(params)
+                       : nullptr;
+}
+
+trace::TraceLink
+Mesh::maybeStartTrace()
+{
+    if (!trace_store_)
+        return {};
+    trace_store_->noteRoot();
+    if (trace_store_->full())
+        return {};
+    const double rate = trace_store_->params().sampleRate;
+    if (rate <= 0.0)
+        return {};
+    if (rate < 1.0 && !(trace_rng_.uniform01() < rate))
+        return {};
+    return {trace_store_->newTrace(), trace::kNoSpan, 0};
+}
+
+trace::SpanRef
+Mesh::startSpan(const trace::TraceLink &link, const std::string &client,
+                const std::string &service, const std::string &op,
+                unsigned attempt_no, trace::SpanId retry_of,
+                Tick backoff)
+{
+    const trace::SpanId id = link.trace->addSpan();
+    trace::Span &span = link.trace->span(id);
+    span.parent = link.parent;
+    span.group = link.group;
+    span.attempt = attempt_no;
+    span.retryOf = retry_of;
+    span.client = client;
+    span.service = service;
+    span.op = op;
+    span.clientIssue = kernel_.sim().now();
+    span.backoffBefore = backoff;
+    return {link.trace, id};
+}
+
+RespondFn
+Mesh::traceWrap(trace::SpanRef ref, RespondFn inner)
+{
+    return [this, ref, inner = std::move(inner)](const Payload &resp,
+                                                 Status status) {
+        trace::Span &span = ref.trace->span(ref.span);
+        span.clientComplete = kernel_.sim().now();
+        span.clientStatus = status;
+        inner(resp, status);
+    };
+}
+
+void
 Mesh::callExternal(const std::string &service, const std::string &op,
                    Payload payload, ResponseFn respond)
 {
@@ -99,14 +167,17 @@ void
 Mesh::callExternalS(const std::string &service, const std::string &op,
                     Payload payload, RespondFn respond)
 {
+    // Every external request is a potential trace root; with tracing
+    // off maybeStartTrace returns the null link for free.
     sendRpc(kExternalClient, service, op, std::move(payload), kTickNever,
-            Criticality::Normal, std::move(respond));
+            Criticality::Normal, std::move(respond), maybeStartTrace());
 }
 
 void
 Mesh::sendRpc(const std::string &client, const std::string &service,
               const std::string &op, Payload payload, Tick deadline,
-              Criticality inherited, RespondFn respond)
+              Criticality inherited, RespondFn respond,
+              trace::TraceLink link)
 {
     Service &target = this->service(service);
     const EdgePolicy &pol = resilience_.policyFor(client, service);
@@ -121,9 +192,18 @@ Mesh::sendRpc(const std::string &client, const std::string &service,
 
     if (!pol.hasTimeout() && !pol.canRetry() && deadline == kTickNever) {
         // No policy, no inherited deadline: the legacy transport path
-        // (identical events, no timers, no per-call allocation).
+        // (identical events, no timers, no per-call allocation). A
+        // sampled trace only adds the span bookkeeping: no events, no
+        // RNG draws, and fire-and-forget calls stay unwrapped.
+        trace::SpanRef ref;
+        if (link) {
+            ref = startSpan(link, client, service, op, /*attempt_no=*/1,
+                            trace::kNoSpan, /*backoff=*/0);
+            if (respond)
+                respond = traceWrap(ref, std::move(respond));
+        }
         network_.send(payload.bytes,
-                      [this, &target, op, payload, tier,
+                      [this, &target, op, payload, tier, ref,
                        respond = std::move(respond)]() mutable {
                           Envelope env;
                           env.op = op;
@@ -131,6 +211,7 @@ Mesh::sendRpc(const std::string &client, const std::string &service,
                           env.respond = std::move(respond);
                           env.arrived = kernel_.sim().now();
                           env.criticality = tier;
+                          env.trace = ref;
                           target.submit(std::move(env));
                       });
         return;
@@ -151,6 +232,8 @@ Mesh::sendRpc(const std::string &client, const std::string &service,
     call->policy = pol;
     call->criticality = tier;
     call->respond = std::move(respond);
+    call->client = client;
+    call->link = link;
     attempt(call, 1);
 }
 
@@ -158,12 +241,29 @@ void
 Mesh::attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no)
 {
     const Tick now = kernel_.sim().now();
+    trace::SpanRef ref;
+    if (call->link) {
+        ref = startSpan(call->link, call->client,
+                        call->target->name(), call->op, attempt_no,
+                        attempt_no == 1 ? trace::kNoSpan
+                                        : call->firstSpan,
+                        call->pendingBackoff);
+        call->pendingBackoff = 0;
+        if (attempt_no == 1)
+            call->firstSpan = ref.span;
+        call->currentSpan = ref.span;
+    }
     // Effective deadline of this attempt: the propagated deadline
     // capped by the per-attempt edge timeout.
     Tick eff = call->deadline;
     if (call->policy.hasTimeout())
         eff = std::min(eff, now + call->policy.timeout);
     if (eff != kTickNever && now >= eff) {
+        if (ref) {
+            trace::Span &span = ref.trace->span(ref.span);
+            span.clientComplete = now;
+            span.clientStatus = Status::Timeout;
+        }
         if (call->respond)
             call->respond(Payload{}, Status::Timeout);
         return;
@@ -194,7 +294,7 @@ Mesh::attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no)
     };
 
     network_.send(call->payload.bytes,
-                  [this, call, eff,
+                  [this, call, eff, ref,
                    on_response = std::move(on_response)]() mutable {
                       Envelope env;
                       env.op = call->op;
@@ -203,6 +303,7 @@ Mesh::attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no)
                       env.arrived = kernel_.sim().now();
                       env.deadline = eff;
                       env.criticality = call->criticality;
+                      env.trace = ref;
                       call->target->submit(std::move(env));
                   });
 }
@@ -211,6 +312,13 @@ void
 Mesh::finishAttempt(std::shared_ptr<RpcCall> call, unsigned attempt_no,
                     const Payload &response, Status status)
 {
+    if (call->link) {
+        // This attempt settled (response or client timeout): stamp the
+        // client-side view. Settles once per attempt (settled flag).
+        trace::Span &span = call->link.trace->span(call->currentSpan);
+        span.clientComplete = kernel_.sim().now();
+        span.clientStatus = status;
+    }
     if (status == Status::Ok) {
         if (call->respond)
             call->respond(response, status);
@@ -252,6 +360,7 @@ Mesh::finishAttempt(std::shared_ptr<RpcCall> call, unsigned attempt_no,
     }
     const Tick delay =
         std::max<Tick>(1, static_cast<Tick>(std::llround(backoff)));
+    call->pendingBackoff = delay;
     kernel_.sim().scheduleAfter(delay, [this, call, attempt_no] {
         attempt(call, attempt_no + 1);
     });

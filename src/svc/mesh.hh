@@ -32,6 +32,7 @@
 #include "svc/payload.hh"
 #include "svc/resilience.hh"
 #include "svc/service.hh"
+#include "trace/trace.hh"
 
 namespace microscale::svc
 {
@@ -89,6 +90,19 @@ class Mesh
     const RetryStats &retryStats() const { return retry_stats_; }
 
     /**
+     * Install the tracing configuration (before traffic starts). With
+     * params.enabled false no store is created and the run is
+     * byte-identical to an untraced one.
+     */
+    void setTrace(const trace::TraceParams &params);
+
+    /** The run's trace store; null when tracing is off. */
+    const std::shared_ptr<trace::TraceStore> &traceStore() const
+    {
+        return trace_store_;
+    }
+
+    /**
      * Client entry point: sends `payload` to `service`/`op` over the
      * transport; `respond` fires at the client when the response
      * arrives. No CPU is charged to any worker for the client side.
@@ -110,10 +124,13 @@ class Mesh
      * overload layer is criticality-aware the request is reclassified
      * through its rules before admission. When the edge has no policy
      * and no deadline this is exactly the legacy transport path.
+     * `link` ties the call into a sampled trace (a span is recorded
+     * per attempt); the default null link records nothing.
      */
     void sendRpc(const std::string &client, const std::string &service,
                  const std::string &op, Payload payload, Tick deadline,
-                 Criticality inherited, RespondFn respond);
+                 Criticality inherited, RespondFn respond,
+                 trace::TraceLink link = {});
 
     /** The profile used for (de)serialization work. */
     const cpu::WorkProfile &netstackProfile() const { return netstack_; }
@@ -134,6 +151,19 @@ class Mesh
     /** Spend one retry token if the budget allows. */
     bool takeRetryToken();
 
+    /** Sample an external request; null link when untraced. */
+    trace::TraceLink maybeStartTrace();
+
+    /** Record a new span for one attempt of a linked call. */
+    trace::SpanRef startSpan(const trace::TraceLink &link,
+                             const std::string &client,
+                             const std::string &service,
+                             const std::string &op, unsigned attempt_no,
+                             trace::SpanId retry_of, Tick backoff);
+
+    /** Wrap `inner` to stamp the span's client completion first. */
+    RespondFn traceWrap(trace::SpanRef ref, RespondFn inner);
+
     os::Kernel &kernel_;
     net::Network &network_;
     RpcCostParams rpc_params_;
@@ -148,6 +178,11 @@ class Mesh
     /** Token-bucket retry budget (tokens accrue per first attempt). */
     double retry_tokens_ = 0.0;
     RetryStats retry_stats_;
+    /** Trace sampling; only drawn from when tracing is on and the
+     * sampling rate is fractional. */
+    Rng trace_rng_;
+    /** Created by setTrace when tracing is enabled; null otherwise. */
+    std::shared_ptr<trace::TraceStore> trace_store_;
 };
 
 } // namespace microscale::svc

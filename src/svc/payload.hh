@@ -12,6 +12,7 @@
 
 #include "base/types.hh"
 #include "svc/resilience.hh"
+#include "trace/trace.hh"
 
 namespace microscale::svc
 {
@@ -60,6 +61,11 @@ struct Envelope
      * reclassifies the edge (see svc/overload.hh).
      */
     Criticality criticality = Criticality::Normal;
+    /**
+     * Span this request records into when its trace was sampled; null
+     * trace (the default) means untraced and costs nothing.
+     */
+    trace::SpanRef trace;
 };
 
 } // namespace microscale::svc

@@ -4,9 +4,35 @@
 
 #include "base/logging.hh"
 #include "svc/mesh.hh"
+#include "topo/machine.hh"
 
 namespace microscale::svc
 {
+
+namespace
+{
+
+/**
+ * CCX a worker is effectively pinned to: the common CCX of its
+ * affinity mask, or -1 when the mask spans CCXs (e.g. machine-wide
+ * OS-default affinity).
+ */
+int
+workerCcx(const topo::Machine &machine, const CpuMask &affinity)
+{
+    const CpuId first = affinity.first();
+    if (first == kInvalidCpu)
+        return -1;
+    const CcxId ccx = machine.ccxOf(first);
+    for (CpuId c = affinity.next(first); c != kInvalidCpu;
+         c = affinity.next(c)) {
+        if (machine.ccxOf(c) != ccx)
+            return -1;
+    }
+    return static_cast<int>(ccx);
+}
+
+} // namespace
 
 HandlerCtx::HandlerCtx(Service &service, Worker &worker, Envelope envelope)
     : service_(service), worker_(worker), envelope_(std::move(envelope))
@@ -103,13 +129,18 @@ HandlerCtx::call(const std::string &service, const std::string &op,
     const std::string client = service_.name();
     const Tick deadline = envelope_.deadline;
     const Criticality tier = envelope_.criticality;
+    // Each call() is its own fan-out group in the request's trace.
+    trace::TraceLink tlink;
+    if (envelope_.trace)
+        tlink = {envelope_.trace.trace, envelope_.trace.span,
+                 ++trace_groups_};
     worker_.thread->run(
         mesh.netstackProfile(), ser,
         [&mesh, client, service, op,
          request_payload = std::move(request_payload), deadline, tier,
-         after = std::move(after)]() mutable {
+         tlink, after = std::move(after)]() mutable {
             mesh.sendRpc(client, service, op, std::move(request_payload),
-                         deadline, tier, std::move(after));
+                         deadline, tier, std::move(after), tlink);
         });
 }
 
@@ -172,9 +203,15 @@ HandlerCtx::callAll(std::vector<CallSpec> calls,
     const std::string client = service_.name();
     const Tick deadline = envelope_.deadline;
     const Criticality tier = envelope_.criticality;
+    // All legs of one callAll share one fan-out group.
+    trace::TraceLink tlink;
+    if (envelope_.trace)
+        tlink = {envelope_.trace.trace, envelope_.trace.span,
+                 ++trace_groups_};
     worker_.thread->run(
         mesh.netstackProfile(), ser,
-        [calls = std::move(calls), state, client, deadline, tier] {
+        [calls = std::move(calls), state, client, deadline, tier,
+         tlink] {
             for (std::size_t i = 0; i < calls.size(); ++i) {
                 const CallSpec &spec = calls[i];
                 RespondFn on_response = [state, i](const Payload &resp,
@@ -207,9 +244,21 @@ HandlerCtx::callAll(std::vector<CallSpec> calls,
                 };
                 state->mesh->sendRpc(client, spec.service, spec.op,
                                      spec.request, deadline, tier,
-                                     std::move(on_response));
+                                     std::move(on_response), tlink);
             }
         });
+}
+
+void
+HandlerCtx::traceAnnotate(const std::string &note)
+{
+    if (!envelope_.trace)
+        return;
+    trace::Span &span =
+        envelope_.trace.trace->span(envelope_.trace.span);
+    if (!span.annotation.empty())
+        span.annotation += ';';
+    span.annotation += note;
 }
 
 void
@@ -256,6 +305,14 @@ HandlerCtx::done()
         stats.stallNs.add(
             std::max(0.0, service_time - queue_wait - compute));
         stats.statusCounts[statusIndex(status)]++;
+        if (envelope_.trace) {
+            trace::Span &span =
+                envelope_.trace.trace->span(envelope_.trace.span);
+            span.finish = now;
+            span.status = status;
+            span.computeNs = compute;
+            span.degraded = resp.degraded;
+        }
         svc.breakerRecord(worker.replica, status == Status::Ok, probe);
         svc.limiterObserve(worker.replica, service_time,
                            status == Status::Timeout);
@@ -435,6 +492,9 @@ Service::submit(Envelope envelope)
 {
     if (envelope.arrived == 0)
         envelope.arrived = mesh_.kernel().sim().now();
+    if (envelope.trace)
+        envelope.trace.trace->span(envelope.trace.span).arrived =
+            envelope.arrived;
     bool probe = false;
     const int picked = pickReplica(probe);
     if (picked < 0) {
@@ -598,6 +658,14 @@ Service::breakerRecord(unsigned replica, bool ok, bool probe)
 void
 Service::rejectEnvelope(Envelope &envelope, Status status)
 {
+    if (envelope.trace) {
+        // The request dies here without a worker: dispatched stays 0,
+        // so the analyzer books its whole residency as shed time.
+        trace::Span &span =
+            envelope.trace.trace->span(envelope.trace.span);
+        span.finish = mesh_.kernel().sim().now();
+        span.status = status;
+    }
     if (!envelope.respond)
         return;
     // Fail-fast: rejections are synchronous (no response network hop),
@@ -772,6 +840,22 @@ Service::dispatch(Worker &worker, Envelope envelope)
     HandlerCtx *ctx = worker.current.get();
     ctx->dispatched_ = now;
     ctx->busy_at_dispatch_ = worker.thread->ec().counters().busyNs;
+    if (ctx->envelope_.trace) {
+        trace::Span &span = ctx->envelope_.trace.trace->span(
+            ctx->envelope_.trace.span);
+        span.dispatched = now;
+        span.replica = static_cast<int>(worker.replica);
+        span.ccx = workerCcx(mesh_.kernel().machine(),
+                             worker.thread->affinity());
+        const NodeId home = worker.thread->ec().homeNode();
+        span.node = home != kInvalidNode
+                        ? static_cast<int>(home)
+                        : (span.ccx >= 0
+                               ? static_cast<int>(
+                                     mesh_.kernel().machine().nodeOfCcx(
+                                         static_cast<CcxId>(span.ccx)))
+                               : -1);
+    }
     auto &handler = it->second;
     worker.thread->run(mesh_.netstackProfile(), deser,
                        [&handler, ctx] { handler(*ctx); });

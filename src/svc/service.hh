@@ -143,6 +143,18 @@ class HandlerCtx
                                     const std::vector<Status> &)>
                      next);
 
+    /**
+     * Append a note to this request's trace span ("brownout-dim" and
+     * the like). No-op when the request is untraced.
+     */
+    void traceAnnotate(const std::string &note);
+
+    /** True when this request records into a sampled trace. */
+    bool traced() const
+    {
+        return static_cast<bool>(envelope_.trace);
+    }
+
     /** Finish: serialize and send the response, release the worker. */
     void done();
 
@@ -167,6 +179,8 @@ class HandlerCtx
     Tick dispatched_ = 0;
     /** Worker busy-ns counter at dispatch (for compute attribution). */
     double busy_at_dispatch_ = 0.0;
+    /** Fan-out groups issued so far (trace span grouping). */
+    std::uint32_t trace_groups_ = 0;
 };
 
 /** One worker thread of a replica. */

@@ -233,6 +233,7 @@ App::installWebui()
         if (brownoutDegrades()) {
             // Brownout: serve the dimmed page from the category list
             // alone; the optional imagery call is never issued.
+            ctx.traceAnnotate("brownout-dim");
             ctx.call(names::kPersistence, "categories", small(),
                      [this, &ctx](const Payload &) {
                          ctx.response().bytes = kHomeBytes;
@@ -264,6 +265,8 @@ App::installWebui()
                     ctx.fail(statuses[1]);
                     return;
                 }
+                if (degraded)
+                    ctx.traceAnnotate("degraded-fallback");
                 ctx.response().bytes = kHomeBytes;
                 ctx.response().degraded = degraded;
                 ctx.compute(scaled(kHomeRender), [&ctx] { ctx.done(); });
@@ -294,6 +297,7 @@ App::installWebui()
                     [this, &ctx, small, dim](const Payload &resp) {
                         if (dim) {
                             // Brownout: skip the preview strip.
+                            ctx.traceAnnotate("brownout-dim");
                             ctx.response().bytes = kCategoryBytes;
                             ctx.response().degraded = true;
                             ctx.compute(scaled(kCategoryRender),
@@ -338,6 +342,7 @@ App::installWebui()
                             // Brownout: the product row is the page;
                             // the recommender and both imagery legs
                             // are skipped as a unit.
+                            ctx.traceAnnotate("brownout-dim");
                             ctx.response().bytes = kProductBytes;
                             ctx.response().degraded = true;
                             ctx.compute(scaled(kProductRender),
@@ -434,6 +439,7 @@ App::installWebui()
                         if (dim) {
                             // Brownout: cart math without the
                             // recommender cross-sell.
+                            ctx.traceAnnotate("brownout-dim");
                             ctx.response().bytes = kPlainBytes;
                             ctx.response().degraded = true;
                             ctx.compute(scaled(kCartRender),

@@ -1,0 +1,211 @@
+#include "trace/critical_path.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace microscale::trace
+{
+
+namespace
+{
+
+/** Client-side end of a span: completion at the caller, or the server
+ * finish for fire-and-forget calls (no response hop). 0 = in flight. */
+Tick
+endOf(const Span &s)
+{
+    return s.clientComplete != 0 ? s.clientComplete : s.finish;
+}
+
+/** One logical call: its attempts in issue order. */
+struct Call
+{
+    std::vector<const Span *> attempts;
+
+    const Span &first() const { return *attempts.front(); }
+    const Span &last() const { return *attempts.back(); }
+    Tick issue() const { return first().clientIssue; }
+    Tick end() const { return endOf(last()); }
+};
+
+/** Walks one trace's span DAG and accumulates into an Attribution. */
+class Walker
+{
+  public:
+    Walker(const Trace &trace, Attribution &acc) : acc_(acc)
+    {
+        for (const Span &s : trace.spans()) {
+            if (s.retryOf == kNoSpan) {
+                calls_[s.id].attempts.push_back(&s);
+                children_[s.parent][s.group].push_back(s.id);
+            } else {
+                auto it = calls_.find(s.retryOf);
+                if (it != calls_.end())
+                    it->second.attempts.push_back(&s);
+            }
+        }
+    }
+
+    /** The earliest-created root call, or nullptr. */
+    const Call *root() const
+    {
+        auto it = children_.find(kNoSpan);
+        if (it == children_.end() || it->second.empty())
+            return nullptr;
+        const auto &ids = it->second.begin()->second;
+        return ids.empty() ? nullptr : &calls_.at(ids.front());
+    }
+
+    /**
+     * Attribute one logical call's wall time. `fanoutLeg` marks the
+     * call as the gating leg of a multi-leg group at `caller`: its
+     * transport slack then counts as the caller's fan-out wait rather
+     * than plain network time.
+     */
+    void attributeCall(const Call &call, bool fanoutLeg,
+                       const std::string &caller)
+    {
+        const std::string &target = call.first().service;
+        ServiceAttribution &svc = acc_.services[target];
+        for (const Span *a : call.attempts)
+            svc.backoffNs += static_cast<double>(a->backoffBefore);
+        for (std::size_t i = 0; i + 1 < call.attempts.size(); ++i) {
+            const Span &a = *call.attempts[i];
+            const Tick e = endOf(a);
+            if (e >= a.clientIssue)
+                svc.shedNs += static_cast<double>(e - a.clientIssue);
+        }
+        const Span &fin = call.last();
+        const Tick e = endOf(fin);
+        if (e == 0 || e < fin.clientIssue)
+            return; // in flight / malformed; group wall excluded it too
+        const double wall = static_cast<double>(e - fin.clientIssue);
+        if (fin.clientStatus != svc::Status::Ok) {
+            svc.shedNs += wall;
+            return;
+        }
+        if (fin.arrived == 0 || fin.finish < fin.arrived) {
+            // No server record survived; the whole leg is transport.
+            (fanoutLeg ? acc_.services[caller].fanoutNs
+                       : svc.networkNs) += wall;
+            return;
+        }
+        const double server =
+            static_cast<double>(fin.finish - fin.arrived);
+        double slack = wall - server;
+        if (slack < 0.0) {
+            // Server window exceeds the client wall (defensive; should
+            // not happen). Keep the sum exact via the residue.
+            acc_.unattributedNs += slack;
+            slack = 0.0;
+        }
+        (fanoutLeg ? acc_.services[caller].fanoutNs : svc.networkNs) +=
+            slack;
+        attributeServer(fin);
+    }
+
+    /** Attribute one span's server window [arrived, finish]. */
+    void attributeServer(const Span &span)
+    {
+        const std::string &name = span.service;
+        ServiceAttribution &svc = acc_.services[name];
+        if (span.dispatched == 0) {
+            // Rejected / dropped without ever occupying a worker.
+            if (span.finish >= span.arrived)
+                svc.shedNs +=
+                    static_cast<double>(span.finish - span.arrived);
+            return;
+        }
+        svc.queueNs +=
+            static_cast<double>(span.dispatched - span.arrived);
+        const double window =
+            static_cast<double>(span.finish - span.dispatched);
+        double covered = 0.0;
+        auto kids = children_.find(span.id);
+        if (kids != children_.end()) {
+            for (const auto &group : kids->second) {
+                Tick gstart = kTickNever;
+                Tick gend = 0;
+                const Call *gating = nullptr;
+                for (SpanId id : group.second) {
+                    const Call &leg = calls_.at(id);
+                    gstart = std::min(gstart, leg.issue());
+                    const Tick le = leg.end();
+                    if (le == 0)
+                        continue; // never completed; off the path
+                    if (le > gend) {
+                        gend = le;
+                        gating = &leg;
+                    }
+                }
+                if (!gating || gend <= gstart)
+                    continue;
+                covered += static_cast<double>(gend - gstart);
+                // Issue skew between the group start and its gating
+                // leg is time the handler waited on fan-out machinery.
+                if (gating->issue() > gstart)
+                    svc.fanoutNs += static_cast<double>(
+                        gating->issue() - gstart);
+                attributeCall(*gating, group.second.size() > 1, name);
+            }
+        }
+        double uncovered = window - covered;
+        if (uncovered < 0.0) {
+            acc_.unattributedNs += uncovered;
+            uncovered = 0.0;
+        }
+        const double compute = std::min(span.computeNs, uncovered);
+        svc.computeNs += compute;
+        svc.stallNs += uncovered - compute;
+    }
+
+  private:
+    Attribution &acc_;
+    std::map<SpanId, Call> calls_;
+    std::map<SpanId, std::map<std::uint32_t, std::vector<SpanId>>>
+        children_;
+};
+
+} // namespace
+
+bool
+attributeTrace(const Trace &trace, Attribution &acc)
+{
+    Walker walker(trace, acc);
+    const Call *rootCall = walker.root();
+    if (!rootCall)
+        return false;
+    const Tick end = rootCall->end();
+    if (end == 0 || end < rootCall->issue())
+        return false;
+    ++acc.traces;
+    acc.e2eNs += static_cast<double>(end - rootCall->issue());
+    walker.attributeCall(*rootCall, false, std::string());
+    return true;
+}
+
+Attribution
+attributeTraces(const TraceStore &store, const std::string &rootService,
+                Tick windowStart, Tick windowEnd)
+{
+    Attribution acc;
+    for (const auto &t : store.traces()) {
+        Attribution probe;
+        Walker walker(*t, probe);
+        const Call *rootCall = walker.root();
+        if (!rootCall)
+            continue;
+        if (!rootService.empty() &&
+            rootCall->first().service != rootService)
+            continue;
+        const Tick end = rootCall->end();
+        if (end == 0 || end < rootCall->issue())
+            continue;
+        if (end < windowStart || (windowEnd != 0 && end >= windowEnd))
+            continue;
+        attributeTrace(*t, acc);
+    }
+    return acc;
+}
+
+} // namespace microscale::trace

@@ -1,0 +1,178 @@
+#include "trace/export.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace microscale::trace
+{
+
+namespace
+{
+
+/** Local status label (keeps the trace library off svc's .cc files). */
+const char *
+statusLabel(svc::Status status)
+{
+    switch (status) {
+    case svc::Status::Ok:
+        return "ok";
+    case svc::Status::Timeout:
+        return "timeout";
+    case svc::Status::Overload:
+        return "overload";
+    case svc::Status::Unavailable:
+        return "unavailable";
+    case svc::Status::Rejected:
+        return "rejected";
+    }
+    return "?";
+}
+
+void
+escape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Microseconds with nanosecond resolution, deterministic format. */
+void
+micros(std::ostream &os, double ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", ns / 1000.0);
+    os << buf;
+}
+
+void
+spanArgs(std::ostream &os, const Trace &trace, const Span &s)
+{
+    os << "{\"trace\":" << trace.id() << ",\"span\":" << s.id
+       << ",\"parent\":" << s.parent << ",\"group\":" << s.group
+       << ",\"attempt\":" << s.attempt << ",\"status\":\""
+       << statusLabel(s.status) << "\",\"client_status\":\""
+       << statusLabel(s.clientStatus) << "\",\"queue_us\":";
+    micros(os, s.dispatched >= s.arrived && s.dispatched != 0
+                   ? static_cast<double>(s.dispatched - s.arrived)
+                   : 0.0);
+    os << ",\"compute_us\":";
+    micros(os, s.computeNs);
+    os << ",\"backoff_us\":";
+    micros(os, static_cast<double>(s.backoffBefore));
+    os << ",\"replica\":" << s.replica << ",\"ccx\":" << s.ccx
+       << ",\"node\":" << s.node
+       << ",\"degraded\":" << (s.degraded ? "true" : "false");
+    if (!s.annotation.empty()) {
+        os << ",\"annotation\":";
+        escape(os, s.annotation);
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const TraceStore &store)
+{
+    // Track ids: 0 = external client, services numbered by first
+    // appearance over the (deterministic) span creation order.
+    std::map<std::string, int> tids;
+    std::map<int, std::string> names;
+    names[0] = "client";
+    for (const auto &t : store.traces()) {
+        for (const Span &s : t->spans()) {
+            if (tids.emplace(s.service,
+                             static_cast<int>(tids.size()) + 1)
+                    .second)
+                names[tids[s.service]] = s.service;
+        }
+    }
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+    for (const auto &kv : names) {
+        comma();
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << kv.first
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        escape(os, kv.second);
+        os << "}}";
+    }
+    for (const auto &t : store.traces()) {
+        for (const Span &s : t->spans()) {
+            // Server window on the service's track.
+            if (s.arrived != 0 && s.finish >= s.arrived) {
+                comma();
+                os << "{\"ph\":\"X\",\"pid\":1,\"tid\":"
+                   << tids[s.service] << ",\"ts\":";
+                micros(os, static_cast<double>(s.arrived));
+                os << ",\"dur\":";
+                micros(os, static_cast<double>(s.finish - s.arrived));
+                os << ",\"name\":";
+                escape(os, s.service + "." + s.op);
+                os << ",\"cat\":";
+                escape(os, s.service);
+                os << ",\"args\":";
+                spanArgs(os, *t, s);
+                os << "}";
+            }
+            // Root spans also get the client-side wall on track 0.
+            const Tick end =
+                s.clientComplete != 0 ? s.clientComplete : s.finish;
+            if (s.parent == kNoSpan && end >= s.clientIssue &&
+                end != 0) {
+                comma();
+                os << "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":";
+                micros(os, static_cast<double>(s.clientIssue));
+                os << ",\"dur\":";
+                micros(os, static_cast<double>(end - s.clientIssue));
+                os << ",\"name\":";
+                escape(os, "request." + s.op);
+                os << ",\"cat\":\"request\",\"args\":";
+                spanArgs(os, *t, s);
+                os << "}";
+            }
+        }
+    }
+    os << "\n]}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path, const TraceStore &store)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeChromeTrace(os, store);
+    return os.good();
+}
+
+} // namespace microscale::trace

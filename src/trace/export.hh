@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Chrome trace_event exporter: serialize a TraceStore into the JSON
+ * Trace Event Format that chrome://tracing and Perfetto load.
+ *
+ * Each span's server window becomes a complete ("X") event on a
+ * per-service track; root spans additionally get a client-side event
+ * on a dedicated "client" track so the page request's full wall time
+ * is visible above its RPC tree. Output is deterministic: events are
+ * emitted in trace/span creation order with no timestamps or ids
+ * taken from the host.
+ */
+
+#ifndef MICROSCALE_TRACE_EXPORT_HH
+#define MICROSCALE_TRACE_EXPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace microscale::trace
+{
+
+/** Write the store as Chrome trace_event JSON. */
+void writeChromeTrace(std::ostream &os, const TraceStore &store);
+
+/** writeChromeTrace into a file; returns false when unwritable. */
+bool writeChromeTraceFile(const std::string &path,
+                          const TraceStore &store);
+
+} // namespace microscale::trace
+
+#endif // MICROSCALE_TRACE_EXPORT_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Deterministic per-request distributed tracing.
+ *
+ * A TraceStore (owned by svc::Mesh, one per Simulation) allocates a
+ * Trace per sampled external request; every RPC hop of that request
+ * records a Span. Spans carry both the client-side view (issue tick,
+ * completion tick, per-attempt retry/backoff lineage) and the
+ * server-side view (arrival, dispatch, finish, handler CPU, the
+ * replica that served it and its CCX/NUMA home), so the CriticalPath
+ * analyzer (trace/critical_path.hh) can partition end-to-end latency
+ * exactly.
+ *
+ * Determinism: recording never schedules events, never sends messages
+ * and never draws from a shared RNG stream; the sampling decision uses
+ * a dedicated named stream that is only drawn from when tracing is on
+ * and the rate is fractional. With tracing off no store exists and the
+ * simulation's event/RNG sequence is bit-identical to an untraced
+ * build. Each store belongs to one single-threaded Simulation, so
+ * parallel sweeps (--jobs N) never share trace state across workers.
+ */
+
+#ifndef MICROSCALE_TRACE_TRACE_HH
+#define MICROSCALE_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "svc/resilience.hh"
+
+namespace microscale::trace
+{
+
+/** Tracing knobs (core::ExperimentConfig::trace). */
+struct TraceParams
+{
+    /** Master switch; off keeps runs byte-identical to pre-trace. */
+    bool enabled = false;
+    /** Probability an external request is traced (1 = every one). */
+    double sampleRate = 1.0;
+    /** Hard cap on retained traces (memory bound for long runs). */
+    std::uint64_t maxTraces = 1u << 20;
+};
+
+/** Span identifier within one Trace; 0 = none. */
+using SpanId = std::uint32_t;
+constexpr SpanId kNoSpan = 0;
+
+/**
+ * One RPC hop (one attempt) of a traced request. Client-side ticks are
+ * stamped by the mesh, server-side ticks by the service; a tick of 0
+ * means "never happened" (e.g. dispatched == 0 for a request rejected
+ * at admission; clientComplete == 0 for a fire-and-forget call).
+ */
+struct Span
+{
+    SpanId id = kNoSpan;
+    /** Calling handler's span; kNoSpan = root (external client). */
+    SpanId parent = kNoSpan;
+    /**
+     * Fan-out group within the parent handler: every HandlerCtx::call
+     * gets a fresh group, all legs of one callAll share one. Groups of
+     * one handler never overlap in time (the worker blocks on each).
+     */
+    std::uint32_t group = 0;
+    /** Attempt number of the logical call (1 = first). */
+    unsigned attempt = 1;
+    /** Span of the logical call's first attempt; kNoSpan on attempt 1. */
+    SpanId retryOf = kNoSpan;
+
+    std::string client;
+    std::string service;
+    std::string op;
+
+    /** Client issued this attempt (after request serialization). */
+    Tick clientIssue = 0;
+    /** Response (or failure) delivered back at the client. */
+    Tick clientComplete = 0;
+    /** Request delivered at the replica queue. */
+    Tick arrived = 0;
+    /** Handler started on a worker. */
+    Tick dispatched = 0;
+    /** Response handed to transport / request rejected. */
+    Tick finish = 0;
+    /** Retry backoff delay that preceded this attempt. */
+    Tick backoffBefore = 0;
+
+    /** Outcome as the server recorded it. */
+    svc::Status status = svc::Status::Ok;
+    /** Outcome as the client observed it (may differ: client timeout). */
+    svc::Status clientStatus = svc::Status::Ok;
+    /** Handler CPU time (compute + serialization) on the worker, ns. */
+    double computeNs = 0.0;
+
+    /** Replica that dispatched the request; -1 = none (rejected). */
+    int replica = -1;
+    /** CCX the serving replica is pinned to; -1 = unpinned/unknown. */
+    int ccx = -1;
+    /** NUMA home node of the serving replica; -1 = first-touch. */
+    int node = -1;
+
+    /** Response was assembled from a degraded fallback. */
+    bool degraded = false;
+    /** Free-form notes ("brownout-dim;..."), semicolon-separated. */
+    std::string annotation;
+};
+
+/** The span DAG of one external request. */
+class Trace
+{
+  public:
+    explicit Trace(std::uint64_t id) : id_(id) {}
+
+    std::uint64_t id() const { return id_; }
+
+    /** Append a span; returns its id. References from span() are
+     * invalidated by the next addSpan (vector growth). */
+    SpanId addSpan()
+    {
+        spans_.emplace_back();
+        spans_.back().id = static_cast<SpanId>(spans_.size());
+        return spans_.back().id;
+    }
+
+    Span &span(SpanId id) { return spans_[id - 1]; }
+    const Span &span(SpanId id) const { return spans_[id - 1]; }
+
+    const std::vector<Span> &spans() const { return spans_; }
+
+  private:
+    std::uint64_t id_;
+    std::vector<Span> spans_;
+};
+
+/** Reference to one span, carried inside a svc::Envelope. Null trace
+ * = request untraced (the universal default). */
+struct SpanRef
+{
+    Trace *trace = nullptr;
+    SpanId span = kNoSpan;
+
+    explicit operator bool() const { return trace != nullptr; }
+};
+
+/** Parent link a caller hands to Mesh::sendRpc for one logical call:
+ * which trace, which handler span, which fan-out group. */
+struct TraceLink
+{
+    Trace *trace = nullptr;
+    SpanId parent = kNoSpan;
+    std::uint32_t group = 0;
+
+    explicit operator bool() const { return trace != nullptr; }
+};
+
+/**
+ * All traces of one run. Single-threaded (owned by one Simulation's
+ * mesh); kept alive past the run via shared_ptr so exporters can walk
+ * it after the mesh is gone.
+ */
+class TraceStore
+{
+  public:
+    explicit TraceStore(TraceParams params) : params_(params) {}
+
+    const TraceParams &params() const { return params_; }
+    bool enabled() const { return params_.enabled; }
+
+    /** Sampling stops once the retention cap is reached. */
+    bool full() const { return traces_.size() >= params_.maxTraces; }
+
+    /** Count one external request seen while tracing was on. */
+    void noteRoot() { ++roots_seen_; }
+    std::uint64_t rootsSeen() const { return roots_seen_; }
+
+    Trace *newTrace()
+    {
+        traces_.push_back(std::make_unique<Trace>(next_id_++));
+        return traces_.back().get();
+    }
+
+    const std::vector<std::unique_ptr<Trace>> &traces() const
+    {
+        return traces_;
+    }
+
+    std::uint64_t spanCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : traces_)
+            n += t->spans().size();
+        return n;
+    }
+
+  private:
+    TraceParams params_;
+    std::vector<std::unique_ptr<Trace>> traces_;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t roots_seen_ = 0;
+};
+
+} // namespace microscale::trace
+
+#endif // MICROSCALE_TRACE_TRACE_HH

@@ -191,5 +191,42 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3),
                        ::testing::Values(0.2, 0.8, 2.0)));
 
+/**
+ * Property: quantile() is monotone in q and always inside the
+ * observed [min, max] range - in-bucket interpolation at the tails
+ * must never extrapolate past a recorded sample.
+ */
+TEST(QuantileHistogram, QuantilesMonotoneAndBounded)
+{
+    for (int seed : {7, 21, 35}) {
+        Rng rng(seed);
+        QuantileHistogram h;
+        for (int i = 0; i < 20000; ++i)
+            h.add(rng.lognormal(3e6, 1.5));
+        double prev = h.quantile(0.0);
+        for (double q = 0.0; q <= 1.0; q += 0.01) {
+            const double v = h.quantile(q);
+            EXPECT_GE(v, prev) << "q=" << q << " seed=" << seed;
+            EXPECT_GE(v, h.min()) << "q=" << q << " seed=" << seed;
+            EXPECT_LE(v, h.max()) << "q=" << q << " seed=" << seed;
+            prev = v;
+        }
+        EXPECT_DOUBLE_EQ(h.quantile(0.0), h.min());
+        EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+    }
+}
+
+/** The extremes clamp even with a single sample per bucket edge. */
+TEST(QuantileHistogram, QuantileClampsSparseSamples)
+{
+    QuantileHistogram h;
+    h.add(1000.0);
+    h.add(1001.0);
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+        EXPECT_GE(h.quantile(q), 1000.0) << "q=" << q;
+        EXPECT_LE(h.quantile(q), 1001.0) << "q=" << q;
+    }
+}
+
 } // namespace
 } // namespace microscale

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -128,6 +129,26 @@ TEST(Json, ParseHandlesEscapesAndLiterals)
     ASSERT_EQ(v.at("a").elements.size(), 3u);
     EXPECT_DOUBLE_EQ(v.at("a").elements[1].numberValue, -2.5);
     EXPECT_DOUBLE_EQ(v.at("a").elements[2].numberValue, 300.0);
+}
+
+TEST(Json, NonFiniteNumbersEmitNull)
+{
+    // A broken metric pipeline (0/0, log of 0) must not corrupt the
+    // document: the writer emits null for NaN/Inf, never the raw
+    // "nan"/"inf" literals no parser accepts.
+    RunResult r;
+    r.throughputRps = std::nan("");
+    r.latency.meanMs = std::numeric_limits<double>::infinity();
+    r.latency.p50Ms = -std::numeric_limits<double>::infinity();
+    const std::string j = toJson(r);
+    EXPECT_EQ(j.find("nan"), std::string::npos);
+    EXPECT_EQ(j.find("inf"), std::string::npos);
+    const JsonValue v = parseJson(j);
+    EXPECT_EQ(v.at("throughput_rps").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(v.at("latency").at("mean_ms").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(v.at("latency").at("p50_ms").kind, JsonValue::Kind::Null);
+    // Finite neighbors are untouched.
+    EXPECT_TRUE(v.at("latency").at("p99_ms").isNumber());
 }
 
 TEST(Json, ParseRejectsMalformedInput)

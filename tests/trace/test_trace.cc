@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for per-request tracing and critical-path attribution:
+ * synthetic span DAGs with hand-computed exact decompositions, the
+ * runExperiment integration (determinism, zero perturbation of the
+ * untraced metrics, sampling), and the Chrome trace_event export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "core/json.hh"
+#include "topo/presets.hh"
+#include "trace/critical_path.hh"
+#include "trace/export.hh"
+#include "trace/trace.hh"
+
+namespace microscale::trace
+{
+namespace
+{
+
+core::ExperimentConfig
+fastConfig()
+{
+    core::ExperimentConfig c;
+    c.machine = topo::small8();
+    c.app.store.categories = 4;
+    c.app.store.productsPerCategory = 10;
+    c.app.store.users = 20;
+    c.sizing.webui = {1, 8};
+    c.sizing.auth = {1, 4};
+    c.sizing.persistence = {1, 8};
+    c.sizing.recommender = {1, 2};
+    c.sizing.image = {1, 8};
+    c.sizing.registry = {1, 1};
+    c.load.users = 40;
+    c.load.meanThink = 50 * kMillisecond;
+    c.warmup = 150 * kMillisecond;
+    c.measure = 300 * kMillisecond;
+    return c;
+}
+
+/** Single-hop trace: client -> webui, no children. Every component
+ * is hand-computed; the partition must be exact, not approximate. */
+TEST(CriticalPath, SingleHopExactPartition)
+{
+    Trace t(1);
+    const SpanId id = t.addSpan();
+    Span &s = t.span(id);
+    s.client = "external";
+    s.service = "webui";
+    s.op = "home";
+    s.clientIssue = 100;
+    s.arrived = 110;
+    s.dispatched = 130;
+    s.finish = 400;
+    s.clientComplete = 420;
+    s.computeNs = 200.0;
+
+    Attribution acc;
+    ASSERT_TRUE(attributeTrace(t, acc));
+    EXPECT_EQ(acc.traces, 1u);
+    EXPECT_DOUBLE_EQ(acc.e2eNs, 320.0);
+    const ServiceAttribution &w = acc.services.at("webui");
+    EXPECT_DOUBLE_EQ(w.queueNs, 20.0);   // 130 - 110
+    EXPECT_DOUBLE_EQ(w.computeNs, 200.0);
+    EXPECT_DOUBLE_EQ(w.stallNs, 70.0);   // (400-130) - 200
+    EXPECT_DOUBLE_EQ(w.networkNs, 30.0); // wall 320 - server 290
+    EXPECT_DOUBLE_EQ(w.fanoutNs, 0.0);
+    EXPECT_DOUBLE_EQ(acc.unattributedNs, 0.0);
+    EXPECT_DOUBLE_EQ(acc.attributedNs(), acc.e2eNs);
+}
+
+/** Nested trace with a single-call group and a two-leg fan-out: the
+ * gating leg's slack books as the caller's fan-out wait, the group
+ * walls cover the handler's blocked time exactly. */
+TEST(CriticalPath, FanoutExactPartition)
+{
+    Trace t(1);
+    const SpanId root = t.addSpan();
+    {
+        Span &s = t.span(root);
+        s.service = "webui";
+        s.clientIssue = 0;
+        s.arrived = 10;
+        s.dispatched = 20;
+        s.finish = 500;
+        s.clientComplete = 510;
+        s.computeNs = 100.0;
+    }
+    const SpanId auth = t.addSpan();
+    {
+        Span &s = t.span(auth);
+        s.parent = root;
+        s.group = 1;
+        s.service = "auth";
+        s.clientIssue = 30;
+        s.arrived = 35;
+        s.dispatched = 40;
+        s.finish = 100;
+        s.clientComplete = 105;
+        s.computeNs = 60.0;
+    }
+    const SpanId persistence = t.addSpan();
+    {
+        Span &s = t.span(persistence);
+        s.parent = root;
+        s.group = 2;
+        s.service = "persistence";
+        s.clientIssue = 120;
+        s.arrived = 125;
+        s.dispatched = 125;
+        s.finish = 200;
+        s.clientComplete = 205;
+        s.computeNs = 70.0;
+    }
+    const SpanId image = t.addSpan();
+    {
+        Span &s = t.span(image);
+        s.parent = root;
+        s.group = 2;
+        s.service = "image";
+        s.clientIssue = 120;
+        s.arrived = 122;
+        s.dispatched = 130;
+        s.finish = 280;
+        s.clientComplete = 300; // gating leg of group 2
+        s.computeNs = 100.0;
+    }
+
+    Attribution acc;
+    ASSERT_TRUE(attributeTrace(t, acc));
+    EXPECT_DOUBLE_EQ(acc.e2eNs, 510.0);
+
+    const ServiceAttribution &w = acc.services.at("webui");
+    EXPECT_DOUBLE_EQ(w.queueNs, 10.0);
+    EXPECT_DOUBLE_EQ(w.computeNs, 100.0);
+    // window 480, covered by group walls 75 + 180 => uncovered 225.
+    EXPECT_DOUBLE_EQ(w.stallNs, 125.0);
+    // Gating image leg: wall 180 - server 158 = 22 of fan-out wait.
+    EXPECT_DOUBLE_EQ(w.fanoutNs, 22.0);
+    EXPECT_DOUBLE_EQ(w.networkNs, 20.0); // root slack 510 - 490
+
+    const ServiceAttribution &a = acc.services.at("auth");
+    EXPECT_DOUBLE_EQ(a.queueNs, 5.0);
+    EXPECT_DOUBLE_EQ(a.computeNs, 60.0);
+    EXPECT_DOUBLE_EQ(a.stallNs, 0.0);
+    // Single-call group: slack stays with the callee as network time.
+    EXPECT_DOUBLE_EQ(a.networkNs, 10.0); // wall 75 - server 65
+
+    // The non-gating leg is off the critical path entirely.
+    EXPECT_EQ(acc.services.count("persistence"), 0u);
+
+    const ServiceAttribution &i = acc.services.at("image");
+    EXPECT_DOUBLE_EQ(i.queueNs, 8.0);
+    EXPECT_DOUBLE_EQ(i.computeNs, 100.0);
+    EXPECT_DOUBLE_EQ(i.stallNs, 50.0);
+
+    EXPECT_DOUBLE_EQ(acc.unattributedNs, 0.0);
+    EXPECT_DOUBLE_EQ(acc.attributedNs(), acc.e2eNs);
+}
+
+/** Retry lineage: the failed attempt's wall books as shed, the gap
+ * before the retry as backoff, and the final attempt decomposes
+ * normally - summing to the logical call's wall exactly. */
+TEST(CriticalPath, RetryExactPartition)
+{
+    Trace t(1);
+    const SpanId root = t.addSpan();
+    {
+        Span &s = t.span(root);
+        s.service = "webui";
+        s.clientIssue = 0;
+        s.arrived = 5;
+        s.dispatched = 10;
+        s.finish = 600;
+        s.clientComplete = 610;
+        s.computeNs = 50.0;
+    }
+    const SpanId first = t.addSpan();
+    {
+        Span &s = t.span(first);
+        s.parent = root;
+        s.group = 1;
+        s.service = "persistence";
+        s.clientIssue = 20;
+        s.clientComplete = 120;
+        s.clientStatus = svc::Status::Timeout;
+    }
+    const SpanId retry = t.addSpan();
+    {
+        Span &s = t.span(retry);
+        s.parent = root;
+        s.group = 1;
+        s.attempt = 2;
+        s.retryOf = first;
+        s.backoffBefore = 30;
+        s.service = "persistence";
+        s.clientIssue = 150;
+        s.arrived = 155;
+        s.dispatched = 160;
+        s.finish = 250;
+        s.clientComplete = 260;
+        s.computeNs = 80.0;
+    }
+
+    Attribution acc;
+    ASSERT_TRUE(attributeTrace(t, acc));
+    EXPECT_DOUBLE_EQ(acc.e2eNs, 610.0);
+
+    const ServiceAttribution &p = acc.services.at("persistence");
+    EXPECT_DOUBLE_EQ(p.backoffNs, 30.0);
+    EXPECT_DOUBLE_EQ(p.shedNs, 100.0);   // failed attempt 20..120
+    EXPECT_DOUBLE_EQ(p.queueNs, 5.0);
+    EXPECT_DOUBLE_EQ(p.computeNs, 80.0);
+    EXPECT_DOUBLE_EQ(p.stallNs, 10.0);
+    EXPECT_DOUBLE_EQ(p.networkNs, 15.0); // final wall 110 - server 95
+
+    const ServiceAttribution &w = acc.services.at("webui");
+    EXPECT_DOUBLE_EQ(w.queueNs, 5.0);
+    EXPECT_DOUBLE_EQ(w.computeNs, 50.0);
+    // window 590, group wall 20..260 covers 240 => uncovered 350.
+    EXPECT_DOUBLE_EQ(w.stallNs, 300.0);
+    EXPECT_DOUBLE_EQ(w.networkNs, 15.0);
+
+    EXPECT_DOUBLE_EQ(acc.unattributedNs, 0.0);
+    EXPECT_DOUBLE_EQ(acc.attributedNs(), acc.e2eNs);
+}
+
+/** A request rejected before dispatch books its residency as shed. */
+TEST(CriticalPath, AdmissionRejectIsShed)
+{
+    Trace t(1);
+    const SpanId id = t.addSpan();
+    Span &s = t.span(id);
+    s.service = "webui";
+    s.clientIssue = 0;
+    s.arrived = 10;
+    s.dispatched = 0; // never reached a worker
+    s.finish = 15;
+    s.clientComplete = 25;
+    s.status = svc::Status::Rejected;
+    s.clientStatus = svc::Status::Ok; // degenerate: count the window
+
+    Attribution acc;
+    ASSERT_TRUE(attributeTrace(t, acc));
+    const ServiceAttribution &w = acc.services.at("webui");
+    EXPECT_DOUBLE_EQ(w.shedNs, 5.0); // finish - arrived
+    EXPECT_DOUBLE_EQ(w.queueNs, 0.0);
+    EXPECT_DOUBLE_EQ(w.computeNs, 0.0);
+}
+
+/** Incomplete traces (root still in flight) are skipped, untouched. */
+TEST(CriticalPath, InFlightRootSkipped)
+{
+    Trace t(1);
+    const SpanId id = t.addSpan();
+    t.span(id).service = "webui";
+    t.span(id).clientIssue = 100; // no completion, no finish
+
+    Attribution acc;
+    EXPECT_FALSE(attributeTrace(t, acc));
+    EXPECT_EQ(acc.traces, 0u);
+    EXPECT_TRUE(acc.services.empty());
+}
+
+TEST(TraceExperiment, OffLeavesNoStoreAndNoJsonBlock)
+{
+    const core::RunResult r = core::runExperiment(fastConfig());
+    EXPECT_FALSE(r.trace.active);
+    EXPECT_EQ(r.trace.store, nullptr);
+    EXPECT_EQ(core::toJson(r).find("\"trace\""), std::string::npos);
+}
+
+TEST(TraceExperiment, TracingDoesNotPerturbTheRun)
+{
+    core::ExperimentConfig untraced = fastConfig();
+    core::ExperimentConfig traced = fastConfig();
+    traced.trace.enabled = true;
+    const core::RunResult a = core::runExperiment(untraced);
+    const core::RunResult b = core::runExperiment(traced);
+    // Recording never schedules events or draws shared RNG: every
+    // dynamic metric must be bit-identical, not merely close.
+    EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
+    EXPECT_EQ(a.throughputRps, b.throughputRps);
+    EXPECT_EQ(a.latency.p50Ms, b.latency.p50Ms);
+    EXPECT_EQ(a.latency.p99Ms, b.latency.p99Ms);
+    EXPECT_EQ(a.cpuUtilization, b.cpuUtilization);
+    EXPECT_EQ(a.sched.contextSwitches, b.sched.contextSwitches);
+}
+
+TEST(TraceExperiment, AttributionSumsToMeanE2e)
+{
+    core::ExperimentConfig c = fastConfig();
+    c.trace.enabled = true;
+    const core::RunResult r = core::runExperiment(c);
+    ASSERT_TRUE(r.trace.active);
+    ASSERT_NE(r.trace.store, nullptr);
+    EXPECT_GT(r.trace.tracesSampled, 0u);
+    EXPECT_GT(r.trace.tracesAnalyzed, 0u);
+    EXPECT_GT(r.trace.spanCount, r.trace.tracesSampled);
+    EXPECT_GT(r.trace.meanE2eMs, 0.0);
+    const double sum = r.trace.attribution.attributedNs();
+    const double e2e = r.trace.attribution.e2eNs;
+    ASSERT_GT(e2e, 0.0);
+    EXPECT_NEAR(sum / e2e, 1.0, 0.01);
+}
+
+TEST(TraceExperiment, TracedRunsAreDeterministic)
+{
+    core::ExperimentConfig c = fastConfig();
+    c.trace.enabled = true;
+    const core::RunResult a = core::runExperiment(c);
+    const core::RunResult b = core::runExperiment(c);
+    EXPECT_EQ(core::toJson(a), core::toJson(b));
+    ASSERT_NE(a.trace.store, nullptr);
+    std::ostringstream ca, cb;
+    writeChromeTrace(ca, *a.trace.store);
+    writeChromeTrace(cb, *b.trace.store);
+    EXPECT_EQ(ca.str(), cb.str());
+}
+
+TEST(TraceExperiment, FractionalSamplingThinsTraces)
+{
+    core::ExperimentConfig c = fastConfig();
+    c.trace.enabled = true;
+    c.trace.sampleRate = 0.3;
+    const core::RunResult r = core::runExperiment(c);
+    ASSERT_TRUE(r.trace.active);
+    EXPECT_GT(r.trace.tracesSampled, 0u);
+    EXPECT_LT(r.trace.tracesSampled, r.trace.rootsSeen);
+
+    c.trace.sampleRate = 0.0;
+    const core::RunResult none = core::runExperiment(c);
+    EXPECT_TRUE(none.trace.active);
+    EXPECT_EQ(none.trace.tracesSampled, 0u);
+    EXPECT_GT(none.trace.rootsSeen, 0u);
+}
+
+TEST(TraceExperiment, ChromeExportParsesWithEvents)
+{
+    core::ExperimentConfig c = fastConfig();
+    c.trace.enabled = true;
+    const core::RunResult r = core::runExperiment(c);
+    ASSERT_NE(r.trace.store, nullptr);
+    std::ostringstream os;
+    writeChromeTrace(os, *r.trace.store);
+    const core::JsonValue v = core::parseJson(os.str());
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("displayTimeUnit").stringValue, "ms");
+    const core::JsonValue &events = v.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    EXPECT_FALSE(events.elements.empty());
+    // Spot-check: every event carries the required keys.
+    for (const core::JsonValue &e : events.elements) {
+        EXPECT_NE(e.find("ph"), nullptr);
+        EXPECT_NE(e.find("pid"), nullptr);
+        EXPECT_NE(e.find("tid"), nullptr);
+        EXPECT_NE(e.find("name"), nullptr);
+    }
+}
+
+TEST(TraceExperiment, JsonTraceBlockValidates)
+{
+    core::ExperimentConfig c = fastConfig();
+    c.trace.enabled = true;
+    const core::RunResult r = core::runExperiment(c);
+    const core::JsonValue v = core::parseJson(core::toJson(r));
+    const core::JsonValue *tr = v.find("trace");
+    ASSERT_NE(tr, nullptr);
+    EXPECT_DOUBLE_EQ(tr->at("sample_rate").numberValue, 1.0);
+    EXPECT_GT(tr->at("traces_analyzed").numberValue, 0.0);
+    EXPECT_GT(tr->at("mean_e2e_ms").numberValue, 0.0);
+    const core::JsonValue &att = tr->at("attribution");
+    ASSERT_TRUE(att.isObject());
+    EXPECT_NE(att.find("webui"), nullptr);
+    // The emitted per-service means plus the residue reproduce the
+    // emitted mean end-to-end latency (json_check --trace invariant).
+    double sum = tr->at("unattributed_ms").numberValue;
+    for (const auto &[name, a] : att.members) {
+        sum += a.at("queue_ms").numberValue +
+               a.at("compute_ms").numberValue +
+               a.at("stall_ms").numberValue +
+               a.at("fanout_wait_ms").numberValue +
+               a.at("retry_backoff_ms").numberValue +
+               a.at("shed_ms").numberValue + a.at("network_ms").numberValue;
+    }
+    EXPECT_NEAR(sum, tr->at("mean_e2e_ms").numberValue,
+                0.001 * tr->at("mean_e2e_ms").numberValue + 1e-9);
+}
+
+} // namespace
+} // namespace microscale::trace

@@ -22,6 +22,7 @@
 #include "teastore/chaos.hh"
 #include "teastore/criticality.hh"
 #include "topo/presets.hh"
+#include "trace/export.hh"
 
 using namespace microscale;
 
@@ -92,6 +93,14 @@ main(int argc, char **argv)
     args.addFlag("brownout",
                  "brownout dimmer on optional page content (implies "
                  "degraded fallbacks)");
+    args.addFlag("trace",
+                 "per-request distributed tracing with critical-path "
+                 "latency attribution");
+    args.addDouble("trace-sample", 1.0,
+                   "fraction of external requests to trace");
+    args.addString("trace-out", "",
+                   "write the sampled spans as Chrome trace_event JSON "
+                   "to this file (chrome://tracing, Perfetto)");
     args.addFlag("csv", "emit tables as CSV");
     args.addFlag("json", "emit the full result as JSON and exit");
     args.addFlag("plan", "print the placement plan");
@@ -142,6 +151,11 @@ main(int argc, char **argv)
         config.overload = oc;
     }
 
+    if (args.getFlag("trace") || !args.getString("trace-out").empty()) {
+        config.trace.enabled = true;
+        config.trace.sampleRate = args.getDouble("trace-sample");
+    }
+
     // Run through the sweep harness so msim shares the thread pool,
     // per-point logging tags and error handling with the bench suite.
     core::SweepPoint point;
@@ -182,6 +196,14 @@ main(int argc, char **argv)
     if (!out.ok)
         fatal("run failed: ", out.error);
     const core::RunResult &r = out.result;
+
+    const std::string trace_out = args.getString("trace-out");
+    if (!trace_out.empty()) {
+        if (!r.trace.store)
+            fatal("--trace-out needs a traced run");
+        if (!trace::writeChromeTraceFile(trace_out, *r.trace.store))
+            fatal("cannot write trace file '", trace_out, "'");
+    }
 
     if (args.getFlag("json")) {
         core::writeJson(std::cout, r);
@@ -232,6 +254,35 @@ main(int argc, char **argv)
                   << formatDouble(ov.brownoutDutyCycle * 100.0, 1)
                   << "%  dimmer="
                   << formatDouble(ov.dimmerFinal, 2) << "\n";
+    }
+    if (r.trace.active) {
+        const core::TraceSummary &tr = r.trace;
+        std::cout << "trace: sampled=" << tr.tracesSampled << "/"
+                  << tr.rootsSeen << "  analyzed=" << tr.tracesAnalyzed
+                  << "  spans=" << tr.spanCount
+                  << "  mean_e2e=" << formatDouble(tr.meanE2eMs, 2)
+                  << "ms\n";
+        if (tr.tracesAnalyzed > 0) {
+            const double toMs =
+                1.0 / (static_cast<double>(tr.attribution.traces) * 1e6);
+            TextTable att({"service", "queue", "compute", "stall",
+                           "fanout", "backoff", "shed", "net",
+                           "total (ms)"});
+            for (const auto &[name, a] : tr.attribution.services) {
+                att.row()
+                    .cell(name)
+                    .cell(a.queueNs * toMs, 3)
+                    .cell(a.computeNs * toMs, 3)
+                    .cell(a.stallNs * toMs, 3)
+                    .cell(a.fanoutNs * toMs, 3)
+                    .cell(a.backoffNs * toMs, 3)
+                    .cell(a.shedNs * toMs, 3)
+                    .cell(a.networkNs * toMs, 3)
+                    .cell(a.totalNs() * toMs, 3);
+            }
+            att.printWithCaption(
+                "critical-path attribution (per-trace means)");
+        }
     }
     if (args.getFlag("plan"))
         std::cout << "\n" << r.plan.describe();
