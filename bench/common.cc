@@ -129,6 +129,7 @@ void
 SeriesReporter::add(const std::string &label,
                     const core::RunResult &result)
 {
+    events_processed_ += result.eventsProcessed;
     points_.push_back(StoredPoint{label, result, ""});
 }
 
@@ -160,6 +161,13 @@ SeriesReporter::table(const TextTable &t, const std::string &caption)
     tables_.push_back(StoredTable{caption, t.headers(), t.rows()});
 }
 
+double
+SeriesReporter::wallSeconds() const
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(elapsed).count();
+}
+
 void
 SeriesReporter::finish()
 {
@@ -177,6 +185,11 @@ SeriesReporter::finish()
     os << ",\"machine\":\"" << core::jsonEscape(machine_) << "\"";
     os << ",\"fast_mode\":" << (fastMode() ? "true" : "false");
     os << ",\"jobs\":" << jobs();
+    // Speed stamps (schema v3): elapsed wall clock over the whole
+    // artifact run and engine events summed across successful points,
+    // so regressions in sim throughput show up in every artifact.
+    os << ",\"wall_seconds\":" << wallSeconds();
+    os << ",\"events_processed\":" << events_processed_;
 
     os << ",\"points\":[";
     bool first = true;

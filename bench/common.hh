@@ -14,6 +14,8 @@
 #ifndef MICROSCALE_BENCH_COMMON_HH
 #define MICROSCALE_BENCH_COMMON_HH
 
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,9 +31,11 @@ namespace microscale::benchx
  * layout or the meaning of an existing field changes; purely additive
  * per-point result fields do not bump it. Version 2 = the original
  * (unstamped) layout plus the stamp itself and the optional per-point
- * "elastic" block.
+ * "elastic" block. Version 3 adds the top-level speed stamps:
+ * "wall_seconds" (reporter construction to finish()) and
+ * "events_processed" (summed over every successful point's result).
  */
-inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr int kBenchSchemaVersion = 3;
 
 /** True when MICROSCALE_BENCH_FAST=1 is set. */
 bool fastMode();
@@ -99,6 +103,12 @@ class SeriesReporter
     /** Print a table with its caption and record it for the JSON. */
     void table(const TextTable &t, const std::string &caption);
 
+    /** Wall-clock seconds since this reporter was constructed. */
+    double wallSeconds() const;
+
+    /** Engine events summed over every successful recorded point. */
+    std::uint64_t eventsProcessed() const { return events_processed_; }
+
     /** Write BENCH_<stem>.json; prints the path. */
     void finish();
 
@@ -124,6 +134,10 @@ class SeriesReporter
     std::string machine_;
     std::vector<StoredPoint> points_;
     std::vector<StoredTable> tables_;
+    /** Construction time; finish() stamps the elapsed wall clock. */
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+    std::uint64_t events_processed_ = 0;
 };
 
 /**

@@ -7,9 +7,10 @@
  *
  * Parses FILE with core::parseJson and requires the sweep-harness
  * schema: artifact/caption/machine strings, the expected
- * schema_version, a points array of at least MIN_POINTS entries each
- * carrying a label and a result with a numeric throughput_rps, and a
- * non-empty tables array. Any LABEL arguments must appear among the
+ * schema_version, the v3 speed stamps (finite non-negative
+ * wall_seconds and events_processed), a points array of at least
+ * MIN_POINTS entries each carrying a label and a result with a
+ * numeric throughput_rps, and a non-empty tables array. Any LABEL arguments must appear among the
  * point labels. Points carrying an "elastic" block (FIG-13) have it
  * validated - non-empty schedule/policy/placer names, finite
  * non-negative SLO-violation seconds, core-seconds and steady-state
@@ -261,6 +262,16 @@ main(int argc, char **argv)
     const core::JsonValue *jobs = v.find("jobs");
     if (!jobs || !jobs->isNumber() || jobs->numberValue < 1)
         die(path + ": missing or bad 'jobs'");
+    // Schema v3 speed stamps: every artifact reports how long it took
+    // and how many engine events it processed.
+    const core::JsonValue *wall = v.find("wall_seconds");
+    if (!wall || !wall->isNumber() || !std::isfinite(wall->numberValue) ||
+        wall->numberValue < 0)
+        die(path + ": missing or bad 'wall_seconds'");
+    const core::JsonValue *events = v.find("events_processed");
+    if (!events || !events->isNumber() ||
+        !std::isfinite(events->numberValue) || events->numberValue < 0)
+        die(path + ": missing or bad 'events_processed'");
 
     const core::JsonValue *points = v.find("points");
     if (!points || !points->isArray())

@@ -104,7 +104,13 @@ class MetricsBus
   private:
     struct PerService
     {
-        /** Replica-side service times (ns) completed this interval. */
+        /**
+         * Replica-side service times (ns) completed this interval.
+         * Ingestion is a flat append on the completion hot path (no
+         * per-observation histogram work); percentiles are folded out
+         * of the buffer once per control period in sample(), which
+         * also clears it.
+         */
         std::vector<double> latenciesNs;
         /** Non-OK observer completions this interval. */
         std::uint64_t observedFailures = 0;

@@ -135,4 +135,68 @@ Rng::index(std::size_t n)
     return static_cast<std::size_t>(uniformInt(0, n - 1));
 }
 
+void
+Rng::fillUniform01(double *out, std::size_t n)
+{
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = dist(engine_);
+}
+
+void
+Rng::fillExponential(double *out, std::size_t n, double mean)
+{
+    if (mean <= 0.0)
+        MS_PANIC("exponential with non-positive mean: ", mean);
+    std::exponential_distribution<double> dist(1.0 / mean);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = dist(engine_);
+}
+
+void
+Rng::fillLognormalUnit(double *out, std::size_t n, double cv)
+{
+    if (cv <= 0.0) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = 1.0;
+        return;
+    }
+    const double sigma2 = std::log1p(cv * cv);
+    const double mu = -0.5 * sigma2;
+    std::lognormal_distribution<double> dist(mu, std::sqrt(sigma2));
+    for (std::size_t i = 0; i < n; ++i) {
+        // Drop the cached Box-Muller second value so each draw
+        // consumes the engine exactly like a fresh scalar call.
+        dist.reset();
+        out[i] = dist(engine_);
+    }
+}
+
+SampleBatch::SampleBatch(Rng &rng, Kind kind, double param,
+                         std::size_t capacity)
+    : rng_(rng), kind_(kind), param_(param)
+{
+    if (capacity == 0)
+        MS_PANIC("SampleBatch with zero capacity");
+    buf_.resize(capacity);
+    pos_ = buf_.size(); // force a refill on first next()
+}
+
+void
+SampleBatch::refill()
+{
+    switch (kind_) {
+    case Kind::Uniform01:
+        rng_.fillUniform01(buf_.data(), buf_.size());
+        break;
+    case Kind::Exponential:
+        rng_.fillExponential(buf_.data(), buf_.size(), param_);
+        break;
+    case Kind::LognormalUnit:
+        rng_.fillLognormalUnit(buf_.data(), buf_.size(), param_);
+        break;
+    }
+    pos_ = 0;
+}
+
 } // namespace microscale

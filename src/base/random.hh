@@ -67,11 +67,81 @@ class Rng
     /** Pick a uniformly random element index of a container of size n. */
     std::size_t index(std::size_t n);
 
+    /**
+     * Batched draws: fill `out[0..n)` with n consecutive draws from
+     * this stream. Each fill consumes exactly the same engine state
+     * as n scalar calls, so mixing scalar and batched consumption of
+     * one stream stays reproducible. Batching amortizes the
+     * distribution setup and keeps the engine state hot; the fluid
+     * load mode and the speed harness drain thousands of inter-arrival
+     * gaps per refill through these.
+     */
+    void fillUniform01(double *out, std::size_t n);
+
+    /** Batched exponential draws with the given mean. */
+    void fillExponential(double *out, std::size_t n, double mean);
+
+    /**
+     * Batched unit-mean lognormal draws with the given coefficient of
+     * variation. Scale by m to get LogNormal draws of mean m: the
+     * lognormal family is closed under scaling, so m * lognormalUnit(cv)
+     * equals lognormal(m, cv) up to floating-point rounding.
+     */
+    void fillLognormalUnit(double *out, std::size_t n, double cv);
+
     /** Underlying engine, for std distributions. */
     std::mt19937_64 &engine() { return engine_; }
 
   private:
     std::mt19937_64 engine_;
+};
+
+/**
+ * A refillable batch of pre-drawn samples from one Rng stream.
+ *
+ * Wraps the fill-N APIs with a cursor: next() hands out the buffered
+ * draws in order and refills when exhausted. Draw order is identical
+ * to calling the scalar API each time, so a SampleBatch can front any
+ * single-distribution stream without perturbing determinism — but do
+ * NOT front a stream whose other draw kinds interleave with these
+ * draws, because prefetching would reorder them.
+ */
+class SampleBatch
+{
+  public:
+    enum class Kind
+    {
+        Uniform01,
+        Exponential,
+        LognormalUnit,
+    };
+
+    /**
+     * @param param the distribution parameter (exponential mean or
+     *        lognormal cv; unused for Uniform01).
+     */
+    SampleBatch(Rng &rng, Kind kind, double param,
+                std::size_t capacity = 1024);
+
+    /** Next sample (refills transparently). */
+    double next()
+    {
+        if (pos_ == buf_.size())
+            refill();
+        return buf_[pos_++];
+    }
+
+    /** Buffered samples not yet handed out. */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    void refill();
+
+    Rng &rng_;
+    Kind kind_;
+    double param_;
+    std::vector<double> buf_;
+    std::size_t pos_;
 };
 
 /** Stable 64-bit FNV-1a hash of a string, for stream derivation. */

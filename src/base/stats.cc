@@ -83,8 +83,9 @@ SampleStats::max() const
     return count_ ? max_ : 0.0;
 }
 
-QuantileHistogram::QuantileHistogram() : buckets_(kBuckets, 0)
+QuantileHistogram::QuantileHistogram()
 {
+    pending_.reserve(64);
 }
 
 unsigned
@@ -128,6 +129,21 @@ QuantileHistogram::bucketHigh(unsigned b)
 }
 
 void
+QuantileHistogram::foldPending() const
+{
+    if (pending_.empty())
+        return;
+    if (buckets_.empty())
+        buckets_.assign(kBuckets, 0);
+    // Insertion order is preserved, so folding commutes with every
+    // observable: bucket increments are order-independent counts and
+    // the float accumulators (sum/min/max) were updated at add time.
+    for (double v : pending_)
+        ++buckets_[bucketFor(v)];
+    pending_.clear();
+}
+
+void
 QuantileHistogram::add(double value)
 {
     if (value < 0.0)
@@ -140,7 +156,9 @@ QuantileHistogram::add(double value)
     }
     ++count_;
     sum_ += value;
-    ++buckets_[bucketFor(value)];
+    pending_.push_back(value);
+    if (pending_.size() >= kPendingCap)
+        foldPending();
 }
 
 void
@@ -157,14 +175,20 @@ QuantileHistogram::merge(const QuantileHistogram &o)
     }
     count_ += o.count_;
     sum_ += o.sum_;
-    for (unsigned i = 0; i < kBuckets; ++i)
-        buckets_[i] += o.buckets_[i];
+    o.foldPending();
+    if (!o.buckets_.empty()) {
+        if (buckets_.empty())
+            buckets_.assign(kBuckets, 0);
+        for (unsigned i = 0; i < kBuckets; ++i)
+            buckets_[i] += o.buckets_[i];
+    }
 }
 
 void
 QuantileHistogram::reset()
 {
-    std::fill(buckets_.begin(), buckets_.end(), 0);
+    buckets_.clear();
+    pending_.clear();
     count_ = 0;
     sum_ = 0.0;
     min_ = max_ = 0.0;
@@ -181,6 +205,7 @@ QuantileHistogram::quantile(double q) const
 {
     if (count_ == 0)
         return 0.0;
+    foldPending();
     q = std::clamp(q, 0.0, 1.0);
     const double target = q * static_cast<double>(count_);
     std::uint64_t seen = 0;

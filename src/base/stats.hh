@@ -59,6 +59,14 @@ class SampleStats
  * land there and are indistinguishable. Latencies are recorded in ns
  * (integral ticks), which keeps every real sample at or above the
  * floor; record in coarser units and sub-unit structure flattens.
+ *
+ * Ingestion is deferred: add() appends to a small flat buffer and the
+ * bucket classification (frexp + random-access increments) happens in
+ * batch when the buffer fills or a quantile is queried. Folding
+ * preserves insertion order, so every observable — count, sum, mean,
+ * extrema, quantiles — is bit-identical to immediate classification.
+ * The bucket array itself is allocated on first fold, which keeps
+ * never-queried histograms cheap.
  */
 class QuantileHistogram
 {
@@ -100,11 +108,20 @@ class QuantileHistogram
     static constexpr unsigned kOctaves = 40; // covers ~1e12 range
     static constexpr unsigned kBuckets = kOctaves * kSubBuckets + 1;
 
+    /** Pending samples kept before classification into buckets. */
+    static constexpr std::size_t kPendingCap = 1024;
+
     static unsigned bucketFor(double value);
     static double bucketLow(unsigned b);
     static double bucketHigh(unsigned b);
 
-    std::vector<std::uint64_t> buckets_;
+    /** Classify buffered samples into buckets (allocating them). */
+    void foldPending() const;
+
+    /** Either empty (nothing folded yet) or exactly kBuckets long. */
+    mutable std::vector<std::uint64_t> buckets_;
+    /** Flat append buffer of samples awaiting classification. */
+    mutable std::vector<double> pending_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;

@@ -32,7 +32,7 @@ ExecEngine::ExecEngine(sim::Simulation &sim, const topo::Machine &machine,
 void
 ExecEngine::setWork(ExecContext &ctx, const WorkProfile &profile,
                     double instructions,
-                    std::function<void()> on_complete)
+                    sim::EventFn on_complete)
 {
     if (ctx.running())
         MS_PANIC("setWork on running context ", ctx.name());
@@ -368,8 +368,7 @@ ExecEngine::complete(ExecContext &ctx)
     detach(ctx);
     ctx.profile_ = nullptr;
     ctx.remaining_ = 0.0;
-    auto fn = std::move(ctx.on_complete_);
-    ctx.on_complete_ = nullptr;
+    sim::EventFn fn = std::move(ctx.on_complete_);
     if (fn)
         fn();
 }

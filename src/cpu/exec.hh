@@ -118,7 +118,7 @@ class ExecContext
     // Current work item.
     const WorkProfile *profile_ = nullptr;
     double remaining_ = 0.0;
-    std::function<void()> on_complete_;
+    sim::EventFn on_complete_;
 
     // Execution state managed by the engine.
     CpuId cpu_ = kInvalidCpu;
@@ -151,7 +151,7 @@ class ExecEngine
      * context has already been removed from its CPU.
      */
     void setWork(ExecContext &ctx, const WorkProfile &profile,
-                 double instructions, std::function<void()> on_complete);
+                 double instructions, sim::EventFn on_complete);
 
     /** Begin executing the context's work on an idle CPU. */
     void startRun(ExecContext &ctx, CpuId cpu);

@@ -75,6 +75,11 @@ ClosedLoopDriver::ClosedLoopDriver(teastore::App &app, BrowseMix mix,
 {
     if (params_.users == 0)
         fatal("closed-loop driver needs at least one user");
+    if (params_.fluidThreshold > 0 &&
+        params_.users >= params_.fluidThreshold) {
+        fluid_ = std::make_unique<FluidState>(seed);
+        return;
+    }
     users_.reserve(params_.users);
     for (unsigned u = 0; u < params_.users; ++u) {
         users_.push_back(std::make_unique<User>(
@@ -90,6 +95,13 @@ ClosedLoopDriver::start()
         MS_PANIC("ClosedLoopDriver started twice");
     started_ = true;
     auto &sim = app_.mesh().kernel().sim();
+    if (fluidMode()) {
+        fluid_->notYetIn = params_.users;
+        fluid_->rampEnd =
+            sim.now() + std::max<Tick>(1, params_.rampTime);
+        scheduleNextFluid();
+        return;
+    }
     for (std::size_t u = 0; u < users_.size(); ++u) {
         const Tick ramp =
             params_.rampTime > 0
@@ -99,6 +111,134 @@ ClosedLoopDriver::start()
         sim.scheduleAfter(std::max<Tick>(1, ramp),
                           [this, u] { issue(u); });
     }
+}
+
+void
+ClosedLoopDriver::fluidRates(Tick now, double &ramp, double &think) const
+{
+    // Ramp pool: per-user mode draws N first-issue times uniform over
+    // [0, rampTime]; with k of them still outside at time t the
+    // order-statistics hazard is k / (rampEnd - t). Think pool: the
+    // minimum of M exponential(Z) think timers is exponential(Z/M),
+    // so the pooled rate is M/Z. Both in events per tick.
+    ramp = 0.0;
+    if (fluid_->notYetIn > 0 && now < fluid_->rampEnd)
+        ramp = static_cast<double>(fluid_->notYetIn) /
+               static_cast<double>(fluid_->rampEnd - now);
+    think = static_cast<double>(fluid_->thinking) /
+            static_cast<double>(params_.meanThink);
+}
+
+void
+ClosedLoopDriver::scheduleNextFluid()
+{
+    if (stopped_)
+        return;
+    auto &sim = app_.mesh().kernel().sim();
+    const Tick now = sim.now();
+    if (fluid_->notYetIn > 0 && now >= fluid_->rampEnd) {
+        // Ramp window closed with users still outside (the window is
+        // open-ended in per-user mode too: draws at exactly rampTime
+        // round up). Drain them immediately, one per tick.
+        fluid_->next = sim.scheduleAfter(1, [this] { fluidFire(); });
+        return;
+    }
+    double ramp = 0.0, think = 0.0;
+    fluidRates(now, ramp, think);
+    const double rate = ramp + think;
+    if (rate <= 0.0)
+        return; // every user is in flight; responses re-arm
+    // The pooled hazard is piecewise constant between state changes
+    // (exact for the think pool, the ramp hazard varies slowly), and
+    // every state change cancels and redraws, so drawing a single
+    // exponential gap at the combined rate is faithful.
+    const double gap = fluid_->gaps.next() / rate;
+    fluid_->next = sim.scheduleAfter(
+        std::max<Tick>(1, static_cast<Tick>(std::llround(gap))),
+        [this] { fluidFire(); });
+}
+
+void
+ClosedLoopDriver::fluidFire()
+{
+    if (stopped_)
+        return;
+    double ramp = 0.0, think = 0.0;
+    fluidRates(app_.mesh().kernel().sim().now(), ramp, think);
+    bool from_ramp;
+    if (fluid_->notYetIn == 0) {
+        from_ramp = false;
+    } else if (think <= 0.0 || ramp <= 0.0) {
+        // Nobody thinking, or the ramp window closed with users still
+        // outside (post-window drain): the firing must come from the
+        // ramp pool.
+        from_ramp = true;
+    } else {
+        from_ramp =
+            fluid_->rng.uniform01() * (ramp + think) < ramp;
+    }
+    if (from_ramp) {
+        --fluid_->notYetIn;
+    } else if (fluid_->thinking > 0) {
+        --fluid_->thinking;
+    } else {
+        scheduleNextFluid();
+        return;
+    }
+    issueFluid();
+    scheduleNextFluid();
+}
+
+void
+ClosedLoopDriver::issueFluid()
+{
+    // Ops come from the stationary distribution of the browse chain
+    // rather than per-user Markov walks: the pooled stream sees the
+    // time-average mix, which is what the chain converges to.
+    const OpType op = mix_.sampleStationary(fluid_->rng);
+    const Tick issued_at = app_.mesh().kernel().sim().now();
+    ++issued_;
+    ++fluid_->inflight;
+    svc::Payload req = app_.sampleRequest(op, fluid_->rng);
+    app_.mesh().callExternalS(
+        teastore::names::kWebui, teastore::opName(op), req,
+        [this, op, issued_at](const svc::Payload &resp,
+                              svc::Status status) {
+            onFluidResponse(op, issued_at, status, resp.degraded);
+        });
+}
+
+void
+ClosedLoopDriver::onFluidResponse(OpType op, Tick issued_at,
+                                  svc::Status status, bool degraded)
+{
+    auto &sim = app_.mesh().kernel().sim();
+    measurement_.record(op, issued_at, sim.now(), status, degraded);
+    --fluid_->inflight;
+    if (stopped_)
+        return;
+    if (params_.retreatBase > 0 && status != svc::Status::Ok) {
+        // First-level retreat only: the pool cannot know which user
+        // failed how many times in a row, so every failure waits the
+        // base backoff. Under sustained shedding this under-retreats
+        // relative to per-user mode; acceptable at fluid scale.
+        ++fluid_->retreating;
+        sim.scheduleAfter(retreatBackoff(params_.retreatBase, 1),
+                          [this] {
+                              --fluid_->retreating;
+                              if (stopped_)
+                                  return;
+                              ++fluid_->thinking;
+                              fluid_->next.cancel();
+                              scheduleNextFluid();
+                          });
+        return;
+    }
+    ++fluid_->thinking;
+    // Memorylessness makes cancel-and-redraw at the new pooled rate
+    // distributionally exact; no per-user timer needs to survive.
+    fluid_->next.cancel();
+    scheduleNextFluid();
 }
 
 void
@@ -163,6 +303,15 @@ OpenLoopDriver::OpenLoopDriver(teastore::App &app, BrowseMix mix,
     } else if (params_.schedule.peakRate() <= 0.0) {
         fatal("open-loop schedule needs a positive peak rate");
     }
+    if (params_.batchedArrivals && params_.schedule.empty()) {
+        // Fixed-rate gaps come pre-drawn in blocks from their own
+        // stream; op and payload draws stay on rng_, so the two
+        // consumers never interleave on one engine.
+        gap_rng_ = std::make_unique<Rng>(seed, "loadgen.openloop.gaps");
+        gaps_ = std::make_unique<SampleBatch>(
+            *gap_rng_, SampleBatch::Kind::Exponential,
+            static_cast<double>(kSecond) / params_.arrivalRps);
+    }
 }
 
 void
@@ -191,7 +340,8 @@ OpenLoopDriver::scheduleNext()
     if (params_.schedule.empty()) {
         const double mean_gap_ns =
             static_cast<double>(kSecond) / params_.arrivalRps;
-        const double gap = rng_.exponential(mean_gap_ns);
+        const double gap =
+            gaps_ ? gaps_->next() : rng_.exponential(mean_gap_ns);
         sim.scheduleAfter(
             std::max<Tick>(1, static_cast<Tick>(std::llround(gap))),
             [this] { arrival(); });

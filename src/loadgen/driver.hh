@@ -134,6 +134,18 @@ struct ClosedLoopParams
      * and keeps the legacy think-time behavior bit-identical.
      */
     Tick retreatBase = 0;
+    /**
+     * Fluid population mode: at or above this user count the driver
+     * replaces per-user state (one RNG stream, Markov position and
+     * pending think event per user) with an aggregated population
+     * model whose request stream has the same statistics — O(1) state
+     * instead of O(users), which is what makes 100x bigger populations
+     * simulable. 0 (default) disables fluid mode; per-user mode stays
+     * byte-identical. See DESIGN.md "engine internals" for the
+     * approximation boundary (stationary op mix, pooled ramp hazard,
+     * first-level retreat).
+     */
+    unsigned fluidThreshold = 0;
 };
 
 /**
@@ -170,14 +182,58 @@ class ClosedLoopDriver
         }
     };
 
+    /**
+     * Aggregated population state for fluid mode. The three pools
+     * (not-yet-ramped-in, thinking, in flight) replace per-user
+     * objects; with exponential think times the pooled next-issue
+     * process is itself exponential, so one pending event plus a
+     * cancel-and-redraw on every pool change reproduces the per-user
+     * arrival statistics exactly for the think component.
+     */
+    struct FluidState
+    {
+        /** Op sampling and category choices. */
+        Rng rng;
+        /** Dedicated stream drained in batches for inter-issue gaps. */
+        Rng gapRng;
+        /** Pre-drawn unit-mean exponential gaps. */
+        SampleBatch gaps;
+        unsigned notYetIn = 0;
+        unsigned thinking = 0;
+        unsigned retreating = 0;
+        std::uint64_t inflight = 0;
+        Tick rampEnd = 0;
+        sim::EventHandle next;
+
+        explicit FluidState(std::uint64_t seed)
+            : rng(seed, "loadgen.fluid"),
+              gapRng(seed, "loadgen.fluid.gaps"),
+              gaps(gapRng, SampleBatch::Kind::Exponential, 1.0)
+        {
+        }
+    };
+
+    bool fluidMode() const { return fluid_ != nullptr; }
+
     void issue(std::size_t user_index);
     void onResponse(std::size_t user_index, teastore::OpType op,
                     Tick issued_at, svc::Status status, bool degraded);
+
+    /** Pooled issue rates right now, in events per tick. */
+    void fluidRates(Tick now, double &ramp, double &think) const;
+    /** (Re)arm the single pending issue event from the pooled rates. */
+    void scheduleNextFluid();
+    /** One pooled issue event fired: pick a pool, issue, re-arm. */
+    void fluidFire();
+    void issueFluid();
+    void onFluidResponse(teastore::OpType op, Tick issued_at,
+                         svc::Status status, bool degraded);
 
     teastore::App &app_;
     BrowseMix mix_;
     ClosedLoopParams params_;
     std::vector<std::unique_ptr<User>> users_;
+    std::unique_ptr<FluidState> fluid_;
     Measurement measurement_;
     std::uint64_t issued_ = 0;
     bool stopped_ = false;
@@ -197,6 +253,14 @@ struct OpenLoopParams
     LoadSchedule schedule;
     /** When set, every arrival tick is appended (determinism tests). */
     std::vector<Tick> *arrivalLog = nullptr;
+    /**
+     * Draw fixed-rate inter-arrival gaps in batches from a dedicated
+     * RNG stream instead of one-at-a-time from the shared driver
+     * stream. Opt-in: the arrival times differ from the legacy stream
+     * (a different but equally valid Poisson process), so the default
+     * stays bit-identical.
+     */
+    bool batchedArrivals = false;
 };
 
 /**
@@ -233,6 +297,9 @@ class OpenLoopDriver
     BrowseMix mix_;
     OpenLoopParams params_;
     Rng rng_;
+    /** Batched-arrival state (only with params_.batchedArrivals). */
+    std::unique_ptr<Rng> gap_rng_;
+    std::unique_ptr<SampleBatch> gaps_;
     Measurement measurement_;
     std::uint64_t issued_ = 0;
     std::uint64_t in_flight_ = 0;

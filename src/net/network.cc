@@ -39,7 +39,7 @@ Network::setLatencyFactor(double factor)
 }
 
 void
-Network::send(std::uint32_t payload_bytes, std::function<void()> deliver)
+Network::send(std::uint32_t payload_bytes, sim::EventFn deliver)
 {
     ++stats_.messages;
     stats_.bytes += payload_bytes;

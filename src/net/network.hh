@@ -52,7 +52,7 @@ class Network
      * Send a message of `payload_bytes`; `deliver` runs at the receiver
      * after the modeled latency.
      */
-    void send(std::uint32_t payload_bytes, std::function<void()> deliver);
+    void send(std::uint32_t payload_bytes, sim::EventFn deliver);
 
     /** One-way latency sample for a payload (exposed for tests). */
     Tick sampleLatency(std::uint32_t payload_bytes);

@@ -332,8 +332,7 @@ Kernel::onWorkComplete(Thread *t)
     // possibly re-submits this one.
     schedule(cpu);
 
-    auto cb = std::move(t->user_cb_);
-    t->user_cb_ = nullptr;
+    sim::EventFn cb = std::move(t->user_cb_);
     if (cb)
         cb();
 }

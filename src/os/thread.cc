@@ -20,7 +20,7 @@ Thread::Thread(Kernel &kernel, std::uint32_t tid, std::string name,
 
 void
 Thread::run(const cpu::WorkProfile &profile, double instructions,
-            std::function<void()> on_complete)
+            sim::EventFn on_complete)
 {
     if (state_ != State::Blocked)
         MS_PANIC("Thread::run on non-blocked thread ", name_);

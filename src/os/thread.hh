@@ -67,7 +67,7 @@ class Thread
      * (it may immediately submit more work).
      */
     void run(const cpu::WorkProfile &profile, double instructions,
-             std::function<void()> on_complete);
+             sim::EventFn on_complete);
 
     /** Total CPU time consumed, in ns (scheduler's vruntime basis). */
     double cpuTimeNs() const { return vruntime_; }
@@ -82,7 +82,7 @@ class Thread
     cpu::ExecContext ec_;
 
     State state_ = State::Blocked;
-    std::function<void()> user_cb_;
+    sim::EventFn user_cb_;
     double vruntime_ = 0.0;       // ns of CPU consumed
     CpuId rq_cpu_ = kInvalidCpu;  // run queue residence while Runnable
     Tick last_dispatch_ = 0;      // when last placed on a CPU

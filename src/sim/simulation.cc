@@ -2,52 +2,167 @@
 
 #include <utility>
 
-#include "base/logging.hh"
-
 namespace microscale::sim
 {
 
-EventHandle
-Simulation::scheduleAt(Tick when, std::function<void()> fn,
-                       bool background)
+std::uint32_t
+Simulation::allocSlot()
 {
-    if (when < now_)
-        MS_PANIC("scheduling event in the past: ", when, " < ", now_);
-    if (!fn)
-        MS_PANIC("scheduling empty callback");
-    auto rec = std::make_shared<EventRecord>();
-    rec->when = when;
-    rec->seq = next_seq_++;
-    rec->fn = std::move(fn);
-    rec->background = background;
-    if (!background)
-        ++foreground_pending_;
-    queue_.push(QueueEntry{rec->when, rec->seq, rec});
-    return EventHandle(rec);
+    if (free_head_ != kNoSlot) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = slots_[slot].next_free;
+        slots_[slot].next_free = kNoSlot;
+        return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-EventHandle
-Simulation::scheduleAfter(Tick delay, std::function<void()> fn,
-                          bool background)
+void
+Simulation::releaseSlot(std::uint32_t slot)
 {
-    return scheduleAt(now_ + delay, std::move(fn), background);
+    EventSlot &s = slots_[slot];
+    s.fn.reset();
+    s.live = false;
+    s.cancelled = false;
+    // Stale handles must observe a different generation from now on.
+    ++s.gen;
+    s.next_free = free_head_;
+    free_head_ = slot;
+}
+
+bool
+Simulation::handlePending(std::uint32_t slot, std::uint32_t gen) const
+{
+    const EventSlot &s = slots_[slot];
+    return s.gen == gen && s.live && !s.cancelled;
+}
+
+Tick
+Simulation::handleWhen(std::uint32_t slot, std::uint32_t gen) const
+{
+    const EventSlot &s = slots_[slot];
+    return (s.gen == gen && s.live) ? s.when : 0;
+}
+
+void
+Simulation::cancelEvent(std::uint32_t slot, std::uint32_t gen)
+{
+    EventSlot &s = slots_[slot];
+    if (s.gen != gen || !s.live || s.cancelled)
+        return;
+    s.cancelled = true;
+    // Destroy the callback eagerly so captured resources are freed at
+    // cancel time; the heap shell is dropped lazily at pop time.
+    s.fn.reset();
+    if (!s.background)
+        --foreground_pending_;
+    --live_events_;
+    ++cancelled_shells_;
+    maybeCompact();
+}
+
+void
+Simulation::heapPush(Tick when, std::uint64_t seq, std::uint32_t slot)
+{
+    heap_when_.push_back(when);
+    heap_seq_.push_back(seq);
+    heap_slot_.push_back(slot);
+    std::size_t i = heap_when_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!heapLess(i, parent))
+            break;
+        heapSwap(i, parent);
+        i = parent;
+    }
+}
+
+void
+Simulation::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_when_.size();
+    for (;;) {
+        const std::size_t l = 2 * i + 1;
+        const std::size_t r = l + 1;
+        std::size_t best = i;
+        if (l < n && heapLess(l, best))
+            best = l;
+        if (r < n && heapLess(r, best))
+            best = r;
+        if (best == i)
+            return;
+        heapSwap(i, best);
+        i = best;
+    }
+}
+
+void
+Simulation::heapPopTop()
+{
+    const std::size_t n = heap_when_.size();
+    heapSwap(0, n - 1);
+    heap_when_.pop_back();
+    heap_seq_.pop_back();
+    heap_slot_.pop_back();
+    if (heap_when_.size() > 1)
+        siftDown(0);
+}
+
+void
+Simulation::maybeCompact()
+{
+    // Rebuild once cancelled shells dominate; the threshold keeps the
+    // amortized cost O(1) per cancel, and the trigger depends only on
+    // event counts so compaction points are deterministic. Rebuilding
+    // cannot change pop order: (when, seq) keys are unique.
+    if (cancelled_shells_ < 64 ||
+        cancelled_shells_ * 2 < heap_when_.size())
+        return;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < heap_when_.size(); ++i) {
+        const std::uint32_t slot = heap_slot_[i];
+        if (slots_[slot].cancelled) {
+            releaseSlot(slot);
+            continue;
+        }
+        heap_when_[out] = heap_when_[i];
+        heap_seq_[out] = heap_seq_[i];
+        heap_slot_[out] = heap_slot_[i];
+        ++out;
+    }
+    heap_when_.resize(out);
+    heap_seq_.resize(out);
+    heap_slot_.resize(out);
+    cancelled_shells_ = 0;
+    // Floyd heapify: O(n) bottom-up restoration of the heap property.
+    for (std::size_t i = out / 2; i-- > 0;)
+        siftDown(i);
 }
 
 bool
 Simulation::step()
 {
-    while (!queue_.empty()) {
-        QueueEntry top = queue_.top();
-        queue_.pop();
-        if (!top.rec->background)
-            --foreground_pending_;
-        if (top.rec->cancelled)
+    while (!heap_when_.empty()) {
+        const std::uint32_t slot = heap_slot_[0];
+        EventSlot &s = slots_[slot];
+        if (s.cancelled) {
+            heapPopTop();
+            --cancelled_shells_;
+            releaseSlot(slot);
             continue;
-        now_ = top.when;
+        }
+        now_ = heap_when_[0];
+        heapPopTop();
+        if (!s.background)
+            --foreground_pending_;
+        --live_events_;
+        // Move the callback out and release the slot BEFORE invoking:
+        // the callback may schedule events, growing slots_ and
+        // invalidating `s`.
+        EventFn fn = std::move(s.fn);
+        releaseSlot(slot);
         ++events_processed_;
-        // Move the callback out so captured state dies with the event.
-        auto fn = std::move(top.rec->fn);
-        top.rec->fn = nullptr;
         fn();
         return true;
     }
@@ -70,15 +185,18 @@ Simulation::runUntil(Tick until)
         MS_PANIC("runUntil into the past: ", until, " < ", now_);
     stopping_ = false;
     while (!stopping_) {
-        // Peek: skip cancelled shells without advancing time.
-        bool ran = false;
-        while (!queue_.empty() && queue_.top().rec->cancelled)
-            queue_.pop();
-        if (queue_.empty() || queue_.top().when > until)
+        // Skip cancelled shells so the time check sees a live event.
+        while (!heap_when_.empty()) {
+            const std::uint32_t slot = heap_slot_[0];
+            if (!slots_[slot].cancelled)
+                break;
+            heapPopTop();
+            --cancelled_shells_;
+            releaseSlot(slot);
+        }
+        if (heap_when_.empty() || heap_when_[0] > until)
             break;
-        ran = step();
-        if (!ran)
-            break;
+        step();
     }
     if (!stopping_)
         now_ = until;
@@ -86,8 +204,8 @@ Simulation::runUntil(Tick until)
 }
 
 void
-PeriodicEvent::start(Simulation &sim, Tick period, std::function<void()> fn,
-                     Tick phase)
+PeriodicEvent::start(Simulation &sim, Tick period,
+                     std::function<void()> fn, Tick phase)
 {
     if (period == 0)
         MS_PANIC("PeriodicEvent with zero period");
@@ -97,9 +215,16 @@ PeriodicEvent::start(Simulation &sim, Tick period, std::function<void()> fn,
     fn_ = std::move(fn);
     active_ = true;
     if (phase == 0)
-        phase = period;
-    handle_ = sim_->scheduleAfter(phase, [this] { arm(); },
-                                  /*background=*/true);
+        phase = period_;
+    handle_ = sim_->scheduleAfter(
+        phase, [this] { arm(); }, /*background=*/true);
+}
+
+void
+PeriodicEvent::stop()
+{
+    active_ = false;
+    handle_.cancel();
 }
 
 void
@@ -109,16 +234,9 @@ PeriodicEvent::arm()
         return;
     fn_();
     if (active_) {
-        handle_ = sim_->scheduleAfter(period_, [this] { arm(); },
-                                      /*background=*/true);
+        handle_ = sim_->scheduleAfter(
+            period_, [this] { arm(); }, /*background=*/true);
     }
-}
-
-void
-PeriodicEvent::stop()
-{
-    active_ = false;
-    handle_.cancel();
 }
 
 } // namespace microscale::sim

@@ -52,7 +52,7 @@ HandlerCtx::now() const
 }
 
 void
-HandlerCtx::compute(double instructions, std::function<void()> next)
+HandlerCtx::compute(double instructions, sim::EventFn next)
 {
     computeProfile(service_.params_.profile, instructions,
                    std::move(next));
@@ -61,7 +61,7 @@ HandlerCtx::compute(double instructions, std::function<void()> next)
 void
 HandlerCtx::computeProfile(const cpu::WorkProfile &profile,
                            double instructions,
-                           std::function<void()> next)
+                           sim::EventFn next)
 {
     if (finished_)
         MS_PANIC("compute after done() in ", service_.name());
@@ -73,8 +73,12 @@ HandlerCtx::computeProfile(const cpu::WorkProfile &profile,
     const Replica &rep = service_.replicas_[worker_.replica];
     if (rep.coldUntil != 0)
         actual *= service_.coldComputeFactor(worker_.replica, now());
-    if (service_.params_.computeCv > 0.0 && actual > 0.0)
-        actual = rng().lognormal(actual, service_.params_.computeCv);
+    if (service_.params_.computeCv > 0.0 && actual > 0.0) {
+        if (service_.timing_batch_)
+            actual *= service_.timing_batch_->next();
+        else
+            actual = rng().lognormal(actual, service_.params_.computeCv);
+    }
     if (actual <= 0.0) {
         // Degenerate budget: continue without occupying a CPU.
         service_.mesh_.kernel().sim().scheduleAfter(1, std::move(next));
@@ -341,6 +345,13 @@ Service::Service(Mesh &mesh, ServiceParams params)
         fatal("service '", params_.name,
               "' needs at least one replica and worker");
     params_.profile.validate();
+    if (params_.batchedTiming && params_.computeCv > 0.0) {
+        timing_rng_ = std::make_unique<Rng>(
+            mesh.seed(), "svc." + params_.name + ".timing");
+        timing_batch_ = std::make_unique<SampleBatch>(
+            *timing_rng_, SampleBatch::Kind::LognormalUnit,
+            params_.computeCv);
+    }
 
     replicas_.resize(params_.replicas);
     for (unsigned r = 0; r < params_.replicas; ++r)

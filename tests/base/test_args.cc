@@ -119,6 +119,30 @@ TEST(Args, UsageMentionsEveryOption)
     }
 }
 
+TEST(Args, MsimEngineFlagsParse)
+{
+    // The msim engine flags: --fluid-threshold takes a user count,
+    // --report-speed is a plain switch, and both must show up in the
+    // help text alongside their defaults.
+    ArgParser p("msim");
+    p.addInt("fluid-threshold", 0,
+             "aggregate users into the fluid model at this count");
+    p.addFlag("report-speed", "print engine speed after the run");
+    EXPECT_TRUE(
+        parse(p, {"--fluid-threshold", "50000", "--report-speed"}));
+    EXPECT_EQ(p.getInt("fluid-threshold"), 50000);
+    EXPECT_TRUE(p.getFlag("report-speed"));
+
+    ArgParser q("msim");
+    q.addInt("fluid-threshold", 0, "h");
+    q.addFlag("report-speed", "h");
+    EXPECT_TRUE(parse(q, {}));
+    EXPECT_EQ(q.getInt("fluid-threshold"), 0);
+    EXPECT_FALSE(q.getFlag("report-speed"));
+    for (const char *s : {"--fluid-threshold", "--report-speed"})
+        EXPECT_NE(q.usage().find(s), std::string::npos) << s;
+}
+
 TEST(ArgsDeathTest, WrongTypeAccessPanics)
 {
     ArgParser p = makeParser();

@@ -163,5 +163,68 @@ TEST(Random, HashLabelStable)
     EXPECT_NE(hashLabel(""), hashLabel("a"));
 }
 
+TEST(Random, FillExponentialMatchesScalarSequence)
+{
+    // A batched fill must consume the engine exactly like n scalar
+    // draws, so batched and scalar consumers of one stream agree.
+    Rng a(42, "batch");
+    Rng b(42, "batch");
+    double batch[64];
+    a.fillExponential(batch, 64, 3.0);
+    for (double v : batch)
+        EXPECT_DOUBLE_EQ(v, b.exponential(3.0));
+    // Engine states stay in lockstep after the fill.
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Random, FillUniform01MatchesScalarSequence)
+{
+    Rng a(7, "u");
+    Rng b(7, "u");
+    double batch[16];
+    a.fillUniform01(batch, 16);
+    for (double v : batch) {
+        EXPECT_DOUBLE_EQ(v, b.uniform01());
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, FillLognormalUnitScalesToLognormal)
+{
+    // lognormal(mean, cv) == mean * lognormalUnit(cv) up to rounding:
+    // the family is closed under scaling, and the unit draw differs
+    // only by the log(mean) shift inside the exp (a few ULPs).
+    Rng a(9, "ln");
+    Rng b(9, "ln");
+    double unit[32];
+    a.fillLognormalUnit(unit, 32, 0.5);
+    for (double v : unit) {
+        const double want = b.lognormal(2.5, 0.5);
+        EXPECT_NEAR(2.5 * v, want, 1e-12 * want);
+    }
+}
+
+TEST(Random, FillLognormalUnitZeroCvIsDegenerate)
+{
+    Rng a(9, "ln0");
+    double unit[4];
+    a.fillLognormalUnit(unit, 4, 0.0);
+    for (double v : unit)
+        EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Random, SampleBatchRefillsTransparently)
+{
+    Rng a(13, "sb");
+    Rng b(13, "sb");
+    SampleBatch batch(a, SampleBatch::Kind::Exponential, 2.0,
+                      /*capacity=*/8);
+    // Drain past several refill boundaries; order must match scalar.
+    for (int i = 0; i < 30; ++i)
+        EXPECT_DOUBLE_EQ(batch.next(), b.exponential(2.0));
+    EXPECT_GT(batch.buffered(), 0u);
+}
+
 } // namespace
 } // namespace microscale

@@ -41,9 +41,11 @@ TEST(BenchReporter, EmitsParsableJsonWithPointsAndTables)
         core::RunResult a;
         a.throughputRps = 1234.5;
         a.latency.p99Ms = 42.0;
+        a.eventsProcessed = 1000;
         core::RunResult b;
         b.throughputRps = 2469.0;
         b.latency.p99Ms = 21.0;
+        b.eventsProcessed = 234;
         rep.add("point/one", a);
         rep.add("point \"two\"", b);
 
@@ -65,6 +67,15 @@ TEST(BenchReporter, EmitsParsableJsonWithPointsAndTables)
     EXPECT_EQ(v.at("caption").stringValue, "reporter round trip");
     ASSERT_TRUE(v.at("jobs").isNumber());
     EXPECT_GE(v.at("jobs").numberValue, 1.0);
+
+    // Schema v3 speed stamps: elapsed wall clock plus the engine
+    // events summed over every recorded point.
+    EXPECT_DOUBLE_EQ(v.at("schema_version").numberValue,
+                     benchx::kBenchSchemaVersion);
+    ASSERT_TRUE(v.at("wall_seconds").isNumber());
+    EXPECT_GE(v.at("wall_seconds").numberValue, 0.0);
+    ASSERT_TRUE(v.at("events_processed").isNumber());
+    EXPECT_DOUBLE_EQ(v.at("events_processed").numberValue, 1234.0);
 
     const core::JsonValue &points = v.at("points");
     ASSERT_TRUE(points.isArray());

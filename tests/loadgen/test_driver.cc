@@ -316,6 +316,110 @@ TEST_F(DriverTest, DeathOnZeroUsers)
                 ::testing::ExitedWithCode(1), "user");
 }
 
+/** Measurement of one fresh-world closed-loop run. */
+struct ClosedRun
+{
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    double throughputRps = 0.0;
+    double p50Ns = 0.0;
+};
+
+ClosedRun
+closedLoopRun(std::uint64_t seed, unsigned users, unsigned fluid_threshold)
+{
+    sim::Simulation sim;
+    topo::Machine machine(topo::small8());
+    cpu::ExecEngine engine(sim, machine);
+    os::Kernel kernel(sim, machine, engine, os::SchedParams{}, 1);
+    net::Network network(sim, net::NetParams{}, 1);
+    svc::Mesh mesh(kernel, network, svc::RpcCostParams{}, 1);
+    teastore::App app(mesh, DriverTest::appParams(), 1);
+    kernel.start();
+    ClosedLoopParams p;
+    p.users = users;
+    p.meanThink = 50 * kMillisecond;
+    p.fluidThreshold = fluid_threshold;
+    ClosedLoopDriver driver(app, BrowseMix{}, p, seed);
+    driver.measurement().setWindow(500 * kMillisecond, 3 * kSecond);
+    driver.start();
+    sim.runUntil(3 * kSecond);
+    driver.stopIssuing();
+    ClosedRun r;
+    r.issued = driver.issued();
+    r.completed = driver.measurement().completed();
+    r.throughputRps = driver.measurement().throughputRps();
+    r.p50Ns = driver.measurement().latencyNs().p50();
+    return r;
+}
+
+TEST_F(DriverTest, FluidMatchesPerUserWithinTolerance)
+{
+    // The aggregated population model must reproduce the per-user
+    // closed loop's operating point: same offered-load statistics in,
+    // so throughput and median latency agree within sampling noise.
+    const ClosedRun per_user = closedLoopRun(7, 60, 0);
+    const ClosedRun fluid = closedLoopRun(7, 60, 1);
+    ASSERT_GT(per_user.completed, 100u);
+    ASSERT_GT(fluid.completed, 100u);
+    EXPECT_NEAR(fluid.throughputRps, per_user.throughputRps,
+                0.15 * per_user.throughputRps);
+    EXPECT_NEAR(fluid.p50Ns, per_user.p50Ns, 0.35 * per_user.p50Ns);
+}
+
+TEST_F(DriverTest, FluidDeterministicPerSeed)
+{
+    const ClosedRun a = closedLoopRun(7, 40, 1);
+    const ClosedRun b = closedLoopRun(7, 40, 1);
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_DOUBLE_EQ(a.p50Ns, b.p50Ns);
+    EXPECT_NE(closedLoopRun(8, 40, 1).issued, a.issued);
+}
+
+TEST_F(DriverTest, FluidKeepsClosedLoopInvariant)
+{
+    // A closed loop never has more requests in flight than users,
+    // fluid or not.
+    ClosedLoopParams p;
+    p.users = 10;
+    p.meanThink = 5 * kMillisecond;
+    p.fluidThreshold = 1;
+    ClosedLoopDriver driver(app_, BrowseMix{}, p, 7);
+    driver.measurement().setWindow(0, kSecond);
+    driver.start();
+    sim_.runUntil(500 * kMillisecond);
+    EXPECT_LE(driver.measurement().completed(), driver.issued());
+    EXPECT_LE(driver.issued() - driver.measurement().completed(), 10u);
+    driver.stopIssuing();
+}
+
+TEST_F(DriverTest, FluidBelowThresholdStaysPerUser)
+{
+    // users < fluidThreshold keeps the byte-identical per-user path:
+    // same seed, same completions as an explicit per-user run.
+    const ClosedRun per_user = closedLoopRun(7, 8, 0);
+    const ClosedRun gated = closedLoopRun(7, 8, 100);
+    EXPECT_EQ(gated.issued, per_user.issued);
+    EXPECT_EQ(gated.completed, per_user.completed);
+    EXPECT_DOUBLE_EQ(gated.p50Ns, per_user.p50Ns);
+}
+
+TEST_F(DriverTest, OpenLoopBatchedArrivalsKeepTheRate)
+{
+    OpenLoopParams p;
+    p.arrivalRps = 200.0;
+    p.batchedArrivals = true;
+    OpenLoopDriver driver(app_, BrowseMix{}, p, 7);
+    driver.measurement().setWindow(0, 2 * kSecond);
+    driver.start();
+    sim_.runUntil(2 * kSecond);
+    // Still Poisson(400) over 2s, just pre-drawn in blocks.
+    EXPECT_NEAR(static_cast<double>(driver.issued()), 400.0, 60.0);
+    EXPECT_GT(driver.measurement().completed(), 300u);
+    driver.stopIssuing();
+}
+
 TEST(RetreatBackoff, ExponentialWithCappedShift)
 {
     const Tick base = kMillisecond;

@@ -9,6 +9,7 @@
  * --csv switches the tables to CSV for scripting.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "autoscale/elastic.hh"
@@ -51,6 +52,10 @@ main(int argc, char **argv)
                    "machine preset (see topology_explorer)");
     args.addString("placement", "os-default", "placement policy");
     args.addInt("users", 3000, "closed-loop users");
+    args.addInt("fluid-threshold", 0,
+                "aggregate closed-loop users into the O(1) fluid "
+                "population model at or above this user count "
+                "(0 = always per-user; see DESIGN.md engine internals)");
     args.addDouble("open-loop-rps", 0.0,
                    "use open-loop arrivals at this rate instead");
     args.addInt("cores", 0, "physical-core budget (0 = all)");
@@ -101,6 +106,9 @@ main(int argc, char **argv)
     args.addString("trace-out", "",
                    "write the sampled spans as Chrome trace_event JSON "
                    "to this file (chrome://tracing, Perfetto)");
+    args.addFlag("report-speed",
+                 "print engine speed after the run: wall seconds, "
+                 "simulated-seconds-per-wall-second and events/sec");
     args.addFlag("csv", "emit tables as CSV");
     args.addFlag("json", "emit the full result as JSON and exit");
     args.addFlag("plan", "print the placement plan");
@@ -111,6 +119,8 @@ main(int argc, char **argv)
     config.machine = topo::presetByName(args.getString("machine"));
     config.placement = placementByName(args.getString("placement"));
     config.load.users = static_cast<unsigned>(args.getInt("users"));
+    config.load.fluidThreshold =
+        static_cast<unsigned>(args.getInt("fluid-threshold"));
     config.openLoopRps = args.getDouble("open-loop-rps");
     config.cores = static_cast<unsigned>(args.getInt("cores"));
     config.smt = !args.getFlag("no-smt");
@@ -192,7 +202,10 @@ main(int argc, char **argv)
     so.jobs = static_cast<unsigned>(args.getInt("jobs"));
     so.progress = false;
     const core::SweepRunner runner(so);
+    const auto wall_start = std::chrono::steady_clock::now();
     const core::SweepOutcome out = runner.run({point})[0];
+    const double wall_seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
     if (!out.ok)
         fatal("run failed: ", out.error);
     const core::RunResult &r = out.result;
@@ -211,6 +224,22 @@ main(int argc, char **argv)
     }
 
     std::cout << core::summarize(r) << "\n";
+    if (args.getFlag("report-speed")) {
+        const double sim_seconds =
+            ticksToSeconds(config.warmup + config.measure);
+        std::cout << "speed: wall="
+                  << formatDouble(wall_seconds, 2) << "s  sim/wall="
+                  << formatDouble(wall_seconds > 0
+                                      ? sim_seconds / wall_seconds
+                                      : 0.0, 2)
+                  << "  events=" << r.eventsProcessed << "  events/s="
+                  << formatDouble(
+                         wall_seconds > 0
+                             ? static_cast<double>(r.eventsProcessed) /
+                                   wall_seconds
+                             : 0.0, 0)
+                  << "\n";
+    }
     if (r.elastic.active) {
         const core::ElasticSummary &es = r.elastic;
         std::cout << "elastic: schedule=" << es.schedule
