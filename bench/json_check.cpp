@@ -2,8 +2,8 @@
  * @file
  * json_check: CI validator for emitted BENCH_*.json artifacts.
  *
- *   json_check [--elastic] [--overload] [--trace] FILE MIN_POINTS
- *              [LABEL...]
+ *   json_check [--elastic] [--overload] [--trace] [--grayfail] FILE
+ *              MIN_POINTS [LABEL...]
  *
  * Parses FILE with core::parseJson and requires the sweep-harness
  * schema: artifact/caption/machine strings, the expected
@@ -24,7 +24,11 @@
  * component finite and non-negative, and the per-service components
  * plus the unattributed residue summing to the mean end-to-end
  * latency within 0.1% - and --trace requires every point to carry
- * one. Independently of any flag, every number in the document must
+ * one. Points carrying a "grayfail" block (FIG-16) have its ejection
+ * and transport counters validated (numeric, finite, non-negative,
+ * ejection_enabled a 0/1 flag, ejected_at_end never exceeding the
+ * ejection count) and --grayfail requires every point to carry one.
+ * Independently of any flag, every number in the document must
  * be finite: the writer emits null for NaN/Inf, so a raw non-finite
  * literal (or a null where a metric belongs) fails the check. Exits
  * non-zero with a diagnostic on the first violation.
@@ -179,6 +183,38 @@ checkTrace(const std::string &path, const std::string &label,
 }
 
 /**
+ * Validate one point's "grayfail" block (FIG-16): the ejection and
+ * transport counters must be numeric, finite and non-negative,
+ * ejection_enabled must be a 0/1 flag, and replicas still ejected at
+ * the end can never exceed the ejections that happened.
+ */
+void
+checkGrayFail(const std::string &path, const std::string &label,
+              const core::JsonValue &grayfail)
+{
+    const std::string where = path + ": point '" + label + "' grayfail: ";
+    for (const char *key :
+         {"ejection_enabled", "ejections", "unejections",
+          "ejections_denied", "ejected_at_end", "packets_dropped",
+          "packets_duplicated", "packets_blackholed", "faults_applied",
+          "faults_skipped"}) {
+        const core::JsonValue *n = grayfail.find(key);
+        if (!n || !n->isNumber())
+            die(where + "missing or non-numeric '" + key + "'");
+        if (!std::isfinite(n->numberValue))
+            die(where + "'" + key + "' is not finite");
+        if (n->numberValue < 0)
+            die(where + "'" + key + "' is negative");
+    }
+    const double enabled = grayfail.at("ejection_enabled").numberValue;
+    if (enabled != 0.0 && enabled != 1.0)
+        die(where + "'ejection_enabled' is not 0/1");
+    if (grayfail.at("ejected_at_end").numberValue >
+        grayfail.at("ejections").numberValue)
+        die(where + "'ejected_at_end' exceeds 'ejections'");
+}
+
+/**
  * Reject any non-finite number anywhere in the document. The writer
  * turns NaN/Inf into null, and the parser accepts 1e999 as infinity;
  * either way a non-finite value means a metric pipeline is broken.
@@ -213,6 +249,7 @@ main(int argc, char **argv)
     bool require_elastic = false;
     bool require_overload = false;
     bool require_trace = false;
+    bool require_grayfail = false;
     while (arg < argc) {
         const std::string flag = argv[arg];
         if (flag == "--elastic")
@@ -221,13 +258,15 @@ main(int argc, char **argv)
             require_overload = true;
         else if (flag == "--trace")
             require_trace = true;
+        else if (flag == "--grayfail")
+            require_grayfail = true;
         else
             break;
         ++arg;
     }
     if (argc - arg < 2)
-        die("usage: json_check [--elastic] [--overload] [--trace] FILE "
-            "MIN_POINTS [LABEL...]");
+        die("usage: json_check [--elastic] [--overload] [--trace] "
+            "[--grayfail] FILE MIN_POINTS [LABEL...]");
     const std::string path = argv[arg++];
     const unsigned long min_points = std::stoul(argv[arg++]);
 
@@ -314,6 +353,12 @@ main(int argc, char **argv)
         else if (require_trace)
             die(path + ": point '" + label->stringValue +
                 "' without a trace block (--trace)");
+        const core::JsonValue *grayfail = result->find("grayfail");
+        if (grayfail)
+            checkGrayFail(path, label->stringValue, *grayfail);
+        else if (require_grayfail)
+            die(path + ": point '" + label->stringValue +
+                "' without a grayfail block (--grayfail)");
     }
     if (require_overload && !saw_overload)
         die(path + ": no point carries an overload block (--overload)");

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Request-conservation ledger: proves that every request admitted by a
+ * load driver reaches exactly one terminal state — no leaks, no double
+ * counting — no matter what fault schedule ran underneath.
+ *
+ * The driver opens an entry per issued request and closes it from the
+ * response callback with the terminal Status. verify() then checks
+ * conservation: issued == sum(terminals), zero open entries, zero
+ * double-closes. Header-only so loadgen can depend on it without a
+ * library cycle (chaos depends on core, core depends on loadgen).
+ *
+ * The two fault hooks (breakNextTerminal, setDropStatus) exist for the
+ * chaos harness itself: they sabotage accounting on purpose so tests
+ * can prove the ledger actually catches broken counters.
+ */
+
+#ifndef MICROSCALE_CHAOS_LEDGER_HH
+#define MICROSCALE_CHAOS_LEDGER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/resilience.hh"
+
+namespace microscale::chaos
+{
+
+/** One request's lifetime as the ledger saw it. */
+using RequestId = std::uint64_t;
+
+/**
+ * The conservation ledger. Cheap enough to stay always-on in chaos
+ * runs: open() is a vector push_back, close() a flag flip.
+ */
+class RequestLedger
+{
+  public:
+    /** Driver admitted a request; returns its ledger id. */
+    RequestId open()
+    {
+        open_flags_.push_back(true);
+        ++issued_;
+        return open_flags_.size() - 1;
+    }
+
+    /** The request reached terminal state `status`. */
+    void close(RequestId id, svc::Status status)
+    {
+        if (break_next_terminal_) {
+            // Sabotage hook: silently drop this terminal so the entry
+            // stays open and verify() must flag a leak.
+            break_next_terminal_ = false;
+            return;
+        }
+        if (drop_status_set_ && status == drop_status_)
+            return;
+        if (id >= open_flags_.size()) {
+            ++bad_ids_;
+            return;
+        }
+        if (!open_flags_[id]) {
+            ++double_closes_;
+            return;
+        }
+        open_flags_[id] = false;
+        ++terminal_counts_[svc::statusIndex(status)];
+        ++terminals_;
+    }
+
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t terminals() const { return terminals_; }
+    std::uint64_t doubleCloses() const { return double_closes_; }
+
+    /** Terminal count for one status. */
+    std::uint64_t terminals(svc::Status status) const
+    {
+        return terminal_counts_[svc::statusIndex(status)];
+    }
+
+    /** Entries still open (leaked requests once the sim drained). */
+    std::uint64_t openCount() const
+    {
+        std::uint64_t n = 0;
+        for (bool open : open_flags_) {
+            if (open)
+                ++n;
+        }
+        return n;
+    }
+
+    /**
+     * Conservation check; call after the simulation drained. Returns
+     * true when the books balance; otherwise `violations` receives a
+     * line per broken invariant.
+     */
+    bool verify(std::vector<std::string> &violations) const
+    {
+        const std::uint64_t leaks = openCount();
+        if (leaks > 0) {
+            violations.push_back(
+                "ledger: " + std::to_string(leaks) +
+                " issued request(s) never reached a terminal state");
+        }
+        if (double_closes_ > 0) {
+            violations.push_back("ledger: " +
+                                 std::to_string(double_closes_) +
+                                 " request(s) terminated twice");
+        }
+        if (bad_ids_ > 0) {
+            violations.push_back("ledger: " + std::to_string(bad_ids_) +
+                                 " terminal(s) for unknown request ids");
+        }
+        if (issued_ != terminals_ + leaks) {
+            violations.push_back(
+                "ledger: issued " + std::to_string(issued_) +
+                " != terminals " + std::to_string(terminals_) +
+                " + open " + std::to_string(leaks));
+        }
+        return leaks == 0 && double_closes_ == 0 && bad_ids_ == 0 &&
+               issued_ == terminals_;
+    }
+
+    /** Sabotage: swallow the next terminal (tests the leak check). */
+    void breakNextTerminal() { break_next_terminal_ = true; }
+
+    /**
+     * Sabotage: swallow every terminal of one status — the "deliberately
+     * broken counter" the chaos shrinker hunts for in --inject-bug mode.
+     */
+    void setDropStatus(svc::Status status)
+    {
+        drop_status_set_ = true;
+        drop_status_ = status;
+    }
+
+  private:
+    std::vector<bool> open_flags_;
+    std::array<std::uint64_t, svc::kNumStatuses> terminal_counts_{};
+    std::uint64_t issued_ = 0;
+    std::uint64_t terminals_ = 0;
+    std::uint64_t double_closes_ = 0;
+    std::uint64_t bad_ids_ = 0;
+    bool break_next_terminal_ = false;
+    bool drop_status_set_ = false;
+    svc::Status drop_status_ = svc::Status::Ok;
+};
+
+} // namespace microscale::chaos
+
+#endif // MICROSCALE_CHAOS_LEDGER_HH

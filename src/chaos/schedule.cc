@@ -1,0 +1,209 @@
+#include "chaos/schedule.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace microscale::chaos
+{
+
+namespace
+{
+
+/** Fault families the generator draws from. */
+enum class Family
+{
+    Crash = 0,
+    Brownout,
+    LatencySpike,
+    GraySlow,
+    PacketLoss,
+    PacketDup,
+    Partition,
+    CorrelatedCrash,
+};
+constexpr unsigned kNumFamilies = 8;
+
+svc::FaultEvent
+makeEvent(svc::FaultEvent::Kind kind, Tick at, std::string service,
+          std::string peer, unsigned replica, double factor)
+{
+    svc::FaultEvent e;
+    e.kind = kind;
+    e.at = at;
+    e.service = std::move(service);
+    e.peer = std::move(peer);
+    e.replica = replica;
+    e.factor = factor;
+    return e;
+}
+
+} // namespace
+
+svc::FaultScript
+randomSchedule(std::uint64_t seed, const FaultSpace &space,
+               unsigned maxEvents, Tick windowStart, Tick windowEnd)
+{
+    if (space.services.empty())
+        fatal("randomSchedule: fault space has no services");
+    if (windowEnd <= windowStart)
+        fatal("randomSchedule: empty fault window");
+
+    Rng rng(seed, "chaos.schedule");
+    svc::FaultScript script;
+
+    const unsigned maxPairs = std::max(1u, maxEvents / 2);
+    const unsigned pairs =
+        static_cast<unsigned>(rng.uniformInt(1, maxPairs));
+
+    using Kind = svc::FaultEvent::Kind;
+    for (unsigned p = 0; p < pairs; ++p) {
+        Family family = static_cast<Family>(
+            rng.uniformInt(0, kNumFamilies - 1));
+        // Degrade gracefully when the space lacks the target kind: link
+        // faults need links, correlated crashes need CCX domains. The
+        // fallback choice is data-driven (space is fixed per search),
+        // so determinism per seed is unaffected.
+        const bool link_family = family == Family::PacketLoss ||
+                                 family == Family::PacketDup ||
+                                 family == Family::Partition;
+        if (link_family && space.links.empty())
+            family = Family::Brownout;
+        if (family == Family::CorrelatedCrash && space.ccxDomains == 0)
+            family = Family::Crash;
+
+        const Tick onset = windowStart + static_cast<Tick>(rng.uniformInt(
+                                             0, windowEnd - windowStart));
+        const Tick recovery =
+            onset + 1 +
+            static_cast<Tick>(rng.uniformInt(
+                0, windowEnd > onset ? windowEnd - onset : 0));
+        const bool recover = rng.uniform01() >= 0.25;
+
+        const auto &svc_info =
+            space.services[rng.index(space.services.size())];
+        const unsigned replica = static_cast<unsigned>(
+            rng.uniformInt(0, svc_info.replicas > 0
+                                  ? svc_info.replicas - 1
+                                  : 0));
+
+        switch (family) {
+        case Family::Crash:
+            script.events.push_back(makeEvent(Kind::ReplicaDown, onset,
+                                              svc_info.name, "", replica,
+                                              1.0));
+            if (recover)
+                script.events.push_back(makeEvent(Kind::ReplicaUp,
+                                                  recovery, svc_info.name,
+                                                  "", replica, 1.0));
+            break;
+        case Family::Brownout: {
+            const double factor = rng.uniformReal(2.0, 16.0);
+            script.events.push_back(makeEvent(Kind::Slowdown, onset,
+                                              svc_info.name, "", 0,
+                                              factor));
+            if (recover)
+                script.events.push_back(makeEvent(Kind::Slowdown,
+                                                  recovery, svc_info.name,
+                                                  "", 0, 1.0));
+            break;
+        }
+        case Family::LatencySpike: {
+            const double factor = rng.uniformReal(5.0, 500.0);
+            script.events.push_back(
+                makeEvent(Kind::LatencyFactor, onset, "", "", 0, factor));
+            if (recover)
+                script.events.push_back(makeEvent(Kind::LatencyFactor,
+                                                  recovery, "", "", 0,
+                                                  1.0));
+            break;
+        }
+        case Family::GraySlow: {
+            const double factor = rng.uniformReal(2.0, 16.0);
+            script.events.push_back(makeEvent(Kind::ReplicaSlow, onset,
+                                              svc_info.name, "", replica,
+                                              factor));
+            if (recover)
+                script.events.push_back(makeEvent(Kind::ReplicaSlow,
+                                                  recovery, svc_info.name,
+                                                  "", replica, 1.0));
+            break;
+        }
+        case Family::PacketLoss: {
+            const auto &link = space.links[rng.index(space.links.size())];
+            const double prob = rng.uniformReal(0.05, 0.9);
+            script.events.push_back(makeEvent(Kind::PacketLoss, onset,
+                                              link.first, link.second, 0,
+                                              prob));
+            if (recover)
+                script.events.push_back(makeEvent(Kind::PacketLoss,
+                                                  recovery, link.first,
+                                                  link.second, 0, 0.0));
+            break;
+        }
+        case Family::PacketDup: {
+            const auto &link = space.links[rng.index(space.links.size())];
+            const double prob = rng.uniformReal(0.05, 0.5);
+            script.events.push_back(makeEvent(Kind::PacketDup, onset,
+                                              link.first, link.second, 0,
+                                              prob));
+            if (recover)
+                script.events.push_back(makeEvent(Kind::PacketDup,
+                                                  recovery, link.first,
+                                                  link.second, 0, 0.0));
+            break;
+        }
+        case Family::Partition: {
+            const auto &link = space.links[rng.index(space.links.size())];
+            script.events.push_back(makeEvent(Kind::Partition, onset,
+                                              link.first, link.second, 0,
+                                              1.0));
+            if (recover)
+                script.events.push_back(makeEvent(Kind::PartitionHeal,
+                                                  recovery, link.first,
+                                                  link.second, 0, 1.0));
+            break;
+        }
+        case Family::CorrelatedCrash: {
+            const unsigned domain = static_cast<unsigned>(
+                rng.uniformInt(0, space.ccxDomains - 1));
+            script.events.push_back(makeEvent(Kind::CorrelatedDown, onset,
+                                              "", "", domain, 1.0));
+            if (recover)
+                script.events.push_back(makeEvent(Kind::CorrelatedUp,
+                                                  recovery, "", "",
+                                                  domain, 1.0));
+            break;
+        }
+        }
+    }
+    return script;
+}
+
+std::string
+describeFaultScript(const svc::FaultScript &script)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < script.events.size(); ++i) {
+        const svc::FaultEvent &e = script.events[i];
+        os << "  [" << i << "] at=" << e.at << " "
+           << svc::faultKindName(e.kind);
+        if (svc::faultIsLinkKind(e.kind))
+            os << " " << e.service << "<->" << e.peer;
+        else if (e.kind == svc::FaultEvent::Kind::CorrelatedDown ||
+                 e.kind == svc::FaultEvent::Kind::CorrelatedUp)
+            os << " domain=" << e.replica;
+        else if (!e.service.empty())
+            os << " " << e.service << "#" << e.replica;
+        else
+            os << " global";
+        os << " factor=" << e.factor << "\n";
+    }
+    if (script.events.empty())
+        os << "  (empty script)\n";
+    return os.str();
+}
+
+} // namespace microscale::chaos

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Seeded random fault-schedule generation over a declared fault space.
+ *
+ * A FaultSpace says what the chaos search may break: which services
+ * (and how many replicas each has), which network links carry traffic,
+ * and how many CCX failure domains the placement produced. From a
+ * 64-bit seed randomSchedule() draws a reproducible FaultScript mixing
+ * every fault family the injector supports (crash, brownout, latency
+ * inflation, gray replica slowdown, packet loss/duplication, link
+ * partition, correlated domain crash). Roughly a quarter of injected
+ * faults never recover, so schedules exercise permanently-degraded
+ * endgames too.
+ *
+ * Determinism: all draws come from a dedicated Rng stream
+ * ("chaos.schedule") keyed only by the seed and the space, so the same
+ * seed always yields a byte-identical script. Recovery events are
+ * idempotent state transitions (restoring factor 1.0, probability 0.0,
+ * heal, up), which keeps every subset of a script a valid script —
+ * the property the ddmin shrinker (search.hh) relies on.
+ */
+
+#ifndef MICROSCALE_CHAOS_SCHEDULE_HH
+#define MICROSCALE_CHAOS_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+#include "svc/fault.hh"
+
+namespace microscale::chaos
+{
+
+/** What the chaos search is allowed to break. */
+struct FaultSpace
+{
+    struct ServiceInfo
+    {
+        std::string name;
+        unsigned replicas = 1;
+    };
+
+    /** Services eligible for crash/slowdown/gray faults. */
+    std::vector<ServiceInfo> services;
+
+    /**
+     * Links eligible for loss/duplication/partition, as endpoint
+     * pairs. Only list links whose client edge carries a timeout:
+     * blackholed messages on an untimed edge would block a worker
+     * forever and the drain invariants would (correctly) scream.
+     */
+    std::vector<std::pair<std::string, std::string>> links;
+
+    /** CCX failure domains for correlated crashes (0 = none). */
+    unsigned ccxDomains = 0;
+};
+
+/**
+ * Draw a random fault schedule: up to maxEvents events whose `at`
+ * ticks fall inside [windowStart, windowEnd]. Faults are injected as
+ * on/off pairs (~25% of pairs skip the recovery event). Same seed and
+ * inputs => byte-identical script.
+ */
+svc::FaultScript randomSchedule(std::uint64_t seed,
+                                const FaultSpace &space,
+                                unsigned maxEvents, Tick windowStart,
+                                Tick windowEnd);
+
+/**
+ * Canonical human/machine-readable rendering of a script, one event
+ * per line. Stable across runs (feeds the search fingerprint) and
+ * precise enough to replay by hand.
+ */
+std::string describeFaultScript(const svc::FaultScript &script);
+
+} // namespace microscale::chaos
+
+#endif // MICROSCALE_CHAOS_SCHEDULE_HH

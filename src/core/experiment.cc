@@ -87,12 +87,15 @@ runExperiment(const ExperimentConfig &config)
     if (config.openLoopRps > 0.0) {
         loadgen::OpenLoopParams p;
         p.arrivalRps = config.openLoopRps;
+        p.ledger = config.ledger;
         open = std::make_unique<loadgen::OpenLoopDriver>(app, mix, p,
                                                          config.seed);
         measurement = &open->measurement();
     } else {
+        loadgen::ClosedLoopParams lp = config.load;
+        lp.ledger = config.ledger;
         closed = std::make_unique<loadgen::ClosedLoopDriver>(
-            app, mix, config.load, config.seed);
+            app, mix, lp, config.seed);
         measurement = &closed->measurement();
     }
     measurement->setWindow(config.warmup, config.warmup + config.measure);
@@ -204,6 +207,44 @@ runExperiment(const ExperimentConfig &config)
     harvestTrace(config, mesh, config.warmup,
                  config.warmup + config.measure, result);
 
+    {
+        GrayFailSummary &gf = result.grayfail;
+        bool gray_script = false;
+        for (const svc::FaultEvent &e : config.faults.events) {
+            switch (e.kind) {
+            case svc::FaultEvent::Kind::ReplicaSlow:
+            case svc::FaultEvent::Kind::PacketLoss:
+            case svc::FaultEvent::Kind::PacketDup:
+            case svc::FaultEvent::Kind::Partition:
+            case svc::FaultEvent::Kind::PartitionHeal:
+            case svc::FaultEvent::Kind::CorrelatedDown:
+            case svc::FaultEvent::Kind::CorrelatedUp:
+                gray_script = true;
+                break;
+            default:
+                break;
+            }
+        }
+        gf.ejectionEnabled = config.resilience.outlier.enabled;
+        gf.active = gf.ejectionEnabled || gray_script;
+        if (gf.active) {
+            for (svc::Service *s : app.services()) {
+                const svc::ResilienceCounters &c = s->resilienceCounters();
+                gf.ejections += c.outlierEjections;
+                gf.unejections += c.outlierUnejections;
+                gf.ejectionsDenied += c.outlierEjectionsDenied;
+                gf.ejectedAtEnd += s->ejectedReplicaCount();
+            }
+            gf.packetsDropped = network.stats().dropped;
+            gf.packetsDuplicated = network.stats().duplicated;
+            gf.packetsBlackholed = network.stats().blackholed;
+            if (injector) {
+                gf.faultsApplied = injector->applied();
+                gf.faultsSkipped = injector->skipped();
+            }
+        }
+    }
+
     const std::vector<double> busy_at_end = engine.cpuBusySnapshot();
     double busy = 0.0;
     for (CpuId c : budget)
@@ -211,6 +252,21 @@ runExperiment(const ExperimentConfig &config)
     result.cpuUtilization =
         busy / (static_cast<double>(budget.count()) *
                 static_cast<double>(config.measure));
+
+    // Optional quiesce: stop the drivers and let in-flight work finish
+    // (complete or time out). Every periodic timer in the system is a
+    // background event, so run() terminates once the last foreground
+    // request settles. Harvesting already happened — results are
+    // unaffected; this exists for end-of-run invariant checks.
+    if (config.drainAtEnd) {
+        if (closed)
+            closed->stopIssuing();
+        if (open)
+            open->stopIssuing();
+        sim.run();
+        if (config.postDrain)
+            config.postDrain(sim, mesh, app);
+    }
 
     // Orderly teardown: stop sources before the world is destroyed.
     if (closed)

@@ -10,6 +10,7 @@
 #define MICROSCALE_CORE_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -28,6 +29,11 @@
 #include "topo/presets.hh"
 #include "trace/critical_path.hh"
 #include "trace/trace.hh"
+
+namespace microscale::chaos
+{
+class RequestLedger;
+}
 
 namespace microscale::core
 {
@@ -77,6 +83,31 @@ struct ExperimentConfig
 
     /** Per-request tracing (off by default; off = byte-identical). */
     trace::TraceParams trace;
+
+    /**
+     * Request-conservation ledger handed to the load driver (chaos
+     * harness). Null (default) records nothing.
+     */
+    chaos::RequestLedger *ledger = nullptr;
+
+    /**
+     * After harvesting, stop the drivers and run the simulation until
+     * every foreground event has drained (in-flight requests complete
+     * or time out). Measurement results are window-gated and therefore
+     * unchanged; this only exists so end-of-run invariants (ledger
+     * conservation, zero queued work) can be checked against a
+     * quiesced world. Off by default.
+     */
+    bool drainAtEnd = false;
+
+    /**
+     * Inspection hook invoked after the drain (requires drainAtEnd),
+     * before teardown, with the quiesced world. The chaos harness uses
+     * it to check breaker/ejection consistency and zero-queue
+     * invariants while the mesh still exists.
+     */
+    std::function<void(sim::Simulation &, svc::Mesh &, teastore::App &)>
+        postDrain;
 
     std::uint64_t seed = 42;
 };
@@ -243,6 +274,31 @@ struct TraceSummary
     std::shared_ptr<const trace::TraceStore> store;
 };
 
+/**
+ * Gray-failure outcome of one run. `active` only when the run enabled
+ * outlier ejection or scripted a gray fault (replica-slow, packet
+ * loss/dup, partition, correlated crash); inactive summaries are
+ * elided from reports so pre-existing output is unchanged.
+ */
+struct GrayFailSummary
+{
+    bool active = false;
+    bool ejectionEnabled = false;
+    /** Outlier-ejection events summed over services (whole run). */
+    std::uint64_t ejections = 0;
+    std::uint64_t unejections = 0;
+    std::uint64_t ejectionsDenied = 0;
+    /** Replicas still ejected when the run ended. */
+    std::uint64_t ejectedAtEnd = 0;
+    /** Link-fault transport accounting (whole run). */
+    std::uint64_t packetsDropped = 0;
+    std::uint64_t packetsDuplicated = 0;
+    std::uint64_t packetsBlackholed = 0;
+    /** Fault-script apply/skip accounting. */
+    std::uint64_t faultsApplied = 0;
+    std::uint64_t faultsSkipped = 0;
+};
+
 /** Results of one run. */
 struct RunResult
 {
@@ -260,6 +316,7 @@ struct RunResult
     OverloadSummary overload;
     ElasticSummary elastic;
     TraceSummary trace;
+    GrayFailSummary grayfail;
 
     os::SchedStats sched;
     /** Busy fraction of the CPU budget during the window. */

@@ -359,6 +359,27 @@ writeJson(std::ostream &os, const RunResult &result)
         w.endObject();
     }
 
+    // Same gating as every block above: only gray-failure runs
+    // (ejection policy, link faults, or replica slowdowns) carry it,
+    // so FIG-01..15 output stays byte-identical.
+    if (result.grayfail.active) {
+        const GrayFailSummary &gf = result.grayfail;
+        w.key("grayfail");
+        w.beginObject();
+        w.field("ejection_enabled",
+                static_cast<std::uint64_t>(gf.ejectionEnabled ? 1 : 0));
+        w.field("ejections", gf.ejections);
+        w.field("unejections", gf.unejections);
+        w.field("ejections_denied", gf.ejectionsDenied);
+        w.field("ejected_at_end", gf.ejectedAtEnd);
+        w.field("packets_dropped", gf.packetsDropped);
+        w.field("packets_duplicated", gf.packetsDuplicated);
+        w.field("packets_blackholed", gf.packetsBlackholed);
+        w.field("faults_applied", gf.faultsApplied);
+        w.field("faults_skipped", gf.faultsSkipped);
+        w.endObject();
+    }
+
     w.endObject();
     os << "\n";
 }

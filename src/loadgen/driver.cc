@@ -5,6 +5,7 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "chaos/ledger.hh"
 
 namespace microscale::loadgen
 {
@@ -199,11 +200,15 @@ ClosedLoopDriver::issueFluid()
     const Tick issued_at = app_.mesh().kernel().sim().now();
     ++issued_;
     ++fluid_->inflight;
+    const std::uint64_t lid =
+        params_.ledger ? params_.ledger->open() : 0;
     svc::Payload req = app_.sampleRequest(op, fluid_->rng);
     app_.mesh().callExternalS(
         teastore::names::kWebui, teastore::opName(op), req,
-        [this, op, issued_at](const svc::Payload &resp,
-                              svc::Status status) {
+        [this, op, issued_at, lid](const svc::Payload &resp,
+                                   svc::Status status) {
+            if (params_.ledger)
+                params_.ledger->close(lid, status);
             onFluidResponse(op, issued_at, status, resp.degraded);
         });
 }
@@ -250,11 +255,15 @@ ClosedLoopDriver::issue(std::size_t user_index)
     const OpType op = user.current;
     const Tick issued_at = app_.mesh().kernel().sim().now();
     ++issued_;
+    const std::uint64_t lid =
+        params_.ledger ? params_.ledger->open() : 0;
     svc::Payload req = app_.sampleRequest(op, user.rng);
     app_.mesh().callExternalS(
         teastore::names::kWebui, teastore::opName(op), req,
-        [this, user_index, op, issued_at](const svc::Payload &resp,
-                                          svc::Status status) {
+        [this, user_index, op, issued_at, lid](const svc::Payload &resp,
+                                               svc::Status status) {
+            if (params_.ledger)
+                params_.ledger->close(lid, status);
             onResponse(user_index, op, issued_at, status,
                        resp.degraded);
         });
@@ -377,12 +386,16 @@ OpenLoopDriver::arrival()
         params_.arrivalLog->push_back(issued_at);
     ++issued_;
     ++in_flight_;
+    const std::uint64_t lid =
+        params_.ledger ? params_.ledger->open() : 0;
     svc::Payload req = app_.sampleRequest(op, rng_);
     app_.mesh().callExternalS(
         teastore::names::kWebui, teastore::opName(op), req,
-        [this, op, issued_at](const svc::Payload &resp,
-                              svc::Status status) {
+        [this, op, issued_at, lid](const svc::Payload &resp,
+                                   svc::Status status) {
             --in_flight_;
+            if (params_.ledger)
+                params_.ledger->close(lid, status);
             measurement_.record(op, issued_at,
                                 app_.mesh().kernel().sim().now(),
                                 status, resp.degraded);

@@ -26,6 +26,11 @@
 #include "svc/resilience.hh"
 #include "teastore/app.hh"
 
+namespace microscale::chaos
+{
+class RequestLedger;
+}
+
 namespace microscale::loadgen
 {
 
@@ -146,6 +151,12 @@ struct ClosedLoopParams
      * first-level retreat).
      */
     unsigned fluidThreshold = 0;
+    /**
+     * Request-conservation ledger (chaos harness): every issued
+     * request opens an entry, every response closes it with its
+     * terminal status. Null (default) records nothing.
+     */
+    chaos::RequestLedger *ledger = nullptr;
 };
 
 /**
@@ -261,6 +272,8 @@ struct OpenLoopParams
      * stays bit-identical.
      */
     bool batchedArrivals = false;
+    /** Request-conservation ledger; see ClosedLoopParams::ledger. */
+    chaos::RequestLedger *ledger = nullptr;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "base/logging.hh"
 
@@ -10,7 +11,8 @@ namespace microscale::net
 
 Network::Network(sim::Simulation &sim, NetParams params,
                  std::uint64_t seed)
-    : sim_(sim), params_(params), rng_(seed, "net.loopback")
+    : sim_(sim), params_(params), rng_(seed, "net.loopback"),
+      chaos_rng_(seed, "net.chaos")
 {
     if (params_.baseLatencyNs == 0)
         fatal("network base latency must be positive");
@@ -38,12 +40,100 @@ Network::setLatencyFactor(double factor)
     latency_factor_ = factor;
 }
 
+template <typename Fn>
+void
+Network::updateLink(const std::string &a, const std::string &b, Fn fn)
+{
+    const LinkKey key = linkKey(a, b);
+    auto it = link_faults_.try_emplace(key).first;
+    fn(it->second);
+    if (it->second.clear())
+        link_faults_.erase(it);
+}
+
+void
+Network::setLinkLoss(const std::string &a, const std::string &b,
+                     double prob)
+{
+    if (prob < 0.0 || prob > 1.0)
+        fatal("link loss probability must be in [0,1]");
+    updateLink(a, b, [prob](LinkFault &f) { f.lossProb = prob; });
+}
+
+void
+Network::setLinkDup(const std::string &a, const std::string &b,
+                    double prob)
+{
+    if (prob < 0.0 || prob > 1.0)
+        fatal("link dup probability must be in [0,1]");
+    updateLink(a, b, [prob](LinkFault &f) { f.dupProb = prob; });
+}
+
+void
+Network::setPartition(const std::string &a, const std::string &b,
+                      bool blackhole)
+{
+    updateLink(a, b,
+               [blackhole](LinkFault &f) { f.blackhole = blackhole; });
+}
+
+LinkFault
+Network::linkFault(const std::string &a, const std::string &b) const
+{
+    auto it = link_faults_.find(linkKey(a, b));
+    return it == link_faults_.end() ? LinkFault{} : it->second;
+}
+
 void
 Network::send(std::uint32_t payload_bytes, sim::EventFn deliver)
 {
     ++stats_.messages;
     stats_.bytes += payload_bytes;
     sim_.scheduleAfter(sampleLatency(payload_bytes), std::move(deliver));
+}
+
+void
+Network::send(std::uint32_t payload_bytes, const std::string &from,
+              const std::string &to, sim::EventFn deliver)
+{
+    // Fast path: no link faults anywhere means no map lookup, no chaos
+    // RNG consumption — byte-identical to the anonymous overload.
+    if (!link_faults_.empty()) {
+        auto it = link_faults_.find(linkKey(from, to));
+        if (it != link_faults_.end()) {
+            const LinkFault &f = it->second;
+            if (f.blackhole) {
+                ++stats_.messages;
+                stats_.bytes += payload_bytes;
+                ++stats_.blackholed;
+                return;
+            }
+            if (f.lossProb > 0.0 &&
+                chaos_rng_.uniform01() < f.lossProb) {
+                ++stats_.messages;
+                stats_.bytes += payload_bytes;
+                ++stats_.dropped;
+                return;
+            }
+            if (f.dupProb > 0.0 &&
+                chaos_rng_.uniform01() < f.dupProb) {
+                ++stats_.messages;
+                stats_.bytes += payload_bytes;
+                ++stats_.duplicated;
+                // Deliver twice with independent latency draws. The
+                // callback must tolerate a second invocation; mesh
+                // delivery paths are idempotent once the call settles.
+                auto shared = std::make_shared<sim::EventFn>(
+                    std::move(deliver));
+                sim_.scheduleAfter(sampleLatency(payload_bytes),
+                                   [shared] { (*shared)(); });
+                sim_.scheduleAfter(sampleLatency(payload_bytes),
+                                   [shared] { (*shared)(); });
+                return;
+            }
+        }
+    }
+    send(payload_bytes, std::move(deliver));
 }
 
 } // namespace microscale::net

@@ -7,6 +7,12 @@
  * constant delivery latency plus a per-byte component; the CPU cost of
  * the protocol stack (serialization, copies, syscalls) is charged to
  * the communicating threads as work, not here.
+ *
+ * The gray-failure layer adds per-link faults keyed by unordered
+ * endpoint-name pairs: probabilistic message drop and duplication plus
+ * full blackholes (partitions). Fault draws come from a dedicated
+ * "net.chaos" RNG stream that is only consumed on faulted links, so a
+ * run with no link faults is byte-identical to one built without them.
  */
 
 #ifndef MICROSCALE_NET_NETWORK_HH
@@ -14,6 +20,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <string>
+#include <utility>
 
 #include "base/random.hh"
 #include "base/types.hh"
@@ -38,6 +47,28 @@ struct NetStats
 {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
+    /** Messages dropped by PacketLoss link faults. */
+    std::uint64_t dropped = 0;
+    /** Extra copies delivered by PacketDup link faults. */
+    std::uint64_t duplicated = 0;
+    /** Messages swallowed by a Partition blackhole. */
+    std::uint64_t blackholed = 0;
+};
+
+/** Fault state of one (unordered) link. */
+struct LinkFault
+{
+    /** Probability a message on this link is silently dropped. */
+    double lossProb = 0.0;
+    /** Probability a message is delivered twice. */
+    double dupProb = 0.0;
+    /** Partition: every message disappears (no RNG draw). */
+    bool blackhole = false;
+
+    bool clear() const
+    {
+        return lossProb == 0.0 && dupProb == 0.0 && !blackhole;
+    }
 };
 
 /**
@@ -50,9 +81,19 @@ class Network
 
     /**
      * Send a message of `payload_bytes`; `deliver` runs at the receiver
-     * after the modeled latency.
+     * after the modeled latency. This overload is link-anonymous and
+     * bypasses link faults (internal timers, registry chatter).
      */
     void send(std::uint32_t payload_bytes, sim::EventFn deliver);
+
+    /**
+     * Link-aware send between named endpoints: subject to any armed
+     * loss/dup/partition fault on the (from, to) link. With no fault
+     * on the link this is exactly the anonymous overload — same stats,
+     * same RNG consumption.
+     */
+    void send(std::uint32_t payload_bytes, const std::string &from,
+              const std::string &to, sim::EventFn deliver);
 
     /** One-way latency sample for a payload (exposed for tests). */
     Tick sampleLatency(std::uint32_t payload_bytes);
@@ -65,15 +106,46 @@ class Network
 
     double latencyFactor() const { return latency_factor_; }
 
+    /** Drop messages between `a` and `b` with probability `prob`
+     *  (both directions; 0 clears). */
+    void setLinkLoss(const std::string &a, const std::string &b,
+                     double prob);
+
+    /** Duplicate messages between `a` and `b` with probability `prob`. */
+    void setLinkDup(const std::string &a, const std::string &b,
+                    double prob);
+
+    /** Blackhole (or heal) the `a` <-> `b` link in both directions. */
+    void setPartition(const std::string &a, const std::string &b,
+                      bool blackhole);
+
+    /** Current fault state of a link (zero-initialized when unfaulted). */
+    LinkFault linkFault(const std::string &a, const std::string &b) const;
+
     const NetParams &params() const { return params_; }
     const NetStats &stats() const { return stats_; }
 
   private:
+    using LinkKey = std::pair<std::string, std::string>;
+
+    static LinkKey linkKey(const std::string &a, const std::string &b)
+    {
+        return a <= b ? LinkKey{a, b} : LinkKey{b, a};
+    }
+
+    /** Mutate the link's fault entry; erases it when it becomes clear
+     *  so the empty-map fast path returns once faults end. */
+    template <typename Fn>
+    void updateLink(const std::string &a, const std::string &b, Fn fn);
+
     sim::Simulation &sim_;
     NetParams params_;
     Rng rng_;
+    /** Consumed only for messages on faulted links. */
+    Rng chaos_rng_;
     NetStats stats_;
     double latency_factor_ = 1.0;
+    std::map<LinkKey, LinkFault> link_faults_;
 };
 
 } // namespace microscale::net

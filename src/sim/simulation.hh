@@ -283,6 +283,13 @@ class Simulation
      */
     std::size_t queuedEvents() const { return live_events_; }
 
+    /**
+     * Live pending foreground events — the ones that keep run() going.
+     * Zero after run() returns: the chaos harness asserts this as its
+     * drained-world invariant (background timers may still be queued).
+     */
+    std::uint64_t foregroundQueued() const { return foreground_pending_; }
+
     /** Event slots currently allocated in the slab (capacity probe). */
     std::size_t slabSlots() const { return slots_.size(); }
 

@@ -2,8 +2,10 @@
  * @file
  * Deterministic fault injection: a script of timed fault events applied
  * to the mesh from the simulation clock. Supported faults are replica
- * crash/restart, service-wide compute slowdown (brownout) and
- * link-latency inflation. Scripts are plain data so they ride inside
+ * crash/restart, service-wide compute slowdown (brownout), link-latency
+ * inflation, per-replica gray slowdowns, probabilistic per-link packet
+ * loss/duplication, bidirectional link partitions, and correlated
+ * CCX-domain crashes. Scripts are plain data so they ride inside
  * ExperimentConfig and hash/compare trivially; the injector schedules
  * one background sim event per script entry, so an empty script adds
  * nothing to the event stream.
@@ -35,16 +37,49 @@ struct FaultEvent
         Slowdown,
         /** Multiply network latency by `factor` (1 = end). */
         LatencyFactor,
+        /**
+         * Gray failure: multiply compute of `service` replica `replica`
+         * alone by `factor` (1 = end). The replica stays registered and
+         * keeps answering, just slowly.
+         */
+        ReplicaSlow,
+        /**
+         * Drop each message on the `service` <-> `peer` link with
+         * probability `factor` (0 = end). Draws come from the dedicated
+         * "net.chaos" RNG stream so healthy runs stay byte-identical.
+         */
+        PacketLoss,
+        /** Duplicate each `service` <-> `peer` message with prob `factor`. */
+        PacketDup,
+        /** Blackhole the `service` <-> `peer` link in both directions. */
+        Partition,
+        /** Heal a previous Partition of the same link. */
+        PartitionHeal,
+        /**
+         * Correlated crash: every replica (of every service) homed on
+         * CCX domain `replica` goes down together, modeling a shared
+         * power/cooling/NUMA-domain failure. Uses placement info, so it
+         * requires a CCX-aware placement to have any effect.
+         */
+        CorrelatedDown,
+        /** Bring the CCX domain `replica` replicas back up. */
+        CorrelatedUp,
     };
 
     Kind kind = Kind::ReplicaDown;
     /** Absolute simulation tick at which the fault applies. */
     Tick at = 0;
-    /** Target service (unused for LatencyFactor). */
+    /** Target service; first link endpoint for link faults. */
     std::string service;
-    /** Target replica (ReplicaDown/ReplicaUp only). */
+    /** Second link endpoint (PacketLoss/Dup/Partition[Heal] only). */
+    std::string peer;
+    /**
+     * Target replica (ReplicaDown/Up/Slow); for CorrelatedDown/Up this
+     * is the CCX domain id instead.
+     */
     unsigned replica = 0;
-    /** Multiplier (Slowdown/LatencyFactor only). */
+    /** Multiplier (Slowdown/LatencyFactor/ReplicaSlow) or probability
+     *  (PacketLoss/PacketDup). */
     double factor = 1.0;
 };
 
@@ -59,10 +94,17 @@ struct FaultScript
 /** Human-readable name of a fault kind (logging/tests). */
 const char *faultKindName(FaultEvent::Kind kind);
 
+/** True for kinds that act on a (service, peer) network link. */
+bool faultIsLinkKind(FaultEvent::Kind kind);
+
 /**
  * Applies a FaultScript to a mesh. Construct after the services exist,
  * then arm() once before the simulation runs; arming validates every
  * target and schedules one background event per script entry.
+ *
+ * Replica indexes are validated at apply-time, not arm-time: the
+ * autoscaler may add replicas after arm(), so a script referencing a
+ * not-yet-existing replica warns and skips instead of aborting.
  */
 class FaultInjector
 {
@@ -80,13 +122,18 @@ class FaultInjector
     /** Number of events already applied (tests/diagnostics). */
     unsigned applied() const { return applied_; }
 
+    /** Events skipped at apply-time (stale replica index). */
+    unsigned skipped() const { return skipped_; }
+
   private:
     void apply(const FaultEvent &event);
+    void applyCorrelated(unsigned domain, bool down);
 
     Mesh &mesh_;
     FaultScript script_;
     bool armed_ = false;
     unsigned applied_ = 0;
+    unsigned skipped_ = 0;
 };
 
 } // namespace microscale::svc

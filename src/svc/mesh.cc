@@ -202,13 +202,18 @@ Mesh::sendRpc(const std::string &client, const std::string &service,
             if (respond)
                 respond = traceWrap(ref, std::move(respond));
         }
-        network_.send(payload.bytes,
-                      [this, &target, op, payload, tier, ref,
+        network_.send(payload.bytes, client, service,
+                      [this, &target, client, op, payload, tier, ref,
                        respond = std::move(respond)]() mutable {
                           Envelope env;
                           env.op = op;
                           env.request = payload;
                           env.respond = std::move(respond);
+                          // A duplicated delivery (PacketDup) invokes
+                          // this again: hand the responder to the first
+                          // copy only, the dup becomes fire-and-forget.
+                          respond = nullptr;
+                          env.client = client;
                           env.arrived = kernel_.sim().now();
                           env.criticality = tier;
                           env.trace = ref;
@@ -258,6 +263,11 @@ Mesh::attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no)
     Tick eff = call->deadline;
     if (call->policy.hasTimeout())
         eff = std::min(eff, now + call->policy.timeout);
+    if (ref) {
+        // Deadline monotonicity invariant (checked by chaos search):
+        // a child span's deadline never exceeds its parent's.
+        ref.trace->span(ref.span).deadline = eff;
+    }
     if (eff != kTickNever && now >= eff) {
         if (ref) {
             trace::Span &span = ref.trace->span(ref.span);
@@ -293,13 +303,18 @@ Mesh::attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no)
         finishAttempt(call, attempt_no, resp, status);
     };
 
-    network_.send(call->payload.bytes,
+    network_.send(call->payload.bytes, call->client,
+                  call->target->name(),
                   [this, call, eff, ref,
                    on_response = std::move(on_response)]() mutable {
                       Envelope env;
                       env.op = call->op;
                       env.request = call->payload;
                       env.respond = std::move(on_response);
+                      // Duplicated deliveries (PacketDup) re-run this:
+                      // only the first copy may settle the attempt.
+                      on_response = nullptr;
+                      env.client = call->client;
                       env.arrived = kernel_.sim().now();
                       env.deadline = eff;
                       env.criticality = call->criticality;

@@ -49,6 +49,12 @@ struct Envelope
     std::string op;
     Payload request;
     RespondFn respond;
+    /**
+     * Name of the calling service ("external" for loadgen traffic).
+     * Identifies the network link the response travels on, so link
+     * faults (loss/dup/partition) apply to the return path too.
+     */
+    std::string client;
     /** Arrival tick at the replica (queue-wait accounting). */
     Tick arrived = 0;
     /** Absolute deadline propagated from the caller; kTickNever = none. */

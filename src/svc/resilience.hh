@@ -136,6 +136,35 @@ struct BreakerParams
 };
 
 /**
+ * Passive outlier ejection: per-replica EWMA latency and error-rate
+ * tracking that temporarily ejects replicas whose behavior is far from
+ * the service-wide norm. Catches gray failures — replicas that answer
+ * slowly or erratically without ever tripping a breaker's
+ * consecutive-failure or error-rate thresholds.
+ */
+struct OutlierEjectionParams
+{
+    bool enabled = false;
+    /** Eject when a replica's EWMA latency exceeds the service-wide
+     *  EWMA by this factor. */
+    double latencyFactor = 3.0;
+    /** ... or when its EWMA error rate crosses this. */
+    double errorThreshold = 0.5;
+    /** EWMA smoothing weight of the newest sample. */
+    double ewmaAlpha = 0.1;
+    /** Samples a replica must accumulate before it can be judged. */
+    unsigned minSamples = 20;
+    /**
+     * Never eject more than floor(maxEjectFraction * active replicas)
+     * at once: mass ejection of a mostly-gray fleet would turn a
+     * partial failure into a self-inflicted total one.
+     */
+    double maxEjectFraction = 0.5;
+    /** How long an ejected replica sits out before rejoining. */
+    Tick ejectFor = 200 * kMillisecond;
+};
+
+/**
  * Mesh-wide resilience configuration. Default-constructed = disabled.
  */
 struct ResilienceConfig
@@ -155,12 +184,14 @@ struct ResilienceConfig
     double retryBudgetRatio = 0.2;
     /** Skip down/open replicas when picking one (vs blind RR). */
     bool healthAwareBalancing = false;
+    /** Passive outlier ejection (implies health-aware selection). */
+    OutlierEjectionParams outlier;
 
     /** True when any mechanism above deviates from the defaults. */
     bool active() const
     {
         return !edges.empty() || breaker.enabled || maxQueueDepth > 0 ||
-               healthAwareBalancing;
+               healthAwareBalancing || outlier.enabled;
     }
 
     /**
@@ -199,6 +230,12 @@ struct ResilienceCounters
     std::uint64_t noReplica = 0;
     /** Closed/half-open → open transitions. */
     std::uint64_t breakerOpens = 0;
+    /** Outlier-ejection events (replica pulled from rotation). */
+    std::uint64_t outlierEjections = 0;
+    /** Ejected replicas returned to rotation after ejectFor. */
+    std::uint64_t outlierUnejections = 0;
+    /** Ejections refused by the maxEjectFraction bound. */
+    std::uint64_t outlierEjectionsDenied = 0;
 };
 
 } // namespace microscale::svc

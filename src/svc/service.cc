@@ -71,6 +71,9 @@ HandlerCtx::computeProfile(const cpu::WorkProfile &profile,
     // Replicas added at runtime run colder for a while; replicas from
     // construction have coldUntil == 0 and skip this entirely.
     const Replica &rep = service_.replicas_[worker_.replica];
+    // Gray failure: this replica alone is slow. Same exact-identity
+    // guarantee at the default 1.0.
+    actual *= rep.slowFactor;
     if (rep.coldUntil != 0)
         actual *= service_.coldComputeFactor(worker_.replica, now());
     if (service_.params_.computeCv > 0.0 && actual > 0.0) {
@@ -295,6 +298,7 @@ HandlerCtx::done()
         const bool probe = envelope_.probe;
         const Tick arrived = envelope_.arrived;
         const std::string op = envelope_.op;
+        const std::string client = envelope_.client;
 
         const Tick now = mesh.kernel().sim().now();
         auto &stats = svc.op_stats_[op];
@@ -320,13 +324,24 @@ HandlerCtx::done()
         svc.breakerRecord(worker.replica, status == Status::Ok, probe);
         svc.limiterObserve(worker.replica, service_time,
                            status == Status::Timeout);
+        svc.outlierObserve(worker.replica, service_time,
+                           status != Status::Ok);
         for (const auto &observer : svc.completion_observers_)
             observer(op, service_time, status);
 
         if (respond) {
+            // Link-aware: the response travels the same faultable link
+            // the request came in on. A duplicated delivery (PacketDup)
+            // invokes the callback twice; only the first may respond.
             mesh.network().send(
-                resp.bytes, [respond = std::move(respond), resp,
-                             status] { respond(resp, status); });
+                resp.bytes, svc.name(), client,
+                [respond = std::move(respond), resp, status]() mutable {
+                    if (!respond)
+                        return;
+                    RespondFn once = std::move(respond);
+                    respond = nullptr;
+                    once(resp, status);
+                });
         }
         // This destroys the HandlerCtx (and this lambda's captures were
         // already copied to locals); do not touch members afterwards.
@@ -561,7 +576,7 @@ Service::pickReplica(bool &probe)
     probe = false;
     const unsigned n = replicaCount();
     const ResilienceConfig &rc = mesh_.resilience();
-    if (!rc.healthAwareBalancing) {
+    if (!rc.healthAwareBalancing && !rc.outlier.enabled) {
         // Blind round-robin over Active replicas. With every replica
         // Active (no elasticity) the first iteration accepts, which is
         // exactly the legacy rr_next_++ % n sequence. Down replicas
@@ -574,17 +589,73 @@ Service::pickReplica(bool &probe)
         return -1;
     }
     const Tick now = mesh_.kernel().sim().now();
-    for (unsigned i = 0; i < n; ++i) {
-        const unsigned r = (rr_next_ + i) % n;
-        Replica &rep = replicas_[r];
-        if (rep.down || rep.state != ReplicaState::Active)
-            continue;
-        if (rc.breaker.enabled && !breakerAdmits(rep.breaker, now, probe))
-            continue;
-        rr_next_ = r + 1;
-        return static_cast<int>(r);
+    if (!rc.outlier.enabled) {
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned r = (rr_next_ + i) % n;
+            Replica &rep = replicas_[r];
+            if (rep.down || rep.state != ReplicaState::Active)
+                continue;
+            if (rc.breaker.enabled &&
+                !breakerAdmits(rep.breaker, now, probe))
+                continue;
+            rr_next_ = r + 1;
+            return static_cast<int>(r);
+        }
+        return -1;
     }
-    return -1;
+
+    // Outlier-ejection path: health-weighted smooth round-robin.
+    // First return any ejected replica whose sit-out has elapsed to
+    // the rotation (with fresh EWMAs: its past sins are forgiven).
+    for (Replica &rep : replicas_) {
+        if (rep.ejected && now >= rep.ejectedUntil) {
+            rep.ejected = false;
+            rep.ejectedUntil = 0;
+            rep.outLatEwma = 0.0;
+            rep.outErrEwma = 0.0;
+            rep.outSamples = 0;
+            ++resilience_counters_.outlierUnejections;
+        }
+    }
+    // Score candidates without touching breaker state (the mutating
+    // admit runs on the winner only), accumulate smooth-WRR credit,
+    // and pick the highest-credit replica. Healthy replicas share
+    // weight 1.0 and the pick degenerates to round-robin; a gray
+    // replica's weight shrinks with its EWMA latency excess.
+    int picked = -1;
+    double total_weight = 0.0;
+    double best_credit = 0.0;
+    for (unsigned r = 0; r < n; ++r) {
+        Replica &rep = replicas_[r];
+        if (rep.down || rep.ejected ||
+            rep.state != ReplicaState::Active)
+            continue;
+        if (rc.breaker.enabled && !breakerWouldAdmit(rep.breaker, now))
+            continue;
+        double weight = 1.0;
+        if (rep.outSamples >= rc.outlier.minSamples &&
+            rep.outLatEwma > 0.0 && out_svc_lat_ewma_ > 0.0) {
+            weight = std::clamp(out_svc_lat_ewma_ / rep.outLatEwma,
+                                0.1, 10.0);
+        }
+        rep.wrrCredit += weight;
+        total_weight += weight;
+        if (picked < 0 || rep.wrrCredit > best_credit) {
+            picked = static_cast<int>(r);
+            best_credit = rep.wrrCredit;
+        }
+    }
+    if (picked < 0)
+        return -1;
+    Replica &winner = replicas_[static_cast<unsigned>(picked)];
+    winner.wrrCredit -= total_weight;
+    if (rc.breaker.enabled &&
+        !breakerAdmits(winner.breaker, now, probe)) {
+        // Cannot happen: the preview above mirrors breakerAdmits
+        // exactly and time has not advanced since.
+        return -1;
+    }
+    return picked;
 }
 
 bool
@@ -610,6 +681,70 @@ Service::breakerAdmits(BreakerState &breaker, Tick now, bool &probe)
         return false;
     }
     return false;
+}
+
+bool
+Service::breakerWouldAdmit(const BreakerState &breaker, Tick now) const
+{
+    switch (breaker.state) {
+    case BreakerState::State::Closed:
+        return true;
+    case BreakerState::State::Open:
+        return now >=
+               breaker.openedAt + mesh_.resilience().breaker.openFor;
+    case BreakerState::State::HalfOpen:
+        return !breaker.probeInFlight;
+    }
+    return false;
+}
+
+void
+Service::outlierObserve(unsigned replica, double latency_ns, bool failed)
+{
+    const OutlierEjectionParams &oe = mesh_.resilience().outlier;
+    if (!oe.enabled)
+        return;
+    Replica &rep = replicas_[replica];
+    const double a = oe.ewmaAlpha;
+    const double err = failed ? 1.0 : 0.0;
+    if (rep.outSamples == 0) {
+        rep.outLatEwma = latency_ns;
+        rep.outErrEwma = err;
+    } else {
+        rep.outLatEwma = (1.0 - a) * rep.outLatEwma + a * latency_ns;
+        rep.outErrEwma = (1.0 - a) * rep.outErrEwma + a * err;
+    }
+    ++rep.outSamples;
+    out_svc_lat_ewma_ =
+        out_svc_samples_ == 0
+            ? latency_ns
+            : (1.0 - a) * out_svc_lat_ewma_ + a * latency_ns;
+    ++out_svc_samples_;
+
+    if (rep.ejected || rep.down || rep.state != ReplicaState::Active)
+        return;
+    if (rep.outSamples < oe.minSamples ||
+        out_svc_samples_ < oe.minSamples)
+        return;
+    const bool lat_outlier =
+        out_svc_lat_ewma_ > 0.0 &&
+        rep.outLatEwma > oe.latencyFactor * out_svc_lat_ewma_;
+    const bool err_outlier = rep.outErrEwma >= oe.errorThreshold;
+    if (!lat_outlier && !err_outlier)
+        return;
+    // Bounded ejection: never pull more than the configured fraction
+    // of active replicas out of rotation at once. A mostly-gray fleet
+    // is still a fleet; shrinking it to nothing would convert a
+    // partial failure into a self-inflicted total one.
+    const unsigned cap = static_cast<unsigned>(
+        oe.maxEjectFraction * static_cast<double>(activeReplicaCount()));
+    if (ejectedReplicaCount() >= cap) {
+        ++resilience_counters_.outlierEjectionsDenied;
+        return;
+    }
+    rep.ejected = true;
+    rep.ejectedUntil = mesh_.kernel().sim().now() + oe.ejectFor;
+    ++resilience_counters_.outlierEjections;
 }
 
 void
@@ -790,6 +925,8 @@ Service::pump(unsigned replica)
             breakerRecord(replica, false, next.probe);
             limiterObserve(replica,
                            static_cast<double>(now - next.arrived), true);
+            outlierObserve(replica,
+                           static_cast<double>(now - next.arrived), true);
             rejectEnvelope(next, Status::Timeout);
             if (lifo)
                 rep.queue.pop_back();
@@ -934,6 +1071,64 @@ Service::setSlowdown(double factor)
     if (factor <= 0.0)
         fatal("service '", params_.name, "': slowdown must be positive");
     slowdown_ = factor;
+}
+
+void
+Service::setReplicaSlow(unsigned replica, double factor)
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    if (factor <= 0.0)
+        fatal("service '", params_.name,
+              "': replica slow factor must be positive");
+    replicas_[replica].slowFactor = factor;
+}
+
+double
+Service::replicaSlow(unsigned replica) const
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    return replicas_[replica].slowFactor;
+}
+
+int
+Service::replicaCcx(unsigned replica) const
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    int ccx = -1;
+    for (std::size_t idx : replicas_[replica].workerIndexes) {
+        const int c = workerCcx(mesh_.kernel().machine(),
+                                workers_[idx].thread->affinity());
+        if (c < 0 || (ccx >= 0 && c != ccx))
+            return -1;
+        ccx = c;
+    }
+    return ccx;
+}
+
+bool
+Service::replicaEjected(unsigned replica) const
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    return replicas_[replica].ejected;
+}
+
+unsigned
+Service::ejectedReplicaCount() const
+{
+    unsigned n = 0;
+    for (const Replica &r : replicas_) {
+        if (r.ejected)
+            ++n;
+    }
+    return n;
 }
 
 const BreakerState &

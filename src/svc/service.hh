@@ -243,7 +243,24 @@ struct Replica
     std::size_t maxQueueDepth = 0;
     /** Crashed (scripted fault); rejects all traffic. */
     bool down = false;
+    /**
+     * Gray-failure compute multiplier for this replica alone (scripted
+     * ReplicaSlow fault). 1.0 is an exact identity.
+     */
+    double slowFactor = 1.0;
     BreakerState breaker;
+    /** Outlier-ejection EWMA of replica-side latency (ns). */
+    double outLatEwma = 0.0;
+    /** Outlier-ejection EWMA of the failure indicator (error rate). */
+    double outErrEwma = 0.0;
+    /** Samples folded into the EWMAs since (un)ejection. */
+    unsigned outSamples = 0;
+    /** Currently ejected by the outlier detector. */
+    bool ejected = false;
+    /** When an ejected replica may rejoin the rotation. */
+    Tick ejectedUntil = 0;
+    /** Smooth-weighted-round-robin credit (health-weighted pick). */
+    double wrrCredit = 0.0;
     ReplicaState state = ReplicaState::Active;
     /** When a Warming replica became Active (cold window start). */
     Tick warmedAt = 0;
@@ -342,6 +359,29 @@ class Service
 
     /** True when the replica is scripted down. */
     bool replicaDown(unsigned replica) const;
+
+    /**
+     * Gray failure: multiply one replica's compute budgets by `factor`
+     * (1.0 restores nominal speed). Unlike setSlowdown this is
+     * per-replica, modeling a degraded host rather than a brownout.
+     */
+    void setReplicaSlow(unsigned replica, double factor);
+
+    /** Current gray-slowdown factor of one replica. */
+    double replicaSlow(unsigned replica) const;
+
+    /**
+     * CCX the replica's workers are pinned to: the common CCX of all
+     * worker affinities, or -1 when any worker spans CCXs (OS-default
+     * placement). Used by correlated-failure injection.
+     */
+    int replicaCcx(unsigned replica) const;
+
+    /** True when the outlier detector currently ejects the replica. */
+    bool replicaEjected(unsigned replica) const;
+
+    /** Replicas currently ejected by the outlier detector. */
+    unsigned ejectedReplicaCount() const;
 
     /** Warm-up model for replicas added at runtime. */
     struct WarmupParams
@@ -479,6 +519,22 @@ class Service
      */
     bool breakerAdmits(BreakerState &breaker, Tick now, bool &probe);
 
+    /**
+     * Side-effect-free preview of breakerAdmits: would the breaker
+     * admit a (non-probe) request right now? Used by the health-
+     * weighted picker to score candidates without mutating the breaker
+     * of replicas that end up not picked.
+     */
+    bool breakerWouldAdmit(const BreakerState &breaker, Tick now) const;
+
+    /**
+     * Feed the outlier detector one completed-request sample for a
+     * replica (latency in ns, failure flag) and eject it when its
+     * EWMAs diverge from the service norm. No-op unless
+     * resilience.outlier.enabled.
+     */
+    void outlierObserve(unsigned replica, double latency_ns, bool failed);
+
     /** Record a request outcome against the replica's breaker. */
     void breakerRecord(unsigned replica, bool ok, bool probe);
 
@@ -523,6 +579,9 @@ class Service
     std::deque<Worker> workers_;
     std::deque<Replica> replicas_;
     unsigned rr_next_ = 0;
+    /** Service-wide outlier-detector latency EWMA (ns) and samples. */
+    double out_svc_lat_ewma_ = 0.0;
+    std::uint64_t out_svc_samples_ = 0;
     std::map<std::string, OpStats> op_stats_;
     QuantileHistogram queue_wait_ns_;
     std::uint64_t requests_ = 0;

@@ -78,6 +78,82 @@ makeChaosScript(ChaosScenario scenario, Tick warmup, Tick measure)
     return script;
 }
 
+const char *
+grayName(GrayScenario scenario)
+{
+    switch (scenario) {
+    case GrayScenario::SlowPersistence:
+        return "gray-persistence";
+    case GrayScenario::SlowWebui:
+        return "gray-webui";
+    case GrayScenario::SlowAuth:
+        return "gray-auth";
+    case GrayScenario::SlowPersistencePair:
+        return "gray-persistence-pair";
+    }
+    MS_PANIC("invalid GrayScenario");
+}
+
+bool
+grayByName(const std::string &name, GrayScenario &out)
+{
+    for (GrayScenario s : allGrayScenarios()) {
+        if (name == grayName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<GrayScenario>
+allGrayScenarios()
+{
+    return {GrayScenario::SlowPersistence, GrayScenario::SlowWebui,
+            GrayScenario::SlowAuth, GrayScenario::SlowPersistencePair};
+}
+
+svc::FaultScript
+makeGrayScript(GrayScenario scenario, Tick warmup, Tick measure)
+{
+    svc::FaultScript script;
+    const Tick onset = warmup + measure / 6;
+    const Tick recovery = warmup + 2 * measure / 3;
+
+    auto slow = [&script](Tick at, const std::string &service,
+                          unsigned replica, double factor) {
+        svc::FaultEvent e;
+        e.kind = svc::FaultEvent::Kind::ReplicaSlow;
+        e.at = at;
+        e.service = service;
+        e.replica = replica;
+        e.factor = factor;
+        script.events.push_back(std::move(e));
+    };
+
+    switch (scenario) {
+    case GrayScenario::SlowPersistence:
+        slow(onset, names::kPersistence, 0, 8.0);
+        slow(recovery, names::kPersistence, 0, 1.0);
+        break;
+    case GrayScenario::SlowWebui:
+        slow(onset, names::kWebui, 0, 6.0);
+        slow(recovery, names::kWebui, 0, 1.0);
+        break;
+    case GrayScenario::SlowAuth:
+        slow(onset, names::kAuth, 0, 10.0);
+        slow(recovery, names::kAuth, 0, 1.0);
+        break;
+    case GrayScenario::SlowPersistencePair:
+        slow(onset, names::kPersistence, 0, 8.0);
+        slow(onset, names::kPersistence, 1, 8.0);
+        slow(recovery, names::kPersistence, 0, 1.0);
+        slow(recovery, names::kPersistence, 1, 1.0);
+        break;
+    }
+    return script;
+}
+
 svc::ResilienceConfig
 resilientPolicy()
 {
@@ -116,6 +192,20 @@ resilientPolicy()
          2 * kMillisecond);
     edge(names::kAuth, names::kPersistence, 250 * kMillisecond, 2,
          2 * kMillisecond);
+    return rc;
+}
+
+svc::ResilienceConfig
+ejectionPolicy()
+{
+    svc::ResilienceConfig rc = resilientPolicy();
+    rc.outlier.enabled = true;
+    rc.outlier.latencyFactor = 3.0;
+    rc.outlier.errorThreshold = 0.5;
+    rc.outlier.ewmaAlpha = 0.1;
+    rc.outlier.minSamples = 20;
+    rc.outlier.maxEjectFraction = 0.5;
+    rc.outlier.ejectFor = 200 * kMillisecond;
     return rc;
 }
 

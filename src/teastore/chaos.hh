@@ -59,6 +59,52 @@ svc::FaultScript makeChaosScript(ChaosScenario scenario, Tick warmup,
  */
 svc::ResilienceConfig resilientPolicy();
 
+/**
+ * resilientPolicy() plus passive outlier ejection: per-replica EWMA
+ * latency/error tracking that pulls gray (slow-but-answering) replicas
+ * out of the rotation and health-weights the remainder. This is the
+ * mitigation FIG-16 pits against gray faults that circuit breakers
+ * never see.
+ */
+svc::ResilienceConfig ejectionPolicy();
+
+/**
+ * Gray-failure scenarios: a replica degrades without failing, so every
+ * request it serves is slow but successful — timeouts rarely fire,
+ * breakers never open, yet tail latency collapses. Distinct from
+ * ChaosScenario (fail-stop faults) so existing suites iterating
+ * allChaosScenarios() are untouched.
+ */
+enum class GrayScenario
+{
+    /** One persistence replica computes 8x slower (sick disk). */
+    SlowPersistence = 0,
+    /** One WebUI replica computes 6x slower (noisy neighbor). */
+    SlowWebui,
+    /** One Auth replica computes 10x slower (thermal throttling). */
+    SlowAuth,
+    /** Two persistence replicas compute 8x slower together. */
+    SlowPersistencePair,
+};
+
+/** Scenario name ("gray-persistence", "gray-webui", ...). */
+const char *grayName(GrayScenario scenario);
+
+/** Non-fatal lookup: true and sets `out` when `name` is a gray
+ *  scenario. Lets callers fall back to chaosByName. */
+bool grayByName(const std::string &name, GrayScenario &out);
+
+/** All gray scenarios, in enum order. */
+std::vector<GrayScenario> allGrayScenarios();
+
+/**
+ * Build the gray scenario's fault script for a run with the given
+ * windows. Same phase structure as makeChaosScript: onset at
+ * warmup + measure/6, recovery at warmup + 2*measure/3.
+ */
+svc::FaultScript makeGrayScript(GrayScenario scenario, Tick warmup,
+                                Tick measure);
+
 } // namespace microscale::teastore
 
 #endif // MICROSCALE_TEASTORE_CHAOS_HH

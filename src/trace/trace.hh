@@ -87,6 +87,12 @@ struct Span
     Tick finish = 0;
     /** Retry backoff delay that preceded this attempt. */
     Tick backoffBefore = 0;
+    /**
+     * Effective absolute deadline the mesh attached to this attempt
+     * (kTickNever = none). Child deadlines never exceed the parent's;
+     * the chaos harness checks that monotonicity invariant.
+     */
+    Tick deadline = kTickNever;
 
     /** Outcome as the server recorded it. */
     svc::Status status = svc::Status::Ok;

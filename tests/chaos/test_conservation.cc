@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Request-conservation coverage over the golden workloads: the five
+ * reduced FIG-01/05/12/14/15 scenarios pinned by the byte-identity
+ * goldens all run with the ledger attached and a full drain, and
+ * every one must balance — zero leaks, zero double closes, issued ==
+ * terminals. A final test plants a broken counter in the FIG-12 run
+ * and checks the ledger flags it, proving the green results above
+ * mean something.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/ledger.hh"
+#include "core/experiment.hh"
+#include "teastore/chaos.hh"
+#include "teastore/criticality.hh"
+#include "topo/machine.hh"
+
+namespace microscale::chaos
+{
+namespace
+{
+
+/** The reduced golden base scenario (tests/integration/test_golden). */
+core::ExperimentConfig
+goldenBase()
+{
+    core::ExperimentConfig c;
+    c.machine = topo::small8();
+    c.app.store.categories = 4;
+    c.app.store.productsPerCategory = 10;
+    c.app.store.users = 20;
+    c.sizing.webui = {1, 8};
+    c.sizing.auth = {1, 4};
+    c.sizing.persistence = {1, 8};
+    c.sizing.recommender = {1, 2};
+    c.sizing.image = {1, 8};
+    c.sizing.registry = {1, 1};
+    c.load.users = 60;
+    c.load.meanThink = 50 * kMillisecond;
+    c.warmup = 200 * kMillisecond;
+    c.measure = 400 * kMillisecond;
+    return c;
+}
+
+/** Run one config with the ledger attached and expect balanced books. */
+void
+expectConserved(core::ExperimentConfig config, const std::string &what)
+{
+    RequestLedger ledger;
+    config.ledger = &ledger;
+    config.drainAtEnd = true;
+    core::runExperiment(config);
+
+    std::vector<std::string> violations;
+    EXPECT_TRUE(ledger.verify(violations))
+        << what << ": "
+        << (violations.empty() ? "" : violations.front());
+    EXPECT_GT(ledger.issued(), 0u) << what;
+    EXPECT_EQ(ledger.issued(), ledger.terminals()) << what;
+    EXPECT_EQ(ledger.openCount(), 0u) << what;
+}
+
+TEST(Conservation, Fig01ClosedLoop)
+{
+    expectConserved(goldenBase(), "fig01");
+}
+
+TEST(Conservation, Fig05PlacementCcxAware)
+{
+    core::ExperimentConfig c = goldenBase();
+    c.placement = core::PlacementKind::CcxAware;
+    expectConserved(c, "fig05");
+}
+
+TEST(Conservation, Fig12ResilientChaos)
+{
+    core::ExperimentConfig c = goldenBase();
+    c.faults = teastore::makeChaosScript(
+        teastore::allChaosScenarios().front(), c.warmup, c.measure);
+    c.resilience = teastore::resilientPolicy();
+    c.app.degradedFallbacks = true;
+    expectConserved(c, "fig12");
+}
+
+TEST(Conservation, Fig14OverloadOpenLoop)
+{
+    core::ExperimentConfig c = goldenBase();
+    c.openLoopRps = 400.0;
+    c.resilience = teastore::resilientPolicy();
+    c.app.degradedFallbacks = true;
+    c.overload = teastore::overloadAwarePolicy();
+    expectConserved(c, "fig14");
+}
+
+TEST(Conservation, Fig15TraceAttribution)
+{
+    core::ExperimentConfig c = goldenBase();
+    c.placement = core::PlacementKind::CcxAware;
+    c.trace.enabled = true;
+    c.trace.sampleRate = 1.0;
+    expectConserved(c, "fig15");
+}
+
+TEST(Conservation, BrokenCounterIsCaught)
+{
+    core::ExperimentConfig c = goldenBase();
+    c.faults = teastore::makeChaosScript(
+        teastore::allChaosScenarios().front(), c.warmup, c.measure);
+    c.resilience = teastore::resilientPolicy();
+    c.app.degradedFallbacks = true;
+
+    RequestLedger ledger;
+    ledger.breakNextTerminal(); // the deliberately broken counter
+    c.ledger = &ledger;
+    c.drainAtEnd = true;
+    core::runExperiment(c);
+
+    std::vector<std::string> violations;
+    EXPECT_FALSE(ledger.verify(violations));
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations.front().find("never reached a terminal state"),
+              std::string::npos);
+    EXPECT_EQ(ledger.openCount(), 1u);
+}
+
+} // namespace
+} // namespace microscale::chaos

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the request-conservation ledger: balanced books
+ * verify clean, and each sabotage hook (swallowed terminal, dropped
+ * status, double close, unknown id) is caught with a diagnostic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/ledger.hh"
+
+namespace microscale::chaos
+{
+namespace
+{
+
+TEST(Ledger, BalancedBooksVerifyClean)
+{
+    RequestLedger ledger;
+    const RequestId a = ledger.open();
+    const RequestId b = ledger.open();
+    const RequestId c = ledger.open();
+    ledger.close(a, svc::Status::Ok);
+    ledger.close(b, svc::Status::Timeout);
+    ledger.close(c, svc::Status::Overload);
+
+    std::vector<std::string> violations;
+    EXPECT_TRUE(ledger.verify(violations));
+    EXPECT_TRUE(violations.empty());
+    EXPECT_EQ(ledger.issued(), 3u);
+    EXPECT_EQ(ledger.terminals(), 3u);
+    EXPECT_EQ(ledger.openCount(), 0u);
+    EXPECT_EQ(ledger.terminals(svc::Status::Ok), 1u);
+    EXPECT_EQ(ledger.terminals(svc::Status::Timeout), 1u);
+    EXPECT_EQ(ledger.terminals(svc::Status::Overload), 1u);
+}
+
+TEST(Ledger, LeakedRequestIsCaught)
+{
+    RequestLedger ledger;
+    const RequestId a = ledger.open();
+    ledger.open(); // never closed
+
+    ledger.close(a, svc::Status::Ok);
+
+    std::vector<std::string> violations;
+    EXPECT_FALSE(ledger.verify(violations));
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("never reached a terminal state"),
+              std::string::npos);
+    EXPECT_EQ(ledger.openCount(), 1u);
+}
+
+TEST(Ledger, BreakNextTerminalForcesLeak)
+{
+    RequestLedger ledger;
+    const RequestId a = ledger.open();
+    const RequestId b = ledger.open();
+
+    ledger.breakNextTerminal();
+    ledger.close(a, svc::Status::Ok); // swallowed
+    ledger.close(b, svc::Status::Ok); // lands
+
+    std::vector<std::string> violations;
+    EXPECT_FALSE(ledger.verify(violations));
+    EXPECT_EQ(ledger.openCount(), 1u);
+    EXPECT_EQ(ledger.terminals(), 1u);
+}
+
+TEST(Ledger, DropStatusSwallowsOnlyThatStatus)
+{
+    RequestLedger ledger;
+    ledger.setDropStatus(svc::Status::Timeout);
+    const RequestId a = ledger.open();
+    const RequestId b = ledger.open();
+
+    ledger.close(a, svc::Status::Timeout); // swallowed: stays open
+    ledger.close(b, svc::Status::Ok);      // lands
+
+    std::vector<std::string> violations;
+    EXPECT_FALSE(ledger.verify(violations));
+    EXPECT_EQ(ledger.openCount(), 1u);
+    EXPECT_EQ(ledger.terminals(svc::Status::Ok), 1u);
+    EXPECT_EQ(ledger.terminals(svc::Status::Timeout), 0u);
+}
+
+TEST(Ledger, DoubleCloseIsCaught)
+{
+    RequestLedger ledger;
+    const RequestId a = ledger.open();
+    ledger.close(a, svc::Status::Ok);
+    ledger.close(a, svc::Status::Timeout);
+
+    std::vector<std::string> violations;
+    EXPECT_FALSE(ledger.verify(violations));
+    EXPECT_EQ(ledger.doubleCloses(), 1u);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("terminated twice"), std::string::npos);
+    // The duplicate terminal must not double-count.
+    EXPECT_EQ(ledger.terminals(), 1u);
+}
+
+TEST(Ledger, UnknownIdIsCaught)
+{
+    RequestLedger ledger;
+    ledger.close(/*id=*/99, svc::Status::Ok);
+
+    std::vector<std::string> violations;
+    EXPECT_FALSE(ledger.verify(violations));
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("unknown request ids"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace microscale::chaos

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the seeded fault-schedule generator: determinism (same
+ * seed, same space => byte-identical script), bounds (event count and
+ * injection ticks), and target validity (every event names something
+ * the declared fault space contains).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "chaos/schedule.hh"
+#include "chaos/search.hh"
+
+namespace microscale::chaos
+{
+namespace
+{
+
+FaultSpace
+testSpace()
+{
+    FaultSpace space;
+    space.services = {{"webui", 4}, {"auth", 2}, {"persistence", 4}};
+    space.links = {{"external", "webui"}, {"webui", "auth"}};
+    space.ccxDomains = 8;
+    return space;
+}
+
+TEST(Schedule, SameSeedIsByteIdentical)
+{
+    const FaultSpace space = testSpace();
+    for (std::uint64_t seed : {1ull, 7ull, 12345ull}) {
+        const svc::FaultScript a =
+            randomSchedule(seed, space, 12, 1000, 500000);
+        const svc::FaultScript b =
+            randomSchedule(seed, space, 12, 1000, 500000);
+        EXPECT_EQ(describeFaultScript(a), describeFaultScript(b))
+            << "seed " << seed;
+        EXPECT_FALSE(a.empty());
+    }
+}
+
+TEST(Schedule, DifferentSeedsDiffer)
+{
+    const FaultSpace space = testSpace();
+    const svc::FaultScript a = randomSchedule(1, space, 12, 1000, 500000);
+    const svc::FaultScript b = randomSchedule(2, space, 12, 1000, 500000);
+    EXPECT_NE(describeFaultScript(a), describeFaultScript(b));
+}
+
+TEST(Schedule, RespectsBoundsAndTargets)
+{
+    const FaultSpace space = testSpace();
+    std::set<std::string> service_names;
+    for (const FaultSpace::ServiceInfo &s : space.services)
+        service_names.insert(s.name);
+    std::set<std::pair<std::string, std::string>> links(
+        space.links.begin(), space.links.end());
+
+    const Tick start = 2000;
+    const Tick end = 300000;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const svc::FaultScript script =
+            randomSchedule(seed, space, 10, start, end);
+        EXPECT_LE(script.events.size(), 10u) << "seed " << seed;
+        EXPECT_GE(script.events.size(), 1u) << "seed " << seed;
+        for (const svc::FaultEvent &e : script.events) {
+            EXPECT_GE(e.at, start) << "seed " << seed;
+            // Recovery events land at onset + 1 + draw, so the latest
+            // legal tick is one past the window end.
+            EXPECT_LE(e.at, end + 1) << "seed " << seed;
+            if (faultIsLinkKind(e.kind)) {
+                std::pair<std::string, std::string> fwd{e.service,
+                                                        e.peer};
+                std::pair<std::string, std::string> rev{e.peer,
+                                                        e.service};
+                EXPECT_TRUE(links.count(fwd) || links.count(rev))
+                    << "seed " << seed << ": unknown link " << e.service
+                    << "<->" << e.peer;
+            } else if (e.kind ==
+                           svc::FaultEvent::Kind::CorrelatedDown ||
+                       e.kind == svc::FaultEvent::Kind::CorrelatedUp) {
+                EXPECT_LT(e.replica, space.ccxDomains)
+                    << "seed " << seed;
+            } else if (!e.service.empty()) {
+                EXPECT_TRUE(service_names.count(e.service))
+                    << "seed " << seed << ": unknown service "
+                    << e.service;
+                unsigned replicas = 0;
+                for (const FaultSpace::ServiceInfo &s : space.services) {
+                    if (s.name == e.service)
+                        replicas = s.replicas;
+                }
+                if (e.kind == svc::FaultEvent::Kind::ReplicaDown ||
+                    e.kind == svc::FaultEvent::Kind::ReplicaUp ||
+                    e.kind == svc::FaultEvent::Kind::ReplicaSlow)
+                    EXPECT_LT(e.replica, replicas) << "seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(Schedule, HarnessSpaceHasMultiReplicaServicesAndLinks)
+{
+    // The chaos harness derives its fault space from the actual
+    // placement; if a refactor collapses services to one replica the
+    // gray/crash faults stop meaning anything, so pin the shape here.
+    const FaultSpace space = harnessFaultSpace();
+    EXPECT_GE(space.services.size(), 5u);
+    for (const FaultSpace::ServiceInfo &s : space.services)
+        EXPECT_GE(s.replicas, 2u) << s.name;
+    EXPECT_GE(space.links.size(), 5u);
+    EXPECT_GT(space.ccxDomains, 0u);
+
+    Tick start = 0;
+    Tick end = 0;
+    harnessWindow(start, end);
+    EXPECT_LT(start, end);
+}
+
+} // namespace
+} // namespace microscale::chaos

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the chaos harness: healthy and faulted schedules run
+ * clean through every invariant, verdicts are deterministic
+ * (fingerprint-equal across repeat runs), the planted ledger bug is
+ * caught, and the ddmin shrinker reduces it to a tiny repro.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chaos/schedule.hh"
+#include "chaos/search.hh"
+
+namespace microscale::chaos
+{
+namespace
+{
+
+svc::FaultScript
+scheduleForSeed(std::uint64_t seed, unsigned maxEvents = 8)
+{
+    Tick start = 0;
+    Tick end = 0;
+    harnessWindow(start, end);
+    return randomSchedule(seed, harnessFaultSpace(), maxEvents, start,
+                          end);
+}
+
+TEST(Search, HealthyRunIsClean)
+{
+    const ChaosVerdict v = runSchedule(svc::FaultScript{}, {});
+    EXPECT_TRUE(v.clean())
+        << (v.violations.empty() ? "" : v.violations.front());
+    EXPECT_GT(v.issued, 0u);
+    EXPECT_EQ(v.issued, v.terminals);
+    EXPECT_EQ(v.faultsApplied, 0u);
+}
+
+TEST(Search, FaultedRunIsCleanAndDeterministic)
+{
+    const svc::FaultScript script = scheduleForSeed(3);
+    const ChaosVerdict a = runSchedule(script, {});
+    EXPECT_TRUE(a.clean())
+        << (a.violations.empty() ? "" : a.violations.front());
+    EXPECT_GT(a.faultsApplied, 0u);
+
+    const ChaosVerdict b = runSchedule(script, {});
+    EXPECT_EQ(fingerprint(script, a), fingerprint(script, b));
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.byStatus, b.byStatus);
+}
+
+TEST(Search, EjectionModeIsClean)
+{
+    ChaosRunOptions opts;
+    opts.eject = true;
+    const ChaosVerdict v = runSchedule(scheduleForSeed(5), opts);
+    EXPECT_TRUE(v.clean())
+        << (v.violations.empty() ? "" : v.violations.front());
+}
+
+TEST(Search, InjectedLedgerBugIsCaughtAndShrunk)
+{
+    // Seed 4 is a known bug-tripping schedule for the fixed harness:
+    // it produces client timeouts, which the sabotaged ledger drops.
+    // Scan a few seeds anyway so harness tuning doesn't silently
+    // invalidate the test.
+    ChaosRunOptions opts;
+    opts.injectBug = true;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const svc::FaultScript script = scheduleForSeed(seed);
+        const ChaosVerdict v = runSchedule(script, opts);
+        if (v.clean())
+            continue;
+        const svc::FaultScript minimal = shrinkSchedule(script, opts);
+        EXPECT_GE(minimal.events.size(), 1u);
+        EXPECT_LE(minimal.events.size(), 4u)
+            << describeFaultScript(minimal);
+        EXPECT_FALSE(runSchedule(minimal, opts).clean());
+        return;
+    }
+    FAIL() << "no schedule in seeds 1..10 tripped the planted bug";
+}
+
+TEST(Search, RunSearchIsDeterministic)
+{
+    SearchOptions opts;
+    opts.seed = 1;
+    opts.schedules = 3;
+    std::ostringstream a;
+    std::ostringstream b;
+    const SearchResult ra = runSearch(opts, a);
+    const SearchResult rb = runSearch(opts, b);
+    EXPECT_EQ(ra.ran, 3u);
+    EXPECT_EQ(ra.violating, 0u);
+    EXPECT_EQ(ra.combinedFingerprint, rb.combinedFingerprint);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+} // namespace
+} // namespace microscale::chaos

@@ -515,18 +515,37 @@ TEST_F(ResilienceTest, DegradedFlagTravelsWithResponse)
     EXPECT_TRUE(degraded);
 }
 
-TEST_F(ResilienceTest, FaultScriptValidationIsFatal)
+TEST_F(ResilienceTest, FaultScriptStaleReplicaSkippedAtApplyTime)
 {
+    // A replica index out of range is not an arm-time error: the
+    // autoscaler may add (or retire) replicas after arm(). The event
+    // is skipped with a warning when it fires instead.
     makeService("known", 1, 1);
     FaultScript script;
     FaultEvent e;
     e.kind = FaultEvent::Kind::ReplicaDown;
+    e.at = 5 * kMillisecond;
     e.service = "known";
-    e.replica = 7; // out of range
+    e.replica = 7; // out of range at apply time
+    script.events.push_back(e);
+    FaultInjector injector(mesh_, script);
+    injector.arm();
+    sim_.runUntil(10 * kMillisecond);
+    EXPECT_EQ(injector.applied(), 0u);
+    EXPECT_EQ(injector.skipped(), 1u);
+    EXPECT_FALSE(mesh_.service("known").replicaDown(0));
+}
+
+TEST_F(ResilienceTest, FaultScriptUnknownServiceStillFatalAtArm)
+{
+    FaultScript script;
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::ReplicaDown;
+    e.service = "nonexistent";
     script.events.push_back(e);
     FaultInjector injector(mesh_, script);
     EXPECT_EXIT(injector.arm(), ::testing::ExitedWithCode(1),
-                "no replica");
+                "unknown service");
 }
 
 TEST_F(ResilienceTest, PolicyLookupMatchesWildcardsFirstWins)

@@ -16,6 +16,7 @@
 #include "base/args.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "chaos/search.hh"
 #include "core/experiment.hh"
 #include "core/json.hh"
 #include "core/sweep.hh"
@@ -39,6 +40,21 @@ placementByName(const std::string &name)
     }
     fatal("unknown placement '", name,
           "' (try os-default, node-aware, ccx-aware, ccx-striped-mem)");
+}
+
+svc::FaultScript
+faultScriptByName(const std::string &name, Tick warmup, Tick measure)
+{
+    teastore::GrayScenario gray;
+    if (teastore::grayByName(name, gray))
+        return teastore::makeGrayScript(gray, warmup, measure);
+    for (teastore::ChaosScenario s : teastore::allChaosScenarios()) {
+        if (name == teastore::chaosName(s))
+            return teastore::makeChaosScript(s, warmup, measure);
+    }
+    fatal("unknown fault scenario '", name,
+          "' (try healthy, crash, brownout, spike, gray-persistence, "
+          "gray-webui, gray-auth, gray-persistence-pair)");
 }
 
 } // namespace
@@ -69,7 +85,19 @@ main(int argc, char **argv)
                 "hardware)");
     args.addInt("seed", 42, "random seed");
     args.addString("faults", "healthy",
-                   "fault scenario: healthy, crash, brownout, spike");
+                   "fault scenario: healthy, crash, brownout, spike, "
+                   "gray-persistence, gray-webui, gray-auth, "
+                   "gray-persistence-pair");
+    args.addFlag("eject",
+                 "passive outlier ejection on top of --resilience "
+                 "(implies it): gray replicas are pulled from the "
+                 "rotation when their latency/error EWMAs diverge");
+    args.addInt("chaos-schedules", 0,
+                "run this many seeded chaos fault schedules through the "
+                "conservation-ledger harness instead of an experiment "
+                "(see tools/chaos_search)");
+    args.addInt("chaos-seed", 1,
+                "first schedule seed for --chaos-schedules");
     args.addString("schedule", "",
                    "time-varying open-loop schedule: constant, spike, "
                    "diurnal (empty = fixed-rate drivers; use windows of "
@@ -134,11 +162,25 @@ main(int argc, char **argv)
     config.demand.recommender = 0.045;
     config.demand.image = 0.41;
 
-    const teastore::ChaosScenario scenario =
-        teastore::chaosByName(args.getString("faults"));
-    config.faults = teastore::makeChaosScript(scenario, config.warmup,
-                                              config.measure);
-    if (args.getFlag("resilience")) {
+    if (args.getInt("chaos-schedules") > 0) {
+        chaos::SearchOptions so;
+        so.seed =
+            static_cast<std::uint64_t>(args.getInt("chaos-seed"));
+        so.schedules =
+            static_cast<unsigned>(args.getInt("chaos-schedules"));
+        so.run.eject = args.getFlag("eject");
+        so.run.experimentSeed = config.seed;
+        const chaos::SearchResult res =
+            chaos::runSearch(so, std::cout);
+        return res.violating == 0 ? 0 : 1;
+    }
+
+    config.faults = faultScriptByName(args.getString("faults"),
+                                      config.warmup, config.measure);
+    if (args.getFlag("eject")) {
+        config.resilience = teastore::ejectionPolicy();
+        config.app.degradedFallbacks = true;
+    } else if (args.getFlag("resilience")) {
         config.resilience = teastore::resilientPolicy();
         config.app.degradedFallbacks = true;
     }
