@@ -2,8 +2,8 @@
  * @file
  * json_check: CI validator for emitted BENCH_*.json artifacts.
  *
- *   json_check [--elastic] [--overload] [--trace] [--grayfail] FILE
- *              MIN_POINTS [LABEL...]
+ *   json_check [--elastic] [--overload] [--trace] [--grayfail]
+ *              [--scaleout] FILE MIN_POINTS [LABEL...]
  *
  * Parses FILE with core::parseJson and requires the sweep-harness
  * schema: artifact/caption/machine strings, the expected
@@ -28,6 +28,11 @@
  * and transport counters validated (numeric, finite, non-negative,
  * ejection_enabled a 0/1 flag, ejected_at_end never exceeding the
  * ejection count) and --grayfail requires every point to carry one.
+ * Points carrying a "scaleout" block (FIG-17) have its fabric, cache,
+ * shard and node-scaler counters validated (numeric, finite,
+ * non-negative, at least one node, active_nodes_end and the
+ * share/hit-rate ratios within range) and --scaleout requires every
+ * point to carry one.
  * Independently of any flag, every number in the document must
  * be finite: the writer emits null for NaN/Inf, so a raw non-finite
  * literal (or a null where a metric belongs) fails the check. Exits
@@ -215,6 +220,50 @@ checkGrayFail(const std::string &path, const std::string &label,
 }
 
 /**
+ * Validate one point's "scaleout" block (FIG-17): cluster shape,
+ * fabric accounting, cache-tier counters and node-scaler telemetry
+ * must be numeric, finite and non-negative, with the ratio metrics
+ * (fabric_share, cache_hit_rate) inside [0, 1] and the active node
+ * count inside the provisioned pool.
+ */
+void
+checkScaleout(const std::string &path, const std::string &label,
+              const core::JsonValue &scaleout)
+{
+    const std::string where = path + ": point '" + label + "' scaleout: ";
+    for (const char *key :
+         {"nodes", "active_nodes_end", "shards", "cache_nodes",
+          "fabric_messages", "fabric_bytes", "fabric_share",
+          "cache_hits", "cache_misses", "cache_invalidations",
+          "cache_evictions", "cache_hit_rate", "shard_requests",
+          "shard_load_cv", "nodes_provisioned", "warm_provisions",
+          "cold_provisions", "provision_lag_mean_ms"}) {
+        const core::JsonValue *n = scaleout.find(key);
+        if (!n || !n->isNumber())
+            die(where + "missing or non-numeric '" + key + "'");
+        if (!std::isfinite(n->numberValue))
+            die(where + "'" + key + "' is not finite");
+        if (n->numberValue < 0)
+            die(where + "'" + key + "' is negative");
+    }
+    if (scaleout.at("nodes").numberValue < 1)
+        die(where + "cluster reports no nodes");
+    if (scaleout.at("active_nodes_end").numberValue < 1 ||
+        scaleout.at("active_nodes_end").numberValue >
+            scaleout.at("nodes").numberValue)
+        die(where + "'active_nodes_end' outside [1, nodes]");
+    for (const char *key : {"fabric_share", "cache_hit_rate"}) {
+        if (scaleout.at(key).numberValue > 1.0)
+            die(where + "'" + std::string(key) + "' exceeds 1");
+    }
+    // Warm and cold provisions partition the provision count.
+    if (scaleout.at("warm_provisions").numberValue +
+            scaleout.at("cold_provisions").numberValue !=
+        scaleout.at("nodes_provisioned").numberValue)
+        die(where + "warm+cold provisions != nodes_provisioned");
+}
+
+/**
  * Reject any non-finite number anywhere in the document. The writer
  * turns NaN/Inf into null, and the parser accepts 1e999 as infinity;
  * either way a non-finite value means a metric pipeline is broken.
@@ -250,6 +299,7 @@ main(int argc, char **argv)
     bool require_overload = false;
     bool require_trace = false;
     bool require_grayfail = false;
+    bool require_scaleout = false;
     while (arg < argc) {
         const std::string flag = argv[arg];
         if (flag == "--elastic")
@@ -260,13 +310,15 @@ main(int argc, char **argv)
             require_trace = true;
         else if (flag == "--grayfail")
             require_grayfail = true;
+        else if (flag == "--scaleout")
+            require_scaleout = true;
         else
             break;
         ++arg;
     }
     if (argc - arg < 2)
         die("usage: json_check [--elastic] [--overload] [--trace] "
-            "[--grayfail] FILE MIN_POINTS [LABEL...]");
+            "[--grayfail] [--scaleout] FILE MIN_POINTS [LABEL...]");
     const std::string path = argv[arg++];
     const unsigned long min_points = std::stoul(argv[arg++]);
 
@@ -359,6 +411,12 @@ main(int argc, char **argv)
         else if (require_grayfail)
             die(path + ": point '" + label->stringValue +
                 "' without a grayfail block (--grayfail)");
+        const core::JsonValue *scaleout = result->find("scaleout");
+        if (scaleout)
+            checkScaleout(path, label->stringValue, *scaleout);
+        else if (require_scaleout)
+            die(path + ": point '" + label->stringValue +
+                "' without a scaleout block (--scaleout)");
     }
     if (require_overload && !saw_overload)
         die(path + ": no point carries an overload block (--overload)");

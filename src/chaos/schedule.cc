@@ -23,8 +23,14 @@ enum class Family
     PacketDup,
     Partition,
     CorrelatedCrash,
+    // Cluster families, drawn only when the space has clusterNodes > 0
+    // so single-machine schedules stay byte-identical per seed.
+    NodeOutage,
+    FabricLoss,
+    FabricPartition,
 };
 constexpr unsigned kNumFamilies = 8;
+constexpr unsigned kNumClusterFamilies = 11;
 
 svc::FaultEvent
 makeEvent(svc::FaultEvent::Kind kind, Tick at, std::string service,
@@ -38,6 +44,18 @@ makeEvent(svc::FaultEvent::Kind kind, Tick at, std::string service,
     e.replica = replica;
     e.factor = factor;
     return e;
+}
+
+/** A distinct (a, b) fabric-link endpoint pair, a != b. */
+std::pair<unsigned, unsigned>
+drawNodePair(Rng &rng, unsigned nodes)
+{
+    const unsigned a =
+        static_cast<unsigned>(rng.uniformInt(0, nodes - 1));
+    unsigned b = static_cast<unsigned>(rng.uniformInt(0, nodes - 2));
+    if (b >= a)
+        ++b;
+    return {a, b};
 }
 
 } // namespace
@@ -59,13 +77,16 @@ randomSchedule(std::uint64_t seed, const FaultSpace &space,
         static_cast<unsigned>(rng.uniformInt(1, maxPairs));
 
     using Kind = svc::FaultEvent::Kind;
+    const unsigned num_families =
+        space.clusterNodes > 0 ? kNumClusterFamilies : kNumFamilies;
     for (unsigned p = 0; p < pairs; ++p) {
         Family family = static_cast<Family>(
-            rng.uniformInt(0, kNumFamilies - 1));
+            rng.uniformInt(0, num_families - 1));
         // Degrade gracefully when the space lacks the target kind: link
-        // faults need links, correlated crashes need CCX domains. The
-        // fallback choice is data-driven (space is fixed per search),
-        // so determinism per seed is unaffected.
+        // faults need links, correlated crashes need CCX domains,
+        // fabric faults need a node pair. The fallback choice is
+        // data-driven (space is fixed per search), so determinism per
+        // seed is unaffected.
         const bool link_family = family == Family::PacketLoss ||
                                  family == Family::PacketDup ||
                                  family == Family::Partition;
@@ -73,6 +94,10 @@ randomSchedule(std::uint64_t seed, const FaultSpace &space,
             family = Family::Brownout;
         if (family == Family::CorrelatedCrash && space.ccxDomains == 0)
             family = Family::Crash;
+        if ((family == Family::FabricLoss ||
+             family == Family::FabricPartition) &&
+            space.clusterNodes < 2)
+            family = Family::NodeOutage;
 
         const Tick onset = windowStart + static_cast<Tick>(rng.uniformInt(
                                              0, windowEnd - windowStart));
@@ -177,6 +202,45 @@ randomSchedule(std::uint64_t seed, const FaultSpace &space,
                                                   domain, 1.0));
             break;
         }
+        case Family::NodeOutage: {
+            const unsigned node = static_cast<unsigned>(
+                rng.uniformInt(0, space.clusterNodes - 1));
+            script.events.push_back(makeEvent(Kind::NodeDown, onset, "",
+                                              "", node, 1.0));
+            if (recover)
+                script.events.push_back(makeEvent(Kind::NodeUp, recovery,
+                                                  "", "", node, 1.0));
+            break;
+        }
+        case Family::FabricLoss: {
+            const auto [a, b] = drawNodePair(rng, space.clusterNodes);
+            const double prob = rng.uniformReal(0.05, 0.9);
+            svc::FaultEvent on =
+                makeEvent(Kind::FabricLoss, onset, "", "", a, prob);
+            on.peerReplica = b;
+            script.events.push_back(std::move(on));
+            if (recover) {
+                svc::FaultEvent off =
+                    makeEvent(Kind::FabricLoss, recovery, "", "", a, 0.0);
+                off.peerReplica = b;
+                script.events.push_back(std::move(off));
+            }
+            break;
+        }
+        case Family::FabricPartition: {
+            const auto [a, b] = drawNodePair(rng, space.clusterNodes);
+            svc::FaultEvent on =
+                makeEvent(Kind::FabricPartition, onset, "", "", a, 1.0);
+            on.peerReplica = b;
+            script.events.push_back(std::move(on));
+            if (recover) {
+                svc::FaultEvent off =
+                    makeEvent(Kind::FabricHeal, recovery, "", "", a, 1.0);
+                off.peerReplica = b;
+                script.events.push_back(std::move(off));
+            }
+            break;
+        }
         }
     }
     return script;
@@ -195,6 +259,13 @@ describeFaultScript(const svc::FaultScript &script)
         else if (e.kind == svc::FaultEvent::Kind::CorrelatedDown ||
                  e.kind == svc::FaultEvent::Kind::CorrelatedUp)
             os << " domain=" << e.replica;
+        else if (e.kind == svc::FaultEvent::Kind::NodeDown ||
+                 e.kind == svc::FaultEvent::Kind::NodeUp)
+            os << " node=" << e.replica;
+        else if (e.kind == svc::FaultEvent::Kind::FabricLoss ||
+                 e.kind == svc::FaultEvent::Kind::FabricPartition ||
+                 e.kind == svc::FaultEvent::Kind::FabricHeal)
+            os << " nodes " << e.replica << "<->" << e.peerReplica;
         else if (!e.service.empty())
             os << " " << e.service << "#" << e.replica;
         else

@@ -56,6 +56,15 @@ struct FaultSpace
 
     /** CCX failure domains for correlated crashes (0 = none). */
     unsigned ccxDomains = 0;
+
+    /**
+     * Machines in the cluster. 0 = single-machine harness: the node
+     * and fabric fault families are never drawn and schedules stay
+     * byte-identical to what pre-cluster builds produced. >= 2 also
+     * arms fabric-link loss/partition between node pairs; every node
+     * pair is a fabric link (see net::Network::sendVia).
+     */
+    unsigned clusterNodes = 0;
 };
 
 /**

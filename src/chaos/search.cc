@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "chaos/ledger.hh"
+#include "cluster/cluster.hh"
 #include "core/experiment.hh"
 #include "sim/simulation.hh"
 #include "svc/mesh.hh"
@@ -34,6 +35,27 @@ constexpr Tick kWarmup = 120 * kMillisecond;
 constexpr Tick kMeasure = 500 * kMillisecond;
 constexpr unsigned kUsers = 40;
 
+/**
+ * The cluster variant of the harness: two small8 machines over a LAN
+ * fabric, persistence sharded two ways behind a single cache node so
+ * node loss takes out stateful tier members, not just app replicas.
+ * The scaler stays off - schedules, not load, drive the run.
+ */
+cluster::ClusterParams
+clusterHarnessParams()
+{
+    cluster::ClusterParams p;
+    p.nodes = 2;
+    p.nodeMachine = topo::small8();
+    cluster::applyFabricPreset(p, "lan");
+    p.shards = 2;
+    p.cacheNodes = 1;
+    p.cacheCapacity = 256;
+    p.shardWorkers = 4;
+    p.cacheWorkers = 4;
+    return p;
+}
+
 core::ExperimentConfig
 harnessConfig(const ChaosRunOptions &opts)
 {
@@ -57,6 +79,15 @@ harnessConfig(const ChaosRunOptions &opts)
     c.sizing.recommender.workers = 2;
     c.sizing.image.workers = 6;
     c.sizing.registry = {1, 1};
+    if (opts.cluster) {
+        // Per-node sizing for the small8 node machine; runScaleout
+        // ignores c.machine and builds 2 x small8 instead.
+        c.sizing.webui = {1, 8};
+        c.sizing.auth = {1, 4};
+        c.sizing.persistence = {1, 8};
+        c.sizing.recommender = {1, 2};
+        c.sizing.image = {1, 8};
+    }
     c.load.users = kUsers;
     c.load.meanThink = 50 * kMillisecond;
     c.warmup = kWarmup;
@@ -75,6 +106,20 @@ harnessConfig(const ChaosRunOptions &opts)
     external.policy.timeout = 500 * kMillisecond;
     external.policy.maxAttempts = 1;
     c.resilience.edges.push_back(std::move(external));
+
+    // Fabric partitions blackhole EVERY edge crossing the node pair -
+    // including the cache/shard tier calls, which have no specific
+    // rule above. A catch-all timeout (first match wins, so it only
+    // covers otherwise-unruled edges) keeps blackholed workers from
+    // hanging past the drain.
+    if (opts.cluster) {
+        svc::EdgeRule any;
+        any.client = "*";
+        any.server = "*";
+        any.policy.timeout = 500 * kMillisecond;
+        any.policy.maxAttempts = 1;
+        c.resilience.edges.push_back(std::move(any));
+    }
 
     // Full tracing feeds the deadline-monotonicity invariant.
     c.trace.enabled = true;
@@ -201,15 +246,35 @@ verdictLine(const ChaosVerdict &v)
 } // namespace
 
 FaultSpace
-harnessFaultSpace()
+harnessFaultSpace(bool clusterHarness)
 {
     // Derive replica counts from the actual placement plan so the
-    // space can never drift from what the harness builds.
-    const core::ExperimentConfig c = harnessConfig({});
-    const topo::Machine machine(c.machine);
-    const CpuMask budget = core::budgetMask(machine, c.cores, c.smt);
+    // space can never drift from what the harness builds. In cluster
+    // mode the plan is built per node (runScaleout concatenates the
+    // per-node plans node-major), so replica counts scale by the node
+    // count and the node/fabric families are armed.
+    ChaosRunOptions space_opts;
+    space_opts.cluster = clusterHarness;
+    const core::ExperimentConfig c = harnessConfig(space_opts);
+
+    unsigned replica_scale = 1;
+    unsigned cluster_nodes = 0;
+    topo::MachineParams machine_params = c.machine;
+    CpuMask plan_budget;
+    if (clusterHarness) {
+        const cluster::ClusterParams cp = clusterHarnessParams();
+        machine_params = cluster::clusterMachine(cp);
+        const topo::Machine super(machine_params);
+        for (unsigned s = 0; s < cp.nodeMachine.sockets; ++s)
+            plan_budget = plan_budget | super.cpusOfSocket(s);
+        replica_scale = cp.nodes;
+        cluster_nodes = cp.nodes;
+    }
+    const topo::Machine machine(machine_params);
+    if (!clusterHarness)
+        plan_budget = core::budgetMask(machine, c.cores, c.smt);
     const core::PlacementPlan plan = core::buildPlacement(
-        c.placement, machine, budget, c.demand, c.sizing);
+        c.placement, machine, plan_budget, c.demand, c.sizing);
 
     FaultSpace space;
     for (const char *name :
@@ -219,8 +284,10 @@ harnessFaultSpace()
         const auto it = plan.services.find(name);
         if (it == plan.services.end())
             fatal("harnessFaultSpace: plan lacks service '", name, "'");
-        space.services.push_back({name, it->second.replicas});
+        space.services.push_back(
+            {name, it->second.replicas * replica_scale});
     }
+    space.clusterNodes = cluster_nodes;
     // Only edges whose client applies a timeout (see FaultSpace docs).
     space.links = {
         {svc::kExternalClient, teastore::names::kWebui},
@@ -258,7 +325,10 @@ runSchedule(const svc::FaultScript &script, const ChaosRunOptions &opts)
         checkWorldInvariants(sim, mesh, verdict.violations);
     };
 
-    const core::RunResult result = core::runExperiment(config);
+    const core::RunResult result =
+        opts.cluster
+            ? cluster::runScaleout(config, clusterHarnessParams())
+            : core::runExperiment(config);
 
     ledger.verify(verdict.violations);
     verdict.issued = ledger.issued();
@@ -360,7 +430,7 @@ SearchResult
 runSearch(const SearchOptions &opts, std::ostream &os)
 {
     SearchResult result;
-    const FaultSpace space = harnessFaultSpace();
+    const FaultSpace space = harnessFaultSpace(opts.run.cluster);
     Tick window_start = 0;
     Tick window_end = 0;
     harnessWindow(window_start, window_end);

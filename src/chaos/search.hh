@@ -52,6 +52,14 @@ struct ChaosRunOptions
      * shrinker must minimize.
      */
     bool injectBug = false;
+    /**
+     * Run the cluster harness instead: two small8 machines over a LAN
+     * fabric with a sharded persistence tier behind one cache node
+     * (cluster::runScaleout). Arms the node-outage and fabric
+     * loss/partition fault families on top of the usual ones, so the
+     * ledger must conserve requests across whole-node loss.
+     */
+    bool cluster = false;
     /** Experiment seed (fixed across schedules; the schedule seed is
      *  what varies). */
     std::uint64_t experimentSeed = 42;
@@ -72,8 +80,11 @@ struct ChaosVerdict
     bool clean() const { return violations.empty(); }
 };
 
-/** The fault space matching the harness topology (see search.cc). */
-FaultSpace harnessFaultSpace();
+/** The fault space matching the harness topology (see search.cc).
+ * With `clusterHarness` the space describes the 2-node cluster
+ * harness: replica counts span both machines and the node/fabric
+ * fault families are armed (clusterNodes = 2). */
+FaultSpace harnessFaultSpace(bool clusterHarness = false);
 
 /** Fault-injection window of the harness run, for randomSchedule. */
 void harnessWindow(Tick &start, Tick &end);

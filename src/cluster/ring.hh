@@ -1,0 +1,69 @@
+/**
+ * @file
+ * HashRing: a deterministic consistent-hash ring.
+ *
+ * Each member node contributes a fixed number of virtual tokens,
+ * hashed from the node id, onto a 64-bit ring; a key maps to the
+ * owner of the first token at or after its hash (wrapping). Virtual
+ * tokens keep ownership roughly even and bound the key movement on
+ * membership change to about 1/N of the key space. Everything is
+ * derived from FNV-1a over strings (with a murmur-style finalizer for
+ * avalanche), so two rings built from the same membership — in any
+ * insertion order — are identical.
+ */
+
+#ifndef MICROSCALE_CLUSTER_RING_HH
+#define MICROSCALE_CLUSTER_RING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace microscale::cluster
+{
+
+class HashRing
+{
+  public:
+    /** @param vnodes virtual tokens per member (ownership evenness). */
+    explicit HashRing(unsigned vnodes = 64);
+
+    /** Add a member; adding an existing member is a no-op. */
+    void addNode(unsigned node);
+
+    /** Remove a member; removing a non-member is a no-op. */
+    void removeNode(unsigned node);
+
+    /** Member owning `key`; fatal() on an empty ring. */
+    unsigned nodeFor(const std::string &key) const;
+
+    bool contains(unsigned node) const;
+
+    std::size_t nodeCount() const { return members_.size(); }
+    bool empty() const { return members_.empty(); }
+    unsigned vnodes() const { return vnodes_; }
+
+    /** FNV-1a over the key string, finalized for avalanche (exposed
+     * for tests). */
+    static std::uint64_t hash(const std::string &key);
+
+  private:
+    struct Token
+    {
+        std::uint64_t point;
+        unsigned node;
+
+        bool operator<(const Token &o) const
+        {
+            return point != o.point ? point < o.point : node < o.node;
+        }
+    };
+
+    unsigned vnodes_;
+    std::vector<Token> ring_; ///< sorted by point
+    std::vector<unsigned> members_;
+};
+
+} // namespace microscale::cluster
+
+#endif // MICROSCALE_CLUSTER_RING_HH

@@ -56,8 +56,11 @@ runExperiment(const ExperimentConfig &config)
     mesh.setTrace(config.trace);
 
     const CpuMask budget = budgetMask(machine, config.cores, config.smt);
-    PlacementPlan plan = buildPlacement(config.placement, machine, budget,
-                                        config.demand, config.sizing);
+    PlacementPlan plan =
+        config.planOverride
+            ? config.planOverride(machine, budget)
+            : buildPlacement(config.placement, machine, budget,
+                             config.demand, config.sizing);
 
     teastore::AppParams app_params = config.app;
     sizeAppFromPlan(app_params, plan);
@@ -73,6 +76,12 @@ runExperiment(const ExperimentConfig &config)
         app.setBrownout(brownout.get());
     }
 
+    // Cluster construction (shard/cache services, node router, node
+    // scaler) happens before the fault injector arms so cluster fault
+    // scripts validate against the full service registry.
+    if (config.postBuild)
+        config.postBuild(sim, mesh, app);
+
     std::unique_ptr<svc::FaultInjector> injector;
     if (!config.faults.empty()) {
         injector =
@@ -87,6 +96,7 @@ runExperiment(const ExperimentConfig &config)
     if (config.openLoopRps > 0.0) {
         loadgen::OpenLoopParams p;
         p.arrivalRps = config.openLoopRps;
+        p.schedule = config.loadSchedule;
         p.ledger = config.ledger;
         open = std::make_unique<loadgen::OpenLoopDriver>(app, mix, p,
                                                          config.seed);
@@ -219,6 +229,11 @@ runExperiment(const ExperimentConfig &config)
             case svc::FaultEvent::Kind::PartitionHeal:
             case svc::FaultEvent::Kind::CorrelatedDown:
             case svc::FaultEvent::Kind::CorrelatedUp:
+            case svc::FaultEvent::Kind::NodeDown:
+            case svc::FaultEvent::Kind::NodeUp:
+            case svc::FaultEvent::Kind::FabricLoss:
+            case svc::FaultEvent::Kind::FabricPartition:
+            case svc::FaultEvent::Kind::FabricHeal:
                 gray_script = true;
                 break;
             default:
@@ -252,6 +267,9 @@ runExperiment(const ExperimentConfig &config)
     result.cpuUtilization =
         busy / (static_cast<double>(budget.count()) *
                 static_cast<double>(config.measure));
+
+    if (config.harvestExtra)
+        config.harvestExtra(sim, mesh, app, result);
 
     // Optional quiesce: stop the drivers and let in-flight work finish
     // (complete or time out). Every periodic timer in the system is a

@@ -38,6 +38,8 @@ class RequestLedger;
 namespace microscale::core
 {
 
+struct RunResult;
+
 /** Everything one run needs. */
 struct ExperimentConfig
 {
@@ -108,6 +110,41 @@ struct ExperimentConfig
      */
     std::function<void(sim::Simulation &, svc::Mesh &, teastore::App &)>
         postDrain;
+
+    /**
+     * Rate schedule for the open-loop driver (requires openLoopRps > 0
+     * to select it). Empty (the default) keeps the constant-rate
+     * arrival sequence bit-identical; non-empty modulates arrivals by
+     * thinning against openLoopRps as the peak.
+     */
+    loadgen::LoadSchedule loadSchedule;
+
+    /**
+     * Placement override: when set, used instead of buildPlacement to
+     * produce the plan the app is built and pinned from. The cluster
+     * layer uses it to merge per-machine placements. Unset = the
+     * standard single-machine path, untouched.
+     */
+    std::function<PlacementPlan(const topo::Machine &, const CpuMask &)>
+        planOverride;
+
+    /**
+     * Construction hook invoked after the app, mesh and brownout are
+     * built but before the fault injector arms and the load driver is
+     * created. The cluster layer uses it to add shard/cache services,
+     * install the NodeRouter and start the node scaler. Unset = no-op.
+     */
+    std::function<void(sim::Simulation &, svc::Mesh &, teastore::App &)>
+        postBuild;
+
+    /**
+     * Harvest hook invoked after the standard result harvest (before
+     * the optional drain), with the world still alive. The cluster
+     * layer fills RunResult::scaleout from it. Unset = no-op.
+     */
+    std::function<void(sim::Simulation &, svc::Mesh &, teastore::App &,
+                       RunResult &)>
+        harvestExtra;
 
     std::uint64_t seed = 42;
 };
@@ -299,6 +336,46 @@ struct GrayFailSummary
     std::uint64_t faultsSkipped = 0;
 };
 
+/**
+ * Cluster scale-out outcome of one run (filled by
+ * cluster::runScaleout's harvest hook). `active` only when the run
+ * modeled a multi-machine cluster with cache/shard tiers; inactive
+ * summaries are elided from reports so single-machine output is
+ * unchanged.
+ */
+struct ScaleoutSummary
+{
+    bool active = false;
+    /** Machines in the cluster (provisioned pool, including cold). */
+    unsigned nodes = 0;
+    /** Machines serving traffic when the run ended. */
+    unsigned activeNodesEnd = 0;
+    unsigned shards = 0;
+    unsigned cacheNodes = 0;
+    /** Fabric transport accounting (whole run). */
+    std::uint64_t fabricMessages = 0;
+    std::uint64_t fabricBytes = 0;
+    /** Fabric share of all transported messages. */
+    double fabricShare = 0.0;
+    /** Cache tier accounting (whole run). */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheInvalidations = 0;
+    std::uint64_t cacheEvictions = 0;
+    double cacheHitRate = 0.0;
+    /** Requests the shard tier actually served (cache misses+writes). */
+    std::uint64_t shardRequests = 0;
+    /** Coefficient of variation of per-shard request counts (ring
+     * balance; 0 = perfectly even). */
+    double shardLoadCv = 0.0;
+    /** Node-scaler accounting (0s when the scaler was off). */
+    std::uint64_t nodesProvisioned = 0;
+    std::uint64_t warmProvisions = 0;
+    std::uint64_t coldProvisions = 0;
+    /** Mean decision-to-serving lag over node provisions, ms. */
+    double provisionLagMeanMs = 0.0;
+};
+
 /** Results of one run. */
 struct RunResult
 {
@@ -317,6 +394,7 @@ struct RunResult
     ElasticSummary elastic;
     TraceSummary trace;
     GrayFailSummary grayfail;
+    ScaleoutSummary scaleout;
 
     os::SchedStats sched;
     /** Busy fraction of the CPU budget during the window. */

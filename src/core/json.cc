@@ -352,6 +352,11 @@ writeJson(std::ostream &os, const RunResult &result)
             w.field("retry_backoff_ms", a.backoffNs * toMs);
             w.field("shed_ms", a.shedNs * toMs);
             w.field("network_ms", a.networkNs * toMs);
+            // Fabric time is the cross-machine slice of network_ms,
+            // not an eighth component; only cluster runs report it so
+            // single-machine trace JSON stays byte-identical.
+            if (result.scaleout.active)
+                w.field("fabric_ms", a.fabricNs * toMs);
             w.field("total_ms", a.totalNs() * toMs);
             w.endObject();
         }
@@ -377,6 +382,33 @@ writeJson(std::ostream &os, const RunResult &result)
         w.field("packets_blackholed", gf.packetsBlackholed);
         w.field("faults_applied", gf.faultsApplied);
         w.field("faults_skipped", gf.faultsSkipped);
+        w.endObject();
+    }
+
+    // Same gating: only cluster runs carry the block, so every
+    // single-machine FIG capture stays byte-identical.
+    if (result.scaleout.active) {
+        const ScaleoutSummary &so = result.scaleout;
+        w.key("scaleout");
+        w.beginObject();
+        w.field("nodes", so.nodes);
+        w.field("active_nodes_end", so.activeNodesEnd);
+        w.field("shards", so.shards);
+        w.field("cache_nodes", so.cacheNodes);
+        w.field("fabric_messages", so.fabricMessages);
+        w.field("fabric_bytes", so.fabricBytes);
+        w.field("fabric_share", so.fabricShare);
+        w.field("cache_hits", so.cacheHits);
+        w.field("cache_misses", so.cacheMisses);
+        w.field("cache_invalidations", so.cacheInvalidations);
+        w.field("cache_evictions", so.cacheEvictions);
+        w.field("cache_hit_rate", so.cacheHitRate);
+        w.field("shard_requests", so.shardRequests);
+        w.field("shard_load_cv", so.shardLoadCv);
+        w.field("nodes_provisioned", so.nodesProvisioned);
+        w.field("warm_provisions", so.warmProvisions);
+        w.field("cold_provisions", so.coldProvisions);
+        w.field("provision_lag_mean_ms", so.provisionLagMeanMs);
         w.endObject();
     }
 

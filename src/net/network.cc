@@ -12,7 +12,7 @@ namespace microscale::net
 Network::Network(sim::Simulation &sim, NetParams params,
                  std::uint64_t seed)
     : sim_(sim), params_(params), rng_(seed, "net.loopback"),
-      chaos_rng_(seed, "net.chaos")
+      chaos_rng_(seed, "net.chaos"), fabric_rng_(seed, "net.fabric")
 {
     if (params_.baseLatencyNs == 0)
         fatal("network base latency must be positive");
@@ -30,6 +30,46 @@ Network::sampleLatency(std::uint32_t payload_bytes)
     if (params_.jitterCv > 0.0)
         lat = rng_.lognormal(lat, params_.jitterCv);
     return std::max<Tick>(1, static_cast<Tick>(std::llround(lat)));
+}
+
+double
+Network::fabricTierFactor(unsigned a, unsigned b) const
+{
+    if (params_.fabricRackSize == 0 || params_.fabricCoreFactor == 1.0)
+        return 1.0;
+    return a / params_.fabricRackSize == b / params_.fabricRackSize
+               ? 1.0
+               : params_.fabricCoreFactor;
+}
+
+Tick
+Network::fabricLatencyNominal(std::uint32_t payload_bytes, unsigned a,
+                              unsigned b) const
+{
+    if (!fabricConfigured())
+        return 0;
+    const double kib = static_cast<double>(payload_bytes) / 1024.0;
+    const double lat =
+        (static_cast<double>(params_.fabricBaseNs) +
+         kib * static_cast<double>(params_.fabricPerKibNs)) *
+        fabricTierFactor(a, b);
+    return std::max<Tick>(1, static_cast<Tick>(std::llround(lat)));
+}
+
+Tick
+Network::sampleFabricLatency(std::uint32_t payload_bytes, unsigned a,
+                             unsigned b)
+{
+    const double kib = static_cast<double>(payload_bytes) / 1024.0;
+    double lat = (static_cast<double>(params_.fabricBaseNs) +
+                  kib * static_cast<double>(params_.fabricPerKibNs)) *
+                 fabricTierFactor(a, b);
+    // LatencyFactor faults inflate the fabric too (shared transport
+    // substrate); exact identity at the default 1.0.
+    lat *= latency_factor_;
+    if (params_.fabricJitterCv > 0.0 && lat > 0.0)
+        lat = fabric_rng_.lognormal(lat, params_.fabricJitterCv);
+    return std::max<Tick>(0, static_cast<Tick>(std::llround(lat)));
 }
 
 void
@@ -85,6 +125,35 @@ Network::linkFault(const std::string &a, const std::string &b) const
 }
 
 void
+Network::setFabricLoss(unsigned a, unsigned b, double prob)
+{
+    if (prob < 0.0 || prob > 1.0)
+        fatal("fabric loss probability must be in [0,1]");
+    const FabricKey key = fabricKey(a, b);
+    auto it = fabric_faults_.try_emplace(key).first;
+    it->second.lossProb = prob;
+    if (it->second.clear())
+        fabric_faults_.erase(it);
+}
+
+void
+Network::setFabricPartition(unsigned a, unsigned b, bool blackhole)
+{
+    const FabricKey key = fabricKey(a, b);
+    auto it = fabric_faults_.try_emplace(key).first;
+    it->second.blackhole = blackhole;
+    if (it->second.clear())
+        fabric_faults_.erase(it);
+}
+
+LinkFault
+Network::fabricFault(unsigned a, unsigned b) const
+{
+    auto it = fabric_faults_.find(fabricKey(a, b));
+    return it == fabric_faults_.end() ? LinkFault{} : it->second;
+}
+
+void
 Network::send(std::uint32_t payload_bytes, sim::EventFn deliver)
 {
     ++stats_.messages;
@@ -134,6 +203,57 @@ Network::send(std::uint32_t payload_bytes, const std::string &from,
         }
     }
     send(payload_bytes, std::move(deliver));
+}
+
+void
+Network::sendVia(std::uint32_t payload_bytes, const std::string &from,
+                 const std::string &to, unsigned src_node,
+                 unsigned dst_node, sim::EventFn deliver)
+{
+    // Same machine: exactly the link-aware path, no fabric anything.
+    if (src_node == dst_node) {
+        send(payload_bytes, from, to, std::move(deliver));
+        return;
+    }
+    // Fabric-link faults act before the service-link ones: a
+    // partitioned machine pair swallows every message between the two
+    // nodes regardless of which services are talking.
+    if (!fabric_faults_.empty()) {
+        auto it = fabric_faults_.find(fabricKey(src_node, dst_node));
+        if (it != fabric_faults_.end()) {
+            const LinkFault &f = it->second;
+            if (f.blackhole) {
+                ++stats_.messages;
+                stats_.bytes += payload_bytes;
+                ++stats_.blackholed;
+                return;
+            }
+            if (f.lossProb > 0.0 &&
+                chaos_rng_.uniform01() < f.lossProb) {
+                ++stats_.messages;
+                stats_.bytes += payload_bytes;
+                ++stats_.dropped;
+                return;
+            }
+        }
+    }
+    ++stats_.fabricMessages;
+    stats_.fabricBytes += payload_bytes;
+    const Tick extra = fabricConfigured()
+                           ? sampleFabricLatency(payload_bytes,
+                                                 src_node, dst_node)
+                           : 0;
+    if (extra == 0) {
+        // Ideal fabric: cross-node costs the same as loopback.
+        send(payload_bytes, from, to, std::move(deliver));
+        return;
+    }
+    // Pay the fabric hop first, then traverse the receiving host's
+    // loopback path (service-link faults included) as usual.
+    sim_.scheduleAfter(extra, [this, payload_bytes, from, to,
+                               deliver = std::move(deliver)]() mutable {
+        send(payload_bytes, from, to, std::move(deliver));
+    });
 }
 
 } // namespace microscale::net

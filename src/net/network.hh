@@ -40,6 +40,26 @@ struct NetParams
     Tick perKibNs = 500;
     /** Coefficient of variation of lognormal latency jitter. */
     double jitterCv = 0.10;
+    /**
+     * Cluster fabric: extra one-way latency added to messages that
+     * cross machine boundaries (sendVia with srcNode != dstNode).
+     * 0 = ideal fabric: cross-node messages are indistinguishable
+     * from loopback and consume no extra RNG draws.
+     */
+    Tick fabricBaseNs = 0;
+    /** Serialization delay per KiB on the fabric (link bandwidth). */
+    Tick fabricPerKibNs = 0;
+    /** Jitter CV of the fabric component (drawn from "net.fabric"). */
+    double fabricJitterCv = 0.0;
+    /**
+     * Leaf/core fabric tiers: machines are grouped into racks of this
+     * many nodes sharing a leaf switch; traffic between racks crosses
+     * the (oversubscribed) core tier and pays fabricCoreFactor times
+     * the fabric latency. 0 = flat fabric, every pair one hop.
+     */
+    unsigned fabricRackSize = 0;
+    /** Latency multiplier for inter-rack (core-tier) fabric hops. */
+    double fabricCoreFactor = 1.0;
 };
 
 /** Traffic counters. */
@@ -53,6 +73,10 @@ struct NetStats
     std::uint64_t duplicated = 0;
     /** Messages swallowed by a Partition blackhole. */
     std::uint64_t blackholed = 0;
+    /** Messages that crossed a machine boundary (fabric hop). */
+    std::uint64_t fabricMessages = 0;
+    /** Bytes carried across the fabric. */
+    std::uint64_t fabricBytes = 0;
 };
 
 /** Fault state of one (unordered) link. */
@@ -95,8 +119,35 @@ class Network
     void send(std::uint32_t payload_bytes, const std::string &from,
               const std::string &to, sim::EventFn deliver);
 
+    /**
+     * Node-aware send: like the link-aware overload, but when the
+     * message crosses a machine boundary (srcNode != dstNode) it also
+     * pays the fabric latency (base + per-KiB serialization, with its
+     * own jitter stream) and is subject to any fabric-link fault
+     * between the two nodes. Same-node traffic — and any traffic with
+     * the fabric unconfigured — takes exactly the link-aware path.
+     */
+    void sendVia(std::uint32_t payload_bytes, const std::string &from,
+                 const std::string &to, unsigned src_node,
+                 unsigned dst_node, sim::EventFn deliver);
+
     /** One-way latency sample for a payload (exposed for tests). */
     Tick sampleLatency(std::uint32_t payload_bytes);
+
+    /**
+     * Deterministic (jitter-free) fabric latency for a payload between
+     * two machines: base plus per-KiB serialization, times the core
+     * factor when the pair spans racks. Used for trace attribution so
+     * the stamp never consumes RNG; 0 when no fabric is configured.
+     */
+    Tick fabricLatencyNominal(std::uint32_t payload_bytes, unsigned a,
+                              unsigned b) const;
+
+    /** True when cross-node messages pay a fabric cost. */
+    bool fabricConfigured() const
+    {
+        return params_.fabricBaseNs > 0 || params_.fabricPerKibNs > 0;
+    }
 
     /**
      * Fault hook: multiply all latencies by `factor` (link-latency
@@ -122,16 +173,39 @@ class Network
     /** Current fault state of a link (zero-initialized when unfaulted). */
     LinkFault linkFault(const std::string &a, const std::string &b) const;
 
+    /** Drop fabric messages between nodes `a` and `b` with probability
+     *  `prob` (both directions; 0 clears). */
+    void setFabricLoss(unsigned a, unsigned b, double prob);
+
+    /** Blackhole (or heal) the fabric link between nodes `a` and `b`. */
+    void setFabricPartition(unsigned a, unsigned b, bool blackhole);
+
+    /** Current fault state of a fabric link. */
+    LinkFault fabricFault(unsigned a, unsigned b) const;
+
     const NetParams &params() const { return params_; }
     const NetStats &stats() const { return stats_; }
 
   private:
     using LinkKey = std::pair<std::string, std::string>;
+    using FabricKey = std::pair<unsigned, unsigned>;
 
     static LinkKey linkKey(const std::string &a, const std::string &b)
     {
         return a <= b ? LinkKey{a, b} : LinkKey{b, a};
     }
+
+    static FabricKey fabricKey(unsigned a, unsigned b)
+    {
+        return a <= b ? FabricKey{a, b} : FabricKey{b, a};
+    }
+
+    /** Extra latency of one fabric hop (jittered when configured). */
+    Tick sampleFabricLatency(std::uint32_t payload_bytes, unsigned a,
+                             unsigned b);
+
+    /** Core-tier multiplier for a machine pair (1.0 inside a rack). */
+    double fabricTierFactor(unsigned a, unsigned b) const;
 
     /** Mutate the link's fault entry; erases it when it becomes clear
      *  so the empty-map fast path returns once faults end. */
@@ -143,9 +217,12 @@ class Network
     Rng rng_;
     /** Consumed only for messages on faulted links. */
     Rng chaos_rng_;
+    /** Consumed only for cross-node messages with fabric jitter on. */
+    Rng fabric_rng_;
     NetStats stats_;
     double latency_factor_ = 1.0;
     std::map<LinkKey, LinkFault> link_faults_;
+    std::map<FabricKey, LinkFault> fabric_faults_;
 };
 
 } // namespace microscale::net

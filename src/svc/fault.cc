@@ -32,6 +32,16 @@ faultKindName(FaultEvent::Kind kind)
         return "correlated-down";
     case FaultEvent::Kind::CorrelatedUp:
         return "correlated-up";
+    case FaultEvent::Kind::NodeDown:
+        return "node-down";
+    case FaultEvent::Kind::NodeUp:
+        return "node-up";
+    case FaultEvent::Kind::FabricLoss:
+        return "fabric-loss";
+    case FaultEvent::Kind::FabricPartition:
+        return "fabric-partition";
+    case FaultEvent::Kind::FabricHeal:
+        return "fabric-heal";
     }
     return "?";
 }
@@ -103,14 +113,28 @@ FaultInjector::arm()
                       "'<->'", e.peer, "' is not a service");
             }
             break;
+        case FaultEvent::Kind::FabricLoss:
+        case FaultEvent::Kind::FabricPartition:
+        case FaultEvent::Kind::FabricHeal:
+            // Fabric faults name cluster nodes, not services; a
+            // self-link can never carry traffic.
+            if (e.replica == e.peerReplica) {
+                fatal("fault script: fabric fault needs two distinct "
+                      "nodes, got ",
+                      e.replica, "<->", e.peerReplica);
+            }
+            break;
         case FaultEvent::Kind::LatencyFactor:
         case FaultEvent::Kind::CorrelatedDown:
         case FaultEvent::Kind::CorrelatedUp:
+        case FaultEvent::Kind::NodeDown:
+        case FaultEvent::Kind::NodeUp:
             break;
         }
         switch (e.kind) {
         case FaultEvent::Kind::PacketLoss:
         case FaultEvent::Kind::PacketDup:
+        case FaultEvent::Kind::FabricLoss:
             if (e.factor < 0.0 || e.factor > 1.0) {
                 fatal("fault script: ", faultKindName(e.kind),
                       " probability must be in [0,1]");
@@ -193,6 +217,48 @@ FaultInjector::apply(const FaultEvent &event)
     case FaultEvent::Kind::CorrelatedUp:
         applyCorrelated(event.replica, false);
         break;
+    case FaultEvent::Kind::NodeDown:
+        applyNode(event.replica, true);
+        break;
+    case FaultEvent::Kind::NodeUp:
+        applyNode(event.replica, false);
+        break;
+    case FaultEvent::Kind::FabricLoss:
+        mesh_.network().setFabricLoss(event.replica, event.peerReplica,
+                                      event.factor);
+        break;
+    case FaultEvent::Kind::FabricPartition:
+        mesh_.network().setFabricPartition(event.replica,
+                                           event.peerReplica, true);
+        break;
+    case FaultEvent::Kind::FabricHeal:
+        mesh_.network().setFabricPartition(event.replica,
+                                           event.peerReplica, false);
+        break;
+    }
+}
+
+void
+FaultInjector::applyNode(unsigned node, bool down)
+{
+    // Whole-machine failure: every replica placed on the cluster node
+    // goes down (or comes back) together. On a single-machine mesh no
+    // replica carries a cluster node, so the event warns and skips —
+    // the same stale-target policy replica faults follow.
+    unsigned touched = 0;
+    for (const auto &svc : mesh_.services()) {
+        for (unsigned r = 0; r < svc->replicaCount(); ++r) {
+            if (svc->replicaClusterNode(r) == static_cast<int>(node)) {
+                svc->setReplicaDown(r, down);
+                ++touched;
+            }
+        }
+    }
+    if (touched == 0) {
+        --applied_;
+        ++skipped_;
+        warn("fault: ", down ? "node-down" : "node-up", " node ", node,
+             " matched no replicas");
     }
 }
 

@@ -64,6 +64,24 @@ struct FaultEvent
         CorrelatedDown,
         /** Bring the CCX domain `replica` replicas back up. */
         CorrelatedUp,
+        /**
+         * Cluster node crash: every replica (of every service) placed
+         * on cluster node `replica` goes down together. Only
+         * meaningful for scale-out runs; against a single-machine
+         * mesh (no replica has a cluster node) it warns and skips.
+         */
+        NodeDown,
+        /** Bring cluster node `replica`'s replicas back up. */
+        NodeUp,
+        /**
+         * Drop each fabric message between cluster nodes `replica`
+         * and `peerReplica` with probability `factor` (0 = end).
+         */
+        FabricLoss,
+        /** Blackhole the `replica` <-> `peerReplica` fabric link. */
+        FabricPartition,
+        /** Heal a previous FabricPartition of the same node pair. */
+        FabricHeal,
     };
 
     Kind kind = Kind::ReplicaDown;
@@ -75,9 +93,11 @@ struct FaultEvent
     std::string peer;
     /**
      * Target replica (ReplicaDown/Up/Slow); for CorrelatedDown/Up this
-     * is the CCX domain id instead.
+     * is the CCX domain id, for node/fabric kinds the cluster node id.
      */
     unsigned replica = 0;
+    /** Second cluster node (FabricLoss/FabricPartition/FabricHeal). */
+    unsigned peerReplica = 0;
     /** Multiplier (Slowdown/LatencyFactor/ReplicaSlow) or probability
      *  (PacketLoss/PacketDup). */
     double factor = 1.0;
@@ -128,6 +148,7 @@ class FaultInjector
   private:
     void apply(const FaultEvent &event);
     void applyCorrelated(unsigned domain, bool down);
+    void applyNode(unsigned node, bool down);
 
     Mesh &mesh_;
     FaultScript script_;

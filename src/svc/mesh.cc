@@ -36,6 +36,8 @@ struct Mesh::RpcCall
     /** Backoff delay preceding the next attempt (recorded into its
      * span, then cleared). */
     Tick pendingBackoff = 0;
+    /** Machine the caller runs on (0 unless a router is installed). */
+    unsigned srcNode = 0;
 };
 
 Mesh::Mesh(os::Kernel &kernel, net::Network &network,
@@ -177,10 +179,20 @@ void
 Mesh::sendRpc(const std::string &client, const std::string &service,
               const std::string &op, Payload payload, Tick deadline,
               Criticality inherited, RespondFn respond,
-              trace::TraceLink link)
+              trace::TraceLink link, unsigned src_node)
 {
     Service &target = this->service(service);
     const EdgePolicy &pol = resilience_.policyFor(client, service);
+
+    // Cluster routing: resolve the caller's machine (external traffic
+    // enters at the router's ingress) and the target machine for this
+    // call. Without a router both stay 0 and nothing below changes.
+    unsigned src = 0;
+    unsigned dst = 0;
+    if (router_) {
+        src = src_node == kNoNode ? router_->ingress() : src_node;
+        dst = router_->route(src, target);
+    }
 
     // Criticality-aware admission reclassifies the request at the
     // server's door; otherwise the caller's tier rides along untouched
@@ -202,23 +214,30 @@ Mesh::sendRpc(const std::string &client, const std::string &service,
             if (respond)
                 respond = traceWrap(ref, std::move(respond));
         }
-        network_.send(payload.bytes, client, service,
-                      [this, &target, client, op, payload, tier, ref,
-                       respond = std::move(respond)]() mutable {
-                          Envelope env;
-                          env.op = op;
-                          env.request = payload;
-                          env.respond = std::move(respond);
-                          // A duplicated delivery (PacketDup) invokes
-                          // this again: hand the responder to the first
-                          // copy only, the dup becomes fire-and-forget.
-                          respond = nullptr;
-                          env.client = client;
-                          env.arrived = kernel_.sim().now();
-                          env.criticality = tier;
-                          env.trace = ref;
-                          target.submit(std::move(env));
-                      });
+        if (ref && src != dst) {
+            ref.trace->span(ref.span).fabricNs += static_cast<double>(
+                network_.fabricLatencyNominal(payload.bytes, src, dst));
+        }
+        network_.sendVia(
+            payload.bytes, client, service, src, dst,
+            [this, &target, client, op, payload, tier, ref, src, dst,
+             respond = std::move(respond)]() mutable {
+                Envelope env;
+                env.op = op;
+                env.request = payload;
+                env.respond = std::move(respond);
+                // A duplicated delivery (PacketDup) invokes
+                // this again: hand the responder to the first
+                // copy only, the dup becomes fire-and-forget.
+                respond = nullptr;
+                env.client = client;
+                env.arrived = kernel_.sim().now();
+                env.criticality = tier;
+                env.trace = ref;
+                env.srcNode = src;
+                env.dstNode = dst;
+                target.submit(std::move(env));
+            });
         return;
     }
 
@@ -239,6 +258,7 @@ Mesh::sendRpc(const std::string &client, const std::string &service,
     call->respond = std::move(respond);
     call->client = client;
     call->link = link;
+    call->srcNode = src;
     attempt(call, 1);
 }
 
@@ -303,24 +323,37 @@ Mesh::attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no)
         finishAttempt(call, attempt_no, resp, status);
     };
 
-    network_.send(call->payload.bytes, call->client,
-                  call->target->name(),
-                  [this, call, eff, ref,
-                   on_response = std::move(on_response)]() mutable {
-                      Envelope env;
-                      env.op = call->op;
-                      env.request = call->payload;
-                      env.respond = std::move(on_response);
-                      // Duplicated deliveries (PacketDup) re-run this:
-                      // only the first copy may settle the attempt.
-                      on_response = nullptr;
-                      env.client = call->client;
-                      env.arrived = kernel_.sim().now();
-                      env.deadline = eff;
-                      env.criticality = call->criticality;
-                      env.trace = ref;
-                      call->target->submit(std::move(env));
-                  });
+    // Each attempt re-routes: after a node loss the router may steer
+    // the retry to a surviving machine.
+    unsigned dst = 0;
+    if (router_)
+        dst = router_->route(call->srcNode, *call->target);
+    if (ref && call->srcNode != dst) {
+        ref.trace->span(ref.span).fabricNs += static_cast<double>(
+            network_.fabricLatencyNominal(call->payload.bytes,
+                                          call->srcNode, dst));
+    }
+    network_.sendVia(call->payload.bytes, call->client,
+                     call->target->name(), call->srcNode, dst,
+                     [this, call, eff, ref, dst,
+                      on_response = std::move(on_response)]() mutable {
+                         Envelope env;
+                         env.op = call->op;
+                         env.request = call->payload;
+                         env.respond = std::move(on_response);
+                         // Duplicated deliveries (PacketDup) re-run
+                         // this: only the first copy may settle the
+                         // attempt.
+                         on_response = nullptr;
+                         env.client = call->client;
+                         env.arrived = kernel_.sim().now();
+                         env.deadline = eff;
+                         env.criticality = call->criticality;
+                         env.trace = ref;
+                         env.srcNode = call->srcNode;
+                         env.dstNode = dst;
+                         call->target->submit(std::move(env));
+                     });
 }
 
 void
@@ -379,6 +412,25 @@ Mesh::finishAttempt(std::shared_ptr<RpcCall> call, unsigned attempt_no,
     kernel_.sim().scheduleAfter(delay, [this, call, attempt_no] {
         attempt(call, attempt_no + 1);
     });
+}
+
+void
+Mesh::sendResponse(std::uint32_t bytes, const std::string &from,
+                   const std::string &to, unsigned from_node,
+                   unsigned to_node, trace::SpanRef trace,
+                   sim::EventFn deliver)
+{
+    if (!router_) {
+        // Single-machine: exactly the legacy response leg.
+        network_.send(bytes, from, to, std::move(deliver));
+        return;
+    }
+    if (trace && from_node != to_node) {
+        trace.trace->span(trace.span).fabricNs += static_cast<double>(
+            network_.fabricLatencyNominal(bytes, from_node, to_node));
+    }
+    network_.sendVia(bytes, from, to, from_node, to_node,
+                     std::move(deliver));
 }
 
 bool

@@ -47,6 +47,24 @@ struct RpcCostParams
 };
 
 /**
+ * Cluster routing policy: decides which machine a call to `target`
+ * lands on. Installed by the cluster layer (src/cluster); with no
+ * router the mesh never computes node ids and every message takes the
+ * single-machine transport path unchanged.
+ */
+class NodeRouter
+{
+  public:
+    virtual ~NodeRouter() = default;
+
+    /** Machine a request from `src_node` to `target` is routed to. */
+    virtual unsigned route(unsigned src_node, const Service &target) = 0;
+
+    /** Machine external (loadgen) traffic enters the cluster on. */
+    virtual unsigned ingress() = 0;
+};
+
+/**
  * The mesh. Owns the services and the netstack profile.
  */
 class Mesh
@@ -130,7 +148,33 @@ class Mesh
     void sendRpc(const std::string &client, const std::string &service,
                  const std::string &op, Payload payload, Tick deadline,
                  Criticality inherited, RespondFn respond,
-                 trace::TraceLink link = {});
+                 trace::TraceLink link = {},
+                 unsigned src_node = kNoNode);
+
+    /**
+     * Install the cluster routing policy (nullptr uninstalls). The
+     * router must outlive the mesh's traffic. With no router the node
+     * fields of every envelope stay 0 and transport is single-machine.
+     */
+    void setRouter(NodeRouter *router) { router_ = router; }
+
+    NodeRouter *router() const { return router_; }
+
+    /**
+     * Ship a response back over the transport. With no router this is
+     * exactly network().send(bytes, from, to, deliver); with one, the
+     * response crosses the fabric from the serving machine back to the
+     * caller's. `trace` accrues the nominal fabric latency of the
+     * return hop into the span's fabricNs (untraced = free).
+     */
+    void sendResponse(std::uint32_t bytes, const std::string &from,
+                      const std::string &to, unsigned from_node,
+                      unsigned to_node, trace::SpanRef trace,
+                      sim::EventFn deliver);
+
+    /** Sentinel for sendRpc's src_node: resolve via router->ingress()
+     *  (external traffic) or keep 0 when no router is installed. */
+    static constexpr unsigned kNoNode = ~0u;
 
     /** The profile used for (de)serialization work. */
     const cpu::WorkProfile &netstackProfile() const { return netstack_; }
@@ -173,6 +217,8 @@ class Mesh
     std::map<std::string, Service *> by_name_;
     ResilienceConfig resilience_;
     OverloadConfig overload_;
+    /** Cluster routing policy; null on single-machine runs. */
+    NodeRouter *router_ = nullptr;
     /** Jitter for retry backoff; only drawn from when a retry fires. */
     Rng retry_rng_;
     /** Token-bucket retry budget (tokens accrue per first attempt). */

@@ -72,6 +72,14 @@ struct Envelope
      * trace (the default) means untraced and costs nothing.
      */
     trace::SpanRef trace;
+    /**
+     * Cluster node the request was issued from / delivered to. Both
+     * stay 0 unless the mesh has a NodeRouter installed (single-node
+     * runs never look at them); the response travels dstNode→srcNode
+     * so fabric latency and faults apply to the return path too.
+     */
+    unsigned srcNode = 0;
+    unsigned dstNode = 0;
 };
 
 } // namespace microscale::svc

@@ -136,6 +136,11 @@ HandlerCtx::call(const std::string &service, const std::string &op,
     const std::string client = service_.name();
     const Tick deadline = envelope_.deadline;
     const Criticality tier = envelope_.criticality;
+    // Downstream calls originate from this replica's machine.
+    const int my_node =
+        service_.replicas_[worker_.replica].clusterNode;
+    const unsigned src_node =
+        my_node >= 0 ? static_cast<unsigned>(my_node) : 0;
     // Each call() is its own fan-out group in the request's trace.
     trace::TraceLink tlink;
     if (envelope_.trace)
@@ -145,9 +150,10 @@ HandlerCtx::call(const std::string &service, const std::string &op,
         mesh.netstackProfile(), ser,
         [&mesh, client, service, op,
          request_payload = std::move(request_payload), deadline, tier,
-         tlink, after = std::move(after)]() mutable {
+         tlink, src_node, after = std::move(after)]() mutable {
             mesh.sendRpc(client, service, op, std::move(request_payload),
-                         deadline, tier, std::move(after), tlink);
+                         deadline, tier, std::move(after), tlink,
+                         src_node);
         });
 }
 
@@ -210,6 +216,10 @@ HandlerCtx::callAll(std::vector<CallSpec> calls,
     const std::string client = service_.name();
     const Tick deadline = envelope_.deadline;
     const Criticality tier = envelope_.criticality;
+    const int my_node =
+        service_.replicas_[worker_.replica].clusterNode;
+    const unsigned src_node =
+        my_node >= 0 ? static_cast<unsigned>(my_node) : 0;
     // All legs of one callAll share one fan-out group.
     trace::TraceLink tlink;
     if (envelope_.trace)
@@ -218,7 +228,7 @@ HandlerCtx::callAll(std::vector<CallSpec> calls,
     worker_.thread->run(
         mesh.netstackProfile(), ser,
         [calls = std::move(calls), state, client, deadline, tier,
-         tlink] {
+         tlink, src_node] {
             for (std::size_t i = 0; i < calls.size(); ++i) {
                 const CallSpec &spec = calls[i];
                 RespondFn on_response = [state, i](const Payload &resp,
@@ -251,7 +261,8 @@ HandlerCtx::callAll(std::vector<CallSpec> calls,
                 };
                 state->mesh->sendRpc(client, spec.service, spec.op,
                                      spec.request, deadline, tier,
-                                     std::move(on_response), tlink);
+                                     std::move(on_response), tlink,
+                                     src_node);
             }
         });
 }
@@ -299,6 +310,9 @@ HandlerCtx::done()
         const Tick arrived = envelope_.arrived;
         const std::string op = envelope_.op;
         const std::string client = envelope_.client;
+        const unsigned src_node = envelope_.srcNode;
+        const unsigned dst_node = envelope_.dstNode;
+        const trace::SpanRef tref = envelope_.trace;
 
         const Tick now = mesh.kernel().sim().now();
         auto &stats = svc.op_stats_[op];
@@ -331,10 +345,12 @@ HandlerCtx::done()
 
         if (respond) {
             // Link-aware: the response travels the same faultable link
-            // the request came in on. A duplicated delivery (PacketDup)
-            // invokes the callback twice; only the first may respond.
-            mesh.network().send(
-                resp.bytes, svc.name(), client,
+            // the request came in on — and, under a cluster router,
+            // back across the fabric to the caller's machine. A
+            // duplicated delivery (PacketDup) invokes the callback
+            // twice; only the first may respond.
+            mesh.sendResponse(
+                resp.bytes, svc.name(), client, dst_node, src_node, tref,
                 [respond = std::move(respond), resp, status]() mutable {
                     if (!respond)
                         return;
@@ -522,7 +538,8 @@ Service::submit(Envelope envelope)
         envelope.trace.trace->span(envelope.trace.span).arrived =
             envelope.arrived;
     bool probe = false;
-    const int picked = pickReplica(probe);
+    const int picked = pickReplica(probe, mesh_.router() != nullptr,
+                                   envelope.dstNode);
     if (picked < 0) {
         ++resilience_counters_.noReplica;
         op_stats_[envelope.op]
@@ -571,34 +588,55 @@ Service::submit(Envelope envelope)
 }
 
 int
-Service::pickReplica(bool &probe)
+Service::pickReplica(bool &probe, bool constrained, unsigned node)
 {
     probe = false;
     const unsigned n = replicaCount();
     const ResilienceConfig &rc = mesh_.resilience();
+    const int want = static_cast<int>(node);
+    if (constrained && node >= rr_by_node_.size())
+        rr_by_node_.resize(node + 1, 0);
     if (!rc.healthAwareBalancing && !rc.outlier.enabled) {
-        // Blind round-robin over Active replicas. With every replica
-        // Active (no elasticity) the first iteration accepts, which is
-        // exactly the legacy rr_next_++ % n sequence. Down replicas
-        // stay eligible: connection-refused is modeled at submit.
+        if (!constrained) {
+            // Blind round-robin over Active replicas. With every
+            // replica Active (no elasticity) the first iteration
+            // accepts, which is exactly the legacy rr_next_++ % n
+            // sequence. Down replicas stay eligible:
+            // connection-refused is modeled at submit.
+            for (unsigned i = 0; i < n; ++i) {
+                const unsigned r = rr_next_++ % n;
+                if (replicas_[r].state == ReplicaState::Active)
+                    return static_cast<int>(r);
+            }
+            return -1;
+        }
+        // Node-constrained blind round-robin: the message was
+        // delivered to one machine, so only that machine's replicas
+        // may serve it. Each machine rotates independently.
+        unsigned &rr = rr_by_node_[node];
         for (unsigned i = 0; i < n; ++i) {
-            const unsigned r = rr_next_++ % n;
-            if (replicas_[r].state == ReplicaState::Active)
+            const unsigned r = rr++ % n;
+            const Replica &rep = replicas_[r];
+            if (rep.state == ReplicaState::Active &&
+                rep.clusterNode == want)
                 return static_cast<int>(r);
         }
         return -1;
     }
     const Tick now = mesh_.kernel().sim().now();
     if (!rc.outlier.enabled) {
+        unsigned &cursor = constrained ? rr_by_node_[node] : rr_next_;
         for (unsigned i = 0; i < n; ++i) {
-            const unsigned r = (rr_next_ + i) % n;
+            const unsigned r = (cursor + i) % n;
             Replica &rep = replicas_[r];
             if (rep.down || rep.state != ReplicaState::Active)
+                continue;
+            if (constrained && rep.clusterNode != want)
                 continue;
             if (rc.breaker.enabled &&
                 !breakerAdmits(rep.breaker, now, probe))
                 continue;
-            rr_next_ = r + 1;
+            cursor = r + 1;
             return static_cast<int>(r);
         }
         return -1;
@@ -629,6 +667,8 @@ Service::pickReplica(bool &probe)
         Replica &rep = replicas_[r];
         if (rep.down || rep.ejected ||
             rep.state != ReplicaState::Active)
+            continue;
+        if (constrained && rep.clusterNode != want)
             continue;
         if (rc.breaker.enabled && !breakerWouldAdmit(rep.breaker, now))
             continue;
@@ -1003,6 +1043,7 @@ Service::dispatch(Worker &worker, Envelope envelope)
                                      mesh_.kernel().machine().nodeOfCcx(
                                          static_cast<CcxId>(span.ccx)))
                                : -1);
+        span.clusterNode = replicas_[worker.replica].clusterNode;
     }
     auto &handler = it->second;
     worker.thread->run(mesh_.netstackProfile(), deser,
@@ -1109,6 +1150,35 @@ Service::replicaCcx(unsigned replica) const
         ccx = c;
     }
     return ccx;
+}
+
+void
+Service::setReplicaClusterNode(unsigned replica, int node)
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    replicas_[replica].clusterNode = node;
+}
+
+int
+Service::replicaClusterNode(unsigned replica) const
+{
+    if (replica >= replicaCount())
+        fatal("service '", params_.name, "': replica ", replica,
+              " out of range");
+    return replicas_[replica].clusterNode;
+}
+
+unsigned
+Service::activeReplicasOnNode(int node) const
+{
+    unsigned n = 0;
+    for (const Replica &r : replicas_) {
+        if (r.state == ReplicaState::Active && r.clusterNode == node)
+            ++n;
+    }
+    return n;
 }
 
 bool

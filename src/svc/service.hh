@@ -269,6 +269,11 @@ struct Replica
     /** Compute multiplier at activation; decays linearly to 1. */
     double coldFactor = 1.0;
     /**
+     * Cluster machine this replica runs on; -1 means unassigned
+     * (single-machine runs never assign or consult it).
+     */
+    int clusterNode = -1;
+    /**
      * Adaptive concurrency limiter (overload layer); created lazily on
      * the first submit when admission control is configured.
      */
@@ -376,6 +381,19 @@ class Service
      * placement). Used by correlated-failure injection.
      */
     int replicaCcx(unsigned replica) const;
+
+    /**
+     * Assign one replica to a cluster machine. The mesh's NodeRouter
+     * (when installed) constrains routing to replicas on the message's
+     * destination machine; -1 detaches the replica from any machine.
+     */
+    void setReplicaClusterNode(unsigned replica, int node);
+
+    /** Cluster machine of one replica (-1 = unassigned). */
+    int replicaClusterNode(unsigned replica) const;
+
+    /** Replicas currently Active on cluster machine `node`. */
+    unsigned activeReplicasOnNode(int node) const;
 
     /** True when the outlier detector currently ejects the replica. */
     bool replicaEjected(unsigned replica) const;
@@ -510,8 +528,10 @@ class Service
      * breaker-open replicas are skipped (half-open replicas admit one
      * probe). Returns -1 when no replica is admissible; `probe` is set
      * when the chosen replica admitted this as its half-open probe.
+     * With `constrained` (a NodeRouter is installed) only replicas on
+     * cluster machine `node` are eligible, with per-machine rotation.
      */
-    int pickReplica(bool &probe);
+    int pickReplica(bool &probe, bool constrained, unsigned node);
 
     /**
      * True when the breaker admits traffic to the replica now; sets
@@ -579,6 +599,8 @@ class Service
     std::deque<Worker> workers_;
     std::deque<Replica> replicas_;
     unsigned rr_next_ = 0;
+    /** Per-machine rotation cursors (node-constrained routing only). */
+    std::vector<unsigned> rr_by_node_;
     /** Service-wide outlier-detector latency EWMA (ns) and samples. */
     double out_svc_lat_ewma_ = 0.0;
     std::uint64_t out_svc_samples_ = 0;

@@ -538,9 +538,26 @@ App::installAuth()
 void
 App::installPersistence()
 {
+    installDataOps(*persistence_, /*direct=*/false);
+}
+
+void
+App::installDataOps(svc::Service &svc, bool direct)
+{
     using svc::HandlerCtx;
 
-    persistence_->addOp("categories", [this](HandlerCtx &ctx) {
+    // Non-direct handlers (the app's own Persistence service) defer to
+    // the cluster backend when one is installed; shard-side copies
+    // (direct) always execute against the store. With no backend the
+    // check is a null test — byte-identical to the pre-cluster code.
+    auto remoted = [this, direct](HandlerCtx &ctx, const char *op) {
+        return !direct && scaleout_ != nullptr &&
+               scaleout_->persistenceOp(ctx, op);
+    };
+
+    svc.addOp("categories", [this, remoted](HandlerCtx &ctx) {
+        if (remoted(ctx, "categories"))
+            return;
         db::QueryCost cost;
         const auto ids = store_.listCategories(cost);
         ctx.response().arg0 = ids.size();
@@ -548,7 +565,9 @@ App::installPersistence()
         ctx.compute(scaled(dbInstructions(cost)), [&ctx] { ctx.done(); });
     });
 
-    persistence_->addOp("products", [this](HandlerCtx &ctx) {
+    svc.addOp("products", [this, remoted](HandlerCtx &ctx) {
+        if (remoted(ctx, "products"))
+            return;
         db::QueryCost cost;
         auto cat = static_cast<db::CategoryId>(ctx.request().arg0);
         const unsigned page = static_cast<unsigned>(ctx.request().arg1);
@@ -561,7 +580,9 @@ App::installPersistence()
         ctx.compute(scaled(dbInstructions(cost)), [&ctx] { ctx.done(); });
     });
 
-    persistence_->addOp("product", [this](HandlerCtx &ctx) {
+    svc.addOp("product", [this, remoted](HandlerCtx &ctx) {
+        if (remoted(ctx, "product"))
+            return;
         db::QueryCost cost;
         auto id = static_cast<db::ProductId>(ctx.request().arg0);
         const db::Product *p = store_.product(id, cost);
@@ -577,7 +598,9 @@ App::installPersistence()
         ctx.compute(scaled(dbInstructions(cost)), [&ctx] { ctx.done(); });
     });
 
-    persistence_->addOp("userByName", [this](HandlerCtx &ctx) {
+    svc.addOp("userByName", [this, remoted](HandlerCtx &ctx) {
+        if (remoted(ctx, "userByName"))
+            return;
         db::QueryCost cost;
         const std::string name =
             "user-" + std::to_string(ctx.request().arg0);
@@ -587,7 +610,9 @@ App::installPersistence()
         ctx.compute(scaled(dbInstructions(cost)), [&ctx] { ctx.done(); });
     });
 
-    persistence_->addOp("user", [this](HandlerCtx &ctx) {
+    svc.addOp("user", [this, remoted](HandlerCtx &ctx) {
+        if (remoted(ctx, "user"))
+            return;
         db::QueryCost cost;
         const db::User *u = store_.user(
             static_cast<db::UserId>(ctx.request().arg0), cost);
@@ -596,7 +621,9 @@ App::installPersistence()
         ctx.compute(scaled(dbInstructions(cost)), [&ctx] { ctx.done(); });
     });
 
-    persistence_->addOp("ordersOfUser", [this](HandlerCtx &ctx) {
+    svc.addOp("ordersOfUser", [this, remoted](HandlerCtx &ctx) {
+        if (remoted(ctx, "ordersOfUser"))
+            return;
         db::QueryCost cost;
         const auto ids = store_.ordersOfUser(
             static_cast<db::UserId>(ctx.request().arg0), 10, cost);
@@ -606,7 +633,9 @@ App::installPersistence()
         ctx.compute(scaled(dbInstructions(cost)), [&ctx] { ctx.done(); });
     });
 
-    persistence_->addOp("placeOrder", [this](HandlerCtx &ctx) {
+    svc.addOp("placeOrder", [this, remoted](HandlerCtx &ctx) {
+        if (remoted(ctx, "placeOrder"))
+            return;
         db::QueryCost cost;
         const auto user = static_cast<db::UserId>(ctx.request().arg0);
         const auto n_items =
@@ -628,6 +657,31 @@ App::installPersistence()
         ctx.response().arg0 = oid;
         ctx.response().bytes = 700;
         ctx.compute(scaled(dbInstructions(cost)), [&ctx] { ctx.done(); });
+    });
+}
+
+void
+App::installImageFetchOp(svc::Service &svc)
+{
+    using svc::HandlerCtx;
+
+    // The rescale-on-miss work of the ImageProvider's "full" op,
+    // executed on the shard that owns the image bytes. Unlike the
+    // local path there is no cache-hit draw: this op only runs on
+    // misses, so its cost is always the miss cost.
+    svc.addOp("imgFetch", [this](HandlerCtx &ctx) {
+        db::QueryCost cost;
+        const db::Product *p = store_.product(
+            static_cast<db::ProductId>(ctx.request().arg0), cost);
+        const std::uint32_t bytes =
+            p ? p->imageBytes : params_.store.meanImageBytes;
+        const double size_factor =
+            static_cast<double>(bytes) /
+            static_cast<double>(params_.store.meanImageBytes);
+        const double instructions =
+            kFullMiss * std::max(0.25, size_factor);
+        ctx.response().bytes = bytes;
+        ctx.compute(scaled(instructions), [&ctx] { ctx.done(); });
     });
 }
 
@@ -680,6 +734,13 @@ App::installImage()
         const std::uint32_t bytes =
             p ? p->imageBytes : params_.store.meanImageBytes;
         const bool hit = ctx.rng().chance(params_.imageCacheHitRatio);
+        // Cluster mode: a local miss is fetched from the distributed
+        // cache/shard tier instead of rescaling here. The hit draw
+        // above already happened, so the local-hit fast path (and the
+        // RNG sequence) is shared between both modes.
+        if (!hit && scaleout_ != nullptr &&
+            scaleout_->imageMiss(ctx, ctx.request().arg0, bytes))
+            return;
         // Rescale cost grows with the source image size.
         const double size_factor =
             static_cast<double>(bytes) /

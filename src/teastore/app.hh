@@ -96,6 +96,30 @@ struct AppParams
     bool degradedFallbacks = false;
 };
 
+/**
+ * Hook through which the cluster layer (src/cluster) reroutes the
+ * stateful data paths: Persistence queries and full-image cache misses
+ * can be redirected through a sharded store behind a distributed cache
+ * tier instead of executing locally. Each hook returns true when the
+ * backend took ownership of the request (the handler must return
+ * without touching it further) and false to fall through to the local
+ * single-machine path. With no backend installed (the default) the
+ * hooks are never consulted and behavior is byte-identical.
+ */
+class ScaleoutBackend
+{
+  public:
+    virtual ~ScaleoutBackend() = default;
+
+    /** A Persistence data op ("categories", ..., "placeOrder"). */
+    virtual bool persistenceOp(svc::HandlerCtx &ctx,
+                               const std::string &op) = 0;
+
+    /** A full-image cache miss for `product` of `bytes` source size. */
+    virtual bool imageMiss(svc::HandlerCtx &ctx, std::uint64_t product,
+                           std::uint32_t bytes) = 0;
+};
+
 /** Canonical service names. */
 namespace names
 {
@@ -154,6 +178,34 @@ class App
     }
 
     /**
+     * Install (or remove, with nullptr) the cluster data-path backend.
+     * Must be set before traffic starts; the backend must outlive it.
+     */
+    void setScaleoutBackend(ScaleoutBackend *backend)
+    {
+        scaleout_ = backend;
+    }
+
+    ScaleoutBackend *scaleoutBackend() const { return scaleout_; }
+
+    /**
+     * Install the seven Persistence data-op handlers (categories,
+     * products, product, userByName, user, ordersOfUser, placeOrder)
+     * on `svc`, executing against this app's store. With `direct` the
+     * handlers always run locally (the cluster layer installs them on
+     * shard services); without it they consult the ScaleoutBackend
+     * first — that is how the app's own Persistence service is built.
+     */
+    void installDataOps(svc::Service &svc, bool direct);
+
+    /**
+     * Install the shard-side full-image fetch op ("imgFetch") on
+     * `svc`: the rescale-on-miss work the ImageProvider would have
+     * done locally, executed where the image bytes live.
+     */
+    void installImageFetchOp(svc::Service &svc);
+
+    /**
      * Build a request payload for a WebUI op, sampling entity ids from
      * the store with the supplied RNG (the load generator's stream).
      */
@@ -191,6 +243,7 @@ class App
     std::vector<sim::PeriodicEvent> heartbeats_;
     bool started_ = false;
     svc::BrownoutController *brownout_ = nullptr;
+    ScaleoutBackend *scaleout_ = nullptr;
 };
 
 } // namespace microscale::teastore

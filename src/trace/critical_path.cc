@@ -101,6 +101,11 @@ class Walker
         }
         (fanoutLeg ? acc_.services[caller].fanoutNs : svc.networkNs) +=
             slack;
+        // The fabric portion of the slack (bounded by the slack itself:
+        // jitter/clamping can make the nominal estimate exceed it).
+        // Sub-attribution only — svc.networkNs already holds it.
+        if (!fanoutLeg && fin.fabricNs > 0.0)
+            svc.fabricNs += std::min(slack, fin.fabricNs);
         attributeServer(fin);
     }
 

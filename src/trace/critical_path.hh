@@ -64,6 +64,13 @@ struct ServiceAttribution
     double shedNs = 0.0;
     /** Transport slack of successful single calls to this service. */
     double networkNs = 0.0;
+    /**
+     * Portion of networkNs spent crossing the cluster fabric (nominal
+     * fabric latency of the final attempt's request+response legs).
+     * A subset of networkNs, NOT an extra component: totalNs() is
+     * unchanged, so single-machine attribution stays bit-identical.
+     */
+    double fabricNs = 0.0;
 
     double totalNs() const
     {

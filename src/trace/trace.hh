@@ -107,6 +107,14 @@ struct Span
     int ccx = -1;
     /** NUMA home node of the serving replica; -1 = first-touch. */
     int node = -1;
+    /** Cluster machine of the serving replica; -1 = single-machine. */
+    int clusterNode = -1;
+    /**
+     * Nominal (jitter-free) fabric latency this call paid crossing
+     * machine boundaries, request and response legs combined, in ns.
+     * Stays 0 on single-machine runs and intra-node calls.
+     */
+    double fabricNs = 0.0;
 
     /** Response was assembled from a degraded fallback. */
     bool degraded = false;

@@ -97,11 +97,73 @@ TEST(Schedule, RespectsBoundsAndTargets)
                 }
                 if (e.kind == svc::FaultEvent::Kind::ReplicaDown ||
                     e.kind == svc::FaultEvent::Kind::ReplicaUp ||
-                    e.kind == svc::FaultEvent::Kind::ReplicaSlow)
+                    e.kind == svc::FaultEvent::Kind::ReplicaSlow) {
                     EXPECT_LT(e.replica, replicas) << "seed " << seed;
+                }
             }
         }
     }
+}
+
+TEST(Schedule, ClusterSpaceDrawsNodeAndFabricFaults)
+{
+    FaultSpace space = testSpace();
+    space.clusterNodes = 2;
+    unsigned node_events = 0;
+    unsigned fabric_events = 0;
+    for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+        const svc::FaultScript script =
+            randomSchedule(seed, space, 10, 2000, 300000);
+        for (const svc::FaultEvent &e : script.events) {
+            using Kind = svc::FaultEvent::Kind;
+            if (e.kind == Kind::NodeDown || e.kind == Kind::NodeUp) {
+                ++node_events;
+                EXPECT_LT(e.replica, space.clusterNodes)
+                    << "seed " << seed;
+            } else if (e.kind == Kind::FabricLoss ||
+                       e.kind == Kind::FabricPartition ||
+                       e.kind == Kind::FabricHeal) {
+                ++fabric_events;
+                EXPECT_LT(e.replica, space.clusterNodes)
+                    << "seed " << seed;
+                EXPECT_LT(e.peerReplica, space.clusterNodes)
+                    << "seed " << seed;
+                EXPECT_NE(e.replica, e.peerReplica) << "seed " << seed;
+            }
+        }
+    }
+    EXPECT_GT(node_events, 0u);
+    EXPECT_GT(fabric_events, 0u);
+}
+
+TEST(Schedule, SingleMachineSpaceNeverDrawsClusterFaults)
+{
+    // clusterNodes = 0 must keep the family draw on the original
+    // range, so pre-cluster schedules stay byte-identical per seed.
+    const FaultSpace space = testSpace();
+    for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+        const svc::FaultScript script =
+            randomSchedule(seed, space, 10, 2000, 300000);
+        for (const svc::FaultEvent &e : script.events) {
+            using Kind = svc::FaultEvent::Kind;
+            EXPECT_NE(e.kind, Kind::NodeDown) << "seed " << seed;
+            EXPECT_NE(e.kind, Kind::NodeUp) << "seed " << seed;
+            EXPECT_NE(e.kind, Kind::FabricLoss) << "seed " << seed;
+            EXPECT_NE(e.kind, Kind::FabricPartition) << "seed " << seed;
+            EXPECT_NE(e.kind, Kind::FabricHeal) << "seed " << seed;
+        }
+    }
+}
+
+TEST(Schedule, ClusterHarnessSpaceSpansBothNodes)
+{
+    const FaultSpace space = harnessFaultSpace(/*clusterHarness=*/true);
+    EXPECT_EQ(space.clusterNodes, 2u);
+    EXPECT_GE(space.services.size(), 5u);
+    for (const FaultSpace::ServiceInfo &s : space.services)
+        EXPECT_GE(s.replicas, 2u) << s.name;
+    EXPECT_GE(space.links.size(), 5u);
+    EXPECT_GT(space.ccxDomains, 0u);
 }
 
 TEST(Schedule, HarnessSpaceHasMultiReplicaServicesAndLinks)

@@ -84,6 +84,62 @@ TEST(Search, InjectedLedgerBugIsCaughtAndShrunk)
     FAIL() << "no schedule in seeds 1..10 tripped the planted bug";
 }
 
+TEST(Search, ClusterNodeLossConservesLedger)
+{
+    // Hand-written worst case for the 2-node harness: node 1 dies
+    // mid-run (taking app replicas plus its persistence shard), the
+    // fabric between the nodes partitions shortly after, and only the
+    // partition heals. Every admitted request must still reach exactly
+    // one terminal state and the world must drain clean.
+    Tick start = 0;
+    Tick end = 0;
+    harnessWindow(start, end);
+    const Tick third = start + (end - start) / 3;
+
+    svc::FaultScript script;
+    svc::FaultEvent down;
+    down.kind = svc::FaultEvent::Kind::NodeDown;
+    down.at = third;
+    down.replica = 1;
+    script.events.push_back(down);
+    svc::FaultEvent cut;
+    cut.kind = svc::FaultEvent::Kind::FabricPartition;
+    cut.at = third + 1000;
+    cut.replica = 0;
+    cut.peerReplica = 1;
+    script.events.push_back(cut);
+    svc::FaultEvent heal = cut;
+    heal.kind = svc::FaultEvent::Kind::FabricHeal;
+    heal.at = 2 * third;
+    script.events.push_back(heal);
+
+    ChaosRunOptions opts;
+    opts.cluster = true;
+    const ChaosVerdict v = runSchedule(script, opts);
+    EXPECT_TRUE(v.clean())
+        << (v.violations.empty() ? "" : v.violations.front());
+    EXPECT_GT(v.issued, 0u);
+    EXPECT_EQ(v.issued, v.terminals);
+    EXPECT_EQ(v.faultsApplied, 3u);
+    EXPECT_EQ(v.faultsSkipped, 0u);
+}
+
+TEST(Search, ClusterSearchIsCleanAndDeterministic)
+{
+    SearchOptions opts;
+    opts.seed = 201;
+    opts.schedules = 2;
+    opts.run.cluster = true;
+    std::ostringstream a;
+    std::ostringstream b;
+    const SearchResult ra = runSearch(opts, a);
+    const SearchResult rb = runSearch(opts, b);
+    EXPECT_EQ(ra.ran, 2u);
+    EXPECT_EQ(ra.violating, 0u);
+    EXPECT_EQ(ra.combinedFingerprint, rb.combinedFingerprint);
+    EXPECT_EQ(a.str(), b.str());
+}
+
 TEST(Search, RunSearchIsDeterministic)
 {
     SearchOptions opts;

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Cluster scale-out tests.
+ *
+ * The load-bearing one is SingleNodeByteIdentity: a 1-node cluster
+ * with an ideal fabric and no cache/shard tier must reproduce the
+ * FIG-01 golden capture byte-for-byte (modulo the scaleout summary
+ * block, which only cluster runs carry). That pins the router, the
+ * fabric hooks and the placement override as exact no-ops on the
+ * single-machine path. The rest exercise the multi-node pieces:
+ * fabric accounting, cache invalidation-on-write, node spill
+ * placement and whole-node autoscaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cluster/cluster.hh"
+#include "core/json.hh"
+#include "topo/machine.hh"
+
+#ifndef MICROSCALE_GOLDEN_DIR
+#error "MICROSCALE_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace microscale::cluster
+{
+namespace
+{
+
+/** The reduced FIG-01 scenario from tests/integration/test_golden.cc,
+ * minus the machine (the cluster supplies it from nodeMachine). */
+core::ExperimentConfig
+baseConfig()
+{
+    core::ExperimentConfig c;
+    c.machine = topo::small8();
+    c.app.store.categories = 4;
+    c.app.store.productsPerCategory = 10;
+    c.app.store.users = 20;
+    c.sizing.webui = {1, 8};
+    c.sizing.auth = {1, 4};
+    c.sizing.persistence = {1, 8};
+    c.sizing.recommender = {1, 2};
+    c.sizing.image = {1, 8};
+    c.sizing.registry = {1, 1};
+    c.load.users = 60;
+    c.load.meanThink = 50 * kMillisecond;
+    c.warmup = 200 * kMillisecond;
+    c.measure = 400 * kMillisecond;
+    return c;
+}
+
+std::string
+resultJson(const core::RunResult &r)
+{
+    std::ostringstream os;
+    core::writeJson(os, r);
+    os << "\n";
+    return os.str();
+}
+
+TEST(ClusterGolden, SingleNodeByteIdentity)
+{
+    // The golden is owned (and regenerated) by test_integration; here
+    // we only ever compare, so a regen pass skips instead of writing.
+    if (std::getenv("MICROSCALE_REGEN_GOLDENS") != nullptr)
+        GTEST_SKIP() << "golden owned by test_integration";
+
+    const std::string path =
+        std::string(MICROSCALE_GOLDEN_DIR) + "/fig01_closed_loop.json";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden " << path;
+    std::ostringstream want;
+    want << in.rdbuf();
+
+    ClusterParams params;
+    params.nodes = 1;
+    params.nodeMachine = topo::small8();
+    applyFabricPreset(params, "ideal");
+
+    core::RunResult r = runScaleout(baseConfig(), params);
+    EXPECT_TRUE(r.scaleout.active);
+    EXPECT_EQ(r.scaleout.nodes, 1u);
+    // Every message stayed on the one machine.
+    EXPECT_EQ(r.scaleout.fabricMessages, 0u);
+
+    // Strip the scaleout block (the only field a cluster run adds) and
+    // demand byte equality with the single-machine capture.
+    r.scaleout = core::ScaleoutSummary{};
+    EXPECT_EQ(resultJson(r), want.str())
+        << "1-node cluster diverged from the single-machine engine";
+}
+
+TEST(Cluster, FabricPresets)
+{
+    ClusterParams p;
+    applyFabricPreset(p, "lan");
+    EXPECT_EQ(p.fabricBaseNs, 12 * kMicrosecond);
+    EXPECT_EQ(p.fabricPerKibNs, 400);
+    EXPECT_DOUBLE_EQ(p.fabricJitterCv, 0.10);
+    EXPECT_EQ(p.fabricRackSize, 0u);
+
+    applyFabricPreset(p, "oversub");
+    EXPECT_EQ(p.fabricRackSize, 4u);
+    EXPECT_DOUBLE_EQ(p.fabricCoreFactor, 2.5);
+
+    applyFabricPreset(p, "ideal");
+    EXPECT_EQ(p.fabricBaseNs, 0);
+    EXPECT_EQ(p.fabricPerKibNs, 0);
+
+    EXPECT_EQ(fabricPresetNames().size(), 3u);
+}
+
+TEST(Cluster, ClusterMachineMultipliesSockets)
+{
+    ClusterParams p;
+    p.nodes = 4;
+    p.nodeMachine = topo::small8();
+    const topo::MachineParams m = clusterMachine(p);
+    EXPECT_EQ(m.sockets, p.nodeMachine.sockets * 4);
+    EXPECT_EQ(m.totalCpus(), p.nodeMachine.totalCpus() * 4);
+    EXPECT_NE(m.name.find("-x4"), std::string::npos);
+
+    p.nodes = 1;
+    EXPECT_EQ(clusterMachine(p).name, p.nodeMachine.name);
+}
+
+TEST(Cluster, NodePlacerSpillsWhenPreferredFull)
+{
+    ClusterParams p;
+    p.nodes = 2;
+    p.nodeMachine = topo::small8();
+    topo::Machine machine(clusterMachine(p));
+
+    std::vector<CpuMask> budgets;
+    for (unsigned n = 0; n < p.nodes; ++n) {
+        CpuMask nb;
+        const unsigned spn = p.nodeMachine.sockets;
+        for (unsigned s = n * spn; s < (n + 1) * spn; ++s)
+            nb = nb | machine.cpusOfSocket(s);
+        budgets.push_back(nb);
+    }
+
+    NodePlacer placer(machine, budgets,
+                      autoscale::PlacerKind::TopologyAware, 0);
+
+    // small8 has two CCX groups per node: the first two grants stay
+    // on the preferred node, the next two spill to the free peer.
+    const auto g0 = placer.grant(0);
+    const auto g1 = placer.grant(0);
+    EXPECT_EQ(g0.node, 0u);
+    EXPECT_EQ(g1.node, 0u);
+    EXPECT_EQ(placer.spills(), 0u);
+
+    const auto g2 = placer.grant(0);
+    const auto g3 = placer.grant(0);
+    EXPECT_EQ(g2.node, 1u);
+    EXPECT_EQ(g3.node, 1u);
+    EXPECT_EQ(placer.spills(), 2u);
+
+    // Grants land inside the providing node's budget.
+    EXPECT_EQ((g0.grant.mask & budgets[0]).count(),
+              g0.grant.mask.count());
+    EXPECT_EQ((g2.grant.mask & budgets[1]).count(),
+              g2.grant.mask.count());
+
+    // Everyone full: the preferred node doubles up instead.
+    const auto g4 = placer.grant(1);
+    EXPECT_EQ(g4.node, 1u);
+    EXPECT_EQ(placer.spills(), 2u);
+}
+
+TEST(Cluster, MultiNodeFabricAndCacheTier)
+{
+    ClusterParams params;
+    params.nodes = 2;
+    params.nodeMachine = topo::small8();
+    applyFabricPreset(params, "lan");
+    params.shards = 2;
+    params.cacheNodes = 2;
+    params.cacheCapacity = 256;
+
+    const core::RunResult r = runScaleout(baseConfig(), params);
+
+    ASSERT_TRUE(r.scaleout.active);
+    EXPECT_EQ(r.scaleout.nodes, 2u);
+    EXPECT_EQ(r.scaleout.activeNodesEnd, 2u);
+    EXPECT_EQ(r.scaleout.shards, 2u);
+    EXPECT_EQ(r.scaleout.cacheNodes, 2u);
+    EXPECT_GT(r.throughputRps, 0.0);
+
+    // Replicas live on both machines, so some calls crossed the
+    // fabric and paid for it.
+    EXPECT_GT(r.scaleout.fabricMessages, 0u);
+    EXPECT_GT(r.scaleout.fabricBytes, 0u);
+    EXPECT_GT(r.scaleout.fabricShare, 0.0);
+    EXPECT_LT(r.scaleout.fabricShare, 1.0);
+
+    // The cache tier served lookups and the shards the misses.
+    const std::uint64_t lookups =
+        r.scaleout.cacheHits + r.scaleout.cacheMisses;
+    EXPECT_GT(lookups, 0u);
+    EXPECT_GT(r.scaleout.cacheHits, 0u);
+    EXPECT_GE(r.scaleout.cacheHitRate, 0.0);
+    EXPECT_LE(r.scaleout.cacheHitRate, 1.0);
+    EXPECT_GT(r.scaleout.shardRequests, 0u);
+    // Misses (plus writes) are what reach the shards: hit-rate
+    // dependent offload means shard traffic stays below lookups.
+    EXPECT_LT(r.scaleout.shardRequests, lookups + r.scaleout.cacheMisses);
+}
+
+TEST(Cluster, InvalidationOnWriteKeepsCacheCoherent)
+{
+    ClusterParams params;
+    params.nodes = 2;
+    params.nodeMachine = topo::small8();
+    applyFabricPreset(params, "lan");
+    params.shards = 2;
+    params.cacheNodes = 1;
+    // A tiny cache forces eviction churn alongside the invalidations.
+    params.cacheCapacity = 32;
+
+    core::ExperimentConfig cfg = baseConfig();
+    const core::RunResult r = runScaleout(cfg, params);
+
+    ASSERT_TRUE(r.scaleout.active);
+    // Every checkout places an order, and every order write bumps the
+    // buyer's order-list epoch on its cache node; the measured
+    // checkout count is a lower bound (warmup writes invalidate too).
+    const auto it = r.perOp.find("checkout");
+    ASSERT_NE(it, r.perOp.end());
+    EXPECT_GT(it->second.count, 0u);
+    EXPECT_GE(r.scaleout.cacheInvalidations, it->second.count);
+    EXPECT_GT(r.scaleout.cacheEvictions, 0u);
+}
+
+TEST(Cluster, NodeScalerProvisionsSpareNode)
+{
+    ClusterParams params;
+    params.nodes = 2;
+    params.initialNodes = 1;
+    params.nodeMachine = topo::small8();
+    applyFabricPreset(params, "ideal");
+    params.scaler.enabled = true;
+    params.scaler.period = 50 * kMillisecond;
+    params.scaler.hiUtilization = 0.30;
+    params.scaler.consecutive = 1;
+    params.scaler.warmPool = 1;
+    params.scaler.warmBootDelay = 20 * kMillisecond;
+    params.scaler.cooldown = 0;
+
+    core::ExperimentConfig cfg = baseConfig();
+    // Saturate one small8 node so the scaler has a reason to act.
+    cfg.load.users = 200;
+    cfg.load.meanThink = 10 * kMillisecond;
+
+    const core::RunResult r = runScaleout(cfg, params);
+
+    ASSERT_TRUE(r.scaleout.active);
+    EXPECT_EQ(r.scaleout.nodes, 2u);
+    EXPECT_EQ(r.scaleout.activeNodesEnd, 2u);
+    EXPECT_EQ(r.scaleout.nodesProvisioned, 1u);
+    EXPECT_EQ(r.scaleout.warmProvisions, 1u);
+    EXPECT_EQ(r.scaleout.coldProvisions, 0u);
+    EXPECT_GT(r.scaleout.provisionLagMeanMs, 0.0);
+}
+
+} // namespace
+} // namespace microscale::cluster

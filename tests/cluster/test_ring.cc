@@ -1,0 +1,183 @@
+/**
+ * @file
+ * HashRing unit tests: determinism across build orders, ownership
+ * evenness, and bounded key movement on membership change — the
+ * properties the cache/shard tier's routing correctness rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/ring.hh"
+
+namespace microscale::cluster
+{
+namespace
+{
+
+std::vector<std::string>
+sampleKeys(unsigned count)
+{
+    std::vector<std::string> keys;
+    keys.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        keys.push_back("product:" + std::to_string(i * 2654435761u));
+    return keys;
+}
+
+TEST(HashRing, DeterministicAcrossInsertionOrders)
+{
+    HashRing forward(64);
+    for (unsigned n = 0; n < 8; ++n)
+        forward.addNode(n);
+
+    HashRing backward(64);
+    for (unsigned n = 8; n-- > 0;)
+        backward.addNode(n);
+
+    // A ring that lost members and regained them must also converge to
+    // the same token set.
+    HashRing churned(64);
+    for (unsigned n = 0; n < 8; ++n)
+        churned.addNode(n);
+    churned.removeNode(3);
+    churned.removeNode(6);
+    churned.addNode(6);
+    churned.addNode(3);
+
+    for (const std::string &key : sampleKeys(5000)) {
+        const unsigned want = forward.nodeFor(key);
+        EXPECT_EQ(want, backward.nodeFor(key)) << key;
+        EXPECT_EQ(want, churned.nodeFor(key)) << key;
+    }
+}
+
+TEST(HashRing, MembershipIsIdempotent)
+{
+    HashRing ring(32);
+    ring.addNode(1);
+    ring.addNode(1);
+    ring.addNode(2);
+    EXPECT_EQ(ring.nodeCount(), 2u);
+    EXPECT_TRUE(ring.contains(1));
+    EXPECT_TRUE(ring.contains(2));
+    EXPECT_FALSE(ring.contains(3));
+
+    ring.removeNode(3); // non-member: no-op
+    EXPECT_EQ(ring.nodeCount(), 2u);
+    ring.removeNode(1);
+    EXPECT_FALSE(ring.contains(1));
+    EXPECT_EQ(ring.nodeCount(), 1u);
+
+    HashRing same(32);
+    same.addNode(2);
+    for (const std::string &key : sampleKeys(200))
+        EXPECT_EQ(ring.nodeFor(key), same.nodeFor(key));
+}
+
+TEST(HashRing, OwnershipRoughlyEven)
+{
+    constexpr unsigned kNodes = 8;
+    constexpr unsigned kKeys = 20000;
+    HashRing ring(64);
+    for (unsigned n = 0; n < kNodes; ++n)
+        ring.addNode(n);
+
+    std::map<unsigned, unsigned> owned;
+    for (const std::string &key : sampleKeys(kKeys))
+        ++owned[ring.nodeFor(key)];
+
+    // With 64 vnodes per member, every node should hold a sizeable
+    // slice: no node starved below a third of fair share, none over
+    // double it.
+    const double fair = static_cast<double>(kKeys) / kNodes;
+    ASSERT_EQ(owned.size(), kNodes);
+    for (const auto &[node, count] : owned) {
+        EXPECT_GT(count, fair / 3.0) << "node " << node << " starved";
+        EXPECT_LT(count, fair * 2.0) << "node " << node << " overloaded";
+    }
+}
+
+TEST(HashRing, NodeAddMovesBoundedKeyShare)
+{
+    constexpr unsigned kNodes = 8;
+    constexpr unsigned kKeys = 20000;
+    HashRing ring(64);
+    for (unsigned n = 0; n < kNodes; ++n)
+        ring.addNode(n);
+
+    const std::vector<std::string> keys = sampleKeys(kKeys);
+    std::vector<unsigned> before;
+    before.reserve(keys.size());
+    for (const std::string &key : keys)
+        before.push_back(ring.nodeFor(key));
+
+    ring.addNode(kNodes);
+
+    unsigned moved = 0;
+    for (unsigned i = 0; i < keys.size(); ++i) {
+        const unsigned now = ring.nodeFor(keys[i]);
+        if (now != before[i]) {
+            // Consistent hashing: a key may only move TO the newcomer.
+            EXPECT_EQ(now, kNodes) << keys[i];
+            ++moved;
+        }
+    }
+    // Expected movement is 1/(N+1) of the key space; allow vnode
+    // placement slack up to 1/(N+1) + eps.
+    const double share =
+        static_cast<double>(moved) / static_cast<double>(kKeys);
+    EXPECT_GT(share, 0.0);
+    EXPECT_LT(share, 1.0 / (kNodes + 1) + 0.08);
+}
+
+TEST(HashRing, NodeRemoveMovesOnlyItsKeys)
+{
+    constexpr unsigned kNodes = 8;
+    constexpr unsigned kKeys = 20000;
+    HashRing ring(64);
+    for (unsigned n = 0; n < kNodes; ++n)
+        ring.addNode(n);
+
+    const std::vector<std::string> keys = sampleKeys(kKeys);
+    std::vector<unsigned> before;
+    before.reserve(keys.size());
+    for (const std::string &key : keys)
+        before.push_back(ring.nodeFor(key));
+
+    constexpr unsigned kVictim = 5;
+    ring.removeNode(kVictim);
+
+    unsigned moved = 0;
+    for (unsigned i = 0; i < keys.size(); ++i) {
+        const unsigned now = ring.nodeFor(keys[i]);
+        EXPECT_NE(now, kVictim);
+        if (before[i] == kVictim) {
+            ++moved;
+        } else {
+            // Keys not owned by the victim must not move at all.
+            EXPECT_EQ(now, before[i]) << keys[i];
+        }
+    }
+    const double share =
+        static_cast<double>(moved) / static_cast<double>(kKeys);
+    EXPECT_GT(share, 0.0);
+    EXPECT_LT(share, 1.0 / kNodes + 0.08);
+}
+
+TEST(HashRing, HashIsStable)
+{
+    // Pin the hash function itself (FNV-1a plus finalizer). A silent
+    // change here would reshuffle every deployment's shard map.
+    EXPECT_EQ(HashRing::hash(""), 17280346270528514342ull);
+    EXPECT_EQ(HashRing::hash("a"), 9413272369427828315ull);
+    EXPECT_EQ(HashRing::hash("product:42"),
+              HashRing::hash(std::string("product:") + "42"));
+    EXPECT_NE(HashRing::hash("product:42"), HashRing::hash("product:43"));
+}
+
+} // namespace
+} // namespace microscale::cluster

@@ -39,6 +39,12 @@ main(int argc, char **argv)
                 "experiment RNG seed (fixed across schedules)");
     args.addFlag("eject",
                  "enable passive outlier ejection in the harness");
+    args.addFlag("cluster",
+                 "run the 2-node cluster harness (small8 x 2 over a "
+                 "LAN fabric, sharded persistence behind a cache "
+                 "node): adds node-outage and fabric loss/partition "
+                 "fault families, so the ledger must conserve "
+                 "requests across whole-node loss");
     args.addFlag("inject-bug",
                  "sabotage the ledger (drop Timeout terminals): the "
                  "search must catch it and ddmin the schedule to a "
@@ -51,6 +57,7 @@ main(int argc, char **argv)
     opts.schedules = static_cast<unsigned>(args.getInt("schedules"));
     opts.maxEvents = static_cast<unsigned>(args.getInt("max-events"));
     opts.run.eject = args.getFlag("eject");
+    opts.run.cluster = args.getFlag("cluster");
     opts.run.injectBug = args.getFlag("inject-bug");
     opts.run.experimentSeed =
         static_cast<std::uint64_t>(args.getInt("experiment-seed"));

@@ -17,6 +17,7 @@
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "chaos/search.hh"
+#include "cluster/cluster.hh"
 #include "core/experiment.hh"
 #include "core/json.hh"
 #include "core/sweep.hh"
@@ -114,6 +115,24 @@ main(int argc, char **argv)
     args.addInt("initial-cores", 0,
                 "physical cores of the initial deployment for "
                 "--schedule runs (0 = the full budget)");
+    args.addInt("nodes", 1,
+                "cluster size: scale out over this many copies of "
+                "--machine joined by the --fabric model (cluster runs "
+                "take whole nodes, so --cores must stay 0)");
+    args.addString("fabric", "ideal",
+                   "cluster fabric preset: ideal, lan, oversub");
+    args.addInt("shards", 0,
+                "persistence shards behind the consistent-hash tier "
+                "(0 = unsharded local persistence)");
+    args.addInt("cache-nodes", 0,
+                "cache nodes fronting the shards (requires --shards)");
+    args.addFlag("node-scaler",
+                 "whole-node autoscaling: serve from --initial-nodes "
+                 "machines and provision spares (warm pool first, "
+                 "then cold boots) when the hottest service saturates");
+    args.addInt("initial-nodes", 0,
+                "nodes serving traffic from the start (0 = all; fewer "
+                "than --nodes leaves spares for --node-scaler)");
     args.addFlag("resilience",
                  "enable the resilient mesh policy (timeouts, retries, "
                  "breaker, shedding) plus degraded page fallbacks");
@@ -216,8 +235,49 @@ main(int argc, char **argv)
     point.config = config;
     point.refineRounds = static_cast<unsigned>(args.getInt("refine"));
 
+    // Cluster mode: any scale-out knob reroutes the run through
+    // cluster::runScaleout, which joins --nodes copies of --machine
+    // over the fabric and layers the cache/shard tier and node scaler
+    // on top. A --schedule then modulates the open-loop driver
+    // directly (whole-node elasticity replaces the core autoscaler).
+    const unsigned cluster_nodes =
+        static_cast<unsigned>(args.getInt("nodes"));
+    const bool cluster_mode =
+        cluster_nodes > 1 || args.getInt("shards") > 0 ||
+        args.getInt("cache-nodes") > 0 ||
+        args.getInt("initial-nodes") > 0 ||
+        args.getFlag("node-scaler") ||
+        args.getString("fabric") != "ideal";
+
     const std::string schedule = args.getString("schedule");
-    if (!schedule.empty()) {
+    if (cluster_mode) {
+        if (!args.getString("autoscale").empty())
+            fatal("--autoscale grows cores on one machine; cluster "
+                  "runs grow whole nodes, use --node-scaler");
+        if (point.refineRounds != 0)
+            fatal("--refine does not apply to cluster runs");
+        cluster::ClusterParams cp;
+        cp.nodes = cluster_nodes;
+        cp.initialNodes =
+            static_cast<unsigned>(args.getInt("initial-nodes"));
+        cp.nodeMachine = config.machine;
+        cluster::applyFabricPreset(cp, args.getString("fabric"));
+        cp.shards = static_cast<unsigned>(args.getInt("shards"));
+        cp.cacheNodes =
+            static_cast<unsigned>(args.getInt("cache-nodes"));
+        cp.scaler.enabled = args.getFlag("node-scaler");
+        if (!schedule.empty()) {
+            point.config.loadSchedule = autoscale::makeSchedule(
+                schedule, args.getDouble("base-rps"),
+                args.getDouble("peak-rps"), config.warmup,
+                config.measure);
+            if (point.config.openLoopRps <= 0.0)
+                point.config.openLoopRps = args.getDouble("peak-rps");
+        }
+        point.runner = [cp](const core::ExperimentConfig &c) {
+            return cluster::runScaleout(c, cp);
+        };
+    } else if (!schedule.empty()) {
         autoscale::ElasticConfig ec;
         ec.base = config;
         ec.schedule = autoscale::makeSchedule(
@@ -297,6 +357,23 @@ main(int argc, char **argv)
                   << "  outs=" << es.scaleOuts << " ins=" << es.scaleIns
                   << "  lag=" << formatDouble(es.scaleOutLagMeanMs, 0)
                   << "ms\n";
+    }
+    if (r.scaleout.active) {
+        const core::ScaleoutSummary &so = r.scaleout;
+        std::cout << "scaleout: nodes=" << so.activeNodesEnd << "/"
+                  << so.nodes << "  fabric=" << so.fabricMessages
+                  << " msgs ("
+                  << formatDouble(so.fabricShare * 100.0, 1) << "%)"
+                  << "  cache hit="
+                  << formatDouble(so.cacheHitRate, 2)
+                  << " inval=" << so.cacheInvalidations
+                  << "  shard reqs=" << so.shardRequests
+                  << " cv=" << formatDouble(so.shardLoadCv, 2)
+                  << "  provisioned=" << so.nodesProvisioned
+                  << " (warm " << so.warmProvisions << "/cold "
+                  << so.coldProvisions << ", lag "
+                  << formatDouble(so.provisionLagMeanMs, 0)
+                  << "ms)\n";
     }
     if (r.resilience.active) {
         const core::ResilienceSummary &rs = r.resilience;
