@@ -3,7 +3,7 @@
  * json_check: CI validator for emitted BENCH_*.json artifacts.
  *
  *   json_check [--elastic] [--overload] [--trace] [--grayfail]
- *              [--scaleout] FILE MIN_POINTS [LABEL...]
+ *              [--scaleout] [--replication] FILE MIN_POINTS [LABEL...]
  *
  * Parses FILE with core::parseJson and requires the sweep-harness
  * schema: artifact/caption/machine strings, the expected
@@ -32,7 +32,17 @@
  * shard and node-scaler counters validated (numeric, finite,
  * non-negative, at least one node, active_nodes_end and the
  * share/hit-rate ratios within range) and --scaleout requires every
- * point to carry one.
+ * point to carry one. Points carrying a "replication" block (FIG-18)
+ * have its quorum, hinted-handoff and rebalance counters validated
+ * (numeric, finite, non-negative, quorums within [1, factor],
+ * replayed hints never exceeding queued ones, completed rebalances
+ * never exceeding started ones) plus the correctness invariants: the
+ * lost-acked-write and stale-quorum-read counters must be zero, and
+ * when the post-drain sweep ran (consistency_checked = 1) the block
+ * is a proof the run kept every acknowledged write quorum-readable.
+ * --replication requires at least one point to carry the block and
+ * every carried block to have consistency_checked = 1 (the R=1
+ * baseline arms legitimately lack the block entirely).
  * Independently of any flag, every number in the document must
  * be finite: the writer emits null for NaN/Inf, so a raw non-finite
  * literal (or a null where a metric belongs) fails the check. Exits
@@ -264,6 +274,70 @@ checkScaleout(const std::string &path, const std::string &label,
 }
 
 /**
+ * Validate one point's "replication" block (FIG-18): the quorum
+ * write/read, hinted-handoff and rebalance counters must be numeric,
+ * finite and non-negative with the internal orderings intact, and the
+ * two violation counters must be zero — a run that lost an
+ * acknowledged write or served a stale quorum read must never pass
+ * CI. With `require_checked` (--replication) the post-drain
+ * consistency sweep must actually have run.
+ */
+void
+checkReplication(const std::string &path, const std::string &label,
+                 const core::JsonValue &replication, bool require_checked)
+{
+    const std::string where =
+        path + ": point '" + label + "' replication: ";
+    for (const char *key :
+         {"factor", "write_quorum", "read_quorum", "quorum_writes",
+          "write_failures", "write_ack_p50_ms", "write_ack_p99_ms",
+          "quorum_reads", "read_failures", "read_repairs",
+          "read_refetches", "read_p50_ms", "read_p99_ms",
+          "hints_queued", "hints_replayed", "hints_dropped",
+          "hint_depth_peak", "rebalances_started",
+          "rebalances_completed", "rebalance_batches",
+          "rebalance_bytes", "dual_reads", "rebalance_ms_total",
+          "consistency_checked", "acked_writes", "lost_acked_writes",
+          "stale_quorum_reads"}) {
+        const core::JsonValue *n = replication.find(key);
+        if (!n || !n->isNumber())
+            die(where + "missing or non-numeric '" + key + "'");
+        if (!std::isfinite(n->numberValue))
+            die(where + "'" + key + "' is not finite");
+        if (n->numberValue < 0)
+            die(where + "'" + key + "' is negative");
+    }
+    const double factor = replication.at("factor").numberValue;
+    if (factor < 2)
+        die(where + "block present but factor < 2");
+    for (const char *key : {"write_quorum", "read_quorum"}) {
+        const double q = replication.at(key).numberValue;
+        if (q < 1 || q > factor)
+            die(where + "'" + std::string(key) +
+                "' outside [1, factor]");
+    }
+    if (replication.at("hints_replayed").numberValue >
+        replication.at("hints_queued").numberValue)
+        die(where + "'hints_replayed' exceeds 'hints_queued'");
+    if (replication.at("rebalances_completed").numberValue >
+        replication.at("rebalances_started").numberValue)
+        die(where + "'rebalances_completed' exceeds "
+                    "'rebalances_started'");
+    const double checked =
+        replication.at("consistency_checked").numberValue;
+    if (checked != 0.0 && checked != 1.0)
+        die(where + "'consistency_checked' is not 0/1");
+    if (require_checked && checked != 1.0)
+        die(where + "consistency sweep did not run (--replication)");
+    // The invariants themselves: no acknowledged write may be lost
+    // and no quorum read may have returned stale data.
+    if (replication.at("lost_acked_writes").numberValue != 0.0)
+        die(where + "lost acked writes reported");
+    if (replication.at("stale_quorum_reads").numberValue != 0.0)
+        die(where + "stale quorum reads reported");
+}
+
+/**
  * Reject any non-finite number anywhere in the document. The writer
  * turns NaN/Inf into null, and the parser accepts 1e999 as infinity;
  * either way a non-finite value means a metric pipeline is broken.
@@ -300,6 +374,7 @@ main(int argc, char **argv)
     bool require_trace = false;
     bool require_grayfail = false;
     bool require_scaleout = false;
+    bool require_replication = false;
     while (arg < argc) {
         const std::string flag = argv[arg];
         if (flag == "--elastic")
@@ -312,13 +387,16 @@ main(int argc, char **argv)
             require_grayfail = true;
         else if (flag == "--scaleout")
             require_scaleout = true;
+        else if (flag == "--replication")
+            require_replication = true;
         else
             break;
         ++arg;
     }
     if (argc - arg < 2)
         die("usage: json_check [--elastic] [--overload] [--trace] "
-            "[--grayfail] [--scaleout] FILE MIN_POINTS [LABEL...]");
+            "[--grayfail] [--scaleout] [--replication] FILE MIN_POINTS "
+            "[LABEL...]");
     const std::string path = argv[arg++];
     const unsigned long min_points = std::stoul(argv[arg++]);
 
@@ -372,6 +450,7 @@ main(int argc, char **argv)
             " points, got " + std::to_string(points->elements.size()));
     }
     bool saw_overload = false;
+    bool saw_replication = false;
     for (const core::JsonValue &p : points->elements) {
         const core::JsonValue *label = p.find("label");
         if (!label || !label->isString() || label->stringValue.empty())
@@ -417,9 +496,17 @@ main(int argc, char **argv)
         else if (require_scaleout)
             die(path + ": point '" + label->stringValue +
                 "' without a scaleout block (--scaleout)");
+        if (const core::JsonValue *rp = result->find("replication")) {
+            checkReplication(path, label->stringValue, *rp,
+                             require_replication);
+            saw_replication = true;
+        }
     }
     if (require_overload && !saw_overload)
         die(path + ": no point carries an overload block (--overload)");
+    if (require_replication && !saw_replication)
+        die(path +
+            ": no point carries a replication block (--replication)");
 
     rejectNonFinite(path, v);
 

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -123,6 +124,79 @@ class RequestLedger
                issued_ == terminals_;
     }
 
+    // ------------------------------------------------------------------
+    // Write-ack ledger (replicated data tier).
+    //
+    // The quorum coordinator records every write it acknowledged to a
+    // client (entity + version) and every quorum read that returned a
+    // version older than a previously acked one. After drain the
+    // cluster re-reads its replica version maps and reports any acked
+    // write no longer readable at quorum strength. verifyReplication
+    // turns those counters into violations: "no lost acknowledged
+    // writes" and "no stale quorum reads" are the headline invariants
+    // chaos_search --cluster enforces.
+    // ------------------------------------------------------------------
+
+    /** A write was acked to the client at `version` for `entity`. */
+    void recordAckedWrite(const std::string &entity,
+                          std::uint64_t version)
+    {
+        auto &v = acked_writes_[entity];
+        if (version > v)
+            v = version;
+        ++acked_write_count_;
+    }
+
+    /** A quorum read observed a version older than an acked write. */
+    void recordStaleQuorumRead() { ++stale_quorum_reads_; }
+
+    /** Post-drain: an acked write is no longer quorum-readable. */
+    void recordLostAckedWrite(const std::string &entity,
+                              std::uint64_t version)
+    {
+        ++lost_acked_writes_;
+        if (lost_write_lines_.size() < 8) {
+            lost_write_lines_.push_back(
+                "replication: acked write " + entity + "@v" +
+                std::to_string(version) +
+                " not quorum-readable after drain");
+        }
+    }
+
+    /** Max acked version per entity, as recorded by the coordinator. */
+    const std::map<std::string, std::uint64_t> &ackedWrites() const
+    {
+        return acked_writes_;
+    }
+
+    std::uint64_t ackedWriteCount() const { return acked_write_count_; }
+    std::uint64_t staleQuorumReads() const { return stale_quorum_reads_; }
+    std::uint64_t lostAckedWrites() const { return lost_acked_writes_; }
+
+    /**
+     * Replication invariant check; call after the cluster's post-drain
+     * verification ran. True when no acked write was lost and no
+     * quorum read went stale.
+     */
+    bool verifyReplication(std::vector<std::string> &violations) const
+    {
+        for (const std::string &line : lost_write_lines_)
+            violations.push_back(line);
+        if (lost_acked_writes_ > lost_write_lines_.size()) {
+            violations.push_back(
+                "replication: ... and " +
+                std::to_string(lost_acked_writes_ -
+                               lost_write_lines_.size()) +
+                " more lost acked write(s)");
+        }
+        if (stale_quorum_reads_ > 0) {
+            violations.push_back(
+                "replication: " + std::to_string(stale_quorum_reads_) +
+                " quorum read(s) returned a stale version");
+        }
+        return lost_acked_writes_ == 0 && stale_quorum_reads_ == 0;
+    }
+
     /** Sabotage: swallow the next terminal (tests the leak check). */
     void breakNextTerminal() { break_next_terminal_ = true; }
 
@@ -146,6 +220,11 @@ class RequestLedger
     bool break_next_terminal_ = false;
     bool drop_status_set_ = false;
     svc::Status drop_status_ = svc::Status::Ok;
+    std::map<std::string, std::uint64_t> acked_writes_;
+    std::vector<std::string> lost_write_lines_;
+    std::uint64_t acked_write_count_ = 0;
+    std::uint64_t stale_quorum_reads_ = 0;
+    std::uint64_t lost_acked_writes_ = 0;
 };
 
 } // namespace microscale::chaos

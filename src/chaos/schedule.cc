@@ -28,9 +28,25 @@ enum class Family
     NodeOutage,
     FabricLoss,
     FabricPartition,
+    // Data-tier families, drawn only when the space has dataShards > 0
+    // (a replicated data tier): crash one shard replica, hold one down
+    // long enough to pressure its hint queue, or split the fabric
+    // between two shard-hosting nodes so write and read quorums see
+    // different replicas.
+    ShardOutage,
+    HintPressure,
+    QuorumSplit,
 };
 constexpr unsigned kNumFamilies = 8;
 constexpr unsigned kNumClusterFamilies = 11;
+constexpr unsigned kNumDataFamilies = 14;
+
+/** Shard service names follow the cluster's naming scheme. */
+std::string
+shardServiceName(unsigned shard)
+{
+    return "shard" + std::to_string(shard);
+}
 
 svc::FaultEvent
 makeEvent(svc::FaultEvent::Kind kind, Tick at, std::string service,
@@ -78,7 +94,16 @@ randomSchedule(std::uint64_t seed, const FaultSpace &space,
 
     using Kind = svc::FaultEvent::Kind;
     const unsigned num_families =
-        space.clusterNodes > 0 ? kNumClusterFamilies : kNumFamilies;
+        space.dataShards > 0
+            ? kNumDataFamilies
+            : (space.clusterNodes > 0 ? kNumClusterFamilies
+                                      : kNumFamilies);
+    // Distinct shard-hosting nodes (quorum splits need two).
+    std::vector<unsigned> shard_nodes = space.dataShardNodes;
+    std::sort(shard_nodes.begin(), shard_nodes.end());
+    shard_nodes.erase(
+        std::unique(shard_nodes.begin(), shard_nodes.end()),
+        shard_nodes.end());
     for (unsigned p = 0; p < pairs; ++p) {
         Family family = static_cast<Family>(
             rng.uniformInt(0, num_families - 1));
@@ -98,6 +123,9 @@ randomSchedule(std::uint64_t seed, const FaultSpace &space,
              family == Family::FabricPartition) &&
             space.clusterNodes < 2)
             family = Family::NodeOutage;
+        if (family == Family::QuorumSplit &&
+            (shard_nodes.size() < 2 || space.clusterNodes < 2))
+            family = Family::ShardOutage;
 
         const Tick onset = windowStart + static_cast<Tick>(rng.uniformInt(
                                              0, windowEnd - windowStart));
@@ -237,6 +265,58 @@ randomSchedule(std::uint64_t seed, const FaultSpace &space,
                 svc::FaultEvent off =
                     makeEvent(Kind::FabricHeal, recovery, "", "", a, 1.0);
                 off.peerReplica = b;
+                script.events.push_back(std::move(off));
+            }
+            break;
+        }
+        case Family::ShardOutage: {
+            // Crash one shard replica: writes fall back to quorum
+            // slack, hints queue for the victim, replay on recovery.
+            const unsigned shard = static_cast<unsigned>(
+                rng.uniformInt(0, space.dataShards - 1));
+            script.events.push_back(
+                makeEvent(Kind::ReplicaDown, onset,
+                          shardServiceName(shard), "", 0, 1.0));
+            if (recover)
+                script.events.push_back(
+                    makeEvent(Kind::ReplicaUp, recovery,
+                              shardServiceName(shard), "", 0, 1.0));
+            break;
+        }
+        case Family::HintPressure: {
+            // Hold a shard down for the rest of the window and bring
+            // it back right at the end: the longest hint buildup the
+            // window allows, with the replay squeezed into the drain.
+            const unsigned shard = static_cast<unsigned>(
+                rng.uniformInt(0, space.dataShards - 1));
+            script.events.push_back(
+                makeEvent(Kind::ReplicaDown, onset,
+                          shardServiceName(shard), "", 0, 1.0));
+            script.events.push_back(
+                makeEvent(Kind::ReplicaUp, windowEnd,
+                          shardServiceName(shard), "", 0, 1.0));
+            break;
+        }
+        case Family::QuorumSplit: {
+            // Partition the fabric between two shard-hosting nodes:
+            // replica legs crossing the split fail while both shards
+            // stay up, separating write-ack from replication reach.
+            const unsigned ai = static_cast<unsigned>(
+                rng.uniformInt(0, shard_nodes.size() - 1));
+            unsigned bi = static_cast<unsigned>(
+                rng.uniformInt(0, shard_nodes.size() - 2));
+            if (bi >= ai)
+                ++bi;
+            svc::FaultEvent on =
+                makeEvent(Kind::FabricPartition, onset, "", "",
+                          shard_nodes[ai], 1.0);
+            on.peerReplica = shard_nodes[bi];
+            script.events.push_back(std::move(on));
+            if (recover) {
+                svc::FaultEvent off =
+                    makeEvent(Kind::FabricHeal, recovery, "", "",
+                              shard_nodes[ai], 1.0);
+                off.peerReplica = shard_nodes[bi];
                 script.events.push_back(std::move(off));
             }
             break;

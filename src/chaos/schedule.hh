@@ -65,6 +65,24 @@ struct FaultSpace
      * pair is a fabric link (see net::Network::sendVia).
      */
     unsigned clusterNodes = 0;
+
+    /**
+     * Persistence shards of a replicated data tier (R > 1). 0 = the
+     * data-tier fault families (shard outage, hint pressure, quorum
+     * split) are never drawn, so every pre-replication space keeps
+     * producing byte-identical schedules per seed. Only set this when
+     * the harness runs with replication enabled: the families exist
+     * to drive the quorum/hint/read-repair machinery.
+     */
+    unsigned dataShards = 0;
+
+    /**
+     * Cluster node hosting each data shard (indexed by shard id).
+     * Quorum-split faults partition the fabric between two distinct
+     * shard-hosting nodes; with fewer than two distinct entries the
+     * family degrades to a shard outage.
+     */
+    std::vector<unsigned> dataShardNodes;
 };
 
 /**

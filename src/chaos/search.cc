@@ -36,16 +36,21 @@ constexpr Tick kMeasure = 500 * kMillisecond;
 constexpr unsigned kUsers = 40;
 
 /**
- * The cluster variant of the harness: two small8 machines over a LAN
- * fabric, persistence sharded two ways behind a single cache node so
- * node loss takes out stateful tier members, not just app replicas.
- * The scaler stays off - schedules, not load, drive the run.
+ * The cluster variant of the harness: two active small8 machines (a
+ * third joins mid-window through the scripted scale event, streaming
+ * a rebalance under fire) over a LAN fabric, persistence sharded two
+ * ways at replication factor 2 behind a single cache node — so node
+ * loss takes out stateful tier members, not just app replicas, and
+ * every schedule exercises the quorum/hint/read-repair machinery. The
+ * small hint queue makes overflow reachable. The scaler stays off -
+ * schedules, not load, drive the run.
  */
 cluster::ClusterParams
 clusterHarnessParams()
 {
     cluster::ClusterParams p;
-    p.nodes = 2;
+    p.nodes = 3;
+    p.initialNodes = 2;
     p.nodeMachine = topo::small8();
     cluster::applyFabricPreset(p, "lan");
     p.shards = 2;
@@ -53,6 +58,11 @@ clusterHarnessParams()
     p.cacheCapacity = 256;
     p.shardWorkers = 4;
     p.cacheWorkers = 4;
+    p.replication.factor = 2;
+    p.replication.writeQuorum = 1;
+    p.replication.hintQueueCap = 16;
+    p.replication.scaleAddNodeAt = 250 * kMillisecond;
+    p.replication.rebalanceBatchEntities = 8;
     return p;
 }
 
@@ -240,6 +250,11 @@ verdictLine(const ChaosVerdict &v)
     s += " applied=" + std::to_string(v.faultsApplied);
     if (v.faultsSkipped > 0)
         s += " skipped=" + std::to_string(v.faultsSkipped);
+    if (v.ackedWrites > 0) {
+        s += " ackedWrites=" + std::to_string(v.ackedWrites) +
+             " lostAcked=" + std::to_string(v.lostAckedWrites) +
+             " staleReads=" + std::to_string(v.staleQuorumReads);
+    }
     return s;
 }
 
@@ -288,6 +303,20 @@ harnessFaultSpace(bool clusterHarness)
             {name, it->second.replicas * replica_scale});
     }
     space.clusterNodes = cluster_nodes;
+    if (clusterHarness) {
+        const cluster::ClusterParams cp = clusterHarnessParams();
+        if (cp.replication.factor > 1) {
+            // Arm the data-tier families against the initial shards
+            // (shard j lands on node j % initialNodes, matching
+            // buildDataTier's round-robin placement).
+            const unsigned initial = cp.initialNodes == 0
+                                         ? cp.nodes
+                                         : cp.initialNodes;
+            space.dataShards = cp.shards;
+            for (unsigned j = 0; j < cp.shards; ++j)
+                space.dataShardNodes.push_back(j % initial);
+        }
+    }
     // Only edges whose client applies a timeout (see FaultSpace docs).
     space.links = {
         {svc::kExternalClient, teastore::names::kWebui},
@@ -331,6 +360,9 @@ runSchedule(const svc::FaultScript &script, const ChaosRunOptions &opts)
             : core::runExperiment(config);
 
     ledger.verify(verdict.violations);
+    // The replication invariants (no lost acked write, no stale quorum
+    // read); trivially clean for runs without quorum writes.
+    ledger.verifyReplication(verdict.violations);
     verdict.issued = ledger.issued();
     verdict.terminals = ledger.terminals();
     for (unsigned i = 0; i < svc::kNumStatuses; ++i)
@@ -338,6 +370,9 @@ runSchedule(const svc::FaultScript &script, const ChaosRunOptions &opts)
             ledger.terminals(static_cast<svc::Status>(i));
     verdict.faultsApplied = result.grayfail.faultsApplied;
     verdict.faultsSkipped = result.grayfail.faultsSkipped;
+    verdict.ackedWrites = ledger.ackedWriteCount();
+    verdict.lostAckedWrites = ledger.lostAckedWrites();
+    verdict.staleQuorumReads = ledger.staleQuorumReads();
     return verdict;
 }
 

@@ -74,6 +74,11 @@ struct ChaosVerdict
     std::array<std::uint64_t, svc::kNumStatuses> byStatus{};
     std::uint64_t faultsApplied = 0;
     std::uint64_t faultsSkipped = 0;
+    /** Replicated-data-tier tallies (cluster harness only; all zero
+     * when the run had no quorum writes). */
+    std::uint64_t ackedWrites = 0;
+    std::uint64_t lostAckedWrites = 0;
+    std::uint64_t staleQuorumReads = 0;
     /** One line per broken invariant; empty = clean run. */
     std::vector<std::string> violations;
 
@@ -81,9 +86,11 @@ struct ChaosVerdict
 };
 
 /** The fault space matching the harness topology (see search.cc).
- * With `clusterHarness` the space describes the 2-node cluster
- * harness: replica counts span both machines and the node/fabric
- * fault families are armed (clusterNodes = 2). */
+ * With `clusterHarness` the space describes the cluster harness (two
+ * active nodes plus a scripted mid-window join): replica counts span
+ * the machines, the node/fabric fault families are armed, and the
+ * replicated data tier (R = 2) arms the shard-outage / hint-pressure
+ * / quorum-split families. */
 FaultSpace harnessFaultSpace(bool clusterHarness = false);
 
 /** Fault-injection window of the harness run, for randomSchedule. */

@@ -33,6 +33,17 @@ constexpr const char *kEntityOps[] = {
     "user",       "ordersOfUser", "img",
 };
 
+const char *const kWorkerServices[] = {
+    teastore::names::kWebui,       teastore::names::kAuth,
+    teastore::names::kPersistence, teastore::names::kRecommender,
+    teastore::names::kImage,
+};
+
+} // namespace
+
+namespace detail
+{
+
 unsigned
 entityOpIndex(const std::string &op)
 {
@@ -41,6 +52,20 @@ entityOpIndex(const std::string &op)
             return i;
     }
     fatal("unknown cache entity op: ", op);
+}
+
+const char *
+entityOpName(unsigned idx)
+{
+    if (idx >= std::size(kEntityOps))
+        fatal("entity-op index ", idx, " out of range");
+    return kEntityOps[idx];
+}
+
+unsigned
+numEntityOps()
+{
+    return static_cast<unsigned>(std::size(kEntityOps));
 }
 
 /** All keys of one entity live under one ring point: op plus primary
@@ -52,12 +77,12 @@ entityOf(const std::string &op, std::uint64_t id)
     return op + ":" + std::to_string(id);
 }
 
-const char *const kWorkerServices[] = {
-    teastore::names::kWebui,       teastore::names::kAuth,
-    teastore::names::kPersistence, teastore::names::kRecommender,
-    teastore::names::kImage,
-};
+} // namespace detail
 
+namespace
+{
+using detail::entityOf;
+using detail::entityOpIndex;
 } // namespace
 
 void
@@ -264,10 +289,12 @@ Cluster::Cluster(sim::Simulation &sim, svc::Mesh &mesh,
                  ClusterParams params,
                  std::vector<core::PlacementPlan> plans,
                  std::vector<CpuMask> nodeBudgets,
-                 autoscale::PlacerKind placerKind)
+                 autoscale::PlacerKind placerKind,
+                 chaos::RequestLedger *ledger)
     : sim_(sim), mesh_(mesh), app_(app), params_(std::move(params)),
       plans_(std::move(plans)), node_budgets_(std::move(nodeBudgets)),
-      cache_ring_(params_.ringVnodes), shard_ring_(params_.ringVnodes)
+      cache_ring_(params_.ringVnodes), shard_ring_(params_.ringVnodes),
+      ledger_(ledger)
 {
     if (plans_.size() != params_.nodes ||
         node_budgets_.size() != params_.nodes)
@@ -329,29 +356,45 @@ Cluster::buildDataTier()
     if (params_.shards == 0) {
         if (params_.cacheNodes > 0)
             fatal("cache tier requires shards > 0");
+        if (params_.replication.factor > 1)
+            fatal("data replication requires shards > 0");
         return;
+    }
+    const unsigned factor = params_.replication.factor;
+    if (factor < 1 || factor > 3)
+        fatal("data replication factor must be 1-3, got ", factor);
+    if (factor > 1) {
+        if (factor > params_.shards)
+            fatal("replication factor ", factor, " exceeds shard count ",
+                  params_.shards);
+        const unsigned span = std::min(params_.shards, active_nodes_);
+        if (factor > span)
+            fatal("replication factor ", factor,
+                  " exceeds the distinct nodes hosting shards (", span,
+                  ")");
+        const unsigned w = resolvedWriteQuorum(params_.replication);
+        const unsigned rq = resolvedReadQuorum(params_.replication);
+        if (w > factor)
+            fatal("write quorum ", w, " exceeds replication factor ",
+                  factor);
+        if (rq > factor)
+            fatal("read quorum ", rq, " exceeds replication factor ",
+                  factor);
+        coordinator_ = std::make_unique<QuorumCoordinator>(
+            params_.replication, params_.shards, ledger_);
     }
     shard_requests_.assign(params_.shards, 0);
     cache_state_.resize(params_.cacheNodes);
 
     // Stateful members stay pinned to the initially active machines:
-    // the node scaler grows stateless app capacity, it does not
-    // rebalance data. Round-robin keeps shards and caches spread.
+    // the node scaler grows stateless app capacity; with replication
+    // on, scale events instead trigger the rebalance stream.
+    // Round-robin keeps shards and caches spread.
     for (unsigned j = 0; j < params_.shards; ++j) {
-        shard_ring_.addNode(j);
-        svc::ServiceParams sp;
-        sp.name = shardName(j);
-        sp.profile = teastore::persistenceProfile();
-        sp.replicas = 1;
-        sp.workersPerReplica = params_.shardWorkers;
-        sp.batchedTiming = app_.params().batchedTiming;
-        svc::Service *s = mesh_.createService(sp);
         const unsigned node = j % active_nodes_;
-        s->setReplicaPlacement(0, node_budgets_[node], kInvalidNode);
-        s->setReplicaClusterNode(0, static_cast<int>(node));
-        app_.installDataOps(*s, /*direct=*/true);
-        app_.installImageFetchOp(*s);
-        shards_.push_back(s);
+        createShard(j, node);
+        shard_ring_.addNode(j);
+        shard_ring_.setGroup(j, node);
     }
     for (unsigned i = 0; i < params_.cacheNodes; ++i) {
         cache_ring_.addNode(i);
@@ -367,8 +410,45 @@ Cluster::buildDataTier()
         s->setReplicaClusterNode(0, static_cast<int>(node));
         caches_.push_back(s);
         installCacheOps(i);
+        if (coordinator_) {
+            s->addAvailabilityObserver(
+                [this, i](unsigned replica, bool down) {
+                    (void)replica;
+                    onCacheAvailability(i, down);
+                });
+        }
     }
     app_.setScaleoutBackend(this);
+}
+
+svc::Service *
+Cluster::createShard(unsigned idx, unsigned node)
+{
+    // The caller decides which ring (serving or rebalance-target)
+    // the new shard joins.
+    svc::ServiceParams sp;
+    sp.name = shardName(idx);
+    sp.profile = teastore::persistenceProfile();
+    sp.replicas = 1;
+    sp.workersPerReplica = params_.shardWorkers;
+    sp.batchedTiming = app_.params().batchedTiming;
+    svc::Service *s = mesh_.createService(sp);
+    s->setReplicaPlacement(0, node_budgets_[node], kInvalidNode);
+    s->setReplicaClusterNode(0, static_cast<int>(node));
+    app_.installDataOps(*s, /*direct=*/true);
+    app_.installImageFetchOp(*s);
+    if (idx >= shard_requests_.size())
+        shard_requests_.resize(idx + 1, 0);
+    shards_.push_back(s);
+    if (coordinator_) {
+        installQuorumOps(s, idx);
+        s->addAvailabilityObserver(
+            [this, idx](unsigned replica, bool down) {
+                (void)replica;
+                onShardAvailability(idx, down);
+            });
+    }
+    return s;
 }
 
 void
@@ -376,6 +456,11 @@ Cluster::shardCall(svc::HandlerCtx &ctx, const std::string &op,
                    const std::string &entity, svc::Payload request,
                    std::function<void(const svc::Payload &)> next)
 {
+    if (coordinator_) {
+        quorumRead(ctx, op, entity, std::move(request),
+                   std::move(next));
+        return;
+    }
     const unsigned shard = shard_ring_.nodeFor(entity);
     ++shard_requests_[shard];
     ctx.call(shardName(shard), op, std::move(request), std::move(next));
@@ -495,6 +580,17 @@ Cluster::tierRead(svc::HandlerCtx &ctx, const std::string &op,
         return;
     }
     const unsigned c = cache_ring_.nodeFor(entity);
+    if (coordinator_ && caches_[c]->replicaDown(0)) {
+        // Replicated tier: a dead cache node must not take its slice
+        // of the keyspace down with it — bypass to a quorum read.
+        const std::string shard_op = op == "img" ? "imgFetch" : op;
+        quorumRead(ctx, shard_op, entity, ctx.request(),
+                   [&ctx](const svc::Payload &resp) {
+                       ctx.response() = resp;
+                       ctx.done();
+                   });
+        return;
+    }
     ctx.call(cacheName(c), op, ctx.request(),
              [&ctx](const svc::Payload &resp) {
                  ctx.response() = resp;
@@ -509,31 +605,48 @@ Cluster::persistenceOp(svc::HandlerCtx &ctx, const std::string &op)
         return false;
     const svc::Payload &req = ctx.request();
     if (op == "placeOrder") {
-        // Writes go to the shard owning the user's orders, then
+        // Writes go to the shard(s) owning the user's orders, then
         // invalidate that entity in its cache node so the next read
         // misses through to fresh data.
         const std::uint64_t user = req.arg0;
         const std::string entity = entityOf("ordersOfUser", user);
-        shardCall(
-            ctx, "placeOrder", entity, req,
-            [this, user, entity, &ctx](const svc::Payload &resp) {
-                if (caches_.empty()) {
-                    ctx.response() = resp;
-                    ctx.done();
-                    return;
-                }
-                const unsigned c = cache_ring_.nodeFor(entity);
-                svc::Payload inv;
-                inv.bytes = kCtrlBytes;
-                inv.arg0 = user;
-                inv.arg1 = entityOpIndex("ordersOfUser");
+        auto invalidate = [this, user, entity,
+                           &ctx](const svc::Payload &resp) {
+            if (caches_.empty()) {
+                ctx.response() = resp;
+                ctx.done();
+                return;
+            }
+            const unsigned c = cache_ring_.nodeFor(entity);
+            svc::Payload inv;
+            inv.bytes = kCtrlBytes;
+            inv.arg0 = user;
+            inv.arg1 = entityOpIndex("ordersOfUser");
+            if (coordinator_) {
+                // Replicated tier: a down cache node must not fail an
+                // acked write. Its entries are flushed wholesale when
+                // it comes back (onCacheAvailability).
                 ctx.call(cacheName(c), "invalidate", inv,
-                         [order = resp,
-                          &ctx](const svc::Payload &) {
+                         [order = resp, &ctx](const svc::Payload &,
+                                              svc::Status) {
                              ctx.response() = order;
                              ctx.done();
                          });
-            });
+                return;
+            }
+            ctx.call(cacheName(c), "invalidate", inv,
+                     [order = resp, &ctx](const svc::Payload &) {
+                         ctx.response() = order;
+                         ctx.done();
+                     });
+        };
+        if (coordinator_) {
+            quorumWrite(ctx, "placeOrder", entity, req,
+                        std::move(invalidate));
+        } else {
+            shardCall(ctx, "placeOrder", entity, req,
+                      std::move(invalidate));
+        }
         return true;
     }
     tierRead(ctx, op, entityOf(op, req.arg0));
@@ -562,6 +675,11 @@ Cluster::imageMiss(svc::HandlerCtx &ctx, std::uint64_t product,
         return true;
     }
     const unsigned c = cache_ring_.nodeFor(entity);
+    if (coordinator_ && caches_[c]->replicaDown(0)) {
+        quorumRead(ctx, "imgFetch", entity, std::move(req),
+                   std::move(assemble));
+        return true;
+    }
     ctx.call(cacheName(c), "img", std::move(req), std::move(assemble));
     return true;
 }
@@ -572,6 +690,25 @@ Cluster::imageMiss(svc::HandlerCtx &ctx, std::uint64_t product,
 void
 Cluster::start()
 {
+    const ReplicationParams &rep = params_.replication;
+    if (coordinator_ && rep.scaleAddNodeAt > 0) {
+        if (active_nodes_ >= params_.nodes)
+            fatal("scaleAddNodeAt needs a spare node (all ",
+                  params_.nodes, " active)");
+        sim_.scheduleAfter(
+            rep.scaleAddNodeAt,
+            [this] { activateNode(active_nodes_, sim_.now()); },
+            /*background=*/true);
+    }
+    if (coordinator_ && rep.drainShardAt > 0) {
+        if (rep.drainShardId >= params_.shards)
+            fatal("drainShardId ", rep.drainShardId,
+                  " out of range (", params_.shards, " shards)");
+        sim_.scheduleAfter(
+            rep.drainShardAt,
+            [this] { startDrainRebalance(params_.replication.drainShardId); },
+            /*background=*/true);
+    }
     if (!params_.scaler.enabled)
         return;
     scaler_event_.start(sim_, params_.scaler.period,
@@ -655,6 +792,10 @@ Cluster::activateNode(unsigned node, Tick decidedAt)
         }
     }
     active_nodes_ = std::max(active_nodes_, node + 1);
+    // With replication on, a freshly joined node also takes a slice
+    // of the data: spawn a shard there and stream its ranges over.
+    if (coordinator_)
+        startAddRebalance(node);
 }
 
 // ---------------------------------------------------------------------------
@@ -716,6 +857,16 @@ Cluster::harvest(core::RunResult &result) const
         so.provisionLagMeanMs =
             sum / static_cast<double>(provision_lag_ms_.size());
     }
+
+    if (coordinator_)
+        coordinator_->harvest(result.replication);
+}
+
+void
+Cluster::harvestReplication(core::RunResult &result) const
+{
+    if (coordinator_)
+        coordinator_->harvest(result.replication);
 }
 
 // ---------------------------------------------------------------------------
@@ -753,6 +904,9 @@ runScaleout(const core::ExperimentConfig &base,
         std::vector<CpuMask> budgets;
         std::vector<core::PlacementPlan> plans;
         std::unique_ptr<Cluster> cluster;
+        /** Valid between harvestExtra and postDrain (the RunResult
+         * lives in runExperiment's frame the whole time). */
+        core::RunResult *result = nullptr;
     };
     auto state = std::make_shared<State>();
 
@@ -805,12 +959,13 @@ runScaleout(const core::ExperimentConfig &base,
         base.placement == core::PlacementKind::OsDefault
             ? autoscale::PlacerKind::OsDefault
             : autoscale::PlacerKind::TopologyAware;
-    cfg.postBuild = [state, params, placer_kind](sim::Simulation &sim,
-                                                 svc::Mesh &mesh,
-                                                 teastore::App &app) {
+    cfg.postBuild = [state, params, placer_kind,
+                     ledger = base.ledger](sim::Simulation &sim,
+                                           svc::Mesh &mesh,
+                                           teastore::App &app) {
         state->cluster = std::make_unique<Cluster>(
             sim, mesh, app, mesh.kernel().machine(), params,
-            state->plans, state->budgets, placer_kind);
+            state->plans, state->budgets, placer_kind, ledger);
         state->cluster->start();
     };
 
@@ -818,9 +973,23 @@ runScaleout(const core::ExperimentConfig &base,
                                teastore::App &,
                                core::RunResult &result) {
         state->cluster->harvest(result);
+        state->result = &result;
         // Stop the scaler while the simulation still exists; the
         // Cluster object itself outlives the run.
         state->cluster->stop();
+    };
+
+    // After the drain: sweep the acked-write ledger against the final
+    // replica state and patch the verdict into the harvested summary
+    // (harvest ran pre-drain). Composes with any caller postDrain.
+    cfg.postDrain = [state, inner = base.postDrain](
+                        sim::Simulation &sim, svc::Mesh &mesh,
+                        teastore::App &app) {
+        if (inner)
+            inner(sim, mesh, app);
+        state->cluster->verifyReplication();
+        if (state->result != nullptr)
+            state->cluster->harvestReplication(*state->result);
     };
 
     return core::runExperiment(cfg);

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "autoscale/placer.hh"
+#include "cluster/quorum.hh"
 #include "cluster/ring.hh"
 #include "core/experiment.hh"
 #include "sim/simulation.hh"
@@ -52,6 +53,16 @@
 
 namespace microscale::cluster
 {
+
+namespace detail
+{
+/** The cacheable entity ops shared by the cache and quorum layers
+ * (defined in cluster.cc; index order is the invalidation index). */
+unsigned entityOpIndex(const std::string &op);
+const char *entityOpName(unsigned idx);
+unsigned numEntityOps();
+std::string entityOf(const std::string &op, std::uint64_t id);
+} // namespace detail
 
 /** Whole-node autoscaling configuration. */
 struct NodeScalerParams
@@ -116,6 +127,9 @@ struct ClusterParams
     unsigned ringVnodes = 64;
     unsigned shardWorkers = 24;
     unsigned cacheWorkers = 16;
+
+    /** Replicated data tier (factor 1 = the plain sharded tier). */
+    ReplicationParams replication;
 
     NodeScalerParams scaler;
 };
@@ -208,7 +222,8 @@ class Cluster : public teastore::ScaleoutBackend
             const topo::Machine &machine, ClusterParams params,
             std::vector<core::PlacementPlan> plans,
             std::vector<CpuMask> nodeBudgets,
-            autoscale::PlacerKind placerKind);
+            autoscale::PlacerKind placerKind,
+            chaos::RequestLedger *ledger = nullptr);
 
     ~Cluster() override;
 
@@ -261,6 +276,24 @@ class Cluster : public teastore::ScaleoutBackend
     /** One scaler decision step (exposed for tests). */
     void scalerTick();
 
+    /** Quorum state machine (nullptr at factor 1). */
+    const QuorumCoordinator *coordinator() const
+    {
+        return coordinator_.get();
+    }
+
+    /**
+     * Post-drain verification: sweep the acked-write ledger against
+     * the final ring and replica version maps (no-op at factor 1).
+     * Call after the simulation drained; runScaleout wires it into
+     * the experiment's postDrain hook.
+     */
+    void verifyReplication();
+
+    /** Patch the post-drain counters into an already-harvested
+     * summary (the harvest hook runs before the drain). */
+    void harvestReplication(core::RunResult &result) const;
+
   private:
     class Router;
 
@@ -304,6 +337,59 @@ class Cluster : public teastore::ScaleoutBackend
     std::string shardName(unsigned idx) const;
     std::string cacheName(unsigned idx) const;
 
+    // Replicated data tier (quorum.cc). All inert at factor 1.
+
+    /** Create one shard service on `node` and register its ops. */
+    svc::Service *createShard(unsigned idx, unsigned node);
+
+    /** Register applyWrite/versionProbe/migrate on a shard. */
+    void installQuorumOps(svc::Service *s, unsigned idx);
+
+    /** Owners of `entity` on the serving ring (factor entries). */
+    std::vector<unsigned> shardOwners(const std::string &entity) const;
+
+    bool shardUp(unsigned shard) const;
+
+    /** Quorum write: all owners, ack at W, hints for the rest. */
+    void quorumWrite(svc::HandlerCtx &ctx, const std::string &op,
+                     const std::string &entity, svc::Payload request,
+                     std::function<void(const svc::Payload &)> next);
+
+    /** Quorum read: full read + R_q-1 version probes, refetch and
+     * read-repair on divergence. */
+    void quorumRead(svc::HandlerCtx &ctx, const std::string &op,
+                    const std::string &entity, svc::Payload request,
+                    std::function<void(const svc::Payload &)> next);
+
+    /** Availability edge of shard/cache replicas (hint replay and
+     * cache flush hooks). */
+    void onShardAvailability(unsigned shard, bool down);
+    void onCacheAvailability(unsigned cacheIdx, bool down);
+
+    /** Replay the next queued hint for a recovered shard. */
+    void replayNextHint(unsigned shard);
+
+    /** Queue a hint for a write owed to an unreachable shard. */
+    void queueHint(unsigned shard, const std::string &entity,
+                   const svc::Payload &request, std::uint64_t version);
+
+    /** Background applyWrite to one owner (async replication leg or
+     * read repair), issued from cluster node `srcNode`. */
+    void asyncApply(unsigned shard, const std::string &entity,
+                    const svc::Payload &request, std::uint64_t version,
+                    unsigned srcNode);
+
+    /** Scale-event rebalancing: stream moved ranges to a fresh shard
+     * on `node` (add) or away from a draining shard (drain). */
+    void startAddRebalance(unsigned node);
+    void startDrainRebalance(unsigned shard);
+    void migrateNextBatch();
+    void finishRebalance();
+    void abortRebalance();
+
+    /** Entities in the modeled store (rebalance volume estimate). */
+    std::uint64_t storeEntityCount() const;
+
     /** Worker-busy fraction of the app services (scaler signal). */
     double utilization() const;
 
@@ -328,6 +414,17 @@ class Cluster : public teastore::ScaleoutBackend
     std::vector<CacheNodeState> cache_state_;
     CacheStats cache_stats_;
     std::vector<std::uint64_t> shard_requests_;
+
+    std::unique_ptr<QuorumCoordinator> coordinator_;
+    chaos::RequestLedger *ledger_ = nullptr;
+    /** Target ring while a rebalance stream is in flight. */
+    std::unique_ptr<HashRing> next_ring_;
+    /** Shard being drained (rebalance away), kNoShard otherwise. */
+    static constexpr unsigned kNoShard = ~0u;
+    unsigned draining_shard_ = kNoShard;
+    Tick rebalance_started_ = 0;
+    std::uint64_t rebalance_batches_left_ = 0;
+    std::uint64_t rebalance_batch_cursor_ = 0;
 
     unsigned active_nodes_ = 0;
     sim::PeriodicEvent scaler_event_;

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Replicated data tier: quorum coordination state for the cluster's
+ * persistence shards.
+ *
+ * With ReplicationParams::factor R > 1, buildDataTier places each
+ * shard's key ranges on R distinct nodes (HashRing successor walk over
+ * failure-domain groups) and the Cluster routes every data write to
+ * all R owners, acking the client once W of them applied it, and every
+ * read to R_q owners (one full read plus version probes), re-fetching
+ * and read-repairing when the probed versions disagree. Owners that
+ * are down at write time receive a bounded queue of hints replayed on
+ * the down→up edge. When a node joins (scaler or script), a rebalance
+ * stream migrates the moved key ranges in bounded batches over the
+ * fabric while reads dual-probe old and new owners until cutover.
+ *
+ * The QuorumCoordinator here is the pure state machine: per-entity
+ * version counters, per-shard applied-version maps, the acked-write
+ * ledger hookup and every counter the run summary reports. The RPC
+ * choreography lives in quorum.cc as Cluster methods so it can reuse
+ * the mesh plumbing. Everything is inert at R=1: the coordinator is
+ * never constructed and the FIG-17 data tier runs byte-identically.
+ */
+
+#ifndef MICROSCALE_CLUSTER_QUORUM_HH
+#define MICROSCALE_CLUSTER_QUORUM_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "chaos/ledger.hh"
+#include "core/experiment.hh"
+#include "svc/payload.hh"
+
+namespace microscale::cluster
+{
+
+/** Replicated-data-tier knobs (part of ClusterParams). */
+struct ReplicationParams
+{
+    /** Replicas per key range (1-3). 1 = the unreplicated FIG-17
+     * tier; every quorum/hint/rebalance path below is disabled. */
+    unsigned factor = 1;
+
+    /** Write quorum W: acks required before the client sees success.
+     * 0 = majority (R/2 + 1). Must be 1..R. */
+    unsigned writeQuorum = 0;
+
+    /** Read quorum R_q: owners a read must reach. 0 = R - W + 1 (the
+     * smallest quorum that still intersects every write quorum). */
+    unsigned readQuorum = 0;
+
+    /** Hints buffered per down shard; overflow drops (counted). */
+    unsigned hintQueueCap = 128;
+
+    /** Keys migrated per rebalance batch. */
+    unsigned rebalanceBatchEntities = 32;
+
+    /** Wire size of one full migrate batch. */
+    std::uint32_t rebalanceBatchBytes = 16 * 1024;
+
+    /** Scripted scale-out: activate the next spare node (and start
+     * the rebalance stream) at this tick. 0 = off. */
+    Tick scaleAddNodeAt = 0;
+
+    /** Scripted drain: stream shard `drainShardId`'s ranges to the
+     * surviving owners starting at this tick, then retire it. 0 =
+     * off. */
+    Tick drainShardAt = 0;
+    unsigned drainShardId = 0;
+};
+
+/** W after resolving the majority default. */
+unsigned resolvedWriteQuorum(const ReplicationParams &p);
+
+/** R_q after resolving the intersection default. */
+unsigned resolvedReadQuorum(const ReplicationParams &p);
+
+/**
+ * Bounded FIFO of writes owed to one down shard. push() refuses at
+ * capacity (the drop is the caller's to count); replay pops in arrival
+ * order, which the chained replay RPCs preserve on the wire.
+ */
+class HintQueue
+{
+  public:
+    explicit HintQueue(unsigned cap) : cap_(cap) {}
+
+    struct Hint
+    {
+        std::string op;
+        std::string entity;
+        svc::Payload request;
+        std::uint64_t version = 0;
+    };
+
+    bool push(Hint h)
+    {
+        if (q_.size() >= cap_)
+            return false;
+        q_.push_back(std::move(h));
+        return true;
+    }
+
+    bool empty() const { return q_.empty(); }
+    std::size_t depth() const { return q_.size(); }
+
+    Hint pop()
+    {
+        Hint h = std::move(q_.front());
+        q_.pop_front();
+        return h;
+    }
+
+  private:
+    unsigned cap_;
+    std::deque<Hint> q_;
+};
+
+/**
+ * The quorum state machine: versions, applied maps, hints and stats.
+ * No RPC here — the Cluster drives it and owns the choreography.
+ */
+class QuorumCoordinator
+{
+  public:
+    QuorumCoordinator(const ReplicationParams &params, unsigned shards,
+                      chaos::RequestLedger *ledger);
+
+    unsigned factor() const { return params_.factor; }
+    unsigned writeQuorum() const { return write_quorum_; }
+    unsigned readQuorum() const { return read_quorum_; }
+
+    /** Grow per-shard state when a rebalance adds a shard. */
+    void addShard();
+
+    /** Assign the next version of `entity` (1, 2, ...). */
+    std::uint64_t beginWrite(const std::string &entity);
+
+    /** Max-merge: shard `shard` now holds `entity` at >= version. */
+    void recordApplied(unsigned shard, const std::string &entity,
+                       std::uint64_t version);
+
+    std::uint64_t appliedVersion(unsigned shard,
+                                 const std::string &entity) const;
+
+    /** The write reached W acks; feeds the write-ack ledger. */
+    void ackWrite(const std::string &entity, std::uint64_t version);
+
+    std::uint64_t ackedVersion(const std::string &entity) const;
+
+    /** A quorum read returned a version older than an acked write. */
+    void recordStaleRead();
+
+    HintQueue &hints(unsigned shard) { return hint_queues_.at(shard); }
+
+    /** Track the high-water mark across all hint queues. */
+    void noteHintDepth();
+
+    /**
+     * Post-drain invariant sweep: every acked write must still be
+     * readable at quorum strength, i.e. at least R - R_q + 1 of the
+     * entity's final owners hold a version >= the acked one.
+     * `ownersOf` resolves an entity to its owners on the final ring;
+     * lost writes are counted here and reported to the ledger.
+     */
+    void verifyAcked(
+        const std::function<std::vector<unsigned>(const std::string &)>
+            &ownersOf);
+
+    /** Union of entities with any applied or acked version. */
+    std::vector<std::string> knownEntities() const;
+
+    /** Raw counters (Cluster folds them into the run summary). */
+    struct Stats
+    {
+        std::uint64_t quorumWrites = 0;
+        std::uint64_t writeFailures = 0;
+        std::uint64_t quorumReads = 0;
+        std::uint64_t readFailures = 0;
+        std::uint64_t readRepairs = 0;
+        std::uint64_t readRefetches = 0;
+        std::uint64_t hintsQueued = 0;
+        std::uint64_t hintsReplayed = 0;
+        std::uint64_t hintsDropped = 0;
+        std::uint64_t hintDepthPeak = 0;
+        std::uint64_t rebalancesStarted = 0;
+        std::uint64_t rebalancesCompleted = 0;
+        std::uint64_t rebalanceBatches = 0;
+        std::uint64_t rebalanceBytes = 0;
+        std::uint64_t dualReads = 0;
+        double rebalanceMsTotal = 0.0;
+        bool consistencyChecked = false;
+        std::uint64_t ackedWrites = 0;
+        std::uint64_t lostAckedWrites = 0;
+        std::uint64_t staleQuorumReads = 0;
+    };
+
+    Stats &stats() { return stats_; }
+    const Stats &stats() const { return stats_; }
+
+    QuantileHistogram &writeAckNs() { return write_ack_ns_; }
+    QuantileHistogram &readNs() { return read_ns_; }
+
+    /** Fill the run summary block (active = true). */
+    void harvest(core::ReplicationSummary &out) const;
+
+  private:
+    ReplicationParams params_;
+    unsigned write_quorum_;
+    unsigned read_quorum_;
+    chaos::RequestLedger *ledger_;
+
+    std::map<std::string, std::uint64_t> next_version_;
+    std::map<std::string, std::uint64_t> acked_;
+    std::vector<std::map<std::string, std::uint64_t>> applied_;
+    std::vector<HintQueue> hint_queues_;
+
+    Stats stats_;
+    QuantileHistogram write_ack_ns_;
+    QuantileHistogram read_ns_;
+};
+
+} // namespace microscale::cluster
+
+#endif // MICROSCALE_CLUSTER_QUORUM_HH

@@ -54,11 +54,72 @@ HashRing::removeNode(unsigned node)
     if (m == members_.end())
         return;
     members_.erase(m);
+    groups_.erase(std::remove_if(groups_.begin(), groups_.end(),
+                                 [node](const auto &g) {
+                                     return g.first == node;
+                                 }),
+                  groups_.end());
     ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
                                [node](const Token &t) {
                                    return t.node == node;
                                }),
                 ring_.end());
+}
+
+void
+HashRing::setGroup(unsigned node, unsigned group)
+{
+    for (auto &g : groups_) {
+        if (g.first == node) {
+            g.second = group;
+            return;
+        }
+    }
+    groups_.emplace_back(node, group);
+}
+
+unsigned
+HashRing::groupOf(unsigned node) const
+{
+    for (const auto &g : groups_)
+        if (g.first == node)
+            return g.second;
+    return node;
+}
+
+std::vector<unsigned>
+HashRing::ownersFor(const std::string &key, unsigned count) const
+{
+    if (ring_.empty())
+        fatal("hash ring lookup on empty ring");
+    std::vector<unsigned> owners;
+    std::vector<unsigned> taken_groups;
+    const std::uint64_t h = hash(key);
+    auto start = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Token &t, std::uint64_t point) {
+            return t.point < point;
+        });
+    if (start == ring_.end())
+        start = ring_.begin();
+    // One full lap visits every member at least once; distinct-group
+    // filtering may legitimately yield fewer than `count` owners.
+    auto it = start;
+    do {
+        const unsigned g = groupOf(it->node);
+        const bool used =
+            std::find(taken_groups.begin(), taken_groups.end(), g) !=
+            taken_groups.end();
+        if (!used) {
+            owners.push_back(it->node);
+            taken_groups.push_back(g);
+            if (owners.size() == count)
+                break;
+        }
+        if (++it == ring_.end())
+            it = ring_.begin();
+    } while (it != start);
+    return owners;
 }
 
 bool

@@ -37,9 +37,33 @@ class HashRing
     /** Member owning `key`; fatal() on an empty ring. */
     unsigned nodeFor(const std::string &key) const;
 
+    /**
+     * Tag a member with a failure-domain group (for the data tier: the
+     * cluster node hosting the shard). ownersFor skips members whose
+     * group was already taken, so replicas land on distinct nodes even
+     * when successive vnodes belong to co-located members. Default
+     * group is the member id itself (every member its own domain).
+     */
+    void setGroup(unsigned node, unsigned group);
+
+    /** Group of `node` (the member id when never set). */
+    unsigned groupOf(unsigned node) const;
+
+    /**
+     * The first `count` members whose vnodes follow `key`'s hash,
+     * walking successors and skipping members that repeat either a
+     * member or a group already chosen. owners[0] == nodeFor(key).
+     * Returns fewer than `count` when the membership spans fewer
+     * distinct groups; fatal() on an empty ring.
+     */
+    std::vector<unsigned> ownersFor(const std::string &key,
+                                    unsigned count) const;
+
     bool contains(unsigned node) const;
 
     std::size_t nodeCount() const { return members_.size(); }
+    /** Members in insertion order. */
+    const std::vector<unsigned> &members() const { return members_; }
     bool empty() const { return members_.empty(); }
     unsigned vnodes() const { return vnodes_; }
 
@@ -62,6 +86,7 @@ class HashRing
     unsigned vnodes_;
     std::vector<Token> ring_; ///< sorted by point
     std::vector<unsigned> members_;
+    std::vector<std::pair<unsigned, unsigned>> groups_; ///< member, group
 };
 
 } // namespace microscale::cluster

@@ -376,6 +376,49 @@ struct ScaleoutSummary
     double provisionLagMeanMs = 0.0;
 };
 
+/**
+ * Replicated-data-tier outcome of one cluster run (filled by the
+ * cluster quorum coordinator; `active` only when the replication
+ * factor exceeds 1, so R=1 runs stay byte-identical to FIG-17).
+ */
+struct ReplicationSummary
+{
+    bool active = false;
+    unsigned factor = 0;
+    unsigned writeQuorum = 0;
+    unsigned readQuorum = 0;
+    /** Quorum write path (whole run). */
+    std::uint64_t quorumWrites = 0;
+    std::uint64_t writeFailures = 0; ///< acks < W (Unavailable)
+    double writeAckP50Ms = 0.0;
+    double writeAckP99Ms = 0.0;
+    /** Quorum read path (whole run). */
+    std::uint64_t quorumReads = 0;
+    std::uint64_t readFailures = 0; ///< reachable < R_q
+    std::uint64_t readRepairs = 0;  ///< stale replicas repaired
+    std::uint64_t readRefetches = 0; ///< primary stale, refetched
+    double readP50Ms = 0.0;
+    double readP99Ms = 0.0;
+    /** Hinted handoff. */
+    std::uint64_t hintsQueued = 0;
+    std::uint64_t hintsReplayed = 0;
+    std::uint64_t hintsDropped = 0; ///< queue-cap overflow
+    std::uint64_t hintDepthPeak = 0;
+    /** Scale-event rebalancing. */
+    std::uint64_t rebalancesStarted = 0;
+    std::uint64_t rebalancesCompleted = 0;
+    std::uint64_t rebalanceBatches = 0;
+    std::uint64_t rebalanceBytes = 0;
+    std::uint64_t dualReads = 0;
+    double rebalanceMsTotal = 0.0;
+    /** Post-drain invariant verification (consistencyChecked gates the
+     * two violation counters: both must be 0 on a correct run). */
+    bool consistencyChecked = false;
+    std::uint64_t ackedWrites = 0;
+    std::uint64_t lostAckedWrites = 0;
+    std::uint64_t staleQuorumReads = 0;
+};
+
 /** Results of one run. */
 struct RunResult
 {
@@ -395,6 +438,7 @@ struct RunResult
     TraceSummary trace;
     GrayFailSummary grayfail;
     ScaleoutSummary scaleout;
+    ReplicationSummary replication;
 
     os::SchedStats sched;
     /** Busy fraction of the CPU budget during the window. */

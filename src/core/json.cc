@@ -412,6 +412,43 @@ writeJson(std::ostream &os, const RunResult &result)
         w.endObject();
     }
 
+    // Gated on R>1: an R=1 cluster run carries no replication block,
+    // keeping the FIG-17 data-tier capture byte-identical.
+    if (result.replication.active) {
+        const ReplicationSummary &rp = result.replication;
+        w.key("replication");
+        w.beginObject();
+        w.field("factor", rp.factor);
+        w.field("write_quorum", rp.writeQuorum);
+        w.field("read_quorum", rp.readQuorum);
+        w.field("quorum_writes", rp.quorumWrites);
+        w.field("write_failures", rp.writeFailures);
+        w.field("write_ack_p50_ms", rp.writeAckP50Ms);
+        w.field("write_ack_p99_ms", rp.writeAckP99Ms);
+        w.field("quorum_reads", rp.quorumReads);
+        w.field("read_failures", rp.readFailures);
+        w.field("read_repairs", rp.readRepairs);
+        w.field("read_refetches", rp.readRefetches);
+        w.field("read_p50_ms", rp.readP50Ms);
+        w.field("read_p99_ms", rp.readP99Ms);
+        w.field("hints_queued", rp.hintsQueued);
+        w.field("hints_replayed", rp.hintsReplayed);
+        w.field("hints_dropped", rp.hintsDropped);
+        w.field("hint_depth_peak", rp.hintDepthPeak);
+        w.field("rebalances_started", rp.rebalancesStarted);
+        w.field("rebalances_completed", rp.rebalancesCompleted);
+        w.field("rebalance_batches", rp.rebalanceBatches);
+        w.field("rebalance_bytes", rp.rebalanceBytes);
+        w.field("dual_reads", rp.dualReads);
+        w.field("rebalance_ms_total", rp.rebalanceMsTotal);
+        w.field("consistency_checked",
+                static_cast<unsigned>(rp.consistencyChecked ? 1 : 0));
+        w.field("acked_writes", rp.ackedWrites);
+        w.field("lost_acked_writes", rp.lostAckedWrites);
+        w.field("stale_quorum_reads", rp.staleQuorumReads);
+        w.endObject();
+    }
+
     w.endObject();
     os << "\n";
 }

@@ -1085,16 +1085,20 @@ Service::setReplicaDown(unsigned replica, bool down)
         return;
     rep.down = down;
     rep.breaker = BreakerState{};
-    if (!down)
-        return;
-    // Crash: everything queued dies with the replica. Handlers already
-    // on workers run to completion (no mid-handler abort is modeled).
-    std::deque<Envelope> doomed;
-    doomed.swap(rep.queue);
-    for (Envelope &e : doomed) {
-        op_stats_[e.op].statusCounts[statusIndex(Status::Unavailable)]++;
-        rejectEnvelope(e, Status::Unavailable);
+    if (down) {
+        // Crash: everything queued dies with the replica. Handlers
+        // already on workers run to completion (no mid-handler abort
+        // is modeled).
+        std::deque<Envelope> doomed;
+        doomed.swap(rep.queue);
+        for (Envelope &e : doomed) {
+            op_stats_[e.op]
+                .statusCounts[statusIndex(Status::Unavailable)]++;
+            rejectEnvelope(e, Status::Unavailable);
+        }
     }
+    for (const auto &observer : availability_observers_)
+        observer(replica, down);
 }
 
 bool

@@ -100,6 +100,10 @@ class HandlerCtx
     /** Absolute deadline propagated with this request (kTickNever = none). */
     Tick deadline() const { return envelope_.deadline; }
 
+    /** Cluster node of the replica serving this request (0 on
+     * single-machine runs, where no node placement exists). */
+    unsigned clusterNode() const { return envelope_.dstNode; }
+
     /**
      * Execute `instructions` of the service's default profile on the
      * worker thread, then continue.
@@ -452,6 +456,20 @@ class Service
     }
 
     /**
+     * Observer invoked after a replica's availability actually changes
+     * (setReplicaDown with a new value; repeated sets are filtered).
+     * The cluster quorum layer uses this to start hinting on the down
+     * edge and replay hints on the up edge.
+     */
+    using AvailabilityObserver =
+        std::function<void(unsigned replica, bool down)>;
+
+    void addAvailabilityObserver(AvailabilityObserver observer)
+    {
+        availability_observers_.push_back(std::move(observer));
+    }
+
+    /**
      * Brownout: multiply every compute() budget by `factor` (applied
      * before the lognormal draw). 1.0 restores nominal speed.
      */
@@ -613,6 +631,7 @@ class Service
     std::uint64_t replicas_added_ = 0;
     std::uint64_t replicas_retired_ = 0;
     std::vector<CompletionObserver> completion_observers_;
+    std::vector<AvailabilityObserver> availability_observers_;
 };
 
 } // namespace microscale::svc

@@ -115,5 +115,70 @@ TEST(Ledger, UnknownIdIsCaught)
               std::string::npos);
 }
 
+TEST(Ledger, WriteAckLedgerMaxMergesVersions)
+{
+    RequestLedger ledger;
+    ledger.recordAckedWrite("ordersOfUser:7", 3);
+    ledger.recordAckedWrite("ordersOfUser:7", 1); // stale, keeps max
+    ledger.recordAckedWrite("ordersOfUser:9", 2);
+
+    EXPECT_EQ(ledger.ackedWriteCount(), 3u);
+    ASSERT_EQ(ledger.ackedWrites().size(), 2u);
+    EXPECT_EQ(ledger.ackedWrites().at("ordersOfUser:7"), 3u);
+    EXPECT_EQ(ledger.ackedWrites().at("ordersOfUser:9"), 2u);
+
+    std::vector<std::string> violations;
+    EXPECT_TRUE(ledger.verifyReplication(violations));
+    EXPECT_TRUE(violations.empty());
+}
+
+TEST(Ledger, LostAckedWriteIsAViolation)
+{
+    RequestLedger ledger;
+    ledger.recordAckedWrite("ordersOfUser:7", 3);
+    ledger.recordLostAckedWrite("ordersOfUser:7", 3);
+
+    std::vector<std::string> violations;
+    EXPECT_FALSE(ledger.verifyReplication(violations));
+    EXPECT_EQ(ledger.lostAckedWrites(), 1u);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("not quorum-readable"),
+              std::string::npos);
+    EXPECT_NE(violations[0].find("ordersOfUser:7@v3"),
+              std::string::npos);
+}
+
+TEST(Ledger, LostWriteLinesAreBoundedWithOverflowCount)
+{
+    RequestLedger ledger;
+    for (unsigned i = 0; i < 12; ++i)
+        ledger.recordLostAckedWrite("e:" + std::to_string(i), 1);
+
+    std::vector<std::string> violations;
+    EXPECT_FALSE(ledger.verifyReplication(violations));
+    // 8 detail lines plus one "... and N more" summary.
+    ASSERT_EQ(violations.size(), 9u);
+    EXPECT_NE(violations.back().find("4 more lost acked write(s)"),
+              std::string::npos);
+}
+
+TEST(Ledger, StaleQuorumReadIsAViolation)
+{
+    RequestLedger ledger;
+    ledger.recordStaleQuorumRead();
+    ledger.recordStaleQuorumRead();
+
+    std::vector<std::string> violations;
+    EXPECT_FALSE(ledger.verifyReplication(violations));
+    EXPECT_EQ(ledger.staleQuorumReads(), 2u);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("2 quorum read(s)"),
+              std::string::npos);
+
+    // The replication ledger is independent of request conservation.
+    violations.clear();
+    EXPECT_TRUE(ledger.verify(violations));
+}
+
 } // namespace
 } // namespace microscale::chaos

@@ -158,12 +158,67 @@ TEST(Schedule, SingleMachineSpaceNeverDrawsClusterFaults)
 TEST(Schedule, ClusterHarnessSpaceSpansBothNodes)
 {
     const FaultSpace space = harnessFaultSpace(/*clusterHarness=*/true);
-    EXPECT_EQ(space.clusterNodes, 2u);
+    // Two active nodes plus the spare that joins mid-window.
+    EXPECT_EQ(space.clusterNodes, 3u);
     EXPECT_GE(space.services.size(), 5u);
     for (const FaultSpace::ServiceInfo &s : space.services)
         EXPECT_GE(s.replicas, 2u) << s.name;
     EXPECT_GE(space.links.size(), 5u);
     EXPECT_GT(space.ccxDomains, 0u);
+
+    // The replicated data tier arms the shard fault families, on the
+    // two initially-active nodes.
+    EXPECT_EQ(space.dataShards, 2u);
+    ASSERT_EQ(space.dataShardNodes.size(), 2u);
+    EXPECT_EQ(space.dataShardNodes[0], 0u);
+    EXPECT_EQ(space.dataShardNodes[1], 1u);
+
+    // The single-machine space must stay replication-free so its
+    // schedules remain byte-identical per seed.
+    const FaultSpace solo = harnessFaultSpace();
+    EXPECT_EQ(solo.dataShards, 0u);
+    EXPECT_TRUE(solo.dataShardNodes.empty());
+}
+
+TEST(Schedule, DataFamiliesGatedOnDataShards)
+{
+    // Same seed, same space except dataShards: without a data tier the
+    // schedule must be byte-identical to the pre-replication draw; with
+    // one armed, some seed in a small range draws a shard fault.
+    FaultSpace space;
+    space.services = {{"webui", 3}, {"persistence", 2}};
+    space.links = {{"webui", "persistence"}};
+    space.ccxDomains = 4;
+    space.clusterNodes = 2;
+
+    FaultSpace armed = space;
+    armed.dataShards = 2;
+    armed.dataShardNodes = {0, 1};
+
+    bool shard_fault_seen = false;
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        const svc::FaultScript base = randomSchedule(
+            seed, space, 8, 10 * kMillisecond, 400 * kMillisecond);
+        const svc::FaultScript with = randomSchedule(
+            seed, armed, 8, 10 * kMillisecond, 400 * kMillisecond);
+        for (const svc::FaultEvent &e : with.events) {
+            if (e.service.rfind("shard", 0) == 0)
+                shard_fault_seen = true;
+        }
+        // The ungated space never names a shard.
+        for (const svc::FaultEvent &e : base.events)
+            EXPECT_NE(e.service.rfind("shard", 0), 0u);
+        // Determinism: regenerating either space repeats exactly.
+        EXPECT_EQ(describeFaultScript(base),
+                  describeFaultScript(randomSchedule(
+                      seed, space, 8, 10 * kMillisecond,
+                      400 * kMillisecond)));
+        EXPECT_EQ(describeFaultScript(with),
+                  describeFaultScript(randomSchedule(
+                      seed, armed, 8, 10 * kMillisecond,
+                      400 * kMillisecond)));
+    }
+    EXPECT_TRUE(shard_fault_seen);
 }
 
 TEST(Schedule, HarnessSpaceHasMultiReplicaServicesAndLinks)

@@ -96,6 +96,48 @@ TEST(ClusterGolden, SingleNodeByteIdentity)
         << "1-node cluster diverged from the single-machine engine";
 }
 
+/** The FIG-17 data-tier reference scenario: 2 nodes, lan fabric, 2
+ * shards behind a 2-node cache tier. Owned by this test (regen writes
+ * it); the replication layer must leave it byte-identical at R=1. */
+core::ExperimentConfig
+dataTierConfig(ClusterParams &params)
+{
+    params = ClusterParams{};
+    params.nodes = 2;
+    params.nodeMachine = topo::small8();
+    applyFabricPreset(params, "lan");
+    params.shards = 2;
+    params.cacheNodes = 2;
+    params.cacheCapacity = 256;
+    return baseConfig();
+}
+
+TEST(ClusterGolden, DataTierR1ByteIdentity)
+{
+    const std::string path =
+        std::string(MICROSCALE_GOLDEN_DIR) + "/fig17_datatier.json";
+
+    ClusterParams params;
+    const core::ExperimentConfig cfg = dataTierConfig(params);
+    // R=1 is the default: the replicated data tier must be a no-op.
+    const core::RunResult r = runScaleout(cfg, params);
+    const std::string got = resultJson(r);
+
+    if (std::getenv("MICROSCALE_REGEN_GOLDENS") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+        out << got;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden " << path;
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "R=1 data tier diverged from the FIG-17 capture";
+}
+
 TEST(Cluster, FabricPresets)
 {
     ClusterParams p;

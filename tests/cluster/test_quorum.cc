@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Replicated data tier tests: quorum resolution math, the bounded
+ * hint queue, and full cluster runs at R=2 exercising quorum
+ * writes/reads, write unavailability under partition, hinted handoff
+ * replay, read repair after dropped hints, and the scripted
+ * scale-event rebalance — each ending with the acked-write invariant
+ * sweep (no acknowledged write may become unreadable at quorum).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "chaos/ledger.hh"
+#include "cluster/cluster.hh"
+#include "loadgen/mix.hh"
+#include "svc/fault.hh"
+#include "topo/machine.hh"
+
+namespace microscale::cluster
+{
+namespace
+{
+
+TEST(QuorumMath, DefaultsIntersect)
+{
+    ReplicationParams p;
+    for (unsigned r = 1; r <= 3; ++r) {
+        p.factor = r;
+        p.writeQuorum = 0;
+        p.readQuorum = 0;
+        const unsigned w = resolvedWriteQuorum(p);
+        const unsigned rq = resolvedReadQuorum(p);
+        EXPECT_EQ(w, r / 2 + 1);
+        // W + R_q > R: every read quorum intersects every write quorum.
+        EXPECT_GT(w + rq, r) << "factor " << r;
+        EXPECT_LE(w, r);
+        EXPECT_GE(rq, 1u);
+        EXPECT_LE(rq, r);
+    }
+
+    // Explicit values win over the defaults.
+    p.factor = 3;
+    p.writeQuorum = 3;
+    EXPECT_EQ(resolvedWriteQuorum(p), 3u);
+    EXPECT_EQ(resolvedReadQuorum(p), 1u);
+    p.readQuorum = 2;
+    EXPECT_EQ(resolvedReadQuorum(p), 2u);
+}
+
+TEST(HintQueueTest, FifoAndBounded)
+{
+    HintQueue q(2);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.depth(), 0u);
+
+    HintQueue::Hint h;
+    h.op = "applyWrite";
+    h.entity = "ordersOfUser:1";
+    h.version = 1;
+    EXPECT_TRUE(q.push(h));
+    h.version = 2;
+    EXPECT_TRUE(q.push(h));
+    // At capacity: the queue refuses, it never evicts.
+    h.version = 3;
+    EXPECT_FALSE(q.push(h));
+    EXPECT_EQ(q.depth(), 2u);
+
+    EXPECT_EQ(q.pop().version, 1u);
+    EXPECT_EQ(q.pop().version, 2u);
+    EXPECT_TRUE(q.empty());
+
+    // A zero-capacity queue drops everything (hint pressure mode).
+    HintQueue none(0);
+    EXPECT_FALSE(none.push(h));
+}
+
+/** The FIG-17 data-tier scenario of test_cluster.cc with replication
+ * on top: 2 nodes, lan fabric, 2 shards, 2 cache nodes. */
+core::ExperimentConfig
+replicatedConfig(ClusterParams &params, unsigned factor)
+{
+    params = ClusterParams{};
+    params.nodes = 2;
+    params.nodeMachine = topo::small8();
+    applyFabricPreset(params, "lan");
+    params.shards = 2;
+    params.cacheNodes = 2;
+    params.cacheCapacity = 256;
+    params.replication.factor = factor;
+
+    core::ExperimentConfig c;
+    c.machine = topo::small8();
+    c.app.store.categories = 4;
+    c.app.store.productsPerCategory = 10;
+    c.app.store.users = 20;
+    c.sizing.webui = {1, 8};
+    c.sizing.auth = {1, 4};
+    c.sizing.persistence = {1, 8};
+    c.sizing.recommender = {1, 2};
+    c.sizing.image = {1, 8};
+    c.sizing.registry = {1, 1};
+    c.load.users = 60;
+    c.load.meanThink = 50 * kMillisecond;
+    c.warmup = 200 * kMillisecond;
+    c.measure = 400 * kMillisecond;
+    c.drainAtEnd = true;
+    return c;
+}
+
+TEST(Quorum, HealthyRunAcksAndVerifies)
+{
+    ClusterParams params;
+    core::ExperimentConfig cfg = replicatedConfig(params, 2);
+    chaos::RequestLedger ledger;
+    cfg.ledger = &ledger;
+
+    const core::RunResult r = runScaleout(cfg, params);
+
+    ASSERT_TRUE(r.replication.active);
+    EXPECT_EQ(r.replication.factor, 2u);
+    EXPECT_EQ(r.replication.writeQuorum, 2u);
+    EXPECT_EQ(r.replication.readQuorum, 1u);
+
+    // Checkouts drove quorum writes; cache misses drove quorum reads.
+    EXPECT_GT(r.replication.quorumWrites, 0u);
+    EXPECT_GT(r.replication.quorumReads, 0u);
+    EXPECT_EQ(r.replication.writeFailures, 0u);
+    EXPECT_EQ(r.replication.readFailures, 0u);
+    EXPECT_EQ(r.replication.ackedWrites, r.replication.quorumWrites);
+    EXPECT_GT(r.replication.writeAckP99Ms, 0.0);
+
+    // Healthy cluster: nothing hinted, nothing lost, nothing stale.
+    EXPECT_EQ(r.replication.hintsQueued, 0u);
+    EXPECT_TRUE(r.replication.consistencyChecked);
+    EXPECT_EQ(r.replication.lostAckedWrites, 0u);
+    EXPECT_EQ(r.replication.staleQuorumReads, 0u);
+
+    std::vector<std::string> violations;
+    EXPECT_TRUE(ledger.verifyReplication(violations)) << violations.size();
+    EXPECT_TRUE(violations.empty());
+    EXPECT_EQ(ledger.ackedWriteCount(), r.replication.ackedWrites);
+
+    // Determinism: the same config replays to the same counters.
+    ClusterParams params2;
+    core::ExperimentConfig cfg2 = replicatedConfig(params2, 2);
+    chaos::RequestLedger ledger2;
+    cfg2.ledger = &ledger2;
+    const core::RunResult r2 = runScaleout(cfg2, params2);
+    EXPECT_EQ(r2.replication.quorumWrites, r.replication.quorumWrites);
+    EXPECT_EQ(r2.replication.quorumReads, r.replication.quorumReads);
+}
+
+TEST(Quorum, WriteQuorumUnreachableFailsWrites)
+{
+    // W = R = 2 with one shard down for the whole run: every key's
+    // owner set spans both shards, so no write can reach quorum — all
+    // of them must surface Unavailable, none may ack.
+    ClusterParams params;
+    core::ExperimentConfig cfg = replicatedConfig(params, 2);
+    chaos::RequestLedger ledger;
+    cfg.ledger = &ledger;
+
+    svc::FaultEvent down;
+    down.kind = svc::FaultEvent::Kind::ReplicaDown;
+    down.at = 1 * kMillisecond;
+    down.service = "shard1";
+    down.replica = 0;
+    cfg.faults.events.push_back(down);
+
+    const core::RunResult r = runScaleout(cfg, params);
+
+    ASSERT_TRUE(r.replication.active);
+    EXPECT_GT(r.replication.writeFailures, 0u);
+    EXPECT_EQ(r.replication.ackedWrites, 0u);
+    // Unacked writes owe nothing: no hints, no losses.
+    EXPECT_EQ(r.replication.hintsQueued, 0u);
+    EXPECT_EQ(r.replication.lostAckedWrites, 0u);
+    // Reads still work at R_q = 1 through the surviving shard.
+    EXPECT_GT(r.replication.quorumReads, 0u);
+
+    std::vector<std::string> violations;
+    EXPECT_TRUE(ledger.verifyReplication(violations));
+}
+
+TEST(Quorum, HintedHandoffReplaysOnRecovery)
+{
+    // W = 1: writes keep acking through the up owner while its peer is
+    // down, each one leaving a hint. On the up edge the queue replays
+    // in order and the acked writes stay quorum-readable.
+    ClusterParams params;
+    core::ExperimentConfig cfg = replicatedConfig(params, 2);
+    params.replication.writeQuorum = 1;
+    params.replication.readQuorum = 1;
+    chaos::RequestLedger ledger;
+    cfg.ledger = &ledger;
+
+    svc::FaultEvent down;
+    down.kind = svc::FaultEvent::Kind::ReplicaDown;
+    down.at = 100 * kMillisecond;
+    down.service = "shard1";
+    down.replica = 0;
+    cfg.faults.events.push_back(down);
+    svc::FaultEvent up = down;
+    up.kind = svc::FaultEvent::Kind::ReplicaUp;
+    up.at = 350 * kMillisecond;
+    cfg.faults.events.push_back(up);
+
+    const core::RunResult r = runScaleout(cfg, params);
+
+    ASSERT_TRUE(r.replication.active);
+    EXPECT_EQ(r.replication.writeQuorum, 1u);
+    EXPECT_GT(r.replication.ackedWrites, 0u);
+    EXPECT_EQ(r.replication.writeFailures, 0u);
+    EXPECT_GT(r.replication.hintsQueued, 0u);
+    EXPECT_GT(r.replication.hintsReplayed, 0u);
+    EXPECT_LE(r.replication.hintsReplayed, r.replication.hintsQueued);
+    EXPECT_GT(r.replication.hintDepthPeak, 0u);
+
+    // The invariant the hints exist to protect.
+    EXPECT_TRUE(r.replication.consistencyChecked);
+    EXPECT_EQ(r.replication.lostAckedWrites, 0u);
+
+    std::vector<std::string> violations;
+    EXPECT_TRUE(ledger.verifyReplication(violations)) << violations.size();
+}
+
+TEST(Quorum, ReadRepairConvergesAfterDroppedHints)
+{
+    // Hint pressure: capacity 0 drops every hint, so the recovered
+    // shard comes back stale. R_q = 2 reads see the divergence, serve
+    // the freshest version and repair the laggard — no stale read and
+    // no lost write even with handoff disabled.
+    ClusterParams params;
+    core::ExperimentConfig cfg = replicatedConfig(params, 2);
+    params.replication.writeQuorum = 1;
+    params.replication.hintQueueCap = 0;
+    // An order-heavy mix (every op leads to a checkout, a profile view
+    // or a cart add): the outage leaves most of the small user base's
+    // order lists divergent and the profile views right after recovery
+    // are near-certain to hit one before its next write converges it.
+    std::array<std::array<double, teastore::kNumOps>, teastore::kNumOps>
+        t{};
+    for (auto &row : t) {
+        row[static_cast<unsigned>(teastore::OpType::AddToCart)] = 0.2;
+        row[static_cast<unsigned>(teastore::OpType::Checkout)] = 0.4;
+        row[static_cast<unsigned>(teastore::OpType::Profile)] = 0.4;
+    }
+    cfg.mix = loadgen::BrowseMix(t);
+    cfg.load.users = 150;
+    cfg.load.meanThink = 20 * kMillisecond;
+    cfg.measure = 700 * kMillisecond;
+    chaos::RequestLedger ledger;
+    cfg.ledger = &ledger;
+
+    svc::FaultEvent down;
+    down.kind = svc::FaultEvent::Kind::ReplicaDown;
+    down.at = 100 * kMillisecond;
+    down.service = "shard1";
+    down.replica = 0;
+    cfg.faults.events.push_back(down);
+    svc::FaultEvent up = down;
+    up.kind = svc::FaultEvent::Kind::ReplicaUp;
+    up.at = 350 * kMillisecond;
+    cfg.faults.events.push_back(up);
+
+    const core::RunResult r = runScaleout(cfg, params);
+
+    ASSERT_TRUE(r.replication.active);
+    EXPECT_EQ(r.replication.readQuorum, 2u);
+    EXPECT_GT(r.replication.ackedWrites, 0u);
+    EXPECT_GT(r.replication.hintsDropped, 0u);
+    EXPECT_EQ(r.replication.hintsReplayed, 0u);
+    EXPECT_GT(r.replication.readRepairs, 0u);
+
+    // Quorum intersection (W=1 acks live on the read path's probe
+    // set): reads never served stale and the sweep finds every acked
+    // write still readable.
+    EXPECT_EQ(r.replication.staleQuorumReads, 0u);
+    EXPECT_EQ(r.replication.lostAckedWrites, 0u);
+
+    std::vector<std::string> violations;
+    EXPECT_TRUE(ledger.verifyReplication(violations)) << violations.size();
+}
+
+TEST(Quorum, ScaleAddRebalancesWithoutLoss)
+{
+    // A third node joins mid-window: a new shard is created there, the
+    // moved ranges stream over in bounded batches, and cutover hands
+    // the ring over with every acked write still quorum-readable.
+    ClusterParams params;
+    core::ExperimentConfig cfg = replicatedConfig(params, 2);
+    params.nodes = 3;
+    params.initialNodes = 2;
+    params.replication.scaleAddNodeAt = 300 * kMillisecond;
+    params.replication.rebalanceBatchEntities = 8;
+    chaos::RequestLedger ledger;
+    cfg.ledger = &ledger;
+
+    const core::RunResult r = runScaleout(cfg, params);
+
+    ASSERT_TRUE(r.replication.active);
+    EXPECT_EQ(r.replication.rebalancesStarted, 1u);
+    EXPECT_EQ(r.replication.rebalancesCompleted, 1u);
+    EXPECT_GT(r.replication.rebalanceBatches, 0u);
+    EXPECT_GT(r.replication.rebalanceBytes, 0u);
+    EXPECT_GT(r.replication.rebalanceMsTotal, 0.0);
+    EXPECT_EQ(r.scaleout.activeNodesEnd, 3u);
+
+    EXPECT_TRUE(r.replication.consistencyChecked);
+    EXPECT_EQ(r.replication.lostAckedWrites, 0u);
+    EXPECT_EQ(r.replication.staleQuorumReads, 0u);
+
+    std::vector<std::string> violations;
+    EXPECT_TRUE(ledger.verifyReplication(violations)) << violations.size();
+}
+
+TEST(Quorum, DrainRebalancesToSurvivors)
+{
+    // Scripted drain needs enough shards that the survivors still span
+    // R distinct nodes: 3 shards on 2 nodes, drain one of the pair.
+    ClusterParams params;
+    core::ExperimentConfig cfg = replicatedConfig(params, 2);
+    params.shards = 3;
+    params.replication.drainShardAt = 300 * kMillisecond;
+    params.replication.drainShardId = 2;
+    params.replication.rebalanceBatchEntities = 8;
+    chaos::RequestLedger ledger;
+    cfg.ledger = &ledger;
+
+    const core::RunResult r = runScaleout(cfg, params);
+
+    ASSERT_TRUE(r.replication.active);
+    EXPECT_EQ(r.replication.rebalancesStarted, 1u);
+    EXPECT_EQ(r.replication.rebalancesCompleted, 1u);
+    EXPECT_GT(r.replication.rebalanceBytes, 0u);
+    EXPECT_TRUE(r.replication.consistencyChecked);
+    EXPECT_EQ(r.replication.lostAckedWrites, 0u);
+    EXPECT_EQ(r.replication.staleQuorumReads, 0u);
+
+    std::vector<std::string> violations;
+    EXPECT_TRUE(ledger.verifyReplication(violations)) << violations.size();
+}
+
+} // namespace
+} // namespace microscale::cluster

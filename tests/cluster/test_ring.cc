@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,70 @@ TEST(HashRing, NodeRemoveMovesOnlyItsKeys)
         static_cast<double>(moved) / static_cast<double>(kKeys);
     EXPECT_GT(share, 0.0);
     EXPECT_LT(share, 1.0 / kNodes + 0.08);
+}
+
+TEST(HashRing, OwnersForWalksDistinctGroups)
+{
+    // Six shards on three cluster nodes, two shards per node. With
+    // replication factor 3 the successor walk must pick one shard per
+    // node for every key, never two co-located replicas.
+    HashRing ring(64);
+    for (unsigned s = 0; s < 6; ++s) {
+        ring.addNode(s);
+        ring.setGroup(s, s / 2);
+    }
+
+    for (const std::string &key : sampleKeys(2000)) {
+        const auto owners = ring.ownersFor(key, 3);
+        ASSERT_EQ(owners.size(), 3u) << key;
+        EXPECT_EQ(owners[0], ring.nodeFor(key)) << key;
+        std::set<unsigned> groups;
+        for (unsigned o : owners)
+            groups.insert(ring.groupOf(o));
+        EXPECT_EQ(groups.size(), 3u) << key;
+    }
+}
+
+TEST(HashRing, OwnersForCapsAtDistinctGroupCount)
+{
+    // Four shards but only two failure domains: asking for three
+    // owners yields two — the walk refuses a co-located "replica".
+    HashRing ring(64);
+    for (unsigned s = 0; s < 4; ++s) {
+        ring.addNode(s);
+        ring.setGroup(s, s % 2);
+    }
+    for (const std::string &key : sampleKeys(200)) {
+        const auto owners = ring.ownersFor(key, 3);
+        ASSERT_EQ(owners.size(), 2u) << key;
+        EXPECT_NE(ring.groupOf(owners[0]), ring.groupOf(owners[1]));
+    }
+
+    // Without groups every member is its own domain.
+    HashRing flat(64);
+    for (unsigned s = 0; s < 4; ++s)
+        flat.addNode(s);
+    EXPECT_EQ(flat.ownersFor("k", 3).size(), 3u);
+    EXPECT_EQ(flat.ownersFor("k", 1).size(), 1u);
+}
+
+TEST(HashRing, OwnersForSpreadsSecondaries)
+{
+    // Secondary ownership must disperse, not pile onto one victim:
+    // with 6 equal shards no member should back up more than ~2x its
+    // fair share of the keys it doesn't own.
+    HashRing ring(64);
+    for (unsigned s = 0; s < 6; ++s)
+        ring.addNode(s);
+
+    std::map<unsigned, unsigned> secondary;
+    const auto keys = sampleKeys(6000);
+    for (const std::string &key : keys)
+        ++secondary[ring.ownersFor(key, 2).at(1)];
+
+    const double fair = static_cast<double>(keys.size()) / 6.0;
+    for (const auto &[node, count] : secondary)
+        EXPECT_LT(count, 2.0 * fair) << "node " << node;
 }
 
 TEST(HashRing, HashIsStable)

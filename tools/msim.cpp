@@ -126,6 +126,18 @@ main(int argc, char **argv)
                 "(0 = unsharded local persistence)");
     args.addInt("cache-nodes", 0,
                 "cache nodes fronting the shards (requires --shards)");
+    args.addInt("data-replication", 1,
+                "replicas per shard key range (1-3): >1 turns on "
+                "quorum writes/reads, hinted handoff and scale-event "
+                "rebalancing, and the run drains to verify no acked "
+                "write was lost (needs --shards and enough nodes)");
+    args.addInt("write-quorum", 0,
+                "acks required before a replicated write succeeds "
+                "(0 = majority; requires --data-replication > 1)");
+    args.addInt("read-quorum", 0,
+                "replicas a quorum read must reach (0 = R-W+1, the "
+                "smallest that intersects every write quorum; "
+                "requires --data-replication > 1)");
     args.addFlag("node-scaler",
                  "whole-node autoscaling: serve from --initial-nodes "
                  "machines and provision spares (warm pool first, "
@@ -247,6 +259,7 @@ main(int argc, char **argv)
         args.getInt("cache-nodes") > 0 ||
         args.getInt("initial-nodes") > 0 ||
         args.getFlag("node-scaler") ||
+        args.getInt("data-replication") > 1 ||
         args.getString("fabric") != "ideal";
 
     const std::string schedule = args.getString("schedule");
@@ -265,6 +278,40 @@ main(int argc, char **argv)
         cp.shards = static_cast<unsigned>(args.getInt("shards"));
         cp.cacheNodes =
             static_cast<unsigned>(args.getInt("cache-nodes"));
+        const int repl = args.getInt("data-replication");
+        const int write_quorum = args.getInt("write-quorum");
+        const int read_quorum = args.getInt("read-quorum");
+        if (repl < 1 || repl > 3)
+            fatal("--data-replication ", repl, " out of range (1-3)");
+        if (repl == 1 && (write_quorum > 0 || read_quorum > 0))
+            fatal("--write-quorum/--read-quorum need "
+                  "--data-replication > 1 (an unreplicated tier has "
+                  "no quorums)");
+        if (repl > 1) {
+            if (cp.shards == 0)
+                fatal("--data-replication replicates shard key "
+                      "ranges; add --shards N");
+            const unsigned active =
+                cp.initialNodes > 0 ? cp.initialNodes : cp.nodes;
+            if (active < static_cast<unsigned>(repl))
+                fatal("--data-replication ", repl, " places replicas "
+                      "on distinct machines; raise --nodes (or "
+                      "--initial-nodes) to at least ", repl);
+            if (write_quorum > repl)
+                fatal("--write-quorum ", write_quorum, " exceeds "
+                      "--data-replication ", repl);
+            if (read_quorum > repl)
+                fatal("--read-quorum ", read_quorum, " exceeds "
+                      "--data-replication ", repl);
+            cp.replication.factor = static_cast<unsigned>(repl);
+            cp.replication.writeQuorum =
+                static_cast<unsigned>(write_quorum);
+            cp.replication.readQuorum =
+                static_cast<unsigned>(read_quorum);
+            // Drain so the post-run acked-write sweep can certify the
+            // run (replication: ... verified in the summary).
+            point.config.drainAtEnd = true;
+        }
         cp.scaler.enabled = args.getFlag("node-scaler");
         if (!schedule.empty()) {
             point.config.loadSchedule = autoscale::makeSchedule(
@@ -374,6 +421,27 @@ main(int argc, char **argv)
                   << so.coldProvisions << ", lag "
                   << formatDouble(so.provisionLagMeanMs, 0)
                   << "ms)\n";
+    }
+    if (r.replication.active) {
+        const core::ReplicationSummary &rp = r.replication;
+        std::cout << "replication: R=" << rp.factor << " W="
+                  << rp.writeQuorum << " Rq=" << rp.readQuorum
+                  << "  writes=" << rp.quorumWrites << " (fail "
+                  << rp.writeFailures << ", ack p99 "
+                  << formatDouble(rp.writeAckP99Ms, 2) << "ms)"
+                  << "  reads=" << rp.quorumReads << " (repair "
+                  << rp.readRepairs << ")"
+                  << "  hints q/rep/drop=" << rp.hintsQueued << "/"
+                  << rp.hintsReplayed << "/" << rp.hintsDropped
+                  << "  rebalance=" << rp.rebalancesCompleted << "/"
+                  << rp.rebalancesStarted << " ("
+                  << formatDouble(rp.rebalanceMsTotal, 2) << "ms, "
+                  << rp.rebalanceBytes << "B)";
+        if (rp.consistencyChecked) {
+            std::cout << "  verified lost=" << rp.lostAckedWrites
+                      << " stale=" << rp.staleQuorumReads;
+        }
+        std::cout << "\n";
     }
     if (r.resilience.active) {
         const core::ResilienceSummary &rs = r.resilience;
