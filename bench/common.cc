@@ -26,11 +26,19 @@ printHeader(const std::string &artifact, const std::string &caption,
     std::cout << "==============================================\n"
               << artifact << ": " << caption << "\n";
     if (config) {
-        std::cout << "machine: " << machine << "\n"
-                  << "load: " << config->load.users
-                  << " closed-loop users, "
-                  << ticksToMillis(config->load.meanThink) << "ms think, "
-                  << ticksToSeconds(config->measure) << "s window\n";
+        std::cout << "machine: " << machine << "\n";
+        if (config->openLoopRps > 0.0) {
+            std::cout << "load: open-loop " << config->openLoopRps
+                      << " req/s, "
+                      << ticksToSeconds(config->measure)
+                      << "s window\n";
+        } else {
+            std::cout << "load: " << config->load.users
+                      << " closed-loop users, "
+                      << ticksToMillis(config->load.meanThink)
+                      << "ms think, " << ticksToSeconds(config->measure)
+                      << "s window\n";
+        }
     }
     std::cout << "==============================================\n";
 }

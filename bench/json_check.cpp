@@ -3,7 +3,8 @@
  * json_check: CI validator for emitted BENCH_*.json artifacts.
  *
  *   json_check [--elastic] [--overload] [--trace] [--grayfail]
- *              [--scaleout] [--replication] FILE MIN_POINTS [LABEL...]
+ *              [--scaleout] [--replication] [--fanout]
+ *              FILE MIN_POINTS [LABEL...]
  *
  * Parses FILE with core::parseJson and requires the sweep-harness
  * schema: artifact/caption/machine strings, the expected
@@ -42,7 +43,12 @@
  * is a proof the run kept every acknowledged write quorum-readable.
  * --replication requires at least one point to carry the block and
  * every carried block to have consistency_checked = 1 (the R=1
- * baseline arms legitimately lack the block entirely).
+ * baseline arms legitimately lack the block entirely). Points
+ * carrying a "fanout" block (FIG-19) have its graph shape, hedge
+ * configuration and hedge counters validated (numeric, finite,
+ * non-negative, hedged a 0/1 flag, wins/cancellations never exceeding
+ * launched hedges, no hedges on unhedged points) and --fanout
+ * requires every point to carry one.
  * Independently of any flag, every number in the document must
  * be finite: the writer emits null for NaN/Inf, so a raw non-finite
  * literal (or a null where a metric belongs) fails the check. Exits
@@ -338,6 +344,53 @@ checkReplication(const std::string &path, const std::string &label,
 }
 
 /**
+ * Validate one point's "fanout" block (FIG-19): the graph shape, the
+ * hedge configuration and the hedge counters must be numeric, finite
+ * and non-negative, the graph non-trivial (depth and services at
+ * least 1), hedged a 0/1 flag, and the counter orderings intact: wins
+ * and cancellations can never exceed the hedges actually launched,
+ * and the hedge share must stay within [0, 1] relative slack of
+ * launched/first_attempts.
+ */
+void
+checkFanout(const std::string &path, const std::string &label,
+            const core::JsonValue &fanout)
+{
+    const std::string where = path + ": point '" + label + "' fanout: ";
+    const core::JsonValue *app = fanout.find("app");
+    if (!app || !app->isString() || app->stringValue.empty())
+        die(where + "missing or empty 'app'");
+    for (const char *key :
+         {"depth", "services", "fan_width", "hedged", "hedge_delay_ms",
+          "hedge_quantile", "hedge_budget_ratio", "first_attempts",
+          "hedges_launched", "hedge_wins", "hedges_denied",
+          "hedges_cancelled", "hedge_share", "p50_ms", "p99_ms",
+          "amplification"}) {
+        const core::JsonValue *n = fanout.find(key);
+        if (!n || !n->isNumber())
+            die(where + "missing or non-numeric '" + key + "'");
+        if (!std::isfinite(n->numberValue))
+            die(where + "'" + key + "' is not finite");
+        if (n->numberValue < 0)
+            die(where + "'" + key + "' is negative");
+    }
+    if (fanout.at("depth").numberValue < 1)
+        die(where + "'depth' is below 1");
+    if (fanout.at("services").numberValue < 1)
+        die(where + "'services' is below 1");
+    const double hedged = fanout.at("hedged").numberValue;
+    if (hedged != 0.0 && hedged != 1.0)
+        die(where + "'hedged' is not 0/1");
+    const double launched = fanout.at("hedges_launched").numberValue;
+    if (hedged == 0.0 && launched != 0.0)
+        die(where + "hedges launched on an unhedged point");
+    if (fanout.at("hedge_wins").numberValue > launched)
+        die(where + "'hedge_wins' exceeds 'hedges_launched'");
+    if (fanout.at("hedges_cancelled").numberValue > launched)
+        die(where + "'hedges_cancelled' exceeds 'hedges_launched'");
+}
+
+/**
  * Reject any non-finite number anywhere in the document. The writer
  * turns NaN/Inf into null, and the parser accepts 1e999 as infinity;
  * either way a non-finite value means a metric pipeline is broken.
@@ -375,6 +428,7 @@ main(int argc, char **argv)
     bool require_grayfail = false;
     bool require_scaleout = false;
     bool require_replication = false;
+    bool require_fanout = false;
     while (arg < argc) {
         const std::string flag = argv[arg];
         if (flag == "--elastic")
@@ -389,14 +443,16 @@ main(int argc, char **argv)
             require_scaleout = true;
         else if (flag == "--replication")
             require_replication = true;
+        else if (flag == "--fanout")
+            require_fanout = true;
         else
             break;
         ++arg;
     }
     if (argc - arg < 2)
         die("usage: json_check [--elastic] [--overload] [--trace] "
-            "[--grayfail] [--scaleout] [--replication] FILE MIN_POINTS "
-            "[LABEL...]");
+            "[--grayfail] [--scaleout] [--replication] [--fanout] "
+            "FILE MIN_POINTS [LABEL...]");
     const std::string path = argv[arg++];
     const unsigned long min_points = std::stoul(argv[arg++]);
 
@@ -501,6 +557,12 @@ main(int argc, char **argv)
                              require_replication);
             saw_replication = true;
         }
+        const core::JsonValue *fanout = result->find("fanout");
+        if (fanout)
+            checkFanout(path, label->stringValue, *fanout);
+        else if (require_fanout)
+            die(path + ": point '" + label->stringValue +
+                "' without a fanout block (--fanout)");
     }
     if (require_overload && !saw_overload)
         die(path + ": no point carries an overload block (--overload)");

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * End-to-end runner for the socialnet application graph.
+ *
+ * The TeaStore runner (core::runExperiment) is wired to the
+ * TeaStore-typed load generator and demand model; socialnet brings its
+ * own open-loop Poisson driver on dedicated RNG streams and fills the
+ * same RunResult shape, including the trace attribution (rooted at the
+ * socialnet frontend) and the `fanout` summary block. That keeps every
+ * lower layer — mesh, overload, tracing, the JSON schema — shared
+ * between the two apps without the core runner learning app names.
+ */
+
+#ifndef MICROSCALE_APPS_SOCIALNET_RUNNER_HH
+#define MICROSCALE_APPS_SOCIALNET_RUNNER_HH
+
+#include "apps/socialnet/app.hh"
+#include "core/experiment.hh"
+
+namespace microscale::socialnet
+{
+
+/** Socialnet-specific run options (graph shape, hedging, straggler). */
+struct RunOptions
+{
+    AppParams app;
+
+    /** Hedge the wide fan-out edges (timeline -> post-storage). */
+    bool hedge = false;
+    /** Fixed hedge delay (used until the quantile trigger warms up). */
+    Tick hedgeDelay = 0;
+    /** Hedge after this observed-latency quantile (0 = fixed only). */
+    double hedgeQuantile = 0.0;
+    /** Hedge tokens accrued per first attempt (see ResilienceConfig). */
+    double hedgeBudget = 0.2;
+    /** Extra legs beyond the first per call. */
+    unsigned maxHedges = 1;
+
+    /**
+     * Plant a straggler: the last post-storage replica runs its
+     * compute this many times slower (a gray replica in the fan-out
+     * tier — the pathology hedging exists for). 1.0 disables.
+     */
+    double stragglerFactor = 6.0;
+};
+
+/**
+ * Run the socialnet graph under open-loop Poisson load. Uses
+ * config.machine/seed/warmup/measure/openLoopRps/net/rpc/sched/trace
+ * and config.resilience as the base mesh policy (hedge edges are
+ * appended per `opts`); fatal() when config.openLoopRps <= 0.
+ */
+core::RunResult runSocialnet(const core::ExperimentConfig &config,
+                             const RunOptions &opts);
+
+} // namespace microscale::socialnet
+
+#endif // MICROSCALE_APPS_SOCIALNET_RUNNER_HH

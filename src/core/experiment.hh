@@ -419,6 +419,45 @@ struct ReplicationSummary
     std::uint64_t staleQuorumReads = 0;
 };
 
+/**
+ * Deep-fan-out app-graph run (src/apps/socialnet): graph shape,
+ * hedged-request accounting and the tail-amplification metrics the
+ * FIG-19 sweep asserts on. Inactive (and absent from the JSON) for
+ * every TeaStore run.
+ */
+struct FanoutSummary
+{
+    bool active = false;
+    /** App graph the run modeled ("socialnet"). */
+    std::string app;
+    /** Maximum call-chain depth of the (possibly truncated) graph. */
+    unsigned depth = 0;
+    /** Services in the graph. */
+    unsigned services = 0;
+    /** Parallel storage legs per timeline read. */
+    unsigned fanWidth = 0;
+    /** Hedging enabled on the fan-out edges. */
+    bool hedged = false;
+    double hedgeDelayMs = 0.0;
+    double hedgeQuantile = 0.0;
+    double hedgeBudgetRatio = 0.0;
+    /** Mesh hedge accounting (see svc::HedgeStats). */
+    std::uint64_t firstAttempts = 0;
+    std::uint64_t hedgesLaunched = 0;
+    std::uint64_t hedgeWins = 0;
+    std::uint64_t hedgesDenied = 0;
+    std::uint64_t hedgesCancelled = 0;
+    /** hedgesLaunched / firstAttempts (the realized hedge rate). */
+    double hedgeShare = 0.0;
+    /** Client latency of the fan-out read path (the timeline read op),
+     * not the overall mix: the write/compose ops have separate latency
+     * modes that would mask the synchronization tail. */
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    /** Tail amplification of the read path: p99 / p50. */
+    double amplification = 0.0;
+};
+
 /** Results of one run. */
 struct RunResult
 {
@@ -439,6 +478,7 @@ struct RunResult
     GrayFailSummary grayfail;
     ScaleoutSummary scaleout;
     ReplicationSummary replication;
+    FanoutSummary fanout;
 
     os::SchedStats sched;
     /** Busy fraction of the CPU budget during the window. */

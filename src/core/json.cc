@@ -449,6 +449,32 @@ writeJson(std::ostream &os, const RunResult &result)
         w.endObject();
     }
 
+    // Gated on the deep-fan-out app runner: TeaStore runs never carry
+    // the block, keeping every pre-existing FIG capture byte-identical.
+    if (result.fanout.active) {
+        const FanoutSummary &fo = result.fanout;
+        w.key("fanout");
+        w.beginObject();
+        w.field("app", fo.app);
+        w.field("depth", fo.depth);
+        w.field("services", fo.services);
+        w.field("fan_width", fo.fanWidth);
+        w.field("hedged", static_cast<unsigned>(fo.hedged ? 1 : 0));
+        w.field("hedge_delay_ms", fo.hedgeDelayMs);
+        w.field("hedge_quantile", fo.hedgeQuantile);
+        w.field("hedge_budget_ratio", fo.hedgeBudgetRatio);
+        w.field("first_attempts", fo.firstAttempts);
+        w.field("hedges_launched", fo.hedgesLaunched);
+        w.field("hedge_wins", fo.hedgeWins);
+        w.field("hedges_denied", fo.hedgesDenied);
+        w.field("hedges_cancelled", fo.hedgesCancelled);
+        w.field("hedge_share", fo.hedgeShare);
+        w.field("p50_ms", fo.p50Ms);
+        w.field("p99_ms", fo.p99Ms);
+        w.field("amplification", fo.amplification);
+        w.endObject();
+    }
+
     w.endObject();
     os << "\n";
 }

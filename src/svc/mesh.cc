@@ -40,6 +40,62 @@ struct Mesh::RpcCall
     unsigned srcNode = 0;
 };
 
+/**
+ * State of one hedged RPC: up to 1 + maxHedges concurrent legs racing
+ * to a first-response-wins settle. Kept alive by the shared_ptr
+ * captured in the transport/timer closures. Hedging replaces the
+ * sequential retry ladder on its edge: an edge with both hedge and
+ * retry configured hedges only.
+ */
+struct Mesh::HedgedCall
+{
+    Service *target = nullptr;
+    std::string op;
+    Payload payload;
+    /** Propagated absolute deadline (kTickNever = none). */
+    Tick deadline = kTickNever;
+    EdgePolicy policy;
+    Criticality criticality = Criticality::Normal;
+    RespondFn respond;
+    /** Caller's name (span labeling; kExternalClient for roots). */
+    std::string client;
+    /** Trace link of the logical call; null when untraced. */
+    trace::TraceLink link;
+    /** Span of the first leg (hedge legs point at it via retryOf). */
+    trace::SpanId firstSpan = trace::kNoSpan;
+    /** Replica the first leg landed on (anti-affinity for hedge legs);
+     * -1 until the first leg is dispatched. */
+    std::shared_ptr<int> firstReplica;
+    /** Machine the caller runs on (0 unless a router is installed). */
+    unsigned srcNode = 0;
+    /** Call settled: exactly one respond() has fired. */
+    bool done = false;
+    /** Legs still racing (launched, not yet settled or cancelled). */
+    unsigned legsOpen = 0;
+    /** Timer that launches the next hedge leg. */
+    sim::EventHandle hedgeTimer;
+    /** Hedge delay the timer was armed with (re-arm uses the same). */
+    Tick hedgeDelay = 0;
+    /** Outcome of the most recent failed leg (final answer when every
+     * leg fails). */
+    Payload lastResponse;
+    Status lastStatus = Status::Unavailable;
+
+    struct Leg {
+        /** Per-leg timeout timer (cancelled on settle). */
+        sim::EventHandle timer;
+        /** Span of this leg; kNoSpan when untraced. */
+        trace::SpanId span = trace::kNoSpan;
+        /** Issue tick (latency sample on Ok, without needing a trace). */
+        Tick issued = 0;
+        /** Settle-once guard shared with the transport closure. */
+        std::shared_ptr<bool> settled;
+        /** Still racing (not settled, not cancelled). */
+        bool open = false;
+    };
+    std::vector<Leg> legs;
+};
+
 Mesh::Mesh(os::Kernel &kernel, net::Network &network,
            RpcCostParams rpc_params, std::uint64_t seed)
     : kernel_(kernel),
@@ -47,6 +103,7 @@ Mesh::Mesh(os::Kernel &kernel, net::Network &network,
       rpc_params_(rpc_params),
       seed_(seed),
       retry_rng_(seed, "mesh.retry"),
+      hedge_rng_(seed, "mesh.hedge"),
       trace_rng_(seed, "mesh.trace")
 {
     netstack_.name = "netstack";
@@ -202,7 +259,8 @@ Mesh::sendRpc(const std::string &client, const std::string &service,
             ? overload_.classify(service, op, inherited)
             : inherited;
 
-    if (!pol.hasTimeout() && !pol.canRetry() && deadline == kTickNever) {
+    if (!pol.hasTimeout() && !pol.canRetry() && !pol.hedge.enabled() &&
+        deadline == kTickNever) {
         // No policy, no inherited deadline: the legacy transport path
         // (identical events, no timers, no per-call allocation). A
         // sampled trace only adds the span bookkeeping: no events, no
@@ -238,6 +296,28 @@ Mesh::sendRpc(const std::string &client, const std::string &service,
                 env.dstNode = dst;
                 target.submit(std::move(env));
             });
+        return;
+    }
+
+    if (pol.hedge.enabled()) {
+        // Hedged path: concurrent first-response-wins legs instead of
+        // the sequential retry ladder. Hedge tokens accrue per first
+        // attempt; each launched hedge spends one.
+        hedge_tokens_ = std::min(
+            hedge_tokens_ + resilience_.hedgeBudgetRatio, 50.0);
+        ++hedge_stats_.firstAttempts;
+        auto call = std::make_shared<HedgedCall>();
+        call->target = &target;
+        call->op = op;
+        call->payload = std::move(payload);
+        call->deadline = deadline;
+        call->policy = pol;
+        call->criticality = tier;
+        call->respond = std::move(respond);
+        call->client = client;
+        call->link = link;
+        call->srcNode = src;
+        sendHedged(std::move(call));
         return;
     }
 
@@ -412,6 +492,272 @@ Mesh::finishAttempt(std::shared_ptr<RpcCall> call, unsigned attempt_no,
     kernel_.sim().scheduleAfter(delay, [this, call, attempt_no] {
         attempt(call, attempt_no + 1);
     });
+}
+
+Tick
+Mesh::hedgeDelayFor(const std::string &client,
+                    const std::string &service,
+                    const HedgePolicy &policy)
+{
+    if (policy.delayQuantile > 0.0) {
+        // Quantile trigger: hedge after the edge's observed latency
+        // quantile. Needs a warm histogram; until then fall back to
+        // the fixed delay (0 = don't hedge yet).
+        auto it = hedge_latency_.find(client + "|" + service);
+        constexpr std::uint64_t kMinSamples = 32;
+        if (it != hedge_latency_.end() &&
+            it->second.count() >= kMinSamples) {
+            const double q = it->second.quantile(policy.delayQuantile);
+            return std::max<Tick>(1, static_cast<Tick>(std::llround(q)));
+        }
+    }
+    return policy.delay;
+}
+
+void
+Mesh::sendHedged(std::shared_ptr<HedgedCall> call)
+{
+    launchLeg(call);
+    if (call->done)
+        return;
+    call->hedgeDelay = hedgeDelayFor(call->client, call->target->name(),
+                                     call->policy.hedge);
+    if (call->hedgeDelay > 0)
+        armHedgeTimer(call);
+}
+
+void
+Mesh::armHedgeTimer(std::shared_ptr<HedgedCall> call)
+{
+    Tick delay = call->hedgeDelay;
+    if (call->policy.jitterFrac > 0.0) {
+        // Deterministic jitter from the dedicated hedge stream: runs
+        // without hedge-enabled edges never draw from it.
+        const double f = call->policy.jitterFrac;
+        const double jittered =
+            static_cast<double>(delay) *
+            ((1.0 - f) + 2.0 * f * hedge_rng_.uniform01());
+        delay = std::max<Tick>(1,
+                               static_cast<Tick>(std::llround(jittered)));
+    }
+    call->hedgeTimer = kernel_.sim().scheduleAfter(delay, [this, call] {
+        if (call->done)
+            return;
+        const Tick now = kernel_.sim().now();
+        const bool deadline_open =
+            call->deadline == kTickNever || now < call->deadline;
+        bool launched = false;
+        if (deadline_open &&
+            call->legs.size() <= call->policy.hedge.maxHedges) {
+            if (takeHedgeToken()) {
+                ++hedge_stats_.launched;
+                launchLeg(call);
+                launched = true;
+                if (!call->done &&
+                    call->legs.size() <= call->policy.hedge.maxHedges)
+                    armHedgeTimer(call);
+            } else {
+                ++hedge_stats_.budgetDenied;
+            }
+        }
+        // Every leg already failed and no new one is coming: the
+        // deferred settle (finishLeg waits on this timer) fires here.
+        if (!launched && !call->done && call->legsOpen == 0) {
+            call->done = true;
+            if (call->respond)
+                call->respond(call->lastResponse, call->lastStatus);
+        }
+    });
+}
+
+void
+Mesh::launchLeg(std::shared_ptr<HedgedCall> call)
+{
+    const Tick now = kernel_.sim().now();
+    const unsigned leg_index =
+        static_cast<unsigned>(call->legs.size());
+    call->legs.emplace_back();
+    HedgedCall::Leg &leg = call->legs.back();
+    leg.issued = now;
+    leg.settled = std::make_shared<bool>(false);
+    leg.open = true;
+    ++call->legsOpen;
+
+    trace::SpanRef ref;
+    if (call->link) {
+        ref = startSpan(call->link, call->client, call->target->name(),
+                        call->op, leg_index + 1,
+                        leg_index == 0 ? trace::kNoSpan : call->firstSpan,
+                        /*backoff=*/0);
+        if (leg_index == 0)
+            call->firstSpan = ref.span;
+        else
+            ref.trace->span(ref.span).hedge = true;
+        leg.span = ref.span;
+    }
+
+    // Effective deadline of this leg: the propagated deadline capped
+    // by the per-attempt edge timeout.
+    Tick eff = call->deadline;
+    if (call->policy.hasTimeout())
+        eff = std::min(eff, now + call->policy.timeout);
+    if (ref)
+        ref.trace->span(ref.span).deadline = eff;
+    if (eff != kTickNever && now >= eff) {
+        leg.open = false;
+        --call->legsOpen;
+        *leg.settled = true;
+        finishLeg(call, leg_index, Payload{}, Status::Timeout);
+        return;
+    }
+
+    auto settled = leg.settled;
+    if (eff != kTickNever) {
+        leg.timer = kernel_.sim().scheduleAt(
+            eff, [this, call, leg_index, settled] {
+                if (*settled)
+                    return;
+                *settled = true;
+                ++retry_stats_.clientTimeouts;
+                finishLeg(call, leg_index, Payload{}, Status::Timeout);
+            });
+    }
+    RespondFn on_response = [this, call, leg_index, settled,
+                             eff](const Payload &resp, Status status) {
+        if (*settled)
+            return;
+        *settled = true;
+        if (eff != kTickNever)
+            call->legs[leg_index].timer.cancel();
+        finishLeg(call, leg_index, resp, status);
+    };
+
+    // Each leg re-routes, like retry attempts: after a node loss the
+    // hedge may land on a surviving machine.
+    unsigned dst = 0;
+    if (router_)
+        dst = router_->route(call->srcNode, *call->target);
+    if (ref && call->srcNode != dst) {
+        ref.trace->span(ref.span).fabricNs += static_cast<double>(
+            network_.fabricLatencyNominal(call->payload.bytes,
+                                          call->srcNode, dst));
+    }
+    // Anti-affinity across legs: the first leg reports the replica it
+    // lands on, and every hedge leg steers away from it — duplicating
+    // onto the replica being hedged against would waste the token and
+    // add load exactly where it hurts.
+    if (leg_index == 0)
+        call->firstReplica = std::make_shared<int>(-1);
+    network_.sendVia(call->payload.bytes, call->client,
+                     call->target->name(), call->srcNode, dst,
+                     [this, call, eff, ref, dst, leg_index,
+                      on_response = std::move(on_response)]() mutable {
+                         Envelope env;
+                         env.op = call->op;
+                         env.request = call->payload;
+                         env.respond = std::move(on_response);
+                         // Duplicated deliveries (PacketDup) re-run
+                         // this: only the first copy may settle the
+                         // leg.
+                         on_response = nullptr;
+                         env.client = call->client;
+                         env.arrived = kernel_.sim().now();
+                         env.deadline = eff;
+                         env.criticality = call->criticality;
+                         env.trace = ref;
+                         env.srcNode = call->srcNode;
+                         env.dstNode = dst;
+                         if (leg_index == 0)
+                             env.pickedReplica = call->firstReplica;
+                         else if (call->firstReplica)
+                             env.avoidReplica = *call->firstReplica;
+                         call->target->submit(std::move(env));
+                     });
+}
+
+void
+Mesh::finishLeg(std::shared_ptr<HedgedCall> call, unsigned leg_index,
+                const Payload &response, Status status)
+{
+    const Tick now = kernel_.sim().now();
+    HedgedCall::Leg &leg = call->legs[leg_index];
+    if (leg.open) {
+        leg.open = false;
+        --call->legsOpen;
+    }
+    if (call->link) {
+        trace::Span &span = call->link.trace->span(leg.span);
+        span.clientComplete = now;
+        span.clientStatus = status;
+    }
+    if (call->done)
+        return;
+
+    if (status == Status::Ok) {
+        // First response wins: settle, cancel the losers' timers and
+        // mark their spans cancelled so attribution never bills them.
+        call->done = true;
+        call->hedgeTimer.cancel();
+        hedge_latency_[call->client + "|" + call->target->name()].add(
+            static_cast<double>(now - leg.issued));
+        if (leg_index > 0)
+            ++hedge_stats_.wins;
+        for (unsigned i = 0; i < call->legs.size(); ++i) {
+            HedgedCall::Leg &other = call->legs[i];
+            if (i == leg_index || !other.open)
+                continue;
+            other.open = false;
+            --call->legsOpen;
+            *other.settled = true;
+            other.timer.cancel();
+            ++hedge_stats_.cancelled;
+            if (call->link) {
+                trace::Span &span = call->link.trace->span(other.span);
+                span.cancelled = true;
+                span.clientComplete = now;
+            }
+        }
+        if (call->respond)
+            call->respond(response, status);
+        return;
+    }
+
+    // Leg failed. If siblings are still racing (or a hedge launch is
+    // pending) the call stays open; otherwise try to launch a fresh
+    // leg immediately, and settle with the failure as a last resort.
+    call->lastResponse = response;
+    call->lastStatus = status;
+    if (call->legsOpen > 0)
+        return;
+    const bool deadline_open =
+        call->deadline == kTickNever || now < call->deadline;
+    if (deadline_open &&
+        call->legs.size() <= call->policy.hedge.maxHedges &&
+        status != Status::Rejected) {
+        // Rejected is a deliberate shed: duplicating it would amplify
+        // offered load, exactly like retrying it (Status::Rejected).
+        if (takeHedgeToken()) {
+            call->hedgeTimer.cancel();
+            ++hedge_stats_.launched;
+            launchLeg(call);
+            return;
+        }
+        ++hedge_stats_.budgetDenied;
+    }
+    if (call->hedgeTimer.pending())
+        return;
+    call->done = true;
+    if (call->respond)
+        call->respond(call->lastResponse, call->lastStatus);
+}
+
+bool
+Mesh::takeHedgeToken()
+{
+    if (hedge_tokens_ < 1.0)
+        return false;
+    hedge_tokens_ -= 1.0;
+    return true;
 }
 
 void

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "base/random.hh"
+#include "base/stats.hh"
 #include "cpu/work.hh"
 #include "net/network.hh"
 #include "os/kernel.hh"
@@ -107,6 +108,8 @@ class Mesh
 
     const RetryStats &retryStats() const { return retry_stats_; }
 
+    const HedgeStats &hedgeStats() const { return hedge_stats_; }
+
     /**
      * Install the tracing configuration (before traffic starts). With
      * params.enabled false no store is created and the run is
@@ -184,6 +187,7 @@ class Mesh
 
   private:
     struct RpcCall;
+    struct HedgedCall;
 
     /** Transport + submit for one attempt of a call. */
     void attempt(std::shared_ptr<RpcCall> call, unsigned attempt_no);
@@ -192,8 +196,30 @@ class Mesh
     void finishAttempt(std::shared_ptr<RpcCall> call, unsigned attempt_no,
                        const Payload &response, Status status);
 
+    /** Start a hedged call: first leg plus the armed hedge timer. */
+    void sendHedged(std::shared_ptr<HedgedCall> call);
+
+    /** Transport + submit for one leg of a hedged call. */
+    void launchLeg(std::shared_ptr<HedgedCall> call);
+
+    /** Leg settled (response or leg timeout); race resolution. */
+    void finishLeg(std::shared_ptr<HedgedCall> call, unsigned leg_index,
+                   const Payload &response, Status status);
+
+    /** Arm (or re-arm) the hedge-delay timer of a hedged call. */
+    void armHedgeTimer(std::shared_ptr<HedgedCall> call);
+
+    /** Hedge delay for an edge: observed latency quantile once the
+     *  edge has enough samples, else the policy's fixed delay. */
+    Tick hedgeDelayFor(const std::string &client,
+                       const std::string &service,
+                       const HedgePolicy &policy);
+
     /** Spend one retry token if the budget allows. */
     bool takeRetryToken();
+
+    /** Spend one hedge token if the budget allows. */
+    bool takeHedgeToken();
 
     /** Sample an external request; null link when untraced. */
     trace::TraceLink maybeStartTrace();
@@ -224,6 +250,19 @@ class Mesh
     /** Token-bucket retry budget (tokens accrue per first attempt). */
     double retry_tokens_ = 0.0;
     RetryStats retry_stats_;
+    /** Jitter for hedge delays; only drawn from when a hedge timer is
+     * armed on a hedge-enabled edge. */
+    Rng hedge_rng_;
+    /** Token-bucket hedge budget (tokens accrue per first attempt on
+     * hedge-enabled edges, one spent per hedge launched). */
+    double hedge_tokens_ = 0.0;
+    HedgeStats hedge_stats_;
+    /**
+     * Observed Ok-response latency per hedge-enabled edge
+     * ("client|service"), feeding the delay-quantile trigger. Only
+     * populated by hedged calls, so inactive runs never touch it.
+     */
+    std::map<std::string, QuantileHistogram> hedge_latency_;
     /** Trace sampling; only drawn from when tracing is on and the
      * sampling rate is fractional. */
     Rng trace_rng_;

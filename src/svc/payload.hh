@@ -73,6 +73,21 @@ struct Envelope
      */
     trace::SpanRef trace;
     /**
+     * Replica anti-affinity hint: prefer any replica other than this
+     * index (-1 = no preference). Hedge legs set it to the replica
+     * that served their first attempt — duplicating onto the same
+     * (possibly slow) replica wastes the hedge. A hint, not a
+     * constraint: when no other replica is eligible the avoided one
+     * still serves.
+     */
+    int avoidReplica = -1;
+    /**
+     * When set, the service stores the replica index it dispatched
+     * this request to (for the caller's later anti-affinity hints).
+     * Null (the default) costs nothing.
+     */
+    std::shared_ptr<int> pickedReplica;
+    /**
      * Cluster node the request was issued from / delivered to. Both
      * stay 0 unless the mesh has a NodeRouter installed (single-node
      * runs never look at them); the response travels dstNode→srcNode

@@ -84,6 +84,35 @@ criticalityIndex(Criticality tier)
 const char *criticalityName(Criticality tier);
 
 /**
+ * Hedged-request policy for one edge (Dean & Barroso, "The Tail at
+ * Scale"): after a hedge delay with no response, issue a duplicate
+ * attempt to another replica and take whichever answers first, then
+ * cancel the loser. Defaults to disabled; a default-constructed
+ * policy leaves the mesh byte-identical to a build without hedging.
+ */
+struct HedgePolicy
+{
+    /** Fixed hedge delay; used while the edge has too few latency
+     *  samples for the quantile trigger (or always, when
+     *  delayQuantile is 0). 0 with delayQuantile 0 = disabled. */
+    Tick delay = 0;
+    /**
+     * When > 0, hedge after the edge's observed latency quantile
+     * (e.g. 0.95 hedges the slowest ~5 % of requests) instead of the
+     * fixed delay. Falls back to `delay` until enough responses have
+     * been observed on the edge.
+     */
+    double delayQuantile = 0.0;
+    /** Extra attempts launched beyond the first (usually 1). */
+    unsigned maxHedges = 1;
+
+    bool enabled() const
+    {
+        return (delay > 0 || delayQuantile > 0.0) && maxHedges > 0;
+    }
+};
+
+/**
  * Timeout/retry policy for one client→service edge. The defaults mean
  * "no policy": no deadline is attached and the call is attempted once.
  */
@@ -101,6 +130,8 @@ struct EdgePolicy
      * ±20 %), drawn from the mesh's dedicated retry RNG stream.
      */
     double jitterFrac = 0.2;
+    /** Hedged-request policy for the edge; disabled by default. */
+    HedgePolicy hedge;
 
     bool hasTimeout() const { return timeout != 0; }
     bool canRetry() const { return maxAttempts > 1; }
@@ -157,7 +188,10 @@ struct OutlierEjectionParams
     /**
      * Never eject more than floor(maxEjectFraction * active replicas)
      * at once: mass ejection of a mostly-gray fleet would turn a
-     * partial failure into a self-inflicted total one.
+     * partial failure into a self-inflicted total one. Floored at one
+     * ejection whenever the fraction is positive and at least two
+     * replicas are active, so small fleets (where the product
+     * truncates to zero) can still shed a gray replica.
      */
     double maxEjectFraction = 0.5;
     /** How long an ejected replica sits out before rejoining. */
@@ -182,6 +216,12 @@ struct ResilienceConfig
      * token. 0.2 caps retries at ~20 % of traffic (retry budget).
      */
     double retryBudgetRatio = 0.2;
+    /**
+     * Hedge tokens accrued per first attempt on hedge-enabled edges;
+     * launching a hedge spends one whole token. 0.2 caps hedges at
+     * ~20 % of traffic, bounding the extra load hedging may add.
+     */
+    double hedgeBudgetRatio = 0.2;
     /** Skip down/open replicas when picking one (vs blind RR). */
     bool healthAwareBalancing = false;
     /** Passive outlier ejection (implies health-aware selection). */
@@ -215,6 +255,21 @@ struct RetryStats
      * retry-storm guard; see Status::Rejected).
      */
     std::uint64_t rejectedNoRetry = 0;
+};
+
+/** Mesh-level hedged-request accounting. */
+struct HedgeStats
+{
+    /** First attempts issued on hedge-enabled edges. */
+    std::uint64_t firstAttempts = 0;
+    /** Hedge attempts actually launched. */
+    std::uint64_t launched = 0;
+    /** Calls won by a hedge attempt (not the first leg). */
+    std::uint64_t wins = 0;
+    /** Hedges suppressed because the hedge budget was exhausted. */
+    std::uint64_t budgetDenied = 0;
+    /** Losing legs cancelled after first-response-wins settled. */
+    std::uint64_t cancelled = 0;
 };
 
 /** Service-level resilience accounting (whole run, never reset). */

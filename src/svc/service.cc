@@ -539,7 +539,10 @@ Service::submit(Envelope envelope)
             envelope.arrived;
     bool probe = false;
     const int picked = pickReplica(probe, mesh_.router() != nullptr,
-                                   envelope.dstNode);
+                                   envelope.dstNode,
+                                   envelope.avoidReplica);
+    if (envelope.pickedReplica)
+        *envelope.pickedReplica = picked;
     if (picked < 0) {
         ++resilience_counters_.noReplica;
         op_stats_[envelope.op]
@@ -588,7 +591,8 @@ Service::submit(Envelope envelope)
 }
 
 int
-Service::pickReplica(bool &probe, bool constrained, unsigned node)
+Service::pickReplica(bool &probe, bool constrained, unsigned node,
+                     int avoid)
 {
     probe = false;
     const unsigned n = replicaCount();
@@ -602,42 +606,66 @@ Service::pickReplica(bool &probe, bool constrained, unsigned node)
             // replica Active (no elasticity) the first iteration
             // accepts, which is exactly the legacy rr_next_++ % n
             // sequence. Down replicas stay eligible:
-            // connection-refused is modeled at submit.
+            // connection-refused is modeled at submit. An avoided
+            // replica (hedge anti-affinity) yields to any other
+            // Active one but still serves as the last resort.
+            int fallback = -1;
             for (unsigned i = 0; i < n; ++i) {
                 const unsigned r = rr_next_++ % n;
-                if (replicas_[r].state == ReplicaState::Active)
-                    return static_cast<int>(r);
+                if (replicas_[r].state != ReplicaState::Active)
+                    continue;
+                if (static_cast<int>(r) == avoid) {
+                    fallback = static_cast<int>(r);
+                    continue;
+                }
+                return static_cast<int>(r);
             }
-            return -1;
+            return fallback;
         }
         // Node-constrained blind round-robin: the message was
         // delivered to one machine, so only that machine's replicas
         // may serve it. Each machine rotates independently.
         unsigned &rr = rr_by_node_[node];
+        int fallback = -1;
         for (unsigned i = 0; i < n; ++i) {
             const unsigned r = rr++ % n;
             const Replica &rep = replicas_[r];
-            if (rep.state == ReplicaState::Active &&
-                rep.clusterNode == want)
-                return static_cast<int>(r);
+            if (rep.state != ReplicaState::Active ||
+                rep.clusterNode != want)
+                continue;
+            if (static_cast<int>(r) == avoid) {
+                fallback = static_cast<int>(r);
+                continue;
+            }
+            return static_cast<int>(r);
         }
-        return -1;
+        return fallback;
     }
     const Tick now = mesh_.kernel().sim().now();
     if (!rc.outlier.enabled) {
         unsigned &cursor = constrained ? rr_by_node_[node] : rr_next_;
-        for (unsigned i = 0; i < n; ++i) {
-            const unsigned r = (cursor + i) % n;
-            Replica &rep = replicas_[r];
-            if (rep.down || rep.state != ReplicaState::Active)
-                continue;
-            if (constrained && rep.clusterNode != want)
-                continue;
-            if (rc.breaker.enabled &&
-                !breakerAdmits(rep.breaker, now, probe))
-                continue;
-            cursor = r + 1;
-            return static_cast<int>(r);
+        // Two passes so the anti-affinity hint never consumes a
+        // half-open breaker probe it then declines: pass 0 skips the
+        // avoided replica before touching breaker state, pass 1 (only
+        // reached with a hint set) accepts it as the last resort.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (unsigned i = 0; i < n; ++i) {
+                const unsigned r = (cursor + i) % n;
+                Replica &rep = replicas_[r];
+                if (rep.down || rep.state != ReplicaState::Active)
+                    continue;
+                if (constrained && rep.clusterNode != want)
+                    continue;
+                if (pass == 0 && static_cast<int>(r) == avoid)
+                    continue;
+                if (rc.breaker.enabled &&
+                    !breakerAdmits(rep.breaker, now, probe))
+                    continue;
+                cursor = r + 1;
+                return static_cast<int>(r);
+            }
+            if (avoid < 0)
+                break;
         }
         return -1;
     }
@@ -670,6 +698,8 @@ Service::pickReplica(bool &probe, bool constrained, unsigned node)
             continue;
         if (constrained && rep.clusterNode != want)
             continue;
+        if (static_cast<int>(r) == avoid)
+            continue; // anti-affinity; last-resort check below
         if (rc.breaker.enabled && !breakerWouldAdmit(rep.breaker, now))
             continue;
         double weight = 1.0;
@@ -685,8 +715,21 @@ Service::pickReplica(bool &probe, bool constrained, unsigned node)
             best_credit = rep.wrrCredit;
         }
     }
-    if (picked < 0)
+    if (picked < 0) {
+        // Only the avoided replica is left (if even that): accept it
+        // rather than fail the call. Smooth-WRR credit is skipped for
+        // this rare path; the rotation re-balances on the next pick.
+        if (avoid >= 0 && static_cast<unsigned>(avoid) < n) {
+            Replica &rep = replicas_[static_cast<unsigned>(avoid)];
+            if (!rep.down && !rep.ejected &&
+                rep.state == ReplicaState::Active &&
+                (!constrained || rep.clusterNode == want) &&
+                (!rc.breaker.enabled ||
+                 breakerAdmits(rep.breaker, now, probe)))
+                return avoid;
+        }
         return -1;
+    }
     Replica &winner = replicas_[static_cast<unsigned>(picked)];
     winner.wrrCredit -= total_weight;
     if (rc.breaker.enabled &&
@@ -775,9 +818,14 @@ Service::outlierObserve(unsigned replica, double latency_ns, bool failed)
     // Bounded ejection: never pull more than the configured fraction
     // of active replicas out of rotation at once. A mostly-gray fleet
     // is still a fleet; shrinking it to nothing would convert a
-    // partial failure into a self-inflicted total one.
-    const unsigned cap = static_cast<unsigned>(
+    // partial failure into a self-inflicted total one. Small fleets
+    // need a floor: fraction * active truncates to 0 for e.g. two
+    // replicas at 0.45, which would leave a fully-gray replica
+    // permanently in rotation.
+    unsigned cap = static_cast<unsigned>(
         oe.maxEjectFraction * static_cast<double>(activeReplicaCount()));
+    if (cap == 0 && oe.maxEjectFraction > 0.0 && activeReplicaCount() >= 2)
+        cap = 1;
     if (ejectedReplicaCount() >= cap) {
         ++resilience_counters_.outlierEjectionsDenied;
         return;

@@ -548,8 +548,12 @@ class Service
      * when the chosen replica admitted this as its half-open probe.
      * With `constrained` (a NodeRouter is installed) only replicas on
      * cluster machine `node` are eligible, with per-machine rotation.
+     * `avoid` is the anti-affinity hint (-1 = none): that replica
+     * yields to any other eligible one but still serves as the last
+     * resort.
      */
-    int pickReplica(bool &probe, bool constrained, unsigned node);
+    int pickReplica(bool &probe, bool constrained, unsigned node,
+                    int avoid = -1);
 
     /**
      * True when the breaker admits traffic to the replica now; sets

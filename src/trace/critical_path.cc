@@ -23,9 +23,29 @@ struct Call
     std::vector<const Span *> attempts;
 
     const Span &first() const { return *attempts.front(); }
-    const Span &last() const { return *attempts.back(); }
+
+    /**
+     * The attempt whose outcome settled the call: the last attempt
+     * that was not cancelled. Hedging cancels losing legs when the
+     * winner's response arrives; retries never cancel, so without
+     * hedging this is exactly the last attempt. Null only for a call
+     * captured mid-cancellation (no surviving attempt).
+     */
+    const Span *winner() const
+    {
+        for (auto it = attempts.rbegin(); it != attempts.rend(); ++it)
+            if (!(*it)->cancelled)
+                return *it;
+        return nullptr;
+    }
+
     Tick issue() const { return first().clientIssue; }
-    Tick end() const { return endOf(last()); }
+
+    Tick end() const
+    {
+        const Span *w = winner();
+        return w ? endOf(*w) : 0;
+    }
 };
 
 /** Walks one trace's span DAG and accumulates into an Attribution. */
@@ -67,19 +87,41 @@ class Walker
     {
         const std::string &target = call.first().service;
         ServiceAttribution &svc = acc_.services[target];
-        for (const Span *a : call.attempts)
-            svc.backoffNs += static_cast<double>(a->backoffBefore);
-        for (std::size_t i = 0; i + 1 < call.attempts.size(); ++i) {
-            const Span &a = *call.attempts[i];
-            const Tick e = endOf(a);
-            if (e >= a.clientIssue)
-                svc.shedNs += static_cast<double>(e - a.clientIssue);
+        const Span *win = call.winner();
+        if (!win)
+            return; // every leg cancelled mid-capture; nothing billable
+        // Hedged calls race overlapping legs, so the sequential-retry
+        // accounting (bill every failed attempt's wall as shed plus the
+        // backoff gaps) would double-count overlapped time and miss the
+        // pre-hedge delay. For them the winner's wall spans the whole
+        // call interval and every sibling leg — cancelled or failed —
+        // is concurrent and unbilled; retried calls keep the exact
+        // ladder accounting.
+        bool hedged = false;
+        for (const Span *a : call.attempts) {
+            if (a->hedge) {
+                hedged = true;
+                break;
+            }
         }
-        const Span &fin = call.last();
+        if (!hedged) {
+            for (const Span *a : call.attempts)
+                svc.backoffNs += static_cast<double>(a->backoffBefore);
+            for (const Span *a : call.attempts) {
+                if (a == win)
+                    continue;
+                const Tick e = endOf(*a);
+                if (e >= a->clientIssue)
+                    svc.shedNs +=
+                        static_cast<double>(e - a->clientIssue);
+            }
+        }
+        const Span &fin = *win;
         const Tick e = endOf(fin);
         if (e == 0 || e < fin.clientIssue)
             return; // in flight / malformed; group wall excluded it too
-        const double wall = static_cast<double>(e - fin.clientIssue);
+        const Tick start = hedged ? call.issue() : fin.clientIssue;
+        const double wall = static_cast<double>(e - start);
         if (fin.clientStatus != svc::Status::Ok) {
             svc.shedNs += wall;
             return;

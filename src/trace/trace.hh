@@ -118,6 +118,15 @@ struct Span
 
     /** Response was assembled from a degraded fallback. */
     bool degraded = false;
+    /** This attempt was a hedge (duplicate issued after the hedge
+     *  delay); hedge legs share the first leg's call via retryOf. */
+    bool hedge = false;
+    /**
+     * Attempt was cancelled when a sibling leg won the race
+     * (first-response-wins). clientComplete records the cancellation
+     * tick; the attribution walk never bills a cancelled leg.
+     */
+    bool cancelled = false;
     /** Free-form notes ("brownout-dim;..."), semicolon-separated. */
     std::string annotation;
 };

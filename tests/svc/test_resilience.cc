@@ -568,5 +568,79 @@ TEST_F(ResilienceTest, PolicyLookupMatchesWildcardsFirstWins)
     EXPECT_FALSE(rc.policyFor("z", "q").canRetry());
 }
 
+/** Regression: floor(maxEjectFraction * active) truncates to zero for
+ * small fleets (0.45 * 2 = 0.9), which used to leave a fully-gray
+ * replica of a 2-replica fleet permanently in rotation. The cap now
+ * floors at one ejection whenever the fraction is positive and at
+ * least two replicas are active. */
+TEST_F(ResilienceTest, TwoReplicaFleetCanStillEjectItsGrayReplica)
+{
+    ResilienceConfig rc;
+    rc.outlier.enabled = true;
+    rc.outlier.minSamples = 10;
+    rc.outlier.latencyFactor = 1.5;
+    rc.outlier.maxEjectFraction = 0.45;
+    rc.outlier.ejectFor = 50 * kMillisecond;
+    mesh_.setResilience(rc);
+
+    Service *s = makeService("pair", 2, 2);
+    s->addOp("get", [](HandlerCtx &ctx) {
+        ctx.compute(0.5e6, [&ctx] { ctx.done(); });
+    });
+    s->setReplicaSlow(0, 20.0);
+
+    // Sequential closed loop: each completion feeds the outlier
+    // EWMAs and kicks off the next request.
+    int completed = 0;
+    std::function<void()> next = [&] {
+        mesh_.callExternalS("pair", "get", Payload{},
+                            [&](const Payload &, Status) {
+                                ++completed;
+                                EXPECT_LE(s->ejectedReplicaCount(), 1u);
+                                if (completed < 80)
+                                    next();
+                            });
+    };
+    next();
+    sim_.run();
+
+    EXPECT_EQ(completed, 80);
+    EXPECT_GE(s->resilienceCounters().outlierEjections, 1u);
+}
+
+/** A zero fraction still means "never eject": the small-fleet floor
+ * only applies when ejection is allowed at all. */
+TEST_F(ResilienceTest, ZeroEjectFractionNeverEjects)
+{
+    ResilienceConfig rc;
+    rc.outlier.enabled = true;
+    rc.outlier.minSamples = 10;
+    rc.outlier.latencyFactor = 1.5;
+    rc.outlier.maxEjectFraction = 0.0;
+    mesh_.setResilience(rc);
+
+    Service *s = makeService("pair", 2, 2);
+    s->addOp("get", [](HandlerCtx &ctx) {
+        ctx.compute(0.5e6, [&ctx] { ctx.done(); });
+    });
+    s->setReplicaSlow(0, 20.0);
+
+    int completed = 0;
+    std::function<void()> next = [&] {
+        mesh_.callExternalS("pair", "get", Payload{},
+                            [&](const Payload &, Status) {
+                                ++completed;
+                                if (completed < 80)
+                                    next();
+                            });
+    };
+    next();
+    sim_.run();
+
+    EXPECT_EQ(completed, 80);
+    EXPECT_EQ(s->resilienceCounters().outlierEjections, 0u);
+    EXPECT_EQ(s->ejectedReplicaCount(), 0u);
+}
+
 } // namespace
 } // namespace microscale::svc

@@ -230,6 +230,144 @@ TEST(CriticalPath, RetryExactPartition)
     EXPECT_DOUBLE_EQ(acc.attributedNs(), acc.e2eNs);
 }
 
+/** Hedged call whose hedge leg wins: the cancelled first leg is never
+ * billed (no shed, no backoff — it ran concurrently with the winner),
+ * and the winner's wall spans the whole call interval from the first
+ * leg's issue, so the partition stays exact. Every number below is
+ * hand-computed. */
+TEST(CriticalPath, HedgeWinExactPartitionCancelledLegUnbilled)
+{
+    Trace t(1);
+    const SpanId root = t.addSpan();
+    {
+        Span &s = t.span(root);
+        s.service = "webui";
+        s.clientIssue = 0;
+        s.arrived = 5;
+        s.dispatched = 10;
+        s.finish = 600;
+        s.clientComplete = 610;
+        s.computeNs = 50.0;
+    }
+    // First leg: landed on the straggler, cancelled when the hedge
+    // leg's response settled the call.
+    const SpanId first = t.addSpan();
+    {
+        Span &s = t.span(first);
+        s.parent = root;
+        s.group = 1;
+        s.service = "storage";
+        s.clientIssue = 20;
+        s.arrived = 25;
+        s.dispatched = 30;
+        s.clientComplete = 190; // cancellation tick
+        s.cancelled = true;
+    }
+    // Hedge leg: issued after the 100-tick hedge delay, wins.
+    const SpanId hedgeLeg = t.addSpan();
+    {
+        Span &s = t.span(hedgeLeg);
+        s.parent = root;
+        s.group = 1;
+        s.attempt = 2;
+        s.retryOf = first;
+        s.hedge = true;
+        s.service = "storage";
+        s.clientIssue = 120;
+        s.arrived = 125;
+        s.dispatched = 130;
+        s.finish = 180;
+        s.clientComplete = 190;
+        s.computeNs = 40.0;
+    }
+
+    Attribution acc;
+    ASSERT_TRUE(attributeTrace(t, acc));
+    EXPECT_DOUBLE_EQ(acc.e2eNs, 610.0);
+
+    const ServiceAttribution &st = acc.services.at("storage");
+    // Winner wall = [first issue 20, hedge complete 190] = 170;
+    // server window [125, 180] = 55 of it, the rest is transport.
+    EXPECT_DOUBLE_EQ(st.queueNs, 5.0);    // 130 - 125
+    EXPECT_DOUBLE_EQ(st.computeNs, 40.0);
+    EXPECT_DOUBLE_EQ(st.stallNs, 10.0);   // (180-130) - 40
+    EXPECT_DOUBLE_EQ(st.networkNs, 115.0); // 170 - 55
+    // The cancelled sibling is concurrent, not sequential: nothing
+    // billed as shed or backoff.
+    EXPECT_DOUBLE_EQ(st.shedNs, 0.0);
+    EXPECT_DOUBLE_EQ(st.backoffNs, 0.0);
+
+    const ServiceAttribution &w = acc.services.at("webui");
+    EXPECT_DOUBLE_EQ(w.queueNs, 5.0);
+    EXPECT_DOUBLE_EQ(w.computeNs, 50.0);
+    // window 590, group wall [20, 190] covers 170 => uncovered 420.
+    EXPECT_DOUBLE_EQ(w.stallNs, 370.0);
+    EXPECT_DOUBLE_EQ(w.networkNs, 15.0); // root wall 610 - server 595
+
+    EXPECT_DOUBLE_EQ(acc.unattributedNs, 0.0);
+    EXPECT_DOUBLE_EQ(acc.attributedNs(), acc.e2eNs);
+}
+
+/** Hedged call won by the FIRST leg: the cancelled hedge leg is
+ * unbilled and the wall matches the plain single-attempt accounting
+ * (the first leg's issue IS the call's issue). */
+TEST(CriticalPath, HedgeLoserCancelledFirstLegWins)
+{
+    Trace t(1);
+    const SpanId root = t.addSpan();
+    {
+        Span &s = t.span(root);
+        s.service = "webui";
+        s.clientIssue = 0;
+        s.arrived = 5;
+        s.dispatched = 10;
+        s.finish = 500;
+        s.clientComplete = 510;
+        s.computeNs = 60.0;
+    }
+    const SpanId first = t.addSpan();
+    {
+        Span &s = t.span(first);
+        s.parent = root;
+        s.group = 1;
+        s.service = "storage";
+        s.clientIssue = 20;
+        s.arrived = 25;
+        s.dispatched = 30;
+        s.finish = 160;
+        s.clientComplete = 170;
+        s.computeNs = 100.0;
+    }
+    const SpanId hedgeLeg = t.addSpan();
+    {
+        Span &s = t.span(hedgeLeg);
+        s.parent = root;
+        s.group = 1;
+        s.attempt = 2;
+        s.retryOf = first;
+        s.hedge = true;
+        s.service = "storage";
+        s.clientIssue = 120;
+        s.clientComplete = 170; // cancelled when the first leg won
+        s.cancelled = true;
+    }
+
+    Attribution acc;
+    ASSERT_TRUE(attributeTrace(t, acc));
+    EXPECT_DOUBLE_EQ(acc.e2eNs, 510.0);
+
+    const ServiceAttribution &st = acc.services.at("storage");
+    EXPECT_DOUBLE_EQ(st.queueNs, 5.0);     // 30 - 25
+    EXPECT_DOUBLE_EQ(st.computeNs, 100.0);
+    EXPECT_DOUBLE_EQ(st.stallNs, 30.0);    // (160-30) - 100
+    EXPECT_DOUBLE_EQ(st.networkNs, 15.0);  // wall 150 - server 135
+    EXPECT_DOUBLE_EQ(st.shedNs, 0.0);
+    EXPECT_DOUBLE_EQ(st.backoffNs, 0.0);
+
+    EXPECT_DOUBLE_EQ(acc.unattributedNs, 0.0);
+    EXPECT_DOUBLE_EQ(acc.attributedNs(), acc.e2eNs);
+}
+
 /** A request rejected before dispatch books its residency as shed. */
 TEST(CriticalPath, AdmissionRejectIsShed)
 {

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "apps/socialnet/runner.hh"
 #include "autoscale/elastic.hh"
 #include "base/args.hh"
 #include "base/logging.hh"
@@ -68,6 +69,25 @@ main(int argc, char **argv)
     args.addString("machine", "rome128",
                    "machine preset (see topology_explorer)");
     args.addString("placement", "os-default", "placement policy");
+    args.addString("app", "teastore",
+                   "application graph: teastore (default), socialnet "
+                   "(deep fan-out graph; open-loop only, see "
+                   "--open-loop-rps and the --fan-*/--hedge-* knobs)");
+    args.addInt("fan-depth", 5,
+                "socialnet call-chain depth (1-5; shallower graphs "
+                "absorb the pruned subtree's work locally)");
+    args.addInt("fan-width", 4,
+                "socialnet parallel post-storage legs per timeline "
+                "read");
+    args.addDouble("hedge-delay", 0.0,
+                   "hedge the socialnet fan-out edges: launch a backup "
+                   "leg after this many milliseconds (0 = no hedging)");
+    args.addDouble("hedge-budget", 0.2,
+                   "hedge tokens accrued per first attempt on hedged "
+                   "edges (caps the duplicate-load ratio)");
+    args.addDouble("straggler", 1.0,
+                   "slow one socialnet post-storage replica's compute "
+                   "by this factor (1 = healthy fleet)");
     args.addInt("users", 3000, "closed-loop users");
     args.addInt("fluid-threshold", 0,
                 "aggregate closed-loop users into the O(1) fluid "
@@ -193,6 +213,21 @@ main(int argc, char **argv)
     config.demand.recommender = 0.045;
     config.demand.image = 0.41;
 
+    const std::string app = args.getString("app");
+    if (app != "teastore" && app != "socialnet")
+        fatal("unknown --app '", app, "' (teastore, socialnet)");
+    const bool socialnet_mode = app == "socialnet";
+    if (!socialnet_mode &&
+        (args.getDouble("hedge-delay") > 0.0 ||
+         args.getInt("fan-depth") != 5 ||
+         args.getInt("fan-width") != 4 ||
+         args.getDouble("straggler") != 1.0))
+        fatal("--fan-depth/--fan-width/--hedge-delay/--straggler shape "
+              "the socialnet graph; add --app socialnet");
+    if (socialnet_mode && args.getInt("chaos-schedules") > 0)
+        fatal("--chaos-schedules drives TeaStore fault schedules; "
+              "drop --app socialnet");
+
     if (args.getInt("chaos-schedules") > 0) {
         chaos::SearchOptions so;
         so.seed =
@@ -206,14 +241,23 @@ main(int argc, char **argv)
         return res.violating == 0 ? 0 : 1;
     }
 
-    config.faults = faultScriptByName(args.getString("faults"),
-                                      config.warmup, config.measure);
-    if (args.getFlag("eject")) {
-        config.resilience = teastore::ejectionPolicy();
-        config.app.degradedFallbacks = true;
-    } else if (args.getFlag("resilience")) {
-        config.resilience = teastore::resilientPolicy();
-        config.app.degradedFallbacks = true;
+    if (socialnet_mode) {
+        if (args.getString("faults") != "healthy" ||
+            args.getFlag("eject") || args.getFlag("resilience"))
+            fatal("--faults/--eject/--resilience are TeaStore policy "
+                  "presets; socialnet plants its gray replica via "
+                  "--straggler and hedges via --hedge-delay");
+    } else {
+        config.faults = faultScriptByName(args.getString("faults"),
+                                          config.warmup,
+                                          config.measure);
+        if (args.getFlag("eject")) {
+            config.resilience = teastore::ejectionPolicy();
+            config.app.degradedFallbacks = true;
+        } else if (args.getFlag("resilience")) {
+            config.resilience = teastore::resilientPolicy();
+            config.app.degradedFallbacks = true;
+        }
     }
 
     // Overload layer: start from the tuned preset and keep only the
@@ -222,6 +266,10 @@ main(int argc, char **argv)
         svc::admissionByName(args.getString("admission"));
     if (admission != svc::AdmissionKind::Off ||
         args.getFlag("criticality") || args.getFlag("brownout")) {
+        if (socialnet_mode)
+            fatal("--admission/--criticality/--brownout apply the "
+                  "TeaStore overload preset; not available with "
+                  "--app socialnet yet");
         svc::OverloadConfig oc = teastore::overloadAwarePolicy();
         oc.admission.kind = admission;
         oc.codel.enabled = admission != svc::AdmissionKind::Off;
@@ -263,7 +311,44 @@ main(int argc, char **argv)
         args.getString("fabric") != "ideal";
 
     const std::string schedule = args.getString("schedule");
-    if (cluster_mode) {
+    if (socialnet_mode) {
+        if (cluster_mode)
+            fatal("--app socialnet runs on one machine; drop the "
+                  "cluster flags (--nodes/--shards/--cache-nodes/"
+                  "--node-scaler/--fabric/--data-replication)");
+        if (!schedule.empty() || !args.getString("autoscale").empty())
+            fatal("--schedule/--autoscale drive the TeaStore runner; "
+                  "socialnet runs a fixed open-loop rate");
+        if (point.refineRounds != 0)
+            fatal("--refine does not apply to --app socialnet");
+        if (config.openLoopRps <= 0.0)
+            fatal("--app socialnet is open-loop; add "
+                  "--open-loop-rps RATE (e.g. 600)");
+        socialnet::RunOptions opts;
+        const int depth = args.getInt("fan-depth");
+        if (depth < 1 || depth > 5)
+            fatal("--fan-depth ", depth, " out of range (1-5)");
+        opts.app.depth = static_cast<unsigned>(depth);
+        const int width = args.getInt("fan-width");
+        if (width < 1)
+            fatal("--fan-width must be at least 1");
+        opts.app.fanWidth = static_cast<unsigned>(width);
+        opts.stragglerFactor = args.getDouble("straggler");
+        if (opts.stragglerFactor < 1.0)
+            fatal("--straggler slows a replica; use a factor >= 1");
+        const double hedge_ms = args.getDouble("hedge-delay");
+        opts.hedge = hedge_ms > 0.0;
+        opts.hedgeDelay = secondsToTicks(hedge_ms / 1e3);
+        opts.hedgeBudget = args.getDouble("hedge-budget");
+        if (opts.hedgeBudget <= 0.0 || opts.hedgeBudget > 1.0)
+            fatal("--hedge-budget ", opts.hedgeBudget,
+                  " out of range (0, 1]");
+        point.label = "socialnet/depth" + std::to_string(depth) +
+                      (opts.hedge ? "/hedge" : "");
+        point.runner = [opts](const core::ExperimentConfig &c) {
+            return socialnet::runSocialnet(c, opts);
+        };
+    } else if (cluster_mode) {
         if (!args.getString("autoscale").empty())
             fatal("--autoscale grows cores on one machine; cluster "
                   "runs grow whole nodes, use --node-scaler");
@@ -440,6 +525,23 @@ main(int argc, char **argv)
         if (rp.consistencyChecked) {
             std::cout << "  verified lost=" << rp.lostAckedWrites
                       << " stale=" << rp.staleQuorumReads;
+        }
+        std::cout << "\n";
+    }
+    if (r.fanout.active) {
+        const core::FanoutSummary &fo = r.fanout;
+        std::cout << "fanout: app=" << fo.app << " depth=" << fo.depth
+                  << " services=" << fo.services
+                  << " width=" << fo.fanWidth
+                  << "  read p50/p99="
+                  << formatDouble(fo.p50Ms, 2) << "/"
+                  << formatDouble(fo.p99Ms, 2) << "ms  amp="
+                  << formatDouble(fo.amplification, 2);
+        if (fo.hedged) {
+            std::cout << "  hedges=" << fo.hedgesLaunched << "/"
+                      << fo.firstAttempts << " (wins " << fo.hedgeWins
+                      << ", denied " << fo.hedgesDenied << ", share "
+                      << formatDouble(fo.hedgeShare, 3) << ")";
         }
         std::cout << "\n";
     }
